@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exampledata"
+	"repro/internal/llm"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// Result re-exports the engine result type.
+type Result = core.Result
+
+// Verifier re-exports the verification-suite interface, so callers can
+// plug the REST client (internal/batfish/rest.Client) or a custom suite.
+type Verifier = core.Verifier
+
+// TranslateOptions configures Translate.
+type TranslateOptions struct {
+	// Seed drives the simulated LLM's stochastic choices (default 1).
+	Seed int64
+	// Verifier overrides the in-process suite (e.g. a REST client).
+	Verifier Verifier
+	// ErrorClasses restricts the injected translation errors; nil injects
+	// the paper's full Table 2 scenario.
+	ErrorClasses []llm.TranslateError
+}
+
+// Translate runs the paper's first use case (§3): translate a Cisco
+// configuration to Juniper under Verified Prompt Programming and return
+// the verified result with its transcript and leverage.
+func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
+	cfg := llm.DefaultTranslateConfig()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.ErrorClasses != nil {
+		cfg.Inject = map[llm.TranslateError]bool{}
+		for _, e := range opts.ErrorClasses {
+			cfg.Inject[e] = true
+		}
+	}
+	return core.Translate(ciscoConfig, core.TranslateOptions{
+		Model:    llm.NewTranslator(cfg),
+		Verifier: opts.Verifier,
+	})
+}
+
+// ExampleCiscoConfig returns the bundled Cisco configuration used by the
+// paper-scale translation experiments.
+func ExampleCiscoConfig() string { return exampledata.CiscoExample }
+
+// SynthesizeOptions configures SynthesizeNoTransit.
+type SynthesizeOptions struct {
+	// Routers is the star size n (default 7, the paper's network).
+	Routers int
+	// Seed drives the simulated LLM (default 1).
+	Seed int64
+	// Verifier overrides the in-process suite.
+	Verifier Verifier
+	// DisableIIP ablates the initial instruction prompt database (§4.2).
+	DisableIIP bool
+}
+
+// SynthesizeNoTransit runs the paper's second use case (§4): synthesize
+// Cisco configurations for an n-router star network implementing the
+// no-transit policy via local per-router specifications.
+func SynthesizeNoTransit(opts SynthesizeOptions) (*Result, error) {
+	n := opts.Routers
+	if n == 0 {
+		n = 7
+	}
+	topo, err := netgen.Star(n)
+	if err != nil {
+		return nil, err
+	}
+	cfg := llm.DefaultSynthConfig()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	return core.Synthesize(topo, core.SynthOptions{
+		Model:    llm.NewSynthesizer(cfg),
+		Verifier: opts.Verifier,
+		NoIIP:    opts.DisableIIP,
+	})
+}
+
+// StarTopology generates the Figure 4 star network description: the JSON
+// dictionary and its machine-generated natural-language description.
+func StarTopology(n int) (*topology.Topology, string, error) {
+	topo, err := netgen.Star(n)
+	if err != nil {
+		return nil, "", err
+	}
+	return topo, netgen.Describe(topo), nil
+}
+
+// Leverage summarizes a run in the paper's terms.
+func Leverage(r *Result) (automated, human int, leverage float64) {
+	automated, human = r.Transcript.Counts()
+	return automated, human, r.Leverage()
+}
+
+// Summary renders the one-line result the paper reports per use case.
+func Summary(name string, r *Result) string {
+	a, h, l := Leverage(r)
+	status := "verified"
+	if !r.Verified {
+		status = "NOT verified"
+	}
+	return fmt.Sprintf("%s: %d automated prompts, %d human prompts, leverage %.1fX, %s",
+		name, a, h, l, status)
+}

@@ -1,0 +1,287 @@
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (the E1–E10 index in DESIGN.md). Each benchmark prints the
+// regenerated rows once (via b.Logf, visible with -v or on shape
+// mismatch) and reports the paper's headline quantities as custom metrics
+// so `go test -bench=. -benchmem` reproduces the evaluation wholesale:
+//
+//	leverage            automated prompts per human prompt (§3.2: ~10, §4.2: 6)
+//	automated-prompts   the fast-loop prompt count
+//	human-prompts       the slow-loop prompt count
+package repro
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/batfish/rest"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/netgen"
+)
+
+// BenchmarkTable1RectificationPrompts (E1) regenerates the four sample
+// translation rectification prompts of Table 1.
+func BenchmarkTable1RectificationPrompts(b *testing.B) {
+	var prompts []GeneratedPrompt
+	var err error
+	for i := 0; i < b.N; i++ {
+		prompts, err = Table1RectificationPrompts()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range prompts {
+		b.Logf("Table 1 [%s]: %s", p.Type, p.Prompt)
+	}
+	b.ReportMetric(float64(len(prompts)), "prompt-classes")
+}
+
+// BenchmarkTable2TranslationErrors (E2) regenerates Table 2: the eight
+// error classes and whether generated prompts alone fixed each.
+func BenchmarkTable2TranslationErrors(b *testing.B) {
+	var rows []Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = Table2TranslationErrors()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fixed := 0
+	for _, r := range rows {
+		b.Logf("Table 2: %-35s %-20s fixed=%v", r.Error, r.Type, r.FixedByAutomated)
+		if r.FixedByAutomated {
+			fixed++
+		}
+	}
+	b.ReportMetric(float64(fixed), "fixed-by-automated")
+	b.ReportMetric(float64(len(rows)-fixed), "needing-human")
+}
+
+// BenchmarkLeverageTranslation (E3) reproduces §3.2: the full error
+// scenario, ~20 automated / 2 human prompts, leverage 10X.
+func BenchmarkLeverageTranslation(b *testing.B) {
+	var rep LeverageReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = ExperimentTranslationLeverage()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Verified {
+		b.Fatal("translation did not verify")
+	}
+	b.Logf("E3: %s (paper: ~20 automated / 2 human, 10X)", rep)
+	reportLeverage(b, rep)
+}
+
+// BenchmarkTable3SynthesisPrompts (E4) regenerates Table 3's sample
+// rectification prompts for local synthesis.
+func BenchmarkTable3SynthesisPrompts(b *testing.B) {
+	var prompts []GeneratedPrompt
+	var err error
+	for i := 0; i < b.N; i++ {
+		prompts, err = Table3RectificationPrompts()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range prompts {
+		b.Logf("Table 3 [%s]: %s", p.Type, p.Prompt)
+	}
+	b.ReportMetric(float64(len(prompts)), "prompt-classes")
+}
+
+// BenchmarkLeverageNoTransit (E5) reproduces §4.2: the 7-router star,
+// 12 automated / 2 human prompts, leverage 6X.
+func BenchmarkLeverageNoTransit(b *testing.B) {
+	var rep LeverageReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = ExperimentNoTransitLeverage(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Verified {
+		b.Fatal("synthesis did not verify")
+	}
+	b.Logf("E5: %s (paper: 12 automated / 2 human, 6X)", rep)
+	reportLeverage(b, rep)
+}
+
+// BenchmarkFigure4StarTopology (E6) regenerates the Figure 4 star: the
+// JSON dictionary plus the textual description the network generator
+// emits.
+func BenchmarkFigure4StarTopology(b *testing.B) {
+	var txt string
+	for i := 0; i < b.N; i++ {
+		topo, err := netgen.Star(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := topo.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+		txt = netgen.Describe(topo)
+	}
+	b.ReportMetric(float64(len(txt)), "description-bytes")
+}
+
+// BenchmarkAblationLocalVsGlobal (E7) contrasts local-spec prompting
+// (converges, leverage 6X) with global-spec prompting (oscillates, never
+// verifies) — §4.1's central lesson.
+func BenchmarkAblationLocalVsGlobal(b *testing.B) {
+	var local, global LeverageReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		local, global, err = AblationLocalVsGlobal(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("E7 local:  %s", local)
+	b.Logf("E7 global: %s", global)
+	if !local.Verified || global.Verified {
+		b.Fatalf("shape violated: local verified=%v global verified=%v",
+			local.Verified, global.Verified)
+	}
+	b.ReportMetric(local.Leverage, "local-leverage")
+	b.ReportMetric(boolMetric(global.Verified), "global-verified")
+}
+
+// BenchmarkAblationIIP (E8) measures the initial-instruction-prompt
+// database: without it, the common error classes reappear and cost extra
+// automated corrections (§4.2).
+func BenchmarkAblationIIP(b *testing.B) {
+	var withIIP, withoutIIP LeverageReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		withIIP, withoutIIP, err = AblationIIP(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("E8 with IIP:    %s", withIIP)
+	b.Logf("E8 without IIP: %s", withoutIIP)
+	if withoutIIP.Automated <= withIIP.Automated {
+		b.Fatalf("shape violated: IIP should save prompts (with=%d without=%d)",
+			withIIP.Automated, withoutIIP.Automated)
+	}
+	b.ReportMetric(float64(withoutIIP.Automated-withIIP.Automated), "prompts-saved-by-iip")
+}
+
+// BenchmarkAblationHumanizer measures the humanizer (DESIGN.md ablation
+// 3): raw verifier feedback shifts work to the human and drops leverage.
+func BenchmarkAblationHumanizer(b *testing.B) {
+	var humanized, raw LeverageReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		humanized, raw, err = AblationHumanizer()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("humanized: %s", humanized)
+	b.Logf("raw:       %s", raw)
+	if raw.Leverage >= humanized.Leverage {
+		b.Fatalf("shape violated: humanized leverage %.1f <= raw %.1f",
+			humanized.Leverage, raw.Leverage)
+	}
+	b.ReportMetric(humanized.Leverage, "humanized-leverage")
+	b.ReportMetric(raw.Leverage, "raw-leverage")
+}
+
+// BenchmarkRESTVerifier (E9) runs the translation loop against the suite
+// behind the REST wrapper and measures the round-trip overhead relative
+// to the in-process suite.
+func BenchmarkRESTVerifier(b *testing.B) {
+	srv := httptest.NewServer(rest.NewHandler())
+	defer srv.Close()
+	client := rest.NewClient(srv.URL)
+	var rep *core.Result
+	for i := 0; i < b.N; i++ {
+		model := llm.NewTranslator(llm.DefaultTranslateConfig())
+		res, err := core.Translate(ExampleCiscoConfig(), core.TranslateOptions{
+			Model: model, Verifier: client})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = res
+	}
+	if !rep.Verified {
+		b.Fatal("REST-backed translation did not verify")
+	}
+	a, h := rep.Transcript.Counts()
+	b.ReportMetric(float64(a)/float64(h), "leverage")
+}
+
+// BenchmarkLeverageVsNetworkSize (E10) sweeps the star size: automated
+// prompts grow with the router count while human prompts stay flat, so
+// leverage grows with network size.
+func BenchmarkLeverageVsNetworkSize(b *testing.B) {
+	sizes := []int{3, 5, 7, 9, 11}
+	for _, n := range sizes {
+		n := n
+		b.Run(fmt.Sprintf("star-%d", n), func(b *testing.B) {
+			var rep LeverageReport
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = ExperimentNoTransitLeverage(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !rep.Verified {
+				b.Fatalf("star-%d did not verify", n)
+			}
+			b.Logf("E10: %s", rep)
+			reportLeverage(b, rep)
+		})
+	}
+}
+
+func reportLeverage(b *testing.B, rep LeverageReport) {
+	b.Helper()
+	b.ReportMetric(rep.Leverage, "leverage")
+	b.ReportMetric(float64(rep.Automated), "automated-prompts")
+	b.ReportMetric(float64(rep.Human), "human-prompts")
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkIncrementalPolicyAddition (E11, extension) runs the paper's §6
+// open question: add a policy to an already-verified network and catch
+// the interference the careless edit introduces.
+func BenchmarkIncrementalPolicyAddition(b *testing.B) {
+	topo, err := netgen.Star(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var automated, human int
+	for i := 0; i < b.N; i++ {
+		model := llm.NewSynthesizer(llm.DefaultSynthConfig())
+		base, err := core.Synthesize(topo, core.SynthOptions{Model: model})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.AddPolicyIncremental(topo, base.Configs,
+			core.IncrementalOptions{Model: model})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Verified {
+			b.Fatal("incremental change did not verify")
+		}
+		automated, human = res.Transcript.Counts()
+	}
+	b.ReportMetric(float64(automated), "automated-prompts")
+	b.ReportMetric(float64(human), "human-prompts")
+}

@@ -1,0 +1,30 @@
+// Command batfishd serves the verification suite over HTTP: syntax
+// checking, Campion diffing, topology verification, local-policy checks,
+// SearchRoutePolicies, and the global no-transit BGP simulation. The
+// COSYNTH engine can point at it with --verifier (see cmd/cosynth), which
+// is how the Batfish dependency is reproduced without Go bindings.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/batfish/rest"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9876", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rest.NewHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("batfishd: serving verification suite on http://%s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("batfishd: %v", err)
+	}
+}

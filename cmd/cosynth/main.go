@@ -1,0 +1,79 @@
+// Command cosynth runs the Verified Prompt Programming pipeline end to
+// end for either paper use case and prints the transcript, the final
+// configuration(s), and the leverage.
+//
+//	cosynth -mode translate
+//	cosynth -mode notransit -n 7
+//	cosynth -mode translate -verifier http://localhost:9876   # via batfishd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/batfish/rest"
+	"repro/internal/core"
+)
+
+func main() {
+	mode := flag.String("mode", "translate", "use case: translate | notransit")
+	n := flag.Int("n", 7, "star size for -mode notransit")
+	seed := flag.Int64("seed", 1, "simulated-LLM seed")
+	verifierURL := flag.String("verifier", "", "batfishd base URL (default: in-process suite)")
+	inputPath := flag.String("config", "", "Cisco config to translate (default: bundled example)")
+	showConfigs := flag.Bool("print-configs", false, "print the final configuration(s)")
+	flag.Parse()
+
+	var verifier core.Verifier
+	if *verifierURL != "" {
+		client := rest.NewClient(*verifierURL)
+		if err := client.Health(); err != nil {
+			log.Fatalf("cosynth: verifier %s unreachable: %v", *verifierURL, err)
+		}
+		verifier = client
+	}
+
+	var res *repro.Result
+	var err error
+	switch *mode {
+	case "translate":
+		cfg := repro.ExampleCiscoConfig()
+		if *inputPath != "" {
+			data, rerr := os.ReadFile(*inputPath)
+			if rerr != nil {
+				log.Fatalf("cosynth: %v", rerr)
+			}
+			cfg = string(data)
+		}
+		res, err = repro.Translate(cfg, repro.TranslateOptions{Seed: *seed, Verifier: verifier})
+	case "notransit":
+		res, err = repro.SynthesizeNoTransit(repro.SynthesizeOptions{
+			Routers: *n, Seed: *seed, Verifier: verifier})
+	default:
+		log.Fatalf("cosynth: unknown mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatalf("cosynth: %v", err)
+	}
+
+	fmt.Println("=== Transcript ===")
+	fmt.Print(res.Transcript.String())
+	if len(res.PuntedFindings) > 0 {
+		fmt.Println("=== Punted to human ===")
+		for _, p := range res.PuntedFindings {
+			fmt.Println(" -", p)
+		}
+	}
+	if *showConfigs {
+		for name, cfg := range res.Configs {
+			fmt.Printf("=== %s ===\n%s\n", name, cfg)
+		}
+	}
+	fmt.Println(repro.Summary(*mode, res))
+	if !res.Verified {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command netgen is the paper's network generator (§4.1): given only the
+// number of routers, it emits the star topology's JSON dictionary and/or
+// its machine-generated natural-language description (Figure 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/netgen"
+)
+
+func main() {
+	n := flag.Int("n", 7, "number of routers (R1 + n-1 ISP-facing routers)")
+	jsonOut := flag.Bool("json", false, "emit the JSON topology dictionary")
+	textOut := flag.Bool("text", false, "emit the natural-language description")
+	flag.Parse()
+	if !*jsonOut && !*textOut {
+		*jsonOut, *textOut = true, true
+	}
+
+	topo, err := netgen.Star(*n)
+	if err != nil {
+		log.Fatalf("netgen: %v", err)
+	}
+	if *jsonOut {
+		data, err := topo.Marshal()
+		if err != nil {
+			log.Fatalf("netgen: %v", err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	}
+	if *textOut {
+		fmt.Print(netgen.Describe(topo))
+	}
+}

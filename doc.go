@@ -1,0 +1,30 @@
+// Package repro is COSYNTH: a reproduction of "What do LLMs need to
+// Synthesize Correct Router Configurations?" (HotNets 2023) as a Go
+// library.
+//
+// The paper proposes Verified Prompt Programming (VPP): pair an LLM with a
+// suite of network-configuration verifiers, convert verifier findings into
+// natural-language correction prompts automatically (a "humanizer"), and
+// measure leverage — automated prompts per human prompt. This module
+// implements the whole stack from scratch on the standard library:
+//
+//   - Cisco IOS and Junos parsers, printers, and syntax checkers
+//     (internal/cisco, internal/juniper) standing in for Batfish's parse
+//     warnings;
+//   - a symbolic route-policy engine (internal/symbolic) behind both the
+//     Campion-style translation differ (internal/campion) and the Batfish
+//     SearchRoutePolicies substitute (internal/batfish);
+//   - a BGP control-plane simulator for the global no-transit check
+//     (internal/batfish), exposed over a REST wrapper
+//     (internal/batfish/rest, cmd/batfishd);
+//   - the topology verifier, network generator, modularizer, humanizer,
+//     and Lightyear-style local-policy checker of the paper's Figure 3;
+//   - a simulated GPT-4 (internal/llm) whose error model is calibrated to
+//     the paper's Tables 1–3; and
+//   - the COSYNTH engine (internal/core) that drives the loop and
+//     accounts for leverage.
+//
+// This package is the stable facade: the two use-case entry points
+// (Translate, SynthesizeNoTransit) and the experiment runners that
+// regenerate every table and figure of the paper (see EXPERIMENTS.md).
+package repro

@@ -1,0 +1,25 @@
+// Quickstart: translate the bundled Cisco configuration to Juniper under
+// Verified Prompt Programming and print the leverage — the smallest
+// possible use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	res, err := repro.Translate(repro.ExampleCiscoConfig(), repro.TranslateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	automated, human, leverage := repro.Leverage(res)
+	fmt.Printf("verified: %v\n", res.Verified)
+	fmt.Printf("automated prompts: %d\n", automated)
+	fmt.Printf("human prompts:     %d\n", human)
+	fmt.Printf("leverage:          %.1fX\n", leverage)
+	fmt.Println("\nFinal Juniper configuration:")
+	fmt.Println(res.Configs["translation"])
+}

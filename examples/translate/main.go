@@ -1,0 +1,48 @@
+// Translate walks the paper's first use case (§3) verbosely: the full
+// Table 2 error scenario on the example Cisco configuration, printing
+// every prompt of the fast automated loop and the slow human loop, then
+// the verified Juniper output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	res, err := repro.Translate(repro.ExampleCiscoConfig(), repro.TranslateOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Verified Prompt Programming: Cisco -> Juniper ===")
+	for i, rec := range res.Transcript {
+		tag := "AUTO "
+		if rec.Kind == core.Human {
+			tag = "HUMAN"
+		}
+		fmt.Printf("%2d %s [%s]\n   %s\n", i+1, tag, rec.Stage, oneLine(rec.Prompt))
+	}
+	if len(res.PuntedFindings) > 0 {
+		fmt.Println("\nFindings the automated loop punted to the human:")
+		for _, p := range res.PuntedFindings {
+			fmt.Println("  -", p)
+		}
+	}
+	fmt.Println()
+	fmt.Println(repro.Summary("translation", res))
+	fmt.Println("\n=== Final verified Juniper configuration ===")
+	fmt.Println(res.Configs["translation"])
+}
+
+func oneLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i] + " ..."
+		}
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package rest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/batfish"
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// Client calls the verification suite over HTTP. It implements
+// core.Verifier, so the COSYNTH engine can run against a remote batfishd
+// unchanged.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for a batfishd base URL (e.g.
+// "http://localhost:9876").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// post sends a JSON request and decodes the JSON response into out.
+func (c *Client) post(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("encoding %s request: %w", path, err)
+	}
+	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("calling %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("reading %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", path, e.Error)
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Health checks the service.
+func (c *Client) Health() error {
+	resp, err := c.http.Get(c.base + PathHealth)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// CheckSyntax implements core.Verifier.
+func (c *Client) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
+	var resp SyntaxResponse
+	if err := c.post(PathSyntax, SyntaxRequest{Config: config}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Warnings, nil
+}
+
+// DiffTranslation implements core.Verifier.
+func (c *Client) DiffTranslation(original, translation string) ([]campion.Finding, error) {
+	var resp DiffResponse
+	if err := c.post(PathDiff, DiffRequest{Original: original, Translation: translation}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Findings, nil
+}
+
+// VerifyTopology implements core.Verifier.
+func (c *Client) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
+	var resp TopologyResponse
+	if err := c.post(PathTopology, TopologyRequest{Spec: spec, Config: config}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Findings, nil
+}
+
+// CheckLocalPolicy implements core.Verifier.
+func (c *Client) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	var resp LocalResponse
+	if err := c.post(PathLocal, LocalRequest{Config: config, Requirement: req}, &resp); err != nil {
+		return lightyear.Violation{}, false, err
+	}
+	if !resp.Violated {
+		return lightyear.Violation{}, false, nil
+	}
+	return *resp.Violation, true, nil
+}
+
+// GlobalNoTransit implements core.Verifier.
+func (c *Client) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
+	var resp NoTransitResponse
+	if err := c.post(PathNoTransit, NoTransitRequest{Topology: t, Configs: configs}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// Search asks a SearchRoutePolicies question about one config.
+func (c *Client) Search(config string, q batfish.SearchQuery) (batfish.SearchResult, error) {
+	var resp SearchResponse
+	if err := c.post(PathSearch, SearchRequest{Config: config, Query: q}, &resp); err != nil {
+		return batfish.SearchResult{}, err
+	}
+	return resp.Result, nil
+}

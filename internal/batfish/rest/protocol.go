@@ -1,0 +1,96 @@
+// Package rest wraps the verification suite behind an HTTP API. Go has no
+// Batfish bindings, so — per the reproduction plan — the verifier is
+// callable as a service: cmd/batfishd serves it, Client implements the
+// engine's core.Verifier interface over it, and the in-process suite backs
+// the handlers. All payloads are JSON.
+package rest
+
+import (
+	"repro/internal/batfish"
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// API paths (version-prefixed).
+const (
+	PathSyntax    = "/v1/syntax"
+	PathDiff      = "/v1/diff"
+	PathTopology  = "/v1/topology"
+	PathLocal     = "/v1/local"
+	PathNoTransit = "/v1/notransit"
+	PathSearch    = "/v1/search"
+	PathHealth    = "/v1/health"
+)
+
+// SyntaxRequest asks for parse warnings on one configuration.
+type SyntaxRequest struct {
+	Config string `json:"config"`
+}
+
+// SyntaxResponse carries the warnings.
+type SyntaxResponse struct {
+	Warnings []netcfg.ParseWarning `json:"warnings"`
+}
+
+// DiffRequest asks for a Campion comparison.
+type DiffRequest struct {
+	Original    string `json:"original"`
+	Translation string `json:"translation"`
+}
+
+// DiffResponse carries the findings.
+type DiffResponse struct {
+	Findings []campion.Finding `json:"findings"`
+}
+
+// TopologyRequest asks for a topology verification of one router.
+type TopologyRequest struct {
+	Spec   topology.RouterSpec `json:"spec"`
+	Config string              `json:"config"`
+}
+
+// TopologyResponse carries the findings.
+type TopologyResponse struct {
+	Findings []topology.Finding `json:"findings"`
+}
+
+// LocalRequest asks for one Lightyear requirement check.
+type LocalRequest struct {
+	Config      string                `json:"config"`
+	Requirement lightyear.Requirement `json:"requirement"`
+}
+
+// LocalResponse carries the violation, if any.
+type LocalResponse struct {
+	Violated  bool                 `json:"violated"`
+	Violation *lightyear.Violation `json:"violation,omitempty"`
+}
+
+// NoTransitRequest asks for the global BGP-simulation check.
+type NoTransitRequest struct {
+	Topology *topology.Topology `json:"topology"`
+	Configs  map[string]string  `json:"configs"`
+}
+
+// NoTransitResponse carries the global result.
+type NoTransitResponse struct {
+	Result *lightyear.GlobalResult `json:"result"`
+}
+
+// SearchRequest asks a SearchRoutePolicies question about one config.
+type SearchRequest struct {
+	Config string              `json:"config"`
+	Query  batfish.SearchQuery `json:"query"`
+}
+
+// SearchResponse carries the witness, if any.
+type SearchResponse struct {
+	Result batfish.SearchResult `json:"result"`
+}
+
+// ErrorResponse reports a request failure.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

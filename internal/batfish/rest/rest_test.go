@@ -1,0 +1,95 @@
+package rest
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/exampledata"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+)
+
+func newTestClient(t *testing.T) *Client {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL)
+}
+
+func TestHealth(t *testing.T) {
+	c := newTestClient(t)
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntaxRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	warns, err := c.CheckSyntax("configure terminal\nhostname r1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("warnings = %v, want exactly the CLI keyword warning", warns)
+	}
+	warns, err = c.CheckSyntax(exampledata.CiscoExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("example config should be clean, got %v", warns)
+	}
+}
+
+func TestDiffRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	// Diffing the original against an empty Juniper config must produce
+	// structural findings.
+	findings, err := c.DiffTranslation(exampledata.CiscoExample, "system {\n    host-name border1;\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected structural findings against an empty translation")
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	topo, err := netgen.Star(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := topo.Router("R2")
+	findings, err := c.VerifyTopology(*spec, "hostname R2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("empty config should violate the topology spec")
+	}
+}
+
+func TestLocalRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	req := lightyear.Requirement{
+		Kind:      lightyear.EgressDropsCommunity,
+		Router:    "R1",
+		Policy:    "FILTER",
+		Community: netcfg.MustCommunity("100:1"),
+	}
+	cfg := "hostname R1\n" +
+		"ip community-list 1 permit 100:1\n" +
+		"route-map FILTER permit 10\n"
+	viol, bad, err := c.CheckLocalPolicy(cfg, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad {
+		t.Fatal("permit-all policy must violate the drop requirement")
+	}
+	if viol.Witness == nil || !viol.Witness.HasCommunity(netcfg.MustCommunity("100:1")) {
+		t.Fatalf("witness should carry 100:1, got %v", viol.Witness)
+	}
+}

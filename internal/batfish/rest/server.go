@@ -1,0 +1,130 @@
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/batfish"
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// NewHandler returns the HTTP handler serving the verification suite.
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathHealth, handleHealth)
+	mux.HandleFunc(PathSyntax, handleSyntax)
+	mux.HandleFunc(PathDiff, handleDiff)
+	mux.HandleFunc(PathTopology, handleTopology)
+	mux.HandleFunc(PathLocal, handleLocal)
+	mux.HandleFunc(PathNoTransit, handleNoTransit)
+	mux.HandleFunc(PathSearch, handleSearch)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decode reads a JSON POST body; it writes the error response itself and
+// reports whether decoding succeeded.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request: %v", err)})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func handleSyntax(w http.ResponseWriter, r *http.Request) {
+	var req SyntaxRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	warns := batfish.CheckSyntax(req.Config)
+	writeJSON(w, http.StatusOK, SyntaxResponse{Warnings: warns})
+}
+
+func handleDiff(w http.ResponseWriter, r *http.Request) {
+	var req DiffRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	orig, _ := batfish.ParseConfig(req.Original)
+	trans, _ := batfish.ParseConfig(req.Translation)
+	writeJSON(w, http.StatusOK, DiffResponse{Findings: campion.Diff(orig, trans)})
+}
+
+func handleTopology(w http.ResponseWriter, r *http.Request) {
+	var req TopologyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	dev, _ := batfish.ParseConfig(req.Config)
+	writeJSON(w, http.StatusOK, TopologyResponse{Findings: topology.Verify(&req.Spec, dev)})
+}
+
+func handleLocal(w http.ResponseWriter, r *http.Request) {
+	var req LocalRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	dev, _ := batfish.ParseConfig(req.Config)
+	v, bad := lightyear.Check(dev, req.Requirement)
+	resp := LocalResponse{Violated: bad}
+	if bad {
+		resp.Violation = &v
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleNoTransit(w http.ResponseWriter, r *http.Request) {
+	var req NoTransitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Topology == nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "topology required"})
+		return
+	}
+	devs := map[string]*netcfg.Device{}
+	for name, text := range req.Configs {
+		dev, _ := batfish.ParseConfig(text)
+		devs[name] = dev
+	}
+	result, err := lightyear.CheckGlobalNoTransit(req.Topology, devs)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, NoTransitResponse{Result: result})
+}
+
+func handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	dev, _ := batfish.ParseConfig(req.Config)
+	result, err := batfish.SearchRoutePolicies(dev, req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Result: result})
+}

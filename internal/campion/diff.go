@@ -1,0 +1,468 @@
+package campion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netcfg"
+	"repro/internal/symbolic"
+)
+
+// Diff compares an original Cisco device against its Juniper translation
+// and returns localized findings, ordered structural mismatches first, then
+// attribute differences, then policy behaviour differences — the order the
+// paper says they must be handled in, because earlier classes mask later
+// ones (§3.1).
+func Diff(orig, trans *netcfg.Device) []Finding {
+	var structural, attribute, policy []Finding
+	structural = append(structural, diffInterfacesStructural(orig, trans)...)
+	structural = append(structural, diffBGPStructural(orig, trans)...)
+	structural = append(structural, diffPrefixLists(orig, trans)...)
+
+	attribute = append(attribute, diffInterfaceAttributes(orig, trans)...)
+	attribute = append(attribute, diffBGPAttributes(orig, trans)...)
+
+	policy = append(policy, diffPolicies(orig, trans)...)
+
+	out := append(structural, attribute...)
+	return append(out, policy...)
+}
+
+func diffInterfacesStructural(orig, trans *netcfg.Device) []Finding {
+	var out []Finding
+	transByKey := map[string]*netcfg.Interface{}
+	for _, ifc := range trans.Interfaces {
+		transByKey[CanonicalIfc(ifc.Name)] = ifc
+	}
+	origKeys := map[string]bool{}
+	for _, ifc := range orig.Interfaces {
+		key := CanonicalIfc(ifc.Name)
+		origKeys[key] = true
+		if transByKey[key] == nil {
+			out = append(out, Finding{
+				Kind:          StructuralMismatch,
+				Component:     "interface " + ifc.Name,
+				InOriginal:    true,
+				InTranslation: false,
+			})
+		}
+	}
+	for _, ifc := range trans.Interfaces {
+		if !origKeys[CanonicalIfc(ifc.Name)] {
+			out = append(out, Finding{
+				Kind:          StructuralMismatch,
+				Component:     "interface " + ifc.Name,
+				InOriginal:    false,
+				InTranslation: true,
+			})
+		}
+	}
+	return out
+}
+
+func diffBGPStructural(orig, trans *netcfg.Device) []Finding {
+	var out []Finding
+	switch {
+	case orig.BGP != nil && trans.BGP == nil:
+		return []Finding{{Kind: StructuralMismatch, Component: "bgp process", InOriginal: true}}
+	case orig.BGP == nil && trans.BGP != nil:
+		return []Finding{{Kind: StructuralMismatch, Component: "bgp process", InTranslation: true}}
+	case orig.BGP == nil:
+		return nil
+	}
+	for _, n := range orig.BGP.Neighbors {
+		tn := trans.BGP.Neighbor(n.Addr)
+		if tn == nil {
+			out = append(out, Finding{
+				Kind:       StructuralMismatch,
+				Component:  "bgp neighbor " + netcfg.FormatIP(n.Addr),
+				InOriginal: true,
+			})
+			continue
+		}
+		// Paper Table 1: "there is an import route map for bgp neighbor
+		// 2.3.4.5, but in the translation, there is no corresponding route
+		// map".
+		if n.ImportPolicy != "" && tn.ImportPolicy == "" {
+			out = append(out, Finding{
+				Kind:       StructuralMismatch,
+				Component:  "import route map for bgp neighbor " + netcfg.FormatIP(n.Addr),
+				InOriginal: true,
+			})
+		}
+		if n.ImportPolicy == "" && tn.ImportPolicy != "" {
+			out = append(out, Finding{
+				Kind:          StructuralMismatch,
+				Component:     "import route map for bgp neighbor " + netcfg.FormatIP(n.Addr),
+				InTranslation: true,
+			})
+		}
+		if n.ExportPolicy != "" && tn.ExportPolicy == "" {
+			out = append(out, Finding{
+				Kind:       StructuralMismatch,
+				Component:  "export route map for bgp neighbor " + netcfg.FormatIP(n.Addr),
+				InOriginal: true,
+			})
+		}
+		if n.ExportPolicy == "" && tn.ExportPolicy != "" {
+			out = append(out, Finding{
+				Kind:          StructuralMismatch,
+				Component:     "export route map for bgp neighbor " + netcfg.FormatIP(n.Addr),
+				InTranslation: true,
+			})
+		}
+	}
+	for _, tn := range trans.BGP.Neighbors {
+		if orig.BGP.Neighbor(tn.Addr) == nil {
+			out = append(out, Finding{
+				Kind:          StructuralMismatch,
+				Component:     "bgp neighbor " + netcfg.FormatIP(tn.Addr),
+				InTranslation: true,
+			})
+		}
+	}
+	return out
+}
+
+func diffPrefixLists(orig, trans *netcfg.Device) []Finding {
+	var out []Finding
+	for _, name := range orig.PrefixListNames() {
+		if trans.PrefixLists[name] == nil && !prefixListInlined(trans, orig.PrefixLists[name]) {
+			out = append(out, Finding{
+				Kind:       StructuralMismatch,
+				Component:  "prefix list " + name,
+				InOriginal: true,
+			})
+		}
+	}
+	return out
+}
+
+// prefixListInlined reports whether the translation expresses the list as
+// inline route-filter conditions instead of a named prefix-list — a
+// legitimate Juniper idiom for Cisco's ge/le entries, not a structural
+// mismatch. The check is intentionally structural only (a route-filter on
+// one of the list's patterns exists); whether the translated length range
+// is *behaviourally* equivalent is the policy-difference stage's job —
+// that is exactly where the paper's "ge 24" error class surfaces (Table 2,
+// "Different prefix lengths match in BGP": a policy error, not a
+// structural one).
+func prefixListInlined(trans *netcfg.Device, pl *netcfg.PrefixList) bool {
+	for _, name := range trans.PolicyNames() {
+		for _, cl := range trans.RoutePolicies[name].Clauses {
+			for _, m := range cl.Matches {
+				rf, ok := m.(netcfg.MatchRouteFilter)
+				if !ok {
+					continue
+				}
+				for _, e := range pl.Entries {
+					if rf.Prefix == e.Prefix {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func diffInterfaceAttributes(orig, trans *netcfg.Device) []Finding {
+	var out []Finding
+	transByKey := map[string]*netcfg.Interface{}
+	for _, ifc := range trans.Interfaces {
+		transByKey[CanonicalIfc(ifc.Name)] = ifc
+	}
+	for _, ifc := range orig.Interfaces {
+		tifc := transByKey[CanonicalIfc(ifc.Name)]
+		if tifc == nil {
+			continue // structural finding already covers it
+		}
+		if ifc.HasAddress && tifc.HasAddress && ifc.Address != tifc.Address {
+			out = append(out, Finding{
+				Kind:                 AttributeDifference,
+				Component:            "interface " + ifc.Name,
+				TranslationComponent: tifc.Name,
+				Attribute:            "ip address",
+				OriginalValue:        fmt.Sprintf("%s/%d", netcfg.FormatIP(ifc.Address.Addr), ifc.Address.Len),
+				TranslationValue:     fmt.Sprintf("%s/%d", netcfg.FormatIP(tifc.Address.Addr), tifc.Address.Len),
+			})
+		}
+		oOSPF := effectiveOSPF(orig, ifc)
+		tOSPF := effectiveOSPF(trans, tifc)
+		if oOSPF.Enabled && tOSPF.Enabled {
+			if oOSPF.Cost != tOSPF.Cost {
+				out = append(out, Finding{
+					Kind:                 AttributeDifference,
+					Component:            "OSPF link for " + ifc.Name,
+					TranslationComponent: tifc.Name,
+					Attribute:            "cost",
+					OriginalValue:        fmt.Sprint(oOSPF.Cost),
+					TranslationValue:     fmt.Sprint(tOSPF.Cost),
+				})
+			}
+			if oOSPF.Passive != tOSPF.Passive {
+				out = append(out, Finding{
+					Kind:                 AttributeDifference,
+					Component:            "OSPF link for " + ifc.Name,
+					TranslationComponent: tifc.Name,
+					Attribute:            "passive interface setting",
+					OriginalValue:        fmt.Sprint(oOSPF.Passive),
+					TranslationValue:     fmt.Sprint(tOSPF.Passive),
+				})
+			}
+		} else if oOSPF.Enabled != tOSPF.Enabled {
+			out = append(out, Finding{
+				Kind:                 AttributeDifference,
+				Component:            "OSPF link for " + ifc.Name,
+				TranslationComponent: tifc.Name,
+				Attribute:            "ospf enabled",
+				OriginalValue:        fmt.Sprint(oOSPF.Enabled),
+				TranslationValue:     fmt.Sprint(tOSPF.Enabled),
+			})
+		}
+	}
+	return out
+}
+
+// ospfIfc is the effective OSPF state of one interface.
+type ospfIfc struct {
+	Enabled bool
+	Cost    int
+	Passive bool
+}
+
+// effectiveOSPF computes per-interface OSPF attributes under either
+// vendor's configuration style. Defaults follow the repo's reference
+// model: an enabled Cisco interface with no explicit cost defaults to 1,
+// while a Juniper interface with no metric statement reports 0 — exactly
+// the paper's Table 1 attribute example ("cost set to 1" vs "cost set to
+// 0"), which a faithful translation avoids by emitting "metric 1".
+func effectiveOSPF(d *netcfg.Device, ifc *netcfg.Interface) ospfIfc {
+	var st ospfIfc
+	switch d.Vendor {
+	case netcfg.VendorJuniper:
+		st.Enabled = ifc.OSPFArea >= 0
+		st.Cost = ifc.OSPFCost
+		st.Passive = ifc.OSPFPassive
+	default:
+		if d.OSPF == nil || !ifc.HasAddress {
+			return st
+		}
+		for _, n := range d.OSPF.Networks {
+			if n.Prefix.ContainsIP(ifc.Address.Addr) {
+				st.Enabled = true
+				break
+			}
+		}
+		if !st.Enabled {
+			return st
+		}
+		st.Cost = ifc.OSPFCost
+		if st.Cost == 0 {
+			st.Cost = 1
+		}
+		st.Passive = d.OSPF.IsPassive(ifc.Name)
+	}
+	return st
+}
+
+func diffBGPAttributes(orig, trans *netcfg.Device) []Finding {
+	if orig.BGP == nil || trans.BGP == nil {
+		return nil
+	}
+	var out []Finding
+	if orig.BGP.RouterID != 0 && trans.BGP.RouterID != 0 && orig.BGP.RouterID != trans.BGP.RouterID {
+		out = append(out, Finding{
+			Kind:             AttributeDifference,
+			Component:        "bgp process",
+			Attribute:        "router-id",
+			OriginalValue:    netcfg.FormatIP(orig.BGP.RouterID),
+			TranslationValue: netcfg.FormatIP(trans.BGP.RouterID),
+		})
+	}
+	for _, n := range orig.BGP.Neighbors {
+		tn := trans.BGP.Neighbor(n.Addr)
+		if tn == nil {
+			continue
+		}
+		if n.RemoteAS != tn.RemoteAS {
+			out = append(out, Finding{
+				Kind:             AttributeDifference,
+				Component:        "bgp neighbor " + netcfg.FormatIP(n.Addr),
+				Attribute:        "remote AS",
+				OriginalValue:    fmt.Sprint(n.RemoteAS),
+				TranslationValue: fmt.Sprint(tn.RemoteAS),
+			})
+		}
+		oLocal := effectiveLocalAS(orig.BGP, n)
+		tLocal := effectiveLocalAS(trans.BGP, tn)
+		if oLocal != tLocal && tLocal != 0 {
+			out = append(out, Finding{
+				Kind:             AttributeDifference,
+				Component:        "bgp neighbor " + netcfg.FormatIP(n.Addr),
+				Attribute:        "local AS",
+				OriginalValue:    fmt.Sprint(oLocal),
+				TranslationValue: fmt.Sprint(tLocal),
+			})
+		}
+	}
+	return out
+}
+
+func effectiveLocalAS(b *netcfg.BGP, n *netcfg.BGPNeighbor) uint32 {
+	if n.LocalAS != 0 {
+		return n.LocalAS
+	}
+	return b.ASN
+}
+
+// diffPolicies compares route-policy behaviour per neighbor attachment
+// point via differential evaluation over a symbolically derived test
+// universe, reporting a concrete witness route per difference.
+func diffPolicies(orig, trans *netcfg.Device) []Finding {
+	if orig.BGP == nil || trans.BGP == nil {
+		return nil
+	}
+	universe := symbolic.Universe(orig, trans)
+	var out []Finding
+	for _, n := range orig.BGP.Neighbors {
+		tn := trans.BGP.Neighbor(n.Addr)
+		if tn == nil {
+			continue
+		}
+		// Import: both sides see BGP announcements only.
+		if n.ImportPolicy != "" && tn.ImportPolicy != "" {
+			if f, ok := comparePolicyBehavior(orig, trans,
+				orig.RoutePolicies[n.ImportPolicy], trans.RoutePolicies[tn.ImportPolicy],
+				universe, onlyBGP); ok {
+				f.Policy = n.ImportPolicy
+				f.Direction = "import"
+				f.Neighbor = netcfg.FormatIP(n.Addr)
+				out = append(out, f)
+			}
+		}
+		// Export: the effective behaviour includes redistribution
+		// semantics, so non-BGP routes are part of the input space.
+		if f, ok := compareExportBehavior(orig, trans, n, tn, universe); ok {
+			f.Policy = n.ExportPolicy
+			f.Direction = "export"
+			f.Neighbor = netcfg.FormatIP(n.Addr)
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func onlyBGP(r *netcfg.Route) bool { return r.Protocol == netcfg.ProtoBGP }
+
+func anyProto(*netcfg.Route) bool { return true }
+
+func comparePolicyBehavior(origEnv, transEnv netcfg.PolicyEnv, op, tp *netcfg.RoutePolicy,
+	universe []*netcfg.Route, filter func(*netcfg.Route) bool) (Finding, bool) {
+	for _, r := range universe {
+		if !filter(r) {
+			continue
+		}
+		oRes := netcfg.EvalPolicy(op, origEnv, r)
+		tRes := netcfg.EvalPolicy(tp, transEnv, r)
+		if desc, differs := describeDifference(oRes, tRes); differs {
+			return Finding{
+				Kind:                PolicyBehaviorDifference,
+				Witness:             r.Clone(),
+				OriginalBehavior:    desc[0],
+				TranslationBehavior: desc[1],
+			}, true
+		}
+	}
+	return Finding{}, false
+}
+
+func compareExportBehavior(orig, trans *netcfg.Device, n, tn *netcfg.BGPNeighbor,
+	universe []*netcfg.Route) (Finding, bool) {
+	for _, r := range universe {
+		oRes := EffectiveExport(orig, n, r)
+		tRes := EffectiveExport(trans, tn, r)
+		if desc, differs := describeDifference(oRes, tRes); differs {
+			return Finding{
+				Kind:                PolicyBehaviorDifference,
+				Witness:             r.Clone(),
+				OriginalBehavior:    desc[0],
+				TranslationBehavior: desc[1],
+			}, true
+		}
+	}
+	return Finding{}, false
+}
+
+// EffectiveExport models what each vendor actually exports to a neighbor:
+//
+//   - Cisco: the neighbor's export route map filters BGP routes; non-BGP
+//     routes reach BGP only through a matching "redistribute" statement
+//     (its route map, if any, filters them).
+//   - Juniper: the single export policy sees the whole routing table —
+//     every protocol — which is why a faithful translation adds "from
+//     protocol bgp" conditions (the paper's redistribution difference,
+//     §3.2). With no export policy, Junos exports BGP routes only.
+func EffectiveExport(d *netcfg.Device, n *netcfg.BGPNeighbor, r *netcfg.Route) netcfg.EvalResult {
+	if d.Vendor == netcfg.VendorJuniper {
+		pol := d.RoutePolicies[n.ExportPolicy]
+		if n.ExportPolicy == "" || pol == nil {
+			if r.Protocol == netcfg.ProtoBGP {
+				return netcfg.EvalResult{Permitted: true, Route: r.Clone(), ClauseSeq: -1}
+			}
+			return netcfg.EvalResult{Permitted: false, ClauseSeq: -1}
+		}
+		return netcfg.EvalPolicy(pol, d, r)
+	}
+	// Cisco.
+	if r.Protocol == netcfg.ProtoBGP {
+		if n.ExportPolicy == "" {
+			return netcfg.EvalResult{Permitted: true, Route: r.Clone(), ClauseSeq: -1}
+		}
+		return netcfg.EvalPolicy(d.RoutePolicies[n.ExportPolicy], d, r)
+	}
+	if d.BGP != nil {
+		for _, red := range d.BGP.Redistribute {
+			if red.Protocol != r.Protocol.RedistSource() {
+				continue
+			}
+			if red.Policy == "" {
+				return netcfg.EvalResult{Permitted: true, Route: r.Clone(), ClauseSeq: -1}
+			}
+			return netcfg.EvalPolicy(d.RoutePolicies[red.Policy], d, r)
+		}
+	}
+	return netcfg.EvalResult{Permitted: false, ClauseSeq: -1}
+}
+
+// describeDifference renders the two behaviours if they differ.
+func describeDifference(o, t netcfg.EvalResult) ([2]string, bool) {
+	od, td := behaviorString(o), behaviorString(t)
+	if od == td {
+		return [2]string{}, false
+	}
+	return [2]string{od, td}, true
+}
+
+func behaviorString(res netcfg.EvalResult) string {
+	if !res.Permitted {
+		return "REJECT"
+	}
+	parts := []string{"ACCEPT"}
+	r := res.Route
+	if r.MED != 0 {
+		parts = append(parts, fmt.Sprintf("MED %d", r.MED))
+	}
+	if r.LocalPref != 0 && r.LocalPref != 100 {
+		parts = append(parts, fmt.Sprintf("local-preference %d", r.LocalPref))
+	}
+	if comms := r.CommunityStrings(); len(comms) > 0 {
+		sort.Strings(comms)
+		parts = append(parts, "communities "+strings.Join(comms, " "))
+	}
+	if len(parts) == 1 {
+		return "ACCEPT"
+	}
+	return parts[0] + " with " + strings.Join(parts[1:], ", ")
+}

@@ -1,0 +1,239 @@
+package campion_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campion"
+	"repro/internal/cisco"
+	"repro/internal/exampledata"
+	"repro/internal/juniper"
+	"repro/internal/netcfg"
+	"repro/internal/translate"
+)
+
+func parsedPair(t *testing.T, mutate func(trans *netcfg.Device)) (*netcfg.Device, *netcfg.Device) {
+	t.Helper()
+	orig, warns := cisco.Parse(exampledata.CiscoExample)
+	if len(warns) != 0 {
+		t.Fatal(warns)
+	}
+	trans := translate.Golden(orig)
+	if mutate != nil {
+		mutate(trans)
+	}
+	// Round-trip through the printer so Diff sees parsed text, exactly as
+	// the VPP loop does.
+	reparsed, warns := juniper.Parse(juniper.Print(trans))
+	if len(warns) != 0 {
+		t.Fatalf("mutated translation has parse warnings: %v", warns)
+	}
+	return orig, reparsed
+}
+
+func onlyKind(t *testing.T, findings []campion.Finding, kind campion.Kind) campion.Finding {
+	t.Helper()
+	var match []campion.Finding
+	for _, f := range findings {
+		if f.Kind == kind {
+			match = append(match, f)
+		}
+	}
+	if len(match) != 1 {
+		t.Fatalf("findings of kind %v = %d, want 1; all: %v", kind, len(match), findings)
+	}
+	return match[0]
+}
+
+func TestDiffCleanOnGolden(t *testing.T) {
+	orig, trans := parsedPair(t, nil)
+	if findings := campion.Diff(orig, trans); len(findings) != 0 {
+		t.Fatalf("golden translation should be diff-free: %v", findings)
+	}
+}
+
+func TestDiffMissingImportPolicy(t *testing.T) {
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		d.BGP.Neighbors[0].ImportPolicy = ""
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.StructuralMismatch)
+	if !f.InOriginal || f.InTranslation {
+		t.Errorf("sides wrong: %+v", f)
+	}
+	if !strings.Contains(f.Component, "import route map for bgp neighbor 2.3.4.5") {
+		t.Errorf("component = %q", f.Component)
+	}
+}
+
+func TestDiffExtraNeighbor(t *testing.T) {
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		n := d.BGP.EnsureNeighbor(netcfg.MustPrefix("9.9.9.9/32").Addr)
+		n.RemoteAS = 9
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.StructuralMismatch)
+	if f.InOriginal || !f.InTranslation {
+		t.Errorf("sides wrong: %+v", f)
+	}
+}
+
+func TestDiffOSPFCost(t *testing.T) {
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		d.Interface("lo0.0").OSPFCost = 0
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.AttributeDifference)
+	if f.Attribute != "cost" || f.OriginalValue != "1" || f.TranslationValue != "0" {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.Component != "OSPF link for Loopback0" || f.TranslationComponent != "lo0.0" {
+		t.Errorf("components = %q / %q", f.Component, f.TranslationComponent)
+	}
+}
+
+func TestDiffOSPFPassive(t *testing.T) {
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		d.Interface("lo0.0").OSPFPassive = false
+		d.OSPF.PassiveInterfaces = nil
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.AttributeDifference)
+	if f.Attribute != "passive interface setting" {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestDiffRemoteAS(t *testing.T) {
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		d.BGP.Neighbors[0].RemoteAS = 65002
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.AttributeDifference)
+	if f.Attribute != "remote AS" || f.TranslationValue != "65002" {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestDiffMissingMED(t *testing.T) {
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		for _, cl := range d.RoutePolicies["to_provider"].Clauses {
+			var kept []netcfg.SetAction
+			for _, s := range cl.Sets {
+				// Strip only the original export term's MED (50), not the
+				// redistribution term's (10).
+				if m, ok := s.(netcfg.SetMED); ok && m.MED == 50 {
+					continue
+				}
+				kept = append(kept, s)
+			}
+			cl.Sets = kept
+		}
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.PolicyBehaviorDifference)
+	if f.Witness.Prefix.String() != "1.2.3.0/24" {
+		t.Errorf("witness = %s, want 1.2.3.0/24", f.Witness.Prefix)
+	}
+	if f.Direction != "export" || !strings.Contains(f.OriginalBehavior, "MED 50") {
+		t.Errorf("finding = %+v", f)
+	}
+	if strings.Contains(f.TranslationBehavior, "MED") {
+		t.Errorf("translation behavior should lack MED: %+v", f)
+	}
+}
+
+func TestDiffNarrowedRouteFilter(t *testing.T) {
+	// The dropped "ge 24": exact instead of /24-/32 must yield the paper's
+	// 1.2.3.0/25 witness.
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		for _, cl := range d.RoutePolicies["to_provider"].Clauses {
+			for i, m := range cl.Matches {
+				if rf, ok := m.(netcfg.MatchRouteFilter); ok {
+					cl.Matches[i] = netcfg.NewMatchRouteFilterExact(rf.Prefix)
+				}
+			}
+		}
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.PolicyBehaviorDifference)
+	if f.Witness.Prefix.String() != "1.2.3.0/25" {
+		t.Errorf("witness = %s, want 1.2.3.0/25", f.Witness.Prefix)
+	}
+	if !strings.HasPrefix(f.OriginalBehavior, "ACCEPT") || f.TranslationBehavior != "REJECT" {
+		t.Errorf("behaviors = %q / %q", f.OriginalBehavior, f.TranslationBehavior)
+	}
+}
+
+func TestDiffRedistributionLeak(t *testing.T) {
+	// Stripping the protocol gates makes the Juniper side export routes
+	// the Cisco side does not (§3.2).
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		for _, cl := range d.RoutePolicies["to_provider"].Clauses {
+			var kept []netcfg.Match
+			for _, m := range cl.Matches {
+				if _, ok := m.(netcfg.MatchProtocol); !ok {
+					kept = append(kept, m)
+				}
+			}
+			cl.Matches = kept
+		}
+	})
+	f := onlyKind(t, campion.Diff(orig, trans), campion.PolicyBehaviorDifference)
+	if f.OriginalBehavior != "REJECT" || !strings.HasPrefix(f.TranslationBehavior, "ACCEPT") {
+		t.Errorf("behaviors = %q / %q (want translation accepting more)",
+			f.OriginalBehavior, f.TranslationBehavior)
+	}
+}
+
+func TestDiffOrderStructuralBeforeAttributeBeforePolicy(t *testing.T) {
+	orig, trans := parsedPair(t, func(d *netcfg.Device) {
+		d.BGP.Neighbors[0].ImportPolicy = ""                        // structural
+		d.Interface("lo0.0").OSPFCost = 0                           // attribute
+		for _, cl := range d.RoutePolicies["to_provider"].Clauses { // policy
+			cl.Sets = nil
+		}
+	})
+	findings := campion.Diff(orig, trans)
+	if len(findings) < 3 {
+		t.Fatalf("findings = %v", findings)
+	}
+	order := []campion.Kind{}
+	for _, f := range findings {
+		order = append(order, f.Kind)
+	}
+	last := campion.StructuralMismatch
+	for _, k := range order {
+		if k < last {
+			t.Fatalf("findings out of masking order: %v", order)
+		}
+		last = k
+	}
+}
+
+func TestCiscoToJuniperIfc(t *testing.T) {
+	cases := map[string]string{
+		"GigabitEthernet0/0": "ge-0/0/0.0",
+		"GigabitEthernet1/3": "ge-1/0/3.0",
+		"Ethernet0/1":        "ge-0/0/1.0",
+		"Loopback0":          "lo0.0",
+		"Loopback12":         "lo12.0",
+		"Tunnel0":            "Tunnel0", // unknown passes through
+	}
+	for in, want := range cases {
+		if got := campion.CiscoToJuniperIfc(in); got != want {
+			t.Errorf("campion.CiscoToJuniperIfc(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCanonicalIfcPairsAcrossVendors(t *testing.T) {
+	pairs := [][2]string{
+		{"GigabitEthernet0/0", "ge-0/0/0.0"},
+		{"GigabitEthernet2/7", "ge-2/0/7.0"},
+		{"Loopback0", "lo0.0"},
+		{"Ethernet0/1", "ge-0/0/1.0"},
+	}
+	for _, p := range pairs {
+		if campion.CanonicalIfc(p[0]) != campion.CanonicalIfc(p[1]) {
+			t.Errorf("canonical(%q)=%q != canonical(%q)=%q",
+				p[0], campion.CanonicalIfc(p[0]), p[1], campion.CanonicalIfc(p[1]))
+		}
+	}
+	if campion.CanonicalIfc("GigabitEthernet0/0") == campion.CanonicalIfc("GigabitEthernet0/1") {
+		t.Error("distinct interfaces must not collide")
+	}
+}

@@ -1,0 +1,94 @@
+// Package campion reimplements the role Campion (SIGCOMM'21) plays in the
+// paper: given an original Cisco configuration and its Juniper translation,
+// detect and *localize* three classes of semantic differences (§3.1):
+//
+//   - structural mismatches: a component, connection, or named policy
+//     present on one side only (e.g. a BGP neighbor's import route map);
+//   - attribute differences: a numerical attribute differing between
+//     corresponding components (e.g. OSPF link cost);
+//   - policy behaviour differences: a route map / policy statement treating
+//     some route announcement differently, reported with an example prefix.
+//
+// Findings carry enough structure for the humanizer to instantiate the
+// Table 1 prompt formulas.
+package campion
+
+import (
+	"fmt"
+
+	"repro/internal/netcfg"
+)
+
+// Kind classifies a finding (the paper's four classes minus syntax errors,
+// which Batfish reports).
+type Kind int
+
+// Finding kinds.
+const (
+	StructuralMismatch Kind = iota
+	AttributeDifference
+	PolicyBehaviorDifference
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case StructuralMismatch:
+		return "structural mismatch"
+	case AttributeDifference:
+		return "attribute difference"
+	case PolicyBehaviorDifference:
+		return "policy behavior difference"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Finding is one localized difference between original and translation.
+type Finding struct {
+	Kind Kind
+
+	// Component names the configuration element, phrased from the original
+	// config's point of view (e.g. "import route map for bgp neighbor
+	// 2.3.4.5", "OSPF link for Loopback0").
+	Component string
+
+	// Structural mismatch: which side has the component.
+	InOriginal    bool
+	InTranslation bool
+
+	// Attribute difference: the attribute and both values.
+	Attribute        string
+	OriginalValue    string
+	TranslationValue string
+	// TranslationComponent names the corresponding element in the
+	// translation when it differs lexically (e.g. "lo0.0" for "Loopback0").
+	TranslationComponent string
+
+	// Policy behaviour difference: the policy, its attachment point, a
+	// witness route, and the two observed behaviours.
+	Policy              string
+	Direction           string // "import" or "export"
+	Neighbor            string // peer address
+	Witness             *netcfg.Route
+	OriginalBehavior    string // e.g. "ACCEPT", "REJECT", "ACCEPT with MED 50"
+	TranslationBehavior string
+}
+
+// String renders a compact one-line description (transcripts, tests).
+func (f Finding) String() string {
+	switch f.Kind {
+	case StructuralMismatch:
+		side := "translation"
+		if f.InOriginal {
+			side = "original"
+		}
+		return fmt.Sprintf("[structural] %s present only in %s", f.Component, side)
+	case AttributeDifference:
+		return fmt.Sprintf("[attribute] %s %s: original=%s translation=%s",
+			f.Component, f.Attribute, f.OriginalValue, f.TranslationValue)
+	default:
+		return fmt.Sprintf("[policy] %s %s for neighbor %s on %s: original=%s translation=%s",
+			f.Direction, f.Policy, f.Neighbor, f.Witness.Prefix, f.OriginalBehavior, f.TranslationBehavior)
+	}
+}

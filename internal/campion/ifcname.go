@@ -1,0 +1,92 @@
+package campion
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CiscoToJuniperIfc maps a Cisco interface name to the Juniper logical
+// interface a faithful translation would use:
+//
+//	GigabitEthernetX/Y -> ge-X/0/Y.0
+//	EthernetX/Y        -> ge-X/0/Y.0
+//	LoopbackN          -> loN.0
+//
+// Unknown names map to themselves so that diffing degrades gracefully.
+func CiscoToJuniperIfc(name string) string {
+	if rest, ok := cutPrefixFold(name, "GigabitEthernet"); ok {
+		if a, b, ok := splitSlash(rest); ok {
+			return fmt.Sprintf("ge-%s/0/%s.0", a, b)
+		}
+	}
+	if rest, ok := cutPrefixFold(name, "Ethernet"); ok {
+		if a, b, ok := splitSlash(rest); ok {
+			return fmt.Sprintf("ge-%s/0/%s.0", a, b)
+		}
+	}
+	if rest, ok := cutPrefixFold(name, "Loopback"); ok {
+		return "lo" + rest + ".0"
+	}
+	return name
+}
+
+// CanonicalIfc maps either vendor's interface name to a vendor-neutral key
+// used to pair interfaces across a translation.
+func CanonicalIfc(name string) string {
+	// Cisco forms.
+	if rest, ok := cutPrefixFold(name, "GigabitEthernet"); ok {
+		if a, b, ok := splitSlash(rest); ok {
+			return "eth:" + a + "/" + b
+		}
+	}
+	if rest, ok := cutPrefixFold(name, "Ethernet"); ok {
+		if a, b, ok := splitSlash(rest); ok {
+			return "eth:" + a + "/" + b
+		}
+	}
+	if rest, ok := cutPrefixFold(name, "Loopback"); ok {
+		return "lo:" + rest
+	}
+	// Juniper forms: ge-A/B/C.U and loN.U (unit ignored for pairing).
+	if rest, ok := cutPrefixFold(name, "ge-"); ok {
+		rest = strings.SplitN(rest, ".", 2)[0]
+		parts := strings.Split(rest, "/")
+		if len(parts) == 3 {
+			return "eth:" + parts[0] + "/" + parts[2]
+		}
+	}
+	if rest, ok := cutPrefixFold(name, "lo"); ok {
+		rest = strings.SplitN(rest, ".", 2)[0]
+		if rest != "" && isDigits(rest) {
+			return "lo:" + rest
+		}
+	}
+	return "raw:" + name
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+func splitSlash(s string) (a, b string, ok bool) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 || !isDigits(parts[0]) || !isDigits(parts[1]) {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

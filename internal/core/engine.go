@@ -1,0 +1,150 @@
+// Package core implements COSYNTH (Figure 3): the Verified Prompt
+// Programming engine that drives the LLM / verifier-suite / humanizer loop
+// for both use cases — Cisco→Juniper translation (§3) and no-transit
+// synthesis via local policies (§4) — and accounts for leverage, the
+// paper's central metric (automated prompts / human prompts, §1).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/llm"
+)
+
+// PromptKind distinguishes the two loops of Figure 2: the fast automated
+// inner loop (verifier → humanizer → LLM) and the slow manual loop.
+type PromptKind int
+
+// Prompt kinds.
+const (
+	Automated PromptKind = iota
+	Human
+)
+
+// String implements fmt.Stringer.
+func (k PromptKind) String() string {
+	if k == Human {
+		return "human"
+	}
+	return "automated"
+}
+
+// Stage names the verifier that produced a correction prompt.
+type Stage string
+
+// Pipeline stages.
+const (
+	StageTask      Stage = "task"
+	StageSyntax    Stage = "syntax"
+	StageStructure Stage = "structure" // Campion structural / attribute
+	StageTopology  Stage = "topology"
+	StageSemantic  Stage = "semantic"
+	StagePrint     Stage = "print"
+)
+
+// PromptRecord is one transcript entry.
+type PromptRecord struct {
+	Kind    PromptKind
+	Stage   Stage
+	Prompt  string
+	Changed bool // whether the model's response differed from its previous output
+}
+
+// Transcript is the full prompt/response history of a run.
+type Transcript []PromptRecord
+
+// Counts tallies the transcript by kind.
+func (t Transcript) Counts() (automated, human int) {
+	for _, r := range t {
+		if r.Kind == Human {
+			human++
+		} else {
+			automated++
+		}
+	}
+	return automated, human
+}
+
+// String renders a readable transcript summary.
+func (t Transcript) String() string {
+	var b strings.Builder
+	for i, r := range t {
+		fmt.Fprintf(&b, "%2d. [%s/%s] %s\n", i+1, r.Kind, r.Stage, firstLine(r.Prompt))
+	}
+	return b.String()
+}
+
+// Result is the outcome of one VPP run.
+type Result struct {
+	Verified   bool
+	Transcript Transcript
+	// Configs holds the final output: for translation, key "translation";
+	// for synthesis, one entry per router.
+	Configs map[string]string
+	// PuntedFindings lists findings the automated loop gave up on
+	// (each consumed a human prompt).
+	PuntedFindings []string
+}
+
+// AutomatedPrompts counts automated prompts.
+func (r *Result) AutomatedPrompts() int { a, _ := r.Transcript.Counts(); return a }
+
+// HumanPrompts counts human prompts.
+func (r *Result) HumanPrompts() int { _, h := r.Transcript.Counts(); return h }
+
+// Leverage is the paper's metric: automated prompts per human prompt.
+// With zero human prompts it returns the automated count (the loop was
+// fully automatic).
+func (r *Result) Leverage() float64 {
+	a, h := r.Transcript.Counts()
+	if h == 0 {
+		return float64(a)
+	}
+	return float64(a) / float64(h)
+}
+
+// session drives one conversation with the model, recording the
+// transcript and tracking the latest response per target.
+type session struct {
+	model      llm.Model
+	messages   []llm.Message
+	transcript Transcript
+	punted     []string
+	// lastResponse tracks the model's previous output per target key, to
+	// detect whether a correction changed anything.
+	lastResponse map[string]string
+}
+
+func newSession(model llm.Model, iip []llm.IIP) *session {
+	s := &session{model: model, lastResponse: map[string]string{}}
+	s.messages = append(s.messages, llm.IIPMessages(iip)...)
+	return s
+}
+
+// send issues a prompt and returns the model's response, recording
+// whether the response for the target changed.
+func (s *session) send(kind PromptKind, stage Stage, target, prompt string) (string, bool, error) {
+	role := llm.RoleAutomated
+	if kind == Human {
+		role = llm.RoleHuman
+	}
+	s.messages = append(s.messages, llm.Message{Role: role, Content: prompt})
+	resp, err := s.model.Complete(s.messages)
+	if err != nil {
+		return "", false, fmt.Errorf("model error on %s prompt: %w", stage, err)
+	}
+	s.messages = append(s.messages, llm.Message{Role: llm.RoleModel, Content: resp})
+	changed := s.lastResponse[target] != resp
+	s.lastResponse[target] = resp
+	s.transcript = append(s.transcript, PromptRecord{Kind: kind, Stage: stage,
+		Prompt: prompt, Changed: changed})
+	return resp, changed, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

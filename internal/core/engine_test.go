@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exampledata"
+	"repro/internal/juniper"
+	"repro/internal/llm"
+	"repro/internal/netgen"
+	"repro/internal/translate"
+
+	"repro/internal/cisco"
+)
+
+func TestTranscriptCountsAndLeverage(t *testing.T) {
+	tr := Transcript{
+		{Kind: Human, Stage: StageTask},
+		{Kind: Automated, Stage: StageSyntax},
+		{Kind: Automated, Stage: StagePrint},
+		{Kind: Human, Stage: StageSemantic},
+	}
+	a, h := tr.Counts()
+	if a != 2 || h != 2 {
+		t.Errorf("counts = (%d,%d)", a, h)
+	}
+	res := &Result{Transcript: tr}
+	if res.Leverage() != 1.0 {
+		t.Errorf("leverage = %v", res.Leverage())
+	}
+	allAuto := &Result{Transcript: Transcript{{Kind: Automated}}}
+	if allAuto.Leverage() != 1 {
+		t.Errorf("zero-human leverage = %v", allAuto.Leverage())
+	}
+}
+
+// TestTranslateWithScriptedModel drives the engine with a fully controlled
+// model: first response is a broken translation, second (after one syntax
+// prompt) is the golden one; the print request replays it.
+func TestTranslateWithScriptedModel(t *testing.T) {
+	orig, _ := cisco.Parse(exampledata.CiscoExample)
+	golden := juniper.Print(translate.Golden(orig))
+	broken := strings.Replace(golden, "autonomous-system 65000;\n", "", 1)
+	model := &llm.ScriptedModel{Responses: []string{broken, golden, golden}}
+	res, err := Translate(exampledata.CiscoExample, TranslateOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("not verified:\n%s", res.Transcript)
+	}
+	a, h := res.Transcript.Counts()
+	if h != 1 || a != 2 { // syntax prompt + print
+		t.Errorf("counts = (%d auto, %d human):\n%s", a, h, res.Transcript)
+	}
+	// The syntax prompt must have been humanized.
+	if !strings.Contains(model.Calls[1].Content, "There is a syntax error") {
+		t.Errorf("second prompt = %q", model.Calls[1].Content)
+	}
+}
+
+// TestTranslateGivesUpWithoutHuman verifies the loop surrenders cleanly
+// when the model never fixes and the oracle refuses to help.
+func TestTranslateGivesUpWithoutHuman(t *testing.T) {
+	cfg := llm.TranslateConfig{Seed: 1,
+		Inject: map[llm.TranslateError]bool{llm.ErrRedistribution: true}}
+	res, err := Translate(exampledata.CiscoExample, TranslateOptions{
+		Model: llm.NewTranslator(cfg),
+		Human: NoHuman{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Fatal("should not verify without the human fix")
+	}
+	a, h := res.Transcript.Counts()
+	if h != 1 { // only the task prompt
+		t.Errorf("human prompts = %d", h)
+	}
+	if a != 2 { // the two failed attempts within budget
+		t.Errorf("automated prompts = %d:\n%s", a, res.Transcript)
+	}
+}
+
+func TestTranslateRequiresModel(t *testing.T) {
+	if _, err := Translate("hostname x\n", TranslateOptions{}); err == nil {
+		t.Fatal("nil model should error")
+	}
+}
+
+func TestSynthesizeRequiresModel(t *testing.T) {
+	topo, _ := netgen.Star(3)
+	if _, err := Synthesize(topo, SynthOptions{}); err == nil {
+		t.Fatal("nil model should error")
+	}
+}
+
+// TestSynthesizeSkipGlobalCheck confirms the flag short-circuits the BGP
+// simulation (the transcripts must still converge locally).
+func TestSynthesizeSkipGlobalCheck(t *testing.T) {
+	topo, _ := netgen.Star(3)
+	res, err := Synthesize(topo, SynthOptions{
+		Model:           llm.NewSynthesizer(llm.DefaultSynthConfig()),
+		SkipGlobalCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("not verified:\n%s", res.Transcript)
+	}
+}
+
+// TestSynthesizeGlobalOscillationFails is E7's global half in isolation.
+func TestSynthesizeGlobalOscillationFails(t *testing.T) {
+	topo, _ := netgen.Star(5)
+	model := llm.NewGlobalSynthesizer()
+	res, err := SynthesizeGlobal(topo, GlobalSynthOptions{Model: model, MaxAttempts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Fatal("oscillating strategies should never verify")
+	}
+	a, h := res.Transcript.Counts()
+	if h != 1 || a != 4 {
+		t.Errorf("counts = (%d,%d), want (4,1)", a, h)
+	}
+	if model.StrategySwitches < 3 {
+		t.Errorf("switches = %d, want oscillation", model.StrategySwitches)
+	}
+	// Every automated prompt must carry a counterexample.
+	for _, rec := range res.Transcript[1:] {
+		if !strings.Contains(rec.Prompt, "Counterexample") {
+			t.Errorf("prompt lacks counterexample: %q", rec.Prompt)
+		}
+	}
+}
+
+// TestPaperHumanPrompts verifies the oracle recognizes the three cases.
+func TestPaperHumanPrompts(t *testing.T) {
+	h := PaperHuman{}
+	redistPrompt := "the BGP export policy performs the following action: REJECT. But, in the " +
+		"translation, the corresponding BGP export policy performs the following action: ACCEPT"
+	if p, ok := h.Correct(StageSemantic, redistPrompt); !ok || !strings.Contains(p, "from bgp") {
+		t.Errorf("redistribution: ok=%v p=%q", ok, p)
+	}
+	if p, ok := h.Correct(StageSemantic,
+		"The route-map X permits routes that have the community 100:1"); !ok ||
+		!strings.Contains(p, "separate route-map stanza") {
+		t.Errorf("and/or: ok=%v p=%q", ok, p)
+	}
+	if p, ok := h.Correct(StageSyntax,
+		"There is a syntax error: 'neighbor 1.2.3.4' ('neighbor' is not a top-level command)"); !ok ||
+		!strings.Contains(p, "router bgp") {
+		t.Errorf("misplaced neighbor: ok=%v p=%q", ok, p)
+	}
+	if _, ok := h.Correct(StageSyntax, "some unknown mystery"); ok {
+		t.Error("oracle should refuse unknown findings")
+	}
+	if p, ok := (HumanizerHuman{}).Correct(StageSyntax, "some unknown mystery"); !ok || p == "" {
+		t.Error("HumanizerHuman should always forward")
+	}
+}
+
+// TestSynthesizeRESTParity runs the synthesis pipeline against the REST
+// verifier and checks it matches the in-process run exactly.
+func TestSynthesizeRESTParity(t *testing.T) {
+	topo, _ := netgen.Star(5)
+	local, err := Synthesize(topo, SynthOptions{Model: llm.NewSynthesizer(llm.DefaultSynthConfig())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Synthesize(topo, SynthOptions{
+		Model:    llm.NewSynthesizer(llm.DefaultSynthConfig()),
+		Verifier: newRESTVerifier(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lh := local.Transcript.Counts()
+	ra, rh := remote.Transcript.Counts()
+	if la != ra || lh != rh || local.Verified != remote.Verified {
+		t.Errorf("local (%d,%d,%v) != remote (%d,%d,%v)",
+			la, lh, local.Verified, ra, rh, remote.Verified)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "strings"
+
+// HumanOracle supplies the manual prompts of Figure 2's slow loop: when
+// the automated loop exhausts its attempts on a finding, COSYNTH "punts to
+// the user" and the oracle plays the paper's operator, who knows the more
+// direct phrasing GPT-4 needs.
+type HumanOracle interface {
+	// Correct returns a manual correction prompt for a finding the
+	// automated loop could not fix, or ok=false to give up.
+	Correct(stage Stage, finding string) (prompt string, ok bool)
+}
+
+// PaperHuman reproduces the manual interventions the paper reports:
+//
+//   - redistribution differences: "it was able to fix the problem when
+//     asked more directly to add 'from bgp' conditions to routing
+//     policies" (§3.2);
+//   - AND/OR semantics: "A human prompt was needed to ask GPT-4 to declare
+//     each match statement in a separate route-map stanza" (§4.2);
+//   - misplaced neighbor commands: move them inside the router bgp block
+//     (§4.2).
+type PaperHuman struct{}
+
+// Correct implements HumanOracle. It reads the failed humanized prompt the
+// way the paper's operator read the verifier output, and answers with the
+// "more specific" phrasing.
+func (PaperHuman) Correct(stage Stage, prompt string) (string, bool) {
+	f := strings.ToLower(prompt)
+	switch {
+	// The translation exports routes the original rejects: the §3.2
+	// redistribution difference (original REJECT, translation ACCEPT).
+	case stage == StageSemantic && strings.Contains(f, "action: reject. but"):
+		return "The translated export policy applies to routes from every protocol. " +
+			"Add a \"from bgp\" condition to each routing policy term that should only " +
+			"apply to BGP routes, and keep the redistribution terms gated on their own " +
+			"protocols. Then print the entire configuration.", true
+	case strings.Contains(f, "permits routes that have the community"):
+		return "Declare each match statement in a separate route-map stanza so that the " +
+			"route-map denies a route carrying any one of the communities (OR semantics), " +
+			"not only routes carrying all of them. Then print the entire configuration.", true
+	case strings.Contains(f, "not a top-level command"):
+		return "The neighbor and network commands must be placed inside the \"router bgp\" " +
+			"block. Move them there and print the entire configuration.", true
+	default:
+		return "", false
+	}
+}
+
+// NoHuman is an oracle that never helps: runs with it measure what the
+// automated loop achieves alone.
+type NoHuman struct{}
+
+// Correct implements HumanOracle.
+func (NoHuman) Correct(Stage, string) (string, bool) { return "", false }
+
+// HumanizerHuman plays the operator in the raw-feedback ablation: when the
+// loop punts, the human reads the cryptic verifier output and manually
+// writes the prompt the humanizer would have written — then falls back to
+// the PaperHuman interventions for the two genuinely hard cases.
+type HumanizerHuman struct{}
+
+// Correct implements HumanOracle. It receives the humanized description
+// (the engine always hands the oracle the readable form) and simply
+// forwards it, unless the PaperHuman knows a more direct fix.
+func (HumanizerHuman) Correct(stage Stage, humanized string) (string, bool) {
+	if p, ok := (PaperHuman{}).Correct(stage, humanized); ok {
+		return p, true
+	}
+	return humanized, true
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/netgen"
+)
+
+// TestIncrementalPolicyAddition is the paper's §6 open question run as an
+// experiment: starting from verified configs, add a new policy, break an
+// existing attachment in the process, and rely on the non-interference
+// re-verification to catch and fix it.
+func TestIncrementalPolicyAddition(t *testing.T) {
+	topo, err := netgen.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := llm.NewSynthesizer(llm.DefaultSynthConfig())
+	base, err := Synthesize(topo, SynthOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Verified {
+		t.Fatalf("base synthesis not verified:\n%s", base.Transcript)
+	}
+
+	res, err := AddPolicyIncremental(topo, base.Configs, IncrementalOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("incremental change did not verify:\n%s", res.Transcript)
+	}
+	a, h := res.Transcript.Counts()
+	if h != 1 {
+		t.Errorf("human prompts = %d, want 1 (the change request)", h)
+	}
+	if a < 1 {
+		t.Errorf("automated prompts = %d; the interference must cost at least one", a)
+	}
+	// The interference prompt must have fired (the model drops an egress
+	// attachment on its first edit).
+	sawInterference := false
+	for _, rec := range res.Transcript {
+		if strings.Contains(rec.Prompt, "interferes with the existing") {
+			sawInterference = true
+		}
+	}
+	if !sawInterference {
+		t.Error("non-interference check never fired; the hazard was not exercised")
+	}
+	// The final R1 config carries the new policy AND all old attachments.
+	r1 := res.Configs["R1"]
+	if !strings.Contains(r1, CustomerTagPolicy) {
+		t.Error("new route-map missing from final config")
+	}
+	if !strings.Contains(r1, "route-map "+CustomerTagPolicy+" in") &&
+		!strings.Contains(r1, "neighbor 1.0.0.2 route-map "+CustomerTagPolicy+" in") {
+		t.Errorf("new route-map not attached at the customer ingress:\n%s", r1)
+	}
+}
+
+// TestIncrementalRequiresBase rejects the change before any generation.
+func TestIncrementalRequiresBase(t *testing.T) {
+	topo, _ := netgen.Star(3)
+	model := llm.NewSynthesizer(llm.DefaultSynthConfig())
+	_, err := AddPolicyIncremental(topo, map[string]string{}, IncrementalOptions{Model: model})
+	if err == nil {
+		t.Fatal("incremental change without a base should error")
+	}
+}

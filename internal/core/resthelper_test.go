@@ -1,0 +1,17 @@
+package core
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/batfish/rest"
+)
+
+// newRESTVerifier spins up an in-process batfishd and returns a client
+// implementing Verifier against it.
+func newRESTVerifier(t *testing.T) Verifier {
+	t.Helper()
+	srv := httptest.NewServer(rest.NewHandler())
+	t.Cleanup(srv.Close)
+	return rest.NewClient(srv.URL)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/humanizer"
+	"repro/internal/llm"
+	"repro/internal/modularizer"
+	"repro/internal/topology"
+)
+
+// SynthOptions configures the local-synthesis pipeline (§4).
+type SynthOptions struct {
+	Model    llm.Model
+	Verifier Verifier
+	Human    HumanOracle
+	// IIP is the initial instruction prompt database (§4.2); nil means
+	// the paper's default database. Use NoIIP to ablate.
+	IIP []llm.IIP
+	// NoIIP disables the IIP database entirely (ablation E8).
+	NoIIP bool
+	// MaxAttemptsPerFinding bounds automated prompts per finding before
+	// punting (default 3, matching the paper's §4 experience where the
+	// counterexample prompt was retried before the human stepped in).
+	MaxAttemptsPerFinding int
+	// MaxIterations bounds total verify/correct cycles (default 128).
+	MaxIterations int
+	// SkipGlobalCheck skips the final whole-network BGP simulation.
+	SkipGlobalCheck bool
+}
+
+func (o *SynthOptions) fill() {
+	if o.Verifier == nil {
+		o.Verifier = LocalVerifier{}
+	}
+	if o.Human == nil {
+		o.Human = PaperHuman{}
+	}
+	if o.MaxAttemptsPerFinding == 0 {
+		o.MaxAttemptsPerFinding = 3
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 128
+	}
+	if o.IIP == nil && !o.NoIIP {
+		o.IIP = llm.DefaultIIPDatabase()
+	}
+	if o.NoIIP {
+		o.IIP = nil
+	}
+}
+
+// Synthesize runs the full VPP synthesis pipeline on a topology: the human
+// task kickoff, the Modularizer's per-router prompts (automated), then the
+// verification loop — syntax (Batfish), topology verifier, and local
+// policies (Batfish SearchRoutePolicies per Lightyear) — finishing with
+// the whole-network BGP simulation as the global check (§4.1).
+func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
+	opts.fill()
+	if opts.Model == nil {
+		return nil, fmt.Errorf("synthesize: options require a model")
+	}
+	sess := newSession(opts.Model, opts.IIP)
+
+	// The paper "begin[s] by specifying the task to GPT in an initial
+	// prompt using a couple of sentences" (§4.1) — a human prompt.
+	kickoff := "We are going to configure a network of routers. The goal is a no-transit " +
+		"policy: no two ISPs should be able to reach each other through this network, but " +
+		"all ISPs and the CUSTOMER should be able to reach each other. I will describe " +
+		"each router in turn; generate its Cisco IOS configuration file."
+	if _, _, err := sess.send(Human, StageTask, "kickoff", kickoff); err != nil {
+		return nil, err
+	}
+
+	// Modularizer prompts: one automated prompt per router (§2).
+	tasks := modularizer.Tasks(topo)
+	configs := map[string]string{}
+	for _, task := range tasks {
+		resp, _, err := sess.send(Automated, StageTask, task.Router, task.Prompt)
+		if err != nil {
+			return nil, err
+		}
+		configs[task.Router] = resp
+	}
+
+	attempts := map[string]int{}
+	verified := false
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		router, key, stage, prompt, err := nextSynthesisFinding(opts.Verifier, topo, tasks, configs)
+		if err != nil {
+			return nil, err
+		}
+		if key == "" {
+			verified = true
+			break
+		}
+		attempts[key]++
+		kind := Automated
+		if attempts[key] > opts.MaxAttemptsPerFinding {
+			manual, ok := opts.Human.Correct(stage, prompt)
+			if !ok {
+				return &Result{Verified: false, Transcript: sess.transcript,
+					Configs: configs, PuntedFindings: sess.punted}, nil
+			}
+			sess.punted = append(sess.punted, key)
+			prompt = fmt.Sprintf("For router %s: %s", router, manual)
+			kind = Human
+		}
+		resp, _, err := sess.send(kind, stage, router, prompt)
+		if err != nil {
+			return nil, err
+		}
+		configs[router] = resp
+	}
+
+	if verified && !opts.SkipGlobalCheck {
+		global, err := opts.Verifier.GlobalNoTransit(topo, configs)
+		if err != nil {
+			return nil, err
+		}
+		verified = global.OK()
+	}
+	return &Result{
+		Verified:       verified,
+		Transcript:     sess.transcript,
+		Configs:        configs,
+		PuntedFindings: sess.punted,
+	}, nil
+}
+
+// nextSynthesisFinding returns the first outstanding finding across the
+// three per-router verifiers, in the paper's masking order: syntax, then
+// topology, then local-policy semantics.
+func nextSynthesisFinding(v Verifier, topo *topology.Topology, tasks []modularizer.Task,
+	configs map[string]string) (router, key string, stage Stage, prompt string, err error) {
+	// Syntax, per router in topology order.
+	for _, task := range tasks {
+		warns, err := v.CheckSyntax(configs[task.Router])
+		if err != nil {
+			return "", "", "", "", err
+		}
+		if len(warns) > 0 {
+			w := warns[0]
+			prompt := fmt.Sprintf("In the configuration of router %s: %s",
+				task.Router, humanizer.Syntax(w))
+			return task.Router, "syntax:" + task.Router + ":" + w.Reason + ":" + w.Text,
+				StageSyntax, prompt, nil
+		}
+	}
+	// Topology.
+	for _, task := range tasks {
+		spec := topo.Router(task.Router)
+		if spec == nil {
+			continue
+		}
+		finds, err := v.VerifyTopology(*spec, configs[task.Router])
+		if err != nil {
+			return "", "", "", "", err
+		}
+		if len(finds) > 0 {
+			f := finds[0]
+			return task.Router, "topology:" + task.Router + ":" + f.Issue,
+				StageTopology, humanizer.Topology(f), nil
+		}
+	}
+	// Local policies.
+	for _, task := range tasks {
+		for _, req := range task.LocalSpec {
+			viol, bad, err := v.CheckLocalPolicy(configs[task.Router], req)
+			if err != nil {
+				return "", "", "", "", err
+			}
+			if bad {
+				return task.Router, "semantic:" + task.Router + ":" + req.Policy + ":" + req.Description,
+					StageSemantic, humanizer.Semantic(viol), nil
+			}
+		}
+	}
+	return "", "", "", "", nil
+}

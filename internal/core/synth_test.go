@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/netgen"
+)
+
+// TestSynthesizePipelineConverges is the §4.2 experiment: the 7-router
+// star with the default error scenario must end verified with leverage
+// around 6X and exactly two human prompts (kickoff + the AND/OR fix).
+func TestSynthesizePipelineConverges(t *testing.T) {
+	topo, err := netgen.Star(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := llm.NewSynthesizer(llm.DefaultSynthConfig())
+	res, err := Synthesize(topo, SynthOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, human := res.Transcript.Counts()
+	t.Logf("automated=%d human=%d leverage=%.1f", auto, human, res.Leverage())
+	if !res.Verified {
+		t.Fatalf("pipeline did not verify; transcript:\n%s", res.Transcript)
+	}
+	if human != 2 {
+		t.Errorf("human prompts = %d, want 2; transcript:\n%s", human, res.Transcript)
+	}
+	if auto < 9 || auto > 15 {
+		t.Errorf("automated prompts = %d, want ~12; transcript:\n%s", auto, res.Transcript)
+	}
+}

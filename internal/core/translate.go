@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/campion"
+	"repro/internal/humanizer"
+	"repro/internal/llm"
+)
+
+// TranslateOptions configures the translation pipeline (§3).
+type TranslateOptions struct {
+	Model    llm.Model
+	Verifier Verifier
+	Human    HumanOracle
+	// MaxAttemptsPerFinding bounds automated prompts per distinct finding
+	// before punting to the human (default 2).
+	MaxAttemptsPerFinding int
+	// MaxIterations bounds total verify/correct cycles (default 64).
+	MaxIterations int
+	// IIP entries prepended to the conversation (translation used none in
+	// the paper; kept configurable for ablations).
+	IIP []llm.IIP
+	// RawFeedback ablates the humanizer: correction prompts carry the raw
+	// verifier output instead of the Table 1 formulas. The paper's claim
+	// is that actionable, humanized feedback is what makes the inner loop
+	// work (§1); this option measures the difference.
+	RawFeedback bool
+}
+
+func (o *TranslateOptions) fill() {
+	if o.Verifier == nil {
+		o.Verifier = LocalVerifier{}
+	}
+	if o.Human == nil {
+		o.Human = PaperHuman{}
+	}
+	if o.MaxAttemptsPerFinding == 0 {
+		o.MaxAttemptsPerFinding = 2
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 64
+	}
+}
+
+// Translate runs the full VPP translation pipeline on a Cisco
+// configuration: task prompt (human), then the fast inner loop — syntax
+// verification with Batfish first, Campion semantic diffing second,
+// returning to syntax whenever a semantic fix breaks the parse (§3.1) —
+// punting to the human oracle when a finding survives the attempt budget.
+func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
+	opts.fill()
+	if opts.Model == nil {
+		return nil, fmt.Errorf("translate: options require a model")
+	}
+	sess := newSession(opts.Model, opts.IIP)
+	const target = "translation"
+
+	taskPrompt := "Translate the following Cisco configuration into an equivalent " +
+		"Juniper configuration.\n\n" + ciscoConfig
+	current, _, err := sess.send(Human, StageTask, target, taskPrompt)
+	if err != nil {
+		return nil, err
+	}
+
+	attempts := map[string]int{}
+	verified := false
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		finding, stage, humanized, raw, err := nextTranslationFinding(opts.Verifier, ciscoConfig, current)
+		if err != nil {
+			return nil, err
+		}
+		if finding == "" {
+			verified = true
+			break
+		}
+		prompt := humanized
+		if opts.RawFeedback {
+			prompt = raw
+		}
+		attempts[finding]++
+		kind := Automated
+		if attempts[finding] > opts.MaxAttemptsPerFinding {
+			// Punt: the slow manual loop takes over for this finding. The
+			// oracle always reads the humanized description — a human can
+			// interpret the verifier either way.
+			manual, ok := opts.Human.Correct(stage, humanized)
+			if !ok {
+				result := &Result{Verified: false, Transcript: sess.transcript,
+					Configs: map[string]string{target: current}, PuntedFindings: sess.punted}
+				return result, nil
+			}
+			sess.punted = append(sess.punted, finding)
+			prompt = manual
+			kind = Human
+		}
+		resp, changed, err := sess.send(kind, stage, target, prompt)
+		if err != nil {
+			return nil, err
+		}
+		current = resp
+		// The paper's cycle: after a fix attempt, ask the model to print
+		// the whole configuration before re-verifying (§3.1). Count it as
+		// an automated prompt when the automated fix changed something;
+		// human prompts ask for the printout inline.
+		if changed && kind == Automated {
+			resp, _, err = sess.send(Automated, StagePrint, target, llm.PrintRequest)
+			if err != nil {
+				return nil, err
+			}
+			current = resp
+		}
+	}
+	return &Result{
+		Verified:       verified,
+		Transcript:     sess.transcript,
+		Configs:        map[string]string{target: current},
+		PuntedFindings: sess.punted,
+	}, nil
+}
+
+// nextTranslationFinding returns the first outstanding finding: its stable
+// key, stage, humanized prompt, and the raw verifier output — or "" when
+// the translation verifies. Syntax errors always come first: "syntax
+// errors and structural mismatches have to be handled earlier since they
+// can mask attribute differences and policy behavior differences" (§3.1).
+func nextTranslationFinding(v Verifier, original, translation string) (string, Stage, string, string, error) {
+	warns, err := v.CheckSyntax(translation)
+	if err != nil {
+		return "", "", "", "", err
+	}
+	if len(warns) > 0 {
+		w := warns[0]
+		return "syntax:" + w.Text + ":" + w.Reason, StageSyntax, humanizer.Syntax(w), w.String(), nil
+	}
+	findings, err := v.DiffTranslation(original, translation)
+	if err != nil {
+		return "", "", "", "", err
+	}
+	if len(findings) > 0 {
+		f := findings[0]
+		stage := StageStructure
+		if f.Kind == campion.PolicyBehaviorDifference {
+			stage = StageSemantic
+		}
+		return "campion:" + findingKey(f), stage, humanizer.Campion(f), f.String(), nil
+	}
+	return "", "", "", "", nil
+}
+
+// findingKey builds a stable identity for a finding so the attempt budget
+// tracks "the same error" across iterations. Policy findings include the
+// witness prefix: two different behaviour errors on the same attachment
+// (e.g. the §3.2 redistribution and prefix-length errors, both on the
+// to_provider export) must not share a budget.
+func findingKey(f campion.Finding) string {
+	switch f.Kind {
+	case campion.PolicyBehaviorDifference:
+		return fmt.Sprintf("%s:%s:%s:%s", f.Kind, f.Direction, f.Neighbor, f.Witness.Prefix)
+	case campion.AttributeDifference:
+		return fmt.Sprintf("%s:%s:%s", f.Kind, f.Component, f.Attribute)
+	default:
+		return fmt.Sprintf("%s:%s", f.Kind, f.Component)
+	}
+}

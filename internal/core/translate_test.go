@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exampledata"
+	"repro/internal/juniper"
+	"repro/internal/llm"
+)
+
+// TestTranslatePipelineConverges is the §3.2 experiment: all eight Table 2
+// error classes injected, the VPP loop must end with a verified
+// configuration, a leverage around 10X, and exactly the paper's two human
+// prompts (the task prompt and the redistribution correction).
+func TestTranslatePipelineConverges(t *testing.T) {
+	model := llm.NewTranslator(llm.DefaultTranslateConfig())
+	res, err := Translate(exampledata.CiscoExample, TranslateOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("pipeline did not verify; transcript:\n%s", res.Transcript)
+	}
+	auto, human := res.Transcript.Counts()
+	t.Logf("automated=%d human=%d leverage=%.1f", auto, human, res.Leverage())
+	if human != 2 {
+		t.Errorf("human prompts = %d, want 2 (task + redistribution); transcript:\n%s",
+			human, res.Transcript)
+	}
+	if auto < 14 || auto > 26 {
+		t.Errorf("automated prompts = %d, want ~20; transcript:\n%s", auto, res.Transcript)
+	}
+	if res.Leverage() < 5 {
+		t.Errorf("leverage = %.1f, want >= 5", res.Leverage())
+	}
+	// The final config must be clean Junos.
+	final := res.Configs["translation"]
+	if warns := juniper.Check(final); len(warns) != 0 {
+		t.Errorf("final config has warnings: %v", warns)
+	}
+	if !strings.Contains(final, "protocol bgp") {
+		t.Error("final config lost its protocol gates")
+	}
+}
+
+// TestTranslateNoErrorsIsZeroCorrection checks the degenerate case: a
+// model that injects nothing needs only the task prompt.
+func TestTranslateNoErrorsIsZeroCorrection(t *testing.T) {
+	cfg := llm.TranslateConfig{Seed: 1, Inject: map[llm.TranslateError]bool{}}
+	model := llm.NewTranslator(cfg)
+	res, err := Translate(exampledata.CiscoExample, TranslateOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("clean translation did not verify:\n%s", res.Transcript)
+	}
+	auto, human := res.Transcript.Counts()
+	if auto != 0 || human != 1 {
+		t.Errorf("counts = (%d auto, %d human), want (0, 1); transcript:\n%s",
+			auto, human, res.Transcript)
+	}
+}
+
+// TestTranslateSingleErrorClasses verifies each individually injected
+// error class converges and reports whether it needed a human prompt,
+// matching Table 2's "Fixed" column.
+func TestTranslateSingleErrorClasses(t *testing.T) {
+	wantHuman := map[llm.TranslateError]bool{
+		llm.ErrRedistribution: true, // the only class needing the human
+	}
+	for _, class := range llm.AllTranslateErrors() {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			cfg := llm.TranslateConfig{Seed: 1,
+				Inject: map[llm.TranslateError]bool{class: true}}
+			model := llm.NewTranslator(cfg)
+			res, err := Translate(exampledata.CiscoExample, TranslateOptions{Model: model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("did not verify; transcript:\n%s", res.Transcript)
+			}
+			_, human := res.Transcript.Counts()
+			wantH := 1
+			if wantHuman[class] {
+				wantH = 2
+			}
+			if human != wantH {
+				t.Errorf("human prompts = %d, want %d; transcript:\n%s",
+					human, wantH, res.Transcript)
+			}
+		})
+	}
+}

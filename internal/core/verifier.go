@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/batfish"
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// Verifier is the verification-suite seam of Figure 3: syntax (Batfish),
+// translation semantics (Campion), topology, local-policy semantics
+// (Batfish SearchRoutePolicies à la Lightyear), and the global BGP
+// simulation. The engine only talks to this interface, so the suite can
+// run in-process (LocalVerifier) or behind the REST wrapper
+// (rest.Client) — the repro note's "call verifier via REST wrapper".
+type Verifier interface {
+	// CheckSyntax returns parse/lint warnings for a config (either dialect).
+	CheckSyntax(config string) ([]netcfg.ParseWarning, error)
+	// DiffTranslation compares an original Cisco config against a Juniper
+	// translation (Campion).
+	DiffTranslation(original, translation string) ([]campion.Finding, error)
+	// VerifyTopology checks one router's config against its spec.
+	VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error)
+	// CheckLocalPolicy checks one Lightyear requirement against a config.
+	CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error)
+	// GlobalNoTransit runs the BGP simulation and checks the global policy.
+	GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error)
+}
+
+// LocalVerifier runs the suite in-process.
+type LocalVerifier struct{}
+
+// CheckSyntax implements Verifier.
+func (LocalVerifier) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
+	return batfish.CheckSyntax(config), nil
+}
+
+// DiffTranslation implements Verifier.
+func (LocalVerifier) DiffTranslation(original, translation string) ([]campion.Finding, error) {
+	orig, _ := batfish.ParseConfig(original)
+	trans, _ := batfish.ParseConfig(translation)
+	return campion.Diff(orig, trans), nil
+}
+
+// VerifyTopology implements Verifier.
+func (LocalVerifier) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
+	dev, _ := batfish.ParseConfig(config)
+	return topology.Verify(&spec, dev), nil
+}
+
+// CheckLocalPolicy implements Verifier.
+func (LocalVerifier) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	dev, _ := batfish.ParseConfig(config)
+	v, bad := lightyear.Check(dev, req)
+	return v, bad, nil
+}
+
+// GlobalNoTransit implements Verifier.
+func (LocalVerifier) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
+	devs := map[string]*netcfg.Device{}
+	for name, text := range configs {
+		dev, _ := batfish.ParseConfig(text)
+		devs[name] = dev
+	}
+	return lightyear.CheckGlobalNoTransit(t, devs)
+}

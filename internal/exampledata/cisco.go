@@ -1,0 +1,62 @@
+// Package exampledata bundles the Cisco configuration used by the
+// translation use case. It mirrors the Batfish example configuration the
+// paper translated (§3.2): "short enough to fit within GPT-4 text input
+// limits, but used non-trivial features including BGP, OSPF, prefix lists,
+// and route maps" — including the "ge 24" prefix-list entry and OSPF
+// redistribution that drive the two hardest error classes.
+package exampledata
+
+// CiscoExample is the original configuration for the Cisco→Juniper
+// translation experiments (E1–E3).
+const CiscoExample = `hostname border1
+!
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+!
+interface GigabitEthernet0/0
+ description LAN
+ ip address 1.2.3.1 255.255.255.0
+ ip ospf cost 5
+!
+interface GigabitEthernet0/1
+ description PROVIDER-UPLINK
+ ip address 2.3.4.6 255.255.255.252
+!
+router ospf 1
+ router-id 1.1.1.1
+ passive-interface Loopback0
+ network 1.1.1.1 0.0.0.0 area 0
+ network 1.2.3.0 0.0.0.255 area 0
+!
+router bgp 65000
+ bgp router-id 1.1.1.1
+ network 1.2.3.0 mask 255.255.255.0
+ redistribute ospf route-map ospf_to_bgp
+ neighbor 2.3.4.5 remote-as 65001
+ neighbor 2.3.4.5 description PROVIDER
+ neighbor 2.3.4.5 route-map from_provider in
+ neighbor 2.3.4.5 route-map to_provider out
+!
+ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24
+ip prefix-list default-route seq 5 permit 0.0.0.0/0
+ip prefix-list lan-summary seq 5 permit 1.1.1.1/32
+!
+ip community-list standard PROVIDER-ROUTES permit 65001:100
+!
+route-map to_provider permit 10
+ match ip address prefix-list our-networks
+ set metric 50
+!
+route-map from_provider permit 10
+ match ip address prefix-list default-route
+ set local-preference 200
+route-map from_provider permit 20
+ match community PROVIDER-ROUTES
+ set community 65000:300 additive
+route-map from_provider deny 100
+!
+route-map ospf_to_bgp permit 10
+ match ip address prefix-list lan-summary
+ set metric 10
+!
+`

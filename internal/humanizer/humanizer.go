@@ -1,0 +1,96 @@
+// Package humanizer converts verifier findings into natural-language
+// correction prompts ("Since verifier feedback is often cryptic, we use
+// simple code that we call a humanizer that converts the feedback to
+// natural language prompts that are given to GPT-4", §1). Each error class
+// has a formulaic template with fields filled from the verifier output —
+// the exact scheme of the paper's Table 1 (translation) and Table 3
+// (local synthesis).
+package humanizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// Syntax renders a Batfish parse warning as a Table 1 syntax prompt:
+// "There is a syntax error: '<line>'".
+func Syntax(w netcfg.ParseWarning) string {
+	if w.Reason != "" {
+		return fmt.Sprintf("There is a syntax error: '%s' (%s). "+
+			"Please fix it and print the entire corrected configuration.", w.Text, w.Reason)
+	}
+	return fmt.Sprintf("There is a syntax error: '%s'. "+
+		"Please fix it and print the entire corrected configuration.", w.Text)
+}
+
+// Campion renders a Campion finding with the matching Table 1 formula.
+func Campion(f campion.Finding) string {
+	switch f.Kind {
+	case campion.StructuralMismatch:
+		if f.InOriginal {
+			return fmt.Sprintf("In the original configuration, there is a %s, "+
+				"but in the translation, there is no corresponding %s. "+
+				"Please add it and print the entire corrected configuration.",
+				f.Component, componentNoun(f.Component))
+		}
+		return fmt.Sprintf("In the translation, there is a %s, "+
+			"but in the original configuration, there is no corresponding %s. "+
+			"Please remove it and print the entire corrected configuration.",
+			f.Component, componentNoun(f.Component))
+	case campion.AttributeDifference:
+		target := f.TranslationComponent
+		if target == "" {
+			target = f.Component
+		}
+		return fmt.Sprintf("In the original configuration, the %s has %s set to %s, "+
+			"but in the translation, the corresponding %s has %s set to %s. "+
+			"Please fix the translation and print the entire corrected configuration.",
+			f.Component, f.Attribute, f.OriginalValue, target, f.Attribute, f.TranslationValue)
+	default:
+		return fmt.Sprintf("In the original configuration, for the prefix %s, "+
+			"the BGP %s policy %s for BGP neighbor %s performs the following action: %s. "+
+			"But, in the translation, the corresponding BGP %s policy %s performs the following action: %s. "+
+			"Please fix the translation and print the entire corrected configuration.",
+			f.Witness.Prefix, f.Direction, f.Policy, f.Neighbor, f.OriginalBehavior,
+			f.Direction, f.Policy, f.TranslationBehavior)
+	}
+}
+
+// componentNoun extracts the generic noun used in the second half of the
+// structural formula ("route map", "neighbor", "interface"...).
+func componentNoun(component string) string {
+	switch {
+	case strings.Contains(component, "route map"):
+		return "route map"
+	case strings.Contains(component, "neighbor"):
+		return "neighbor"
+	case strings.Contains(component, "interface"):
+		return "interface"
+	case strings.Contains(component, "prefix list"):
+		return "prefix list"
+	default:
+		return "component"
+	}
+}
+
+// Topology renders a topology-verifier finding; Table 3 phrases these
+// directly, so the humanizer wraps the verbatim issue with a fix request.
+func Topology(f topology.Finding) string {
+	return fmt.Sprintf("%s Please fix the configuration of router %s and print the entire corrected file.",
+		f.Issue, f.Router)
+}
+
+// Semantic renders a local-policy violation (Table 3 semantic error):
+// the explanation already follows the paper's phrasing.
+func Semantic(v lightyear.Violation) string {
+	msg := v.Explanation
+	if v.Witness != nil {
+		msg += fmt.Sprintf(" Counterexample route: %s.", v.Witness)
+	}
+	return msg + " Please fix the route-map and print the entire corrected configuration."
+}

@@ -1,0 +1,141 @@
+package humanizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+func TestSyntaxFollowsTable1Formula(t *testing.T) {
+	w := netcfg.ParseWarning{
+		Text:   "policy-options prefix-list our-networks 1.2.3.0/24-32",
+		Reason: "invalid prefix in prefix-list",
+	}
+	got := Syntax(w)
+	if !strings.HasPrefix(got, "There is a syntax error: 'policy-options prefix-list our-networks 1.2.3.0/24-32'") {
+		t.Errorf("prompt = %q", got)
+	}
+	if !strings.Contains(got, "print the entire corrected configuration") {
+		t.Errorf("prompt should request a reprint: %q", got)
+	}
+	// Without a reason the formula still holds.
+	bare := Syntax(netcfg.ParseWarning{Text: "x"})
+	if !strings.HasPrefix(bare, "There is a syntax error: 'x'") {
+		t.Errorf("bare prompt = %q", bare)
+	}
+}
+
+func TestStructuralFollowsTable1Formula(t *testing.T) {
+	f := campion.Finding{
+		Kind:       campion.StructuralMismatch,
+		Component:  "import route map for bgp neighbor 2.3.4.5",
+		InOriginal: true,
+	}
+	got := Campion(f)
+	want := "In the original configuration, there is a import route map for bgp neighbor " +
+		"2.3.4.5, but in the translation, there is no corresponding route map."
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("prompt = %q\nwant prefix %q", got, want)
+	}
+	// Reverse direction.
+	f.InOriginal, f.InTranslation = false, true
+	rev := Campion(f)
+	if !strings.HasPrefix(rev, "In the translation, there is a import route map") {
+		t.Errorf("reverse prompt = %q", rev)
+	}
+	if !strings.Contains(rev, "Please remove it") {
+		t.Errorf("extra components should ask for removal: %q", rev)
+	}
+}
+
+func TestAttributeFollowsTable1Formula(t *testing.T) {
+	f := campion.Finding{
+		Kind:                 campion.AttributeDifference,
+		Component:            "OSPF link for Loopback0",
+		TranslationComponent: "lo0.0",
+		Attribute:            "cost",
+		OriginalValue:        "1",
+		TranslationValue:     "0",
+	}
+	got := Campion(f)
+	want := "In the original configuration, the OSPF link for Loopback0 has cost set to 1, " +
+		"but in the translation, the corresponding lo0.0 has cost set to 0."
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("prompt = %q\nwant prefix %q", got, want)
+	}
+}
+
+func TestPolicyFollowsTable1Formula(t *testing.T) {
+	w := netcfg.NewRoute(netcfg.MustPrefix("1.2.3.0/25"))
+	f := campion.Finding{
+		Kind:                campion.PolicyBehaviorDifference,
+		Policy:              "to_provider",
+		Direction:           "export",
+		Neighbor:            "2.3.4.5",
+		Witness:             w,
+		OriginalBehavior:    "ACCEPT",
+		TranslationBehavior: "REJECT",
+	}
+	got := Campion(f)
+	want := "In the original configuration, for the prefix 1.2.3.0/25, the BGP export policy " +
+		"to_provider for BGP neighbor 2.3.4.5 performs the following action: ACCEPT. But, in " +
+		"the translation, the corresponding BGP export policy to_provider performs the " +
+		"following action: REJECT."
+	if !strings.HasPrefix(got, want) {
+		t.Errorf("prompt = %q\nwant prefix %q", got, want)
+	}
+}
+
+func TestTopologyPassesIssueThrough(t *testing.T) {
+	f := topology.Finding{Router: "R3", Issue: "Network 1.0.0.0/24 not declared"}
+	got := Topology(f)
+	if !strings.HasPrefix(got, "Network 1.0.0.0/24 not declared") {
+		t.Errorf("prompt = %q", got)
+	}
+	if !strings.Contains(got, "router R3") {
+		t.Errorf("prompt should address the router: %q", got)
+	}
+}
+
+func TestSemanticIncludesCounterexample(t *testing.T) {
+	w := netcfg.NewRoute(netcfg.MustPrefix("150.3.0.0/16"))
+	w.AddCommunity(netcfg.MustCommunity("101:1"))
+	v := lightyear.Violation{
+		Explanation: "The route-map FILTER_COMM_OUT_R2 permits routes that have the community " +
+			"101:1. However, they should be denied.",
+		Witness: w,
+	}
+	got := Semantic(v)
+	if !strings.Contains(got, "FILTER_COMM_OUT_R2 permits routes") {
+		t.Errorf("prompt = %q", got)
+	}
+	if !strings.Contains(got, "150.3.0.0/16") || !strings.Contains(got, "101:1") {
+		t.Errorf("prompt should embed the counterexample route: %q", got)
+	}
+	// Without a witness the prompt still reads well.
+	v.Witness = nil
+	if got := Semantic(v); strings.Contains(got, "Counterexample") {
+		t.Errorf("no-witness prompt should omit the counterexample clause: %q", got)
+	}
+}
+
+func TestComponentNounExtraction(t *testing.T) {
+	cases := map[string]string{
+		"import route map for bgp neighbor 1.2.3.4": "route map",
+		"bgp neighbor 1.2.3.4":                      "neighbor",
+		"interface ge-0/0/0.0":                      "interface",
+		"prefix list our-networks":                  "prefix list",
+		"mystery widget":                            "component",
+	}
+	for component, want := range cases {
+		f := campion.Finding{Kind: campion.StructuralMismatch, Component: component, InOriginal: true}
+		got := Campion(f)
+		if !strings.Contains(got, "no corresponding "+want) {
+			t.Errorf("component %q: prompt %q lacks noun %q", component, got, want)
+		}
+	}
+}

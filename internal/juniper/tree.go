@@ -1,0 +1,207 @@
+// Package juniper parses and prints the Junos configuration dialect used in
+// the paper's translation use case: interfaces, routing-options, protocols
+// bgp/ospf, and policy-options (prefix-lists, communities, and
+// policy-statements with route-filters).
+//
+// Parsing is two-phase: a brace-tree parser turns the text into a generic
+// statement tree (reporting unbalanced braces, missing semicolons, and
+// malformed tokens as netcfg.ParseWarnings), and an interpreter walks the
+// tree into the vendor-neutral IR, warning on unknown statements — e.g. the
+// invalid "1.2.3.0/24-32" prefix-list entry GPT-4 produces in §3.2.
+package juniper
+
+import (
+	"strings"
+
+	"repro/internal/netcfg"
+)
+
+// Node is one statement in the Junos configuration tree. A leaf statement
+// "a b c;" has Keys=[a b c] and no children; a block "a b { ... }" has
+// Keys=[a b] and children.
+type Node struct {
+	Keys     []string
+	Children []*Node
+	Line     int
+	Block    bool
+}
+
+// Key returns the i'th key word, or "".
+func (n *Node) Key(i int) string {
+	if i < len(n.Keys) {
+		return n.Keys[i]
+	}
+	return ""
+}
+
+// Text reconstructs the statement head for warnings.
+func (n *Node) Text() string { return strings.Join(n.Keys, " ") }
+
+// Child returns the first child block/statement whose first key matches.
+func (n *Node) Child(key string) *Node {
+	for _, c := range n.Children {
+		if c.Key(0) == key {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all children whose first key matches.
+func (n *Node) ChildrenNamed(key string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Key(0) == key {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+type token struct {
+	text string
+	line int
+	kind tokenKind
+}
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota
+	tokOpen
+	tokClose
+	tokSemi
+)
+
+func lex(text string) ([]token, []netcfg.ParseWarning) {
+	var toks []token
+	var warns []netcfg.ParseWarning
+	line := 1
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{"{", line, tokOpen})
+			i++
+		case c == '}':
+			toks = append(toks, token{"}", line, tokClose})
+			i++
+		case c == ';':
+			toks = append(toks, token{";", line, tokSemi})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(text) && text[j] != '"' && text[j] != '\n' {
+				j++
+			}
+			if j >= len(text) || text[j] != '"' {
+				warns = append(warns, netcfg.ParseWarning{
+					Line: line, Text: text[i:min(j, len(text))], Reason: "unterminated string",
+				})
+				i = j
+				continue
+			}
+			toks = append(toks, token{text[i+1 : j], line, tokWord})
+			i = j + 1
+		default:
+			j := i
+			for j < len(text) && !strings.ContainsRune(" \t\r\n{};#\"", rune(text[j])) {
+				j++
+			}
+			toks = append(toks, token{text[i:j], line, tokWord})
+			i = j
+		}
+	}
+	return toks, warns
+}
+
+// ParseTree parses Junos text into a statement tree, reporting structural
+// syntax errors (unbalanced braces, statements missing semicolons) as
+// warnings. It always returns a usable (possibly partial) tree.
+func ParseTree(text string) (*Node, []netcfg.ParseWarning) {
+	toks, warns := lex(text)
+	root := &Node{Block: true}
+	stack := []*Node{root}
+	var words []token
+
+	flushLeaf := func(endLine int, terminated bool) {
+		if len(words) == 0 {
+			return
+		}
+		keys := make([]string, len(words))
+		for i, w := range words {
+			keys[i] = w.text
+		}
+		n := &Node{Keys: keys, Line: words[0].line}
+		parent := stack[len(stack)-1]
+		parent.Children = append(parent.Children, n)
+		if !terminated {
+			warns = append(warns, netcfg.ParseWarning{
+				Line: endLine, Text: strings.Join(keys, " "), Reason: "statement missing ';'",
+			})
+		}
+		words = nil
+	}
+
+	for _, t := range toks {
+		switch t.kind {
+		case tokWord:
+			words = append(words, t)
+		case tokSemi:
+			if len(words) == 0 {
+				warns = append(warns, netcfg.ParseWarning{Line: t.line, Text: ";", Reason: "empty statement"})
+				continue
+			}
+			flushLeaf(t.line, true)
+		case tokOpen:
+			if len(words) == 0 {
+				warns = append(warns, netcfg.ParseWarning{Line: t.line, Text: "{", Reason: "block with no name"})
+				words = append(words, token{"_anonymous", t.line, tokWord})
+			}
+			keys := make([]string, len(words))
+			for i, w := range words {
+				keys[i] = w.text
+			}
+			n := &Node{Keys: keys, Line: words[0].line, Block: true}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, n)
+			stack = append(stack, n)
+			words = nil
+		case tokClose:
+			flushLeaf(t.line, false)
+			if len(stack) == 1 {
+				warns = append(warns, netcfg.ParseWarning{Line: t.line, Text: "}", Reason: "unbalanced '}'"})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(words) > 0 {
+		flushLeaf(words[len(words)-1].line, false)
+	}
+	if len(stack) > 1 {
+		warns = append(warns, netcfg.ParseWarning{
+			Line:   stack[len(stack)-1].Line,
+			Text:   stack[len(stack)-1].Text(),
+			Reason: "unclosed block (missing '}')",
+		})
+	}
+	return root, warns
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package juniper
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTreeBasics(t *testing.T) {
+	tree, warns := ParseTree("a b {\n  c d;\n  e {\n    f;\n  }\n}\n")
+	if len(warns) != 0 {
+		t.Fatal(warns)
+	}
+	if len(tree.Children) != 1 {
+		t.Fatalf("root children = %d", len(tree.Children))
+	}
+	ab := tree.Children[0]
+	if ab.Text() != "a b" || !ab.Block {
+		t.Fatalf("ab = %+v", ab)
+	}
+	if cd := ab.Child("c"); cd == nil || cd.Key(1) != "d" || cd.Block {
+		t.Fatalf("cd = %+v", cd)
+	}
+	if e := ab.Child("e"); e == nil || !e.Block || len(e.Children) != 1 {
+		t.Fatalf("e = %+v", e)
+	}
+}
+
+func TestParseTreeQuotedStrings(t *testing.T) {
+	tree, warns := ParseTree(`a { description "hello world { } ;"; }`)
+	if len(warns) != 0 {
+		t.Fatal(warns)
+	}
+	d := tree.Children[0].Child("description")
+	if d == nil || d.Key(1) != "hello world { } ;" {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestParseTreeComments(t *testing.T) {
+	tree, warns := ParseTree("# a comment\na {\n  b; # trailing\n}\n")
+	if len(warns) != 0 {
+		t.Fatal(warns)
+	}
+	if len(tree.Children) != 1 || tree.Children[0].Child("b") == nil {
+		t.Fatal("comment handling broke structure")
+	}
+}
+
+func TestParseTreeMissingSemicolonWarns(t *testing.T) {
+	_, warns := ParseTree("a {\n  b c\n}\n")
+	if len(warns) != 1 || !strings.Contains(warns[0].Reason, "missing ';'") {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestParseTreeUnbalancedBraces(t *testing.T) {
+	_, warns := ParseTree("a {\n  b;\n")
+	if len(warns) != 1 || !strings.Contains(warns[0].Reason, "unclosed block") {
+		t.Fatalf("warnings = %v", warns)
+	}
+	_, warns = ParseTree("a;\n}\n")
+	if len(warns) != 1 || !strings.Contains(warns[0].Reason, "unbalanced") {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestParseTreeUnterminatedString(t *testing.T) {
+	_, warns := ParseTree("a \"oops\n;\n")
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w.Reason, "unterminated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("warnings = %v", warns)
+	}
+}
+
+func TestParseTreeLineNumbers(t *testing.T) {
+	tree, _ := ParseTree("\n\na {\n  b;\n}\n")
+	a := tree.Children[0]
+	if a.Line != 3 {
+		t.Errorf("a at line %d, want 3", a.Line)
+	}
+	if b := a.Child("b"); b.Line != 4 {
+		t.Errorf("b at line %d, want 4", b.Line)
+	}
+}
+
+// TestParseTreeNeverPanics feeds arbitrary text to the tree parser.
+func TestParseTreeNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		tree, _ := ParseTree(s)
+		return tree != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanics feeds arbitrary text to the full parser.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		dev, _ := Parse(s)
+		return dev != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package lightyear
+
+import (
+	"fmt"
+
+	"repro/internal/batfish"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// GlobalResult reports the end-to-end BGP simulation check of the global
+// no-transit policy.
+type GlobalResult struct {
+	// Violations lists transit paths that must not exist (ISP i reaches
+	// ISP j's prefix through the customer network).
+	Violations []string
+	// MissingReachability lists required connectivity that is absent
+	// (an ISP cannot reach the customer, or vice versa).
+	MissingReachability []string
+	Converged           bool
+}
+
+// OK reports whether the global policy holds.
+func (g *GlobalResult) OK() bool {
+	return g.Converged && len(g.Violations) == 0 && len(g.MissingReachability) == 0
+}
+
+// CheckGlobalNoTransit runs the full BGP simulation on a star topology and
+// verifies the global policy: no two ISPs can reach each other through the
+// network, while every ISP and the customer can reach each other (§4.1).
+func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) (*GlobalResult, error) {
+	sim := batfish.NewSim()
+	var spokes []int
+	for i := range t.Routers {
+		spec := &t.Routers[i]
+		dev := devs[spec.Name]
+		if dev == nil {
+			return nil, fmt.Errorf("router %s has no configuration", spec.Name)
+		}
+		if err := sim.AddDevice(spec.Name, dev); err != nil {
+			return nil, err
+		}
+		if spec.Name != "R1" {
+			spokes = append(spokes, indexOf(spec.Name))
+		}
+	}
+	// External stubs: the customer behind R1 and one ISP behind each spoke.
+	custAddr, err := netcfg.ParseIP("1.0.0.2")
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.AddExternal("CUSTOMER", custAddr, netgen.CustomerAS,
+		[]netcfg.Prefix{netgen.CustomerPrefix()}); err != nil {
+		return nil, err
+	}
+	for _, i := range spokes {
+		addr, err := netcfg.ParseIP(fmt.Sprintf("20.%d.0.2", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := sim.AddExternal(ispName(i), addr, uint32(netgen.ISPBaseAS+i),
+			[]netcfg.Prefix{netgen.ISPPrefix(i)}); err != nil {
+			return nil, err
+		}
+	}
+	res := sim.Run()
+
+	out := &GlobalResult{Converged: res.Converged}
+	for _, i := range spokes {
+		// Positive requirements.
+		if !res.CanReach(ispName(i), netgen.CustomerPrefix()) {
+			out.MissingReachability = append(out.MissingReachability,
+				fmt.Sprintf("%s cannot reach the customer prefix %s", ispName(i), netgen.CustomerPrefix()))
+		}
+		if !res.CanReach("CUSTOMER", netgen.ISPPrefix(i)) {
+			out.MissingReachability = append(out.MissingReachability,
+				fmt.Sprintf("CUSTOMER cannot reach %s's prefix %s", ispName(i), netgen.ISPPrefix(i)))
+		}
+		// No-transit: ISP i must not see ISP j's prefix.
+		for _, j := range spokes {
+			if i == j {
+				continue
+			}
+			if res.CanReach(ispName(i), netgen.ISPPrefix(j)) {
+				out.Violations = append(out.Violations,
+					fmt.Sprintf("transit violation: %s can reach %s's prefix %s",
+						ispName(i), ispName(j), netgen.ISPPrefix(j)))
+			}
+		}
+	}
+	return out, nil
+}
+
+func ispName(i int) string { return fmt.Sprintf("ISP%d", i) }

@@ -1,0 +1,138 @@
+package lightyear_test
+
+import (
+	"testing"
+
+	"repro/internal/batfish"
+	"repro/internal/core"
+	"repro/internal/lightyear"
+	"repro/internal/llm"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+)
+
+// goldenStarConfigs produces verified star configurations by running the
+// pipeline with an error-free synthesizer.
+func goldenStarConfigs(t *testing.T, n int) (map[string]*netcfg.Device, map[string]string) {
+	t.Helper()
+	topo, err := netgen.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(topo, core.SynthOptions{
+		Model:           llm.NewSynthesizer(llm.SynthConfig{Seed: 1, Errors: map[string][]llm.SynthError{}}),
+		SkipGlobalCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("golden synthesis did not verify:\n%s", res.Transcript)
+	}
+	devs := map[string]*netcfg.Device{}
+	for name, text := range res.Configs {
+		dev, warns := batfish.ParseConfig(text)
+		if len(warns) != 0 {
+			t.Fatalf("%s warnings: %v", name, warns)
+		}
+		devs[name] = dev
+	}
+	return devs, res.Configs
+}
+
+func TestGlobalNoTransitHoldsOnGoldenConfigs(t *testing.T) {
+	topo, _ := netgen.Star(5)
+	devs, _ := goldenStarConfigs(t, 5)
+	res, err := lightyear.CheckGlobalNoTransit(topo, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("violations=%v missing=%v converged=%v",
+			res.Violations, res.MissingReachability, res.Converged)
+	}
+}
+
+// TestGlobalNoTransitCatchesMissingEgressFilter removes R1's egress
+// filtering: the simulation must report transit violations — the exact
+// failure the final global check exists to catch (§4.1).
+func TestGlobalNoTransitCatchesMissingEgressFilter(t *testing.T) {
+	topo, _ := netgen.Star(5)
+	devs, _ := goldenStarConfigs(t, 5)
+	for _, nb := range devs["R1"].BGP.Neighbors {
+		nb.ExportPolicy = ""
+	}
+	res, err := lightyear.CheckGlobalNoTransit(topo, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("unfiltered hub should produce transit violations")
+	}
+}
+
+// TestGlobalNoTransitCatchesOverFiltering makes R1 deny everything toward
+// the spokes: the positive reachability requirements must fail.
+func TestGlobalNoTransitCatchesOverFiltering(t *testing.T) {
+	topo, _ := netgen.Star(5)
+	devs, _ := goldenStarConfigs(t, 5)
+	deny := &netcfg.RoutePolicy{Name: "DENY_ALL", Clauses: []*netcfg.PolicyClause{
+		{Seq: 10, Action: netcfg.Deny},
+	}}
+	devs["R1"].RoutePolicies["DENY_ALL"] = deny
+	for _, nb := range devs["R1"].BGP.Neighbors {
+		nb.ExportPolicy = "DENY_ALL"
+	}
+	res, err := lightyear.CheckGlobalNoTransit(topo, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MissingReachability) == 0 {
+		t.Fatal("deny-all hub should break required reachability")
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("deny-all hub cannot have transit violations: %v", res.Violations)
+	}
+}
+
+// TestGlobalNoTransitCatchesANDFilter wires the paper's AND-semantics
+// egress error into the simulation: single-tag routes leak, so transit
+// violations appear end to end, not just in the local check.
+func TestGlobalNoTransitCatchesANDFilter(t *testing.T) {
+	topo, err := netgen.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(topo, core.SynthOptions{
+		Model: llm.NewSynthesizer(llm.SynthConfig{Seed: 1,
+			Errors: map[string][]llm.SynthError{"R1": {llm.SErrAndOr}}}),
+		SkipGlobalCheck:       true,
+		MaxAttemptsPerFinding: 1,
+		Human:                 core.NoHuman{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verified {
+		t.Fatal("AND filter should fail local verification")
+	}
+	devs := map[string]*netcfg.Device{}
+	for name, text := range res.Configs {
+		dev, _ := batfish.ParseConfig(text)
+		devs[name] = dev
+	}
+	global, err := lightyear.CheckGlobalNoTransit(topo, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global.Violations) == 0 {
+		t.Fatal("AND-semantics egress should leak transit routes in the simulation")
+	}
+}
+
+func TestGlobalNoTransitMissingDeviceErrors(t *testing.T) {
+	topo, _ := netgen.Star(3)
+	if _, err := lightyear.CheckGlobalNoTransit(topo, map[string]*netcfg.Device{}); err == nil {
+		t.Fatal("missing devices should error")
+	}
+}

@@ -1,0 +1,367 @@
+// Package lightyear substitutes for Lightyear (SIGCOMM'23) in the role the
+// paper uses it for: expressing a global policy as *local* per-router
+// specifications, verifying each locally (via the Batfish substitute's
+// SearchRoutePolicies), and checking that the local specs compose into the
+// global no-transit guarantee. Modular verification is what lets the VPP
+// loop localize semantic errors "to specific routers and specific route
+// maps within those routers" (§4.1).
+package lightyear
+
+import (
+	"fmt"
+
+	"repro/internal/batfish"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// ReqKind classifies a local requirement.
+type ReqKind int
+
+// Requirement kinds.
+const (
+	// IngressAddsCommunity: every route accepted by the policy must carry
+	// the community after evaluation.
+	IngressAddsCommunity ReqKind = iota
+	// EgressDropsCommunity: the policy must deny every route carrying the
+	// community.
+	EgressDropsCommunity
+	// EgressPermitsClean: the policy must permit routes carrying none of
+	// the listed communities.
+	EgressPermitsClean
+)
+
+// Requirement is one locally-checkable obligation on one route policy of
+// one router.
+type Requirement struct {
+	Kind        ReqKind
+	Router      string
+	Policy      string
+	Community   netcfg.Community   // for IngressAdds / EgressDrops
+	Communities []netcfg.Community // for EgressPermitsClean
+	Description string             // NL rendering for specs and prompts
+}
+
+// Violation reports a requirement that does not hold, with a witness route.
+type Violation struct {
+	Requirement Requirement
+	Witness     *netcfg.Route
+	// Explanation phrases the violation like the paper's Table 3 semantic
+	// error ("The route-map DROP_COMMUNITY permits routes that have the
+	// community 100:1. However, they should be denied.").
+	Explanation string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Requirement.Router + ": " + v.Explanation }
+
+// NoTransitSpec derives the per-router local specification implementing the
+// no-transit policy on a star topology (§4.1): the hub R1 adds a distinct
+// community at the ingress from each ISP-facing router and drops routes
+// carrying any other router's community at the egress toward each ISP
+// router.
+//
+// Policy naming matches the paper's examples: ADD_COMM_R<i> at ingress and
+// FILTER_COMM_OUT_R<i> at egress.
+func NoTransitSpec(t *topology.Topology) []Requirement {
+	var reqs []Requirement
+	hub := t.Router("R1")
+	if hub == nil {
+		return nil
+	}
+	var spokes []int
+	for i := range t.Routers {
+		if t.Routers[i].Name != "R1" {
+			spokes = append(spokes, indexOf(t.Routers[i].Name))
+		}
+	}
+	var all []netcfg.Community
+	for _, i := range spokes {
+		all = append(all, netgen.ISPCommunity(i))
+	}
+	for _, i := range spokes {
+		tag := netgen.ISPCommunity(i)
+		reqs = append(reqs, Requirement{
+			Kind:      IngressAddsCommunity,
+			Router:    "R1",
+			Policy:    IngressPolicyName(i),
+			Community: tag,
+			Description: fmt.Sprintf(
+				"Every route R1 accepts from R%d must carry community %s after ingress processing.",
+				i, tag),
+		})
+		for _, j := range spokes {
+			if j == i {
+				continue
+			}
+			other := netgen.ISPCommunity(j)
+			reqs = append(reqs, Requirement{
+				Kind:      EgressDropsCommunity,
+				Router:    "R1",
+				Policy:    EgressPolicyName(i),
+				Community: other,
+				Description: fmt.Sprintf(
+					"R1 must not export to R%d any route carrying community %s (learned from R%d).",
+					i, other, j),
+			})
+		}
+		reqs = append(reqs, Requirement{
+			Kind:        EgressPermitsClean,
+			Router:      "R1",
+			Policy:      EgressPolicyName(i),
+			Communities: all,
+			Description: fmt.Sprintf(
+				"R1 must export to R%d routes that carry no ISP community (customer routes).", i),
+		})
+	}
+	return reqs
+}
+
+// IngressPolicyName is the route map R1 applies on routes from Ri.
+func IngressPolicyName(i int) string { return fmt.Sprintf("ADD_COMM_R%d", i) }
+
+// EgressPolicyName is the route map R1 applies on routes toward Ri.
+func EgressPolicyName(i int) string { return fmt.Sprintf("FILTER_COMM_OUT_R%d", i) }
+
+func indexOf(name string) int {
+	var i int
+	if _, err := fmt.Sscanf(name, "R%d", &i); err != nil {
+		return 0
+	}
+	return i
+}
+
+// Check verifies one requirement against a parsed device, returning a
+// violation with a witness route if it fails.
+func Check(dev *netcfg.Device, req Requirement) (Violation, bool) {
+	pol := dev.RoutePolicies[req.Policy]
+	if pol == nil {
+		return Violation{
+			Requirement: req,
+			Explanation: fmt.Sprintf("The route-map %s is not defined, so the local policy %q cannot hold.",
+				req.Policy, req.Description),
+		}, true
+	}
+	switch req.Kind {
+	case IngressAddsCommunity:
+		return checkIngressAdds(dev, pol, req)
+	case EgressDropsCommunity:
+		res, err := batfish.SearchRoutePolicies(dev, batfish.SearchQuery{
+			Policy: req.Policy,
+			Action: "permit",
+			Constraints: batfish.RouteConstraints{
+				HasCommunities: []string{req.Community.String()},
+			},
+		})
+		if err == nil && res.Found {
+			return Violation{
+				Requirement: req,
+				Witness:     witnessRoute(res),
+				Explanation: fmt.Sprintf(
+					"The route-map %s permits routes that have the community %s. However, they should be denied.",
+					req.Policy, req.Community),
+			}, true
+		}
+	case EgressPermitsClean:
+		var lacks []string
+		for _, c := range req.Communities {
+			lacks = append(lacks, c.String())
+		}
+		res, err := batfish.SearchRoutePolicies(dev, batfish.SearchQuery{
+			Policy: req.Policy,
+			Action: "deny",
+			Constraints: batfish.RouteConstraints{
+				LacksCommunities: lacks,
+			},
+		})
+		if err == nil && res.Found {
+			return Violation{
+				Requirement: req,
+				Witness:     witnessRoute(res),
+				Explanation: fmt.Sprintf(
+					"The route-map %s denies routes that carry no ISP community (for example %s). "+
+						"However, customer routes should be permitted.",
+					req.Policy, res.WitnessPrefix),
+			}, true
+		}
+	}
+	return Violation{}, false
+}
+
+// checkIngressAdds verifies that every accept path of the policy results
+// in a route carrying the required community, by applying each accept
+// region's transforms to a sample route.
+func checkIngressAdds(dev *netcfg.Device, pol *netcfg.RoutePolicy, req Requirement) (Violation, bool) {
+	for _, cl := range pol.Clauses {
+		if cl.Action != netcfg.Permit {
+			continue
+		}
+		sample := sampleForClause(dev, cl)
+		if sample == nil {
+			continue
+		}
+		res := netcfg.EvalPolicy(pol, dev, sample)
+		if res.Permitted && !res.Route.HasCommunity(req.Community) {
+			return Violation{
+				Requirement: req,
+				Witness:     sample,
+				Explanation: fmt.Sprintf(
+					"The route-map %s permits the route %s without adding the community %s. "+
+						"Every route accepted at this ingress must carry %s.",
+					req.Policy, sample.Prefix, req.Community, req.Community),
+			}, true
+		}
+		// The paper's "Adding Communities" pitfall: a non-additive set
+		// wipes existing communities. Check with a pre-tagged route.
+		tagged := sample.Clone()
+		probe := netcfg.NewCommunity(65000, 999)
+		tagged.AddCommunity(probe)
+		res = netcfg.EvalPolicy(pol, dev, tagged)
+		if res.Permitted && !res.Route.HasCommunity(probe) {
+			return Violation{
+				Requirement: req,
+				Witness:     tagged,
+				Explanation: fmt.Sprintf(
+					"The route-map %s replaces the communities already present on the route instead of "+
+						"adding %s. Use the 'additive' keyword so existing communities are preserved.",
+					req.Policy, req.Community),
+			}, true
+		}
+	}
+	return Violation{}, false
+}
+
+// sampleForClause produces a concrete route matching a clause, or nil.
+func sampleForClause(dev *netcfg.Device, cl *netcfg.PolicyClause) *netcfg.Route {
+	r := netcfg.NewRoute(netcfg.MustPrefix("150.0.0.0/16"))
+	for _, m := range cl.Matches {
+		switch m := m.(type) {
+		case netcfg.MatchPrefixList:
+			pl := dev.PrefixLists[m.List]
+			if pl == nil {
+				return nil
+			}
+			for _, e := range pl.Entries {
+				if e.Action == netcfg.Permit {
+					min, _ := e.Bounds()
+					r.Prefix = netcfg.NewPrefix(e.Prefix.Addr, min)
+					break
+				}
+			}
+		case netcfg.MatchRouteFilter:
+			r.Prefix = netcfg.NewPrefix(m.Prefix.Addr, m.MinLen)
+		case netcfg.MatchCommunityList:
+			cml := dev.CommunityLists[m.List]
+			if cml == nil {
+				return nil
+			}
+			for _, e := range cml.Entries {
+				if e.Action == netcfg.Permit {
+					r.AddCommunity(e.Community)
+					break
+				}
+			}
+		case netcfg.MatchCommunityLiteral:
+			r.AddCommunity(m.Community)
+		case netcfg.MatchProtocol:
+			switch m.Protocol {
+			case netcfg.RedistOSPF:
+				r.Protocol = netcfg.ProtoOSPF
+			case netcfg.RedistConnected:
+				r.Protocol = netcfg.ProtoConnected
+			case netcfg.RedistStatic:
+				r.Protocol = netcfg.ProtoStatic
+			default:
+				r.Protocol = netcfg.ProtoBGP
+			}
+		}
+	}
+	if !clauseAccepts(dev, cl, r) {
+		return nil
+	}
+	return r
+}
+
+func clauseAccepts(dev *netcfg.Device, cl *netcfg.PolicyClause, r *netcfg.Route) bool {
+	for _, m := range cl.Matches {
+		if !netcfg.EvalMatch(m, dev, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func witnessRoute(res batfish.SearchResult) *netcfg.Route {
+	p, err := netcfg.ParsePrefix(res.WitnessPrefix)
+	if err != nil {
+		p = netcfg.MustPrefix("10.0.0.0/8")
+	}
+	r := netcfg.NewRoute(p)
+	for _, cs := range res.WitnessCommunities {
+		if c, err := netcfg.ParseCommunity(cs); err == nil {
+			r.AddCommunity(c)
+		}
+	}
+	return r
+}
+
+// CheckAll verifies every requirement against the devices (keyed by router
+// name), returning all violations.
+func CheckAll(reqs []Requirement, devs map[string]*netcfg.Device) []Violation {
+	var out []Violation
+	for _, req := range reqs {
+		dev := devs[req.Router]
+		if dev == nil {
+			out = append(out, Violation{Requirement: req,
+				Explanation: "router " + req.Router + " has no configuration"})
+			continue
+		}
+		if v, bad := Check(dev, req); bad {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CoverageComplete is the modular proof obligation: the requirement set
+// implies global no-transit iff for every ordered pair of distinct spokes
+// (i, j) there is an ingress-tag requirement at i and an egress-drop
+// requirement of i's tag at j's egress. This is the "local policies imply
+// the global one" check the paper attributes to Lightyear's proof
+// technique.
+func CoverageComplete(t *topology.Topology, reqs []Requirement) error {
+	ingress := map[netcfg.Community]bool{}
+	egress := map[string]map[netcfg.Community]bool{}
+	for _, r := range reqs {
+		switch r.Kind {
+		case IngressAddsCommunity:
+			ingress[r.Community] = true
+		case EgressDropsCommunity:
+			if egress[r.Policy] == nil {
+				egress[r.Policy] = map[netcfg.Community]bool{}
+			}
+			egress[r.Policy][r.Community] = true
+		}
+	}
+	for i := range t.Routers {
+		ri := indexOf(t.Routers[i].Name)
+		if t.Routers[i].Name == "R1" {
+			continue
+		}
+		tag := netgen.ISPCommunity(ri)
+		if !ingress[tag] {
+			return fmt.Errorf("no ingress requirement tags routes from R%d with %s", ri, tag)
+		}
+		for j := range t.Routers {
+			rj := indexOf(t.Routers[j].Name)
+			if t.Routers[j].Name == "R1" || ri == rj {
+				continue
+			}
+			if !egress[EgressPolicyName(rj)][tag] {
+				return fmt.Errorf("egress to R%d does not drop community %s of R%d", rj, tag, ri)
+			}
+		}
+	}
+	return nil
+}

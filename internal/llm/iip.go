@@ -1,0 +1,67 @@
+package llm
+
+// IIP is one Initial Instruction Prompt: a reusable instruction loaded at
+// the start of every chat "from a database for avoiding common mistakes"
+// (§2). The database "can be built and added by experts over time"; these
+// four entries are the ones §4.2 reports.
+type IIP struct {
+	Name string
+	Text string
+}
+
+// DefaultIIPDatabase returns the paper's IIP entries for config synthesis.
+func DefaultIIPDatabase() []IIP {
+	return []IIP{
+		{
+			Name: "cfg-files-only",
+			Text: "Generate complete .cfg configuration files only. Do not generate commands to " +
+				"enter on the Cisco command line interface.",
+		},
+		{
+			Name: "no-cli-keywords",
+			Text: "Do not use the keywords 'exit', 'end', 'configure terminal', 'ip routing', " +
+				"'write', 'hostname prompts' or 'conf t' anywhere in the configuration.",
+		},
+		{
+			Name: "match-community-list",
+			Text: "To match against a community in a route-map, first declare a community list " +
+				"with 'ip community-list <n> permit <community>' and then match using only " +
+				"'match community <n>'. Never match a literal community value directly.",
+		},
+		{
+			Name: "additive-communities",
+			Text: "When adding a community to a route in a route-map, always use the 'additive' " +
+				"keyword ('set community <value> additive') so that existing communities are " +
+				"preserved.",
+		},
+	}
+}
+
+// IIPMessages renders the database as system messages for the start of a
+// conversation.
+func IIPMessages(db []IIP) []Message {
+	out := make([]Message, 0, len(db))
+	for _, e := range db {
+		out = append(out, Message{Role: RoleSystem, Content: e.Text})
+	}
+	return out
+}
+
+// HasIIP reports whether the conversation contains the named IIP entry.
+func HasIIP(messages []Message, db []IIP, name string) bool {
+	var text string
+	for _, e := range db {
+		if e.Name == name {
+			text = e.Text
+		}
+	}
+	if text == "" {
+		return false
+	}
+	for _, m := range messages {
+		if m.Role == RoleSystem && m.Content == text {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+// Package llm provides the language-model seam of the VPP loop. The paper
+// could not access the GPT-4 API and "manually simulated the API calls with
+// prompts to ChatGPT" (§2); this repository substitutes a *simulated LLM*:
+// a competent rule-based translator/synthesizer (the "savant") wrapped in a
+// calibrated error model that reproduces the paper's observed GPT-4
+// behaviour (the "idiot") — the error taxonomy of Table 2 and §4.2, the
+// per-class fixability under humanized prompts, collateral and reintroduced
+// errors, and the two cases that require human intervention.
+//
+// The substitution is documented in DESIGN.md: the object of study is the
+// verifier/humanizer/LLM loop, not GPT-4's weights, and the paper itself
+// drove its LLM by hand.
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Role identifies the author of a message.
+type Role string
+
+// Conversation roles.
+const (
+	RoleSystem    Role = "system"    // IIP entries
+	RoleHuman     Role = "human"     // manually authored prompts
+	RoleAutomated Role = "automated" // humanizer / modularizer generated prompts
+	RoleModel     Role = "model"     // LLM responses
+)
+
+// Message is one conversation turn.
+type Message struct {
+	Role    Role
+	Content string
+}
+
+// Model is the LLM abstraction the COSYNTH engine drives: the entire
+// conversation so far goes in, the model's next response comes out.
+type Model interface {
+	Complete(messages []Message) (string, error)
+}
+
+// ScriptedModel replays canned responses in order; it backs unit tests of
+// the engine that need full control of the "LLM".
+type ScriptedModel struct {
+	Responses []string
+	// Calls records every prompt the model received.
+	Calls []Message
+	next  int
+}
+
+// Complete implements Model.
+func (m *ScriptedModel) Complete(messages []Message) (string, error) {
+	if len(messages) == 0 {
+		return "", fmt.Errorf("scripted model called with no messages")
+	}
+	m.Calls = append(m.Calls, messages[len(messages)-1])
+	if m.next >= len(m.Responses) {
+		return "", fmt.Errorf("scripted model exhausted after %d responses", m.next)
+	}
+	r := m.Responses[m.next]
+	m.next++
+	return r, nil
+}
+
+// LastMessage returns the final message of a conversation, or an empty
+// message.
+func LastMessage(messages []Message) Message {
+	if len(messages) == 0 {
+		return Message{}
+	}
+	return messages[len(messages)-1]
+}
+
+// IsPrintRequest reports whether a prompt *only* asks the model to print
+// the current configuration (the second half of each correction cycle:
+// "we ask it to print the entire configuration and check the result using
+// verification tools again", §3.1). Correction prompts that merely end
+// with a print request are not print requests.
+func IsPrintRequest(content string) bool {
+	return strings.EqualFold(strings.TrimSpace(content), PrintRequest)
+}
+
+// PrintRequest is the canonical automated re-print prompt.
+const PrintRequest = "Please print the entire configuration."

@@ -1,0 +1,549 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/cisco"
+	"repro/internal/netcfg"
+)
+
+// SynthError enumerates the synthesis error classes of §4.
+type SynthError int
+
+// Synthesis error classes.
+const (
+	// SErrCLIKeywords: CLI/session keywords in the config (suppressed by
+	// the "no-cli-keywords" and "cfg-files-only" IIPs).
+	SErrCLIKeywords SynthError = iota
+	// SErrMatchCommunityLiteral: "match community 100:1" instead of a
+	// community list (suppressed by the "match-community-list" IIP).
+	SErrMatchCommunityLiteral
+	// SErrMissingAdditive: "set community" without 'additive' (suppressed
+	// by the "additive-communities" IIP).
+	SErrMissingAdditive
+	// SErrCommunityListRegex: a community-list entry holding a regex —
+	// Table 3's syntax example.
+	SErrCommunityListRegex
+	// SErrTopoWrongIP: an interface configured with the wrong address.
+	SErrTopoWrongIP
+	// SErrTopoMissingNetwork: a required network statement omitted.
+	SErrTopoMissingNetwork
+	// SErrNeighborOutsideBGP: neighbor/network commands emitted outside
+	// the "router bgp" block; Batfish flags it but its output is "not
+	// informative enough for GPT-4 to be able to fix the issue" (§4.2).
+	SErrNeighborOutsideBGP
+	// SErrAndOr: the egress filter puts every community match in a single
+	// deny stanza (AND semantics) instead of one stanza per community (OR)
+	// — the paper's second human-intervention case.
+	SErrAndOr
+
+	numSynthErrors
+)
+
+// String implements fmt.Stringer.
+func (e SynthError) String() string {
+	switch e {
+	case SErrCLIKeywords:
+		return "cli-keywords"
+	case SErrMatchCommunityLiteral:
+		return "match-community-literal"
+	case SErrMissingAdditive:
+		return "missing-additive"
+	case SErrCommunityListRegex:
+		return "community-list-regex"
+	case SErrTopoWrongIP:
+		return "topology-wrong-ip"
+	case SErrTopoMissingNetwork:
+		return "topology-missing-network"
+	case SErrNeighborOutsideBGP:
+		return "neighbor-outside-bgp"
+	case SErrAndOr:
+		return "and-or-semantics"
+	default:
+		return fmt.Sprintf("synth-error(%d)", int(e))
+	}
+}
+
+// SynthConfig controls the simulated GPT-4 for the local-synthesis task.
+type SynthConfig struct {
+	Seed int64
+	// Errors assigns injected error classes per router name. Nil selects
+	// the paper's default scenario: the AND/OR error on R1, a wrong
+	// interface address on R4, and a community-list regex on R6 (clamped
+	// to the routers that exist).
+	Errors map[string][]SynthError
+	// RespectIIP: when true (default behaviour of DefaultSynthConfig),
+	// the IIP-suppressed classes are only injected if the corresponding
+	// IIP entry is absent from the conversation.
+	RespectIIP bool
+}
+
+// DefaultSynthConfig is the paper's deterministic no-transit scenario.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{Seed: 1, RespectIIP: true}
+}
+
+// defaultErrors returns the default per-router injection plan. The three
+// IIP-suppressed classes are *attempted* here and filtered out when the
+// corresponding IIP entry is in the conversation — which is how the IIP
+// ablation (E8) measures the database's effect.
+func defaultErrors(router string) []SynthError {
+	switch router {
+	case "R1":
+		return []SynthError{SErrAndOr, SErrMatchCommunityLiteral, SErrMissingAdditive}
+	case "R2":
+		return []SynthError{SErrCLIKeywords}
+	case "R4":
+		return []SynthError{SErrTopoWrongIP}
+	case "R5":
+		return []SynthError{SErrCLIKeywords}
+	case "R6":
+		return []SynthError{SErrCommunityListRegex}
+	default:
+		return nil
+	}
+}
+
+// routerState is the model's memory of one router it has generated.
+type routerState struct {
+	name   string
+	golden *netcfg.Device
+	// egress maps policy name -> communities to filter (for AND/OR fix).
+	egress map[string][]netcfg.Community
+	active map[SynthError]bool
+	// interfere: an incremental change accidentally dropped an existing
+	// neighbor attachment (the §6 non-interference hazard).
+	interfere bool
+}
+
+// Synthesizer is the simulated GPT-4 for the no-transit use case. It
+// parses the modularizer's formulaic prompts back into structure (a
+// deliberately "savant" capability), generates a per-router Cisco config,
+// and injects the configured errors.
+type Synthesizer struct {
+	cfg     SynthConfig
+	rng     *rand.Rand
+	routers map[string]*routerState
+	// policyOwner maps route-map names to the router that defines them,
+	// so correction prompts that only mention a policy can be routed.
+	policyOwner map[string]string
+	last        string // most recently (re)generated router
+}
+
+// NewSynthesizer returns a fresh simulated model.
+func NewSynthesizer(cfg SynthConfig) *Synthesizer {
+	return &Synthesizer{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		routers:     map[string]*routerState{},
+		policyOwner: map[string]string{},
+	}
+}
+
+// ActiveErrors lists the live error classes for a router.
+func (s *Synthesizer) ActiveErrors(router string) []SynthError {
+	st := s.routers[router]
+	if st == nil {
+		return nil
+	}
+	var out []SynthError
+	for e := SynthError(0); e < numSynthErrors; e++ {
+		if st.active[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+var (
+	reGenerate  = regexp.MustCompile(`Generate the Cisco IOS configuration file for router (\w+)\.`)
+	reASRouter  = regexp.MustCompile(`Router (\w+) has AS number (\d+) and router ID ([\d.]+)\.`)
+	reIfc       = regexp.MustCompile(`Router \w+ has interface (\S+) with IP address ([\d./]+)\.`)
+	reNeighbor  = regexp.MustCompile(`Router \w+ is connected to (?:router|external peer) (\S+) at IP address ([\d.]+) in AS (\d+)\.`)
+	reNetworks  = regexp.MustCompile(`Router \w+ announces the networks: (.+)\.`)
+	reIngress   = regexp.MustCompile(`At the ingress from R\d+ \(neighbor ([\d.]+)\), apply route-map (\S+) that adds the community (\S+)`)
+	reEgress    = regexp.MustCompile(`At the egress to R\d+ \(neighbor ([\d.]+)\), apply route-map (\S+) that denies any route carrying any of the communities ([\d: ]+) and permits`)
+	reRouterIn  = regexp.MustCompile(`router (R\d+)`)
+	reAddPolicy = regexp.MustCompile(`Add to router R1 a new route-map (\S+) that adds the community (\S+) additively to every route received from the CUSTOMER neighbor ([\d.]+)`)
+)
+
+// Complete implements Model.
+func (s *Synthesizer) Complete(messages []Message) (string, error) {
+	last := LastMessage(messages)
+	content := last.Content
+	if m := reGenerate.FindStringSubmatch(content); m != nil {
+		return s.generate(messages, content, m[1])
+	}
+	if strings.Contains(content, "no-transit") && len(s.routers) == 0 {
+		// The human kickoff prompt (§4.1): acknowledge and wait for the
+		// modularizer's per-router prompts.
+		return "Understood. Send each router's details and I will generate its " +
+			"Cisco IOS configuration file.", nil
+	}
+	if m := reAddPolicy.FindStringSubmatch(content); m != nil {
+		return s.addPolicy(m[1], m[2], m[3])
+	}
+	if IsPrintRequest(content) {
+		if st := s.routers[s.last]; st != nil {
+			return s.render(st), nil
+		}
+		return "", fmt.Errorf("print request before any router was generated")
+	}
+	return s.correct(content)
+}
+
+// generate builds the golden device for a router from the prompt and
+// injects the configured errors.
+func (s *Synthesizer) generate(messages []Message, content, router string) (string, error) {
+	st := &routerState{
+		name:   router,
+		active: map[SynthError]bool{},
+		egress: map[string][]netcfg.Community{},
+	}
+	dev := netcfg.NewDevice(router, netcfg.VendorCisco)
+
+	if m := reASRouter.FindStringSubmatch(content); m != nil {
+		asn, _ := strconv.ParseUint(m[2], 10, 32)
+		b := dev.EnsureBGP(uint32(asn))
+		if id, err := netcfg.ParseIP(m[3]); err == nil {
+			b.RouterID = id
+		}
+	} else {
+		return "", fmt.Errorf("prompt for %s lacks the AS/router-ID sentence", router)
+	}
+	for i, m := range reIfc.FindAllStringSubmatch(content, -1) {
+		addr, length, err := splitCIDR(m[2])
+		if err != nil {
+			return "", fmt.Errorf("prompt interface %q: %v", m[2], err)
+		}
+		ifc := dev.EnsureInterface(m[1])
+		ifc.Address = netcfg.Prefix{Addr: addr, Len: length}
+		ifc.HasAddress = true
+		_ = i
+	}
+	for _, m := range reNeighbor.FindAllStringSubmatch(content, -1) {
+		ip, err := netcfg.ParseIP(m[2])
+		if err != nil {
+			return "", fmt.Errorf("prompt neighbor %q: %v", m[2], err)
+		}
+		asn, _ := strconv.ParseUint(m[3], 10, 32)
+		nb := dev.BGP.EnsureNeighbor(ip)
+		nb.RemoteAS = uint32(asn)
+		nb.Description = m[1]
+	}
+	if m := reNetworks.FindStringSubmatch(content); m != nil {
+		for _, p := range strings.Split(m[1], ", ") {
+			pfx, err := netcfg.ParsePrefix(strings.TrimSpace(p))
+			if err != nil {
+				return "", fmt.Errorf("prompt network %q: %v", p, err)
+			}
+			dev.BGP.Networks = append(dev.BGP.Networks, pfx)
+		}
+	}
+
+	// Policy instructions (hub only).
+	for _, m := range reIngress.FindAllStringSubmatch(content, -1) {
+		ip, _ := netcfg.ParseIP(m[1])
+		comm, err := netcfg.ParseCommunity(m[3])
+		if err != nil {
+			return "", fmt.Errorf("prompt ingress community %q: %v", m[3], err)
+		}
+		pol := &netcfg.RoutePolicy{Name: m[2], Clauses: []*netcfg.PolicyClause{{
+			Seq: 10, Action: netcfg.Permit,
+			Sets: []netcfg.SetAction{netcfg.SetCommunity{
+				Communities: []netcfg.Community{comm}, Additive: true,
+			}},
+		}}}
+		dev.RoutePolicies[pol.Name] = pol
+		dev.BGP.EnsureNeighbor(ip).ImportPolicy = pol.Name
+		s.policyOwner[pol.Name] = router
+	}
+	for _, m := range reEgress.FindAllStringSubmatch(content, -1) {
+		ip, _ := netcfg.ParseIP(m[1])
+		var comms []netcfg.Community
+		for _, cs := range strings.Fields(m[3]) {
+			c, err := netcfg.ParseCommunity(cs)
+			if err != nil {
+				return "", fmt.Errorf("prompt egress community %q: %v", cs, err)
+			}
+			comms = append(comms, c)
+		}
+		st.egress[m[2]] = comms
+		buildEgressPolicy(dev, m[2], comms, false)
+		dev.BGP.EnsureNeighbor(ip).ExportPolicy = m[2]
+		s.policyOwner[m[2]] = router
+	}
+
+	st.golden = dev
+	s.routers[router] = st
+	s.last = router
+
+	// Choose errors.
+	classes := s.cfg.Errors[router]
+	if s.cfg.Errors == nil {
+		classes = defaultErrors(router)
+	}
+	iipDB := DefaultIIPDatabase()
+	for _, e := range classes {
+		if s.cfg.RespectIIP && suppressedByIIP(e, messages, iipDB) {
+			continue
+		}
+		if e == SErrAndOr && len(st.egress) == 0 {
+			continue // nothing to get wrong
+		}
+		st.active[e] = true
+	}
+	return s.render(st), nil
+}
+
+// suppressedByIIP reports whether an error class is prevented by an IIP
+// entry present in the conversation.
+func suppressedByIIP(e SynthError, messages []Message, db []IIP) bool {
+	switch e {
+	case SErrCLIKeywords:
+		return HasIIP(messages, db, "no-cli-keywords") || HasIIP(messages, db, "cfg-files-only")
+	case SErrMatchCommunityLiteral:
+		return HasIIP(messages, db, "match-community-list")
+	case SErrMissingAdditive:
+		return HasIIP(messages, db, "additive-communities")
+	default:
+		return false
+	}
+}
+
+// correct reacts to a correction prompt, locating the router it concerns.
+func (s *Synthesizer) correct(content string) (string, error) {
+	st := s.target(content)
+	if st == nil {
+		return "", fmt.Errorf("correction prompt does not identify a known router or policy: %q",
+			firstLine(content))
+	}
+	s.last = st.name
+	c := strings.ToLower(content)
+	switch {
+	case strings.Contains(c, "community-list") && (strings.Contains(c, ".+") ||
+		strings.Contains(c, "wrong syntax") || strings.Contains(c, "invalid community")):
+		delete(st.active, SErrCommunityListRegex)
+	case strings.Contains(c, "ip address does not match"):
+		delete(st.active, SErrTopoWrongIP)
+	case strings.Contains(c, "not declared") || strings.Contains(c, "incorrect network"):
+		delete(st.active, SErrTopoMissingNetwork)
+	case strings.Contains(c, "separate") && strings.Contains(c, "stanza"):
+		// The paper's human prompt: "declare each match statement in a
+		// separate route-map stanza" (§4.2).
+		delete(st.active, SErrAndOr)
+	case strings.Contains(c, "inside the \"router bgp\"") ||
+		strings.Contains(c, "inside the router bgp block"):
+		delete(st.active, SErrNeighborOutsideBGP)
+	case strings.Contains(c, "not a top-level command"):
+		// Batfish catches the misplaced neighbor command but the warning
+		// is not actionable for the model (§4.2): no change.
+	case strings.Contains(c, "additive") || strings.Contains(c, "replaces the communities"):
+		delete(st.active, SErrMissingAdditive)
+	case strings.Contains(c, "cli") || strings.Contains(c, "session keyword"):
+		delete(st.active, SErrCLIKeywords)
+	case strings.Contains(c, "must reference a community-list"):
+		delete(st.active, SErrMatchCommunityLiteral)
+	case strings.Contains(c, "interferes with the existing") ||
+		strings.Contains(c, "restore the existing"):
+		st.interfere = false
+	case strings.Contains(c, "permits routes that have the community"):
+		// The counterexample prompt for the AND/OR error: GPT-4 "failed to
+		// rectify the issue" (§4.2) — no change.
+	}
+	return s.render(st), nil
+}
+
+// addPolicy performs the §6 incremental-change task: add a customer
+// ingress tagging route-map on R1. Faithfully to the paper's worry, the
+// edit also (once) drops an existing neighbor attachment — interference
+// the non-regression verification must catch.
+func (s *Synthesizer) addPolicy(policy, community, neighborIP string) (string, error) {
+	st := s.routers["R1"]
+	if st == nil {
+		return "", fmt.Errorf("incremental change requested before R1 was generated")
+	}
+	s.last = "R1"
+	comm, err := netcfg.ParseCommunity(community)
+	if err != nil {
+		return "", fmt.Errorf("incremental prompt community %q: %v", community, err)
+	}
+	ip, err := netcfg.ParseIP(neighborIP)
+	if err != nil {
+		return "", fmt.Errorf("incremental prompt neighbor %q: %v", neighborIP, err)
+	}
+	st.golden.RoutePolicies[policy] = &netcfg.RoutePolicy{Name: policy,
+		Clauses: []*netcfg.PolicyClause{{
+			Seq: 10, Action: netcfg.Permit,
+			Sets: []netcfg.SetAction{netcfg.SetCommunity{
+				Communities: []netcfg.Community{comm}, Additive: true,
+			}},
+		}}}
+	st.golden.BGP.EnsureNeighbor(ip).ImportPolicy = policy
+	s.policyOwner[policy] = "R1"
+	st.interfere = true
+	return s.render(st), nil
+}
+
+// target resolves which router a correction prompt refers to.
+func (s *Synthesizer) target(content string) *routerState {
+	if m := reRouterIn.FindStringSubmatch(content); m != nil {
+		if st := s.routers[m[1]]; st != nil {
+			return st
+		}
+	}
+	for pol, router := range s.policyOwner {
+		if strings.Contains(content, pol) {
+			return s.routers[router]
+		}
+	}
+	if st := s.routers[s.last]; st != nil {
+		return st
+	}
+	return nil
+}
+
+// render prints the router's config with its live errors applied.
+func (s *Synthesizer) render(st *routerState) string {
+	dev := st.golden.Clone()
+	if st.active[SErrTopoWrongIP] {
+		if len(dev.Interfaces) > 0 {
+			dev.Interfaces[0].Address.Addr++ // off-by-one address
+		}
+	}
+	if st.active[SErrTopoMissingNetwork] && dev.BGP != nil && len(dev.BGP.Networks) > 0 {
+		dev.BGP.Networks = dev.BGP.Networks[:len(dev.BGP.Networks)-1]
+	}
+	if st.active[SErrMissingAdditive] {
+		for _, name := range dev.PolicyNames() {
+			for _, cl := range dev.RoutePolicies[name].Clauses {
+				for i, set := range cl.Sets {
+					if sc, ok := set.(netcfg.SetCommunity); ok {
+						sc.Additive = false
+						cl.Sets[i] = sc
+					}
+				}
+			}
+		}
+	}
+	if st.active[SErrAndOr] {
+		for pol, comms := range st.egress {
+			buildEgressPolicy(dev, pol, comms, true)
+		}
+	}
+	if st.active[SErrMatchCommunityLiteral] {
+		useLiteralCommunityMatches(dev)
+	}
+	if st.interfere && dev.BGP != nil {
+		// The careless incremental edit: the first egress attachment to a
+		// peer router silently disappears.
+		for _, nb := range dev.BGP.Neighbors {
+			if nb.ExportPolicy != "" {
+				nb.ExportPolicy = ""
+				break
+			}
+		}
+	}
+
+	text := cisco.Print(dev)
+	if st.active[SErrCommunityListRegex] {
+		text += fmt.Sprintf("ip community-list standard COMM_LIST_%s_OUT permit .+\n", st.name)
+	}
+	if st.active[SErrNeighborOutsideBGP] && dev.BGP != nil && len(dev.BGP.Neighbors) > 0 {
+		nb := dev.BGP.Neighbors[0]
+		if nb.ImportPolicy != "" {
+			// Re-emit the attachment outside any block: the misplacement.
+			text += fmt.Sprintf("neighbor %s route-map %s in\n",
+				netcfg.FormatIP(nb.Addr), nb.ImportPolicy)
+		}
+	}
+	if st.active[SErrCLIKeywords] {
+		text = "configure terminal\n" + text + "exit\nwrite\nend\n"
+	}
+	return text
+}
+
+// buildEgressPolicy (re)builds an egress community filter on the device.
+// Correct form (andSemantics=false): one deny stanza per community, each
+// matching its own community list, then a final permit. Erroneous form
+// (andSemantics=true): a single deny stanza carrying every match — which
+// only filters routes carrying *all* the communities (§4.2).
+func buildEgressPolicy(dev *netcfg.Device, name string, comms []netcfg.Community, andSemantics bool) {
+	pol := &netcfg.RoutePolicy{Name: name}
+	listName := func(c netcfg.Community) string {
+		// Community list index per the paper: list k holds (99+k):1, i.e.
+		// R2's tag 100:1 lives in list 1.
+		return strconv.Itoa(int(uint32(c)>>16) - 99)
+	}
+	for _, c := range comms {
+		ln := listName(c)
+		if dev.CommunityLists[ln] == nil {
+			dev.CommunityLists[ln] = &netcfg.CommunityList{Name: ln, Entries: []netcfg.CommunityListEntry{
+				{Action: netcfg.Permit, Community: c},
+			}}
+		}
+	}
+	if andSemantics {
+		cl := &netcfg.PolicyClause{Seq: 10, Action: netcfg.Deny}
+		for _, c := range comms {
+			cl.Matches = append(cl.Matches, netcfg.MatchCommunityList{List: listName(c)})
+		}
+		pol.Clauses = append(pol.Clauses, cl,
+			&netcfg.PolicyClause{Seq: 20, Action: netcfg.Permit})
+	} else {
+		seq := 10
+		for _, c := range comms {
+			pol.Clauses = append(pol.Clauses, &netcfg.PolicyClause{
+				Seq: seq, Action: netcfg.Deny,
+				Matches: []netcfg.Match{netcfg.MatchCommunityList{List: listName(c)}},
+			})
+			seq += 10
+		}
+		pol.Clauses = append(pol.Clauses, &netcfg.PolicyClause{Seq: seq, Action: netcfg.Permit})
+	}
+	dev.RoutePolicies[name] = pol
+}
+
+// useLiteralCommunityMatches rewrites community-list matches into literal
+// community matches (invalid Cisco syntax) and drops the list definitions.
+func useLiteralCommunityMatches(dev *netcfg.Device) {
+	for _, name := range dev.PolicyNames() {
+		for _, cl := range dev.RoutePolicies[name].Clauses {
+			for i, m := range cl.Matches {
+				if mcl, ok := m.(netcfg.MatchCommunityList); ok {
+					if list := dev.CommunityLists[mcl.List]; list != nil && len(list.Entries) > 0 {
+						cl.Matches[i] = netcfg.MatchCommunityLiteral{Community: list.Entries[0].Community}
+					}
+				}
+			}
+		}
+	}
+	dev.CommunityLists = map[string]*netcfg.CommunityList{}
+}
+
+func splitCIDR(s string) (uint32, int, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("missing /len")
+	}
+	addr, err := netcfg.ParseIP(s[:slash])
+	if err != nil {
+		return 0, 0, err
+	}
+	length, err := strconv.Atoi(s[slash+1:])
+	if err != nil || length < 0 || length > 32 {
+		return 0, 0, fmt.Errorf("bad length")
+	}
+	return addr, length, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

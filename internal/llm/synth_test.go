@@ -1,0 +1,244 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cisco"
+	"repro/internal/modularizer"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+func star(t *testing.T, n int) *topology.Topology {
+	t.Helper()
+	topo, err := netgen.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// generateAll feeds every modularizer prompt to a synthesizer, with or
+// without the IIP database, and returns the per-router outputs.
+func generateAll(t *testing.T, s *Synthesizer, topo *topology.Topology, withIIP bool) map[string]string {
+	t.Helper()
+	var msgs []Message
+	if withIIP {
+		msgs = IIPMessages(DefaultIIPDatabase())
+	}
+	out := map[string]string{}
+	for _, task := range modularizer.Tasks(topo) {
+		msgs = append(msgs, Message{Role: RoleAutomated, Content: task.Prompt})
+		resp, err := s.Complete(msgs)
+		if err != nil {
+			t.Fatalf("%s: %v", task.Router, err)
+		}
+		msgs = append(msgs, Message{Role: RoleModel, Content: resp})
+		out[task.Router] = resp
+	}
+	return out
+}
+
+func TestSynthesizerParsesPromptsIntoValidConfigs(t *testing.T) {
+	topo := star(t, 5)
+	cfg := SynthConfig{Seed: 1, Errors: map[string][]SynthError{}} // no errors
+	s := NewSynthesizer(cfg)
+	configs := generateAll(t, s, topo, true)
+	for name, text := range configs {
+		if warns := cisco.Check(text); len(warns) != 0 {
+			t.Errorf("%s has warnings: %v", name, warns)
+		}
+		dev, _ := cisco.Parse(text)
+		spec := topo.Router(name)
+		if finds := topology.Verify(spec, dev); len(finds) != 0 {
+			t.Errorf("%s violates topology: %v", name, finds)
+		}
+	}
+	// Hub must carry the tagging and filtering machinery.
+	r1, _ := cisco.Parse(configs["R1"])
+	for _, i := range []int{2, 3, 4, 5} {
+		nbr := r1.BGP.Neighbor(mustIP(t, linkIP(i)))
+		if nbr == nil {
+			t.Fatalf("R1 missing neighbor R%d", i)
+		}
+		if nbr.ImportPolicy == "" || nbr.ExportPolicy == "" {
+			t.Errorf("R1 neighbor R%d lacks policies: %+v", i, nbr)
+		}
+	}
+}
+
+func linkIP(i int) string {
+	return netcfg.FormatIP(netcfg.MustPrefix(itoa(i) + ".0.0.2/32").Addr)
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func mustIP(t *testing.T, s string) uint32 {
+	t.Helper()
+	v, err := netcfg.ParseIP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSynthesizerIIPSuppressesCommonErrors(t *testing.T) {
+	topo := star(t, 7)
+	// With IIP: the three suppressed classes must not appear.
+	s := NewSynthesizer(DefaultSynthConfig())
+	configs := generateAll(t, s, topo, true)
+	if strings.Contains(configs["R2"], "configure terminal") {
+		t.Error("CLI keywords injected despite IIP")
+	}
+	for _, e := range s.ActiveErrors("R1") {
+		if e == SErrMatchCommunityLiteral || e == SErrMissingAdditive {
+			t.Errorf("IIP-suppressed class %s active", e)
+		}
+	}
+	// Without IIP: they appear.
+	s2 := NewSynthesizer(DefaultSynthConfig())
+	configs2 := generateAll(t, s2, topo, false)
+	if !strings.Contains(configs2["R2"], "configure terminal") {
+		t.Error("CLI keywords not injected without IIP")
+	}
+}
+
+func TestSynthesizerAndOrErrorAndHumanFix(t *testing.T) {
+	topo := star(t, 4)
+	s := NewSynthesizer(DefaultSynthConfig())
+	configs := generateAll(t, s, topo, true)
+	dev, warns := cisco.Parse(configs["R1"])
+	if len(warns) != 0 {
+		t.Fatalf("R1 warnings: %v", warns)
+	}
+	// The erroneous egress filter has a single deny stanza with 2 matches.
+	pol := dev.RoutePolicies["FILTER_COMM_OUT_R2"]
+	if pol == nil || len(pol.Clauses) != 2 || len(pol.Clauses[0].Matches) != 2 {
+		t.Fatalf("AND error shape wrong: %+v", pol)
+	}
+	// The counterexample prompt fails (paper), the human stanza prompt fixes.
+	msgs := []Message{{Role: RoleAutomated,
+		Content: "The route-map FILTER_COMM_OUT_R2 permits routes that have the community 101:1. " +
+			"However, they should be denied."}}
+	out, err := s.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devSame, _ := cisco.Parse(out)
+	if len(devSame.RoutePolicies["FILTER_COMM_OUT_R2"].Clauses) != 2 {
+		t.Fatal("counterexample prompt should not fix the AND error")
+	}
+	msgs = append(msgs, Message{Role: RoleModel, Content: out},
+		Message{Role: RoleHuman, Content: "For router R1: Declare each match statement in a " +
+			"separate route-map stanza."})
+	out2, err := s.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devFixed, _ := cisco.Parse(out2)
+	fixed := devFixed.RoutePolicies["FILTER_COMM_OUT_R2"]
+	if len(fixed.Clauses) != 3 { // deny, deny, permit for a 4-router star
+		t.Fatalf("human fix shape wrong: %+v", fixed)
+	}
+	for _, cl := range fixed.Clauses[:2] {
+		if len(cl.Matches) != 1 || cl.Action != netcfg.Deny {
+			t.Errorf("fixed stanza = %+v", cl)
+		}
+	}
+}
+
+func TestSynthesizerTopologyErrorAndFix(t *testing.T) {
+	topo := star(t, 5)
+	s := NewSynthesizer(DefaultSynthConfig())
+	configs := generateAll(t, s, topo, true)
+	dev, _ := cisco.Parse(configs["R4"])
+	spec := topo.Router("R4")
+	finds := topology.Verify(spec, dev)
+	if len(finds) == 0 {
+		t.Fatal("R4 should carry a topology error")
+	}
+	if !strings.Contains(finds[0].Issue, "ip address does not match") {
+		t.Fatalf("finding = %v", finds[0])
+	}
+	out, err := s.Complete([]Message{{Role: RoleAutomated,
+		Content: finds[0].Issue + " Please fix the configuration of router R4."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devFixed, _ := cisco.Parse(out)
+	if finds := topology.Verify(spec, devFixed); len(finds) != 0 {
+		t.Fatalf("fix failed: %v", finds)
+	}
+}
+
+func TestSynthesizerRoutesPromptsByPolicyName(t *testing.T) {
+	topo := star(t, 4)
+	s := NewSynthesizer(DefaultSynthConfig())
+	generateAll(t, s, topo, true)
+	// A prompt mentioning only a policy name must reach R1.
+	st := s.target("The route-map ADD_COMM_R3 misbehaves")
+	if st == nil || st.name != "R1" {
+		t.Fatalf("target = %+v", st)
+	}
+}
+
+func TestSynthesizerKickoffAcknowledged(t *testing.T) {
+	s := NewSynthesizer(DefaultSynthConfig())
+	out, err := s.Complete([]Message{{Role: RoleHuman,
+		Content: "The goal is a no-transit policy."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Understood") {
+		t.Errorf("kickoff response = %q", out)
+	}
+}
+
+func TestGlobalSynthesizerOscillates(t *testing.T) {
+	topo := star(t, 4)
+	g := NewGlobalSynthesizer()
+	prompt := modularizer.GlobalPrompt(topo)
+	out, err := g.Complete([]Message{{Role: RoleHuman, Content: prompt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := SplitConfigs(out)
+	if len(configs) != 4 {
+		t.Fatalf("configs = %d (%v)", len(configs), keys(configs))
+	}
+	for name, text := range configs {
+		if warns := cisco.Check(text); len(warns) != 0 {
+			t.Errorf("%s warnings: %v", name, warns)
+		}
+	}
+	// Counterexample feedback toggles the strategy.
+	out2, err := g.Complete([]Message{{Role: RoleAutomated,
+		Content: "Counterexample: ISP2 can reach ISP3's prefix 150.3.0.0/16."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 == out {
+		t.Fatal("counterexample should switch strategies")
+	}
+	out3, err := g.Complete([]Message{{Role: RoleAutomated,
+		Content: "Counterexample: ISP2 cannot reach the customer prefix."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out3 != out {
+		t.Fatal("second counterexample should oscillate back to strategy A")
+	}
+	if g.StrategySwitches != 2 {
+		t.Errorf("switches = %d", g.StrategySwitches)
+	}
+}
+
+func keys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

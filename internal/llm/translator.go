@@ -1,0 +1,403 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"repro/internal/cisco"
+	"repro/internal/juniper"
+	"repro/internal/netcfg"
+	"repro/internal/translate"
+)
+
+// TranslateError enumerates the eight translation error classes of Table 2.
+type TranslateError int
+
+// Translation error classes, in Table 2 order.
+const (
+	// ErrMissingLocalAS: "Missing BGP local-as attribute" (syntax: the
+	// translation omits routing-options autonomous-system).
+	ErrMissingLocalAS TranslateError = iota
+	// ErrPrefixListSyntax: "Invalid syntax for prefix lists" (an invalid
+	// length-ranged entry inside a Junos prefix-list).
+	ErrPrefixListSyntax
+	// ErrMissingImportPolicy: "Missing/extra BGP route policy" (the import
+	// route map is not attached to the neighbor).
+	ErrMissingImportPolicy
+	// ErrOSPFCost: "Different OSPF link cost" (the loopback loses its
+	// explicit metric; Junos then reads cost 0 where Cisco defaulted to 1).
+	ErrOSPFCost
+	// ErrOSPFPassive: "Different OSPF passive interface setting".
+	ErrOSPFPassive
+	// ErrWrongMED: "Setting wrong BGP MED value" (a route-map clause loses
+	// its set metric).
+	ErrWrongMED
+	// ErrPrefixLenMatch: "Different prefix lengths match in BGP" (the
+	// "ge 24" range is dropped; fixing it first produces the invalid
+	// "1.2.3.0/24-32" syntax of §3.2 before converging).
+	ErrPrefixLenMatch
+	// ErrRedistribution: "Different redistribution into BGP" (the export
+	// policy loses its "from protocol" gates; only a direct human prompt
+	// fixes it, §3.2).
+	ErrRedistribution
+
+	numTranslateErrors
+)
+
+// String implements fmt.Stringer.
+func (e TranslateError) String() string {
+	switch e {
+	case ErrMissingLocalAS:
+		return "missing-bgp-local-as"
+	case ErrPrefixListSyntax:
+		return "invalid-prefix-list-syntax"
+	case ErrMissingImportPolicy:
+		return "missing-bgp-route-policy"
+	case ErrOSPFCost:
+		return "different-ospf-link-cost"
+	case ErrOSPFPassive:
+		return "different-ospf-passive-setting"
+	case ErrWrongMED:
+		return "wrong-bgp-med-value"
+	case ErrPrefixLenMatch:
+		return "different-prefix-length-match"
+	case ErrRedistribution:
+		return "different-bgp-redistribution"
+	default:
+		return fmt.Sprintf("translate-error(%d)", int(e))
+	}
+}
+
+// AllTranslateErrors lists every class.
+func AllTranslateErrors() []TranslateError {
+	out := make([]TranslateError, 0, int(numTranslateErrors))
+	for e := TranslateError(0); e < numTranslateErrors; e++ {
+		out = append(out, e)
+	}
+	return out
+}
+
+// TranslateConfig controls the simulated GPT-4 for the translation task.
+type TranslateConfig struct {
+	// Seed drives all stochastic choices; runs are reproducible.
+	Seed int64
+	// Inject selects the error classes present in the first draft. Nil
+	// means all classes (the paper's full scenario).
+	Inject map[TranslateError]bool
+	// InjectProb, when in (0,1), samples each enabled class independently
+	// instead of always injecting (used by sweep benchmarks). Zero means 1.
+	InjectProb float64
+	// ReintroducePassiveOnMEDFix makes the MED fix silently re-break the
+	// passive-interface setting once — the paper's "sometimes it even
+	// reintroduces errors that were previously fixed!" (§3.2).
+	ReintroducePassiveOnMEDFix bool
+}
+
+// DefaultTranslateConfig is the paper's deterministic full scenario.
+func DefaultTranslateConfig() TranslateConfig {
+	return TranslateConfig{Seed: 1, ReintroducePassiveOnMEDFix: true}
+}
+
+// geStage tracks the multi-step life of ErrPrefixLenMatch.
+type geStage int
+
+const (
+	geNone    geStage = iota // fixed or never injected
+	geDropped                // "ge 24" silently dropped (route-filter exact)
+	geInvalid                // fix attempt produced "1.2.3.0/24-32"
+)
+
+// Translator is the simulated GPT-4 for the Cisco→Juniper use case.
+type Translator struct {
+	cfg TranslateConfig
+	rng *rand.Rand
+
+	src    *netcfg.Device
+	golden *netcfg.Device
+
+	active       map[TranslateError]bool
+	ge           geStage
+	passiveFixed bool
+	current      string
+}
+
+// NewTranslator returns a fresh simulated model.
+func NewTranslator(cfg TranslateConfig) *Translator {
+	return &Translator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		active: map[TranslateError]bool{},
+	}
+}
+
+// ActiveErrors lists the currently live error classes (tests and the
+// Table 2 bench introspect this).
+func (t *Translator) ActiveErrors() []TranslateError {
+	var out []TranslateError
+	for _, e := range AllTranslateErrors() {
+		if t.active[e] {
+			out = append(out, e)
+		}
+	}
+	if t.ge != geNone && !t.active[ErrPrefixLenMatch] {
+		out = append(out, ErrPrefixLenMatch)
+	}
+	return out
+}
+
+// Complete implements Model.
+func (t *Translator) Complete(messages []Message) (string, error) {
+	last := LastMessage(messages)
+	content := last.Content
+	switch {
+	case strings.Contains(content, "Translate the"):
+		if err := t.start(content); err != nil {
+			return "", err
+		}
+	case IsPrintRequest(content):
+		// No state change; re-render below.
+	default:
+		t.applyCorrection(content, last.Role)
+	}
+	if t.golden == nil {
+		return "", fmt.Errorf("translator has no task: first prompt must contain the Cisco configuration")
+	}
+	t.current = t.render()
+	return t.current, nil
+}
+
+// start parses the Cisco configuration out of the task prompt and chooses
+// the initial error set.
+func (t *Translator) start(content string) error {
+	idx := strings.Index(content, "hostname")
+	if idx < 0 {
+		return fmt.Errorf("task prompt does not contain a Cisco configuration")
+	}
+	dev, warns := cisco.Parse(content[idx:])
+	if len(warns) > 0 {
+		return fmt.Errorf("input Cisco configuration has %d parse warnings (first: %s)",
+			len(warns), warns[0])
+	}
+	t.src = dev
+	t.golden = translate.Golden(dev)
+	inject := t.cfg.Inject
+	for _, e := range AllTranslateErrors() {
+		enabled := inject == nil || inject[e]
+		if enabled && t.cfg.InjectProb > 0 && t.cfg.InjectProb < 1 {
+			enabled = t.rng.Float64() < t.cfg.InjectProb
+		}
+		if !enabled {
+			continue
+		}
+		if e == ErrPrefixLenMatch {
+			t.ge = geDropped
+			continue
+		}
+		t.active[e] = true
+	}
+	return nil
+}
+
+// applyCorrection reacts to a (humanized or human) correction prompt. The
+// prompt classes are tested most-specific first: the policy-behaviour
+// formula embeds attribute words like "MED", so keyword fallbacks come
+// last.
+func (t *Translator) applyCorrection(content string, role Role) {
+	c := strings.ToLower(content)
+	switch {
+	case strings.Contains(c, "syntax error"):
+		t.fixSyntax(c)
+	case strings.Contains(c, "from bgp") || strings.Contains(c, "protocol bgp") ||
+		strings.Contains(c, `"from" condition`):
+		// The direct human instruction of §3.2; the humanized policy
+		// prompt alone never fixes redistribution.
+		delete(t.active, ErrRedistribution)
+	case strings.Contains(c, "performs the following action"):
+		t.fixPolicyBehavior(c)
+	case strings.Contains(c, "no corresponding route map"),
+		strings.Contains(c, "import route map"):
+		delete(t.active, ErrMissingImportPolicy)
+	case strings.Contains(c, "cost"):
+		delete(t.active, ErrOSPFCost)
+	case strings.Contains(c, "passive"):
+		delete(t.active, ErrOSPFPassive)
+		t.passiveFixed = true
+	}
+}
+
+// fixSyntax handles syntax-error prompts by locating which live error the
+// quoted line belongs to.
+func (t *Translator) fixSyntax(c string) {
+	switch {
+	case strings.Contains(c, "local as") || strings.Contains(c, "autonomous-system"):
+		delete(t.active, ErrMissingLocalAS)
+	case strings.Contains(c, "default-route"):
+		delete(t.active, ErrPrefixListSyntax)
+	case strings.Contains(c, "our-networks") || strings.Contains(c, "24-32"):
+		if t.ge == geInvalid {
+			// "after informing it of the error, it does eventually find a
+			// correct translation" (§3.2): converge to the route-filter.
+			t.ge = geNone
+		}
+	}
+}
+
+// fixPolicyBehavior handles Campion policy-difference prompts, telling the
+// error classes apart the way GPT-4 plausibly would — by the behaviours in
+// the prompt:
+//
+//   - both sides ACCEPT but attributes differ → the missing set metric
+//     (fixed, with the paper's collateral re-breakage of an earlier fix);
+//   - the original accepts a 1.2.3.x sub-prefix the translation rejects →
+//     the dropped "ge 24" (the fix attempt produces invalid syntax, §3.2);
+//   - anything else (the redistribution difference) → no change ("it
+//     usually does nothing when asked to fix the error", §3.2).
+func (t *Translator) fixPolicyBehavior(c string) {
+	orig, trans := extractActions(c)
+	switch {
+	case strings.HasPrefix(orig, "accept") && strings.HasPrefix(trans, "accept"):
+		if t.active[ErrWrongMED] {
+			delete(t.active, ErrWrongMED)
+			if t.cfg.ReintroducePassiveOnMEDFix && t.passiveFixed {
+				// "Sometimes it even reintroduces errors that were
+				// previously fixed!" (§3.2).
+				t.active[ErrOSPFPassive] = true
+				t.passiveFixed = false
+			}
+		}
+	case t.ge == geDropped && mentionsSubprefix(c, "1.2.3.") && strings.HasPrefix(trans, "reject"):
+		t.ge = geInvalid
+	}
+}
+
+var reAction = regexp.MustCompile(`performs the following action: ([^.]+)`)
+
+// extractActions pulls the original and translation behaviours out of a
+// Table 1 policy prompt.
+func extractActions(c string) (orig, trans string) {
+	m := reAction.FindAllStringSubmatch(c, -1)
+	if len(m) > 0 {
+		orig = strings.TrimSpace(m[0][1])
+	}
+	if len(m) > 1 {
+		trans = strings.TrimSpace(m[1][1])
+	}
+	return orig, trans
+}
+
+// mentionsSubprefix reports whether the prompt's witness prefix lies under
+// the given dotted prefix (crude, but the simulated model only needs to
+// tell its two policy errors apart the way GPT-4 plausibly would: by the
+// prefix it is shown).
+func mentionsSubprefix(c, dotted string) bool {
+	return strings.Contains(c, strings.ToLower(dotted))
+}
+
+// render produces the current Juniper configuration text: the golden IR
+// with all live error mutations applied, plus text-level corruption for
+// the syntax-error classes.
+func (t *Translator) render() string {
+	dev := t.golden.Clone()
+	if t.active[ErrMissingLocalAS] && dev.BGP != nil {
+		dev.BGP.ASN = 0
+	}
+	if t.active[ErrMissingImportPolicy] && dev.BGP != nil {
+		for _, n := range dev.BGP.Neighbors {
+			n.ImportPolicy = ""
+		}
+	}
+	if t.active[ErrOSPFCost] {
+		if lo := dev.Interface("lo0.0"); lo != nil {
+			lo.OSPFCost = 0
+		}
+	}
+	if t.active[ErrOSPFPassive] {
+		if lo := dev.Interface("lo0.0"); lo != nil {
+			lo.OSPFPassive = false
+		}
+		if dev.OSPF != nil {
+			dev.OSPF.PassiveInterfaces = nil
+		}
+	}
+	if t.active[ErrWrongMED] {
+		stripFirstMED(dev)
+	}
+	switch t.ge {
+	case geDropped:
+		narrowRouteFilters(dev)
+	case geInvalid:
+		replaceRouteFiltersWithPrefixList(dev, "our-networks")
+	}
+	if t.active[ErrRedistribution] {
+		stripProtocolGates(dev)
+	}
+
+	text := juniper.Print(dev)
+	if t.active[ErrPrefixListSyntax] {
+		text = strings.Replace(text, "        0.0.0.0/0;\n", "        0.0.0.0/0-32;\n", 1)
+	}
+	if t.ge == geInvalid {
+		text = strings.Replace(text, "policy-options {\n",
+			"policy-options {\n    prefix-list our-networks {\n        1.2.3.0/24-32;\n    }\n", 1)
+	}
+	return text
+}
+
+func stripFirstMED(dev *netcfg.Device) {
+	for _, name := range dev.PolicyNames() {
+		for _, cl := range dev.RoutePolicies[name].Clauses {
+			for i, s := range cl.Sets {
+				if _, ok := s.(netcfg.SetMED); ok {
+					cl.Sets = append(cl.Sets[:i], cl.Sets[i+1:]...)
+					return
+				}
+			}
+		}
+	}
+}
+
+// narrowRouteFilters turns every length-ranged route-filter into an exact
+// match: the visible effect of dropping "ge 24" in translation.
+func narrowRouteFilters(dev *netcfg.Device) {
+	for _, name := range dev.PolicyNames() {
+		for _, cl := range dev.RoutePolicies[name].Clauses {
+			for i, m := range cl.Matches {
+				if rf, ok := m.(netcfg.MatchRouteFilter); ok && rf.MaxLen > rf.MinLen {
+					cl.Matches[i] = netcfg.NewMatchRouteFilterExact(rf.Prefix)
+				}
+			}
+		}
+	}
+}
+
+// replaceRouteFiltersWithPrefixList swaps ranged/exact route-filters for a
+// named prefix-list reference; the (invalid) list itself is injected
+// textually by render.
+func replaceRouteFiltersWithPrefixList(dev *netcfg.Device, list string) {
+	for _, name := range dev.PolicyNames() {
+		for _, cl := range dev.RoutePolicies[name].Clauses {
+			for i, m := range cl.Matches {
+				if _, ok := m.(netcfg.MatchRouteFilter); ok {
+					cl.Matches[i] = netcfg.MatchPrefixList{List: list}
+				}
+			}
+		}
+	}
+}
+
+func stripProtocolGates(dev *netcfg.Device) {
+	for _, name := range dev.PolicyNames() {
+		for _, cl := range dev.RoutePolicies[name].Clauses {
+			var kept []netcfg.Match
+			for _, m := range cl.Matches {
+				if _, ok := m.(netcfg.MatchProtocol); ok {
+					continue
+				}
+				kept = append(kept, m)
+			}
+			cl.Matches = kept
+		}
+	}
+}

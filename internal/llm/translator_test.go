@@ -1,0 +1,209 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exampledata"
+	"repro/internal/juniper"
+)
+
+func taskMessages() []Message {
+	return []Message{{Role: RoleHuman,
+		Content: "Translate the following Cisco configuration into an equivalent " +
+			"Juniper configuration.\n\n" + exampledata.CiscoExample}}
+}
+
+func startTranslator(t *testing.T, cfg TranslateConfig) (*Translator, string) {
+	t.Helper()
+	m := NewTranslator(cfg)
+	out, err := m.Complete(taskMessages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, out
+}
+
+func single(class TranslateError) TranslateConfig {
+	return TranslateConfig{Seed: 1, Inject: map[TranslateError]bool{class: true}}
+}
+
+func TestTranslatorCleanWhenNothingInjected(t *testing.T) {
+	_, out := startTranslator(t, TranslateConfig{Seed: 1, Inject: map[TranslateError]bool{}})
+	if warns := juniper.Check(out); len(warns) != 0 {
+		t.Fatalf("clean translator produced warnings: %v", warns)
+	}
+}
+
+func TestTranslatorDeterministic(t *testing.T) {
+	_, out1 := startTranslator(t, DefaultTranslateConfig())
+	_, out2 := startTranslator(t, DefaultTranslateConfig())
+	if out1 != out2 {
+		t.Fatal("same seed produced different drafts")
+	}
+}
+
+func TestTranslatorInjectsSyntaxErrors(t *testing.T) {
+	_, out := startTranslator(t, single(ErrPrefixListSyntax))
+	if !strings.Contains(out, "0.0.0.0/0-32") {
+		t.Fatal("invalid prefix-list entry not injected")
+	}
+	if warns := juniper.Check(out); len(warns) == 0 {
+		t.Fatal("checker missed the injected syntax error")
+	}
+}
+
+func TestTranslatorInjectsMissingLocalAS(t *testing.T) {
+	_, out := startTranslator(t, single(ErrMissingLocalAS))
+	if strings.Contains(out, "autonomous-system") {
+		t.Fatal("autonomous-system should be omitted")
+	}
+	found := false
+	for _, w := range juniper.Check(out) {
+		if strings.Contains(w.Reason, "no local AS") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("checker missed the missing local AS")
+	}
+}
+
+func TestTranslatorGEChainConverges(t *testing.T) {
+	m, out := startTranslator(t, single(ErrPrefixLenMatch))
+	if !strings.Contains(out, "route-filter 1.2.3.0/24 exact") {
+		t.Fatalf("ge-24 drop should appear as an exact route-filter:\n%s", out)
+	}
+	// Stage 2: the Campion policy prompt triggers the invalid syntax.
+	msgs := append(taskMessages(), Message{Role: RoleModel, Content: out},
+		Message{Role: RoleAutomated, Content: "In the original configuration, for the prefix " +
+			"1.2.3.0/25, the BGP export policy to_provider for BGP neighbor 2.3.4.5 performs " +
+			"the following action: ACCEPT with MED 50. But, in the translation, the " +
+			"corresponding BGP export policy to_provider performs the following action: REJECT."})
+	out2, err := m.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "1.2.3.0/24-32") {
+		t.Fatalf("fix attempt should produce the invalid prefix-list form:\n%s", out2)
+	}
+	// Stage 3: the syntax prompt converges to the correct route-filter.
+	msgs = append(msgs, Message{Role: RoleModel, Content: out2},
+		Message{Role: RoleAutomated, Content: "There is a syntax error: 'policy-options " +
+			"prefix-list our-networks 1.2.3.0/24-32'."})
+	out3, err := m.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warns := juniper.Check(out3); len(warns) != 0 {
+		t.Fatalf("final output has warnings: %v", warns)
+	}
+	if !strings.Contains(out3, "prefix-length-range /24-/32") &&
+		!strings.Contains(out3, "orlonger") {
+		t.Fatalf("final output lacks the correct range form:\n%s", out3)
+	}
+}
+
+func TestTranslatorRedistributionNeedsHumanPhrase(t *testing.T) {
+	m, out := startTranslator(t, single(ErrRedistribution))
+	if strings.Contains(out, "protocol bgp") {
+		t.Fatal("protocol gates should be stripped")
+	}
+	autoPrompt := Message{Role: RoleAutomated, Content: "In the original configuration, for " +
+		"the prefix 1.1.1.1/32, the BGP export policy to_provider for BGP neighbor 2.3.4.5 " +
+		"performs the following action: REJECT. But, in the translation, the corresponding " +
+		"BGP export policy to_provider performs the following action: ACCEPT with MED 10."}
+	msgs := append(taskMessages(), Message{Role: RoleModel, Content: out}, autoPrompt)
+	out2, err := m.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 != out {
+		t.Fatal("automated policy prompt should not fix redistribution (§3.2)")
+	}
+	msgs = append(msgs, Message{Role: RoleModel, Content: out2},
+		Message{Role: RoleHuman, Content: `Add a "from bgp" condition to each routing policy term.`})
+	out3, err := m.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3, "protocol bgp") {
+		t.Fatal("human prompt should restore the gates")
+	}
+}
+
+func TestTranslatorReintroducesPassiveOnMEDFix(t *testing.T) {
+	cfg := TranslateConfig{Seed: 1, ReintroducePassiveOnMEDFix: true,
+		Inject: map[TranslateError]bool{ErrOSPFPassive: true, ErrWrongMED: true}}
+	m, _ := startTranslator(t, cfg)
+	// Fix passive first.
+	msgs := append(taskMessages(), Message{Role: RoleModel, Content: m.current},
+		Message{Role: RoleAutomated, Content: "In the original configuration, the OSPF link " +
+			"for Loopback0 has passive interface setting set to true, but in the translation, " +
+			"the corresponding lo0.0 has passive interface setting set to false."})
+	out, err := m.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "passive") {
+		t.Fatal("passive fix did not apply")
+	}
+	// Now fix MED: passive must silently break again.
+	msgs = append(msgs, Message{Role: RoleModel, Content: out},
+		Message{Role: RoleAutomated, Content: "In the original configuration, for the prefix " +
+			"1.2.3.0/24, the BGP export policy to_provider for BGP neighbor 2.3.4.5 performs " +
+			"the following action: ACCEPT with MED 50. But, in the translation, the " +
+			"corresponding BGP export policy to_provider performs the following action: ACCEPT."})
+	out2, err := m.Complete(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "metric 50") {
+		t.Fatal("MED fix did not apply")
+	}
+	if strings.Contains(out2, "passive") {
+		t.Fatal("passive should have been silently reintroduced (§3.2)")
+	}
+}
+
+func TestTranslatorRequiresTaskFirst(t *testing.T) {
+	m := NewTranslator(DefaultTranslateConfig())
+	if _, err := m.Complete([]Message{{Role: RoleAutomated, Content: "fix it"}}); err == nil {
+		t.Fatal("correction before task should error")
+	}
+	if _, err := m.Complete([]Message{{Role: RoleHuman,
+		Content: "Translate the following Cisco configuration"}}); err == nil {
+		t.Fatal("task without config should error")
+	}
+}
+
+func TestIsPrintRequest(t *testing.T) {
+	if !IsPrintRequest(PrintRequest) {
+		t.Error("canonical print request not recognized")
+	}
+	if !IsPrintRequest("  please print the entire configuration.  ") {
+		t.Error("case/space-insensitive match failed")
+	}
+	if IsPrintRequest("Fix the error. Then print the entire configuration.") {
+		t.Error("correction prompt misclassified as print request")
+	}
+}
+
+func TestScriptedModel(t *testing.T) {
+	m := &ScriptedModel{Responses: []string{"a", "b"}}
+	if out, _ := m.Complete([]Message{{Role: RoleHuman, Content: "x"}}); out != "a" {
+		t.Errorf("first = %q", out)
+	}
+	if out, _ := m.Complete([]Message{{Role: RoleHuman, Content: "y"}}); out != "b" {
+		t.Errorf("second = %q", out)
+	}
+	if _, err := m.Complete([]Message{{Role: RoleHuman, Content: "z"}}); err == nil {
+		t.Error("exhausted model should error")
+	}
+	if _, err := m.Complete(nil); err == nil {
+		t.Error("empty conversation should error")
+	}
+	if len(m.Calls) != 3 {
+		t.Errorf("calls = %d", len(m.Calls))
+	}
+}

@@ -1,0 +1,150 @@
+// Package modularizer implements Figure 3's Modularizer and Composer: it
+// turns the machine-readable topology (the JSON dictionary) into a
+// sequence of formulaic natural-language prompts — one per router — each
+// carrying that router's local policy instructions, and composes the
+// per-router outputs back into a snapshot folder for Batfish.
+//
+// The modularizer embodies "Give the Model Time to Think": it breaks the
+// network-wide synthesis task into one simpler sub-prompt per router (§2).
+package modularizer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/batfish"
+	"repro/internal/lightyear"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// Task is one per-router synthesis prompt with its local spec.
+type Task struct {
+	Router string
+	Prompt string
+	// LocalSpec lists the requirements the semantic verifier will check
+	// on this router's output.
+	LocalSpec []lightyear.Requirement
+}
+
+// Tasks derives the per-router prompts for the no-transit use case: each
+// prompt describes only that router's piece of the topology plus its local
+// policy role (tagging at ingress, filtering at egress for the hub).
+func Tasks(t *topology.Topology) []Task {
+	reqs := lightyear.NoTransitSpec(t)
+	var out []Task
+	for i := range t.Routers {
+		spec := &t.Routers[i]
+		var local []lightyear.Requirement
+		for _, r := range reqs {
+			if r.Router == spec.Name {
+				local = append(local, r)
+			}
+		}
+		out = append(out, Task{
+			Router:    spec.Name,
+			Prompt:    routerPrompt(t, spec),
+			LocalSpec: local,
+		})
+	}
+	return out
+}
+
+// routerPrompt renders the formulaic per-router prompt. The sentences are
+// machine-generated (the paper notes hand-written topology prose is
+// error-prone, §4.1) and deliberately regular.
+func routerPrompt(t *topology.Topology, spec *topology.RouterSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Generate the Cisco IOS configuration file for router %s.\n", spec.Name)
+	fmt.Fprintf(&b, "Router %s has AS number %d and router ID %s.\n", spec.Name, spec.ASN, spec.RouterID)
+	for _, ifc := range spec.Interfaces {
+		fmt.Fprintf(&b, "Router %s has interface %s with IP address %s.\n",
+			spec.Name, ifc.Name, ifc.Address)
+	}
+	for _, nb := range spec.Neighbors {
+		kind := "router"
+		if nb.External {
+			kind = "external peer"
+		}
+		fmt.Fprintf(&b, "Router %s is connected to %s %s at IP address %s in AS %d.\n",
+			spec.Name, kind, nb.PeerName, nb.PeerIP, nb.PeerAS)
+	}
+	fmt.Fprintf(&b, "Router %s announces the networks: %s.\n",
+		spec.Name, strings.Join(spec.Networks, ", "))
+
+	if spec.Name == "R1" {
+		b.WriteString(policyInstructions(t))
+	}
+	return b.String()
+}
+
+// policyInstructions renders R1's local no-transit role: per-ISP ingress
+// tagging and egress filtering, phrased with the paper's route-map names.
+func policyInstructions(t *topology.Topology) string {
+	var spokes []int
+	for i := range t.Routers {
+		if t.Routers[i].Name == "R1" {
+			continue
+		}
+		var n int
+		fmt.Sscanf(t.Routers[i].Name, "R%d", &n)
+		spokes = append(spokes, n)
+	}
+	var b strings.Builder
+	b.WriteString("Policy instructions:\n")
+	for _, i := range spokes {
+		tag := netgen.ISPCommunity(i)
+		fmt.Fprintf(&b, "At the ingress from R%d (neighbor %d.0.0.2), apply route-map %s "+
+			"that adds the community %s to every incoming route.\n",
+			i, i, lightyear.IngressPolicyName(i), tag)
+	}
+	for _, i := range spokes {
+		var others []string
+		for _, j := range spokes {
+			if j != i {
+				others = append(others, netgen.ISPCommunity(j).String())
+			}
+		}
+		fmt.Fprintf(&b, "At the egress to R%d (neighbor %d.0.0.2), apply route-map %s "+
+			"that denies any route carrying any of the communities %s and permits all other routes.\n",
+			i, i, lightyear.EgressPolicyName(i), strings.Join(others, " "))
+	}
+	return b.String()
+}
+
+// GlobalPrompt renders the single network-wide prompt used by the paper's
+// failed "global policy" experiment (§4.1): the whole topology plus the
+// global no-transit sentence, with no per-router roles.
+func GlobalPrompt(t *topology.Topology) string {
+	return netgen.Describe(t) +
+		"Generate Cisco IOS configuration files for all routers.\n" +
+		"Implement the no-transit policy: no two ISPs should be able to reach each other " +
+		"through this network, but all ISPs should be able to reach the CUSTOMER and vice versa.\n"
+}
+
+// Compose assembles per-router configuration texts into a Batfish
+// snapshot (Figure 3's Composer, which "puts back the pieces ... in a
+// folder for Batfish").
+func Compose(configs map[string]string) *batfish.Snapshot {
+	s := batfish.NewSnapshot()
+	for name, text := range configs {
+		s.AddConfig(name, text)
+	}
+	return s
+}
+
+// WriteSnapshot writes per-router configs as <dir>/<router>.cfg.
+func WriteSnapshot(dir string, configs map[string]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating snapshot dir: %w", err)
+	}
+	for name, text := range configs {
+		path := filepath.Join(dir, name+".cfg")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package modularizer
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lightyear"
+	"repro/internal/netgen"
+)
+
+func TestTasksOnePerRouter(t *testing.T) {
+	topo, err := netgen.Star(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := Tasks(topo)
+	if len(tasks) != 7 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[0].Router != "R1" {
+		t.Errorf("first task = %s", tasks[0].Router)
+	}
+}
+
+func TestHubPromptCarriesPolicyInstructions(t *testing.T) {
+	topo, err := netgen.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := Tasks(topo)
+	hub := tasks[0]
+	for _, want := range []string{
+		"Generate the Cisco IOS configuration file for router R1.",
+		"apply route-map ADD_COMM_R2 that adds the community 100:1",
+		"apply route-map FILTER_COMM_OUT_R2 that denies any route carrying any of the communities 101:1 102:1",
+		"permits all other routes",
+	} {
+		if !strings.Contains(hub.Prompt, want) {
+			t.Errorf("hub prompt missing %q:\n%s", want, hub.Prompt)
+		}
+	}
+	// The hub carries every local-spec requirement.
+	if len(hub.LocalSpec) != len(lightyear.NoTransitSpec(topo)) {
+		t.Errorf("hub spec = %d requirements", len(hub.LocalSpec))
+	}
+}
+
+func TestSpokePromptHasNoPolicyInstructions(t *testing.T) {
+	topo, err := netgen.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := Tasks(topo)
+	spoke := tasks[2]
+	if strings.Contains(spoke.Prompt, "Policy instructions") {
+		t.Errorf("spoke prompt should carry no policy role:\n%s", spoke.Prompt)
+	}
+	if len(spoke.LocalSpec) != 0 {
+		t.Errorf("spoke spec = %v", spoke.LocalSpec)
+	}
+	for _, want := range []string{
+		"Router R3 has AS number 3",
+		"interface eth0/0 with IP address 3.0.0.2/24",
+		"connected to router R1",
+		"connected to external peer ISP3",
+	} {
+		if !strings.Contains(spoke.Prompt, want) {
+			t.Errorf("spoke prompt missing %q", want)
+		}
+	}
+}
+
+func TestGlobalPromptStatesPolicyOnce(t *testing.T) {
+	topo, err := netgen.Star(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := GlobalPrompt(topo)
+	if !strings.Contains(p, "no-transit policy") ||
+		!strings.Contains(p, "Generate Cisco IOS configuration files for all routers") {
+		t.Errorf("global prompt = %q", p)
+	}
+	if strings.Contains(p, "ADD_COMM") {
+		t.Error("global prompt must not leak per-router roles")
+	}
+}
+
+func TestComposeBuildsSnapshot(t *testing.T) {
+	s := Compose(map[string]string{
+		"R1": "hostname R1\n",
+		"R2": "hostname R2\n",
+	})
+	if len(s.Devices) != 2 || s.Devices["R1"].Hostname != "R1" {
+		t.Fatalf("snapshot = %+v", s.DeviceNames())
+	}
+}
+
+func TestWriteSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "snap")
+	err := WriteSnapshot(dir, map[string]string{"R1": "hostname R1\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "R1.cfg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hostname R1\n" {
+		t.Errorf("content = %q", data)
+	}
+}

@@ -1,0 +1,151 @@
+package netcfg
+
+import "testing"
+
+func TestVendorString(t *testing.T) {
+	if VendorCisco.String() != "cisco" || VendorJuniper.String() != "juniper" ||
+		VendorUnknown.String() != "unknown" {
+		t.Error("vendor strings wrong")
+	}
+}
+
+func TestEnsureInterfaceIdempotent(t *testing.T) {
+	d := NewDevice("r", VendorCisco)
+	a := d.EnsureInterface("eth0")
+	b := d.EnsureInterface("eth0")
+	if a != b {
+		t.Error("EnsureInterface created a duplicate")
+	}
+	if len(d.Interfaces) != 1 {
+		t.Errorf("interfaces = %d", len(d.Interfaces))
+	}
+	if d.Interface("nope") != nil {
+		t.Error("unknown interface should be nil")
+	}
+}
+
+func TestEnsureBGPAndNeighbor(t *testing.T) {
+	d := NewDevice("r", VendorCisco)
+	b := d.EnsureBGP(65000)
+	if d.EnsureBGP(1) != b || b.ASN != 65000 {
+		t.Error("EnsureBGP should not replace an existing process")
+	}
+	n := b.EnsureNeighbor(42)
+	if b.EnsureNeighbor(42) != n || len(b.Neighbors) != 1 {
+		t.Error("EnsureNeighbor created a duplicate")
+	}
+	if b.Neighbor(43) != nil {
+		t.Error("unknown neighbor should be nil")
+	}
+}
+
+func TestBGPHasNetwork(t *testing.T) {
+	b := &BGP{Networks: []Prefix{MustPrefix("10.0.0.0/8")}}
+	if !b.HasNetwork(MustPrefix("10.0.0.0/8")) {
+		t.Error("exact network not found")
+	}
+	if b.HasNetwork(MustPrefix("10.0.0.0/9")) {
+		t.Error("different length should not match")
+	}
+}
+
+func TestSortedNameAccessors(t *testing.T) {
+	d := NewDevice("r", VendorCisco)
+	d.RoutePolicies["b"] = &RoutePolicy{Name: "b"}
+	d.RoutePolicies["a"] = &RoutePolicy{Name: "a"}
+	d.PrefixLists["z"] = &PrefixList{Name: "z"}
+	d.PrefixLists["y"] = &PrefixList{Name: "y"}
+	d.CommunityLists["2"] = &CommunityList{Name: "2"}
+	d.CommunityLists["1"] = &CommunityList{Name: "1"}
+	if got := d.PolicyNames(); got[0] != "a" || got[1] != "b" {
+		t.Errorf("policies = %v", got)
+	}
+	if got := d.PrefixListNames(); got[0] != "y" || got[1] != "z" {
+		t.Errorf("prefix lists = %v", got)
+	}
+	if got := d.CommunityListNames(); got[0] != "1" || got[1] != "2" {
+		t.Errorf("community lists = %v", got)
+	}
+}
+
+func TestRedistProtocolParseAndString(t *testing.T) {
+	for _, s := range []string{"connected", "static", "ospf", "bgp"} {
+		p, err := ParseRedistProtocol(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.String() != s {
+			t.Errorf("round trip %q -> %q", s, p.String())
+		}
+	}
+	if p, err := ParseRedistProtocol("direct"); err != nil || p != RedistConnected {
+		t.Error("direct should alias connected")
+	}
+	if _, err := ParseRedistProtocol("rip"); err == nil {
+		t.Error("unknown protocol should error")
+	}
+}
+
+func TestRouteProtocolRedistSource(t *testing.T) {
+	cases := map[RouteProtocol]RedistProtocol{
+		ProtoConnected: RedistConnected,
+		ProtoStatic:    RedistStatic,
+		ProtoOSPF:      RedistOSPF,
+		ProtoBGP:       RedistBGP,
+	}
+	for rp, want := range cases {
+		if rp.RedistSource() != want {
+			t.Errorf("%v -> %v, want %v", rp, rp.RedistSource(), want)
+		}
+	}
+}
+
+func TestOSPFIsPassive(t *testing.T) {
+	o := &OSPF{PassiveInterfaces: []string{"Loopback0"}}
+	if !o.IsPassive("Loopback0") || o.IsPassive("eth0") {
+		t.Error("passive lookup wrong")
+	}
+}
+
+func TestPolicyCloneIndependent(t *testing.T) {
+	p := &RoutePolicy{Name: "p", Clauses: []*PolicyClause{
+		{Seq: 10, Action: Permit,
+			Matches: []Match{MatchPrefixList{List: "l"}},
+			Sets:    []SetAction{SetMED{MED: 1}}},
+	}}
+	c := p.Clone()
+	c.Clauses[0].Action = Deny
+	c.Clauses[0].Matches = append(c.Clauses[0].Matches, MatchProtocol{Protocol: RedistBGP})
+	if p.Clauses[0].Action != Permit || len(p.Clauses[0].Matches) != 1 {
+		t.Error("clone shares clause state")
+	}
+}
+
+func TestParseWarningString(t *testing.T) {
+	w := ParseWarning{Line: 3, Text: "bad line", Reason: "nonsense"}
+	if w.String() != `line 3: nonsense: "bad line"` {
+		t.Errorf("warning = %q", w.String())
+	}
+}
+
+func TestMatchAndSetStrings(t *testing.T) {
+	cases := map[string]string{
+		MatchPrefixList{List: "l"}.MatchString():                             "prefix-list l",
+		MatchCommunityList{List: "c"}.MatchString():                          "community-list c",
+		MatchCommunityLiteral{Community: MustCommunity("1:2")}.MatchString(): "community-literal 1:2",
+		MatchProtocol{Protocol: RedistOSPF}.MatchString():                    "protocol ospf",
+		MatchASPathRegex{Regex: "^$"}.MatchString():                          "as-path ^$",
+		SetMED{MED: 5}.SetString():                                           "med 5",
+		SetLocalPref{Pref: 200}.SetString():                                  "local-preference 200",
+		SetNextHop{Hop: 1}.SetString():                                       "next-hop 0.0.0.1",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+	sc := SetCommunity{Communities: []Community{MustCommunity("1:2")}, Additive: true}
+	if sc.SetString() != "community 1:2 additive" {
+		t.Errorf("set community = %q", sc.SetString())
+	}
+}

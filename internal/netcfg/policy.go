@@ -1,0 +1,252 @@
+package netcfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Action is the disposition of a policy clause or list entry.
+type Action int
+
+// Permit and Deny dispositions.
+const (
+	Deny Action = iota
+	Permit
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	if a == Permit {
+		return "permit"
+	}
+	return "deny"
+}
+
+// PrefixList is a named ordered list of prefix match entries.
+type PrefixList struct {
+	Name    string
+	Entries []PrefixListEntry
+}
+
+// PrefixListEntry is one sequence entry. Ge/Le of zero mean "unset"; an
+// unset bound defaults to exactly the entry prefix length (Cisco semantics).
+type PrefixListEntry struct {
+	Seq    int
+	Action Action
+	Prefix Prefix
+	Ge     int
+	Le     int
+}
+
+// Bounds returns the effective [min,max] matched prefix-length range.
+func (e PrefixListEntry) Bounds() (min, max int) {
+	min, max = e.Prefix.Len, e.Prefix.Len
+	if e.Ge > 0 {
+		min = e.Ge
+		max = 32 // "ge N" alone admits any longer prefix
+	}
+	if e.Le > 0 {
+		max = e.Le
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// MatchesPrefix reports whether a concrete announced prefix matches the
+// entry (regardless of the entry's action).
+func (e PrefixListEntry) MatchesPrefix(p Prefix) bool {
+	min, max := e.Bounds()
+	if p.Len < min || p.Len > max {
+		return false
+	}
+	return p.Addr&Mask(e.Prefix.Len) == e.Prefix.Addr
+}
+
+// Matches evaluates the full list against a prefix: first matching entry
+// wins; a permit entry matches the list, a deny entry rejects it; no match
+// rejects (implicit deny).
+func (l *PrefixList) Matches(p Prefix) bool {
+	for _, e := range l.Entries {
+		if e.MatchesPrefix(p) {
+			return e.Action == Permit
+		}
+	}
+	return false
+}
+
+// CommunityList is a named list of community match entries.
+type CommunityList struct {
+	Name    string
+	Entries []CommunityListEntry
+}
+
+// CommunityListEntry permits or denies routes carrying a community.
+type CommunityListEntry struct {
+	Action    Action
+	Community Community
+}
+
+// Matches reports whether a route carrying the given communities matches the
+// list: first entry whose community is present decides.
+func (l *CommunityList) Matches(comms map[Community]bool) bool {
+	for _, e := range l.Entries {
+		if comms[e.Community] {
+			return e.Action == Permit
+		}
+	}
+	return false
+}
+
+// RoutePolicy is a vendor-neutral route map / policy statement: an ordered
+// sequence of clauses ("stanzas" / "terms"). Within a clause all matches are
+// ANDed; across clauses the first matching clause decides — the exact
+// semantics whose AND/OR distinction GPT-4 confused in the paper (§4.2).
+type RoutePolicy struct {
+	Name    string
+	Clauses []*PolicyClause
+}
+
+// Clone deep-copies the policy.
+func (p *RoutePolicy) Clone() *RoutePolicy {
+	c := &RoutePolicy{Name: p.Name}
+	for _, cl := range p.Clauses {
+		dup := &PolicyClause{Seq: cl.Seq, Action: cl.Action}
+		dup.Matches = append([]Match(nil), cl.Matches...)
+		dup.Sets = append([]SetAction(nil), cl.Sets...)
+		c.Clauses = append(c.Clauses, dup)
+	}
+	return c
+}
+
+// Clause returns the clause with the given sequence number, or nil.
+func (p *RoutePolicy) Clause(seq int) *PolicyClause {
+	for _, c := range p.Clauses {
+		if c.Seq == seq {
+			return c
+		}
+	}
+	return nil
+}
+
+// SortClauses orders clauses by sequence number.
+func (p *RoutePolicy) SortClauses() {
+	sort.SliceStable(p.Clauses, func(i, j int) bool {
+		return p.Clauses[i].Seq < p.Clauses[j].Seq
+	})
+}
+
+// PolicyClause is one stanza/term: ANDed matches, an action, and attribute
+// set actions applied when the clause fires with a Permit action.
+type PolicyClause struct {
+	Seq     int
+	Action  Action
+	Matches []Match
+	Sets    []SetAction
+}
+
+// String renders a compact debugging form.
+func (c *PolicyClause) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d", c.Action, c.Seq)
+	for _, m := range c.Matches {
+		fmt.Fprintf(&b, " [%s]", m.MatchString())
+	}
+	for _, s := range c.Sets {
+		fmt.Fprintf(&b, " {%s}", s.SetString())
+	}
+	return b.String()
+}
+
+// Match is a clause match condition.
+type Match interface {
+	// MatchString renders a vendor-neutral description of the condition.
+	MatchString() string
+}
+
+// MatchPrefixList matches routes whose prefix is permitted by a named
+// prefix list.
+type MatchPrefixList struct{ List string }
+
+// MatchString implements Match.
+func (m MatchPrefixList) MatchString() string { return "prefix-list " + m.List }
+
+// MatchCommunityList matches routes carrying a community permitted by a
+// named community list.
+type MatchCommunityList struct{ List string }
+
+// MatchString implements Match.
+func (m MatchCommunityList) MatchString() string { return "community-list " + m.List }
+
+// MatchCommunityLiteral matches a literal community. This is *invalid* in
+// Cisco route maps (the paper's "Match Community" error: GPT-4 writes
+// "match community 100:1" instead of referencing a community list); the IR
+// keeps it representable so that the syntax checker can flag it.
+type MatchCommunityLiteral struct{ Community Community }
+
+// MatchString implements Match.
+func (m MatchCommunityLiteral) MatchString() string {
+	return "community-literal " + m.Community.String()
+}
+
+// MatchProtocol matches the protocol a candidate route came from
+// (Juniper "from bgp" / Cisco redistribution source). Central to the
+// paper's "Different redistribution into BGP" error.
+type MatchProtocol struct{ Protocol RedistProtocol }
+
+// MatchString implements Match.
+func (m MatchProtocol) MatchString() string { return "protocol " + m.Protocol.String() }
+
+// MatchASPathRegex matches an AS-path regular expression (the "innovative
+// strategy" GPT-4 produced for global no-transit prompts, §4.1).
+type MatchASPathRegex struct{ Regex string }
+
+// MatchString implements Match.
+func (m MatchASPathRegex) MatchString() string { return "as-path " + m.Regex }
+
+// SetAction is a clause attribute-transform action.
+type SetAction interface {
+	// SetString renders a vendor-neutral description of the action.
+	SetString() string
+}
+
+// SetMED sets the BGP MED attribute (paper: "Setting wrong BGP MED value").
+type SetMED struct{ MED int }
+
+// SetString implements SetAction.
+func (s SetMED) SetString() string { return fmt.Sprintf("med %d", s.MED) }
+
+// SetLocalPref sets the BGP local preference.
+type SetLocalPref struct{ Pref int }
+
+// SetString implements SetAction.
+func (s SetLocalPref) SetString() string { return fmt.Sprintf("local-preference %d", s.Pref) }
+
+// SetCommunity sets or adds communities. Additive=false *replaces* the
+// route's communities — the distinction behind the paper's "Adding
+// Communities" IIP (§4.2: GPT-4 forgets the 'additive' keyword).
+type SetCommunity struct {
+	Communities []Community
+	Additive    bool
+}
+
+// SetString implements SetAction.
+func (s SetCommunity) SetString() string {
+	parts := make([]string, len(s.Communities))
+	for i, c := range s.Communities {
+		parts[i] = c.String()
+	}
+	out := "community " + strings.Join(parts, " ")
+	if s.Additive {
+		out += " additive"
+	}
+	return out
+}
+
+// SetNextHop sets the BGP next hop.
+type SetNextHop struct{ Hop uint32 }
+
+// SetString implements SetAction.
+func (s SetNextHop) SetString() string { return "next-hop " + FormatIP(s.Hop) }

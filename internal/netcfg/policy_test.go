@@ -1,0 +1,249 @@
+package netcfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixListEntryBounds(t *testing.T) {
+	cases := []struct {
+		entry    PrefixListEntry
+		min, max int
+	}{
+		{PrefixListEntry{Prefix: MustPrefix("1.2.3.0/24")}, 24, 24},
+		{PrefixListEntry{Prefix: MustPrefix("1.2.3.0/24"), Ge: 24}, 24, 32},
+		{PrefixListEntry{Prefix: MustPrefix("1.2.3.0/24"), Ge: 25, Le: 28}, 25, 28},
+		{PrefixListEntry{Prefix: MustPrefix("1.2.3.0/24"), Le: 28}, 24, 28},
+		{PrefixListEntry{Prefix: MustPrefix("1.2.3.0/24"), Ge: 30, Le: 25}, 30, 30}, // clamp
+	}
+	for i, c := range cases {
+		min, max := c.entry.Bounds()
+		if min != c.min || max != c.max {
+			t.Errorf("case %d: bounds = (%d,%d), want (%d,%d)", i, min, max, c.min, c.max)
+		}
+	}
+}
+
+func TestPrefixListGe24MatchesPaperSemantics(t *testing.T) {
+	// "ip prefix-list our-networks seq 5 permit 1.2.3.0/24 ge 24": match
+	// prefixes with length 24 or greater whose first 24 bits match (§3.2).
+	pl := &PrefixList{Name: "our-networks", Entries: []PrefixListEntry{
+		{Seq: 5, Action: Permit, Prefix: MustPrefix("1.2.3.0/24"), Ge: 24},
+	}}
+	cases := []struct {
+		p    string
+		want bool
+	}{
+		{"1.2.3.0/24", true},
+		{"1.2.3.0/25", true},
+		{"1.2.3.128/25", true},
+		{"1.2.3.7/32", true},
+		{"1.2.0.0/16", false}, // too short
+		{"1.2.2.0/24", false}, // wrong bits
+	}
+	for _, c := range cases {
+		if got := pl.Matches(MustPrefix(c.p)); got != c.want {
+			t.Errorf("Matches(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCommunityListFirstMatchWins(t *testing.T) {
+	cl := &CommunityList{Name: "l", Entries: []CommunityListEntry{
+		{Action: Deny, Community: MustCommunity("100:1")},
+		{Action: Permit, Community: MustCommunity("100:2")},
+	}}
+	has := func(ss ...string) map[Community]bool {
+		m := map[Community]bool{}
+		for _, s := range ss {
+			m[MustCommunity(s)] = true
+		}
+		return m
+	}
+	if cl.Matches(has("100:1", "100:2")) {
+		t.Error("deny entry should win when its community is present")
+	}
+	if !cl.Matches(has("100:2")) {
+		t.Error("permit entry should match")
+	}
+	if cl.Matches(has("100:3")) {
+		t.Error("unlisted community should not match")
+	}
+}
+
+func newTestDevice() *Device {
+	d := NewDevice("r", VendorCisco)
+	d.PrefixLists["nets"] = &PrefixList{Name: "nets", Entries: []PrefixListEntry{
+		{Seq: 5, Action: Permit, Prefix: MustPrefix("1.2.3.0/24"), Ge: 24},
+	}}
+	d.CommunityLists["1"] = &CommunityList{Name: "1", Entries: []CommunityListEntry{
+		{Action: Permit, Community: MustCommunity("100:1")},
+	}}
+	return d
+}
+
+func TestEvalPolicyFirstMatchingClauseDecides(t *testing.T) {
+	d := newTestDevice()
+	pol := &RoutePolicy{Name: "p", Clauses: []*PolicyClause{
+		{Seq: 10, Action: Deny, Matches: []Match{MatchCommunityList{List: "1"}}},
+		{Seq: 20, Action: Permit, Matches: []Match{MatchPrefixList{List: "nets"}},
+			Sets: []SetAction{SetMED{MED: 50}}},
+	}}
+	tagged := NewRoute(MustPrefix("1.2.3.0/24"))
+	tagged.AddCommunity(MustCommunity("100:1"))
+	if res := EvalPolicy(pol, d, tagged); res.Permitted || res.ClauseSeq != 10 {
+		t.Errorf("tagged route: %+v, want deny at clause 10", res)
+	}
+	clean := NewRoute(MustPrefix("1.2.3.0/25"))
+	res := EvalPolicy(pol, d, clean)
+	if !res.Permitted || res.ClauseSeq != 20 {
+		t.Fatalf("clean route: %+v, want permit at clause 20", res)
+	}
+	if res.Route.MED != 50 {
+		t.Errorf("MED = %d, want 50", res.Route.MED)
+	}
+	outside := NewRoute(MustPrefix("9.9.9.0/24"))
+	if res := EvalPolicy(pol, d, outside); res.Permitted || res.ClauseSeq != -1 {
+		t.Errorf("outside route: %+v, want implicit deny", res)
+	}
+}
+
+func TestEvalPolicyMatchesAreANDedWithinClause(t *testing.T) {
+	d := newTestDevice()
+	pol := &RoutePolicy{Name: "p", Clauses: []*PolicyClause{
+		{Seq: 10, Action: Permit, Matches: []Match{
+			MatchPrefixList{List: "nets"},
+			MatchCommunityList{List: "1"},
+		}},
+	}}
+	prefixOnly := NewRoute(MustPrefix("1.2.3.0/24"))
+	if EvalPolicy(pol, d, prefixOnly).Permitted {
+		t.Error("route matching only one condition should not match the clause")
+	}
+	both := NewRoute(MustPrefix("1.2.3.0/24"))
+	both.AddCommunity(MustCommunity("100:1"))
+	if !EvalPolicy(pol, d, both).Permitted {
+		t.Error("route matching both conditions should match")
+	}
+}
+
+func TestEvalPolicyNilPermitsUnchanged(t *testing.T) {
+	d := newTestDevice()
+	r := NewRoute(MustPrefix("5.5.5.0/24"))
+	r.MED = 7
+	res := EvalPolicy(nil, d, r)
+	if !res.Permitted || res.Route.MED != 7 {
+		t.Errorf("nil policy should permit unchanged, got %+v", res)
+	}
+}
+
+func TestSetCommunityAdditiveVsReplace(t *testing.T) {
+	r := NewRoute(MustPrefix("1.0.0.0/8"))
+	r.AddCommunity(MustCommunity("65000:1"))
+
+	add := r.Clone()
+	ApplySets([]SetAction{SetCommunity{Communities: []Community{MustCommunity("100:1")},
+		Additive: true}}, add)
+	if !add.HasCommunity(MustCommunity("65000:1")) || !add.HasCommunity(MustCommunity("100:1")) {
+		t.Errorf("additive set lost communities: %v", add.CommunityStrings())
+	}
+
+	// The paper's "Adding Communities" pitfall (§4.2): without 'additive'
+	// the existing communities are wiped.
+	replace := r.Clone()
+	ApplySets([]SetAction{SetCommunity{Communities: []Community{MustCommunity("100:1")}}}, replace)
+	if replace.HasCommunity(MustCommunity("65000:1")) {
+		t.Error("non-additive set should replace existing communities")
+	}
+	if !replace.HasCommunity(MustCommunity("100:1")) {
+		t.Error("non-additive set should still add the new community")
+	}
+}
+
+func TestMatchASPathRegexSubset(t *testing.T) {
+	cases := []struct {
+		re   string
+		path []uint32
+		want bool
+	}{
+		{"^$", nil, true},
+		{"^$", []uint32{1}, false},
+		{"^65001_", []uint32{65001, 2}, true},
+		{"^65001_", []uint32{2, 65001}, false},
+		{"_65001$", []uint32{2, 65001}, true},
+		{"_65001$", []uint32{65001, 2}, false},
+		{"_65001_", []uint32{1, 65001, 2}, true},
+		{"_65001_", []uint32{1, 2}, false},
+		{"garbage", []uint32{1}, false},
+	}
+	for _, c := range cases {
+		r := NewRoute(MustPrefix("1.0.0.0/8"))
+		r.ASPath = c.path
+		got := EvalMatch(MatchASPathRegex{Regex: c.re}, newTestDevice(), r)
+		if got != c.want {
+			t.Errorf("regex %q on %v = %v, want %v", c.re, c.path, got, c.want)
+		}
+	}
+}
+
+func TestRouteCloneIsDeep(t *testing.T) {
+	r := NewRoute(MustPrefix("1.0.0.0/8"))
+	r.ASPath = []uint32{1, 2}
+	r.AddCommunity(MustCommunity("100:1"))
+	c := r.Clone()
+	c.ASPath[0] = 99
+	c.AddCommunity(MustCommunity("200:2"))
+	if r.ASPath[0] == 99 {
+		t.Error("clone shares AS path")
+	}
+	if r.HasCommunity(MustCommunity("200:2")) {
+		t.Error("clone shares communities")
+	}
+}
+
+func TestDeviceCloneIsDeep(t *testing.T) {
+	d := newTestDevice()
+	d.EnsureBGP(65000).EnsureNeighbor(1).ImportPolicy = "p"
+	d.RoutePolicies["p"] = &RoutePolicy{Name: "p", Clauses: []*PolicyClause{
+		{Seq: 10, Action: Permit, Sets: []SetAction{SetMED{MED: 1}}},
+	}}
+	d.EnsureInterface("eth0").OSPFCost = 5
+
+	c := d.Clone()
+	c.BGP.Neighbors[0].ImportPolicy = "q"
+	c.RoutePolicies["p"].Clauses[0].Action = Deny
+	c.Interface("eth0").OSPFCost = 9
+	c.PrefixLists["nets"].Entries[0].Ge = 30
+
+	if d.BGP.Neighbors[0].ImportPolicy != "p" {
+		t.Error("clone shares neighbors")
+	}
+	if d.RoutePolicies["p"].Clauses[0].Action != Permit {
+		t.Error("clone shares policy clauses")
+	}
+	if d.Interface("eth0").OSPFCost != 5 {
+		t.Error("clone shares interfaces")
+	}
+	if d.PrefixLists["nets"].Entries[0].Ge != 24 {
+		t.Error("clone shares prefix lists")
+	}
+}
+
+func TestEvalPolicyDoesNotMutateInput(t *testing.T) {
+	d := newTestDevice()
+	pol := &RoutePolicy{Name: "p", Clauses: []*PolicyClause{
+		{Seq: 10, Action: Permit, Sets: []SetAction{
+			SetMED{MED: 99},
+			SetCommunity{Communities: []Community{MustCommunity("100:1")}},
+		}},
+	}}
+	f := func(addr uint32, l uint8) bool {
+		r := NewRoute(NewPrefix(addr, int(l%33)))
+		r.MED = 1
+		res := EvalPolicy(pol, d, r)
+		return r.MED == 1 && len(r.Communities) == 0 && res.Route.MED == 99
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

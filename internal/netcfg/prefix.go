@@ -1,0 +1,168 @@
+// Package netcfg defines the vendor-neutral intermediate representation (IR)
+// shared by every other module in the repository: devices, interfaces, BGP and
+// OSPF processes, prefix lists, community lists, and route policies, together
+// with concrete route announcements and a reference evaluator for route
+// policies.
+//
+// Both the Cisco and Juniper front ends parse into this IR; Campion diffs two
+// IR devices; the Batfish substitute evaluates IR route policies; and the
+// simulated LLM plans its output (and its injected errors) as IR mutations.
+package netcfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 prefix: a 32-bit address plus a prefix length.
+// Only the top Len bits of Addr are significant; constructors normalize the
+// remaining bits to zero so Prefix values are comparable with ==.
+type Prefix struct {
+	Addr uint32
+	Len  int
+}
+
+// Mask returns the network mask implied by the prefix length.
+func Mask(length int) uint32 {
+	if length <= 0 {
+		return 0
+	}
+	if length >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - length)
+}
+
+// NewPrefix builds a normalized prefix from an address and length.
+func NewPrefix(addr uint32, length int) Prefix {
+	if length < 0 {
+		length = 0
+	}
+	if length > 32 {
+		length = 32
+	}
+	return Prefix{Addr: addr & Mask(length), Len: length}
+}
+
+// ParseIP parses a dotted-quad IPv4 address into its 32-bit value.
+func ParseIP(s string) (uint32, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("invalid IPv4 address %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("invalid IPv4 address %q", s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return v, nil
+}
+
+// FormatIP renders a 32-bit value as a dotted quad.
+func FormatIP(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24&0xff, v>>16&0xff, v>>8&0xff, v&0xff)
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("prefix %q missing /len", s)
+	}
+	addr, err := ParseIP(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	length, err := strconv.Atoi(s[slash+1:])
+	if err != nil || length < 0 || length > 32 {
+		return Prefix{}, fmt.Errorf("invalid prefix length in %q", s)
+	}
+	return NewPrefix(addr, length), nil
+}
+
+// MustPrefix is ParsePrefix that panics on error; intended for tests and
+// compiled-in example data.
+func MustPrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the prefix in "a.b.c.d/len" form.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", FormatIP(p.Addr), p.Len)
+}
+
+// Contains reports whether q falls inside p (q at least as long as p and
+// matching p's significant bits).
+func (p Prefix) Contains(q Prefix) bool {
+	return q.Len >= p.Len && q.Addr&Mask(p.Len) == p.Addr
+}
+
+// ContainsIP reports whether the host address is inside the prefix.
+func (p Prefix) ContainsIP(ip uint32) bool {
+	return ip&Mask(p.Len) == p.Addr
+}
+
+// MaskString renders the prefix length as a dotted-quad netmask
+// (e.g. 24 -> "255.255.255.0"), as used in Cisco interface syntax.
+func (p Prefix) MaskString() string {
+	return FormatIP(Mask(p.Len))
+}
+
+// WildcardString renders the inverted mask used by Cisco OSPF network
+// statements (e.g. /24 -> "0.0.0.255").
+func (p Prefix) WildcardString() string {
+	return FormatIP(^Mask(p.Len))
+}
+
+// Network returns the prefix covering the subnet that contains this prefix's
+// address with the given length.
+func (p Prefix) Network(length int) Prefix {
+	return NewPrefix(p.Addr, length)
+}
+
+// Community is a BGP standard community encoded as high<<16|low.
+type Community uint32
+
+// NewCommunity builds a community from its high and low 16-bit halves.
+func NewCommunity(high, low uint16) Community {
+	return Community(uint32(high)<<16 | uint32(low))
+}
+
+// ParseCommunity parses "high:low" notation.
+func ParseCommunity(s string) (Community, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return 0, fmt.Errorf("community %q missing ':'", s)
+	}
+	high, err := strconv.Atoi(s[:colon])
+	if err != nil || high < 0 || high > 0xffff {
+		return 0, fmt.Errorf("invalid community %q", s)
+	}
+	low, err := strconv.Atoi(s[colon+1:])
+	if err != nil || low < 0 || low > 0xffff {
+		return 0, fmt.Errorf("invalid community %q", s)
+	}
+	return NewCommunity(uint16(high), uint16(low)), nil
+}
+
+// MustCommunity is ParseCommunity that panics on error.
+func MustCommunity(s string) Community {
+	c, err := ParseCommunity(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String renders the community in "high:low" form.
+func (c Community) String() string {
+	return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xffff)
+}

@@ -1,0 +1,120 @@
+package netcfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFormatIPRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		got, err := ParseIP(FormatIP(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "-1.0.0.0"} {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q) should fail", s)
+		}
+	}
+}
+
+func TestParsePrefixNormalizesHostBits(t *testing.T) {
+	p, err := ParsePrefix("10.1.2.3/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("got %s, want 10.0.0.0/8", p)
+	}
+}
+
+func TestParsePrefixRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x", "1.2.3.0/24-32"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", s)
+		}
+	}
+}
+
+func TestMaskBoundaries(t *testing.T) {
+	cases := map[int]uint32{
+		0:  0,
+		8:  0xff000000,
+		24: 0xffffff00,
+		32: 0xffffffff,
+		-3: 0,
+		40: 0xffffffff,
+	}
+	for length, want := range cases {
+		if got := Mask(length); got != want {
+			t.Errorf("Mask(%d) = %#x, want %#x", length, got, want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustPrefix("10.0.0.0/8")
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"10.0.0.0/8", true},
+		{"10.1.0.0/16", true},
+		{"10.255.255.255/32", true},
+		{"11.0.0.0/8", false},
+		{"0.0.0.0/0", false}, // shorter prefix is not contained
+	}
+	for _, c := range cases {
+		if got := p.Contains(MustPrefix(c.q)); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPrefixContainsIsPartialOrder(t *testing.T) {
+	f := func(a, b uint32, la, lb uint8) bool {
+		p := NewPrefix(a, int(la%33))
+		q := NewPrefix(b, int(lb%33))
+		if p.Contains(q) && q.Contains(p) {
+			return p == q // antisymmetry
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskAndWildcardStrings(t *testing.T) {
+	p := MustPrefix("1.2.3.0/24")
+	if p.MaskString() != "255.255.255.0" {
+		t.Errorf("mask = %s", p.MaskString())
+	}
+	if p.WildcardString() != "0.0.0.255" {
+		t.Errorf("wildcard = %s", p.WildcardString())
+	}
+}
+
+func TestCommunityRoundTrip(t *testing.T) {
+	f := func(high, low uint16) bool {
+		c := NewCommunity(high, low)
+		got, err := ParseCommunity(c.String())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCommunityRejectsMalformed(t *testing.T) {
+	for _, s := range []string{"", "100", "100:", ":1", "65536:1", "100:65536", "a:b", "100:1:2"} {
+		if _, err := ParseCommunity(s); err == nil {
+			t.Errorf("ParseCommunity(%q) should fail", s)
+		}
+	}
+}

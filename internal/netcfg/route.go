@@ -1,0 +1,288 @@
+package netcfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RouteProtocol identifies where a candidate route came from.
+type RouteProtocol int
+
+// Route origins used by policy evaluation and the BGP simulator.
+const (
+	ProtoConnected RouteProtocol = iota
+	ProtoStatic
+	ProtoOSPF
+	ProtoBGP
+)
+
+// String implements fmt.Stringer.
+func (p RouteProtocol) String() string {
+	switch p {
+	case ProtoConnected:
+		return "connected"
+	case ProtoStatic:
+		return "static"
+	case ProtoOSPF:
+		return "ospf"
+	case ProtoBGP:
+		return "bgp"
+	default:
+		return fmt.Sprintf("proto(%d)", int(p))
+	}
+}
+
+// RedistSource converts a route protocol to the equivalent redistribution
+// protocol keyword.
+func (p RouteProtocol) RedistSource() RedistProtocol {
+	switch p {
+	case ProtoConnected:
+		return RedistConnected
+	case ProtoStatic:
+		return RedistStatic
+	case ProtoOSPF:
+		return RedistOSPF
+	default:
+		return RedistBGP
+	}
+}
+
+// Route is a concrete route announcement: the unit of policy evaluation,
+// counterexample reporting, and BGP propagation.
+type Route struct {
+	Prefix      Prefix
+	Protocol    RouteProtocol
+	NextHop     uint32
+	MED         int
+	LocalPref   int
+	ASPath      []uint32
+	Communities map[Community]bool
+}
+
+// NewRoute returns a BGP route for the prefix with default attributes
+// (local-pref 100, empty AS path, no communities).
+func NewRoute(p Prefix) *Route {
+	return &Route{
+		Prefix:      p,
+		Protocol:    ProtoBGP,
+		LocalPref:   100,
+		Communities: make(map[Community]bool),
+	}
+}
+
+// Clone deep-copies the route.
+func (r *Route) Clone() *Route {
+	c := *r
+	c.ASPath = append([]uint32(nil), r.ASPath...)
+	c.Communities = make(map[Community]bool, len(r.Communities))
+	for k, v := range r.Communities {
+		if v {
+			c.Communities[k] = true
+		}
+	}
+	return &c
+}
+
+// AddCommunity tags the route with a community.
+func (r *Route) AddCommunity(c Community) {
+	if r.Communities == nil {
+		r.Communities = make(map[Community]bool)
+	}
+	r.Communities[c] = true
+}
+
+// HasCommunity reports whether the route carries the community.
+func (r *Route) HasCommunity(c Community) bool { return r.Communities[c] }
+
+// CommunityStrings returns the route's communities sorted for display.
+func (r *Route) CommunityStrings() []string {
+	out := make([]string, 0, len(r.Communities))
+	for c, ok := range r.Communities {
+		if ok {
+			out = append(out, c.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasASInPath reports whether the AS path contains the given ASN.
+func (r *Route) HasASInPath(asn uint32) bool {
+	for _, a := range r.ASPath {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the route for transcripts and counterexample prompts.
+func (r *Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s proto=%s", r.Prefix, r.Protocol)
+	if len(r.ASPath) > 0 {
+		parts := make([]string, len(r.ASPath))
+		for i, a := range r.ASPath {
+			parts[i] = fmt.Sprint(a)
+		}
+		fmt.Fprintf(&b, " as-path=[%s]", strings.Join(parts, " "))
+	}
+	if comms := r.CommunityStrings(); len(comms) > 0 {
+		fmt.Fprintf(&b, " communities=[%s]", strings.Join(comms, " "))
+	}
+	if r.MED != 0 {
+		fmt.Fprintf(&b, " med=%d", r.MED)
+	}
+	return b.String()
+}
+
+// PolicyEnv supplies the named lists a policy's matches refer to.
+// A *Device satisfies it directly.
+type PolicyEnv interface {
+	LookupPrefixList(name string) *PrefixList
+	LookupCommunityList(name string) *CommunityList
+}
+
+// LookupPrefixList implements PolicyEnv.
+func (d *Device) LookupPrefixList(name string) *PrefixList { return d.PrefixLists[name] }
+
+// LookupCommunityList implements PolicyEnv.
+func (d *Device) LookupCommunityList(name string) *CommunityList { return d.CommunityLists[name] }
+
+// EvalResult is the outcome of evaluating a policy on a route.
+type EvalResult struct {
+	Permitted bool
+	Route     *Route // transformed route (nil when denied)
+	ClauseSeq int    // sequence of the deciding clause, -1 for implicit deny
+}
+
+// EvalPolicy is the reference concrete evaluator: clauses are tried in
+// order; within a clause all matches must hold (AND); the first matching
+// clause's action decides; a route matching no clause is denied
+// (implicit deny at the end, Cisco semantics).
+func EvalPolicy(p *RoutePolicy, env PolicyEnv, r *Route) EvalResult {
+	if p == nil {
+		// No policy attached: default permit (routes flow unfiltered).
+		return EvalResult{Permitted: true, Route: r.Clone(), ClauseSeq: -1}
+	}
+	for _, cl := range p.Clauses {
+		if !clauseMatches(cl, env, r) {
+			continue
+		}
+		if cl.Action == Deny {
+			return EvalResult{Permitted: false, ClauseSeq: cl.Seq}
+		}
+		out := r.Clone()
+		ApplySets(cl.Sets, out)
+		return EvalResult{Permitted: true, Route: out, ClauseSeq: cl.Seq}
+	}
+	return EvalResult{Permitted: false, ClauseSeq: -1}
+}
+
+func clauseMatches(cl *PolicyClause, env PolicyEnv, r *Route) bool {
+	for _, m := range cl.Matches {
+		if !EvalMatch(m, env, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalMatch evaluates a single match condition on a concrete route.
+func EvalMatch(m Match, env PolicyEnv, r *Route) bool {
+	switch m := m.(type) {
+	case MatchPrefixList:
+		pl := env.LookupPrefixList(m.List)
+		if pl == nil {
+			return false // undefined list matches nothing
+		}
+		return pl.Matches(r.Prefix)
+	case MatchCommunityList:
+		cl := env.LookupCommunityList(m.List)
+		if cl == nil {
+			return false
+		}
+		return cl.Matches(r.Communities)
+	case MatchCommunityLiteral:
+		return r.HasCommunity(m.Community)
+	case MatchRouteFilter:
+		return m.MatchesPrefix(r.Prefix)
+	case MatchProtocol:
+		return r.Protocol.RedistSource() == m.Protocol
+	case MatchASPathRegex:
+		return matchASPathRegex(m.Regex, r.ASPath)
+	default:
+		return false
+	}
+}
+
+// ApplySets applies set actions to a route in place.
+func ApplySets(sets []SetAction, r *Route) {
+	for _, s := range sets {
+		switch s := s.(type) {
+		case SetMED:
+			r.MED = s.MED
+		case SetLocalPref:
+			r.LocalPref = s.Pref
+		case SetCommunity:
+			if !s.Additive {
+				r.Communities = make(map[Community]bool)
+			}
+			for _, c := range s.Communities {
+				r.AddCommunity(c)
+			}
+		case SetNextHop:
+			r.NextHop = s.Hop
+		}
+	}
+}
+
+// matchASPathRegex supports the tiny AS-path regex subset that appears in
+// generated configs: "^$" (empty path), "^N_" (first hop), "_N_"
+// (contains N), and "_N$" (originated by N).
+func matchASPathRegex(re string, path []uint32) bool {
+	switch {
+	case re == "^$":
+		return len(path) == 0
+	case strings.HasPrefix(re, "^") && strings.HasSuffix(re, "_"):
+		n, err := parseASN(re[1 : len(re)-1])
+		if err != nil {
+			return false
+		}
+		return len(path) > 0 && path[0] == n
+	case strings.HasPrefix(re, "_") && strings.HasSuffix(re, "$"):
+		n, err := parseASN(re[1 : len(re)-1])
+		if err != nil {
+			return false
+		}
+		return len(path) > 0 && path[len(path)-1] == n
+	case strings.HasPrefix(re, "_") && strings.HasSuffix(re, "_"):
+		n, err := parseASN(re[1 : len(re)-1])
+		if err != nil {
+			return false
+		}
+		for _, a := range path {
+			if a == n {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+func parseASN(s string) (uint32, error) {
+	var n uint32
+	if s == "" {
+		return 0, fmt.Errorf("empty ASN")
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid ASN %q", s)
+		}
+		n = n*10 + uint32(c-'0')
+	}
+	return n, nil
+}

@@ -1,0 +1,39 @@
+package netcfg
+
+import "fmt"
+
+// MatchRouteFilter is an inline prefix constraint as used by Juniper
+// "route-filter" statements: a pattern prefix plus an explicit matched
+// prefix-length range. This is the construct a correct translation of
+// Cisco's "ge 24" uses (the paper's "BGP prefix list issues", §3.2):
+// Juniper prefix-lists cannot express length ranges, so the translation
+// must use route-filter ... prefix-length-range or orlonger instead.
+type MatchRouteFilter struct {
+	Prefix Prefix
+	MinLen int
+	MaxLen int
+}
+
+// NewMatchRouteFilterExact matches exactly the given prefix.
+func NewMatchRouteFilterExact(p Prefix) MatchRouteFilter {
+	return MatchRouteFilter{Prefix: p, MinLen: p.Len, MaxLen: p.Len}
+}
+
+// NewMatchRouteFilterOrLonger matches the prefix and anything more specific.
+func NewMatchRouteFilterOrLonger(p Prefix) MatchRouteFilter {
+	return MatchRouteFilter{Prefix: p, MinLen: p.Len, MaxLen: 32}
+}
+
+// MatchString implements Match.
+func (m MatchRouteFilter) MatchString() string {
+	return fmt.Sprintf("route-filter %s /%d-/%d", m.Prefix, m.MinLen, m.MaxLen)
+}
+
+// MatchesPrefix reports whether a concrete announced prefix satisfies the
+// filter.
+func (m MatchRouteFilter) MatchesPrefix(p Prefix) bool {
+	if p.Len < m.MinLen || p.Len > m.MaxLen {
+		return false
+	}
+	return p.Addr&Mask(m.Prefix.Len) == m.Prefix.Addr
+}

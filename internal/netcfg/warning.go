@@ -1,0 +1,18 @@
+package netcfg
+
+import "fmt"
+
+// ParseWarning is a Batfish-style parse warning: the line that failed to
+// parse (or parsed but is invalid/misplaced) and a human-readable reason.
+// The humanizer turns these directly into syntax-error prompts (Table 1:
+// "There is a syntax error: '<line>'").
+type ParseWarning struct {
+	Line   int    // 1-based line number in the source text
+	Text   string // the offending source line, trimmed
+	Reason string // why it was rejected
+}
+
+// String implements fmt.Stringer.
+func (w ParseWarning) String() string {
+	return fmt.Sprintf("line %d: %s: %q", w.Line, w.Reason, w.Text)
+}

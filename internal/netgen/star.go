@@ -1,0 +1,131 @@
+// Package netgen is the paper's "network generator" (§4.1): given only the
+// number of routers it produces (1) a textual description of the star
+// topology used as an LLM prompt and (2) the JSON topology dictionary used
+// by the topology verifier — the two outputs Figure 3's Modularizer
+// consumes.
+//
+// The topology is the paper's Figure 4 star: R1 is attached to a CUSTOMER
+// network, every other router R2..Rn is attached to a distinct ISP, and
+// all ISP routers connect directly to R1.
+package netgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// Addressing scheme constants (chosen to match the literals that appear in
+// the paper's Table 3 examples, e.g. neighbor 7.0.0.2 AS 7, network
+// 1.0.0.0/24).
+const (
+	// CustomerAS is the customer's AS number.
+	CustomerAS = 65500
+	// ISPBaseAS is added to the router index for ISP AS numbers
+	// (ISP attached to R2 has AS 102, etc.).
+	ISPBaseAS = 100
+)
+
+// Star generates the Figure 4 star topology with n routers (n >= 2):
+// R1 plus n-1 ISP-facing routers.
+func Star(n int) (*topology.Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("star topology needs at least 2 routers, got %d", n)
+	}
+	t := &topology.Topology{Name: fmt.Sprintf("star-%d", n)}
+
+	// R1: customer-facing hub.
+	r1 := topology.RouterSpec{
+		Name:     "R1",
+		ASN:      1,
+		RouterID: "1.0.0.1",
+		Interfaces: []topology.InterfaceSpec{
+			{Name: "eth0/0", Address: "1.0.0.1/24"},
+		},
+		Neighbors: []topology.NeighborSpec{
+			{PeerName: "CUSTOMER", PeerIP: "1.0.0.2", PeerAS: CustomerAS, External: true},
+		},
+		Networks: []string{"1.0.0.0/24"},
+	}
+	for i := 2; i <= n; i++ {
+		r1.Interfaces = append(r1.Interfaces, topology.InterfaceSpec{
+			Name:    fmt.Sprintf("eth0/%d", i-1),
+			Address: fmt.Sprintf("%d.0.0.1/24", i),
+		})
+		r1.Neighbors = append(r1.Neighbors, topology.NeighborSpec{
+			PeerName: fmt.Sprintf("R%d", i),
+			PeerIP:   fmt.Sprintf("%d.0.0.2", i),
+			PeerAS:   uint32(i),
+		})
+		r1.Networks = append(r1.Networks, fmt.Sprintf("%d.0.0.0/24", i))
+	}
+	t.Routers = append(t.Routers, r1)
+
+	for i := 2; i <= n; i++ {
+		ri := topology.RouterSpec{
+			Name:     fmt.Sprintf("R%d", i),
+			ASN:      uint32(i),
+			RouterID: fmt.Sprintf("%d.0.0.2", i),
+			Interfaces: []topology.InterfaceSpec{
+				{Name: "eth0/0", Address: fmt.Sprintf("%d.0.0.2/24", i)},
+				{Name: "eth0/1", Address: fmt.Sprintf("20.%d.0.1/24", i)},
+			},
+			Neighbors: []topology.NeighborSpec{
+				{PeerName: "R1", PeerIP: fmt.Sprintf("%d.0.0.1", i), PeerAS: 1},
+				{PeerName: fmt.Sprintf("ISP%d", i), PeerIP: fmt.Sprintf("20.%d.0.2", i),
+					PeerAS: uint32(ISPBaseAS + i), External: true},
+			},
+			Networks: []string{
+				fmt.Sprintf("%d.0.0.0/24", i),
+				fmt.Sprintf("20.%d.0.0/24", i),
+			},
+		}
+		t.Routers = append(t.Routers, ri)
+	}
+	return t, nil
+}
+
+// ISPCommunity returns the community R1 attaches at ingress to routes
+// learned from Ri: R2 tags 100:1, R3 tags 101:1, and so on (§4.2).
+func ISPCommunity(i int) netcfg.Community {
+	return netcfg.NewCommunity(uint16(98+i), 1)
+}
+
+// ISPPrefix returns the external prefix the ISP behind Ri originates
+// (used by the BGP simulation that checks the global no-transit policy).
+func ISPPrefix(i int) netcfg.Prefix {
+	return netcfg.MustPrefix(fmt.Sprintf("150.%d.0.0/16", i))
+}
+
+// CustomerPrefix is the prefix the customer originates.
+func CustomerPrefix() netcfg.Prefix { return netcfg.MustPrefix("99.99.0.0/16") }
+
+// Describe renders the formulaic natural-language description of the
+// topology — the automated script output the paper uses instead of
+// error-prone hand-written prose ("It is difficult to write a natural
+// language description of the topology", §4.1).
+func Describe(t *topology.Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "The network %q has %d routers.\n", t.Name, len(t.Routers))
+	for i := range t.Routers {
+		r := &t.Routers[i]
+		fmt.Fprintf(&b, "Router %s has AS number %d and router ID %s.\n", r.Name, r.ASN, r.RouterID)
+		for _, ifc := range r.Interfaces {
+			fmt.Fprintf(&b, "Router %s has interface %s with IP address %s.\n",
+				r.Name, ifc.Name, ifc.Address)
+		}
+		for _, nb := range r.Neighbors {
+			kind := "router"
+			if nb.External {
+				kind = "external peer"
+			}
+			fmt.Fprintf(&b, "Router %s is connected to %s %s at IP address %s in AS %d.\n",
+				r.Name, kind, nb.PeerName, nb.PeerIP, nb.PeerAS)
+		}
+		fmt.Fprintf(&b, "Router %s announces the networks: %s.\n",
+			r.Name, strings.Join(r.Networks, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,355 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netcfg"
+)
+
+// CommCond is a conjunction of community constraints: every community in
+// Req must be present on the route, every community in Forbid absent.
+type CommCond struct {
+	Req    map[netcfg.Community]bool
+	Forbid map[netcfg.Community]bool
+}
+
+// TrueComm is the unconstrained community condition.
+func TrueComm() CommCond { return CommCond{} }
+
+// RequireComm returns a condition requiring a single community.
+func RequireComm(c netcfg.Community) CommCond {
+	return CommCond{Req: map[netcfg.Community]bool{c: true}}
+}
+
+// ForbidComm returns a condition forbidding a single community.
+func ForbidComm(c netcfg.Community) CommCond {
+	return CommCond{Forbid: map[netcfg.Community]bool{c: true}}
+}
+
+// Consistent reports whether the condition is satisfiable.
+func (c CommCond) Consistent() bool {
+	for comm := range c.Req {
+		if c.Forbid[comm] {
+			return false
+		}
+	}
+	return true
+}
+
+// And conjoins two conditions; ok=false when the result is unsatisfiable.
+func (c CommCond) And(d CommCond) (CommCond, bool) {
+	out := CommCond{Req: map[netcfg.Community]bool{}, Forbid: map[netcfg.Community]bool{}}
+	for k := range c.Req {
+		out.Req[k] = true
+	}
+	for k := range d.Req {
+		out.Req[k] = true
+	}
+	for k := range c.Forbid {
+		out.Forbid[k] = true
+	}
+	for k := range d.Forbid {
+		out.Forbid[k] = true
+	}
+	return out, out.Consistent()
+}
+
+// Negations returns the disjuncts of ¬c: one single-literal condition per
+// literal in c, negated.
+func (c CommCond) Negations() []CommCond {
+	var out []CommCond
+	for _, comm := range sortedComms(c.Req) {
+		out = append(out, ForbidComm(comm))
+	}
+	for _, comm := range sortedComms(c.Forbid) {
+		out = append(out, RequireComm(comm))
+	}
+	return out
+}
+
+// Holds evaluates the condition on a concrete community set.
+func (c CommCond) Holds(comms map[netcfg.Community]bool) bool {
+	for comm := range c.Req {
+		if !comms[comm] {
+			return false
+		}
+	}
+	for comm := range c.Forbid {
+		if comms[comm] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (c CommCond) String() string {
+	var parts []string
+	for _, comm := range sortedComms(c.Req) {
+		parts = append(parts, "+"+comm.String())
+	}
+	for _, comm := range sortedComms(c.Forbid) {
+		parts = append(parts, "-"+comm.String())
+	}
+	if len(parts) == 0 {
+		return "any-community"
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedComms(m map[netcfg.Community]bool) []netcfg.Community {
+	out := make([]netcfg.Community, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProtoMask is a bitmask over route protocols.
+type ProtoMask uint8
+
+// Per-protocol mask bits.
+const (
+	MaskConnected ProtoMask = 1 << iota
+	MaskStatic
+	MaskOSPF
+	MaskBGP
+	MaskAll = MaskConnected | MaskStatic | MaskOSPF | MaskBGP
+)
+
+// MaskOf returns the mask bit for a redistribution protocol.
+func MaskOf(p netcfg.RedistProtocol) ProtoMask {
+	switch p {
+	case netcfg.RedistConnected:
+		return MaskConnected
+	case netcfg.RedistStatic:
+		return MaskStatic
+	case netcfg.RedistOSPF:
+		return MaskOSPF
+	default:
+		return MaskBGP
+	}
+}
+
+// Protocols enumerates the protocols in the mask.
+func (m ProtoMask) Protocols() []netcfg.RouteProtocol {
+	var out []netcfg.RouteProtocol
+	if m&MaskConnected != 0 {
+		out = append(out, netcfg.ProtoConnected)
+	}
+	if m&MaskStatic != 0 {
+		out = append(out, netcfg.ProtoStatic)
+	}
+	if m&MaskOSPF != 0 {
+		out = append(out, netcfg.ProtoOSPF)
+	}
+	if m&MaskBGP != 0 {
+		out = append(out, netcfg.ProtoBGP)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (m ProtoMask) String() string {
+	if m == MaskAll {
+		return "any-protocol"
+	}
+	var parts []string
+	for _, p := range m.Protocols() {
+		parts = append(parts, p.String())
+	}
+	if len(parts) == 0 {
+		return "no-protocol"
+	}
+	return strings.Join(parts, "|")
+}
+
+// Class is a symbolic set of routes: a prefix set × a community condition
+// × a protocol mask.
+type Class struct {
+	Prefixes PrefixSet
+	Comms    CommCond
+	Protos   ProtoMask
+}
+
+// FullClass matches every route.
+func FullClass() Class {
+	return Class{Prefixes: FullPrefixSet(), Comms: TrueComm(), Protos: MaskAll}
+}
+
+// Empty reports whether the class matches no route.
+func (c Class) Empty() bool {
+	return c.Prefixes.Empty() || !c.Comms.Consistent() || c.Protos == 0
+}
+
+// Contains evaluates membership of a concrete route.
+func (c Class) Contains(r *netcfg.Route) bool {
+	return c.Prefixes.Contains(r.Prefix) && c.Comms.Holds(r.Communities) &&
+		c.Protos&MaskOf(r.Protocol.RedistSource()) != 0
+}
+
+// Sample produces a concrete route from the class: the minimal prefix,
+// exactly the required communities, and the first allowed protocol.
+func (c Class) Sample() (*netcfg.Route, bool) {
+	if c.Empty() {
+		return nil, false
+	}
+	p, ok := c.Prefixes.Sample()
+	if !ok {
+		return nil, false
+	}
+	r := netcfg.NewRoute(p)
+	for comm := range c.Comms.Req {
+		r.AddCommunity(comm)
+	}
+	protos := c.Protos.Protocols()
+	// Prefer BGP samples when allowed: they are valid inputs to every
+	// policy attachment point.
+	r.Protocol = protos[0]
+	for _, pr := range protos {
+		if pr == netcfg.ProtoBGP {
+			r.Protocol = pr
+		}
+	}
+	return r, true
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	return fmt.Sprintf("{%s; %s; %s}", c.Prefixes, c.Comms, c.Protos)
+}
+
+// Intersect returns c ∩ d.
+func (c Class) Intersect(d Class) Class {
+	comms, ok := c.Comms.And(d.Comms)
+	if !ok {
+		return Class{}
+	}
+	return Class{
+		Prefixes: c.Prefixes.Intersect(d.Prefixes),
+		Comms:    comms,
+		Protos:   c.Protos & d.Protos,
+	}
+}
+
+// Subtract returns c \ d as a union of classes.
+func (c Class) Subtract(d Class) Space {
+	if c.Empty() {
+		return nil
+	}
+	if d.Empty() {
+		return Space{c}
+	}
+	var out Space
+	// Routes in c whose prefix is outside d's prefixes.
+	if ps := c.Prefixes.Subtract(d.Prefixes); !ps.Empty() {
+		out = append(out, Class{Prefixes: ps, Comms: c.Comms, Protos: c.Protos})
+	}
+	inter := c.Prefixes.Intersect(d.Prefixes)
+	if inter.Empty() {
+		return out
+	}
+	// Routes in the shared prefix region violating d's community condition.
+	for _, neg := range d.Comms.Negations() {
+		if comms, ok := c.Comms.And(neg); ok {
+			out = append(out, Class{Prefixes: inter, Comms: comms, Protos: c.Protos})
+		}
+	}
+	// Routes in the shared prefix region satisfying both community
+	// conditions but outside d's protocols.
+	if both, ok := c.Comms.And(d.Comms); ok {
+		if protos := c.Protos &^ d.Protos; protos != 0 {
+			out = append(out, Class{Prefixes: inter, Comms: both, Protos: protos})
+		}
+	}
+	return out
+}
+
+// Space is a union of classes.
+type Space []Class
+
+// FullSpace matches every route.
+func FullSpace() Space { return Space{FullClass()} }
+
+// Empty reports whether the space matches no route.
+func (s Space) Empty() bool {
+	for _, c := range s {
+		if !c.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains evaluates membership of a concrete route.
+func (s Space) Contains(r *netcfg.Route) bool {
+	for _, c := range s {
+		if c.Contains(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sample produces a concrete route from the space.
+func (s Space) Sample() (*netcfg.Route, bool) {
+	for _, c := range s {
+		if r, ok := c.Sample(); ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Union returns s ∪ t.
+func (s Space) Union(t Space) Space {
+	out := make(Space, 0, len(s)+len(t))
+	for _, c := range s {
+		if !c.Empty() {
+			out = append(out, c)
+		}
+	}
+	for _, c := range t {
+		if !c.Empty() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Space) Intersect(t Space) Space {
+	var out Space
+	for _, a := range s {
+		for _, b := range t {
+			if i := a.Intersect(b); !i.Empty() {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// Subtract returns s \ t.
+func (s Space) Subtract(t Space) Space {
+	cur := make(Space, 0, len(s))
+	for _, c := range s {
+		if !c.Empty() {
+			cur = append(cur, c)
+		}
+	}
+	for _, b := range t {
+		if b.Empty() {
+			continue
+		}
+		var next Space
+		for _, a := range cur {
+			next = append(next, a.Subtract(b)...)
+		}
+		cur = next
+	}
+	return cur
+}

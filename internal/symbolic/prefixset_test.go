@@ -1,0 +1,207 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netcfg"
+)
+
+// randomAtom generates a well-formed atom from quick's random source.
+func randomAtom(r *rand.Rand) Atom {
+	patLen := r.Intn(33)
+	pattern := netcfg.NewPrefix(r.Uint32(), patLen)
+	min := patLen + r.Intn(33-patLen)
+	max := min + r.Intn(33-min)
+	return Atom{Pattern: pattern, MinLen: min, MaxLen: max}
+}
+
+// randomPrefix generates an announced prefix biased toward the atom's
+// neighborhood so membership flips are exercised.
+func randomPrefix(r *rand.Rand, near Atom) netcfg.Prefix {
+	length := r.Intn(33)
+	addr := r.Uint32()
+	if r.Intn(2) == 0 {
+		// Half the samples share the atom's pattern bits.
+		addr = near.Pattern.Addr | (addr &^ netcfg.Mask(near.Pattern.Len))
+		if r.Intn(2) == 0 && near.MinLen <= 32 {
+			length = near.MinLen + r.Intn(33-near.MinLen)
+		}
+	}
+	return netcfg.NewPrefix(addr, length)
+}
+
+func TestAtomIntersectSoundAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomAtom(r), randomAtom(r)
+		inter := a.Intersect(b)
+		for i := 0; i < 64; i++ {
+			p := randomPrefix(r, a)
+			want := a.Contains(p) && b.Contains(p)
+			if inter.Contains(p) != want {
+				t.Logf("a=%v b=%v inter=%v p=%v want=%v", a, b, inter, p, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomSubtractSoundAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomAtom(r), randomAtom(r)
+		diff := a.Subtract(b)
+		got := func(p netcfg.Prefix) bool {
+			for _, d := range diff {
+				if d.Contains(p) {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < 64; i++ {
+			p := randomPrefix(r, a)
+			want := a.Contains(p) && !b.Contains(p)
+			if got(p) != want {
+				t.Logf("a=%v b=%v diff=%v p=%v want=%v", a, b, diff, p, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomSubtractProducesDisjointAtoms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomAtom(r), randomAtom(r)
+		diff := a.Subtract(b)
+		for i := range diff {
+			for j := i + 1; j < len(diff); j++ {
+				if !diff[i].Intersect(diff[j]).Empty() {
+					t.Logf("overlap: %v and %v from a=%v b=%v", diff[i], diff[j], a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixSetAlgebraProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s, u PrefixSet
+		for i := 0; i < 3; i++ {
+			s = append(s, randomAtom(r))
+			u = append(u, randomAtom(r))
+		}
+		union := s.Union(u)
+		inter := s.Intersect(u)
+		diff := s.Subtract(u)
+		for i := 0; i < 64; i++ {
+			p := randomPrefix(r, s[0])
+			inS, inU := s.Contains(p), u.Contains(p)
+			if union.Contains(p) != (inS || inU) {
+				return false
+			}
+			if inter.Contains(p) != (inS && inU) {
+				return false
+			}
+			if diff.Contains(p) != (inS && !inU) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixSetEqualIsReflexiveAndDetectsDifference(t *testing.T) {
+	a := PrefixSet{NewAtom(netcfg.MustPrefix("10.0.0.0/8"), 8, 24)}
+	if !a.Equal(a) {
+		t.Error("set not equal to itself")
+	}
+	// Split into two halves: still equal as a set.
+	split := PrefixSet{
+		NewAtom(netcfg.MustPrefix("10.0.0.0/8"), 8, 16),
+		NewAtom(netcfg.MustPrefix("10.0.0.0/8"), 17, 24),
+	}
+	if !a.Equal(split) {
+		t.Error("length-split set should be equal")
+	}
+	narrower := PrefixSet{NewAtom(netcfg.MustPrefix("10.0.0.0/8"), 8, 23)}
+	if a.Equal(narrower) {
+		t.Error("narrower set should differ")
+	}
+}
+
+func TestAtomSampleIsMember(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomAtom(r)
+		if a.Empty() {
+			return true
+		}
+		return a.Contains(a.Sample())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchedSetHonorsDenyAndOrder(t *testing.T) {
+	pl := &netcfg.PrefixList{Name: "l", Entries: []netcfg.PrefixListEntry{
+		{Seq: 5, Action: netcfg.Deny, Prefix: netcfg.MustPrefix("10.1.0.0/16"), Ge: 16, Le: 32},
+		{Seq: 10, Action: netcfg.Permit, Prefix: netcfg.MustPrefix("10.0.0.0/8"), Ge: 8, Le: 32},
+	}}
+	set := MatchedSet(pl)
+	cases := []struct {
+		p    string
+		want bool
+	}{
+		{"10.0.0.0/8", true},
+		{"10.2.0.0/16", true},
+		{"10.1.0.0/16", false}, // denied first
+		{"10.1.5.0/24", false}, // under the denied entry
+		{"11.0.0.0/8", false},  // implicit deny
+	}
+	for _, c := range cases {
+		if got := set.Contains(netcfg.MustPrefix(c.p)); got != c.want {
+			t.Errorf("Contains(%s) = %v, want %v (set %v)", c.p, got, c.want, set)
+		}
+	}
+	// Cross-check against the concrete evaluator.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPrefix(r, NewAtom(netcfg.MustPrefix("10.0.0.0/8"), 8, 32))
+		return set.Contains(p) == pl.Matches(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullAtomContainsEverything(t *testing.T) {
+	f := func(addr uint32, lenRaw uint8) bool {
+		p := netcfg.NewPrefix(addr, int(lenRaw%33))
+		return FullAtom().Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package topology defines the machine-readable network description the
+// Modularizer consumes (a JSON dictionary, §2) and the topology verifier
+// that checks a generated configuration against it (§4.1): interface
+// addresses, local AS, router ID, declared BGP neighbors, and announced
+// networks.
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/netcfg"
+)
+
+// Topology is the machine-readable description of the whole network: the
+// "JSON dictionary" output of the paper's network generator.
+type Topology struct {
+	Name    string       `json:"name"`
+	Routers []RouterSpec `json:"routers"`
+}
+
+// Router returns the named router spec, or nil.
+func (t *Topology) Router(name string) *RouterSpec {
+	for i := range t.Routers {
+		if t.Routers[i].Name == name {
+			return &t.Routers[i]
+		}
+	}
+	return nil
+}
+
+// Marshal renders the topology as indented JSON.
+func (t *Topology) Marshal() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Unmarshal parses a topology from JSON.
+func Unmarshal(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("parsing topology: %w", err)
+	}
+	return &t, nil
+}
+
+// RouterSpec describes one router: what the generated config must declare.
+type RouterSpec struct {
+	Name       string          `json:"name"`
+	ASN        uint32          `json:"asn"`
+	RouterID   string          `json:"router_id"`
+	Interfaces []InterfaceSpec `json:"interfaces"`
+	Neighbors  []NeighborSpec  `json:"neighbors"`
+	Networks   []string        `json:"networks"`
+}
+
+// InterfaceSpec is one interface with its CIDR address.
+type InterfaceSpec struct {
+	Name    string `json:"name"`
+	Address string `json:"address"` // host address in CIDR form, e.g. 2.0.0.1/24
+}
+
+// NeighborSpec is one required BGP peering.
+type NeighborSpec struct {
+	PeerName string `json:"peer_name"`
+	PeerIP   string `json:"peer_ip"`
+	PeerAS   uint32 `json:"peer_as"`
+	External bool   `json:"external"` // true for ISP/customer peers outside the managed network
+}
+
+// Interface returns the named interface spec, or nil.
+func (r *RouterSpec) Interface(name string) *InterfaceSpec {
+	for i := range r.Interfaces {
+		if r.Interfaces[i].Name == name {
+			return &r.Interfaces[i]
+		}
+	}
+	return nil
+}
+
+// ConnectedPrefixes returns the subnets the router is directly attached to.
+func (r *RouterSpec) ConnectedPrefixes() ([]netcfg.Prefix, error) {
+	var out []netcfg.Prefix
+	for _, ifc := range r.Interfaces {
+		p, err := parseCIDRNetwork(ifc.Address)
+		if err != nil {
+			return nil, fmt.Errorf("router %s interface %s: %w", r.Name, ifc.Name, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseCIDRNetwork parses "a.b.c.d/len" and returns the *network* prefix
+// (host bits cleared).
+func parseCIDRNetwork(s string) (netcfg.Prefix, error) {
+	p, err := netcfg.ParsePrefix(s)
+	if err != nil {
+		return netcfg.Prefix{}, err
+	}
+	return netcfg.NewPrefix(p.Addr, p.Len), nil
+}
+
+// hostAddr parses "a.b.c.d/len" and returns the host address.
+func hostAddr(s string) (uint32, int, error) {
+	var ip string
+	var length int
+	if _, err := fmt.Sscanf(s, "%31s", &ip); err != nil {
+		return 0, 0, err
+	}
+	slash := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("address %q missing /len", s)
+	}
+	addr, err := netcfg.ParseIP(s[:slash])
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := fmt.Sscanf(s[slash+1:], "%d", &length); err != nil {
+		return 0, 0, fmt.Errorf("address %q has invalid length", s)
+	}
+	return addr, length, nil
+}

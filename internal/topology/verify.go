@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/netcfg"
+)
+
+// Finding is one inconsistency between a router's generated configuration
+// and its topology spec. Issue is phrased exactly like the paper's Table 3
+// topology-error prompts, so the humanizer can pass it through verbatim.
+type Finding struct {
+	Router string
+	Issue  string
+}
+
+// String implements fmt.Stringer.
+func (f Finding) String() string { return f.Router + ": " + f.Issue }
+
+// Verify checks a parsed device configuration against the router's spec.
+// It reproduces the seven topology-error categories of Table 3: interface
+// address mismatches, local-AS mismatch, router-ID mismatch, undeclared
+// neighbors, undeclared networks, networks not directly connected, and
+// neighbors that should not exist.
+func Verify(spec *RouterSpec, dev *netcfg.Device) []Finding {
+	var out []Finding
+	add := func(format string, args ...interface{}) {
+		out = append(out, Finding{Router: spec.Name, Issue: fmt.Sprintf(format, args...)})
+	}
+
+	// 1. Interfaces and addresses.
+	for _, ifcSpec := range spec.Interfaces {
+		wantAddr, wantLen, err := hostAddr(ifcSpec.Address)
+		if err != nil {
+			add("topology spec for interface %s is invalid: %v", ifcSpec.Name, err)
+			continue
+		}
+		ifc := dev.Interface(ifcSpec.Name)
+		if ifc == nil || !ifc.HasAddress {
+			add("Interface %s with IP address %s not configured", ifcSpec.Name,
+				netcfg.FormatIP(wantAddr))
+			continue
+		}
+		if ifc.Address.Addr != wantAddr || ifc.Address.Len != wantLen {
+			add("Interface %s ip address does not match with given config. Expected %s, found %s",
+				ifcSpec.Name, netcfg.FormatIP(wantAddr), netcfg.FormatIP(ifc.Address.Addr))
+		}
+	}
+
+	// 2. Local AS.
+	if dev.BGP == nil {
+		add("No 'router bgp %d' block declared", spec.ASN)
+		return out
+	}
+	if dev.BGP.ASN != spec.ASN {
+		add("Local AS number does not match. Expected %d, found %d", spec.ASN, dev.BGP.ASN)
+	}
+
+	// 3. Router ID.
+	wantID, err := netcfg.ParseIP(spec.RouterID)
+	if err == nil && dev.BGP.RouterID != 0 && dev.BGP.RouterID != wantID {
+		add("Router ID does not match with given config. Expected %s, found %s",
+			spec.RouterID, netcfg.FormatIP(dev.BGP.RouterID))
+	}
+
+	// 4. Required neighbors declared.
+	for _, nb := range spec.Neighbors {
+		peerIP, err := netcfg.ParseIP(nb.PeerIP)
+		if err != nil {
+			add("topology spec for neighbor %s is invalid: %v", nb.PeerName, err)
+			continue
+		}
+		got := dev.BGP.Neighbor(peerIP)
+		if got == nil {
+			add("Neighbor with IP address %s and AS %d not declared", nb.PeerIP, nb.PeerAS)
+			continue
+		}
+		if got.RemoteAS != nb.PeerAS {
+			add("Neighbor with IP address %s has wrong AS. Expected %d, found %d",
+				nb.PeerIP, nb.PeerAS, got.RemoteAS)
+		}
+	}
+
+	// 5. Required networks declared; 6. declared networks must be directly
+	// connected.
+	connected, connErr := spec.ConnectedPrefixes()
+	for _, netStr := range spec.Networks {
+		want, err := netcfg.ParsePrefix(netStr)
+		if err != nil {
+			add("topology spec network %q is invalid: %v", netStr, err)
+			continue
+		}
+		if !dev.BGP.HasNetwork(want) {
+			add("Network %s not declared", want)
+		}
+	}
+	if connErr == nil {
+		for _, got := range dev.BGP.Networks {
+			if !isSpecNetwork(spec, got) && !isConnected(connected, got) {
+				add("Incorrect network declaration. %s is not directly connected to %s",
+					got, spec.Name)
+			}
+		}
+	}
+
+	// 7. Extra neighbors.
+	for _, got := range dev.BGP.Neighbors {
+		if !isSpecNeighbor(spec, got.Addr) {
+			add("Incorrect neighbor declaration. No neighbor with IP address %s AS %d found",
+				netcfg.FormatIP(got.Addr), got.RemoteAS)
+		}
+	}
+	return out
+}
+
+// VerifyAll verifies every router of a topology against a set of parsed
+// devices keyed by router name. Missing devices yield a finding.
+func VerifyAll(t *Topology, devs map[string]*netcfg.Device) []Finding {
+	var out []Finding
+	for i := range t.Routers {
+		spec := &t.Routers[i]
+		dev := devs[spec.Name]
+		if dev == nil {
+			out = append(out, Finding{Router: spec.Name, Issue: "no configuration generated"})
+			continue
+		}
+		out = append(out, Verify(spec, dev)...)
+	}
+	return out
+}
+
+func isSpecNetwork(spec *RouterSpec, p netcfg.Prefix) bool {
+	for _, n := range spec.Networks {
+		if want, err := netcfg.ParsePrefix(n); err == nil && want == p {
+			return true
+		}
+	}
+	return false
+}
+
+func isConnected(connected []netcfg.Prefix, p netcfg.Prefix) bool {
+	for _, c := range connected {
+		if c == p {
+			return true
+		}
+	}
+	return false
+}
+
+func isSpecNeighbor(spec *RouterSpec, addr uint32) bool {
+	for _, nb := range spec.Neighbors {
+		if ip, err := netcfg.ParseIP(nb.PeerIP); err == nil && ip == addr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+// Package translate implements the faithful Cisco→Juniper translation that
+// the simulated LLM uses as its "savant" core: the correct endpoint the VPP
+// loop converges to. The interesting GPT-4 behaviour — the errors — is
+// layered on top by internal/llm via IR mutations of this golden output.
+package translate
+
+import (
+	"repro/internal/campion"
+	"repro/internal/netcfg"
+)
+
+// Golden translates a Cisco device into an equivalent Juniper device,
+// handling the paper's tricky cases faithfully:
+//
+//   - interface renaming (GigabitEthernet0/0 -> ge-0/0/0.0, Loopback0 ->
+//     lo0.0) with per-interface OSPF area/cost/passive attributes;
+//   - an explicit loopback "metric 1" where Cisco's default cost applies,
+//     since an absent Junos metric reads as 0 (the Table 1 attribute
+//     example);
+//   - prefix lists with ge/le length ranges become inline route-filter
+//     conditions — Junos prefix-lists cannot express "ge 24" (§3.2);
+//   - Cisco "redistribute <proto> route-map <m>" folds into the BGP export
+//     policy as protocol-gated terms, and every original export term gains
+//     a "from protocol bgp" condition (§3.2's redistribution difference).
+func Golden(src *netcfg.Device) *netcfg.Device {
+	dst := netcfg.NewDevice(src.Hostname, netcfg.VendorJuniper)
+
+	for _, ifc := range src.Interfaces {
+		translateInterface(src, dst, ifc)
+	}
+
+	// Prefix lists without length ranges carry over; ranged lists become
+	// route-filters at their use sites.
+	ranged := map[string]bool{}
+	for _, name := range src.PrefixListNames() {
+		pl := src.PrefixLists[name]
+		if hasLengthRange(pl) {
+			ranged[name] = true
+			continue
+		}
+		dup := &netcfg.PrefixList{Name: pl.Name}
+		dup.Entries = append(dup.Entries, pl.Entries...)
+		dst.PrefixLists[name] = dup
+	}
+	for _, name := range src.CommunityListNames() {
+		cl := src.CommunityLists[name]
+		dup := &netcfg.CommunityList{Name: cl.Name}
+		dup.Entries = append(dup.Entries, cl.Entries...)
+		dst.CommunityLists[name] = dup
+	}
+
+	if src.BGP != nil {
+		translateBGP(src, dst, ranged)
+	}
+	dst.StaticRoutes = append(dst.StaticRoutes, src.StaticRoutes...)
+	return dst
+}
+
+func translateInterface(src, dst *netcfg.Device, ifc *netcfg.Interface) {
+	out := dst.EnsureInterface(campion.CiscoToJuniperIfc(ifc.Name))
+	out.Description = ifc.Description
+	out.Address = ifc.Address
+	out.HasAddress = ifc.HasAddress
+	out.Shutdown = ifc.Shutdown
+	out.OSPFArea = -1
+	if src.OSPF != nil && ifc.HasAddress {
+		for _, n := range src.OSPF.Networks {
+			if n.Prefix.ContainsIP(ifc.Address.Addr) {
+				out.OSPFArea = n.Area
+				out.OSPFCost = ifc.OSPFCost
+				if out.OSPFCost == 0 {
+					out.OSPFCost = 1 // Cisco default; Junos must say it explicitly
+				}
+				out.OSPFPassive = src.OSPF.IsPassive(ifc.Name)
+				break
+			}
+		}
+	}
+	if out.OSPFPassive {
+		dst.EnsureOSPF(1).PassiveInterfaces = append(dst.EnsureOSPF(1).PassiveInterfaces, out.Name)
+	}
+}
+
+func translateBGP(src, dst *netcfg.Device, ranged map[string]bool) {
+	b := &netcfg.BGP{ASN: src.BGP.ASN, RouterID: src.BGP.RouterID}
+	dst.BGP = b
+	for _, n := range src.BGP.Neighbors {
+		dup := *n
+		b.Neighbors = append(b.Neighbors, &dup)
+	}
+
+	// Import policies translate term-for-term.
+	for _, name := range src.PolicyNames() {
+		if isExportPolicy(src, name) {
+			continue
+		}
+		dst.RoutePolicies[name] = translatePolicy(src, src.RoutePolicies[name], ranged, nil)
+	}
+	// Export policies gain protocol gating plus redistribution terms.
+	for _, name := range src.PolicyNames() {
+		if !isNeighborExport(src, name) {
+			continue
+		}
+		dst.RoutePolicies[name] = buildExportPolicy(src, name, ranged)
+	}
+}
+
+// isExportPolicy reports whether the policy is attached as a neighbor
+// export or used as a redistribution map (those fold into exports).
+func isExportPolicy(src *netcfg.Device, name string) bool {
+	if isNeighborExport(src, name) {
+		return true
+	}
+	for _, r := range src.BGP.Redistribute {
+		if r.Policy == name {
+			return true
+		}
+	}
+	return false
+}
+
+func isNeighborExport(src *netcfg.Device, name string) bool {
+	for _, n := range src.BGP.Neighbors {
+		if n.ExportPolicy == name {
+			return true
+		}
+	}
+	return false
+}
+
+// translatePolicy converts clauses, replacing ranged prefix-list matches
+// with route-filters and optionally prepending an extra gate match.
+func translatePolicy(src *netcfg.Device, pol *netcfg.RoutePolicy, ranged map[string]bool,
+	gate netcfg.Match) *netcfg.RoutePolicy {
+	out := &netcfg.RoutePolicy{Name: pol.Name}
+	for _, cl := range pol.Clauses {
+		out.Clauses = append(out.Clauses, translateClause(src, cl, ranged, gate, cl.Seq))
+	}
+	return out
+}
+
+func translateClause(src *netcfg.Device, cl *netcfg.PolicyClause, ranged map[string]bool,
+	gate netcfg.Match, seq int) *netcfg.PolicyClause {
+	dup := &netcfg.PolicyClause{Seq: seq, Action: cl.Action}
+	if gate != nil {
+		dup.Matches = append(dup.Matches, gate)
+	}
+	for _, m := range cl.Matches {
+		if mpl, ok := m.(netcfg.MatchPrefixList); ok && ranged[mpl.List] {
+			pl := src.PrefixLists[mpl.List]
+			// Single-entry ranged lists (the common "ge N" idiom) become a
+			// single route-filter; the one exercised case in the example
+			// config and tests.
+			for _, e := range pl.Entries {
+				if e.Action != netcfg.Permit {
+					continue
+				}
+				min, max := e.Bounds()
+				dup.Matches = append(dup.Matches, netcfg.MatchRouteFilter{
+					Prefix: e.Prefix, MinLen: min, MaxLen: max,
+				})
+			}
+			continue
+		}
+		dup.Matches = append(dup.Matches, m)
+	}
+	dup.Sets = append(dup.Sets, cl.Sets...)
+	return dup
+}
+
+// buildExportPolicy folds the Cisco neighbor export map and the BGP
+// redistribution statements into one Junos export policy: the original
+// export terms gated with "from protocol bgp", then one gated term-group
+// per redistribution source, then an explicit final reject.
+func buildExportPolicy(src *netcfg.Device, name string, ranged map[string]bool) *netcfg.RoutePolicy {
+	out := &netcfg.RoutePolicy{Name: name}
+	seq := 10
+	orig := src.RoutePolicies[name]
+	if orig != nil {
+		for _, cl := range orig.Clauses {
+			out.Clauses = append(out.Clauses,
+				translateClause(src, cl, ranged, netcfg.MatchProtocol{Protocol: netcfg.RedistBGP}, seq))
+			seq += 10
+		}
+	}
+	for _, red := range src.BGP.Redistribute {
+		gate := netcfg.MatchProtocol{Protocol: red.Protocol}
+		if red.Policy == "" {
+			out.Clauses = append(out.Clauses, &netcfg.PolicyClause{
+				Seq: seq, Action: netcfg.Permit, Matches: []netcfg.Match{gate},
+			})
+			seq += 10
+			continue
+		}
+		rm := src.RoutePolicies[red.Policy]
+		if rm == nil {
+			continue
+		}
+		for _, cl := range rm.Clauses {
+			out.Clauses = append(out.Clauses, translateClause(src, cl, ranged, gate, seq))
+			seq += 10
+		}
+	}
+	out.Clauses = append(out.Clauses, &netcfg.PolicyClause{Seq: seq, Action: netcfg.Deny})
+	return out
+}
+
+func hasLengthRange(pl *netcfg.PrefixList) bool {
+	for _, e := range pl.Entries {
+		if e.Ge > 0 || e.Le > 0 {
+			return true
+		}
+	}
+	return false
+}

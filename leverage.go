@@ -1,0 +1,137 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exampledata"
+	"repro/internal/llm"
+	"repro/internal/netgen"
+)
+
+// LeverageReport summarizes a leverage experiment (§3.2, §4.2).
+type LeverageReport struct {
+	Name      string
+	Automated int
+	Human     int
+	Leverage  float64
+	Verified  bool
+}
+
+// String renders the report the way the paper states its results.
+func (r LeverageReport) String() string {
+	return fmt.Sprintf("%s: %d automated / %d human prompts, leverage %.1fX, verified=%v",
+		r.Name, r.Automated, r.Human, r.Leverage, r.Verified)
+}
+
+func report(name string, res *core.Result) LeverageReport {
+	a, h := res.Transcript.Counts()
+	return LeverageReport{Name: name, Automated: a, Human: h,
+		Leverage: res.Leverage(), Verified: res.Verified}
+}
+
+// ExperimentTranslationLeverage runs the §3.2 experiment: the full Table 2
+// error scenario on the example config. Expected shape: ~20 automated / 2
+// human prompts, leverage ≈ 10X, verified.
+func ExperimentTranslationLeverage() (LeverageReport, error) {
+	model := llm.NewTranslator(llm.DefaultTranslateConfig())
+	res, err := core.Translate(exampledata.CiscoExample, core.TranslateOptions{Model: model})
+	if err != nil {
+		return LeverageReport{}, err
+	}
+	return report("translation (Cisco->Juniper)", res), nil
+}
+
+// ExperimentNoTransitLeverage runs the §4.2 experiment on an n-router
+// star. Expected shape at n=7: 12 automated / 2 human prompts, leverage
+// 6X, verified (including the global BGP simulation).
+func ExperimentNoTransitLeverage(n int) (LeverageReport, error) {
+	topo, err := netgen.Star(n)
+	if err != nil {
+		return LeverageReport{}, err
+	}
+	model := llm.NewSynthesizer(llm.DefaultSynthConfig())
+	res, err := core.Synthesize(topo, core.SynthOptions{Model: model})
+	if err != nil {
+		return LeverageReport{}, err
+	}
+	return report(fmt.Sprintf("no-transit (star-%d)", n), res), nil
+}
+
+// AblationLocalVsGlobal contrasts local-specification prompting (§4.1,
+// converges) with global-policy prompting (oscillates and fails): the
+// paper's "Local versus Global Policy Prompts" finding.
+func AblationLocalVsGlobal(n int) (local, global LeverageReport, err error) {
+	topo, err := netgen.Star(n)
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	localRes, err := core.Synthesize(topo, core.SynthOptions{
+		Model: llm.NewSynthesizer(llm.DefaultSynthConfig())})
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	globalRes, err := core.SynthesizeGlobal(topo, core.GlobalSynthOptions{
+		Model: llm.NewGlobalSynthesizer()})
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	return report("local specs", localRes), report("global spec", globalRes), nil
+}
+
+// AblationIIP contrasts synthesis with and without the initial instruction
+// prompt database (§4.2): without it the common syntax-error classes
+// reappear and cost extra correction prompts.
+func AblationIIP(n int) (withIIP, withoutIIP LeverageReport, err error) {
+	topo, err := netgen.Star(n)
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	withRes, err := core.Synthesize(topo, core.SynthOptions{
+		Model: llm.NewSynthesizer(llm.DefaultSynthConfig())})
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	withoutRes, err := core.Synthesize(topo, core.SynthOptions{
+		Model: llm.NewSynthesizer(llm.DefaultSynthConfig()), NoIIP: true})
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	return report("with IIP", withRes), report("without IIP", withoutRes), nil
+}
+
+// AblationHumanizer contrasts humanized prompts with raw verifier output
+// on the translation task: with raw feedback the model fixes less and the
+// human carries more of the loop, so leverage drops — the paper's claim
+// that verification needs "actionable localized feedback" (§1).
+func AblationHumanizer() (humanized, raw LeverageReport, err error) {
+	humanRes, err := core.Translate(exampledata.CiscoExample, core.TranslateOptions{
+		Model: llm.NewTranslator(llm.DefaultTranslateConfig())})
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	rawRes, err := core.Translate(exampledata.CiscoExample, core.TranslateOptions{
+		Model:       llm.NewTranslator(llm.DefaultTranslateConfig()),
+		RawFeedback: true,
+		Human:       core.HumanizerHuman{},
+	})
+	if err != nil {
+		return LeverageReport{}, LeverageReport{}, err
+	}
+	return report("humanized feedback", humanRes), report("raw feedback", rawRes), nil
+}
+
+// LeverageVsNetworkSize sweeps the star size (extension experiment E10):
+// automated prompts grow with the number of routers while human prompts
+// stay constant, so leverage grows with network size.
+func LeverageVsNetworkSize(sizes []int) ([]LeverageReport, error) {
+	var out []LeverageReport
+	for _, n := range sizes {
+		r, err := ExperimentNoTransitLeverage(n)
+		if err != nil {
+			return nil, fmt.Errorf("star-%d: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
