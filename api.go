@@ -52,9 +52,10 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 // paper-scale translation experiments.
 func ExampleCiscoConfig() string { return exampledata.CiscoExample }
 
-// SynthesizeOptions configures SynthesizeNoTransit.
+// SynthesizeOptions configures Synthesize and SynthesizeNoTransit.
 type SynthesizeOptions struct {
-	// Routers is the star size n (default 7, the paper's network).
+	// Routers is the star size n for SynthesizeNoTransit (default 7, the
+	// paper's network); ignored by Synthesize, which takes a topology.
 	Routers int
 	// Seed drives the simulated LLM (default 1).
 	Seed int64
@@ -62,11 +63,36 @@ type SynthesizeOptions struct {
 	Verifier Verifier
 	// DisableIIP ablates the initial instruction prompt database (§4.2).
 	DisableIIP bool
+	// Parallelism bounds the per-router repair worker pool; values <= 1
+	// run the paper's sequential loop. Per-router transcripts merge
+	// deterministically in topology order, so the accounting is
+	// reproducible either way and matches the sequential loop on runs
+	// that converge (iteration caps and human give-ups are scoped per
+	// router in parallel, per run sequentially).
+	Parallelism int
+}
+
+// Synthesize runs the VPP synthesis pipeline on an arbitrary topology —
+// any scenario from the registry (see Topologies) or a hand-built
+// dictionary — implementing the no-transit policy via local per-router
+// specifications: hub-centric on stars, attachment-point on other graphs.
+func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error) {
+	cfg := llm.DefaultSynthConfig()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	return core.Synthesize(topo, core.SynthOptions{
+		Model:       llm.NewSynthesizer(cfg),
+		Verifier:    opts.Verifier,
+		NoIIP:       opts.DisableIIP,
+		Parallelism: opts.Parallelism,
+	})
 }
 
 // SynthesizeNoTransit runs the paper's second use case (§4): synthesize
 // Cisco configurations for an n-router star network implementing the
-// no-transit policy via local per-router specifications.
+// no-transit policy via local per-router specifications. It is a thin
+// wrapper over Synthesize with the Figure 4 star topology.
 func SynthesizeNoTransit(opts SynthesizeOptions) (*Result, error) {
 	n := opts.Routers
 	if n == 0 {
@@ -76,21 +102,48 @@ func SynthesizeNoTransit(opts SynthesizeOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := llm.DefaultSynthConfig()
-	if opts.Seed != 0 {
-		cfg.Seed = opts.Seed
-	}
-	return core.Synthesize(topo, core.SynthOptions{
-		Model:    llm.NewSynthesizer(cfg),
-		Verifier: opts.Verifier,
-		NoIIP:    opts.DisableIIP,
-	})
+	return Synthesize(topo, opts)
 }
 
 // StarTopology generates the Figure 4 star network description: the JSON
 // dictionary and its machine-generated natural-language description.
+// Unlike GenerateTopology, the size is not defaulted: n < 2 is an error.
 func StarTopology(n int) (*topology.Topology, string, error) {
 	topo, err := netgen.Star(n)
+	if err != nil {
+		return nil, "", err
+	}
+	return topo, netgen.Describe(topo), nil
+}
+
+// TopologyInfo describes one registered topology scenario.
+type TopologyInfo struct {
+	// Name identifies the scenario for GenerateTopology.
+	Name string
+	// Summary is a one-line description.
+	Summary string
+	// SizeHint documents the generator's size parameter.
+	SizeHint string
+	// DefaultSize is the paper-scale default for the parameter.
+	DefaultSize int
+}
+
+// Topologies lists the registered topology scenarios the synthesis
+// engine can target: star, ring, full-mesh, and fat-tree.
+func Topologies() []TopologyInfo {
+	var out []TopologyInfo
+	for _, s := range netgen.Scenarios() {
+		out = append(out, TopologyInfo{Name: s.Name, Summary: s.Summary,
+			SizeHint: s.SizeHint, DefaultSize: s.DefaultSize})
+	}
+	return out
+}
+
+// GenerateTopology builds a registered scenario's topology: the JSON
+// dictionary and its machine-generated natural-language description.
+// size <= 0 uses the scenario's default.
+func GenerateTopology(name string, size int) (*topology.Topology, string, error) {
+	topo, err := netgen.Generate(name, size)
 	if err != nil {
 		return nil, "", err
 	}

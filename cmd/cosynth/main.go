@@ -4,6 +4,7 @@
 //
 //	cosynth -mode translate
 //	cosynth -mode notransit -n 7
+//	cosynth -mode notransit -topo ring -n 8 -parallel 4
 //	cosynth -mode translate -verifier http://localhost:9876   # via batfishd
 package main
 
@@ -16,11 +17,14 @@ import (
 	"repro"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
+	"repro/internal/topology"
 )
 
 func main() {
 	mode := flag.String("mode", "translate", "use case: translate | notransit")
-	n := flag.Int("n", 7, "star size for -mode notransit")
+	topoName := flag.String("topo", "star", "topology scenario for -mode notransit")
+	n := flag.Int("n", 0, "topology size for -mode notransit (routers, or pod arity for fat-tree); 0 = scenario default")
+	parallel := flag.Int("parallel", 0, "per-router repair workers for -mode notransit (<=1: sequential)")
 	seed := flag.Int64("seed", 1, "simulated-LLM seed")
 	verifierURL := flag.String("verifier", "", "batfishd base URL (default: in-process suite)")
 	inputPath := flag.String("config", "", "Cisco config to translate (default: bundled example)")
@@ -50,8 +54,13 @@ func main() {
 		}
 		res, err = repro.Translate(cfg, repro.TranslateOptions{Seed: *seed, Verifier: verifier})
 	case "notransit":
-		res, err = repro.SynthesizeNoTransit(repro.SynthesizeOptions{
-			Routers: *n, Seed: *seed, Verifier: verifier})
+		var topo *topology.Topology
+		topo, _, err = repro.GenerateTopology(*topoName, *n)
+		if err != nil {
+			log.Fatalf("cosynth: %v", err)
+		}
+		res, err = repro.Synthesize(topo, repro.SynthesizeOptions{
+			Seed: *seed, Verifier: verifier, Parallelism: *parallel})
 	default:
 		log.Fatalf("cosynth: unknown mode %q", *mode)
 	}

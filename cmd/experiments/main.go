@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/netgen"
@@ -82,6 +83,26 @@ func main() {
 			fmt.Printf("  %s\n", rep)
 		}
 	}
+
+	fmt.Println("\n== E12: topology scenario sweep (extension) ==")
+	sweep, err := repro.TopologySweep()
+	check(err)
+	for _, rep := range sweep {
+		fmt.Printf("  %s\n", rep)
+	}
+
+	fmt.Println("\n== E13: parallel vs sequential synthesis (extension) ==")
+	const parScenario, parSize = "full-mesh", 16
+	seqStart := time.Now()
+	seqRep, err := repro.ExperimentTopologyLeverage(parScenario, parSize, 1)
+	check(err)
+	seqDur := time.Since(seqStart)
+	parStart := time.Now()
+	parRep, err := repro.ExperimentTopologyLeverage(parScenario, parSize, 8)
+	check(err)
+	parDur := time.Since(parStart)
+	fmt.Printf("  sequential: %s (%.0f ms)\n", seqRep, float64(seqDur.Microseconds())/1000)
+	fmt.Printf("  parallel-8: %s (%.0f ms)\n", parRep, float64(parDur.Microseconds())/1000)
 }
 
 func check(err error) {

@@ -1,6 +1,8 @@
-// Command netgen is the paper's network generator (§4.1): given only the
-// number of routers, it emits the star topology's JSON dictionary and/or
-// its machine-generated natural-language description (Figure 4).
+// Command netgen is the paper's network generator (§4.1), grown into a
+// scenario registry: given a topology family and a size parameter it
+// emits the JSON dictionary and/or the machine-generated natural-language
+// description that the Modularizer consumes (Figure 4's star plus ring,
+// full-mesh, and fat-tree).
 package main
 
 import (
@@ -8,20 +10,30 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/netgen"
 )
 
 func main() {
-	n := flag.Int("n", 7, "number of routers (R1 + n-1 ISP-facing routers)")
+	scenario := flag.String("topo", "star", "topology scenario: "+
+		strings.Join(netgen.ScenarioNames(), ", "))
+	n := flag.Int("n", 0, "size parameter (routers, or pod arity for fat-tree); 0 = scenario default")
 	jsonOut := flag.Bool("json", false, "emit the JSON topology dictionary")
 	textOut := flag.Bool("text", false, "emit the natural-language description")
+	list := flag.Bool("list", false, "list the registered scenarios and exit")
 	flag.Parse()
+	if *list {
+		for _, s := range netgen.Scenarios() {
+			fmt.Printf("%-10s %s (%s; default %d)\n", s.Name, s.Summary, s.SizeHint, s.DefaultSize)
+		}
+		return
+	}
 	if !*jsonOut && !*textOut {
 		*jsonOut, *textOut = true, true
 	}
 
-	topo, err := netgen.Star(*n)
+	topo, err := netgen.Generate(*scenario, *n)
 	if err != nil {
 		log.Fatalf("netgen: %v", err)
 	}

@@ -5,8 +5,60 @@
 // The paper proposes Verified Prompt Programming (VPP): pair an LLM with a
 // suite of network-configuration verifiers, convert verifier findings into
 // natural-language correction prompts automatically (a "humanizer"), and
-// measure leverage — automated prompts per human prompt. This module
-// implements the whole stack from scratch on the standard library:
+// measure leverage — automated prompts per human prompt.
+//
+// # Architecture: one pipeline, many stages
+//
+// Both use cases run on a single stage-driven repair engine
+// (internal/core). A pipeline is a declarative list of stages, each a
+// verifier pass that inspects the current configurations and reports the
+// first outstanding Finding — its stable identity, target configuration,
+// and humanized rectification prompt. The shared RunPipeline driver
+// executes Figure 3's loop over any stage list: find a finding, prompt
+// the model, bill the finding's attempt budget, punt to the human oracle
+// when the budget is exhausted, stop when every stage is clean. Stage
+// order encodes the paper's masking order (syntax before structure before
+// semantics, §3.1).
+//
+//   - Translation (§3) composes two stages: Batfish-style syntax
+//     checking, then Campion-style semantic diffing.
+//   - Synthesis (§4) composes three: per-router syntax, the topology
+//     verifier, and the Lightyear-style local-policy checker — followed
+//     by the whole-network BGP simulation as the global check.
+//
+// # Topology scenario registry
+//
+// Synthesis is no longer star-only. internal/netgen registers four
+// topology families — the paper's Figure 4 star plus ring, full-mesh,
+// and k-ary fat-tree — each emitting the same two machine-readable
+// artifacts the Modularizer consumes: the JSON dictionary and the
+// formulaic natural-language description. The no-transit policy
+// generalizes through internal/lightyear.SpecFor: stars keep the paper's
+// hub-centric specification (tag and filter at R1); every other graph
+// uses the attachment-point specification, where each ISP-facing router
+// tags at its own ingress and filters every other attachment's tag at
+// its own egress. Because the BGP simulation propagates communities
+// across internal hops, the local obligations compose into the global
+// no-transit guarantee on any graph (CoverageComplete is the proof
+// obligation).
+//
+// # Concurrent per-router synthesis
+//
+// Each router's repair loop is independent — per-router prompts,
+// per-router verifiers — so Synthesize accepts a Parallelism option that
+// repairs routers on a bounded worker pool, each worker driving its own
+// conversation against a mutex-guarded shared model. Per-router
+// transcripts merge deterministically in topology order: on runs that
+// converge, leverage accounting, punted findings, and final
+// configurations are identical to the sequential loop (on aborted runs
+// the budgets differ — iteration caps and human give-ups are per-router
+// in parallel, per-run sequentially). The wall-clock win comes from
+// avoiding the sequential loop's whole-network re-verification scans
+// plus core parallelism where available.
+//
+// # The stack
+//
+// Everything is implemented from scratch on the standard library:
 //
 //   - Cisco IOS and Junos parsers, printers, and syntax checkers
 //     (internal/cisco, internal/juniper) standing in for Batfish's parse
@@ -17,14 +69,18 @@
 //   - a BGP control-plane simulator for the global no-transit check
 //     (internal/batfish), exposed over a REST wrapper
 //     (internal/batfish/rest, cmd/batfishd);
-//   - the topology verifier, network generator, modularizer, humanizer,
-//     and Lightyear-style local-policy checker of the paper's Figure 3;
+//   - the topology verifier, scenario registry / network generators,
+//     modularizer, humanizer, and Lightyear-style local-policy checker of
+//     the paper's Figure 3;
 //   - a simulated GPT-4 (internal/llm) whose error model is calibrated to
 //     the paper's Tables 1–3; and
-//   - the COSYNTH engine (internal/core) that drives the loop and
-//     accounts for leverage.
+//   - the COSYNTH engine (internal/core): the Stage/RunPipeline driver,
+//     the two use-case compositions, and leverage accounting.
 //
-// This package is the stable facade: the two use-case entry points
-// (Translate, SynthesizeNoTransit) and the experiment runners that
-// regenerate every table and figure of the paper (see EXPERIMENTS.md).
+// This package is the stable facade: the use-case entry points
+// (Translate, Synthesize, SynthesizeNoTransit), the topology registry
+// (Topologies, GenerateTopology), and the experiment runners that
+// regenerate every table and figure of the paper plus the extension
+// experiments (see EXPERIMENTS.md and bench_test.go's BENCH JSON
+// output).
 package repro

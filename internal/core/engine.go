@@ -94,14 +94,30 @@ func (r *Result) AutomatedPrompts() int { a, _ := r.Transcript.Counts(); return 
 func (r *Result) HumanPrompts() int { _, h := r.Transcript.Counts(); return h }
 
 // Leverage is the paper's metric: automated prompts per human prompt.
-// With zero human prompts it returns the automated count (the loop was
-// fully automatic).
+// The edge cases are pinned so the metric stays monotone in automation
+// and a fully-punted run cannot be mistaken for a fully-automatic one:
+//
+//   - a == 0 && h == 0: 0 — an empty run has no leverage to report;
+//   - a > 0 && h == 0: float64(a) — the loop was fully automatic, and the
+//     automated count is the conventional lower bound ("at least a
+//     automated prompts per human prompt");
+//   - a == 0 && h > 0: 0 — every prompt was human (the loop punted
+//     everything), the metric's minimum. This is distinguishable from the
+//     fully-automatic case, which is never 0 when any prompt was sent.
 func (r *Result) Leverage() float64 {
 	a, h := r.Transcript.Counts()
 	if h == 0 {
 		return float64(a)
 	}
 	return float64(a) / float64(h)
+}
+
+// FullyAutomated reports whether the run sent at least one prompt and
+// none of them were human — the regime where Leverage() returns the
+// automated count as a lower bound rather than a true ratio.
+func (r *Result) FullyAutomated() bool {
+	a, h := r.Transcript.Counts()
+	return a > 0 && h == 0
 }
 
 // session drives one conversation with the model, recording the

@@ -1,0 +1,133 @@
+package core
+
+import "repro/internal/llm"
+
+// Finding is one outstanding verifier finding surfaced by a pipeline
+// stage: a stable identity (for the attempt budget), the configuration it
+// concerns, the stage label, and the two renderings of the feedback — the
+// humanized rectification prompt and the raw verifier output.
+type Finding struct {
+	// Key is a stable identity so the attempt budget tracks "the same
+	// error" across iterations.
+	Key string
+	// Target names the configuration the finding concerns: "translation"
+	// for the translation use case, a router name for synthesis.
+	Target string
+	// Stage labels the verifier that produced the finding.
+	Stage Stage
+	// Humanized is the Table 1 / Table 3 rectification prompt.
+	Humanized string
+	// Raw is the raw verifier output (used by the humanizer ablation);
+	// empty means the humanized form is the only rendering.
+	Raw string
+}
+
+// PipelineStage is one verifier pass of the repair loop (Figure 3): it
+// inspects the current configurations and reports the first outstanding
+// finding, or nil when the stage is clean. Stages run in declaration
+// order, which encodes the paper's masking order — "syntax errors and
+// structural mismatches have to be handled earlier since they can mask
+// attribute differences and policy behavior differences" (§3.1). The
+// transcript label comes from each Finding's Stage field, since one pass
+// may surface findings of several kinds (the Campion differ emits both
+// structural and semantic findings).
+type PipelineStage interface {
+	// Check returns the first outstanding finding against the current
+	// configurations (keyed by target), or nil when clean.
+	Check(configs map[string]string) (*Finding, error)
+}
+
+// Pipeline declares a VPP repair loop: an ordered stage list plus the
+// loop's budgets and the knobs that differ between the two use cases.
+type Pipeline struct {
+	Stages []PipelineStage
+	Human  HumanOracle
+	// MaxAttemptsPerFinding bounds automated prompts per distinct finding
+	// before punting to the human.
+	MaxAttemptsPerFinding int
+	// MaxIterations bounds total verify/correct cycles.
+	MaxIterations int
+	// RawFeedback ablates the humanizer: correction prompts carry the raw
+	// verifier output instead of the Table 1 formulas.
+	RawFeedback bool
+	// PrintAfterFix re-prompts for the full configuration after an
+	// automated fix changed something (§3.1's print half-cycle, used by
+	// translation).
+	PrintAfterFix bool
+	// WrapManual adapts a manual correction before it is sent (synthesis
+	// prefixes "For router X:"); nil sends it verbatim.
+	WrapManual func(f *Finding, manual string) string
+}
+
+// RunPipeline drives the generic verify → humanize → reprompt repair loop
+// of Figure 3 over a set of configurations: find the first outstanding
+// finding across the stages, convert it to a prompt, bill it against the
+// finding's attempt budget, punt to the human oracle when the budget is
+// exhausted, and stop when every stage is clean (verified=true), the
+// human gives up, or the iteration budget runs out (verified=false).
+// Both Translate and Synthesize compose their loops from this driver.
+func RunPipeline(sess *session, configs map[string]string, p Pipeline) (verified bool, err error) {
+	attempts := map[string]int{}
+	for iter := 0; iter < p.MaxIterations; iter++ {
+		finding, err := firstFinding(p.Stages, configs)
+		if err != nil {
+			return false, err
+		}
+		if finding == nil {
+			return true, nil
+		}
+		prompt := finding.Humanized
+		if p.RawFeedback && finding.Raw != "" {
+			prompt = finding.Raw
+		}
+		attempts[finding.Key]++
+		kind := Automated
+		if attempts[finding.Key] > p.MaxAttemptsPerFinding {
+			// Punt: the slow manual loop takes over for this finding. The
+			// oracle always reads the humanized description — a human can
+			// interpret the verifier either way.
+			manual, ok := p.Human.Correct(finding.Stage, finding.Humanized)
+			if !ok {
+				return false, nil
+			}
+			sess.punted = append(sess.punted, finding.Key)
+			if p.WrapManual != nil {
+				manual = p.WrapManual(finding, manual)
+			}
+			prompt = manual
+			kind = Human
+		}
+		resp, changed, err := sess.send(kind, finding.Stage, finding.Target, prompt)
+		if err != nil {
+			return false, err
+		}
+		configs[finding.Target] = resp
+		// The paper's cycle: after a fix attempt, ask the model to print
+		// the whole configuration before re-verifying (§3.1). Count it as
+		// an automated prompt when the automated fix changed something;
+		// human prompts ask for the printout inline.
+		if p.PrintAfterFix && changed && kind == Automated {
+			resp, _, err = sess.send(Automated, StagePrint, finding.Target, llm.PrintRequest)
+			if err != nil {
+				return false, err
+			}
+			configs[finding.Target] = resp
+		}
+	}
+	return false, nil
+}
+
+// firstFinding scans the stages in masking order and returns the first
+// outstanding finding, or nil when every stage is clean.
+func firstFinding(stages []PipelineStage, configs map[string]string) (*Finding, error) {
+	for _, st := range stages {
+		f, err := st.Check(configs)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			return f, nil
+		}
+	}
+	return nil, nil
+}

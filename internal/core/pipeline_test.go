@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/netgen"
+)
+
+// TestLeverageEdgeSemantics pins the documented edge cases of the paper's
+// metric: an empty run and a fully-punted run both report 0, while a
+// fully-automatic run reports the automated count — so 0 can never be
+// read as "fully automatic".
+func TestLeverageEdgeSemantics(t *testing.T) {
+	empty := &Result{}
+	if got := empty.Leverage(); got != 0 {
+		t.Errorf("empty run leverage = %v, want 0", got)
+	}
+	if empty.FullyAutomated() {
+		t.Error("empty run must not count as fully automated")
+	}
+
+	punted := &Result{Transcript: Transcript{
+		{Kind: Human, Stage: StageTask},
+		{Kind: Human, Stage: StageSemantic},
+	}}
+	if got := punted.Leverage(); got != 0 {
+		t.Errorf("fully-punted leverage = %v, want 0", got)
+	}
+	if punted.FullyAutomated() {
+		t.Error("fully-punted run must not count as fully automated")
+	}
+
+	auto := &Result{Transcript: Transcript{
+		{Kind: Automated, Stage: StageSyntax},
+		{Kind: Automated, Stage: StagePrint},
+		{Kind: Automated, Stage: StageSemantic},
+	}}
+	if got := auto.Leverage(); got != 3 {
+		t.Errorf("fully-automatic leverage = %v, want 3 (lower bound)", got)
+	}
+	if !auto.FullyAutomated() {
+		t.Error("all-automated run must count as fully automated")
+	}
+}
+
+// TestSynthesizeTopologyScenariosConverge runs the full VPP loop —
+// including the global BGP simulation — on every registered scenario at
+// its default size: each must verify, and each non-star scenario must hit
+// the AND/OR human-intervention case at an attachment point.
+func TestSynthesizeTopologyScenariosConverge(t *testing.T) {
+	for _, sc := range netgen.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			topo, err := sc.Generate(sc.DefaultSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Synthesize(topo, SynthOptions{
+				Model: llm.NewSynthesizer(llm.DefaultSynthConfig())})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("%s did not verify; transcript:\n%s", topo.Name, res.Transcript)
+			}
+			auto, human := res.Transcript.Counts()
+			t.Logf("%s: automated=%d human=%d leverage=%.1f",
+				topo.Name, auto, human, res.Leverage())
+			if human != 2 {
+				t.Errorf("human prompts = %d, want 2 (kickoff + AND/OR); transcript:\n%s",
+					human, res.Transcript)
+			}
+			if len(topo.Routers) != len(res.Configs) {
+				t.Errorf("configs for %d of %d routers", len(res.Configs), len(topo.Routers))
+			}
+		})
+	}
+}
+
+// TestParallelSynthesisMatchesSequential checks the concurrency contract:
+// for every scenario, the parallel worker pool produces the same verified
+// status, the same prompt accounting, the same punted findings, and the
+// same final configurations as the sequential loop, because each router's
+// repair loop is independent and the merge is deterministic.
+func TestParallelSynthesisMatchesSequential(t *testing.T) {
+	for _, sc := range netgen.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			topo, err := sc.Generate(sc.DefaultSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := Synthesize(topo, SynthOptions{
+				Model: llm.NewSynthesizer(llm.DefaultSynthConfig())})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Synthesize(topo, SynthOptions{
+				Model:       llm.NewSynthesizer(llm.DefaultSynthConfig()),
+				Parallelism: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sa, sh := seq.Transcript.Counts()
+			pa, ph := par.Transcript.Counts()
+			if sa != pa || sh != ph || seq.Verified != par.Verified {
+				t.Errorf("sequential (%d,%d,%v) != parallel (%d,%d,%v)",
+					sa, sh, seq.Verified, pa, ph, par.Verified)
+			}
+			if !sortedEqual(seq.PuntedFindings, par.PuntedFindings) {
+				t.Errorf("punted findings differ: %v vs %v",
+					seq.PuntedFindings, par.PuntedFindings)
+			}
+			if fmt.Sprint(seq.Configs) != fmt.Sprint(par.Configs) {
+				t.Error("final configurations differ between sequential and parallel")
+			}
+		})
+	}
+}
+
+// TestSynthesizeSingleAttachmentTopology covers the degenerate scenario
+// of one ISP attachment (fat-tree k=2): nothing to filter, so the run
+// must still converge and verify globally.
+func TestSynthesizeSingleAttachmentTopology(t *testing.T) {
+	topo, err := netgen.FatTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(topo, SynthOptions{
+		Model: llm.NewSynthesizer(llm.DefaultSynthConfig())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("fat-tree-2 did not verify; transcript:\n%s", res.Transcript)
+	}
+}
+
+// TestParallelSynthesisIsDeterministic re-runs the parallel loop and
+// demands an identical transcript: the merge order is topology order, not
+// completion order.
+func TestParallelSynthesisIsDeterministic(t *testing.T) {
+	topo, err := netgen.Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev string
+	for trial := 0; trial < 3; trial++ {
+		res, err := Synthesize(topo, SynthOptions{
+			Model:       llm.NewSynthesizer(llm.DefaultSynthConfig()),
+			Parallelism: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Transcript.String()
+		if prev != "" && got != prev {
+			t.Fatalf("trial %d transcript differs:\n%s\nvs\n%s", trial, got, prev)
+		}
+		prev = got
+	}
+}
+
+func sortedEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

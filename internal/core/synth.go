@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/humanizer"
 	"repro/internal/llm"
@@ -27,6 +28,22 @@ type SynthOptions struct {
 	MaxIterations int
 	// SkipGlobalCheck skips the final whole-network BGP simulation.
 	SkipGlobalCheck bool
+	// Parallelism bounds the worker pool for per-router synthesis. Values
+	// <= 1 run the paper's sequential loop. Each router's inner repair
+	// loop is independent of the others (per-router prompts, per-router
+	// verifiers), so with Parallelism > 1 the routers are repaired
+	// concurrently and the per-router transcripts are merged
+	// deterministically in topology order: repeated parallel runs are
+	// reproducible, and runs that converge produce the same accounting as
+	// the sequential loop. The budgets differ on non-converging runs:
+	// sequentially MaxIterations caps total cycles across all routers and
+	// a human give-up aborts the whole loop, while in parallel each
+	// router's loop has its own MaxIterations cap and a give-up only
+	// stops that router's repair. The Model is serialized internally, but
+	// Verifier and Human are called concurrently from the workers, so
+	// custom implementations must be safe for concurrent use (the
+	// built-ins — LocalVerifier, rest.Client, PaperHuman — are stateless).
+	Parallelism int
 }
 
 func (o *SynthOptions) fill() {
@@ -50,11 +67,34 @@ func (o *SynthOptions) fill() {
 	}
 }
 
+// synthPipeline declares the per-router repair loop: the three local
+// verifier stages in the paper's masking order — syntax (Batfish),
+// topology verifier, local policies (Batfish SearchRoutePolicies per
+// Lightyear) — over the given task set, with synthesis budgets and the
+// "For router X:" manual-prompt wrap.
+func synthPipeline(v Verifier, topo *topology.Topology, tasks []modularizer.Task,
+	opts SynthOptions) Pipeline {
+	return Pipeline{
+		Stages: []PipelineStage{
+			synthSyntaxStage{v: v, tasks: tasks},
+			synthTopologyStage{v: v, topo: topo, tasks: tasks},
+			synthLocalPolicyStage{v: v, tasks: tasks},
+		},
+		Human:                 opts.Human,
+		MaxAttemptsPerFinding: opts.MaxAttemptsPerFinding,
+		MaxIterations:         opts.MaxIterations,
+		WrapManual: func(f *Finding, manual string) string {
+			return fmt.Sprintf("For router %s: %s", f.Target, manual)
+		},
+	}
+}
+
 // Synthesize runs the full VPP synthesis pipeline on a topology: the human
 // task kickoff, the Modularizer's per-router prompts (automated), then the
-// verification loop — syntax (Batfish), topology verifier, and local
-// policies (Batfish SearchRoutePolicies per Lightyear) — finishing with
-// the whole-network BGP simulation as the global check (§4.1).
+// shared RunPipeline repair driver over the three local stages, finishing
+// with the whole-network BGP simulation as the global check (§4.1). With
+// Parallelism > 1 the per-router repair loops run concurrently on a
+// bounded worker pool.
 func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	opts.fill()
 	if opts.Model == nil {
@@ -72,45 +112,17 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 		return nil, err
 	}
 
-	// Modularizer prompts: one automated prompt per router (§2).
 	tasks := modularizer.Tasks(topo)
-	configs := map[string]string{}
-	for _, task := range tasks {
-		resp, _, err := sess.send(Automated, StageTask, task.Router, task.Prompt)
-		if err != nil {
-			return nil, err
-		}
-		configs[task.Router] = resp
+	var configs map[string]string
+	var verified bool
+	var err error
+	if opts.Parallelism > 1 {
+		configs, verified, err = synthesizeParallel(sess, topo, tasks, opts)
+	} else {
+		configs, verified, err = synthesizeSequential(sess, topo, tasks, opts)
 	}
-
-	attempts := map[string]int{}
-	verified := false
-	for iter := 0; iter < opts.MaxIterations; iter++ {
-		router, key, stage, prompt, err := nextSynthesisFinding(opts.Verifier, topo, tasks, configs)
-		if err != nil {
-			return nil, err
-		}
-		if key == "" {
-			verified = true
-			break
-		}
-		attempts[key]++
-		kind := Automated
-		if attempts[key] > opts.MaxAttemptsPerFinding {
-			manual, ok := opts.Human.Correct(stage, prompt)
-			if !ok {
-				return &Result{Verified: false, Transcript: sess.transcript,
-					Configs: configs, PuntedFindings: sess.punted}, nil
-			}
-			sess.punted = append(sess.punted, key)
-			prompt = fmt.Sprintf("For router %s: %s", router, manual)
-			kind = Human
-		}
-		resp, _, err := sess.send(kind, stage, router, prompt)
-		if err != nil {
-			return nil, err
-		}
-		configs[router] = resp
+	if err != nil {
+		return nil, err
 	}
 
 	if verified && !opts.SkipGlobalCheck {
@@ -128,53 +140,208 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	}, nil
 }
 
-// nextSynthesisFinding returns the first outstanding finding across the
-// three per-router verifiers, in the paper's masking order: syntax, then
-// topology, then local-policy semantics.
-func nextSynthesisFinding(v Verifier, topo *topology.Topology, tasks []modularizer.Task,
-	configs map[string]string) (router, key string, stage Stage, prompt string, err error) {
-	// Syntax, per router in topology order.
+// synthesizeSequential is the paper's loop: modularizer prompts for every
+// router first, then one repair pipeline scanning all routers per stage.
+func synthesizeSequential(sess *session, topo *topology.Topology,
+	tasks []modularizer.Task, opts SynthOptions) (map[string]string, bool, error) {
+	// Modularizer prompts: one automated prompt per router (§2).
+	configs := map[string]string{}
 	for _, task := range tasks {
-		warns, err := v.CheckSyntax(configs[task.Router])
+		resp, _, err := sess.send(Automated, StageTask, task.Router, task.Prompt)
 		if err != nil {
-			return "", "", "", "", err
+			return nil, false, err
+		}
+		configs[task.Router] = resp
+	}
+	verified, err := RunPipeline(sess, configs, synthPipeline(opts.Verifier, topo, tasks, opts))
+	return configs, verified, err
+}
+
+// routerOutcome is one worker's result: the router's final configuration
+// and the transcript of its private repair loop.
+type routerOutcome struct {
+	config     string
+	transcript Transcript
+	punted     []string
+	verified   bool
+	err        error
+}
+
+// synthesizeParallel repairs each router concurrently: every worker runs
+// the same per-router pipeline against its own conversation session, all
+// sharing one mutex-guarded model. The per-router transcripts are merged
+// into the main session in topology order, so the merged transcript — and
+// therefore the leverage accounting — is deterministic regardless of how
+// the workers interleave. Unlike the sequential loop, MaxIterations and a
+// human-oracle give-up are scoped per router here (see SynthOptions).
+func synthesizeParallel(sess *session, topo *topology.Topology,
+	tasks []modularizer.Task, opts SynthOptions) (map[string]string, bool, error) {
+	shared := &lockedModel{model: sess.model}
+	outcomes := make([]routerOutcome, len(tasks))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := opts.Parallelism
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outcomes[i] = repairRouter(shared, topo, tasks[i], opts)
+			}
+		}()
+	}
+	for i := range tasks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	configs := map[string]string{}
+	verified := true
+	for i, task := range tasks {
+		out := outcomes[i]
+		if out.err != nil {
+			return nil, false, fmt.Errorf("router %s: %w", task.Router, out.err)
+		}
+		configs[task.Router] = out.config
+		sess.transcript = append(sess.transcript, out.transcript...)
+		sess.punted = append(sess.punted, out.punted...)
+		if !out.verified {
+			verified = false
+		}
+	}
+	return configs, verified, nil
+}
+
+// repairRouter runs one router's private loop: the modularizer prompt,
+// then the repair pipeline restricted to that router's stages.
+func repairRouter(model llm.Model, topo *topology.Topology,
+	task modularizer.Task, opts SynthOptions) routerOutcome {
+	wsess := newSession(model, opts.IIP)
+	resp, _, err := wsess.send(Automated, StageTask, task.Router, task.Prompt)
+	if err != nil {
+		return routerOutcome{err: err}
+	}
+	configs := map[string]string{task.Router: resp}
+	verified, err := RunPipeline(wsess, configs,
+		synthPipeline(opts.Verifier, topo, []modularizer.Task{task}, opts))
+	if err != nil {
+		return routerOutcome{err: err}
+	}
+	return routerOutcome{
+		config:     configs[task.Router],
+		transcript: wsess.transcript,
+		punted:     wsess.punted,
+		verified:   verified,
+	}
+}
+
+// lockedModel serializes Complete calls so one stateful simulated LLM can
+// serve many concurrent router sessions. Each call carries its own
+// conversation, so the model's per-router behaviour is independent of the
+// interleaving.
+type lockedModel struct {
+	mu    sync.Mutex
+	model llm.Model
+}
+
+// Complete implements llm.Model.
+func (l *lockedModel) Complete(messages []llm.Message) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.model.Complete(messages)
+}
+
+// synthSyntaxStage checks every router's configuration with the Batfish
+// syntax verifier, in topology order.
+type synthSyntaxStage struct {
+	v     Verifier
+	tasks []modularizer.Task
+}
+
+// Check implements PipelineStage.
+func (s synthSyntaxStage) Check(configs map[string]string) (*Finding, error) {
+	for _, task := range s.tasks {
+		warns, err := s.v.CheckSyntax(configs[task.Router])
+		if err != nil {
+			return nil, err
 		}
 		if len(warns) > 0 {
 			w := warns[0]
-			prompt := fmt.Sprintf("In the configuration of router %s: %s",
-				task.Router, humanizer.Syntax(w))
-			return task.Router, "syntax:" + task.Router + ":" + w.Reason + ":" + w.Text,
-				StageSyntax, prompt, nil
+			return &Finding{
+				Key:    "syntax:" + task.Router + ":" + w.Reason + ":" + w.Text,
+				Target: task.Router,
+				Stage:  StageSyntax,
+				Humanized: fmt.Sprintf("In the configuration of router %s: %s",
+					task.Router, humanizer.Syntax(w)),
+				Raw: w.String(),
+			}, nil
 		}
 	}
-	// Topology.
-	for _, task := range tasks {
-		spec := topo.Router(task.Router)
+	return nil, nil
+}
+
+// synthTopologyStage checks every router's configuration against its
+// topology spec.
+type synthTopologyStage struct {
+	v     Verifier
+	topo  *topology.Topology
+	tasks []modularizer.Task
+}
+
+// Check implements PipelineStage.
+func (s synthTopologyStage) Check(configs map[string]string) (*Finding, error) {
+	for _, task := range s.tasks {
+		spec := s.topo.Router(task.Router)
 		if spec == nil {
 			continue
 		}
-		finds, err := v.VerifyTopology(*spec, configs[task.Router])
+		finds, err := s.v.VerifyTopology(*spec, configs[task.Router])
 		if err != nil {
-			return "", "", "", "", err
+			return nil, err
 		}
 		if len(finds) > 0 {
 			f := finds[0]
-			return task.Router, "topology:" + task.Router + ":" + f.Issue,
-				StageTopology, humanizer.Topology(f), nil
+			return &Finding{
+				Key:       "topology:" + task.Router + ":" + f.Issue,
+				Target:    task.Router,
+				Stage:     StageTopology,
+				Humanized: humanizer.Topology(f),
+				Raw:       f.String(),
+			}, nil
 		}
 	}
-	// Local policies.
-	for _, task := range tasks {
+	return nil, nil
+}
+
+// synthLocalPolicyStage checks every router's Lightyear local-policy
+// requirements.
+type synthLocalPolicyStage struct {
+	v     Verifier
+	tasks []modularizer.Task
+}
+
+// Check implements PipelineStage.
+func (s synthLocalPolicyStage) Check(configs map[string]string) (*Finding, error) {
+	for _, task := range s.tasks {
 		for _, req := range task.LocalSpec {
-			viol, bad, err := v.CheckLocalPolicy(configs[task.Router], req)
+			viol, bad, err := s.v.CheckLocalPolicy(configs[task.Router], req)
 			if err != nil {
-				return "", "", "", "", err
+				return nil, err
 			}
 			if bad {
-				return task.Router, "semantic:" + task.Router + ":" + req.Policy + ":" + req.Description,
-					StageSemantic, humanizer.Semantic(viol), nil
+				return &Finding{
+					Key:       "semantic:" + task.Router + ":" + req.Policy + ":" + req.Description,
+					Target:    task.Router,
+					Stage:     StageSemantic,
+					Humanized: humanizer.Semantic(viol),
+					Raw:       viol.String(),
+				}, nil
 			}
 		}
 	}
-	return "", "", "", "", nil
+	return nil, nil
 }

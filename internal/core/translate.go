@@ -43,109 +43,108 @@ func (o *TranslateOptions) fill() {
 	}
 }
 
+// translationTarget is the single configuration key the translation
+// pipeline repairs.
+const translationTarget = "translation"
+
 // Translate runs the full VPP translation pipeline on a Cisco
 // configuration: task prompt (human), then the fast inner loop — syntax
 // verification with Batfish first, Campion semantic diffing second,
 // returning to syntax whenever a semantic fix breaks the parse (§3.1) —
 // punting to the human oracle when a finding survives the attempt budget.
+// The loop itself is the shared RunPipeline driver composed from two
+// declarative stages.
 func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 	opts.fill()
 	if opts.Model == nil {
 		return nil, fmt.Errorf("translate: options require a model")
 	}
 	sess := newSession(opts.Model, opts.IIP)
-	const target = "translation"
 
 	taskPrompt := "Translate the following Cisco configuration into an equivalent " +
 		"Juniper configuration.\n\n" + ciscoConfig
-	current, _, err := sess.send(Human, StageTask, target, taskPrompt)
+	current, _, err := sess.send(Human, StageTask, translationTarget, taskPrompt)
 	if err != nil {
 		return nil, err
 	}
 
-	attempts := map[string]int{}
-	verified := false
-	for iter := 0; iter < opts.MaxIterations; iter++ {
-		finding, stage, humanized, raw, err := nextTranslationFinding(opts.Verifier, ciscoConfig, current)
-		if err != nil {
-			return nil, err
-		}
-		if finding == "" {
-			verified = true
-			break
-		}
-		prompt := humanized
-		if opts.RawFeedback {
-			prompt = raw
-		}
-		attempts[finding]++
-		kind := Automated
-		if attempts[finding] > opts.MaxAttemptsPerFinding {
-			// Punt: the slow manual loop takes over for this finding. The
-			// oracle always reads the humanized description — a human can
-			// interpret the verifier either way.
-			manual, ok := opts.Human.Correct(stage, humanized)
-			if !ok {
-				result := &Result{Verified: false, Transcript: sess.transcript,
-					Configs: map[string]string{target: current}, PuntedFindings: sess.punted}
-				return result, nil
-			}
-			sess.punted = append(sess.punted, finding)
-			prompt = manual
-			kind = Human
-		}
-		resp, changed, err := sess.send(kind, stage, target, prompt)
-		if err != nil {
-			return nil, err
-		}
-		current = resp
-		// The paper's cycle: after a fix attempt, ask the model to print
-		// the whole configuration before re-verifying (§3.1). Count it as
-		// an automated prompt when the automated fix changed something;
-		// human prompts ask for the printout inline.
-		if changed && kind == Automated {
-			resp, _, err = sess.send(Automated, StagePrint, target, llm.PrintRequest)
-			if err != nil {
-				return nil, err
-			}
-			current = resp
-		}
+	configs := map[string]string{translationTarget: current}
+	verified, err := RunPipeline(sess, configs, Pipeline{
+		Stages: []PipelineStage{
+			translationSyntaxStage{v: opts.Verifier},
+			translationDiffStage{v: opts.Verifier, original: ciscoConfig},
+		},
+		Human:                 opts.Human,
+		MaxAttemptsPerFinding: opts.MaxAttemptsPerFinding,
+		MaxIterations:         opts.MaxIterations,
+		RawFeedback:           opts.RawFeedback,
+		PrintAfterFix:         true,
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		Verified:       verified,
 		Transcript:     sess.transcript,
-		Configs:        map[string]string{target: current},
+		Configs:        configs,
 		PuntedFindings: sess.punted,
 	}, nil
 }
 
-// nextTranslationFinding returns the first outstanding finding: its stable
-// key, stage, humanized prompt, and the raw verifier output — or "" when
-// the translation verifies. Syntax errors always come first: "syntax
-// errors and structural mismatches have to be handled earlier since they
-// can mask attribute differences and policy behavior differences" (§3.1).
-func nextTranslationFinding(v Verifier, original, translation string) (string, Stage, string, string, error) {
-	warns, err := v.CheckSyntax(translation)
+// translationSyntaxStage checks the translation with the Batfish syntax
+// verifier. It runs first: "syntax errors and structural mismatches have
+// to be handled earlier since they can mask attribute differences and
+// policy behavior differences" (§3.1).
+type translationSyntaxStage struct{ v Verifier }
+
+// Check implements PipelineStage.
+func (s translationSyntaxStage) Check(configs map[string]string) (*Finding, error) {
+	warns, err := s.v.CheckSyntax(configs[translationTarget])
 	if err != nil {
-		return "", "", "", "", err
+		return nil, err
 	}
-	if len(warns) > 0 {
-		w := warns[0]
-		return "syntax:" + w.Text + ":" + w.Reason, StageSyntax, humanizer.Syntax(w), w.String(), nil
+	if len(warns) == 0 {
+		return nil, nil
 	}
-	findings, err := v.DiffTranslation(original, translation)
+	w := warns[0]
+	return &Finding{
+		Key:       "syntax:" + w.Text + ":" + w.Reason,
+		Target:    translationTarget,
+		Stage:     StageSyntax,
+		Humanized: humanizer.Syntax(w),
+		Raw:       w.String(),
+	}, nil
+}
+
+// translationDiffStage compares the translation against the original with
+// the Campion differ; structural and attribute findings carry the
+// structure label, policy-behavior findings the semantic label.
+type translationDiffStage struct {
+	v        Verifier
+	original string
+}
+
+// Check implements PipelineStage.
+func (s translationDiffStage) Check(configs map[string]string) (*Finding, error) {
+	findings, err := s.v.DiffTranslation(s.original, configs[translationTarget])
 	if err != nil {
-		return "", "", "", "", err
+		return nil, err
 	}
-	if len(findings) > 0 {
-		f := findings[0]
-		stage := StageStructure
-		if f.Kind == campion.PolicyBehaviorDifference {
-			stage = StageSemantic
-		}
-		return "campion:" + findingKey(f), stage, humanizer.Campion(f), f.String(), nil
+	if len(findings) == 0 {
+		return nil, nil
 	}
-	return "", "", "", "", nil
+	f := findings[0]
+	stage := StageStructure
+	if f.Kind == campion.PolicyBehaviorDifference {
+		stage = StageSemantic
+	}
+	return &Finding{
+		Key:       "campion:" + findingKey(f),
+		Target:    translationTarget,
+		Stage:     stage,
+		Humanized: humanizer.Campion(f),
+		Raw:       f.String(),
+	}, nil
 }
 
 // findingKey builds a stable identity for a finding so the attempt budget

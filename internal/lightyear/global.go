@@ -26,12 +26,27 @@ func (g *GlobalResult) OK() bool {
 	return g.Converged && len(g.Violations) == 0 && len(g.MissingReachability) == 0
 }
 
-// CheckGlobalNoTransit runs the full BGP simulation on a star topology and
-// verifies the global policy: no two ISPs can reach each other through the
-// network, while every ISP and the customer can reach each other (§4.1).
+// externalStub is one external BGP speaker derived from the topology
+// dictionary: a customer network or an ISP.
+type externalStub struct {
+	name     string
+	addr     uint32
+	asn      uint32
+	prefixes []netcfg.Prefix
+	customer bool
+}
+
+// CheckGlobalNoTransit runs the full BGP simulation on any topology and
+// verifies the global policy: no two ISPs can reach each other through
+// the network, while every ISP and every customer can reach each other
+// (§4.1). External speakers are derived from the topology dictionary's
+// external neighbors — their originated prefixes come from the spec's
+// prefixes field, falling back to the star generator's conventions
+// (CUSTOMER originates CustomerPrefix, ISP behind Ri originates
+// ISPPrefix(i)) when the field is absent.
 func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) (*GlobalResult, error) {
 	sim := batfish.NewSim()
-	var spokes []int
+	var stubs []externalStub
 	for i := range t.Routers {
 		spec := &t.Routers[i]
 		dev := devs[spec.Name]
@@ -41,55 +56,108 @@ func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) 
 		if err := sim.AddDevice(spec.Name, dev); err != nil {
 			return nil, err
 		}
-		if spec.Name != "R1" {
-			spokes = append(spokes, indexOf(spec.Name))
+		ispPeers := 0
+		for _, nb := range spec.Neighbors {
+			if nb.External && !netgen.IsCustomerPeer(nb.PeerName) {
+				ispPeers++
+			}
+		}
+		for _, nb := range spec.Neighbors {
+			if !nb.External {
+				continue
+			}
+			stub, err := stubFor(spec, nb, ispPeers)
+			if err != nil {
+				return nil, err
+			}
+			stubs = append(stubs, stub)
 		}
 	}
-	// External stubs: the customer behind R1 and one ISP behind each spoke.
-	custAddr, err := netcfg.ParseIP("1.0.0.2")
-	if err != nil {
-		return nil, err
-	}
-	if err := sim.AddExternal("CUSTOMER", custAddr, netgen.CustomerAS,
-		[]netcfg.Prefix{netgen.CustomerPrefix()}); err != nil {
-		return nil, err
-	}
-	for _, i := range spokes {
-		addr, err := netcfg.ParseIP(fmt.Sprintf("20.%d.0.2", i))
-		if err != nil {
+	var isps, customers []externalStub
+	for _, s := range stubs {
+		if err := sim.AddExternal(s.name, s.addr, s.asn, s.prefixes); err != nil {
 			return nil, err
 		}
-		if err := sim.AddExternal(ispName(i), addr, uint32(netgen.ISPBaseAS+i),
-			[]netcfg.Prefix{netgen.ISPPrefix(i)}); err != nil {
-			return nil, err
+		if s.customer {
+			customers = append(customers, s)
+		} else {
+			isps = append(isps, s)
 		}
 	}
 	res := sim.Run()
 
 	out := &GlobalResult{Converged: res.Converged}
-	for _, i := range spokes {
-		// Positive requirements.
-		if !res.CanReach(ispName(i), netgen.CustomerPrefix()) {
-			out.MissingReachability = append(out.MissingReachability,
-				fmt.Sprintf("%s cannot reach the customer prefix %s", ispName(i), netgen.CustomerPrefix()))
-		}
-		if !res.CanReach("CUSTOMER", netgen.ISPPrefix(i)) {
-			out.MissingReachability = append(out.MissingReachability,
-				fmt.Sprintf("CUSTOMER cannot reach %s's prefix %s", ispName(i), netgen.ISPPrefix(i)))
+	for _, isp := range isps {
+		// Positive requirements: every ISP and every customer reach each
+		// other.
+		for _, cust := range customers {
+			for _, p := range cust.prefixes {
+				if !res.CanReach(isp.name, p) {
+					out.MissingReachability = append(out.MissingReachability,
+						fmt.Sprintf("%s cannot reach the customer prefix %s", isp.name, p))
+				}
+			}
+			for _, p := range isp.prefixes {
+				if !res.CanReach(cust.name, p) {
+					out.MissingReachability = append(out.MissingReachability,
+						fmt.Sprintf("%s cannot reach %s's prefix %s", cust.name, isp.name, p))
+				}
+			}
 		}
 		// No-transit: ISP i must not see ISP j's prefix.
-		for _, j := range spokes {
-			if i == j {
+		for _, other := range isps {
+			if other.name == isp.name {
 				continue
 			}
-			if res.CanReach(ispName(i), netgen.ISPPrefix(j)) {
-				out.Violations = append(out.Violations,
-					fmt.Sprintf("transit violation: %s can reach %s's prefix %s",
-						ispName(i), ispName(j), netgen.ISPPrefix(j)))
+			for _, p := range other.prefixes {
+				if res.CanReach(isp.name, p) {
+					out.Violations = append(out.Violations,
+						fmt.Sprintf("transit violation: %s can reach %s's prefix %s",
+							isp.name, other.name, p))
+				}
 			}
 		}
 	}
 	return out, nil
 }
 
-func ispName(i int) string { return fmt.Sprintf("ISP%d", i) }
+// stubFor derives the external speaker behind one external neighbor.
+// ispPeers is the number of ISP attachments on the router: the
+// index-keyed star fallback prefix is only safe when the router has a
+// single ISP, otherwise dual-homed peers would share one stub prefix.
+func stubFor(spec *topology.RouterSpec, nb topology.NeighborSpec, ispPeers int) (externalStub, error) {
+	addr, err := netcfg.ParseIP(nb.PeerIP)
+	if err != nil {
+		return externalStub{}, fmt.Errorf("external peer %s of %s: %w", nb.PeerName, spec.Name, err)
+	}
+	s := externalStub{
+		name:     nb.PeerName,
+		addr:     addr,
+		asn:      nb.PeerAS,
+		customer: netgen.IsCustomerPeer(nb.PeerName),
+	}
+	for _, ps := range nb.Prefixes {
+		p, err := netcfg.ParsePrefix(ps)
+		if err != nil {
+			return externalStub{}, fmt.Errorf("external peer %s of %s: prefix %q: %w",
+				nb.PeerName, spec.Name, ps, err)
+		}
+		s.prefixes = append(s.prefixes, p)
+	}
+	if len(s.prefixes) == 0 {
+		// Star-generator conventions; for hand-built dictionaries (names
+		// not of the R<i> form, or several ISPs on one router) key the
+		// fallback prefix on the peer AS so distinct ISPs never share a
+		// stub prefix.
+		switch {
+		case s.customer:
+			s.prefixes = []netcfg.Prefix{netgen.CustomerPrefix()}
+		case indexOf(spec.Name) > 0 && ispPeers == 1:
+			s.prefixes = []netcfg.Prefix{netgen.ISPPrefix(indexOf(spec.Name))}
+		default:
+			s.prefixes = []netcfg.Prefix{netcfg.MustPrefix(fmt.Sprintf(
+				"150.%d.%d.0/24", (nb.PeerAS>>8)&0xff, nb.PeerAS&0xff))}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,130 @@
+package lightyear
+
+import (
+	"fmt"
+
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// Attachment is one ISP attachment point: the router that faces an
+// external ISP peer. On non-star topologies the no-transit policy is
+// enforced at the attachment points — each tags at its ISP ingress and
+// filters at its ISP egress — instead of at a central hub, since transit
+// routes may cross arbitrarily many internal hops. The generators attach
+// at most one ISP per router, so the router's index identifies the tag.
+type Attachment struct {
+	// Router is the attaching router's name (R<Index> for generated
+	// topologies; hand-built dictionaries may use any name).
+	Router string
+	// Index is the router's numeric index (0 when the name is not of the
+	// generators' R<i> form), which keys the community tag.
+	Index int
+	// Peer is the external ISP neighbor.
+	Peer topology.NeighborSpec
+}
+
+// Community returns the tag this attachment point adds at ingress: the
+// generators' index-keyed scheme for R<i> routers, and the ISP's AS
+// number otherwise — so hand-built topologies with arbitrary router
+// names still get one distinct tag per ISP (ISP AS numbers are unique in
+// any sane dictionary) instead of all colliding on index 0.
+func (a Attachment) Community() netcfg.Community {
+	if a.Index > 0 {
+		return netgen.ISPCommunity(a.Index)
+	}
+	return netcfg.NewCommunity(uint16(a.Peer.PeerAS), 1)
+}
+
+// IngressPolicy names the route map applied on routes from the ISP.
+func (a Attachment) IngressPolicy() string { return "ADD_COMM_" + a.Peer.PeerName }
+
+// EgressPolicy names the route map applied on routes toward the ISP.
+func (a Attachment) EgressPolicy() string { return "FILTER_COMM_OUT_" + a.Peer.PeerName }
+
+// ISPAttachments collects the ISP attachment points of a topology in
+// topology order: every external neighbor that is not a customer network.
+func ISPAttachments(t *topology.Topology) []Attachment {
+	var out []Attachment
+	for i := range t.Routers {
+		r := &t.Routers[i]
+		for _, nb := range r.Neighbors {
+			if nb.External && !netgen.IsCustomerPeer(nb.PeerName) {
+				out = append(out, Attachment{Router: r.Name, Index: indexOf(r.Name), Peer: nb})
+			}
+		}
+	}
+	return out
+}
+
+// SpecFor derives the per-router local no-transit specification for any
+// topology: the paper's hub-centric specification for stars (§4.1,
+// byte-compatible with the seed), the attachment-point specification for
+// every other graph.
+func SpecFor(t *topology.Topology) []Requirement {
+	if netgen.IsStar(t) {
+		return NoTransitSpec(t)
+	}
+	return LocalNoTransitSpec(t)
+}
+
+// LocalNoTransitSpec derives the attachment-point local specification of
+// the no-transit policy for an arbitrary topology: every ISP attachment
+// tags incoming routes with its own community at ingress, and at egress
+// denies routes carrying any other attachment's community while
+// permitting untagged (customer) routes. Because the BGP simulation
+// propagates communities across internal hops, the local obligations
+// compose into the global no-transit guarantee on any graph.
+func LocalNoTransitSpec(t *topology.Topology) []Requirement {
+	attaches := ISPAttachments(t)
+	var all []netcfg.Community
+	for _, a := range attaches {
+		all = append(all, a.Community())
+	}
+	var reqs []Requirement
+	for _, a := range attaches {
+		tag := a.Community()
+		reqs = append(reqs, Requirement{
+			Kind:      IngressAddsCommunity,
+			Router:    a.Router,
+			Policy:    a.IngressPolicy(),
+			Community: tag,
+			Description: fmt.Sprintf(
+				"Every route %s accepts from %s must carry community %s after ingress processing.",
+				a.Router, a.Peer.PeerName, tag),
+		})
+		others := 0
+		for _, b := range attaches {
+			if b.Router == a.Router && b.Peer.PeerName == a.Peer.PeerName {
+				continue
+			}
+			others++
+			reqs = append(reqs, Requirement{
+				Kind:      EgressDropsCommunity,
+				Router:    a.Router,
+				Policy:    a.EgressPolicy(),
+				Community: b.Community(),
+				Description: fmt.Sprintf(
+					"%s must not export to %s any route carrying community %s (learned from %s).",
+					a.Router, a.Peer.PeerName, b.Community(), b.Peer.PeerName),
+			})
+		}
+		// A lone attachment has no transit to prevent, so no egress filter
+		// is prompted for — and none must be required, or the undefined
+		// route-map would be an unfixable violation (the modularizer emits
+		// the egress sentence only when there is something to filter).
+		if others > 0 {
+			reqs = append(reqs, Requirement{
+				Kind:        EgressPermitsClean,
+				Router:      a.Router,
+				Policy:      a.EgressPolicy(),
+				Communities: all,
+				Description: fmt.Sprintf(
+					"%s must export to %s routes that carry no ISP community (customer routes).",
+					a.Router, a.Peer.PeerName),
+			})
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,166 @@
+package lightyear
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+func scenarioTopos(t *testing.T) []*topology.Topology {
+	t.Helper()
+	var out []*topology.Topology
+	for _, gen := range []struct {
+		make func(int) (*topology.Topology, error)
+		n    int
+	}{
+		{netgen.Star, 7},
+		{netgen.Ring, 6},
+		{netgen.FullMesh, 5},
+		{netgen.FatTree, 4},
+	} {
+		topo, err := gen.make(gen.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, topo)
+	}
+	return out
+}
+
+// TestSpecForCoverageComplete is the modular proof obligation on every
+// scenario: the derived local specification must imply the global
+// no-transit policy (for every ordered pair of ISP attachment points the
+// tag is added at one and dropped at the other).
+func TestSpecForCoverageComplete(t *testing.T) {
+	for _, topo := range scenarioTopos(t) {
+		if err := CoverageComplete(topo, SpecFor(topo)); err != nil {
+			t.Errorf("%s: coverage incomplete: %v", topo.Name, err)
+		}
+	}
+}
+
+// TestSpecForDispatch pins the spec-derivation split: stars keep the
+// paper's hub-centric requirements on R1; other graphs place requirements
+// at the ISP attachment points only.
+func TestSpecForDispatch(t *testing.T) {
+	star, _ := netgen.Star(5)
+	for _, r := range SpecFor(star) {
+		if r.Router != "R1" {
+			t.Errorf("star requirement on %s, want all on the hub R1", r.Router)
+		}
+	}
+
+	ring, _ := netgen.Ring(5)
+	reqs := SpecFor(ring)
+	byRouter := map[string]int{}
+	for _, r := range reqs {
+		byRouter[r.Router]++
+		if !strings.Contains(r.Policy, "ISP") {
+			t.Errorf("ring policy %q should be named after the ISP peer", r.Policy)
+		}
+	}
+	if byRouter["R1"] != 0 {
+		t.Errorf("R1 has %d requirements, want 0 (customer attachment only)", byRouter["R1"])
+	}
+	for _, router := range []string{"R2", "R3", "R4", "R5"} {
+		// One ingress, three egress-drops (one per other ISP), one clean.
+		if byRouter[router] != 5 {
+			t.Errorf("%s has %d requirements, want 5", router, byRouter[router])
+		}
+	}
+}
+
+// TestCoverageIncompleteDetected removes one egress-drop requirement and
+// expects the proof obligation to fail.
+func TestCoverageIncompleteDetected(t *testing.T) {
+	for _, topo := range scenarioTopos(t) {
+		reqs := SpecFor(topo)
+		var pruned []Requirement
+		dropped := false
+		for _, r := range reqs {
+			if !dropped && r.Kind == EgressDropsCommunity {
+				dropped = true
+				continue
+			}
+			pruned = append(pruned, r)
+		}
+		if !dropped {
+			t.Fatalf("%s: no egress-drop requirement to prune", topo.Name)
+		}
+		if err := CoverageComplete(topo, pruned); err == nil {
+			t.Errorf("%s: pruned spec should be incomplete", topo.Name)
+		}
+	}
+}
+
+// TestSingleAttachmentNeedsNoEgressFilter: with one ISP there is no
+// transit to prevent, so the spec must not require an egress route-map
+// the modularizer never prompts for (an undefined route-map would be an
+// unfixable violation). fat-tree k=2 is the minimal such topology.
+func TestSingleAttachmentNeedsNoEgressFilter(t *testing.T) {
+	topo, err := netgen.FatTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ISPAttachments(topo)); got != 1 {
+		t.Fatalf("attachments = %d, want 1", got)
+	}
+	for _, r := range SpecFor(topo) {
+		if r.Kind != IngressAddsCommunity {
+			t.Errorf("single-ISP topology has non-ingress requirement %+v", r)
+		}
+	}
+	if err := CoverageComplete(topo, SpecFor(topo)); err != nil {
+		t.Errorf("coverage: %v", err)
+	}
+}
+
+// TestHandBuiltNamesGetDistinctTags: a hand-built dictionary whose
+// routers are not named R<i> must still derive one distinct community
+// per ISP (keyed on the peer AS), not collide on index 0.
+func TestHandBuiltNamesGetDistinctTags(t *testing.T) {
+	topo := &topology.Topology{Name: "custom", Routers: []topology.RouterSpec{
+		{Name: "edge-west", ASN: 1, Neighbors: []topology.NeighborSpec{
+			{PeerName: "ISP-A", PeerIP: "20.1.0.2", PeerAS: 300, External: true},
+			{PeerName: "edge-east", PeerIP: "10.1.2.2", PeerAS: 2},
+		}},
+		{Name: "edge-east", ASN: 2, Neighbors: []topology.NeighborSpec{
+			{PeerName: "ISP-B", PeerIP: "20.2.0.2", PeerAS: 301, External: true},
+			{PeerName: "edge-west", PeerIP: "10.1.2.1", PeerAS: 1},
+		}},
+	}}
+	atts := ISPAttachments(topo)
+	if len(atts) != 2 {
+		t.Fatalf("attachments = %d, want 2", len(atts))
+	}
+	if atts[0].Community() == atts[1].Community() {
+		t.Errorf("tags collide: both %s", atts[0].Community())
+	}
+	if err := CoverageComplete(topo, SpecFor(topo)); err != nil {
+		t.Errorf("coverage: %v", err)
+	}
+}
+
+// TestAttachmentDerivation pins the attachment collection: topology
+// order, one attachment per ISP-facing router, customers excluded.
+func TestAttachmentDerivation(t *testing.T) {
+	ring, _ := netgen.Ring(4)
+	atts := ISPAttachments(ring)
+	if len(atts) != 3 {
+		t.Fatalf("attachments = %d, want 3", len(atts))
+	}
+	for i, want := range []string{"R2", "R3", "R4"} {
+		if atts[i].Router != want {
+			t.Errorf("attachment[%d] = %s, want %s", i, atts[i].Router, want)
+		}
+	}
+	a := atts[0]
+	if a.IngressPolicy() != "ADD_COMM_ISP2" || a.EgressPolicy() != "FILTER_COMM_OUT_ISP2" {
+		t.Errorf("policy names = %s / %s", a.IngressPolicy(), a.EgressPolicy())
+	}
+	if a.Community() != netgen.ISPCommunity(2) {
+		t.Errorf("community = %s", a.Community())
+	}
+}

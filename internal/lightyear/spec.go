@@ -325,12 +325,62 @@ func CheckAll(reqs []Requirement, devs map[string]*netcfg.Device) []Violation {
 }
 
 // CoverageComplete is the modular proof obligation: the requirement set
-// implies global no-transit iff for every ordered pair of distinct spokes
-// (i, j) there is an ingress-tag requirement at i and an egress-drop
-// requirement of i's tag at j's egress. This is the "local policies imply
-// the global one" check the paper attributes to Lightyear's proof
-// technique.
+// implies global no-transit iff for every ordered pair of distinct ISP
+// attachment points (i, j) there is an ingress-tag requirement at i and
+// an egress-drop requirement of i's tag at j's egress. This is the
+// "local policies imply the global one" check the paper attributes to
+// Lightyear's proof technique. Star topologies check the paper's
+// hub-centric scheme; all other graphs check the attachment-point scheme.
 func CoverageComplete(t *topology.Topology, reqs []Requirement) error {
+	if !netgen.IsStar(t) {
+		return coverageCompleteLocal(t, reqs)
+	}
+	return coverageCompleteStar(t, reqs)
+}
+
+// coverageCompleteLocal checks the attachment-point scheme: each
+// attachment tags its own ingress and drops every other attachment's tag
+// at its egress.
+func coverageCompleteLocal(t *topology.Topology, reqs []Requirement) error {
+	type key struct{ router, policy string }
+	ingress := map[key]map[netcfg.Community]bool{}
+	egress := map[key]map[netcfg.Community]bool{}
+	for _, r := range reqs {
+		k := key{r.Router, r.Policy}
+		switch r.Kind {
+		case IngressAddsCommunity:
+			if ingress[k] == nil {
+				ingress[k] = map[netcfg.Community]bool{}
+			}
+			ingress[k][r.Community] = true
+		case EgressDropsCommunity:
+			if egress[k] == nil {
+				egress[k] = map[netcfg.Community]bool{}
+			}
+			egress[k][r.Community] = true
+		}
+	}
+	attaches := ISPAttachments(t)
+	for _, a := range attaches {
+		if !ingress[key{a.Router, a.IngressPolicy()}][a.Community()] {
+			return fmt.Errorf("no ingress requirement tags routes from %s with %s at %s",
+				a.Peer.PeerName, a.Community(), a.Router)
+		}
+		for _, b := range attaches {
+			if b.Router == a.Router && b.Peer.PeerName == a.Peer.PeerName {
+				continue
+			}
+			if !egress[key{b.Router, b.EgressPolicy()}][a.Community()] {
+				return fmt.Errorf("egress to %s at %s does not drop community %s of %s",
+					b.Peer.PeerName, b.Router, a.Community(), a.Peer.PeerName)
+			}
+		}
+	}
+	return nil
+}
+
+// coverageCompleteStar checks the paper's hub-centric scheme.
+func coverageCompleteStar(t *topology.Topology, reqs []Requirement) error {
 	ingress := map[netcfg.Community]bool{}
 	egress := map[string]map[netcfg.Community]bool{}
 	for _, r := range reqs {

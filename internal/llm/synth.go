@@ -90,13 +90,20 @@ func DefaultSynthConfig() SynthConfig {
 // defaultErrors returns the default per-router injection plan. The three
 // IIP-suppressed classes are *attempted* here and filtered out when the
 // corresponding IIP entry is in the conversation — which is how the IIP
-// ablation (E8) measures the database's effect.
+// ablation (E8) measures the database's effect. The classes that need a
+// configuration feature to exist (the AND/OR error needs an egress
+// filter) silently skip routers without it, so the same plan serves every
+// topology scenario: on the star only R1 has egress filters and gets the
+// AND/OR error, while on attachment-point topologies R3's own egress
+// filter triggers it there.
 func defaultErrors(router string) []SynthError {
 	switch router {
 	case "R1":
 		return []SynthError{SErrAndOr, SErrMatchCommunityLiteral, SErrMissingAdditive}
 	case "R2":
 		return []SynthError{SErrCLIKeywords}
+	case "R3":
+		return []SynthError{SErrAndOr}
 	case "R4":
 		return []SynthError{SErrTopoWrongIP}
 	case "R5":
@@ -165,8 +172,8 @@ var (
 	reIfc       = regexp.MustCompile(`Router \w+ has interface (\S+) with IP address ([\d./]+)\.`)
 	reNeighbor  = regexp.MustCompile(`Router \w+ is connected to (?:router|external peer) (\S+) at IP address ([\d.]+) in AS (\d+)\.`)
 	reNetworks  = regexp.MustCompile(`Router \w+ announces the networks: (.+)\.`)
-	reIngress   = regexp.MustCompile(`At the ingress from R\d+ \(neighbor ([\d.]+)\), apply route-map (\S+) that adds the community (\S+)`)
-	reEgress    = regexp.MustCompile(`At the egress to R\d+ \(neighbor ([\d.]+)\), apply route-map (\S+) that denies any route carrying any of the communities ([\d: ]+) and permits`)
+	reIngress   = regexp.MustCompile(`At the ingress from \S+ \(neighbor ([\d.]+)\), apply route-map (\S+) that adds the community (\S+)`)
+	reEgress    = regexp.MustCompile(`At the egress to \S+ \(neighbor ([\d.]+)\), apply route-map (\S+) that denies any route carrying any of the communities ([\d: ]+) and permits`)
 	reRouterIn  = regexp.MustCompile(`router (R\d+)`)
 	reAddPolicy = regexp.MustCompile(`Add to router R1 a new route-map (\S+) that adds the community (\S+) additively to every route received from the CUSTOMER neighbor ([\d.]+)`)
 )

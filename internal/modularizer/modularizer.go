@@ -31,9 +31,17 @@ type Task struct {
 
 // Tasks derives the per-router prompts for the no-transit use case: each
 // prompt describes only that router's piece of the topology plus its local
-// policy role (tagging at ingress, filtering at egress for the hub).
+// policy role — tagging at ingress and filtering at egress, at the hub on
+// star topologies and at every ISP attachment point on other graphs.
 func Tasks(t *topology.Topology) []Task {
-	reqs := lightyear.NoTransitSpec(t)
+	reqs := lightyear.SpecFor(t)
+	// Derive the policy-role inputs once; routerPrompt runs per router and
+	// the scans are O(V+E).
+	star := netgen.IsStar(t)
+	var attaches []lightyear.Attachment
+	if !star {
+		attaches = lightyear.ISPAttachments(t)
+	}
 	var out []Task
 	for i := range t.Routers {
 		spec := &t.Routers[i]
@@ -45,7 +53,7 @@ func Tasks(t *topology.Topology) []Task {
 		}
 		out = append(out, Task{
 			Router:    spec.Name,
-			Prompt:    routerPrompt(t, spec),
+			Prompt:    routerPrompt(t, spec, star, attaches),
 			LocalSpec: local,
 		})
 	}
@@ -55,7 +63,8 @@ func Tasks(t *topology.Topology) []Task {
 // routerPrompt renders the formulaic per-router prompt. The sentences are
 // machine-generated (the paper notes hand-written topology prose is
 // error-prone, §4.1) and deliberately regular.
-func routerPrompt(t *topology.Topology, spec *topology.RouterSpec) string {
+func routerPrompt(t *topology.Topology, spec *topology.RouterSpec,
+	star bool, attaches []lightyear.Attachment) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Generate the Cisco IOS configuration file for router %s.\n", spec.Name)
 	fmt.Fprintf(&b, "Router %s has AS number %d and router ID %s.\n", spec.Name, spec.ASN, spec.RouterID)
@@ -74,8 +83,51 @@ func routerPrompt(t *topology.Topology, spec *topology.RouterSpec) string {
 	fmt.Fprintf(&b, "Router %s announces the networks: %s.\n",
 		spec.Name, strings.Join(spec.Networks, ", "))
 
-	if spec.Name == "R1" {
-		b.WriteString(policyInstructions(t))
+	if star {
+		if spec.Name == "R1" {
+			b.WriteString(policyInstructions(t))
+		}
+	} else {
+		b.WriteString(attachmentPolicyInstructions(spec, attaches))
+	}
+	return b.String()
+}
+
+// attachmentPolicyInstructions renders the local no-transit role of an ISP
+// attachment point on a non-star topology: tag at the ISP ingress, filter
+// every other attachment's tag at the ISP egress. Routers without an ISP
+// attachment have no policy role.
+func attachmentPolicyInstructions(spec *topology.RouterSpec, attaches []lightyear.Attachment) string {
+	var mine []lightyear.Attachment
+	for _, a := range attaches {
+		if a.Router == spec.Name {
+			mine = append(mine, a)
+		}
+	}
+	if len(mine) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Policy instructions:\n")
+	for _, a := range mine {
+		fmt.Fprintf(&b, "At the ingress from %s (neighbor %s), apply route-map %s "+
+			"that adds the community %s to every incoming route.\n",
+			a.Peer.PeerName, a.Peer.PeerIP, a.IngressPolicy(), a.Community())
+	}
+	for _, a := range mine {
+		var others []string
+		for _, o := range attaches {
+			if o.Router == a.Router && o.Peer.PeerName == a.Peer.PeerName {
+				continue
+			}
+			others = append(others, o.Community().String())
+		}
+		if len(others) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "At the egress to %s (neighbor %s), apply route-map %s "+
+			"that denies any route carrying any of the communities %s and permits all other routes.\n",
+			a.Peer.PeerName, a.Peer.PeerIP, a.EgressPolicy(), strings.Join(others, " "))
 	}
 	return b.String()
 }

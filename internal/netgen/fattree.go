@@ -1,0 +1,46 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// FatTree generates a k-ary fat-tree (k even, k >= 2): k pods of k/2 edge
+// and k/2 aggregation routers plus (k/2)^2 core routers, the classic
+// data-center Clos. Router numbering is edge-first so R1 — the first edge
+// router — carries the customer attachment; every other edge router
+// carries one ISP; aggregation and core routers are internal-only. ISP
+// routes therefore transit up to four internal hops (edge → agg → core →
+// agg → edge), exercising community propagation end to end.
+func FatTree(k int) (*topology.Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("fat-tree: k must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	numEdge := k * half
+	numAgg := k * half
+	numCore := half * half
+	n := numEdge + numAgg + numCore
+
+	edgeIdx := func(pod, e int) int { return pod*half + e + 1 }
+	aggIdx := func(pod, a int) int { return numEdge + pod*half + a + 1 }
+	coreIdx := func(c int) int { return numEdge + numAgg + c + 1 }
+
+	var edges [][2]int
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				edges = append(edges, [2]int{edgeIdx(pod, e), aggIdx(pod, a)})
+			}
+		}
+		// Aggregation router a of every pod uplinks to the a-th group of
+		// k/2 core routers.
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				edges = append(edges, [2]int{aggIdx(pod, a), coreIdx(a*half + c)})
+			}
+		}
+	}
+	return buildGraph(fatTreeName(k), n, edges, ispRange(2, numEdge))
+}

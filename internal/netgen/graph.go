@@ -1,0 +1,165 @@
+package netgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// maxGraphRouters bounds the shared addressing scheme: internal link
+// subnets are 10.<i>.<j>.0/24 and ISP subnets 20.<i>.0.0/24, so router
+// indices must fit in one octet.
+const maxGraphRouters = 250
+
+// IsCustomerPeer reports whether an external peer name denotes a customer
+// network (the generators' convention: customers are named CUSTOMER,
+// everything else external is an ISP).
+func IsCustomerPeer(name string) bool { return strings.HasPrefix(name, "CUSTOMER") }
+
+// IsStar reports whether a topology has the paper's Figure 4 star shape:
+// a hub R1 holding the customer attachment, with every other router a
+// spoke whose only internal neighbor is the hub. The lightyear spec
+// derivation keeps the paper's hub-centric no-transit policy for stars
+// and uses the attachment-point policy for every other graph.
+func IsStar(t *topology.Topology) bool {
+	hub := t.Router("R1")
+	if hub == nil || len(t.Routers) < 2 {
+		return false
+	}
+	hubHasCustomer := false
+	for _, nb := range hub.Neighbors {
+		if nb.External {
+			if !IsCustomerPeer(nb.PeerName) {
+				return false // the star hub faces only the customer
+			}
+			hubHasCustomer = true
+		}
+	}
+	if !hubHasCustomer {
+		return false
+	}
+	for i := range t.Routers {
+		r := &t.Routers[i]
+		if r.Name == "R1" {
+			continue
+		}
+		for _, nb := range r.Neighbors {
+			if !nb.External && nb.PeerName != "R1" {
+				return false // a spoke-to-spoke link breaks the star
+			}
+		}
+	}
+	return true
+}
+
+// buildGraph constructs a topology over routers R1..Rn from an undirected
+// edge list (1-based router indices), attaching the customer network to
+// R1 and one ISP to each router listed in ispRouters. The addressing
+// scheme is regular and machine-derivable, like the star generator's:
+//
+//   - the internal link between Ri and Rj (i < j) uses 10.<i>.<j>.0/24
+//     with Ri at .1 and Rj at .2;
+//   - the customer link uses 1.0.0.0/24 (router .1, customer .2, AS
+//     CustomerAS, originating CustomerPrefix);
+//   - the ISP link at Ri uses 20.<i>.0.0/24 (router .1, ISP<i> at .2, AS
+//     ISPBaseAS+i, originating ISPPrefix(i)).
+//
+// Each router has AS number equal to its index, its router ID is its
+// first interface address, and it announces every connected subnet.
+func buildGraph(name string, n int, edges [][2]int, ispRouters []int) (*topology.Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%s: needs at least 2 routers, got %d", name, n)
+	}
+	if n > maxGraphRouters {
+		return nil, fmt.Errorf("%s: at most %d routers supported by the addressing scheme, got %d",
+			name, maxGraphRouters, n)
+	}
+	// Normalize and validate the adjacency.
+	adj := make([][]int, n+1)
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		i, j := e[0], e[1]
+		if i > j {
+			i, j = j, i
+		}
+		if i < 1 || j > n || i == j {
+			return nil, fmt.Errorf("%s: invalid edge R%d-R%d", name, e[0], e[1])
+		}
+		if seen[[2]int{i, j}] {
+			continue
+		}
+		seen[[2]int{i, j}] = true
+		adj[i] = append(adj[i], j)
+		adj[j] = append(adj[j], i)
+	}
+	isISP := map[int]bool{}
+	for _, i := range ispRouters {
+		if i < 1 || i > n {
+			return nil, fmt.Errorf("%s: ISP attachment on nonexistent router R%d", name, i)
+		}
+		if i == 1 {
+			return nil, fmt.Errorf("%s: R1 holds the customer attachment, not an ISP", name)
+		}
+		isISP[i] = true
+	}
+
+	t := &topology.Topology{Name: name}
+	for i := 1; i <= n; i++ {
+		sort.Ints(adj[i])
+		r := topology.RouterSpec{Name: fmt.Sprintf("R%d", i), ASN: uint32(i)}
+		ifcIdx := 0
+		addIfc := func(addr string) {
+			r.Interfaces = append(r.Interfaces, topology.InterfaceSpec{
+				Name:    fmt.Sprintf("eth0/%d", ifcIdx),
+				Address: addr + "/24",
+			})
+			ifcIdx++
+		}
+		// Customer attachment first (R1), then internal links by peer
+		// index, then the ISP attachment — mirroring the star's ordering.
+		if i == 1 {
+			addIfc("1.0.0.1")
+			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
+				PeerName: "CUSTOMER", PeerIP: "1.0.0.2", PeerAS: CustomerAS,
+				External: true, Prefixes: []string{CustomerPrefix().String()},
+			})
+			r.Networks = append(r.Networks, "1.0.0.0/24")
+		}
+		for _, j := range adj[i] {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			self, peer := 1, 2
+			if i == hi {
+				self, peer = 2, 1
+			}
+			addIfc(fmt.Sprintf("10.%d.%d.%d", lo, hi, self))
+			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
+				PeerName: fmt.Sprintf("R%d", j),
+				PeerIP:   fmt.Sprintf("10.%d.%d.%d", lo, hi, peer),
+				PeerAS:   uint32(j),
+			})
+			r.Networks = append(r.Networks, fmt.Sprintf("10.%d.%d.0/24", lo, hi))
+		}
+		if isISP[i] {
+			addIfc(fmt.Sprintf("20.%d.0.1", i))
+			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
+				PeerName: fmt.Sprintf("ISP%d", i),
+				PeerIP:   fmt.Sprintf("20.%d.0.2", i),
+				PeerAS:   uint32(ISPBaseAS + i),
+				External: true,
+				Prefixes: []string{ISPPrefix(i).String()},
+			})
+			r.Networks = append(r.Networks, fmt.Sprintf("20.%d.0.0/24", i))
+		}
+		if len(r.Interfaces) == 0 {
+			return nil, fmt.Errorf("%s: router R%d is isolated", name, i)
+		}
+		r.RouterID = strings.TrimSuffix(r.Interfaces[0].Address, "/24")
+		t.Routers = append(t.Routers, r)
+	}
+	return t, nil
+}

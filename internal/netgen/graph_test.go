@@ -1,0 +1,244 @@
+package netgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// golden compares generator output against the checked-in JSON dictionary
+// and description; regenerate with the tmp driver or update by hand —
+// these are the machine-readable artifacts the Modularizer consumes, so
+// drift is a behavioural change.
+func golden(t *testing.T, name string, topo *topology.Topology) {
+	t.Helper()
+	data, err := topo.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := os.ReadFile(filepath.Join("testdata", name+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(append(data, '\n')) != string(wantJSON) {
+		t.Errorf("%s JSON drifted from golden:\n%s", name, data)
+	}
+	wantTxt, err := os.ReadFile(filepath.Join("testdata", name+".txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Describe(topo) != string(wantTxt) {
+		t.Errorf("%s description drifted from golden:\n%s", name, Describe(topo))
+	}
+}
+
+func TestRingGolden(t *testing.T) {
+	topo, err := Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "ring-5", topo)
+}
+
+func TestFullMeshGolden(t *testing.T) {
+	topo, err := FullMesh(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "full-mesh-4", topo)
+}
+
+func TestFatTreeGolden(t *testing.T) {
+	topo, err := FatTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fat-tree-2", topo)
+}
+
+func TestRingShape(t *testing.T) {
+	topo, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Routers) != 6 {
+		t.Fatalf("routers = %d", len(topo.Routers))
+	}
+	for i := range topo.Routers {
+		r := &topo.Routers[i]
+		internal, external := 0, 0
+		for _, nb := range r.Neighbors {
+			if nb.External {
+				external++
+				if len(nb.Prefixes) == 0 {
+					t.Errorf("%s external peer %s has no originated prefixes", r.Name, nb.PeerName)
+				}
+			} else {
+				internal++
+			}
+		}
+		if internal != 2 {
+			t.Errorf("%s has %d internal neighbors, want 2 (a cycle)", r.Name, internal)
+		}
+		if external != 1 {
+			t.Errorf("%s has %d external peers, want 1", r.Name, external)
+		}
+	}
+	if topo.Routers[0].Neighbors[0].PeerName != "CUSTOMER" {
+		t.Errorf("R1 first neighbor = %+v", topo.Routers[0].Neighbors[0])
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("ring of 2 should fail")
+	}
+}
+
+func TestFullMeshShape(t *testing.T) {
+	topo, err := FullMesh(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range topo.Routers {
+		r := &topo.Routers[i]
+		internal := 0
+		for _, nb := range r.Neighbors {
+			if !nb.External {
+				internal++
+			}
+		}
+		if internal != 4 {
+			t.Errorf("%s has %d internal neighbors, want 4", r.Name, internal)
+		}
+	}
+	if _, err := FullMesh(2); err == nil {
+		t.Error("mesh of 2 should fail")
+	}
+}
+
+func TestFatTreeShape(t *testing.T) {
+	topo, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=4: 8 edge + 8 agg + 4 core.
+	if len(topo.Routers) != 20 {
+		t.Fatalf("routers = %d, want 20", len(topo.Routers))
+	}
+	customers, isps := 0, 0
+	for i := range topo.Routers {
+		r := &topo.Routers[i]
+		for _, nb := range r.Neighbors {
+			if !nb.External {
+				continue
+			}
+			if IsCustomerPeer(nb.PeerName) {
+				customers++
+			} else {
+				isps++
+			}
+			// Only edge routers (R1..R8) face the outside.
+			if idx := routerIndex(r.Name); idx > 8 {
+				t.Errorf("non-edge router %s has external peer %s", r.Name, nb.PeerName)
+			}
+		}
+	}
+	if customers != 1 || isps != 7 {
+		t.Errorf("external peers = %d customers + %d ISPs, want 1 + 7", customers, isps)
+	}
+	if _, err := FatTree(3); err == nil {
+		t.Error("odd k should fail")
+	}
+	if _, err := FatTree(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+// TestGraphSubnetsAreDisjoint checks the shared addressing scheme: every
+// subnet appears on at most the two endpoints of one link.
+func TestGraphSubnetsAreDisjoint(t *testing.T) {
+	for _, make := range []func() (*topology.Topology, error){
+		func() (*topology.Topology, error) { return Ring(9) },
+		func() (*topology.Topology, error) { return FullMesh(7) },
+		func() (*topology.Topology, error) { return FatTree(4) },
+	} {
+		topo, err := make()
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := map[netcfg.Prefix]int{}
+		for i := range topo.Routers {
+			prefixes, err := topo.Routers[i].ConnectedPrefixes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range prefixes {
+				count[p]++
+			}
+		}
+		for p, c := range count {
+			if c > 2 {
+				t.Errorf("%s: subnet %s appears on %d routers", topo.Name, p, c)
+			}
+		}
+	}
+}
+
+func TestIsStar(t *testing.T) {
+	star, _ := Star(7)
+	if !IsStar(star) {
+		t.Error("Star(7) should be a star")
+	}
+	for _, gen := range []func() (*topology.Topology, error){
+		func() (*topology.Topology, error) { return Ring(5) },
+		func() (*topology.Topology, error) { return FullMesh(4) },
+		func() (*topology.Topology, error) { return FatTree(2) },
+	} {
+		topo, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsStar(topo) {
+			t.Errorf("%s should not be a star", topo.Name)
+		}
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	want := []string{"star", "ring", "full-mesh", "fat-tree"}
+	if len(names) != len(want) {
+		t.Fatalf("scenarios = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("scenario[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, s := range Scenarios() {
+		topo, err := s.Generate(s.DefaultSize)
+		if err != nil {
+			t.Errorf("%s default size: %v", s.Name, err)
+			continue
+		}
+		if len(topo.Routers) < 2 {
+			t.Errorf("%s generated %d routers", s.Name, len(topo.Routers))
+		}
+	}
+	if _, err := Generate("moebius", 5); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if topo, err := Generate("ring", 0); err != nil || topo.Name != "ring-8" {
+		t.Errorf("default size: topo=%v err=%v", topo, err)
+	}
+}
+
+func routerIndex(name string) int {
+	var i int
+	if _, err := fmt.Sscanf(name, "R%d", &i); err != nil {
+		return 0
+	}
+	return i
+}

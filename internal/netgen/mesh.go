@@ -1,0 +1,21 @@
+package netgen
+
+import "repro/internal/topology"
+
+// FullMesh generates a complete graph of n routers (n >= 3): every pair
+// of routers shares a link, R1 carries the customer attachment, and every
+// other router carries one ISP. The mesh is the densest scenario — each
+// router peers with n-1 internal neighbors — which stresses the topology
+// verifier and makes every ISP pair a one-hop transit temptation.
+func FullMesh(n int) (*topology.Topology, error) {
+	if n < 3 {
+		return nil, errTooSmall("full-mesh", n, 3)
+	}
+	var edges [][2]int
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return buildGraph(meshName(n), n, edges, ispRange(2, n))
+}

@@ -1,0 +1,20 @@
+package netgen
+
+import "repro/internal/topology"
+
+// Ring generates a cycle of n routers (n >= 3): R1 carries the customer
+// attachment and every other router carries one ISP. Unlike the star,
+// transit routes cross multiple internal hops, so the no-transit policy
+// must hold at every ISP attachment point rather than at a single hub —
+// the attachment-point local specification of lightyear.LocalNoTransitSpec.
+func Ring(n int) (*topology.Topology, error) {
+	if n < 3 {
+		return nil, errTooSmall("ring", n, 3)
+	}
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	edges = append(edges, [2]int{1, n})
+	return buildGraph(ringName(n), n, edges, ispRange(2, n))
+}

@@ -1,0 +1,120 @@
+package netgen
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Generator produces a topology from one size parameter. The parameter's
+// meaning is per-scenario (router count for star/ring/full-mesh, arity k
+// for fat-tree); Scenario.SizeHint documents it.
+type Generator func(n int) (*topology.Topology, error)
+
+// Scenario is one registered topology family the synthesis engine can
+// target. The registry replaces the seed's star-only hardwiring: every
+// scenario yields the same two machine-readable artifacts — the JSON
+// dictionary and the formulaic natural-language description — that the
+// Modularizer consumes, plus per-router local no-transit specifications
+// derived by lightyear.SpecFor.
+type Scenario struct {
+	// Name identifies the scenario ("star", "ring", "full-mesh",
+	// "fat-tree").
+	Name string
+	// Summary is a one-line description for catalogs and CLIs.
+	Summary string
+	// SizeHint documents the generator parameter.
+	SizeHint string
+	// DefaultSize is a sensible paper-scale default for the parameter.
+	DefaultSize int
+	// Generate builds the topology.
+	Generate Generator
+}
+
+// scenarios is the built-in registry, in presentation order.
+var scenarios = []Scenario{
+	{
+		Name:        "star",
+		Summary:     "the paper's Figure 4 star: customer hub R1, one ISP per spoke",
+		SizeHint:    "n = number of routers (hub + n-1 spokes), n >= 2",
+		DefaultSize: 7,
+		Generate:    Star,
+	},
+	{
+		Name:        "ring",
+		Summary:     "a cycle: customer on R1, one ISP on every other router, multi-hop transit",
+		SizeHint:    "n = number of routers, n >= 3",
+		DefaultSize: 8,
+		Generate:    Ring,
+	},
+	{
+		Name:        "full-mesh",
+		Summary:     "a complete graph: every router pair linked, one-hop transit everywhere",
+		SizeHint:    "n = number of routers, n >= 3",
+		DefaultSize: 6,
+		Generate:    FullMesh,
+	},
+	{
+		Name:        "fat-tree",
+		Summary:     "a k-ary fat-tree Clos: ISPs at the edge, internal agg/core layers",
+		SizeHint:    "k = pod arity (even), routers = 5k^2/4",
+		DefaultSize: 4,
+		Generate:    FatTree,
+	},
+}
+
+// Scenarios returns the registered topology families in stable order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarios))
+	copy(out, scenarios)
+	return out
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Generate builds a topology by scenario name; size <= 0 uses the
+// scenario's default.
+func Generate(name string, size int) (*topology.Topology, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown topology scenario %q (have %v)", name, ScenarioNames())
+	}
+	if size <= 0 {
+		size = s.DefaultSize
+	}
+	return s.Generate(size)
+}
+
+// ScenarioNames lists the registered scenario names in stable order.
+func ScenarioNames() []string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func ringName(n int) string    { return fmt.Sprintf("ring-%d", n) }
+func meshName(n int) string    { return fmt.Sprintf("full-mesh-%d", n) }
+func fatTreeName(k int) string { return fmt.Sprintf("fat-tree-%d", k) }
+
+// ispRange lists the routers in [lo, hi] as ISP attachment points.
+func ispRange(lo, hi int) []int {
+	var out []int
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func errTooSmall(kind string, n, min int) error {
+	return fmt.Errorf("%s topology needs at least %d routers, got %d", kind, min, n)
+}

@@ -65,6 +65,11 @@ type NeighborSpec struct {
 	PeerIP   string `json:"peer_ip"`
 	PeerAS   uint32 `json:"peer_as"`
 	External bool   `json:"external"` // true for ISP/customer peers outside the managed network
+	// Prefixes lists the prefixes an external peer originates, so the
+	// global BGP simulation can stub the peer from the topology dictionary
+	// alone. Empty on internal peerings; when empty on an external peering
+	// the simulation falls back to the star generator's conventions.
+	Prefixes []string `json:"prefixes,omitempty"`
 }
 
 // Interface returns the named interface spec, or nil.

@@ -135,3 +135,38 @@ func LeverageVsNetworkSize(sizes []int) ([]LeverageReport, error) {
 	}
 	return out, nil
 }
+
+// ExperimentTopologyLeverage runs the no-transit synthesis on one
+// registered topology scenario (extension experiment E12): the same VPP
+// loop, the scenario registry's topology, and the attachment-point local
+// specification on non-star graphs. size <= 0 uses the scenario default;
+// parallelism <= 1 runs the sequential loop.
+func ExperimentTopologyLeverage(scenario string, size, parallelism int) (LeverageReport, error) {
+	topo, err := netgen.Generate(scenario, size)
+	if err != nil {
+		return LeverageReport{}, err
+	}
+	model := llm.NewSynthesizer(llm.DefaultSynthConfig())
+	res, err := core.Synthesize(topo, core.SynthOptions{
+		Model:       model,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return LeverageReport{}, err
+	}
+	return report(fmt.Sprintf("no-transit (%s)", topo.Name), res), nil
+}
+
+// TopologySweep runs the no-transit synthesis on every registered
+// scenario at its default size.
+func TopologySweep() ([]LeverageReport, error) {
+	var out []LeverageReport
+	for _, info := range Topologies() {
+		r, err := ExperimentTopologyLeverage(info.Name, info.DefaultSize, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", info.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/batfish"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// TestTopologyVerifyOnScenarios is the topology-verifier property test on
+// every registered scenario: a configuration built exactly from the spec
+// produces no findings, and representative mutations are each caught.
+func TestTopologyVerifyOnScenarios(t *testing.T) {
+	for _, info := range Topologies() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			topo, _, err := GenerateTopology(info.Name, info.DefaultSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range topo.Routers {
+				spec := &topo.Routers[i]
+				clean := specDevice(spec)
+				if finds := topology.Verify(spec, clean); len(finds) != 0 {
+					t.Fatalf("%s: spec-faithful config has findings: %v", spec.Name, finds)
+				}
+				// A wrong interface address must be caught.
+				bad := specDevice(spec)
+				bad.Interfaces[0].Address.Addr++
+				if finds := topology.Verify(spec, bad); len(finds) == 0 {
+					t.Errorf("%s: wrong address not caught", spec.Name)
+				}
+				// A missing neighbor must be caught.
+				bad = specDevice(spec)
+				bad.BGP.Neighbors = bad.BGP.Neighbors[1:]
+				if finds := topology.Verify(spec, bad); len(finds) == 0 {
+					t.Errorf("%s: missing neighbor not caught", spec.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestGlobalNoTransitCatchesMissingFilter breaks one attachment point's
+// egress filter on a verified ring and expects the global BGP simulation
+// to report the resulting transit path.
+func TestGlobalNoTransitCatchesMissingFilter(t *testing.T) {
+	res, err := Synthesize(mustTopo(t, "ring", 6), SynthesizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("ring-6 did not verify:\n%s", res.Transcript)
+	}
+	topo := mustTopo(t, "ring", 6)
+	devs := map[string]*netcfg.Device{}
+	for name, text := range res.Configs {
+		dev, _ := batfish.ParseConfig(text)
+		devs[name] = dev
+	}
+	// Detach R3's egress filter: ISP3 should now see other ISPs' prefixes.
+	r3 := devs["R3"]
+	for _, nb := range r3.BGP.Neighbors {
+		if nb.ExportPolicy != "" {
+			nb.ExportPolicy = ""
+		}
+	}
+	global, err := lightyear.CheckGlobalNoTransit(topo, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.OK() || len(global.Violations) == 0 {
+		t.Errorf("broken egress filter not caught: %+v", global)
+	}
+}
+
+func mustTopo(t *testing.T, name string, size int) *topology.Topology {
+	t.Helper()
+	topo, _, err := GenerateTopology(name, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestTopologySweepExperiment runs the registry sweep experiment end to
+// end: every scenario verifies.
+func TestTopologySweepExperiment(t *testing.T) {
+	reports, err := TopologySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(Topologies()) {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		t.Logf("%s", r)
+		if !r.Verified {
+			t.Errorf("%s did not verify", r.Name)
+		}
+	}
+}
