@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/batfish/rest"
+)
+
+// TestAcceleratedSynthesisByteIdentical is the acceptance gate for the
+// verification acceleration layer: on every registry scenario, the
+// incremental cache plus the concurrent suite scan must produce a
+// transcript (and configs, and leverage) byte-identical to the pre-cache
+// sequential loop's.
+func TestAcceleratedSynthesisByteIdentical(t *testing.T) {
+	for _, info := range Topologies() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			topo := mustTopo(t, info.Name, info.DefaultSize)
+			baseline, err := Synthesize(topo, SynthesizeOptions{DisableVerifierCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accelerated, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
+				SynthesizeOptions{SuiteParallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(baseline.Transcript, accelerated.Transcript) {
+				t.Errorf("transcripts diverge:\nbaseline:\n%s\naccelerated:\n%s",
+					baseline.Transcript, accelerated.Transcript)
+			}
+			if !reflect.DeepEqual(baseline.Configs, accelerated.Configs) {
+				t.Error("final configurations diverge")
+			}
+			if baseline.Verified != accelerated.Verified ||
+				baseline.Leverage() != accelerated.Leverage() {
+				t.Errorf("outcome diverges: verified %v/%v leverage %v/%v",
+					baseline.Verified, accelerated.Verified,
+					baseline.Leverage(), accelerated.Leverage())
+			}
+			if accelerated.CacheStats == nil || accelerated.CacheStats.Hits == 0 {
+				t.Errorf("cache saw no hits: %v", accelerated.CacheStats)
+			}
+		})
+	}
+}
+
+// TestBatchedRESTSynthesisByteIdentical runs the same gate over the REST
+// wrapper: the batched, cached loop against batfishd must reproduce the
+// in-process sequential loop's transcript exactly.
+func TestBatchedRESTSynthesisByteIdentical(t *testing.T) {
+	srv := httptest.NewServer(rest.NewHandler())
+	t.Cleanup(srv.Close)
+	client := rest.NewClient(srv.URL)
+
+	baseline, err := SynthesizeNoTransit(SynthesizeOptions{DisableVerifierCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := SynthesizeNoTransit(SynthesizeOptions{Verifier: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline.Transcript, batched.Transcript) {
+		t.Errorf("transcripts diverge:\nbaseline:\n%s\nbatched:\n%s",
+			baseline.Transcript, batched.Transcript)
+	}
+	if !batched.Verified {
+		t.Error("batched REST run did not verify")
+	}
+	stats := batched.CacheStats
+	if stats == nil || stats.Prefetches == 0 {
+		t.Fatalf("batched run issued no prefetches: %v", stats)
+	}
+	// The batch transport's contract: at most one verification round-trip
+	// per pipeline iteration (each prefetch is one round-trip), plus the
+	// final global check.
+	if calls := client.Calls(); calls > int64(stats.Prefetches)+1 {
+		t.Errorf("REST round-trips = %d for %d iterations (+1 global), want ≤ %d",
+			calls, stats.Prefetches, stats.Prefetches+1)
+	}
+}
+
+// TestTranslationCacheByteIdentical runs the translation gate: cached and
+// uncached loops must emit the same transcript.
+func TestTranslationCacheByteIdentical(t *testing.T) {
+	baseline, err := Translate(ExampleCiscoConfig(), TranslateOptions{DisableVerifierCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Translate(ExampleCiscoConfig(), TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(baseline.Transcript, cached.Transcript) {
+		t.Error("translation transcripts diverge")
+	}
+	if cached.CacheStats == nil {
+		t.Error("cached translation reported no stats")
+	}
+}

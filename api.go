@@ -26,6 +26,10 @@ type TranslateOptions struct {
 	// ErrorClasses restricts the injected translation errors; nil injects
 	// the paper's full Table 2 scenario.
 	ErrorClasses []llm.TranslateError
+	// DisableVerifierCache turns off the incremental verification cache,
+	// restoring the seed behaviour of re-parsing and re-verifying the
+	// translation on every iteration.
+	DisableVerifierCache bool
 }
 
 // Translate runs the paper's first use case (§3): translate a Cisco
@@ -43,8 +47,9 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 		}
 	}
 	return core.Translate(ciscoConfig, core.TranslateOptions{
-		Model:    llm.NewTranslator(cfg),
-		Verifier: opts.Verifier,
+		Model:        llm.NewTranslator(cfg),
+		Verifier:     opts.Verifier,
+		DisableCache: opts.DisableVerifierCache,
 	})
 }
 
@@ -70,6 +75,18 @@ type SynthesizeOptions struct {
 	// that converge (iteration caps and human give-ups are scoped per
 	// router in parallel, per run sequentially).
 	Parallelism int
+	// SuiteParallelism bounds the worker pool for the independent checks
+	// inside one pipeline iteration (per-router syntax/topology scans and
+	// per-requirement policy checks). The lowest topology-order finding
+	// wins deterministically, so transcripts are byte-identical to the
+	// sequential scan; values <= 1 scan sequentially. This is the lever
+	// that speeds up the star hub, where all repair concentrates on one
+	// router.
+	SuiteParallelism int
+	// DisableVerifierCache turns off the incremental verification cache,
+	// restoring the paper's behaviour of re-verifying every router on
+	// every iteration.
+	DisableVerifierCache bool
 }
 
 // Synthesize runs the VPP synthesis pipeline on an arbitrary topology —
@@ -82,10 +99,12 @@ func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error
 		cfg.Seed = opts.Seed
 	}
 	return core.Synthesize(topo, core.SynthOptions{
-		Model:       llm.NewSynthesizer(cfg),
-		Verifier:    opts.Verifier,
-		NoIIP:       opts.DisableIIP,
-		Parallelism: opts.Parallelism,
+		Model:            llm.NewSynthesizer(cfg),
+		Verifier:         opts.Verifier,
+		NoIIP:            opts.DisableIIP,
+		Parallelism:      opts.Parallelism,
+		SuiteParallelism: opts.SuiteParallelism,
+		DisableCache:     opts.DisableVerifierCache,
 	})
 }
 

@@ -1,14 +1,16 @@
 // Command batfishd serves the verification suite over HTTP: syntax
 // checking, Campion diffing, topology verification, local-policy checks,
-// SearchRoutePolicies, and the global no-transit BGP simulation. The
-// COSYNTH engine can point at it with --verifier (see cmd/cosynth), which
-// is how the Batfish dependency is reproduced without Go bindings.
+// SearchRoutePolicies, batched whole-iteration checks (/v1/batch), and the
+// global no-transit BGP simulation. The COSYNTH engine can point at it
+// with --verifier (see cmd/cosynth), which is how the Batfish dependency
+// is reproduced without Go bindings.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/batfish/rest"
@@ -16,14 +18,21 @@ import (
 
 func main() {
 	addr := flag.String("addr", "localhost:9876", "listen address")
+	batchWorkers := flag.Int("batch-workers", 0,
+		"worker pool size for /v1/batch check evaluation (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           rest.NewHandler(),
+		Handler:           rest.NewHandlerOpts(rest.HandlerOptions{BatchWorkers: *batchWorkers}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("batfishd: serving verification suite on http://%s", *addr)
+	workers := *batchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("batfishd: serving verification suite on http://%s (batch workers: %d)",
+		*addr, workers)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("batfishd: %v", err)
 	}

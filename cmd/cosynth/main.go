@@ -25,6 +25,8 @@ func main() {
 	topoName := flag.String("topo", "star", "topology scenario for -mode notransit")
 	n := flag.Int("n", 0, "topology size for -mode notransit (routers, or pod arity for fat-tree); 0 = scenario default")
 	parallel := flag.Int("parallel", 0, "per-router repair workers for -mode notransit (<=1: sequential)")
+	suiteParallel := flag.Int("suite-parallel", 0, "per-iteration verifier-suite workers (<=1: sequential scan)")
+	noCache := flag.Bool("no-cache", false, "disable the incremental verification cache")
 	seed := flag.Int64("seed", 1, "simulated-LLM seed")
 	verifierURL := flag.String("verifier", "", "batfishd base URL (default: in-process suite)")
 	inputPath := flag.String("config", "", "Cisco config to translate (default: bundled example)")
@@ -52,7 +54,8 @@ func main() {
 			}
 			cfg = string(data)
 		}
-		res, err = repro.Translate(cfg, repro.TranslateOptions{Seed: *seed, Verifier: verifier})
+		res, err = repro.Translate(cfg, repro.TranslateOptions{
+			Seed: *seed, Verifier: verifier, DisableVerifierCache: *noCache})
 	case "notransit":
 		var topo *topology.Topology
 		topo, _, err = repro.GenerateTopology(*topoName, *n)
@@ -60,7 +63,8 @@ func main() {
 			log.Fatalf("cosynth: %v", err)
 		}
 		res, err = repro.Synthesize(topo, repro.SynthesizeOptions{
-			Seed: *seed, Verifier: verifier, Parallelism: *parallel})
+			Seed: *seed, Verifier: verifier, Parallelism: *parallel,
+			SuiteParallelism: *suiteParallel, DisableVerifierCache: *noCache})
 	default:
 		log.Fatalf("cosynth: unknown mode %q", *mode)
 	}
@@ -82,6 +86,9 @@ func main() {
 		}
 	}
 	fmt.Println(repro.Summary(*mode, res))
+	if res.CacheStats != nil {
+		fmt.Println(res.CacheStats)
+	}
 	if !res.Verified {
 		os.Exit(1)
 	}

@@ -42,19 +42,57 @@
 // no-transit guarantee on any graph (CoverageComplete is the proof
 // obligation).
 //
+// # Verification acceleration layer
+//
+// The paper's loop re-verifies the whole network after every prompt; this
+// library keeps that loop's transcripts while removing its redundant work
+// through three cooperating layers, each independently optional:
+//
+// Cache. Every per-config check — syntax, topology, local policy,
+// translation diff — is memoized by core.CachedVerifier, keyed by a hash
+// of the check's inputs (config text plus spec/requirement). A pipeline
+// iteration therefore only re-verifies the router whose configuration the
+// last prompt changed; every other router's result is a cache hit.
+// Beneath it, one netcfg.ParseCache per run (threaded through
+// internal/batfish into the cisco and juniper parsers' single-parse
+// ParseAndCheck entry points) parses each configuration revision exactly
+// once, no matter how many stages, requirements, and iterations inspect
+// it — including the final BGP simulation. Results are pure functions of
+// their inputs, so transcripts are byte-identical with the cache on or
+// off (TestAcceleratedSynthesisByteIdentical pins this on every registry
+// scenario); benchmark E14 measures the win.
+//
+// Concurrent suite. Within one pipeline iteration, a stage's per-router
+// and per-requirement checks are independent, so SuiteParallelism fans
+// them onto a bounded worker pool. Selection is deterministic: the lowest
+// topology-order finding wins, exactly what the sequential scan would
+// have reported, so transcripts stay byte-identical. This is the only
+// lever that speeds up the star hub, where every policy concentrates on
+// one router and per-router parallelism has nothing to split.
+//
+// Batch transport. When the verifier is remote (rest.Client against
+// batfishd), each iteration first enumerates every outstanding check
+// across all stages and ships the not-yet-cached ones as a single
+// /v1/batch round-trip (core.BatchVerifier / CachedVerifier.Prefetch);
+// the stage scan then reads pure cache hits. One round-trip per iteration
+// replaces one per check — benchmark E15 measures it on the fat-tree —
+// and the client falls back to per-check calls against servers that
+// predate the endpoint. The server evaluates a batch on its own worker
+// pool with a request-scoped parse cache.
+//
 // # Concurrent per-router synthesis
 //
 // Each router's repair loop is independent — per-router prompts,
 // per-router verifiers — so Synthesize accepts a Parallelism option that
 // repairs routers on a bounded worker pool, each worker driving its own
-// conversation against a mutex-guarded shared model. Per-router
-// transcripts merge deterministically in topology order: on runs that
-// converge, leverage accounting, punted findings, and final
-// configurations are identical to the sequential loop (on aborted runs
-// the budgets differ — iteration caps and human give-ups are per-router
-// in parallel, per-run sequentially). The wall-clock win comes from
-// avoiding the sequential loop's whole-network re-verification scans
-// plus core parallelism where available.
+// conversation against a mutex-guarded shared model (all workers share
+// one CachedVerifier). Per-router transcripts merge deterministically in
+// topology order: on runs that converge, leverage accounting, punted
+// findings, and final configurations are identical to the sequential
+// loop (on aborted runs the budgets differ — iteration caps and human
+// give-ups are per-router in parallel, per-run sequentially). The
+// wall-clock win comes from avoiding the sequential loop's whole-network
+// re-verification scans plus core parallelism where available.
 //
 // # The stack
 //
@@ -67,8 +105,9 @@
 //     Campion-style translation differ (internal/campion) and the Batfish
 //     SearchRoutePolicies substitute (internal/batfish);
 //   - a BGP control-plane simulator for the global no-transit check
-//     (internal/batfish), exposed over a REST wrapper
-//     (internal/batfish/rest, cmd/batfishd);
+//     (internal/batfish), exposed over a REST wrapper with a batched
+//     endpoint (internal/batfish/rest, cmd/batfishd, internal/suite for
+//     the shared check types);
 //   - the topology verifier, scenario registry / network generators,
 //     modularizer, humanizer, and Lightyear-style local-policy checker of
 //     the paper's Figure 3;

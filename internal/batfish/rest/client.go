@@ -7,62 +7,101 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/batfish"
 	"repro/internal/campion"
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
+	"repro/internal/suite"
 	"repro/internal/topology"
 )
 
+// ClientOptions tunes the REST client.
+type ClientOptions struct {
+	// Timeout bounds each request (default 30s). Batched requests carry a
+	// whole iteration's checks, so set it with the batch size in mind.
+	Timeout time.Duration
+	// MaxIdleConnsPerHost sizes the connection pool (default 16, against
+	// net/http's default of 2): concurrent suite checks and back-to-back
+	// batches reuse warm connections instead of opening one per check.
+	MaxIdleConnsPerHost int
+}
+
 // Client calls the verification suite over HTTP. It implements
-// core.Verifier, so the COSYNTH engine can run against a remote batfishd
-// unchanged.
+// core.Verifier — and core.BatchVerifier via CheckSuite, which ships many
+// checks in one /v1/batch round-trip, falling back to per-check calls
+// against servers that predate the batch endpoint.
 type Client struct {
 	base string
 	http *http.Client
+	// calls counts HTTP round-trips issued, for round-trip accounting in
+	// benchmarks and tests.
+	calls atomic.Int64
+	// batchUnsupported latches after a 404/405 from /v1/batch so an old
+	// server costs the probe exactly once.
+	batchUnsupported atomic.Bool
 }
 
 // NewClient returns a client for a batfishd base URL (e.g.
-// "http://localhost:9876").
+// "http://localhost:9876") with default options.
 func NewClient(base string) *Client {
+	return NewClientOpts(base, ClientOptions{})
+}
+
+// NewClientOpts returns a client with tuned transport options.
+func NewClientOpts(base string, opts ClientOptions) *Client {
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	if opts.MaxIdleConnsPerHost == 0 {
+		opts.MaxIdleConnsPerHost = 16
+	}
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConnsPerHost = opts.MaxIdleConnsPerHost
 	return &Client{
 		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 30 * time.Second},
+		http: &http.Client{Timeout: opts.Timeout, Transport: transport},
 	}
 }
 
-// post sends a JSON request and decodes the JSON response into out.
-func (c *Client) post(path string, in, out interface{}) error {
+// Calls returns the number of HTTP round-trips issued so far.
+func (c *Client) Calls() int64 { return c.calls.Load() }
+
+// post sends a JSON request and decodes the JSON response into out; the
+// returned status is valid whenever err is nil or the status was not OK.
+func (c *Client) post(path string, in, out interface{}) (status int, err error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return fmt.Errorf("encoding %s request: %w", path, err)
+		return 0, fmt.Errorf("encoding %s request: %w", path, err)
 	}
+	c.calls.Add(1)
 	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("calling %s: %w", path, err)
+		return 0, fmt.Errorf("calling %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return fmt.Errorf("reading %s response: %w", path, err)
+		return resp.StatusCode, fmt.Errorf("reading %s response: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", path, e.Error)
+			return resp.StatusCode, fmt.Errorf("%s: %s", path, e.Error)
 		}
-		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		return resp.StatusCode, fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("decoding %s response: %w", path, err)
+		return resp.StatusCode, fmt.Errorf("decoding %s response: %w", path, err)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // Health checks the service.
 func (c *Client) Health() error {
+	c.calls.Add(1)
 	resp, err := c.http.Get(c.base + PathHealth)
 	if err != nil {
 		return err
@@ -77,7 +116,7 @@ func (c *Client) Health() error {
 // CheckSyntax implements core.Verifier.
 func (c *Client) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
 	var resp SyntaxResponse
-	if err := c.post(PathSyntax, SyntaxRequest{Config: config}, &resp); err != nil {
+	if _, err := c.post(PathSyntax, SyntaxRequest{Config: config}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Warnings, nil
@@ -86,7 +125,7 @@ func (c *Client) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
 // DiffTranslation implements core.Verifier.
 func (c *Client) DiffTranslation(original, translation string) ([]campion.Finding, error) {
 	var resp DiffResponse
-	if err := c.post(PathDiff, DiffRequest{Original: original, Translation: translation}, &resp); err != nil {
+	if _, err := c.post(PathDiff, DiffRequest{Original: original, Translation: translation}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Findings, nil
@@ -95,7 +134,7 @@ func (c *Client) DiffTranslation(original, translation string) ([]campion.Findin
 // VerifyTopology implements core.Verifier.
 func (c *Client) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
 	var resp TopologyResponse
-	if err := c.post(PathTopology, TopologyRequest{Spec: spec, Config: config}, &resp); err != nil {
+	if _, err := c.post(PathTopology, TopologyRequest{Spec: spec, Config: config}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Findings, nil
@@ -104,11 +143,15 @@ func (c *Client) VerifyTopology(spec topology.RouterSpec, config string) ([]topo
 // CheckLocalPolicy implements core.Verifier.
 func (c *Client) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
 	var resp LocalResponse
-	if err := c.post(PathLocal, LocalRequest{Config: config, Requirement: req}, &resp); err != nil {
+	if _, err := c.post(PathLocal, LocalRequest{Config: config, Requirement: req}, &resp); err != nil {
 		return lightyear.Violation{}, false, err
 	}
 	if !resp.Violated {
 		return lightyear.Violation{}, false, nil
+	}
+	if resp.Violation == nil {
+		return lightyear.Violation{}, false,
+			fmt.Errorf("%s: violated but no violation in response", PathLocal)
 	}
 	return *resp.Violation, true, nil
 }
@@ -116,7 +159,7 @@ func (c *Client) CheckLocalPolicy(config string, req lightyear.Requirement) (lig
 // GlobalNoTransit implements core.Verifier.
 func (c *Client) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
 	var resp NoTransitResponse
-	if err := c.post(PathNoTransit, NoTransitRequest{Topology: t, Configs: configs}, &resp); err != nil {
+	if _, err := c.post(PathNoTransit, NoTransitRequest{Topology: t, Configs: configs}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Result, nil
@@ -125,8 +168,68 @@ func (c *Client) GlobalNoTransit(t *topology.Topology, configs map[string]string
 // Search asks a SearchRoutePolicies question about one config.
 func (c *Client) Search(config string, q batfish.SearchQuery) (batfish.SearchResult, error) {
 	var resp SearchResponse
-	if err := c.post(PathSearch, SearchRequest{Config: config, Query: q}, &resp); err != nil {
+	if _, err := c.post(PathSearch, SearchRequest{Config: config, Query: q}, &resp); err != nil {
 		return batfish.SearchResult{}, err
 	}
 	return resp.Result, nil
+}
+
+// CheckSuite implements the engine's batched-verifier seam (core.BatchVerifier): all checks ship as one
+// /v1/batch round-trip. Against a server without the batch endpoint the
+// client falls back to one call per check — same results, old cost — and
+// remembers, so the probe is paid once per client.
+func (c *Client) CheckSuite(checks []suite.Check) ([]suite.Result, error) {
+	if len(checks) == 0 {
+		return nil, nil
+	}
+	if !c.batchUnsupported.Load() {
+		req := BatchRequest{Checks: make([]BatchCheck, len(checks))}
+		for i, sc := range checks {
+			req.Checks[i] = BatchCheck{
+				Kind:        string(sc.Kind),
+				Config:      sc.Config,
+				Original:    sc.Original,
+				Spec:        sc.Spec,
+				Requirement: sc.Req,
+			}
+		}
+		var resp BatchResponse
+		status, err := c.post(PathBatch, req, &resp)
+		switch {
+		case err == nil:
+			if len(resp.Results) != len(checks) {
+				return nil, fmt.Errorf("%s: %d results for %d checks",
+					PathBatch, len(resp.Results), len(checks))
+			}
+			out := make([]suite.Result, len(checks))
+			for i, r := range resp.Results {
+				if r.Error != "" {
+					return nil, fmt.Errorf("%s: check %d (%s): %s",
+						PathBatch, i, checks[i].Kind, r.Error)
+				}
+				out[i] = suite.Result{
+					Warnings:  r.Warnings,
+					Findings:  r.Findings,
+					Diffs:     r.Diffs,
+					Violated:  r.Violated,
+					Violation: r.Violation,
+				}
+			}
+			return out, nil
+		case status == http.StatusNotFound || status == http.StatusMethodNotAllowed:
+			c.batchUnsupported.Store(true)
+		default:
+			return nil, err
+		}
+	}
+	out := make([]suite.Result, len(checks))
+	for i, sc := range checks {
+		// suite.Eval dispatches onto this client's pre-batch endpoints.
+		res, err := suite.Eval(c, sc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
 }

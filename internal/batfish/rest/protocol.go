@@ -22,6 +22,7 @@ const (
 	PathNoTransit = "/v1/notransit"
 	PathSearch    = "/v1/search"
 	PathHealth    = "/v1/health"
+	PathBatch     = "/v1/batch"
 )
 
 // SyntaxRequest asks for parse warnings on one configuration.
@@ -88,6 +89,48 @@ type SearchRequest struct {
 // SearchResponse carries the witness, if any.
 type SearchResponse struct {
 	Result batfish.SearchResult `json:"result"`
+}
+
+// Batch check kinds, mirroring core's suite-check kinds on the wire.
+const (
+	BatchKindSyntax   = "syntax"
+	BatchKindTopology = "topology"
+	BatchKindLocal    = "local"
+	BatchKindDiff     = "diff"
+)
+
+// BatchCheck is one independent check inside a batched request; which
+// fields are required depends on Kind. Config is the configuration under
+// test (the translation for diff checks).
+type BatchCheck struct {
+	Kind        string                 `json:"kind"`
+	Config      string                 `json:"config"`
+	Original    string                 `json:"original,omitempty"`
+	Spec        *topology.RouterSpec   `json:"spec,omitempty"`
+	Requirement *lightyear.Requirement `json:"requirement,omitempty"`
+}
+
+// BatchRequest ships all of a pipeline iteration's outstanding checks in
+// one round-trip.
+type BatchRequest struct {
+	Checks []BatchCheck `json:"checks"`
+}
+
+// BatchResult is the outcome of one BatchCheck, positionally matched to
+// the request. Error is set when that single check was malformed; the
+// other checks in the batch still carry results.
+type BatchResult struct {
+	Warnings  []netcfg.ParseWarning `json:"warnings,omitempty"`
+	Findings  []topology.Finding    `json:"findings,omitempty"`
+	Diffs     []campion.Finding     `json:"diffs,omitempty"`
+	Violated  bool                  `json:"violated,omitempty"`
+	Violation *lightyear.Violation  `json:"violation,omitempty"`
+	Error     string                `json:"error,omitempty"`
+}
+
+// BatchResponse carries one result per requested check, in order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
 }
 
 // ErrorResponse reports a request failure.

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sync"
 
 	"repro/internal/batfish"
 	"repro/internal/campion"
@@ -12,8 +14,24 @@ import (
 	"repro/internal/topology"
 )
 
-// NewHandler returns the HTTP handler serving the verification suite.
+// HandlerOptions tunes the verification-suite handler.
+type HandlerOptions struct {
+	// BatchWorkers bounds the worker pool evaluating the checks of one
+	// /v1/batch request concurrently; <= 0 uses GOMAXPROCS.
+	BatchWorkers int
+}
+
+// NewHandler returns the HTTP handler serving the verification suite with
+// default options.
 func NewHandler() http.Handler {
+	return NewHandlerOpts(HandlerOptions{})
+}
+
+// NewHandlerOpts returns the HTTP handler serving the verification suite.
+func NewHandlerOpts(opts HandlerOptions) http.Handler {
+	if opts.BatchWorkers <= 0 {
+		opts.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealth, handleHealth)
 	mux.HandleFunc(PathSyntax, handleSyntax)
@@ -22,6 +40,9 @@ func NewHandler() http.Handler {
 	mux.HandleFunc(PathLocal, handleLocal)
 	mux.HandleFunc(PathNoTransit, handleNoTransit)
 	mux.HandleFunc(PathSearch, handleSearch)
+	mux.HandleFunc(PathBatch, func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(w, r, opts.BatchWorkers)
+	})
 	return mux
 }
 
@@ -113,6 +134,78 @@ func handleNoTransit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, NoTransitResponse{Result: result})
+}
+
+// evalBatchCheck answers one batched check; parses goes through the
+// request-scoped cache so a batch carrying the same configuration for its
+// syntax, topology, and local checks parses it once.
+func evalBatchCheck(c BatchCheck, parses *netcfg.ParseCache) BatchResult {
+	switch c.Kind {
+	case BatchKindSyntax:
+		return BatchResult{Warnings: parses.Parse(c.Config).CheckWarnings}
+	case BatchKindTopology:
+		if c.Spec == nil {
+			return BatchResult{Error: "topology check requires a spec"}
+		}
+		dev := parses.Parse(c.Config).Device
+		return BatchResult{Findings: topology.Verify(c.Spec, dev)}
+	case BatchKindLocal:
+		if c.Requirement == nil {
+			return BatchResult{Error: "local check requires a requirement"}
+		}
+		dev := parses.Parse(c.Config).Device
+		v, bad := lightyear.Check(dev, *c.Requirement)
+		res := BatchResult{Violated: bad}
+		if bad {
+			res.Violation = &v
+		}
+		return res
+	case BatchKindDiff:
+		orig := parses.Parse(c.Original).Device
+		trans := parses.Parse(c.Config).Device
+		return BatchResult{Diffs: campion.Diff(orig, trans)}
+	default:
+		return BatchResult{Error: fmt.Sprintf("unknown check kind %q", c.Kind)}
+	}
+}
+
+// handleBatch evaluates a whole batch of independent checks in one
+// round-trip, fanning them onto a bounded worker pool. Results are
+// positional; a malformed individual check yields a per-result error
+// without failing the batch.
+func handleBatch(w http.ResponseWriter, r *http.Request, workers int) {
+	var req BatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	parses := batfish.NewParseCache()
+	results := make([]BatchResult, len(req.Checks))
+	if workers > len(req.Checks) {
+		workers = len(req.Checks)
+	}
+	if workers <= 1 {
+		for i, c := range req.Checks {
+			results[i] = evalBatchCheck(c, parses)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for n := 0; n < workers; n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i] = evalBatchCheck(req.Checks[i], parses)
+				}
+			}()
+		}
+		for i := range req.Checks {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
 }
 
 func handleSearch(w http.ResponseWriter, r *http.Request) {

@@ -45,6 +45,28 @@ func CheckSyntax(text string) []netcfg.ParseWarning {
 	return cisco.Check(text)
 }
 
+// ParseAndCheck parses a configuration once, in either dialect, and
+// returns the complete parse product: the device, the parse warnings, and
+// the full syntax-check warnings. This is the single-parse feed for
+// netcfg.ParseCache — one parse per configuration revision serves the
+// syntax, topology, local-policy, and simulation stages alike.
+func ParseAndCheck(text string) *netcfg.Parsed {
+	var p netcfg.Parsed
+	if DetectVendor(text) == netcfg.VendorJuniper {
+		p.Device, p.ParseWarnings, p.CheckWarnings = juniper.ParseAndCheck(text)
+	} else {
+		p.Device, p.ParseWarnings, p.CheckWarnings = cisco.ParseAndCheck(text)
+	}
+	return &p
+}
+
+// NewParseCache returns a shared parse cache over both dialects, keyed by
+// configuration text, so each revision is parsed exactly once per cache no
+// matter how many verifier stages inspect it.
+func NewParseCache() *netcfg.ParseCache {
+	return netcfg.NewParseCache(ParseAndCheck)
+}
+
 // Snapshot is a set of parsed device configurations, keyed by hostname —
 // the folder the paper's Composer assembles "for Batfish".
 type Snapshot struct {

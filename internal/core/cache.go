@@ -1,0 +1,268 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/batfish"
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/suite"
+	"repro/internal/topology"
+)
+
+// SuiteCheck is one independent check of the verification suite in a
+// transport-neutral form (see internal/suite): the pipeline's stages
+// enumerate their outstanding checks as SuiteChecks so a batch-capable
+// verifier can ship a whole iteration's worth in one round-trip.
+type SuiteCheck = suite.Check
+
+// SuiteResult is the outcome of one SuiteCheck; which fields are
+// meaningful depends on the check's kind.
+type SuiteResult = suite.Result
+
+// Suite check kinds, re-exported from internal/suite.
+const (
+	SuiteSyntax   = suite.KindSyntax
+	SuiteTopology = suite.KindTopology
+	SuiteLocal    = suite.KindLocal
+	SuiteDiff     = suite.KindDiff
+)
+
+// BatchVerifier is the optional batched seam: a Verifier that can also
+// evaluate many independent suite checks in one call (one REST round-trip
+// for rest.Client). CachedVerifier.Prefetch uses it to warm the cache with
+// a whole iteration's outstanding checks at once.
+type BatchVerifier interface {
+	Verifier
+	CheckSuite(checks []SuiteCheck) ([]SuiteResult, error)
+}
+
+// CacheStats are a CachedVerifier's counters.
+type CacheStats struct {
+	// Hits and Misses count memoized-result lookups across CheckSyntax,
+	// VerifyTopology, CheckLocalPolicy, and DiffTranslation.
+	Hits   uint64
+	Misses uint64
+	// Prefetches counts batched prefetch calls that shipped work — one
+	// per pipeline iteration that had uncached checks — and BatchedChecks
+	// the individual checks they carried.
+	Prefetches    uint64
+	BatchedChecks uint64
+}
+
+// String renders the counters.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("cache: %d hits / %d misses, %d prefetch round-trips (%d checks)",
+		s.Hits, s.Misses, s.Prefetches, s.BatchedChecks)
+}
+
+// CachedVerifier memoizes the per-config checks of a Verifier — syntax,
+// topology, local policy, and translation diff — keyed by a hash of the
+// check's inputs (config text plus spec/requirement). A pipeline iteration
+// therefore only re-verifies the router whose configuration the last
+// prompt changed: every other router's results are cache hits. Results are
+// pure functions of their inputs, so transcripts are byte-identical to the
+// uncached loop.
+//
+// When the wrapped verifier is also a BatchVerifier (rest.Client),
+// Prefetch ships all outstanding misses as one batched call, turning a
+// pipeline iteration's many verifier round-trips into one.
+//
+// The global BGP simulation is deliberately not memoized: it runs once per
+// converged run, on the whole network, and its inputs change whenever any
+// router changes.
+//
+// CachedVerifier is safe for concurrent use and may be shared by the
+// parallel per-router repair workers.
+type CachedVerifier struct {
+	v     Verifier
+	batch BatchVerifier // non-nil when v supports batched checks
+
+	mu      sync.RWMutex
+	results map[[sha256.Size]byte]SuiteResult
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	prefetches    atomic.Uint64
+	batchedChecks atomic.Uint64
+}
+
+// NewCachedVerifier wraps a verifier with result memoization. nil (and the
+// zero LocalVerifier) become a LocalVerifier threaded with a shared parse
+// cache, so each configuration revision is parsed once per run instead of
+// once per stage per iteration.
+func NewCachedVerifier(v Verifier) *CachedVerifier {
+	if v == nil {
+		v = LocalVerifier{}
+	}
+	if lv, ok := v.(LocalVerifier); ok && lv.Parses == nil {
+		v = LocalVerifier{Parses: batfish.NewParseCache()}
+	}
+	c := &CachedVerifier{v: v, results: map[[sha256.Size]byte]SuiteResult{}}
+	if b, ok := v.(BatchVerifier); ok {
+		c.batch = b
+	}
+	return c
+}
+
+// Batched reports whether the wrapped verifier supports batched checks.
+func (c *CachedVerifier) Batched() bool { return c.batch != nil }
+
+// Stats returns the cache counters.
+func (c *CachedVerifier) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Prefetches:    c.prefetches.Load(),
+		BatchedChecks: c.batchedChecks.Load(),
+	}
+}
+
+// key derives the memoization key for a check: a hash over the kind and
+// every input that determines the result.
+func (c *CachedVerifier) key(check SuiteCheck) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(check.Kind))
+	h.Write([]byte{0})
+	h.Write([]byte(check.Config))
+	h.Write([]byte{0})
+	h.Write([]byte(check.Original))
+	if check.Spec != nil {
+		// The JSON encoding is a stable serialization of the spec.
+		b, _ := json.Marshal(check.Spec)
+		h.Write([]byte{0})
+		h.Write(b)
+	}
+	if check.Req != nil {
+		b, _ := json.Marshal(check.Req)
+		h.Write([]byte{1})
+		h.Write(b)
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// lookup returns the memoized result for a check, if present.
+func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, bool) {
+	c.mu.RLock()
+	res, ok := c.results[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return res, ok
+}
+
+// store memoizes one result.
+func (c *CachedVerifier) store(key [sha256.Size]byte, res SuiteResult) {
+	c.misses.Add(1)
+	c.mu.Lock()
+	c.results[key] = res
+	c.mu.Unlock()
+}
+
+// check answers one suite check through the cache.
+func (c *CachedVerifier) check(sc SuiteCheck) (SuiteResult, error) {
+	key := c.key(sc)
+	if res, ok := c.lookup(key); ok {
+		return res, nil
+	}
+	res, err := suite.Eval(c.v, sc)
+	if err != nil {
+		return res, err
+	}
+	c.store(key, res)
+	return res, nil
+}
+
+// Prefetch warms the cache with every not-yet-cached check in one batched
+// call against the wrapped BatchVerifier. It is a no-op when the wrapped
+// verifier has no batch support (the in-process suite evaluates lazily, so
+// the stage scan's early exit keeps its savings) or when every check is
+// already cached.
+func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
+	if c.batch == nil || len(checks) == 0 {
+		return nil
+	}
+	var missing []SuiteCheck
+	var keys [][sha256.Size]byte
+	seen := map[[sha256.Size]byte]bool{}
+	for _, sc := range checks {
+		key := c.key(sc)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		c.mu.RLock()
+		_, ok := c.results[key]
+		c.mu.RUnlock()
+		if !ok {
+			missing = append(missing, sc)
+			keys = append(keys, key)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	results, err := c.batch.CheckSuite(missing)
+	if err != nil {
+		return err
+	}
+	if len(results) != len(missing) {
+		return fmt.Errorf("batched verifier returned %d results for %d checks",
+			len(results), len(missing))
+	}
+	c.prefetches.Add(1)
+	c.batchedChecks.Add(uint64(len(missing)))
+	c.mu.Lock()
+	for i, res := range results {
+		c.results[keys[i]] = res
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// CheckSyntax implements Verifier.
+func (c *CachedVerifier) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
+	res, err := c.check(SuiteCheck{Kind: SuiteSyntax, Config: config})
+	return res.Warnings, err
+}
+
+// DiffTranslation implements Verifier.
+func (c *CachedVerifier) DiffTranslation(original, translation string) ([]campion.Finding, error) {
+	res, err := c.check(SuiteCheck{Kind: SuiteDiff, Original: original, Config: translation})
+	return res.Diffs, err
+}
+
+// VerifyTopology implements Verifier.
+func (c *CachedVerifier) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
+	res, err := c.check(SuiteCheck{Kind: SuiteTopology, Spec: &spec, Config: config})
+	return res.Findings, err
+}
+
+// CheckLocalPolicy implements Verifier.
+func (c *CachedVerifier) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	res, err := c.check(SuiteCheck{Kind: SuiteLocal, Req: &req, Config: config})
+	if err != nil || !res.Violated {
+		return lightyear.Violation{}, false, err
+	}
+	if res.Violation == nil {
+		// A prefetched result from a version-skewed remote server could be
+		// violated with no violation body; fail loudly instead of panicking.
+		return lightyear.Violation{}, false,
+			fmt.Errorf("local-policy check on %s violated but carried no violation", req.Policy)
+	}
+	return *res.Violation, true, nil
+}
+
+// GlobalNoTransit implements Verifier; it passes through uncached (see the
+// type comment).
+func (c *CachedVerifier) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
+	return c.v.GlobalNoTransit(t, configs)
+}

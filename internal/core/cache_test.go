@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// countingVerifier wraps the in-process suite and counts underlying calls
+// per method, so tests can observe what the cache actually re-evaluates.
+type countingVerifier struct {
+	LocalVerifier
+	syntax, topo, local, diff atomic.Int64
+}
+
+func (v *countingVerifier) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
+	v.syntax.Add(1)
+	return v.LocalVerifier.CheckSyntax(config)
+}
+
+func (v *countingVerifier) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
+	v.topo.Add(1)
+	return v.LocalVerifier.VerifyTopology(spec, config)
+}
+
+func (v *countingVerifier) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	v.local.Add(1)
+	return v.LocalVerifier.CheckLocalPolicy(config, req)
+}
+
+func (v *countingVerifier) DiffTranslation(original, translation string) ([]campion.Finding, error) {
+	v.diff.Add(1)
+	return v.LocalVerifier.DiffTranslation(original, translation)
+}
+
+func testRequirement() lightyear.Requirement {
+	return lightyear.Requirement{
+		Kind:        lightyear.EgressDropsCommunity,
+		Router:      "R1",
+		Policy:      "FILTER",
+		Community:   netcfg.MustCommunity("100:1"),
+		Description: "test requirement",
+	}
+}
+
+func TestCachedVerifierMemoizesPerRevision(t *testing.T) {
+	under := &countingVerifier{}
+	cv := NewCachedVerifier(under)
+	cfg := "hostname R1\n"
+
+	for i := 0; i < 3; i++ {
+		if _, err := cv.CheckSyntax(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := under.syntax.Load(); got != 1 {
+		t.Errorf("underlying syntax calls = %d, want 1 (memoized)", got)
+	}
+
+	req := testRequirement()
+	for i := 0; i < 3; i++ {
+		if _, _, err := cv.CheckLocalPolicy(cfg, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := under.local.Load(); got != 1 {
+		t.Errorf("underlying local-policy calls = %d, want 1 (memoized)", got)
+	}
+
+	stats := cv.Stats()
+	if stats.Hits != 4 || stats.Misses != 2 {
+		t.Errorf("stats = %+v, want 4 hits / 2 misses", stats)
+	}
+}
+
+func TestCachedVerifierInvalidatesOnConfigChange(t *testing.T) {
+	under := &countingVerifier{}
+	cv := NewCachedVerifier(under)
+
+	if _, err := cv.CheckSyntax("hostname R1\n"); err != nil {
+		t.Fatal(err)
+	}
+	// A new revision of the config is a new key: the underlying verifier
+	// must run again and must see the new text's warnings.
+	warns, err := cv.CheckSyntax("hostname R1\nconfigure terminal\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) == 0 {
+		t.Error("changed config's warnings were not recomputed")
+	}
+	if got := under.syntax.Load(); got != 2 {
+		t.Errorf("underlying syntax calls = %d, want 2 (one per revision)", got)
+	}
+
+	// Same config under a different requirement is also a distinct key.
+	req := testRequirement()
+	if _, _, err := cv.CheckLocalPolicy("hostname R1\n", req); err != nil {
+		t.Fatal(err)
+	}
+	req.Community = netcfg.MustCommunity("100:2")
+	if _, _, err := cv.CheckLocalPolicy("hostname R1\n", req); err != nil {
+		t.Fatal(err)
+	}
+	if got := under.local.Load(); got != 2 {
+		t.Errorf("underlying local calls = %d, want 2 (one per requirement)", got)
+	}
+}
+
+// driveConcurrently hammers one shared CachedVerifier from many workers
+// mixing all four check kinds; run under -race this is the concurrency
+// test for the cache (both the result map and the shared parse cache).
+func driveConcurrently(t *testing.T, cv *CachedVerifier) {
+	t.Helper()
+	spec := topology.RouterSpec{Name: "R1", ASN: 1}
+	req := testRequirement()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				cfg := fmt.Sprintf("hostname R%d\n", (i+w)%5)
+				if _, err := cv.CheckSyntax(cfg); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := cv.VerifyTopology(spec, cfg); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := cv.CheckLocalPolicy(cfg, req); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := cv.DiffTranslation(cfg, cfg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := cv.Stats()
+	if stats.Hits+stats.Misses != 8*25*4 {
+		t.Errorf("hits+misses = %d, want %d", stats.Hits+stats.Misses, 8*25*4)
+	}
+}
+
+func TestCachedVerifierConcurrentInProcess(t *testing.T) {
+	driveConcurrently(t, NewCachedVerifier(nil))
+}
+
+func TestCachedVerifierConcurrentREST(t *testing.T) {
+	driveConcurrently(t, NewCachedVerifier(newRESTVerifier(t)))
+}

@@ -85,6 +85,9 @@ type Result struct {
 	// PuntedFindings lists findings the automated loop gave up on
 	// (each consumed a human prompt).
 	PuntedFindings []string
+	// CacheStats reports the incremental verification cache's counters for
+	// the run; nil when the cache was disabled.
+	CacheStats *CacheStats
 }
 
 // AutomatedPrompts counts automated prompts.

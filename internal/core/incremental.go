@@ -38,6 +38,11 @@ func AddPolicyIncremental(topo *topology.Topology, configs map[string]string,
 	if opts.Verifier == nil {
 		opts.Verifier = LocalVerifier{}
 	}
+	// The non-interference re-check re-verifies every requirement on each
+	// attempt even though only R1's config changes; the cache makes each
+	// (revision, requirement) pair cost one verification and each revision
+	// one parse.
+	opts.Verifier = NewCachedVerifier(opts.Verifier)
 	if opts.MaxAttempts == 0 {
 		opts.MaxAttempts = 8
 	}

@@ -37,11 +37,26 @@ type PipelineStage interface {
 	Check(configs map[string]string) (*Finding, error)
 }
 
+// suiteEnumerator is the optional stage seam for batched verification: a
+// stage that can list its independent checks against the current
+// configurations, in scan order, so the driver can prefetch them all in
+// one batched round-trip before the stage scan reads them back from the
+// cache.
+type suiteEnumerator interface {
+	SuiteChecks(configs map[string]string) []SuiteCheck
+}
+
 // Pipeline declares a VPP repair loop: an ordered stage list plus the
 // loop's budgets and the knobs that differ between the two use cases.
 type Pipeline struct {
 	Stages []PipelineStage
 	Human  HumanOracle
+	// Cache, when set, is the verification cache the stages check through.
+	// Each iteration the driver collects every enumerable stage's
+	// outstanding checks and prefetches them in one batched round-trip
+	// (a no-op for non-batched verifiers); the stage scan then reads the
+	// results from the cache instead of issuing one call per check.
+	Cache *CachedVerifier
 	// MaxAttemptsPerFinding bounds automated prompts per distinct finding
 	// before punting to the human.
 	MaxAttemptsPerFinding int
@@ -69,6 +84,9 @@ type Pipeline struct {
 func RunPipeline(sess *session, configs map[string]string, p Pipeline) (verified bool, err error) {
 	attempts := map[string]int{}
 	for iter := 0; iter < p.MaxIterations; iter++ {
+		if err := p.prefetch(configs); err != nil {
+			return false, err
+		}
 		finding, err := firstFinding(p.Stages, configs)
 		if err != nil {
 			return false, err
@@ -115,6 +133,22 @@ func RunPipeline(sess *session, configs map[string]string, p Pipeline) (verified
 		}
 	}
 	return false, nil
+}
+
+// prefetch warms the pipeline's verification cache with every enumerable
+// stage's outstanding checks — one batched round-trip per iteration when
+// the verifier supports batching, nothing otherwise.
+func (p *Pipeline) prefetch(configs map[string]string) error {
+	if p.Cache == nil || !p.Cache.Batched() {
+		return nil
+	}
+	var checks []SuiteCheck
+	for _, st := range p.Stages {
+		if e, ok := st.(suiteEnumerator); ok {
+			checks = append(checks, e.SuiteChecks(configs)...)
+		}
+	}
+	return p.Cache.Prefetch(checks)
 }
 
 // firstFinding scans the stages in masking order and returns the first

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// scanFirst evaluates n independent checks and returns what a sequential
+// in-order scan with early exit would return: the outcome (finding or
+// error) of the lowest index whose check is not clean, or (nil, nil) when
+// all are clean.
+//
+// With workers <= 1 it is that sequential scan. With workers > 1 the
+// checks fan out onto a bounded pool; determinism is preserved because a
+// parallel run returns the lowest-index outcome and every index below it
+// was verified clean — so the winning finding (and therefore the
+// transcript) is byte-identical to the sequential scan's. Indexes above an
+// already-found outcome are skipped, mirroring the sequential early exit.
+func scanFirst(n, workers int, check func(i int) (*Finding, error)) (*Finding, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f, err := check(i)
+			if f != nil || err != nil {
+				return f, err
+			}
+		}
+		return nil, nil
+	}
+
+	type outcome struct {
+		f   *Finding
+		err error
+	}
+	results := make([]outcome, n)
+	var next atomic.Int64 // next index to claim
+	var best atomic.Int64 // lowest index known to have an outcome
+	best.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				// Indexes only grow and best only shrinks: once this
+				// worker's index passes the best outcome, every later
+				// index will too.
+				if i >= best.Load() {
+					return
+				}
+				f, err := check(int(i))
+				if f == nil && err == nil {
+					continue
+				}
+				results[i] = outcome{f: f, err: err}
+				for {
+					cur := best.Load()
+					if i >= cur || best.CompareAndSwap(cur, i) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if w := best.Load(); w < int64(n) {
+		return results[w].f, results[w].err
+	}
+	return nil, nil
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/humanizer"
+	"repro/internal/lightyear"
 	"repro/internal/llm"
 	"repro/internal/modularizer"
 	"repro/internal/topology"
@@ -44,6 +45,18 @@ type SynthOptions struct {
 	// custom implementations must be safe for concurrent use (the
 	// built-ins — LocalVerifier, rest.Client, PaperHuman — are stateless).
 	Parallelism int
+	// SuiteParallelism bounds a second worker pool inside each pipeline
+	// iteration: the independent per-router / per-requirement checks of
+	// one stage fan out concurrently, with the lowest topology-order
+	// finding winning deterministically, so transcripts stay byte-identical
+	// to the sequential scan. This is the lever that speeds up the star
+	// hub, where every policy lives on one router and the per-router pool
+	// has nothing to parallelize. Values <= 1 scan sequentially.
+	SuiteParallelism int
+	// DisableCache turns off the incremental verification cache, restoring
+	// the paper's behaviour of re-verifying every router's configuration
+	// on every iteration (the E14 baseline).
+	DisableCache bool
 }
 
 func (o *SynthOptions) fill() {
@@ -74,11 +87,17 @@ func (o *SynthOptions) fill() {
 // "For router X:" manual-prompt wrap.
 func synthPipeline(v Verifier, topo *topology.Topology, tasks []modularizer.Task,
 	opts SynthOptions) Pipeline {
-	return Pipeline{
+	var locals []localCheck
+	for _, task := range tasks {
+		for _, req := range task.LocalSpec {
+			locals = append(locals, localCheck{router: task.Router, req: req})
+		}
+	}
+	p := Pipeline{
 		Stages: []PipelineStage{
-			synthSyntaxStage{v: v, tasks: tasks},
-			synthTopologyStage{v: v, topo: topo, tasks: tasks},
-			synthLocalPolicyStage{v: v, tasks: tasks},
+			synthSyntaxStage{v: v, tasks: tasks, workers: opts.SuiteParallelism},
+			synthTopologyStage{v: v, topo: topo, tasks: tasks, workers: opts.SuiteParallelism},
+			synthLocalPolicyStage{v: v, checks: locals, workers: opts.SuiteParallelism},
 		},
 		Human:                 opts.Human,
 		MaxAttemptsPerFinding: opts.MaxAttemptsPerFinding,
@@ -87,6 +106,10 @@ func synthPipeline(v Verifier, topo *topology.Topology, tasks []modularizer.Task
 			return fmt.Sprintf("For router %s: %s", f.Target, manual)
 		},
 	}
+	if cache, ok := v.(*CachedVerifier); ok {
+		p.Cache = cache
+	}
+	return p
 }
 
 // Synthesize runs the full VPP synthesis pipeline on a topology: the human
@@ -99,6 +122,15 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	opts.fill()
 	if opts.Model == nil {
 		return nil, fmt.Errorf("synthesize: options require a model")
+	}
+	// One incremental-verification cache for the whole run: it is shared
+	// by the parallel per-router workers and by the final global check, so
+	// a configuration revision is verified (and parsed) once no matter how
+	// many stages and iterations inspect it.
+	var cache *CachedVerifier
+	if !opts.DisableCache {
+		cache = NewCachedVerifier(opts.Verifier)
+		opts.Verifier = cache
 	}
 	sess := newSession(opts.Model, opts.IIP)
 
@@ -132,12 +164,17 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 		}
 		verified = global.OK()
 	}
-	return &Result{
+	res := &Result{
 		Verified:       verified,
 		Transcript:     sess.transcript,
 		Configs:        configs,
 		PuntedFindings: sess.punted,
-	}, nil
+	}
+	if cache != nil {
+		stats := cache.Stats()
+		res.CacheStats = &stats
+	}
+	return res, nil
 }
 
 // synthesizeSequential is the paper's loop: modularizer prompts for every
@@ -256,92 +293,131 @@ func (l *lockedModel) Complete(messages []llm.Message) (string, error) {
 }
 
 // synthSyntaxStage checks every router's configuration with the Batfish
-// syntax verifier, in topology order.
+// syntax verifier, in topology order. The per-router checks are
+// independent, so with workers > 1 they fan out via scanFirst while the
+// reported finding stays the sequential scan's.
 type synthSyntaxStage struct {
-	v     Verifier
-	tasks []modularizer.Task
+	v       Verifier
+	tasks   []modularizer.Task
+	workers int
 }
 
 // Check implements PipelineStage.
 func (s synthSyntaxStage) Check(configs map[string]string) (*Finding, error) {
-	for _, task := range s.tasks {
+	return scanFirst(len(s.tasks), s.workers, func(i int) (*Finding, error) {
+		task := s.tasks[i]
 		warns, err := s.v.CheckSyntax(configs[task.Router])
-		if err != nil {
+		if err != nil || len(warns) == 0 {
 			return nil, err
 		}
-		if len(warns) > 0 {
-			w := warns[0]
-			return &Finding{
-				Key:    "syntax:" + task.Router + ":" + w.Reason + ":" + w.Text,
-				Target: task.Router,
-				Stage:  StageSyntax,
-				Humanized: fmt.Sprintf("In the configuration of router %s: %s",
-					task.Router, humanizer.Syntax(w)),
-				Raw: w.String(),
-			}, nil
-		}
+		w := warns[0]
+		return &Finding{
+			Key:    "syntax:" + task.Router + ":" + w.Reason + ":" + w.Text,
+			Target: task.Router,
+			Stage:  StageSyntax,
+			Humanized: fmt.Sprintf("In the configuration of router %s: %s",
+				task.Router, humanizer.Syntax(w)),
+			Raw: w.String(),
+		}, nil
+	})
+}
+
+// SuiteChecks implements suiteEnumerator.
+func (s synthSyntaxStage) SuiteChecks(configs map[string]string) []SuiteCheck {
+	out := make([]SuiteCheck, 0, len(s.tasks))
+	for _, task := range s.tasks {
+		out = append(out, SuiteCheck{Kind: SuiteSyntax, Config: configs[task.Router]})
 	}
-	return nil, nil
+	return out
 }
 
 // synthTopologyStage checks every router's configuration against its
 // topology spec.
 type synthTopologyStage struct {
-	v     Verifier
-	topo  *topology.Topology
-	tasks []modularizer.Task
+	v       Verifier
+	topo    *topology.Topology
+	tasks   []modularizer.Task
+	workers int
 }
 
 // Check implements PipelineStage.
 func (s synthTopologyStage) Check(configs map[string]string) (*Finding, error) {
+	return scanFirst(len(s.tasks), s.workers, func(i int) (*Finding, error) {
+		task := s.tasks[i]
+		spec := s.topo.Router(task.Router)
+		if spec == nil {
+			return nil, nil
+		}
+		finds, err := s.v.VerifyTopology(*spec, configs[task.Router])
+		if err != nil || len(finds) == 0 {
+			return nil, err
+		}
+		f := finds[0]
+		return &Finding{
+			Key:       "topology:" + task.Router + ":" + f.Issue,
+			Target:    task.Router,
+			Stage:     StageTopology,
+			Humanized: humanizer.Topology(f),
+			Raw:       f.String(),
+		}, nil
+	})
+}
+
+// SuiteChecks implements suiteEnumerator.
+func (s synthTopologyStage) SuiteChecks(configs map[string]string) []SuiteCheck {
+	out := make([]SuiteCheck, 0, len(s.tasks))
 	for _, task := range s.tasks {
 		spec := s.topo.Router(task.Router)
 		if spec == nil {
 			continue
 		}
-		finds, err := s.v.VerifyTopology(*spec, configs[task.Router])
-		if err != nil {
-			return nil, err
-		}
-		if len(finds) > 0 {
-			f := finds[0]
-			return &Finding{
-				Key:       "topology:" + task.Router + ":" + f.Issue,
-				Target:    task.Router,
-				Stage:     StageTopology,
-				Humanized: humanizer.Topology(f),
-				Raw:       f.String(),
-			}, nil
-		}
+		out = append(out, SuiteCheck{Kind: SuiteTopology, Spec: spec,
+			Config: configs[task.Router]})
 	}
-	return nil, nil
+	return out
+}
+
+// localCheck is one (router, requirement) pair of the local-policy stage,
+// flattened so the per-requirement checks — several of which pile onto the
+// star hub — can fan out individually.
+type localCheck struct {
+	router string
+	req    lightyear.Requirement
 }
 
 // synthLocalPolicyStage checks every router's Lightyear local-policy
 // requirements.
 type synthLocalPolicyStage struct {
-	v     Verifier
-	tasks []modularizer.Task
+	v       Verifier
+	checks  []localCheck
+	workers int
 }
 
 // Check implements PipelineStage.
 func (s synthLocalPolicyStage) Check(configs map[string]string) (*Finding, error) {
-	for _, task := range s.tasks {
-		for _, req := range task.LocalSpec {
-			viol, bad, err := s.v.CheckLocalPolicy(configs[task.Router], req)
-			if err != nil {
-				return nil, err
-			}
-			if bad {
-				return &Finding{
-					Key:       "semantic:" + task.Router + ":" + req.Policy + ":" + req.Description,
-					Target:    task.Router,
-					Stage:     StageSemantic,
-					Humanized: humanizer.Semantic(viol),
-					Raw:       viol.String(),
-				}, nil
-			}
+	return scanFirst(len(s.checks), s.workers, func(i int) (*Finding, error) {
+		lc := s.checks[i]
+		viol, bad, err := s.v.CheckLocalPolicy(configs[lc.router], lc.req)
+		if err != nil || !bad {
+			return nil, err
 		}
+		return &Finding{
+			Key:       "semantic:" + lc.router + ":" + lc.req.Policy + ":" + lc.req.Description,
+			Target:    lc.router,
+			Stage:     StageSemantic,
+			Humanized: humanizer.Semantic(viol),
+			Raw:       viol.String(),
+		}, nil
+	})
+}
+
+// SuiteChecks implements suiteEnumerator.
+func (s synthLocalPolicyStage) SuiteChecks(configs map[string]string) []SuiteCheck {
+	out := make([]SuiteCheck, 0, len(s.checks))
+	for i := range s.checks {
+		lc := &s.checks[i]
+		out = append(out, SuiteCheck{Kind: SuiteLocal, Req: &lc.req,
+			Config: configs[lc.router]})
 	}
-	return nil, nil
+	return out
 }

@@ -26,6 +26,10 @@ type TranslateOptions struct {
 	// is that actionable, humanized feedback is what makes the inner loop
 	// work (§1); this option measures the difference.
 	RawFeedback bool
+	// DisableCache turns off the incremental verification cache, restoring
+	// the seed behaviour of re-parsing and re-verifying the translation on
+	// every iteration.
+	DisableCache bool
 }
 
 func (o *TranslateOptions) fill() {
@@ -59,6 +63,11 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("translate: options require a model")
 	}
+	var cache *CachedVerifier
+	if !opts.DisableCache {
+		cache = NewCachedVerifier(opts.Verifier)
+		opts.Verifier = cache
+	}
 	sess := newSession(opts.Model, opts.IIP)
 
 	taskPrompt := "Translate the following Cisco configuration into an equivalent " +
@@ -79,16 +88,22 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 		MaxIterations:         opts.MaxIterations,
 		RawFeedback:           opts.RawFeedback,
 		PrintAfterFix:         true,
+		Cache:                 cache,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Verified:       verified,
 		Transcript:     sess.transcript,
 		Configs:        configs,
 		PuntedFindings: sess.punted,
-	}, nil
+	}
+	if cache != nil {
+		stats := cache.Stats()
+		res.CacheStats = &stats
+	}
+	return res, nil
 }
 
 // translationSyntaxStage checks the translation with the Batfish syntax
@@ -114,6 +129,11 @@ func (s translationSyntaxStage) Check(configs map[string]string) (*Finding, erro
 		Humanized: humanizer.Syntax(w),
 		Raw:       w.String(),
 	}, nil
+}
+
+// SuiteChecks implements suiteEnumerator.
+func (s translationSyntaxStage) SuiteChecks(configs map[string]string) []SuiteCheck {
+	return []SuiteCheck{{Kind: SuiteSyntax, Config: configs[translationTarget]}}
 }
 
 // translationDiffStage compares the translation against the original with
@@ -145,6 +165,12 @@ func (s translationDiffStage) Check(configs map[string]string) (*Finding, error)
 		Humanized: humanizer.Campion(f),
 		Raw:       f.String(),
 	}, nil
+}
+
+// SuiteChecks implements suiteEnumerator.
+func (s translationDiffStage) SuiteChecks(configs map[string]string) []SuiteCheck {
+	return []SuiteCheck{{Kind: SuiteDiff, Original: s.original,
+		Config: configs[translationTarget]}}
 }
 
 // findingKey builds a stable identity for a finding so the attempt budget

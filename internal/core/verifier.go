@@ -28,40 +28,53 @@ type Verifier interface {
 	GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error)
 }
 
-// LocalVerifier runs the suite in-process.
-type LocalVerifier struct{}
+// LocalVerifier runs the suite in-process. The zero value parses each
+// configuration on every call, faithfully re-doing the work the paper's
+// loop re-does; with Parses set, each configuration revision is parsed
+// exactly once and the resulting device is shared (read-only) across the
+// syntax, topology, local-policy, and simulation stages.
+type LocalVerifier struct {
+	// Parses is an optional shared parse cache (see batfish.NewParseCache).
+	Parses *netcfg.ParseCache
+}
+
+// parsed returns the parse product for a config, through the cache when
+// one is attached.
+func (v LocalVerifier) parsed(config string) *netcfg.Parsed {
+	if v.Parses != nil {
+		return v.Parses.Parse(config)
+	}
+	return batfish.ParseAndCheck(config)
+}
 
 // CheckSyntax implements Verifier.
-func (LocalVerifier) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
-	return batfish.CheckSyntax(config), nil
+func (v LocalVerifier) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
+	return v.parsed(config).CheckWarnings, nil
 }
 
 // DiffTranslation implements Verifier.
-func (LocalVerifier) DiffTranslation(original, translation string) ([]campion.Finding, error) {
-	orig, _ := batfish.ParseConfig(original)
-	trans, _ := batfish.ParseConfig(translation)
+func (v LocalVerifier) DiffTranslation(original, translation string) ([]campion.Finding, error) {
+	orig := v.parsed(original).Device
+	trans := v.parsed(translation).Device
 	return campion.Diff(orig, trans), nil
 }
 
 // VerifyTopology implements Verifier.
-func (LocalVerifier) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
-	dev, _ := batfish.ParseConfig(config)
-	return topology.Verify(&spec, dev), nil
+func (v LocalVerifier) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
+	return topology.Verify(&spec, v.parsed(config).Device), nil
 }
 
 // CheckLocalPolicy implements Verifier.
-func (LocalVerifier) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
-	dev, _ := batfish.ParseConfig(config)
-	v, bad := lightyear.Check(dev, req)
-	return v, bad, nil
+func (v LocalVerifier) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	viol, bad := lightyear.Check(v.parsed(config).Device, req)
+	return viol, bad, nil
 }
 
 // GlobalNoTransit implements Verifier.
-func (LocalVerifier) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
+func (v LocalVerifier) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
 	devs := map[string]*netcfg.Device{}
 	for name, text := range configs {
-		dev, _ := batfish.ParseConfig(text)
-		devs[name] = dev
+		devs[name] = v.parsed(text).Device
 	}
 	return lightyear.CheckGlobalNoTransit(t, devs)
 }

@@ -7,9 +7,21 @@ import (
 // Check parses the text and returns all syntax and lint warnings, the
 // Batfish-style "parse warnings" feed for the VPP loop's syntax stage.
 func Check(text string) []netcfg.ParseWarning {
-	dev, warns := Parse(text)
-	warns = append(warns, Lint(dev)...)
-	return warns
+	_, _, checkWarns := ParseAndCheck(text)
+	return checkWarns
+}
+
+// ParseAndCheck parses the text once and returns the device together with
+// both warning feeds: the parser's own warnings and the full Check output
+// (parse plus lint). Callers that need the IR and the syntax verdict for
+// the same configuration revision — the verification cache in particular —
+// avoid the second parse a separate Check call would cost.
+func ParseAndCheck(text string) (dev *netcfg.Device, parseWarns, checkWarns []netcfg.ParseWarning) {
+	dev, parseWarns = Parse(text)
+	lint := Lint(dev)
+	checkWarns = make([]netcfg.ParseWarning, 0, len(parseWarns)+len(lint))
+	checkWarns = append(append(checkWarns, parseWarns...), lint...)
+	return dev, parseWarns, checkWarns
 }
 
 // Lint reports IR-level problems: undefined list references, neighbors

@@ -1,0 +1,81 @@
+package netcfg
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+)
+
+// Parsed is one configuration revision's complete parse product: the IR
+// device, the parser's own warnings, and the full syntax-check feed (parse
+// warnings plus the dialect's lint pass). Keeping all three together lets a
+// cache answer both "give me the device" and "is the syntax clean" from a
+// single parse. The device is shared between callers and must be treated
+// as immutable — every verifier in the suite reads the IR without
+// modifying it.
+type Parsed struct {
+	Device        *Device
+	ParseWarnings []ParseWarning
+	CheckWarnings []ParseWarning
+}
+
+// ParseFunc parses one configuration revision into its Parsed product.
+type ParseFunc func(text string) *Parsed
+
+// ParseCache memoizes a ParseFunc keyed by the SHA-256 of the
+// configuration text, so each revision of a config is parsed exactly once
+// no matter how many verifier stages and repair iterations inspect it. It
+// is safe for concurrent use; concurrent misses on the same revision may
+// parse twice, but both results are identical and one wins.
+type ParseCache struct {
+	parse ParseFunc
+
+	mu      sync.RWMutex
+	entries map[[sha256.Size]byte]*Parsed
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewParseCache returns an empty cache over the given parser.
+func NewParseCache(parse ParseFunc) *ParseCache {
+	return &ParseCache{parse: parse, entries: map[[sha256.Size]byte]*Parsed{}}
+}
+
+// Parse returns the memoized parse product for the text, parsing on first
+// sight of the revision.
+func (c *ParseCache) Parse(text string) *Parsed {
+	key := sha256.Sum256([]byte(text))
+	c.mu.RLock()
+	p := c.entries[key]
+	c.mu.RUnlock()
+	if p != nil {
+		c.hits.Add(1)
+		return p
+	}
+	p = c.parse(text)
+	c.mu.Lock()
+	if prev, ok := c.entries[key]; ok {
+		// A concurrent miss beat us to it; keep the first result so every
+		// caller shares one device.
+		p = prev
+		c.hits.Add(1)
+	} else {
+		c.entries[key] = p
+		c.misses.Add(1)
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// Stats returns the hit/miss counters. Misses equal the number of distinct
+// revisions parsed.
+func (c *ParseCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached revisions.
+func (c *ParseCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

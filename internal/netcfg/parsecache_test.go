@@ -1,0 +1,70 @@
+package netcfg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func countingParser(calls *atomic.Int64) ParseFunc {
+	return func(text string) *Parsed {
+		calls.Add(1)
+		return &Parsed{Device: NewDevice(text, VendorCisco)}
+	}
+}
+
+func TestParseCacheParsesEachRevisionOnce(t *testing.T) {
+	var calls atomic.Int64
+	c := NewParseCache(countingParser(&calls))
+	a1 := c.Parse("rev-a")
+	a2 := c.Parse("rev-a")
+	if a1 != a2 {
+		t.Error("same revision must return the same shared product")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("parse calls = %d, want 1", got)
+	}
+	// A changed revision is a different key: it must be parsed anew.
+	b := c.Parse("rev-b")
+	if b == a1 {
+		t.Error("different revision must not share a product")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("parse calls = %d, want 2", got)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestParseCacheConcurrent(t *testing.T) {
+	var calls atomic.Int64
+	c := NewParseCache(countingParser(&calls))
+	const workers, revisions = 8, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rev := fmt.Sprintf("rev-%d", (i+w)%revisions)
+				if p := c.Parse(rev); p.Device.Hostname != rev {
+					t.Errorf("wrong product for %s", rev)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != revisions {
+		t.Errorf("len = %d, want %d", c.Len(), revisions)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != workers*200 {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, workers*200)
+	}
+}

@@ -1,0 +1,89 @@
+// Package suite defines the transport-neutral form of the verification
+// suite's independent checks: the unit the repair pipeline's stages
+// enumerate, the incremental verification cache memoizes, and the REST
+// batch endpoint ships — one Check in, one Result out, whatever the
+// transport. It is a leaf package so the engine (internal/core) and the
+// REST client/server (internal/batfish/rest) can share the types without
+// importing each other.
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// Kind names one kind of independent verifier-suite check.
+type Kind string
+
+// Suite check kinds.
+const (
+	KindSyntax   Kind = "syntax"
+	KindTopology Kind = "topology"
+	KindLocal    Kind = "local"
+	KindDiff     Kind = "diff"
+)
+
+// Check is one independent check of the verification suite; which fields
+// are required depends on Kind.
+type Check struct {
+	Kind Kind
+	// Config is the configuration under test (the translation for diff
+	// checks).
+	Config string
+	// Original is the source configuration for diff checks.
+	Original string
+	// Spec is the router spec for topology checks.
+	Spec *topology.RouterSpec
+	// Req is the Lightyear requirement for local-policy checks.
+	Req *lightyear.Requirement
+}
+
+// Result is the outcome of one Check; which fields are meaningful depends
+// on the check's kind.
+type Result struct {
+	Warnings  []netcfg.ParseWarning
+	Findings  []topology.Finding
+	Diffs     []campion.Finding
+	Violated  bool
+	Violation *lightyear.Violation
+}
+
+// Checker is the minimal per-check surface a Check can be evaluated
+// against — the per-config subset of the engine's Verifier, which both
+// the in-process suite and the REST client satisfy.
+type Checker interface {
+	CheckSyntax(config string) ([]netcfg.ParseWarning, error)
+	DiffTranslation(original, translation string) ([]campion.Finding, error)
+	VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error)
+	CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error)
+}
+
+// Eval dispatches one Check onto a Checker. It is the single mapping from
+// check kinds to verifier calls, shared by the engine's cache and the REST
+// client's per-check fallback.
+func Eval(v Checker, c Check) (Result, error) {
+	switch c.Kind {
+	case KindSyntax:
+		warns, err := v.CheckSyntax(c.Config)
+		return Result{Warnings: warns}, err
+	case KindTopology:
+		finds, err := v.VerifyTopology(*c.Spec, c.Config)
+		return Result{Findings: finds}, err
+	case KindLocal:
+		viol, bad, err := v.CheckLocalPolicy(c.Config, *c.Req)
+		res := Result{Violated: bad}
+		if bad {
+			res.Violation = &viol
+		}
+		return res, err
+	case KindDiff:
+		diffs, err := v.DiffTranslation(c.Original, c.Config)
+		return Result{Diffs: diffs}, err
+	default:
+		return Result{}, fmt.Errorf("unknown suite check kind %q", c.Kind)
+	}
+}
