@@ -306,58 +306,68 @@ func BenchmarkTopologyScenarios(b *testing.B) {
 
 // BenchmarkParallelVsSequentialSynthesis (E13, extension) contrasts the
 // sequential repair loop with the bounded worker pool on a 16-router full
-// mesh: per-router loops avoid the sequential loop's whole-network
-// re-verification scans, so the parallel path wins wall-clock even on one
-// CPU — and adds core parallelism on real hardware. The star is the
-// adversarial case (all repair concentrates on the hub), which is why the
-// dense mesh is the headline.
+// mesh and on the dual-homed ring, whose per-attachment obligations give
+// each router two independent blocks of semantic work: per-router loops
+// avoid the sequential loop's whole-network re-verification scans, so the
+// parallel path wins wall-clock even on one CPU — and adds core
+// parallelism on real hardware. The star is the adversarial case (all
+// repair concentrates on the hub), which is why the dense graphs are the
+// headline.
 func BenchmarkParallelVsSequentialSynthesis(b *testing.B) {
-	const scenario, size = "full-mesh", 16
-	for _, par := range []int{1, 8} {
-		par := par
-		name := "sequential"
-		if par > 1 {
-			name = fmt.Sprintf("parallel-%d", par)
-		}
-		b.Run(name, func(b *testing.B) {
-			var rep LeverageReport
-			var err error
-			for i := 0; i < b.N; i++ {
-				rep, err = ExperimentTopologyLeverage(scenario, size, par)
-				if err != nil {
-					b.Fatal(err)
+	for _, sc := range []struct {
+		scenario string
+		size     int
+	}{{"full-mesh", 16}, {"dual-homed", 8}} {
+		sc := sc
+		for _, par := range []int{1, 8} {
+			par := par
+			mode := "sequential"
+			if par > 1 {
+				mode = fmt.Sprintf("parallel-%d", par)
+			}
+			b.Run(fmt.Sprintf("%s-%d/%s", sc.scenario, sc.size, mode), func(b *testing.B) {
+				var rep LeverageReport
+				var err error
+				for i := 0; i < b.N; i++ {
+					rep, err = ExperimentTopologyLeverage(sc.scenario, sc.size, par)
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			// b.Elapsed() excludes pause/resume and setup, unlike the
-			// manual wall-clock bracketing this replaced.
-			elapsed := b.Elapsed()
-			if !rep.Verified {
-				b.Fatalf("%s-%d did not verify", scenario, size)
-			}
-			b.ReportMetric(rep.Leverage, "leverage")
-			benchJSON(b, map[string]float64{
-				"parallelism":       float64(par),
-				"routers":           float64(size),
-				"wall-ms-per-run":   float64(elapsed.Milliseconds()) / float64(b.N),
-				"leverage":          rep.Leverage,
-				"automated-prompts": float64(rep.Automated),
-				"human-prompts":     float64(rep.Human),
+				// b.Elapsed() excludes pause/resume and setup, unlike the
+				// manual wall-clock bracketing this replaced.
+				elapsed := b.Elapsed()
+				if !rep.Verified {
+					b.Fatalf("%s-%d did not verify", sc.scenario, sc.size)
+				}
+				b.ReportMetric(rep.Leverage, "leverage")
+				benchJSON(b, map[string]float64{
+					"parallelism":       float64(par),
+					"routers":           float64(sc.size),
+					"wall-ms-per-run":   float64(elapsed.Milliseconds()) / float64(b.N),
+					"leverage":          rep.Leverage,
+					"automated-prompts": float64(rep.Automated),
+					"human-prompts":     float64(rep.Human),
+				})
 			})
-		})
+		}
 	}
 }
 
 // BenchmarkIncrementalVerification (E14, extension) measures the
 // incremental re-verification cache: cached vs uncached sequential
-// synthesis on the 16-router full mesh (the re-scan-heavy case) and the
-// 16-router star (the hub-concentrated case). The cached loop re-checks
-// only the router whose configuration the last prompt changed; transcripts
-// are byte-identical either way (see TestAcceleratedSynthesisByteIdentical).
+// synthesis on the 16-router full mesh (the re-scan-heavy case), the
+// 16-router star (the hub-concentrated case), the dual-homed ring (two
+// attachment-scoped obligation blocks per router), and the seeded random
+// graph (mixed single-/dual-homing). The cached loop re-checks only the
+// attachment-scoped units whose configuration the last prompt changed;
+// transcripts are byte-identical either way (see
+// TestAcceleratedSynthesisByteIdentical).
 func BenchmarkIncrementalVerification(b *testing.B) {
 	for _, sc := range []struct {
 		scenario string
 		size     int
-	}{{"full-mesh", 16}, {"star", 16}} {
+	}{{"full-mesh", 16}, {"star", 16}, {"dual-homed", 8}, {"random", 12}} {
 		sc := sc
 		for _, cached := range []bool{false, true} {
 			cached := cached
@@ -399,63 +409,67 @@ func BenchmarkIncrementalVerification(b *testing.B) {
 }
 
 // BenchmarkBatchedRESTVerifier (E15, extension) contrasts the batched REST
-// transport with the seed's one-HTTP-call-per-check loop on the fat-tree
-// scenario: with the cache and /v1/batch, each pipeline iteration costs at
-// most one verification round-trip (plus one final global check per run).
+// transport (protocol v2, carrying per-attachment requirement identities)
+// with the seed's one-HTTP-call-per-check loop on the fat-tree and on the
+// seeded random graph: with the cache and /v1/batch, each pipeline
+// iteration costs at most one verification round-trip (plus one final
+// global check per run), however many attachment-scoped checks it carries.
 func BenchmarkBatchedRESTVerifier(b *testing.B) {
 	srv := httptest.NewServer(rest.NewHandler())
 	defer srv.Close()
-	info := TopologyInfo{Name: "fat-tree", DefaultSize: 4}
-	for _, t := range Topologies() {
-		if t.Name == "fat-tree" {
-			info = t
+	for _, scenario := range []string{"fat-tree", "random"} {
+		info := TopologyInfo{Name: scenario}
+		for _, t := range Topologies() {
+			if t.Name == scenario {
+				info = t
+			}
 		}
-	}
-	for _, batched := range []bool{false, true} {
-		batched := batched
-		mode := "per-check"
-		if batched {
-			mode = "batched"
+		for _, batched := range []bool{false, true} {
+			batched := batched
+			mode := "per-check"
+			if batched {
+				mode = "batched"
+			}
+			b.Run(fmt.Sprintf("%s/%s", info.Name, mode), func(b *testing.B) {
+				client := rest.NewClient(srv.URL)
+				var res *core.Result
+				for i := 0; i < b.N; i++ {
+					topo, err := netgen.Generate(info.Name, info.DefaultSize)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err = Synthesize(topo, SynthesizeOptions{
+						Verifier:             client,
+						DisableVerifierCache: !batched,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if !res.Verified {
+					b.Fatalf("%s REST run did not verify", info.Name)
+				}
+				callsPerRun := float64(client.Calls()) / float64(b.N)
+				wallMS := float64(b.Elapsed().Milliseconds()) / float64(b.N)
+				b.ReportMetric(callsPerRun, "rest-calls-per-run")
+				metrics := map[string]float64{
+					"batched":            boolMetric(batched),
+					"rest-calls-per-run": callsPerRun,
+					"wall-ms-per-run":    wallMS,
+				}
+				if res.CacheStats != nil {
+					iters := float64(res.CacheStats.Prefetches)
+					metrics["iterations-per-run"] = iters
+					// The acceptance shape: ≤ 1 verification round-trip per
+					// iteration, plus the final global check.
+					if callsPerRun > iters+1 {
+						b.Fatalf("shape violated: %.1f calls for %.0f iterations",
+							callsPerRun, iters)
+					}
+				}
+				benchJSON(b, metrics)
+			})
 		}
-		b.Run(mode, func(b *testing.B) {
-			client := rest.NewClient(srv.URL)
-			var res *core.Result
-			for i := 0; i < b.N; i++ {
-				topo, err := netgen.Generate(info.Name, info.DefaultSize)
-				if err != nil {
-					b.Fatal(err)
-				}
-				res, err = Synthesize(topo, SynthesizeOptions{
-					Verifier:             client,
-					DisableVerifierCache: !batched,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			if !res.Verified {
-				b.Fatal("fat-tree REST run did not verify")
-			}
-			callsPerRun := float64(client.Calls()) / float64(b.N)
-			wallMS := float64(b.Elapsed().Milliseconds()) / float64(b.N)
-			b.ReportMetric(callsPerRun, "rest-calls-per-run")
-			metrics := map[string]float64{
-				"batched":            boolMetric(batched),
-				"rest-calls-per-run": callsPerRun,
-				"wall-ms-per-run":    wallMS,
-			}
-			if res.CacheStats != nil {
-				iters := float64(res.CacheStats.Prefetches)
-				metrics["iterations-per-run"] = iters
-				// The acceptance shape: ≤ 1 verification round-trip per
-				// iteration, plus the final global check.
-				if callsPerRun > iters+1 {
-					b.Fatalf("shape violated: %.1f calls for %.0f iterations",
-						callsPerRun, iters)
-				}
-			}
-			benchJSON(b, metrics)
-		})
 	}
 }
 

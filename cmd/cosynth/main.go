@@ -5,7 +5,17 @@
 //	cosynth -mode translate
 //	cosynth -mode notransit -n 7
 //	cosynth -mode notransit -topo ring -n 8 -parallel 4
+//	cosynth -mode notransit -topo dual-homed:8        # per-attachment specs
+//	cosynth -mode notransit -topo random:20 -suite-parallel 8
 //	cosynth -mode translate -verifier http://localhost:9876   # via batfishd
+//
+// The -topo argument names any registered scenario (star, ring,
+// full-mesh, fat-tree, dual-homed, multi-customer, random — see `netgen
+// -list`) and accepts the name:size shorthand; an explicit :size wins
+// over -n. The dual-homed, multi-customer, and random families exercise
+// the per-attachment specification: community tags and local obligations
+// are allocated per (router, ISP) attachment point, so routers may be
+// homed to several ISPs and customers may attach anywhere.
 package main
 
 import (
@@ -17,13 +27,14 @@ import (
 	"repro"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
+	"repro/internal/netgen"
 	"repro/internal/topology"
 )
 
 func main() {
 	mode := flag.String("mode", "translate", "use case: translate | notransit")
-	topoName := flag.String("topo", "star", "topology scenario for -mode notransit")
-	n := flag.Int("n", 0, "topology size for -mode notransit (routers, or pod arity for fat-tree); 0 = scenario default")
+	topoName := flag.String("topo", "star", "topology scenario for -mode notransit, as name[:size] (e.g. dual-homed:8)")
+	n := flag.Int("n", 0, "topology size for -mode notransit (routers, or pod arity for fat-tree); 0 = scenario default; a :size in -topo wins")
 	parallel := flag.Int("parallel", 0, "per-router repair workers for -mode notransit (<=1: sequential)")
 	suiteParallel := flag.Int("suite-parallel", 0, "per-iteration verifier-suite workers (<=1: sequential scan)")
 	noCache := flag.Bool("no-cache", false, "disable the incremental verification cache")
@@ -57,8 +68,15 @@ func main() {
 		res, err = repro.Translate(cfg, repro.TranslateOptions{
 			Seed: *seed, Verifier: verifier, DisableVerifierCache: *noCache})
 	case "notransit":
+		name, size, perr := netgen.ParseScenarioArg(*topoName)
+		if perr != nil {
+			log.Fatalf("cosynth: %v", perr)
+		}
+		if size == 0 {
+			size = *n
+		}
 		var topo *topology.Topology
-		topo, _, err = repro.GenerateTopology(*topoName, *n)
+		topo, _, err = repro.GenerateTopology(name, size)
 		if err != nil {
 			log.Fatalf("cosynth: %v", err)
 		}

@@ -1,8 +1,16 @@
 // Command netgen is the paper's network generator (§4.1), grown into a
 // scenario registry: given a topology family and a size parameter it
 // emits the JSON dictionary and/or the machine-generated natural-language
-// description that the Modularizer consumes (Figure 4's star plus ring,
-// full-mesh, and fat-tree).
+// description that the Modularizer consumes. Figure 4's star is joined by
+// ring, full-mesh, and fat-tree (single-attachment families) and by
+// dual-homed, multi-customer, and random — attachment-keyed families
+// whose dictionaries carry first-class attachment ordinals ("attachment"
+// on external neighbors) and whose descriptions state the attachment
+// facts (ordinal and originated prefixes) per external peer.
+//
+//	netgen -list
+//	netgen -topo dual-homed:8 -json
+//	netgen -topo random -n 20 -text
 package main
 
 import (
@@ -16,9 +24,9 @@ import (
 )
 
 func main() {
-	scenario := flag.String("topo", "star", "topology scenario: "+
+	scenario := flag.String("topo", "star", "topology scenario as name[:size]: "+
 		strings.Join(netgen.ScenarioNames(), ", "))
-	n := flag.Int("n", 0, "size parameter (routers, or pod arity for fat-tree); 0 = scenario default")
+	n := flag.Int("n", 0, "size parameter (routers, or pod arity for fat-tree); 0 = scenario default; a :size in -topo wins")
 	jsonOut := flag.Bool("json", false, "emit the JSON topology dictionary")
 	textOut := flag.Bool("text", false, "emit the natural-language description")
 	list := flag.Bool("list", false, "list the registered scenarios and exit")
@@ -33,7 +41,14 @@ func main() {
 		*jsonOut, *textOut = true, true
 	}
 
-	topo, err := netgen.Generate(*scenario, *n)
+	name, size, err := netgen.ParseScenarioArg(*scenario)
+	if err != nil {
+		log.Fatalf("netgen: %v", err)
+	}
+	if size == 0 {
+		size = *n
+	}
+	topo, err := netgen.Generate(name, size)
 	if err != nil {
 		log.Fatalf("netgen: %v", err)
 	}

@@ -26,21 +26,51 @@
 //     verifier, and the Lightyear-style local-policy checker — followed
 //     by the whole-network BGP simulation as the global check.
 //
+// # The per-attachment spec model
+//
+// The unit of specification is the external attachment point — a
+// (router, neighbor) pair — not the router. Topology dictionaries list
+// attachments first-class: external neighbors may carry an attachment
+// ordinal (topology.NeighborSpec.Attachment) that keys the community
+// tag, the ISP subnet, and the stub AS, and every derived obligation
+// (lightyear.Requirement) carries an AttachmentRef identity naming the
+// router, the peer, and the flow direction it constrains. Community
+// allocation follows the same precedence everywhere
+// (lightyear.Attachment.Community): the attachment ordinal when the
+// dictionary declares one, the legacy router index on pre-attachment
+// generated graphs, the peer AS on hand-built dictionaries. Because tags
+// are per attachment, a router may be homed to any number of ISPs — each
+// attachment gets its own ingress tagging policy, its own egress filter,
+// and obligations against every other attachment including its
+// same-router siblings — and customers may attach anywhere, in any
+// number.
+//
+// The derivation (internal/lightyear.SpecFor) keeps the paper's
+// hub-centric specification for the Figure 4 star (tag and filter at R1,
+// byte-identical to the seed) and uses the attachment-point
+// specification for every other graph: each attachment tags incoming
+// routes with its own community at ingress and at egress denies routes
+// carrying any other attachment's tag. Because the BGP simulation
+// propagates communities across internal hops, the local obligations
+// compose into the global no-transit guarantee on any graph
+// (CoverageComplete is the proof obligation; the seeded random-graph
+// fuzz test exercises it end to end).
+//
 // # Topology scenario registry
 //
-// Synthesis is no longer star-only. internal/netgen registers four
-// topology families — the paper's Figure 4 star plus ring, full-mesh,
-// and k-ary fat-tree — each emitting the same two machine-readable
-// artifacts the Modularizer consumes: the JSON dictionary and the
-// formulaic natural-language description. The no-transit policy
-// generalizes through internal/lightyear.SpecFor: stars keep the paper's
-// hub-centric specification (tag and filter at R1); every other graph
-// uses the attachment-point specification, where each ISP-facing router
-// tags at its own ingress and filters every other attachment's tag at
-// its own egress. Because the BGP simulation propagates communities
-// across internal hops, the local obligations compose into the global
-// no-transit guarantee on any graph (CoverageComplete is the proof
-// obligation).
+// internal/netgen registers seven topology families, each emitting the
+// same two machine-readable artifacts the Modularizer consumes: the JSON
+// dictionary and the formulaic natural-language description (which
+// states per-peer attachment facts — ordinal and originated prefixes —
+// on attachment-keyed graphs). The single-attachment families are the
+// paper's Figure 4 star plus ring, full-mesh, and k-ary fat-tree. The
+// attachment-keyed families the per-attachment model unlocks are
+// dual-homed (a ring whose every non-customer router is homed to two
+// ISPs), multi-customer (a full mesh with max(2, n/3) customer networks,
+// each a distinct stub AS and prefix), and random (a connected
+// pseudo-random graph, seeded by its size for reproducibility, mixing
+// single- and dual-homed ISPs — the fuzzing surface for the spec model).
+// CLIs accept the name:size shorthand: cosynth -topo dual-homed:8.
 //
 // # Verification acceleration layer
 //
@@ -50,9 +80,12 @@
 //
 // Cache. Every per-config check — syntax, topology, local policy,
 // translation diff — is memoized by core.CachedVerifier, keyed by a hash
-// of the check's inputs (config text plus spec/requirement). A pipeline
-// iteration therefore only re-verifies the router whose configuration the
-// last prompt changed; every other router's result is a cache hit.
+// of the check's inputs (config text plus spec/requirement, including
+// the requirement's per-attachment identity, so each attachment is its
+// own unit of incremental re-verification). A pipeline iteration
+// therefore only re-verifies the attachment-scoped checks of the router
+// whose configuration the last prompt changed; every other result is a
+// cache hit.
 // Beneath it, one netcfg.ParseCache per run (threaded through
 // internal/batfish into the cisco and juniper parsers' single-parse
 // ParseAndCheck entry points) parses each configuration revision exactly

@@ -1,11 +1,15 @@
 package rest
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 
+	"repro/internal/batfish"
 	"repro/internal/core"
 	"repro/internal/exampledata"
 	"repro/internal/lightyear"
@@ -117,6 +121,132 @@ func TestBatchFallbackOldServer(t *testing.T) {
 	}
 	if got := c.Calls() - before; got != int64(len(checks)) {
 		t.Errorf("round-trips after probe = %d, want %d", got, len(checks))
+	}
+}
+
+// TestBatchVersionRejected points the client at a server that refuses the
+// batch protocol version (as an old strict decoder or a version-gated
+// server would): CheckSuite must downgrade to per-check calls, remember
+// the rejection, and still return full results.
+func TestBatchVersionRejected(t *testing.T) {
+	full := NewHandler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PathBatch {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: "unsupported batch protocol version 2 (server speaks 1)"})
+			return
+		}
+		full.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	checks := batchChecks(t)
+
+	before := c.Calls()
+	results, err := c.CheckSuite(checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Calls() - before; got != int64(len(checks))+1 {
+		t.Errorf("round-trips = %d, want %d (rejected probe + per-check)", got, len(checks)+1)
+	}
+	if !results[2].Violated {
+		t.Error("version fallback lost the local-policy violation")
+	}
+	before = c.Calls()
+	if _, err := c.CheckSuite(checks); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Calls() - before; got != int64(len(checks)) {
+		t.Errorf("round-trips after rejection = %d, want %d", got, len(checks))
+	}
+}
+
+// TestVersionGateRejectsNewerDialect pins the server half of the version
+// negotiation: a request claiming a newer protocol than the server speaks
+// is rejected with 400, while the current and pre-versioning (0) dialects
+// are served.
+func TestVersionGateRejectsNewerDialect(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	t.Cleanup(srv.Close)
+	post := func(version int) int {
+		body := fmt.Sprintf(`{"version":%d,"checks":[{"kind":"syntax","config":"hostname R1\n"}]}`,
+			version)
+		resp, err := http.Post(srv.URL+PathBatch, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(BatchProtocolVersion + 1); got != http.StatusBadRequest {
+		t.Errorf("newer dialect: HTTP %d, want 400", got)
+	}
+	for _, v := range []int{0, BatchProtocolVersion} {
+		if got := post(v); got != http.StatusOK {
+			t.Errorf("version %d: HTTP %d, want 200", v, got)
+		}
+	}
+}
+
+// TestPerCheckPayloadStaysV1 proves the old-server fallback contract end
+// to end: a strict pre-attachment server — one whose requirement decoder
+// rejects unknown fields, exactly like a binary built before the
+// attachment model — must still serve the client's per-check local call
+// even when the engine-side requirement carries an attachment identity,
+// because the client strips the advisory identity from the v1 wire form.
+func TestPerCheckPayloadStaysV1(t *testing.T) {
+	// The pre-attachment shape of LocalRequest, decoded strictly.
+	type v1Requirement struct {
+		Kind        lightyear.ReqKind
+		Router      string
+		Policy      string
+		Community   netcfg.Community
+		Communities []netcfg.Community
+		Description string
+	}
+	type v1LocalRequest struct {
+		Config      string        `json:"config"`
+		Requirement v1Requirement `json:"requirement"`
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != PathLocal {
+			t.Errorf("unexpected path %s", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req v1LocalRequest
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		dev, _ := batfish.ParseConfig(req.Config)
+		v, bad := lightyear.Check(dev, lightyear.Requirement{
+			Kind: req.Requirement.Kind, Router: req.Requirement.Router,
+			Policy: req.Requirement.Policy, Community: req.Requirement.Community,
+			Communities: req.Requirement.Communities, Description: req.Requirement.Description,
+		})
+		resp := LocalResponse{Violated: bad}
+		if bad {
+			resp.Violation = &v
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+	t.Cleanup(srv.Close)
+
+	req := lightyearRequirement()
+	req.Attachment = lightyear.AttachmentRef{Router: "R1", Peer: "ISP2", Direction: lightyear.DirOut}
+	c := NewClient(srv.URL)
+	_, bad, err := c.CheckLocalPolicy("hostname R1\n"+
+		"ip community-list 1 permit 100:1\n"+
+		"route-map FILTER permit 10\n", req)
+	if err != nil {
+		t.Fatalf("strict v1 server rejected the per-check payload: %v", err)
+	}
+	if !bad {
+		t.Error("violation lost on the v1 wire")
 	}
 }
 

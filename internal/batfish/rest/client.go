@@ -39,8 +39,9 @@ type Client struct {
 	// calls counts HTTP round-trips issued, for round-trip accounting in
 	// benchmarks and tests.
 	calls atomic.Int64
-	// batchUnsupported latches after a 404/405 from /v1/batch so an old
-	// server costs the probe exactly once.
+	// batchUnsupported latches after a 404/405 (no batch endpoint) or 400
+	// (batch dialect rejected, e.g. a protocol-version mismatch) from
+	// /v1/batch so an old server costs the probe exactly once.
 	batchUnsupported atomic.Bool
 }
 
@@ -140,10 +141,16 @@ func (c *Client) VerifyTopology(spec topology.RouterSpec, config string) ([]topo
 	return resp.Findings, nil
 }
 
-// CheckLocalPolicy implements core.Verifier.
+// CheckLocalPolicy implements core.Verifier. The per-check endpoint is
+// the v1 protocol, so the advisory attachment identity is stripped from
+// the wire: servers predating the attachment model decode the payload
+// strictly and would reject the unknown field, and no server dispatches
+// on the identity. The batched endpoint (protocol v2) ships it intact.
 func (c *Client) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	wire := req
+	wire.Attachment = lightyear.AttachmentRef{}
 	var resp LocalResponse
-	if _, err := c.post(PathLocal, LocalRequest{Config: config, Requirement: req}, &resp); err != nil {
+	if _, err := c.post(PathLocal, LocalRequest{Config: config, Requirement: wire}, &resp); err != nil {
 		return lightyear.Violation{}, false, err
 	}
 	if !resp.Violated {
@@ -183,7 +190,8 @@ func (c *Client) CheckSuite(checks []suite.Check) ([]suite.Result, error) {
 		return nil, nil
 	}
 	if !c.batchUnsupported.Load() {
-		req := BatchRequest{Checks: make([]BatchCheck, len(checks))}
+		req := BatchRequest{Version: BatchProtocolVersion,
+			Checks: make([]BatchCheck, len(checks))}
 		for i, sc := range checks {
 			req.Checks[i] = BatchCheck{
 				Kind:        string(sc.Kind),
@@ -216,7 +224,13 @@ func (c *Client) CheckSuite(checks []suite.Check) ([]suite.Result, error) {
 				}
 			}
 			return out, nil
-		case status == http.StatusNotFound || status == http.StatusMethodNotAllowed:
+		case status == http.StatusNotFound || status == http.StatusMethodNotAllowed,
+			status == http.StatusBadRequest:
+			// 404/405: the server predates the batch endpoint entirely.
+			// 400: the server rejected the batch dialect — either an old
+			// server's strict decoder choking on the version field, or a
+			// versioned server refusing a newer protocol. Both downgrade
+			// to per-check calls, whose payloads stay v1-shaped.
 			c.batchUnsupported.Store(true)
 		default:
 			return nil, err

@@ -99,6 +99,15 @@ const (
 	BatchKindDiff     = "diff"
 )
 
+// BatchProtocolVersion is the batched-check protocol this tree speaks.
+// Version 2 added the per-attachment requirement identity
+// (lightyear.Requirement.Attachment) to local checks. A server accepts
+// any version up to its own — the identity is advisory for old payloads —
+// and rejects newer versions with HTTP 400, which the client treats like
+// a missing endpoint: it falls back to per-check calls, whose payloads
+// old servers parse by ignoring the unknown field.
+const BatchProtocolVersion = 2
+
 // BatchCheck is one independent check inside a batched request; which
 // fields are required depends on Kind. Config is the configuration under
 // test (the translation for diff checks).
@@ -111,9 +120,11 @@ type BatchCheck struct {
 }
 
 // BatchRequest ships all of a pipeline iteration's outstanding checks in
-// one round-trip.
+// one round-trip. Version is the client's BatchProtocolVersion; zero
+// marks a pre-versioning client and is always accepted.
 type BatchRequest struct {
-	Checks []BatchCheck `json:"checks"`
+	Version int          `json:"version,omitempty"`
+	Checks  []BatchCheck `json:"checks"`
 }
 
 // BatchResult is the outcome of one BatchCheck, positionally matched to

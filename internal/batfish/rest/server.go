@@ -178,6 +178,17 @@ func handleBatch(w http.ResponseWriter, r *http.Request, workers int) {
 	if !decode(w, r, &req) {
 		return
 	}
+	// Version gate: accept anything up to our own dialect (older payloads
+	// simply lack the newer advisory fields), reject newer ones so a
+	// future client downgrades to the per-check endpoints instead of
+	// having half-understood checks evaluated. Pre-versioning clients send
+	// no version at all (0).
+	if req.Version > BatchProtocolVersion {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
+			"unsupported batch protocol version %d (server speaks %d)",
+			req.Version, BatchProtocolVersion)})
+		return
+	}
 	parses := batfish.NewParseCache()
 	results := make([]BatchResult, len(req.Checks))
 	if workers > len(req.Checks) {

@@ -124,7 +124,12 @@ func (c *CachedVerifier) Stats() CacheStats {
 }
 
 // key derives the memoization key for a check: a hash over the kind and
-// every input that determines the result.
+// every input that determines the result. Local-policy keys hash the full
+// requirement JSON, which since the attachment refactor includes the
+// per-attachment identity (lightyear.Requirement.Attachment) — so two
+// obligations that differ only in which attachment of a dual-homed router
+// they constrain memoize independently, and each attachment is its own
+// unit of incremental re-verification.
 func (c *CachedVerifier) key(check SuiteCheck) [sha256.Size]byte {
 	h := sha256.New()
 	h.Write([]byte(check.Kind))

@@ -87,6 +87,13 @@ func (o *SynthOptions) fill() {
 // "For router X:" manual-prompt wrap.
 func synthPipeline(v Verifier, topo *topology.Topology, tasks []modularizer.Task,
 	opts SynthOptions) Pipeline {
+	// The local-policy checks scan in attachment order: tasks follow
+	// topology order and each task's LocalSpec preserves the derivation's
+	// attachment-major order, so the flattened sequence enumerates every
+	// attachment's obligations in topology order of attachments — the
+	// deterministic order the finding selection (scanFirst) and the
+	// batched prefetch both key on. Dual-homed routers therefore
+	// contribute one contiguous block per attachment, not one per router.
 	var locals []localCheck
 	for _, task := range tasks {
 		for _, req := range task.LocalSpec {
@@ -378,8 +385,11 @@ func (s synthTopologyStage) SuiteChecks(configs map[string]string) []SuiteCheck 
 }
 
 // localCheck is one (router, requirement) pair of the local-policy stage,
-// flattened so the per-requirement checks — several of which pile onto the
-// star hub — can fan out individually.
+// flattened so the per-requirement checks — several of which pile onto
+// the star hub or onto one dual-homed attachment router — can fan out
+// individually. The requirement carries its attachment identity, so each
+// check is one attachment-scoped unit of independent work for the
+// concurrency and cache layers.
 type localCheck struct {
 	router string
 	req    lightyear.Requirement
@@ -402,7 +412,11 @@ func (s synthLocalPolicyStage) Check(configs map[string]string) (*Finding, error
 			return nil, err
 		}
 		return &Finding{
-			Key:       "semantic:" + lc.router + ":" + lc.req.Policy + ":" + lc.req.Description,
+			// The attempt budget tracks findings per attachment: the
+			// identity segment keeps two same-shaped obligations on one
+			// router (a dual-homed pair) from sharing a budget.
+			Key: "semantic:" + lc.router + ":" + lc.req.Attachment.String() +
+				":" + lc.req.Policy + ":" + lc.req.Description,
 			Target:    lc.router,
 			Stage:     StageSemantic,
 			Humanized: humanizer.Semantic(viol),

@@ -8,51 +8,72 @@ import (
 	"repro/internal/topology"
 )
 
-// Attachment is one ISP attachment point: the router that faces an
-// external ISP peer. On non-star topologies the no-transit policy is
-// enforced at the attachment points — each tags at its ISP ingress and
-// filters at its ISP egress — instead of at a central hub, since transit
-// routes may cross arbitrarily many internal hops. The generators attach
-// at most one ISP per router, so the router's index identifies the tag.
+// Attachment is one ISP attachment point: a (router, external neighbor)
+// pair. On non-star topologies the no-transit policy is enforced at the
+// attachment points — each tags at its ISP ingress and filters at its ISP
+// egress — instead of at a central hub, since transit routes may cross
+// arbitrarily many internal hops. Community tags, policy names, and
+// requirement identities are all keyed on the attachment, never the
+// router alone, so a router may hold any number of attachments
+// (dual-homing) without the tags colliding.
 type Attachment struct {
 	// Router is the attaching router's name (R<Index> for generated
 	// topologies; hand-built dictionaries may use any name).
 	Router string
 	// Index is the router's numeric index (0 when the name is not of the
-	// generators' R<i> form), which keys the community tag.
+	// generators' R<i> form), which keys the community tag for legacy
+	// single-attachment topologies whose neighbors carry no attachment
+	// ordinal.
 	Index int
-	// Peer is the external ISP neighbor.
+	// Peer is the external ISP neighbor; its Attachment ordinal, when
+	// set, keys the community tag.
 	Peer topology.NeighborSpec
 }
 
-// Community returns the tag this attachment point adds at ingress: the
-// generators' index-keyed scheme for R<i> routers, and the ISP's AS
-// number otherwise — so hand-built topologies with arbitrary router
-// names still get one distinct tag per ISP (ISP AS numbers are unique in
-// any sane dictionary) instead of all colliding on index 0.
+// Community returns the tag this attachment point adds at ingress, in
+// precedence order:
+//
+//  1. the attachment-ordinal scheme when the neighbor spec declares a
+//     first-class attachment ordinal — one distinct tag per attachment,
+//     however many share a router;
+//  2. the generators' legacy router-index scheme for R<i> routers with
+//     implicit single attachments;
+//  3. the ISP's AS number otherwise — so hand-built topologies with
+//     arbitrary router names still get one distinct tag per ISP (ISP AS
+//     numbers are unique in any sane dictionary) instead of all colliding
+//     on index 0.
 func (a Attachment) Community() netcfg.Community {
-	if a.Index > 0 {
+	switch {
+	case a.Peer.Attachment > 0:
+		return netgen.AttachmentCommunity(a.Peer.Attachment)
+	case a.Index > 0:
 		return netgen.ISPCommunity(a.Index)
+	default:
+		return netcfg.NewCommunity(uint16(a.Peer.PeerAS), 1)
 	}
-	return netcfg.NewCommunity(uint16(a.Peer.PeerAS), 1)
 }
 
-// IngressPolicy names the route map applied on routes from the ISP.
+// IngressPolicy names the route map applied on routes from the ISP. Peer
+// names are unique per attachment (ISP<ordinal> on attachment-keyed
+// topologies), so dual-homed routers get one ingress policy per ISP.
 func (a Attachment) IngressPolicy() string { return "ADD_COMM_" + a.Peer.PeerName }
 
 // EgressPolicy names the route map applied on routes toward the ISP.
 func (a Attachment) EgressPolicy() string { return "FILTER_COMM_OUT_" + a.Peer.PeerName }
 
+// Ref returns the attachment's requirement identity for one direction.
+func (a Attachment) Ref(direction string) AttachmentRef {
+	return AttachmentRef{Router: a.Router, Peer: a.Peer.PeerName, Direction: direction}
+}
+
 // ISPAttachments collects the ISP attachment points of a topology in
-// topology order: every external neighbor that is not a customer network.
+// topology order: every external neighbor that is not a customer network,
+// via the dictionary's first-class attachment listing.
 func ISPAttachments(t *topology.Topology) []Attachment {
 	var out []Attachment
-	for i := range t.Routers {
-		r := &t.Routers[i]
-		for _, nb := range r.Neighbors {
-			if nb.External && !netgen.IsCustomerPeer(nb.PeerName) {
-				out = append(out, Attachment{Router: r.Name, Index: indexOf(r.Name), Peer: nb})
-			}
+	for _, ap := range t.ExternalAttachments() {
+		if !netgen.IsCustomerPeer(ap.Peer.PeerName) {
+			out = append(out, Attachment{Router: ap.Router, Index: indexOf(ap.Router), Peer: ap.Peer})
 		}
 	}
 	return out
@@ -86,10 +107,11 @@ func LocalNoTransitSpec(t *topology.Topology) []Requirement {
 	for _, a := range attaches {
 		tag := a.Community()
 		reqs = append(reqs, Requirement{
-			Kind:      IngressAddsCommunity,
-			Router:    a.Router,
-			Policy:    a.IngressPolicy(),
-			Community: tag,
+			Kind:       IngressAddsCommunity,
+			Router:     a.Router,
+			Attachment: a.Ref(DirIn),
+			Policy:     a.IngressPolicy(),
+			Community:  tag,
 			Description: fmt.Sprintf(
 				"Every route %s accepts from %s must carry community %s after ingress processing.",
 				a.Router, a.Peer.PeerName, tag),
@@ -99,12 +121,17 @@ func LocalNoTransitSpec(t *topology.Topology) []Requirement {
 			if b.Router == a.Router && b.Peer.PeerName == a.Peer.PeerName {
 				continue
 			}
+			// Note b ranges over every *other attachment*, including a
+			// second ISP on the same router: the no-transit pair between
+			// two ISPs homed on one router is enforced by these same
+			// egress obligations.
 			others++
 			reqs = append(reqs, Requirement{
-				Kind:      EgressDropsCommunity,
-				Router:    a.Router,
-				Policy:    a.EgressPolicy(),
-				Community: b.Community(),
+				Kind:       EgressDropsCommunity,
+				Router:     a.Router,
+				Attachment: a.Ref(DirOut),
+				Policy:     a.EgressPolicy(),
+				Community:  b.Community(),
 				Description: fmt.Sprintf(
 					"%s must not export to %s any route carrying community %s (learned from %s).",
 					a.Router, a.Peer.PeerName, b.Community(), b.Peer.PeerName),
@@ -118,6 +145,7 @@ func LocalNoTransitSpec(t *topology.Topology) []Requirement {
 			reqs = append(reqs, Requirement{
 				Kind:        EgressPermitsClean,
 				Router:      a.Router,
+				Attachment:  a.Ref(DirOut),
 				Policy:      a.EgressPolicy(),
 				Communities: all,
 				Description: fmt.Sprintf(

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/netcfg"
 	"repro/internal/netgen"
 	"repro/internal/topology"
 )
@@ -19,6 +20,9 @@ func scenarioTopos(t *testing.T) []*topology.Topology {
 		{netgen.Ring, 6},
 		{netgen.FullMesh, 5},
 		{netgen.FatTree, 4},
+		{netgen.DualHomed, 5},
+		{netgen.MultiCustomer, 6},
+		{netgen.Random, 10},
 	} {
 		topo, err := gen.make(gen.n)
 		if err != nil {
@@ -139,6 +143,81 @@ func TestHandBuiltNamesGetDistinctTags(t *testing.T) {
 		t.Errorf("tags collide: both %s", atts[0].Community())
 	}
 	if err := CoverageComplete(topo, SpecFor(topo)); err != nil {
+		t.Errorf("coverage: %v", err)
+	}
+}
+
+// TestDualHomedSpecDerivation is the per-attachment acceptance test: two
+// ISPs homed on one router must get distinct communities and distinct
+// ingress/egress policies, each obligation carrying its own attachment
+// identity, and the egress of each attachment must drop the *other
+// same-router* attachment's tag — the no-transit pair the per-router
+// model could not express.
+func TestDualHomedSpecDerivation(t *testing.T) {
+	topo, err := netgen.DualHomed(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atts := ISPAttachments(topo)
+	if len(atts) != 6 {
+		t.Fatalf("attachments = %d, want 6", len(atts))
+	}
+	// R2 holds attachments 1 and 2.
+	var r2 []Attachment
+	for _, a := range atts {
+		if a.Router == "R2" {
+			r2 = append(r2, a)
+		}
+	}
+	if len(r2) != 2 {
+		t.Fatalf("R2 attachments = %d, want 2", len(r2))
+	}
+	if r2[0].Community() == r2[1].Community() {
+		t.Errorf("same-router attachments share the tag %s", r2[0].Community())
+	}
+	if r2[0].Community() != netgen.AttachmentCommunity(1) ||
+		r2[1].Community() != netgen.AttachmentCommunity(2) {
+		t.Errorf("tags = %s / %s, want the ordinal-keyed pair %s / %s",
+			r2[0].Community(), r2[1].Community(),
+			netgen.AttachmentCommunity(1), netgen.AttachmentCommunity(2))
+	}
+	if r2[0].IngressPolicy() == r2[1].IngressPolicy() ||
+		r2[0].EgressPolicy() == r2[1].EgressPolicy() {
+		t.Errorf("same-router attachments share policies: %s/%s and %s/%s",
+			r2[0].IngressPolicy(), r2[0].EgressPolicy(),
+			r2[1].IngressPolicy(), r2[1].EgressPolicy())
+	}
+
+	reqs := SpecFor(topo)
+	// Each attachment gets its own ingress-tag obligation with its own
+	// identity.
+	ingressByRef := map[AttachmentRef]netcfg.Community{}
+	for _, r := range reqs {
+		if r.Kind == IngressAddsCommunity {
+			if r.Attachment == (AttachmentRef{}) {
+				t.Errorf("requirement %q lacks an attachment identity", r.Description)
+			}
+			ingressByRef[r.Attachment] = r.Community
+		}
+	}
+	if len(ingressByRef) != len(atts) {
+		t.Errorf("ingress obligations = %d, want one per attachment (%d)",
+			len(ingressByRef), len(atts))
+	}
+	// The egress of R2's first attachment must drop the second's tag.
+	found := false
+	for _, r := range reqs {
+		if r.Kind == EgressDropsCommunity &&
+			r.Attachment == r2[0].Ref(DirOut) &&
+			r.Community == r2[1].Community() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no egress obligation drops the same-router sibling tag %s at %s",
+			r2[1].Community(), r2[0].EgressPolicy())
+	}
+	if err := CoverageComplete(topo, reqs); err != nil {
 		t.Errorf("coverage: %v", err)
 	}
 }

@@ -32,11 +32,53 @@ const (
 	EgressPermitsClean
 )
 
-// Requirement is one locally-checkable obligation on one route policy of
-// one router.
+// Attachment flow directions for AttachmentRef.
+const (
+	// DirIn marks an obligation on routes flowing in from the peer.
+	DirIn = "in"
+	// DirOut marks an obligation on routes flowing out toward the peer.
+	DirOut = "out"
+)
+
+// AttachmentRef is the per-attachment identity of a requirement: the
+// router holding the attachment, the peer whose route flow the obligation
+// constrains, and the direction of that flow. It is the unit the spec
+// derivation allocates communities and policies for — one ingress-tag and
+// one egress-filter obligation family per (router, peer) attachment, not
+// per router — which is what admits several external attachments on one
+// router. On the paper's hub-centric star the peer is the internal spoke
+// standing in for its ISP; everywhere else it is the external ISP itself.
+// The zero value marks a requirement built before the attachment model
+// (hand-built requirement literals keep working; the verifier never
+// dispatches on the identity).
+type AttachmentRef struct {
+	Router    string `json:"router,omitempty"`
+	Peer      string `json:"peer,omitempty"`
+	Direction string `json:"direction,omitempty"` // DirIn or DirOut
+}
+
+// String renders the identity for keys and diagnostics.
+func (a AttachmentRef) String() string {
+	arrow := "<-"
+	if a.Direction == DirOut {
+		arrow = "->"
+	}
+	return a.Router + arrow + a.Peer
+}
+
+// Requirement is one locally-checkable obligation on one route policy at
+// one attachment point. Router is kept alongside the Attachment identity
+// because transcripts, violation phrasings, and the repair loop's
+// per-target accounting address configurations by router name.
 type Requirement struct {
-	Kind        ReqKind
-	Router      string
+	Kind   ReqKind
+	Router string
+	// Attachment is the per-attachment identity (zero on hand-built
+	// requirements). It is omitted from JSON when zero so requirements
+	// without an identity serialize exactly as they did before the
+	// attachment model — the REST client's old-server fallback relies on
+	// being able to ship a v1-shaped payload.
+	Attachment  AttachmentRef `json:",omitzero"`
 	Policy      string
 	Community   netcfg.Community   // for IngressAdds / EgressDrops
 	Communities []netcfg.Community // for EgressPermitsClean
@@ -82,11 +124,15 @@ func NoTransitSpec(t *topology.Topology) []Requirement {
 	}
 	for _, i := range spokes {
 		tag := netgen.ISPCommunity(i)
+		// The hub enforces each spoke's attachment, so the attachment
+		// identity names the spoke peering the obligation rides on.
+		spoke := fmt.Sprintf("R%d", i)
 		reqs = append(reqs, Requirement{
-			Kind:      IngressAddsCommunity,
-			Router:    "R1",
-			Policy:    IngressPolicyName(i),
-			Community: tag,
+			Kind:       IngressAddsCommunity,
+			Router:     "R1",
+			Attachment: AttachmentRef{Router: "R1", Peer: spoke, Direction: DirIn},
+			Policy:     IngressPolicyName(i),
+			Community:  tag,
 			Description: fmt.Sprintf(
 				"Every route R1 accepts from R%d must carry community %s after ingress processing.",
 				i, tag),
@@ -97,10 +143,11 @@ func NoTransitSpec(t *topology.Topology) []Requirement {
 			}
 			other := netgen.ISPCommunity(j)
 			reqs = append(reqs, Requirement{
-				Kind:      EgressDropsCommunity,
-				Router:    "R1",
-				Policy:    EgressPolicyName(i),
-				Community: other,
+				Kind:       EgressDropsCommunity,
+				Router:     "R1",
+				Attachment: AttachmentRef{Router: "R1", Peer: spoke, Direction: DirOut},
+				Policy:     EgressPolicyName(i),
+				Community:  other,
 				Description: fmt.Sprintf(
 					"R1 must not export to R%d any route carrying community %s (learned from R%d).",
 					i, other, j),
@@ -109,6 +156,7 @@ func NoTransitSpec(t *topology.Topology) []Requirement {
 		reqs = append(reqs, Requirement{
 			Kind:        EgressPermitsClean,
 			Router:      "R1",
+			Attachment:  AttachmentRef{Router: "R1", Peer: spoke, Direction: DirOut},
 			Policy:      EgressPolicyName(i),
 			Communities: all,
 			Description: fmt.Sprintf(

@@ -1,0 +1,32 @@
+package netgen
+
+import "repro/internal/topology"
+
+// DualHomed generates a cycle of n routers (n >= 3) where R1 carries the
+// customer attachment and every other router is dual-homed: two distinct
+// ISPs attach to it, each a first-class attachment point with its own
+// ordinal, community tag, subnet, and stub AS. This is the scenario the
+// per-router spec model could not express — with router-index-keyed
+// community tags, both ISPs on a router would share one tag and the
+// no-transit policy between them would be unenforceable. Attachment
+// ordinals are assigned in topology order: R2 holds attachments 1 and 2,
+// R3 holds 3 and 4, and so on.
+func DualHomed(n int) (*topology.Topology, error) {
+	if n < 3 {
+		return nil, errTooSmall("dual-homed", n, 3)
+	}
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	edges = append(edges, [2]int{1, n})
+	attaches := []extAttachment{{router: 1, customer: true}}
+	ord := 0
+	for i := 2; i <= n; i++ {
+		for k := 0; k < 2; k++ {
+			ord++
+			attaches = append(attaches, extAttachment{router: i, ordinal: ord})
+		}
+	}
+	return buildGraphExt(dualHomedName(n), n, edges, attaches)
+}

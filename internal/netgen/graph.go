@@ -13,16 +13,27 @@ import (
 // indices must fit in one octet.
 const maxGraphRouters = 250
 
+// maxGraphAttachments bounds the attachment-ordinal addressing scheme for
+// the same reason: ISP subnets are 20.<o>.0.0/24 and stub prefixes
+// 150.<o>.0.0/16, so ordinals must fit in one octet too.
+const maxGraphAttachments = 250
+
 // IsCustomerPeer reports whether an external peer name denotes a customer
-// network (the generators' convention: customers are named CUSTOMER,
-// everything else external is an ISP).
+// network (the generators' convention: customers are named CUSTOMER or
+// CUSTOMER<c>, everything else external is an ISP).
 func IsCustomerPeer(name string) bool { return strings.HasPrefix(name, "CUSTOMER") }
 
 // IsStar reports whether a topology has the paper's Figure 4 star shape:
 // a hub R1 holding the customer attachment, with every other router a
-// spoke whose only internal neighbor is the hub. The lightyear spec
-// derivation keeps the paper's hub-centric no-transit policy for stars
-// and uses the attachment-point policy for every other graph.
+// spoke whose only internal neighbor is the hub and whose only external
+// peer is a single ISP. The lightyear spec derivation keeps the paper's
+// hub-centric no-transit policy for stars and uses the attachment-point
+// policy for every other graph — including dual-homed or multi-customer
+// graphs that are star-shaped internally: the hub-centric scheme keys
+// community tags on spoke indices, which is exactly the per-router
+// assumption the attachment model removes, so any explicit attachment
+// ordinal or second external peering routes the topology to the
+// attachment-point specification.
 func IsStar(t *topology.Topology) bool {
 	hub := t.Router("R1")
 	if hub == nil || len(t.Routers) < 2 {
@@ -45,30 +56,77 @@ func IsStar(t *topology.Topology) bool {
 		if r.Name == "R1" {
 			continue
 		}
+		isps := 0
 		for _, nb := range r.Neighbors {
-			if !nb.External && nb.PeerName != "R1" {
+			if nb.Attachment != 0 {
+				return false // attachment-keyed peerings use the attachment spec
+			}
+			if nb.External {
+				if IsCustomerPeer(nb.PeerName) {
+					return false // a spoke-side customer breaks the hub scheme
+				}
+				isps++
+			} else if nb.PeerName != "R1" {
 				return false // a spoke-to-spoke link breaks the star
 			}
+		}
+		if isps != 1 {
+			return false // the hub scheme assumes exactly one ISP per spoke
 		}
 	}
 	return true
 }
 
+// extAttachment is one external attachment the graph builder realizes on
+// a router. The ordinal selects the addressing scheme:
+//
+//   - ordinal 0 (legacy, router-index keyed): the customer is named
+//     CUSTOMER on subnet 1.0.0.0/24 with AS CustomerAS originating
+//     CustomerPrefix; the ISP on Ri is named ISP<i> on 20.<i>.0.0/24 with
+//     AS ISPBaseAS+i originating ISPPrefix(i). At most one legacy ISP fits
+//     per router — which is the restriction the attachment model lifts.
+//   - ordinal o > 0 (attachment-keyed): the customer is CUSTOMER<o> on
+//     1.<o>.0.0/24 with AS CustomerAS+o originating CustomerPrefixAt(o);
+//     the ISP is ISP<o> on 20.<o>.0.0/24 with AS ISPBaseAS+o originating
+//     AttachmentPrefix(o), and the neighbor spec carries Attachment: o.
+//     Ordinals key everything, so any number of attachments share a
+//     router.
+type extAttachment struct {
+	router   int // 1-based router index
+	ordinal  int // attachment ordinal; 0 = legacy router-index keying
+	customer bool
+}
+
 // buildGraph constructs a topology over routers R1..Rn from an undirected
 // edge list (1-based router indices), attaching the customer network to
-// R1 and one ISP to each router listed in ispRouters. The addressing
-// scheme is regular and machine-derivable, like the star generator's:
+// R1 and one legacy (router-index keyed) ISP to each router listed in
+// ispRouters. It is the single-attachment-per-router wrapper over
+// buildGraphExt that the pre-attachment generators (ring, full-mesh,
+// fat-tree) use; their artifacts carry no attachment ordinals and
+// serialize exactly as before the attachment model existed.
+func buildGraph(name string, n int, edges [][2]int, ispRouters []int) (*topology.Topology, error) {
+	attaches := []extAttachment{{router: 1, customer: true}}
+	for _, i := range ispRouters {
+		attaches = append(attaches, extAttachment{router: i})
+	}
+	return buildGraphExt(name, n, edges, attaches)
+}
+
+// buildGraphExt constructs a topology over routers R1..Rn from an
+// undirected edge list and an explicit external-attachment list. The
+// addressing scheme is regular and machine-derivable, like the star
+// generator's:
 //
 //   - the internal link between Ri and Rj (i < j) uses 10.<i>.<j>.0/24
 //     with Ri at .1 and Rj at .2;
-//   - the customer link uses 1.0.0.0/24 (router .1, customer .2, AS
-//     CustomerAS, originating CustomerPrefix);
-//   - the ISP link at Ri uses 20.<i>.0.0/24 (router .1, ISP<i> at .2, AS
-//     ISPBaseAS+i, originating ISPPrefix(i)).
+//   - external links take the per-attachment subnets documented on
+//     extAttachment (router at .1, peer at .2).
 //
 // Each router has AS number equal to its index, its router ID is its
-// first interface address, and it announces every connected subnet.
-func buildGraph(name string, n int, edges [][2]int, ispRouters []int) (*topology.Topology, error) {
+// first interface address, and it announces every connected subnet. Per
+// router, the interface order is customers first, then internal links by
+// peer index, then ISPs — mirroring the star's ordering.
+func buildGraphExt(name string, n int, edges [][2]int, attaches []extAttachment) (*topology.Topology, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("%s: needs at least 2 routers, got %d", name, n)
 	}
@@ -94,15 +152,56 @@ func buildGraph(name string, n int, edges [][2]int, ispRouters []int) (*topology
 		adj[i] = append(adj[i], j)
 		adj[j] = append(adj[j], i)
 	}
-	isISP := map[int]bool{}
-	for _, i := range ispRouters {
-		if i < 1 || i > n {
-			return nil, fmt.Errorf("%s: ISP attachment on nonexistent router R%d", name, i)
+	// Validate the attachment list: routers in range, ordinals distinct
+	// per kind and in range, the legacy scheme's one-ISP-per-router and
+	// customer-on-R1 invariants, and no mixing of the two ISP keying
+	// schemes (their subnets would collide).
+	customers := make(map[int][]extAttachment) // router -> customer attachments
+	isps := make(map[int][]extAttachment)      // router -> ISP attachments
+	ordinalISPs, legacyISPs := 0, 0
+	seenOrd := map[[2]int]bool{} // (customer?1:0, ordinal)
+	for _, a := range attaches {
+		if a.router < 1 || a.router > n {
+			return nil, fmt.Errorf("%s: attachment on nonexistent router R%d", name, a.router)
 		}
-		if i == 1 {
-			return nil, fmt.Errorf("%s: R1 holds the customer attachment, not an ISP", name)
+		if a.ordinal < 0 || a.ordinal > maxGraphAttachments {
+			return nil, fmt.Errorf("%s: attachment ordinal %d out of range [0,%d]",
+				name, a.ordinal, maxGraphAttachments)
 		}
-		isISP[i] = true
+		if a.ordinal > 0 {
+			k := [2]int{0, a.ordinal}
+			if a.customer {
+				k[0] = 1
+			}
+			if seenOrd[k] {
+				return nil, fmt.Errorf("%s: duplicate attachment ordinal %d", name, a.ordinal)
+			}
+			seenOrd[k] = true
+		}
+		if a.customer {
+			if a.ordinal == 0 && a.router != 1 {
+				return nil, fmt.Errorf("%s: the legacy customer attachment belongs on R1, got R%d",
+					name, a.router)
+			}
+			customers[a.router] = append(customers[a.router], a)
+			continue
+		}
+		if a.ordinal == 0 {
+			legacyISPs++
+			if a.router == 1 {
+				return nil, fmt.Errorf("%s: R1 holds the customer attachment, not a legacy ISP", name)
+			}
+			if len(isps[a.router]) > 0 {
+				return nil, fmt.Errorf("%s: router R%d already has a legacy ISP; "+
+					"use attachment ordinals for multi-homing", name, a.router)
+			}
+		} else {
+			ordinalISPs++
+		}
+		isps[a.router] = append(isps[a.router], a)
+	}
+	if legacyISPs > 0 && ordinalISPs > 0 {
+		return nil, fmt.Errorf("%s: legacy and attachment-keyed ISPs cannot share a graph", name)
 	}
 
 	t := &topology.Topology{Name: name}
@@ -117,15 +216,25 @@ func buildGraph(name string, n int, edges [][2]int, ispRouters []int) (*topology
 			})
 			ifcIdx++
 		}
-		// Customer attachment first (R1), then internal links by peer
-		// index, then the ISP attachment — mirroring the star's ordering.
-		if i == 1 {
-			addIfc("1.0.0.1")
+		for _, a := range customers[i] {
+			if a.ordinal == 0 {
+				addIfc("1.0.0.1")
+				r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
+					PeerName: "CUSTOMER", PeerIP: "1.0.0.2", PeerAS: CustomerAS,
+					External: true, Prefixes: []string{CustomerPrefix().String()},
+				})
+				r.Networks = append(r.Networks, "1.0.0.0/24")
+				continue
+			}
+			addIfc(fmt.Sprintf("1.%d.0.1", a.ordinal))
 			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
-				PeerName: "CUSTOMER", PeerIP: "1.0.0.2", PeerAS: CustomerAS,
-				External: true, Prefixes: []string{CustomerPrefix().String()},
+				PeerName: fmt.Sprintf("CUSTOMER%d", a.ordinal),
+				PeerIP:   fmt.Sprintf("1.%d.0.2", a.ordinal),
+				PeerAS:   uint32(CustomerAS + a.ordinal),
+				External: true,
+				Prefixes: []string{CustomerPrefixAt(a.ordinal).String()},
 			})
-			r.Networks = append(r.Networks, "1.0.0.0/24")
+			r.Networks = append(r.Networks, fmt.Sprintf("1.%d.0.0/24", a.ordinal))
 		}
 		for _, j := range adj[i] {
 			lo, hi := i, j
@@ -144,16 +253,23 @@ func buildGraph(name string, n int, edges [][2]int, ispRouters []int) (*topology
 			})
 			r.Networks = append(r.Networks, fmt.Sprintf("10.%d.%d.0/24", lo, hi))
 		}
-		if isISP[i] {
-			addIfc(fmt.Sprintf("20.%d.0.1", i))
+		for _, a := range isps[i] {
+			key := a.ordinal
+			prefix := AttachmentPrefix(a.ordinal)
+			if key == 0 {
+				key = i // legacy: the router index keys the ISP
+				prefix = ISPPrefix(i)
+			}
+			addIfc(fmt.Sprintf("20.%d.0.1", key))
 			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
-				PeerName: fmt.Sprintf("ISP%d", i),
-				PeerIP:   fmt.Sprintf("20.%d.0.2", i),
-				PeerAS:   uint32(ISPBaseAS + i),
-				External: true,
-				Prefixes: []string{ISPPrefix(i).String()},
+				PeerName:   fmt.Sprintf("ISP%d", key),
+				PeerIP:     fmt.Sprintf("20.%d.0.2", key),
+				PeerAS:     uint32(ISPBaseAS + key),
+				External:   true,
+				Prefixes:   []string{prefix.String()},
+				Attachment: a.ordinal,
 			})
-			r.Networks = append(r.Networks, fmt.Sprintf("20.%d.0.0/24", i))
+			r.Networks = append(r.Networks, fmt.Sprintf("20.%d.0.0/24", key))
 		}
 		if len(r.Interfaces) == 0 {
 			return nil, fmt.Errorf("%s: router R%d is isolated", name, i)

@@ -60,6 +60,30 @@ func TestFatTreeGolden(t *testing.T) {
 	golden(t, "fat-tree-2", topo)
 }
 
+func TestDualHomedGolden(t *testing.T) {
+	topo, err := DualHomed(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "dual-homed-4", topo)
+}
+
+func TestMultiCustomerGolden(t *testing.T) {
+	topo, err := MultiCustomer(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "multi-customer-5", topo)
+}
+
+func TestRandomGolden(t *testing.T) {
+	topo, err := Random(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "random-8", topo)
+}
+
 func TestRingShape(t *testing.T) {
 	topo, err := Ring(6)
 	if err != nil {
@@ -156,6 +180,193 @@ func TestFatTreeShape(t *testing.T) {
 	}
 }
 
+// TestDualHomedShape checks the dual-homed generator: every non-customer
+// router holds exactly two ISP attachments, every attachment carries a
+// distinct first-class ordinal, and subnets/ASes are keyed on the ordinal.
+func TestDualHomedShape(t *testing.T) {
+	topo, err := DualHomed(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenOrd := map[int]bool{}
+	for i := range topo.Routers {
+		r := &topo.Routers[i]
+		isps := 0
+		for _, nb := range r.Neighbors {
+			if !nb.External || IsCustomerPeer(nb.PeerName) {
+				continue
+			}
+			isps++
+			if nb.Attachment <= 0 {
+				t.Errorf("%s peer %s has no attachment ordinal", r.Name, nb.PeerName)
+				continue
+			}
+			if seenOrd[nb.Attachment] {
+				t.Errorf("attachment ordinal %d reused", nb.Attachment)
+			}
+			seenOrd[nb.Attachment] = true
+			if want := uint32(ISPBaseAS + nb.Attachment); nb.PeerAS != want {
+				t.Errorf("%s peer %s AS = %d, want %d", r.Name, nb.PeerName, nb.PeerAS, want)
+			}
+		}
+		if r.Name == "R1" {
+			if isps != 0 {
+				t.Errorf("R1 has %d ISPs, want 0 (customer hub)", isps)
+			}
+		} else if isps != 2 {
+			t.Errorf("%s has %d ISPs, want 2 (dual-homed)", r.Name, isps)
+		}
+	}
+	if len(seenOrd) != 8 {
+		t.Errorf("attachments = %d, want 8", len(seenOrd))
+	}
+	if _, err := DualHomed(2); err == nil {
+		t.Error("dual-homed of 2 should fail")
+	}
+}
+
+// TestMultiCustomerShape checks the multi-customer generator: max(2, n/3)
+// distinct customers with distinct stub ASes and prefixes, ISPs on every
+// remaining router.
+func TestMultiCustomerShape(t *testing.T) {
+	topo, err := MultiCustomer(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	customers := map[string]bool{}
+	prefixes := map[string]bool{}
+	isps := 0
+	for _, ap := range topo.ExternalAttachments() {
+		if IsCustomerPeer(ap.Peer.PeerName) {
+			customers[ap.Peer.PeerName] = true
+			for _, p := range ap.Peer.Prefixes {
+				if prefixes[p] {
+					t.Errorf("customer prefix %s reused", p)
+				}
+				prefixes[p] = true
+			}
+		} else {
+			isps++
+		}
+	}
+	if len(customers) != 2 || isps != 5 {
+		t.Errorf("external peers = %d customers + %d ISPs, want 2 + 5", len(customers), isps)
+	}
+	if _, err := MultiCustomer(3); err == nil {
+		t.Error("multi-customer of 3 should fail")
+	}
+}
+
+// TestRandomDeterministicAndConnected checks the fuzz generator: the same
+// size always yields the same graph, the graph is connected, and at least
+// two ISP attachments exist with distinct ordinals.
+func TestRandomDeterministicAndConnected(t *testing.T) {
+	for _, n := range []int{4, 9, 17, 40} {
+		a, err := Random(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Random(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, _ := a.Marshal()
+		bj, _ := b.Marshal()
+		if string(aj) != string(bj) {
+			t.Errorf("random-%d is not deterministic", n)
+		}
+		// Connectivity over internal links.
+		adj := map[string][]string{}
+		for i := range a.Routers {
+			r := &a.Routers[i]
+			for _, nb := range r.Neighbors {
+				if !nb.External {
+					adj[r.Name] = append(adj[r.Name], nb.PeerName)
+				}
+			}
+		}
+		seen := map[string]bool{"R1": true}
+		stack := []string{"R1"}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		if len(seen) != len(a.Routers) {
+			t.Errorf("random-%d: only %d/%d routers reachable", n, len(seen), len(a.Routers))
+		}
+		ords := map[int]bool{}
+		for _, ap := range a.ExternalAttachments() {
+			if IsCustomerPeer(ap.Peer.PeerName) {
+				continue
+			}
+			if ap.Peer.Attachment <= 0 || ords[ap.Peer.Attachment] {
+				t.Errorf("random-%d: bad or duplicate ordinal %d", n, ap.Peer.Attachment)
+			}
+			ords[ap.Peer.Attachment] = true
+		}
+		if len(ords) < 2 {
+			t.Errorf("random-%d: %d ISP attachments, want >= 2", n, len(ords))
+		}
+	}
+}
+
+// TestNoASCollisionAtScale is the regression test for the AS-numbering
+// bug: with ISPBaseAS at the paper's original 100, R102 and the ISP on R2
+// shared AS 102 and AS-path loop detection silently dropped the ISP's
+// routes. Every external stub AS must now be distinct from every internal
+// router AS (and from every other stub AS) up to the addressing bound.
+func TestNoASCollisionAtScale(t *testing.T) {
+	for _, gen := range []struct {
+		name string
+		make func() (*topology.Topology, error)
+	}{
+		{"ring-120", func() (*topology.Topology, error) { return Ring(120) }},
+		{"star-120", func() (*topology.Topology, error) { return Star(120) }},
+		{"dual-homed-60", func() (*topology.Topology, error) { return DualHomed(60) }},
+		{"random-120", func() (*topology.Topology, error) { return Random(120) }},
+	} {
+		topo, err := gen.make()
+		if err != nil {
+			t.Fatalf("%s: %v", gen.name, err)
+		}
+		used := map[uint32]string{}
+		claim := func(asn uint32, owner string) {
+			if prev, dup := used[asn]; dup && prev != owner {
+				t.Errorf("%s: AS %d shared by %s and %s", gen.name, asn, prev, owner)
+			}
+			used[asn] = owner
+		}
+		for i := range topo.Routers {
+			claim(topo.Routers[i].ASN, topo.Routers[i].Name)
+		}
+		for _, ap := range topo.ExternalAttachments() {
+			claim(ap.Peer.PeerAS, ap.Peer.PeerName)
+		}
+	}
+}
+
+// TestParseScenarioArg covers the CLI "name[:size]" shorthand.
+func TestParseScenarioArg(t *testing.T) {
+	if name, size, err := ParseScenarioArg("dual-homed:8"); err != nil ||
+		name != "dual-homed" || size != 8 {
+		t.Errorf("dual-homed:8 = (%q, %d, %v)", name, size, err)
+	}
+	if name, size, err := ParseScenarioArg("star"); err != nil || name != "star" || size != 0 {
+		t.Errorf("star = (%q, %d, %v)", name, size, err)
+	}
+	for _, bad := range []string{"star:", "star:x", "star:-3", "moebius", "moebius:5"} {
+		if _, _, err := ParseScenarioArg(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
 // TestGraphSubnetsAreDisjoint checks the shared addressing scheme: every
 // subnet appears on at most the two endpoints of one link.
 func TestGraphSubnetsAreDisjoint(t *testing.T) {
@@ -163,6 +374,9 @@ func TestGraphSubnetsAreDisjoint(t *testing.T) {
 		func() (*topology.Topology, error) { return Ring(9) },
 		func() (*topology.Topology, error) { return FullMesh(7) },
 		func() (*topology.Topology, error) { return FatTree(4) },
+		func() (*topology.Topology, error) { return DualHomed(6) },
+		func() (*topology.Topology, error) { return MultiCustomer(6) },
+		func() (*topology.Topology, error) { return Random(12) },
 	} {
 		topo, err := make()
 		if err != nil {
@@ -195,6 +409,9 @@ func TestIsStar(t *testing.T) {
 		func() (*topology.Topology, error) { return Ring(5) },
 		func() (*topology.Topology, error) { return FullMesh(4) },
 		func() (*topology.Topology, error) { return FatTree(2) },
+		func() (*topology.Topology, error) { return DualHomed(4) },
+		func() (*topology.Topology, error) { return MultiCustomer(5) },
+		func() (*topology.Topology, error) { return Random(8) },
 	} {
 		topo, err := gen()
 		if err != nil {
@@ -204,11 +421,23 @@ func TestIsStar(t *testing.T) {
 			t.Errorf("%s should not be a star", topo.Name)
 		}
 	}
+	// A star-shaped graph with a dual-homed spoke must NOT take the
+	// hub-centric scheme: its community tags are keyed per router index,
+	// the exact assumption dual-homing breaks.
+	dualSpoke, _ := Star(5)
+	r2 := dualSpoke.Router("R2")
+	r2.Neighbors = append(r2.Neighbors, topology.NeighborSpec{
+		PeerName: "ISP9", PeerIP: "20.9.0.2", PeerAS: ISPBaseAS + 9, External: true,
+	})
+	if IsStar(dualSpoke) {
+		t.Error("a dual-homed spoke should disqualify the hub-centric star scheme")
+	}
 }
 
 func TestScenarioRegistry(t *testing.T) {
 	names := ScenarioNames()
-	want := []string{"star", "ring", "full-mesh", "fat-tree"}
+	want := []string{"star", "ring", "full-mesh", "fat-tree",
+		"dual-homed", "multi-customer", "random"}
 	if len(names) != len(want) {
 		t.Fatalf("scenarios = %v", names)
 	}

@@ -1,0 +1,39 @@
+package netgen
+
+import "repro/internal/topology"
+
+// MultiCustomer generates a full mesh of n routers (n >= 4) with several
+// customer networks: the first max(2, n/3) routers each carry one
+// ordinal-keyed customer (CUSTOMER1, CUSTOMER2, ...; distinct stub AS and
+// originated prefix per customer), and every remaining router carries one
+// ISP attachment point. The global no-transit check already quantifies
+// over all customer stubs — every ISP and every customer must reach each
+// other while no two ISPs see each other's prefixes — so this scenario
+// exercises the multi-customer side of the attachment model: customer
+// attachments are first-class points too, they just carry no tagging
+// obligations.
+func MultiCustomer(n int) (*topology.Topology, error) {
+	if n < 4 {
+		return nil, errTooSmall("multi-customer", n, 4)
+	}
+	var edges [][2]int
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	numCustomers := n / 3
+	if numCustomers < 2 {
+		numCustomers = 2
+	}
+	var attaches []extAttachment
+	for c := 1; c <= numCustomers; c++ {
+		attaches = append(attaches, extAttachment{router: c, ordinal: c, customer: true})
+	}
+	ord := 0
+	for i := numCustomers + 1; i <= n; i++ {
+		ord++
+		attaches = append(attaches, extAttachment{router: i, ordinal: ord})
+	}
+	return buildGraphExt(multiCustomerName(n), n, edges, attaches)
+}

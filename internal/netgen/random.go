@@ -1,0 +1,66 @@
+package netgen
+
+import (
+	"math/rand"
+
+	"repro/internal/topology"
+)
+
+// Random generates a connected pseudo-random graph of n routers (n >= 4)
+// for fuzzing the per-attachment specification: a random spanning tree
+// plus ~n/2 extra edges, R1 holding the customer attachment, and a random
+// ISP placement in which roughly seven in ten non-customer routers attach
+// one ISP and a third of those attach a second (dual-homing). The
+// generator is seeded by n alone, so a given size always yields the same
+// graph — `random` scenarios are reproducible test cases, not one-shot
+// noise — while different sizes vary both the degree distribution and the
+// single-/dual-homing mix. At least two ISP attachments are guaranteed so
+// the no-transit policy is never vacuous.
+func Random(n int) (*topology.Topology, error) {
+	if n < 4 {
+		return nil, errTooSmall("random", n, 4)
+	}
+	if n > maxGraphRouters {
+		// Let the builder report the shared addressing bound.
+		return buildGraphExt(randomName(n), n, nil, nil)
+	}
+	rng := rand.New(rand.NewSource(int64(n)*7919 + 17))
+
+	// Connected skeleton: attach router i to a uniformly chosen earlier
+	// router, then sprinkle extra edges (duplicates are deduplicated by
+	// the builder).
+	var edges [][2]int
+	for i := 2; i <= n; i++ {
+		edges = append(edges, [2]int{1 + rng.Intn(i-1), i})
+	}
+	for k := 0; k < n/2; k++ {
+		i := 1 + rng.Intn(n)
+		j := 1 + rng.Intn(n)
+		if i != j {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+
+	attaches := []extAttachment{{router: 1, customer: true}}
+	ord := 0
+	addISP := func(router int) {
+		if ord >= maxGraphAttachments {
+			return // keep ordinals inside the addressing scheme
+		}
+		ord++
+		attaches = append(attaches, extAttachment{router: router, ordinal: ord})
+	}
+	for i := 2; i <= n; i++ {
+		if rng.Intn(10) < 7 {
+			addISP(i)
+			if rng.Intn(10) < 3 {
+				addISP(i)
+			}
+		}
+	}
+	// The policy needs at least two attachment points to constrain.
+	for i := 2; ord < 2 && i <= n; i++ {
+		addISP(i)
+	}
+	return buildGraphExt(randomName(n), n, edges, attaches)
+}

@@ -2,6 +2,8 @@ package netgen
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/topology"
 )
@@ -19,7 +21,7 @@ type Generator func(n int) (*topology.Topology, error)
 // derived by lightyear.SpecFor.
 type Scenario struct {
 	// Name identifies the scenario ("star", "ring", "full-mesh",
-	// "fat-tree").
+	// "fat-tree", "dual-homed", "multi-customer", "random").
 	Name string
 	// Summary is a one-line description for catalogs and CLIs.
 	Summary string
@@ -60,6 +62,27 @@ var scenarios = []Scenario{
 		SizeHint:    "k = pod arity (even), routers = 5k^2/4",
 		DefaultSize: 4,
 		Generate:    FatTree,
+	},
+	{
+		Name:        "dual-homed",
+		Summary:     "a ring where every non-customer router is dual-homed to two ISPs (per-attachment tags)",
+		SizeHint:    "n = number of routers, n >= 3 (2(n-1) ISP attachments)",
+		DefaultSize: 6,
+		Generate:    DualHomed,
+	},
+	{
+		Name:        "multi-customer",
+		Summary:     "a full mesh with max(2, n/3) customer networks and one ISP on each remaining router",
+		SizeHint:    "n = number of routers, n >= 4",
+		DefaultSize: 6,
+		Generate:    MultiCustomer,
+	},
+	{
+		Name:        "random",
+		Summary:     "a seeded pseudo-random connected graph mixing single- and dual-homed ISPs",
+		SizeHint:    "n = number of routers, n >= 4 (seeded by n: reproducible)",
+		DefaultSize: 12,
+		Generate:    Random,
 	},
 }
 
@@ -102,9 +125,32 @@ func ScenarioNames() []string {
 	return names
 }
 
-func ringName(n int) string    { return fmt.Sprintf("ring-%d", n) }
-func meshName(n int) string    { return fmt.Sprintf("full-mesh-%d", n) }
-func fatTreeName(k int) string { return fmt.Sprintf("fat-tree-%d", k) }
+// ParseScenarioArg splits a "name[:size]" scenario argument, the CLI
+// shorthand for one generator invocation ("dual-homed:8", "random:20").
+// size is 0 when the argument carries none, so callers can apply their
+// own default (a -n flag or the scenario default).
+func ParseScenarioArg(arg string) (name string, size int, err error) {
+	name = arg
+	if i := strings.IndexByte(arg, ':'); i >= 0 {
+		name = arg[:i]
+		n, err := strconv.Atoi(arg[i+1:])
+		if err != nil || n <= 0 {
+			return "", 0, fmt.Errorf("scenario argument %q: size after ':' must be a positive integer", arg)
+		}
+		size = n
+	}
+	if _, ok := Lookup(name); !ok {
+		return "", 0, fmt.Errorf("unknown topology scenario %q (have %v)", name, ScenarioNames())
+	}
+	return name, size, nil
+}
+
+func ringName(n int) string          { return fmt.Sprintf("ring-%d", n) }
+func meshName(n int) string          { return fmt.Sprintf("full-mesh-%d", n) }
+func fatTreeName(k int) string       { return fmt.Sprintf("fat-tree-%d", k) }
+func dualHomedName(n int) string     { return fmt.Sprintf("dual-homed-%d", n) }
+func multiCustomerName(n int) string { return fmt.Sprintf("multi-customer-%d", n) }
+func randomName(n int) string        { return fmt.Sprintf("random-%d", n) }
 
 // ispRange lists the routers in [lo, hi] as ISP attachment points.
 func ispRange(lo, hi int) []int {

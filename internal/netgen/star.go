@@ -17,15 +17,21 @@ import (
 	"repro/internal/topology"
 )
 
-// Addressing scheme constants (chosen to match the literals that appear in
-// the paper's Table 3 examples, e.g. neighbor 7.0.0.2 AS 7, network
-// 1.0.0.0/24).
+// Addressing scheme constants. Router indices, interface subnets, and
+// network statements keep the literals of the paper's Table 3 examples
+// (neighbor 7.0.0.2 AS 7, network 1.0.0.0/24).
 const (
-	// CustomerAS is the customer's AS number.
+	// CustomerAS is the customer's AS number (ordinal-keyed customers of
+	// multi-customer topologies take CustomerAS+ordinal).
 	CustomerAS = 65500
-	// ISPBaseAS is added to the router index for ISP AS numbers
-	// (ISP attached to R2 has AS 102, etc.).
-	ISPBaseAS = 100
+	// ISPBaseAS is added to the router index (or, on attachment-keyed
+	// topologies, the attachment ordinal) for ISP AS numbers: the ISP
+	// attached to R2 has AS 1002. The base sits above maxGraphRouters so
+	// no ISP can share an AS with an internal router — with the paper's
+	// original base of 100, R102 and ISP2 both took AS 102 and AS-path
+	// loop detection silently dropped the ISP's routes on graphs of 102+
+	// routers.
+	ISPBaseAS = 1000
 )
 
 // Star generates the Figure 4 star topology with n routers (n >= 2):
@@ -93,14 +99,38 @@ func ISPCommunity(i int) netcfg.Community {
 	return netcfg.NewCommunity(uint16(98+i), 1)
 }
 
+// AttachmentCommunity returns the community tag of an attachment ordinal
+// in the per-attachment allocation scheme: attachment o tags (98+o):1.
+// The formula is the same as ISPCommunity's so the egress community-list
+// naming convention carries over, but the key is the attachment — never
+// the router — so two ISPs homed on one router get distinct tags. A
+// topology uses either ordinal keying (every ISP neighbor carries an
+// Attachment) or the legacy router-index keying; the two are never mixed
+// within one graph, so the tag spaces cannot collide.
+func AttachmentCommunity(ordinal int) netcfg.Community {
+	return netcfg.NewCommunity(uint16(98+ordinal), 1)
+}
+
 // ISPPrefix returns the external prefix the ISP behind Ri originates
 // (used by the BGP simulation that checks the global no-transit policy).
 func ISPPrefix(i int) netcfg.Prefix {
 	return netcfg.MustPrefix(fmt.Sprintf("150.%d.0.0/16", i))
 }
 
-// CustomerPrefix is the prefix the customer originates.
+// AttachmentPrefix returns the external prefix the ISP at an attachment
+// ordinal originates in the per-attachment addressing scheme.
+func AttachmentPrefix(ordinal int) netcfg.Prefix {
+	return netcfg.MustPrefix(fmt.Sprintf("150.%d.0.0/16", ordinal))
+}
+
+// CustomerPrefix is the prefix the (single, legacy) customer originates.
 func CustomerPrefix() netcfg.Prefix { return netcfg.MustPrefix("99.99.0.0/16") }
+
+// CustomerPrefixAt returns the prefix customer ordinal c originates on
+// multi-customer topologies: 99.<c>.0.0/16.
+func CustomerPrefixAt(c int) netcfg.Prefix {
+	return netcfg.MustPrefix(fmt.Sprintf("99.%d.0.0/16", c))
+}
 
 // Describe renders the formulaic natural-language description of the
 // topology — the automated script output the paper uses instead of
@@ -123,6 +153,16 @@ func Describe(t *topology.Topology) string {
 			}
 			fmt.Fprintf(&b, "Router %s is connected to %s %s at IP address %s in AS %d.\n",
 				r.Name, kind, nb.PeerName, nb.PeerIP, nb.PeerAS)
+			// Attachment-level facts, as their own sentences so the
+			// neighbor sentence keeps its machine-parsed shape.
+			if nb.Attachment > 0 {
+				fmt.Fprintf(&b, "Peer %s is external attachment point %d of the network.\n",
+					nb.PeerName, nb.Attachment)
+			}
+			if nb.External && len(nb.Prefixes) > 0 {
+				fmt.Fprintf(&b, "Peer %s originates the prefixes: %s.\n",
+					nb.PeerName, strings.Join(nb.Prefixes, ", "))
+			}
 		}
 		fmt.Fprintf(&b, "Router %s announces the networks: %s.\n",
 			r.Name, strings.Join(r.Networks, ", "))

@@ -70,6 +70,41 @@ type NeighborSpec struct {
 	// alone. Empty on internal peerings; when empty on an external peering
 	// the simulation falls back to the star generator's conventions.
 	Prefixes []string `json:"prefixes,omitempty"`
+	// Attachment is the first-class attachment-point ordinal of an
+	// external ISP peering: the key for the community tag, the ISP subnet,
+	// and the stub AS in the attachment-keyed addressing scheme. It makes
+	// the (router, neighbor) pair — not the router — the unit the local
+	// no-transit specification is derived for, which is what admits
+	// several ISPs on one router (dual-homing). Zero means the peering
+	// predates the attachment model and keeps the legacy router-index
+	// keying; the field is omitted from the JSON dictionary in that case,
+	// so pre-attachment topologies serialize byte-identically.
+	Attachment int `json:"attachment,omitempty"`
+}
+
+// AttachmentPoint is one external attachment of the network: the router
+// holding the peering and the external neighbor spec. It is the identity
+// the local specification, the community allocation, and the verification
+// suite key their per-attachment obligations on.
+type AttachmentPoint struct {
+	Router string
+	Peer   NeighborSpec
+}
+
+// ExternalAttachments lists every external attachment point (ISPs and
+// customers alike) in topology order: routers in declaration order, each
+// router's external neighbors in declaration order.
+func (t *Topology) ExternalAttachments() []AttachmentPoint {
+	var out []AttachmentPoint
+	for i := range t.Routers {
+		r := &t.Routers[i]
+		for _, nb := range r.Neighbors {
+			if nb.External {
+				out = append(out, AttachmentPoint{Router: r.Name, Peer: nb})
+			}
+		}
+	}
+	return out
 }
 
 // Interface returns the named interface spec, or nil.
