@@ -1,12 +1,181 @@
 package repro
 
 import (
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"reflect"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/batfish/rest"
 )
+
+// shardFleet spins up n in-process shard servers and returns a sharded
+// client over them. dieAfter > 0 arranges for the first shard to crash
+// mid-run: after serving that many requests it aborts every connection
+// without a response — the failure mode of a killed batfishd — so the
+// ring must fail its work over onto the survivors.
+func shardFleet(t *testing.T, n int, dieAfter int64) *rest.ShardedClient {
+	t.Helper()
+	endpoints := make([]string, n)
+	for i := 0; i < n; i++ {
+		handler := rest.NewHandler()
+		if i == 0 && dieAfter > 0 {
+			inner := handler
+			var served atomic.Int64
+			handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if served.Add(1) > dieAfter {
+					panic(http.ErrAbortHandler)
+				}
+				inner.ServeHTTP(w, r)
+			})
+		}
+		srv := httptest.NewServer(handler)
+		t.Cleanup(srv.Close)
+		endpoints[i] = srv.URL
+	}
+	client, err := rest.NewShardedClient(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// requireSameRun asserts two synthesis results are byte-identical in
+// every paper-visible dimension: transcript, final configurations,
+// verification outcome, and leverage.
+func requireSameRun(t *testing.T, label string, baseline, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(baseline.Transcript, got.Transcript) {
+		t.Errorf("%s: transcripts diverge:\nbaseline:\n%s\ngot:\n%s",
+			label, baseline.Transcript, got.Transcript)
+	}
+	if !reflect.DeepEqual(baseline.Configs, got.Configs) {
+		t.Errorf("%s: final configurations diverge", label)
+	}
+	if baseline.Verified != got.Verified || baseline.Leverage() != got.Leverage() {
+		t.Errorf("%s: outcome diverges: verified %v/%v leverage %v/%v",
+			label, baseline.Verified, got.Verified,
+			baseline.Leverage(), got.Leverage())
+	}
+}
+
+// TestShardedSynthesisByteIdentical is the acceptance gate for the
+// sharded verification backend: on every registry scenario, synthesis
+// through a consistent-hash shard ring — one shard, three shards, and
+// three shards with one killed mid-run — must reproduce the in-process
+// sequential loop's transcript exactly. Results are pure functions of
+// their inputs, so re-hashing a dead shard's checks onto the survivors
+// must not change a byte.
+func TestShardedSynthesisByteIdentical(t *testing.T) {
+	// The ring's shard assignment depends on the test servers' random
+	// ports, so whether the doomed shard is ever asked a second request —
+	// and therefore visibly dies — varies per scenario. Each scenario
+	// requires failover when the shard did die; the aggregate requires
+	// that the kill actually fired somewhere, so the failover path is
+	// always exercised by this gate. The aggregate only applies when every
+	// scenario ran — a -run filter selecting one subtest must not trip it.
+	failoversExercised, scenariosRun := 0, 0
+	for _, info := range Topologies() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			scenariosRun++
+			baseline, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
+				SynthesizeOptions{DisableVerifierCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []struct {
+				label    string
+				shards   int
+				dieAfter int64
+			}{
+				{"1-shard", 1, 0},
+				{"3-shard", 3, 0},
+				// The doomed shard serves its first request, then aborts
+				// every later connection: a crash in the middle of the
+				// repair loop's iteration sequence. The ring must re-hash
+				// its checks without changing the transcript.
+				{"3-shard-one-killed", 3, 1},
+			} {
+				client := shardFleet(t, mode.shards, mode.dieAfter)
+				res, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
+					SynthesizeOptions{Verifier: client})
+				if err != nil {
+					t.Fatalf("%s: %v", mode.label, err)
+				}
+				requireSameRun(t, mode.label, baseline, res)
+				if res.CacheStats == nil || res.CacheStats.Prefetches == 0 {
+					t.Errorf("%s: sharded run issued no batched prefetches: %v",
+						mode.label, res.CacheStats)
+				}
+				if mode.dieAfter > 0 {
+					stats := client.Stats()
+					if stats[0].Calls > mode.dieAfter && !stats[0].Dead {
+						t.Errorf("%s: killed shard answered %d calls but was not failed over: %v",
+							mode.label, stats[0].Calls, stats[0])
+					}
+					if stats[0].Dead {
+						failoversExercised++
+					}
+					for i := 1; i < len(stats); i++ {
+						if stats[i].Dead {
+							t.Errorf("%s: survivor %d marked dead", mode.label, i)
+						}
+					}
+				}
+			}
+		})
+	}
+	if scenariosRun == len(Topologies()) && failoversExercised == 0 {
+		t.Error("no scenario exercised mid-run shard failover")
+	}
+}
+
+// TestConfiguredBackendByteIdentical is the CI matrix hook: the workflow
+// runs the suite once per backend, setting COSYNTH_TEST_BACKEND to
+// "in-process" or "sharded-N", and this test re-runs the byte-identical
+// gate through that backend on every registry scenario. Unset, it skips —
+// the dedicated tests above already cover both backends.
+func TestConfiguredBackendByteIdentical(t *testing.T) {
+	backend := os.Getenv("COSYNTH_TEST_BACKEND")
+	if backend == "" {
+		t.Skip("COSYNTH_TEST_BACKEND not set (CI matrix hook)")
+	}
+	shards := 0
+	if s, ok := strings.CutPrefix(backend, "sharded-"); ok {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad COSYNTH_TEST_BACKEND %q", backend)
+		}
+		shards = n
+	} else if backend != "in-process" {
+		t.Fatalf("unknown COSYNTH_TEST_BACKEND %q", backend)
+	}
+	for _, info := range Topologies() {
+		info := info
+		t.Run(fmt.Sprintf("%s/%s", info.Name, backend), func(t *testing.T) {
+			baseline, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
+				SynthesizeOptions{DisableVerifierCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := SynthesizeOptions{}
+			if shards > 0 {
+				opts.Verifier = shardFleet(t, shards, 0)
+			}
+			res, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRun(t, backend, baseline, res)
+		})
+	}
+}
 
 // TestAcceleratedSynthesisByteIdentical is the acceptance gate for the
 // verification acceleration layer: on every registry scenario, the
@@ -27,19 +196,7 @@ func TestAcceleratedSynthesisByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(baseline.Transcript, accelerated.Transcript) {
-				t.Errorf("transcripts diverge:\nbaseline:\n%s\naccelerated:\n%s",
-					baseline.Transcript, accelerated.Transcript)
-			}
-			if !reflect.DeepEqual(baseline.Configs, accelerated.Configs) {
-				t.Error("final configurations diverge")
-			}
-			if baseline.Verified != accelerated.Verified ||
-				baseline.Leverage() != accelerated.Leverage() {
-				t.Errorf("outcome diverges: verified %v/%v leverage %v/%v",
-					baseline.Verified, accelerated.Verified,
-					baseline.Leverage(), accelerated.Leverage())
-			}
+			requireSameRun(t, "accelerated", baseline, accelerated)
 			if accelerated.CacheStats == nil || accelerated.CacheStats.Hits == 0 {
 				t.Errorf("cache saw no hits: %v", accelerated.CacheStats)
 			}
@@ -63,10 +220,7 @@ func TestBatchedRESTSynthesisByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(baseline.Transcript, batched.Transcript) {
-		t.Errorf("transcripts diverge:\nbaseline:\n%s\nbatched:\n%s",
-			baseline.Transcript, batched.Transcript)
-	}
+	requireSameRun(t, "batched", baseline, batched)
 	if !batched.Verified {
 		t.Error("batched REST run did not verify")
 	}

@@ -473,6 +473,73 @@ func BenchmarkBatchedRESTVerifier(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedRESTVerifier (E16, extension) fans the batched suite
+// out across batfishd shards: synthesis on the fat-tree and the seeded
+// random graph against a consistent-hash ring of 1 vs 3 in-process shard
+// servers. The accounting contract generalizes PR 2's: at most one
+// verification round-trip per iteration *per shard*, issued in parallel,
+// plus the final global check — so total REST calls may grow with the
+// shard count while each shard's queue shrinks.
+func BenchmarkShardedRESTVerifier(b *testing.B) {
+	for _, scenario := range []string{"fat-tree", "random"} {
+		info := TopologyInfo{Name: scenario}
+		for _, t := range Topologies() {
+			if t.Name == scenario {
+				info = t
+			}
+		}
+		for _, nshards := range []int{1, 3} {
+			nshards := nshards
+			b.Run(fmt.Sprintf("%s/shards-%d", info.Name, nshards), func(b *testing.B) {
+				endpoints := make([]string, nshards)
+				for i := range endpoints {
+					srv := httptest.NewServer(rest.NewHandler())
+					defer srv.Close()
+					endpoints[i] = srv.URL
+				}
+				client, err := rest.NewShardedClient(endpoints)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var res *core.Result
+				for i := 0; i < b.N; i++ {
+					topo, err := netgen.Generate(info.Name, info.DefaultSize)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err = Synthesize(topo, SynthesizeOptions{Verifier: client})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if !res.Verified {
+					b.Fatalf("%s sharded run did not verify", info.Name)
+				}
+				callsPerRun := float64(client.Calls()) / float64(b.N)
+				wallMS := float64(b.Elapsed().Milliseconds()) / float64(b.N)
+				b.ReportMetric(callsPerRun, "rest-calls-per-run")
+				b.ReportMetric(float64(nshards), "shards")
+				metrics := map[string]float64{
+					"shards":             float64(nshards),
+					"rest-calls-per-run": callsPerRun,
+					"wall-ms-per-run":    wallMS,
+				}
+				if res.CacheStats != nil {
+					iters := float64(res.CacheStats.Prefetches)
+					metrics["iterations-per-run"] = iters
+					// The sharded acceptance shape: ≤ 1 round-trip per
+					// iteration per shard, plus the final global check.
+					if callsPerRun > iters*float64(nshards)+1 {
+						b.Fatalf("shape violated: %.1f calls for %.0f iterations on %d shards",
+							callsPerRun, iters, nshards)
+					}
+				}
+				benchJSON(b, metrics)
+			})
+		}
+	}
+}
+
 // BenchmarkIncrementalPolicyAddition (E11, extension) runs the paper's §6
 // open question: add a policy to an already-verified network and catch
 // the interference the careless edit introduces.

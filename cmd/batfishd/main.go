@@ -3,7 +3,18 @@
 // SearchRoutePolicies, batched whole-iteration checks (/v1/batch), and the
 // global no-transit BGP simulation. The COSYNTH engine can point at it
 // with --verifier (see cmd/cosynth), which is how the Batfish dependency
-// is reproduced without Go bindings.
+// is reproduced without Go bindings. Several batfishd instances form a
+// shard fleet: cosynth -rest takes a comma-separated endpoint list and
+// consistent-hashes the suite across them.
+//
+// The daemon is registry-aware: it serves the version-gated /v1/scenario
+// endpoint, which accepts a registered topology family as "name:size"
+// ("fat-tree:4"), validates it against the scenario registry, and
+// pre-warms the server's shared parse cache by synthesizing the family
+// with the deterministic simulated LLM and parsing the resulting
+// configurations — so a client that then drives the same family hits warm
+// parses on its batched checks. Disable with -no-warm to serve the
+// endpoint validation-only.
 package main
 
 import (
@@ -13,26 +24,63 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/batfish"
 	"repro/internal/batfish/rest"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
 )
+
+// warmScenario is the daemon's ScenarioWarmer: synthesize the family with
+// the deterministic simulated LLM at the client's seed (zero: default —
+// the same run a default cosynth client performs) and parse the final
+// configurations into the shared cache.
+func warmScenario(topo *topology.Topology, seed int64, parses *netcfg.ParseCache) (int, error) {
+	cfg := llm.DefaultSynthConfig()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := core.Synthesize(topo, core.SynthOptions{
+		Model: llm.NewSynthesizer(cfg),
+	})
+	if err != nil {
+		return 0, err
+	}
+	warmed := 0
+	for _, cfg := range res.Configs {
+		parses.Parse(cfg)
+		warmed++
+	}
+	log.Printf("batfishd: warmed %s: %d routers, %d configs parsed",
+		topo.Name, len(topo.Routers), warmed)
+	return warmed, nil
+}
 
 func main() {
 	addr := flag.String("addr", "localhost:9876", "listen address")
 	batchWorkers := flag.Int("batch-workers", 0,
 		"worker pool size for /v1/batch check evaluation (0 = GOMAXPROCS)")
+	noWarm := flag.Bool("no-warm", false,
+		"serve /v1/scenario validation-only: no shared parse cache, no pre-warm synthesis")
 	flag.Parse()
 
+	opts := rest.HandlerOptions{BatchWorkers: *batchWorkers}
+	if !*noWarm {
+		opts.Parses = batfish.NewParseCache()
+		opts.Warmer = warmScenario
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           rest.NewHandlerOpts(rest.HandlerOptions{BatchWorkers: *batchWorkers}),
+		Handler:           rest.NewHandlerOpts(opts),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	workers := *batchWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("batfishd: serving verification suite on http://%s (batch workers: %d)",
-		*addr, workers)
+	log.Printf("batfishd: serving verification suite on http://%s (batch workers: %d, registry warm: %v)",
+		*addr, workers, !*noWarm)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("batfishd: %v", err)
 	}

@@ -7,7 +7,9 @@
 //	cosynth -mode notransit -topo ring -n 8 -parallel 4
 //	cosynth -mode notransit -topo dual-homed:8        # per-attachment specs
 //	cosynth -mode notransit -topo random:20 -suite-parallel 8
-//	cosynth -mode translate -verifier http://localhost:9876   # via batfishd
+//	cosynth -mode translate -rest http://localhost:9876       # via batfishd
+//	cosynth -mode notransit -rest http://h1:9876,http://h2:9876 -rest http://h3:9876
+//	cosynth -mode notransit -topo fat-tree:4 -shards 3        # in-process shard fleet
 //
 // The -topo argument names any registered scenario (star, ring,
 // full-mesh, fat-tree, dual-homed, multi-customer, random — see `netgen
@@ -16,20 +18,111 @@
 // the per-attachment specification: community tags and local obligations
 // are allocated per (router, ISP) attachment point, so routers may be
 // homed to several ISPs and customers may attach anywhere.
+//
+// The -rest flag is repeatable and comma-separated: one endpoint uses the
+// plain REST client, several build a consistent-hash shard ring
+// (rest.ShardedClient) that fans each iteration's batched checks across
+// the fleet concurrently and fails a dead shard's work over onto the
+// survivors. -shards N spawns N in-process shard servers (for tests and
+// benchmarks) and adds them to the ring. Against registry-aware servers
+// the chosen -topo family is pre-warmed via /v1/scenario; older servers
+// skip the warm-up gracefully.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro"
+	"repro/internal/batfish"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
 	"repro/internal/netgen"
 	"repro/internal/topology"
 )
+
+// restFlag accumulates repeatable -rest values.
+type restFlag []string
+
+func (f *restFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *restFlag) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+// buildVerifier resolves the endpoint list into a verifier: nil for the
+// in-process suite, the plain client for one endpoint, the sharded client
+// for a fleet. The sharded client is returned separately so the caller
+// can print per-shard stats.
+func buildVerifier(endpoints []string) (core.Verifier, *rest.ShardedClient, error) {
+	switch len(endpoints) {
+	case 0:
+		return nil, nil, nil
+	case 1:
+		client := rest.NewClient(endpoints[0])
+		if err := client.Health(); err != nil {
+			return nil, nil, fmt.Errorf("verifier %s unreachable: %w", endpoints[0], err)
+		}
+		return client, nil, nil
+	default:
+		sharded, err := rest.NewShardedClient(endpoints)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sharded.Health(); err != nil {
+			return nil, nil, err
+		}
+		// The ring keeps serving as long as one shard answers, but an
+		// operator who listed N endpoints should hear when the run starts
+		// on fewer — a silently smaller fleet skews any benchmark.
+		for _, st := range sharded.Stats() {
+			if st.Dead {
+				log.Printf("cosynth: WARNING: shard %s unreachable at startup; continuing on survivors",
+					st.Endpoint)
+			}
+		}
+		return sharded, sharded, nil
+	}
+}
+
+// warmFamily asks registry-aware servers to pre-warm the scenario family
+// at this run's seed; servers that predate the endpoint are skipped
+// silently — the warm-up is an optimization, never a requirement.
+func warmFamily(verifier core.Verifier, sharded *rest.ShardedClient, name string, size int, seed int64) {
+	arg := name
+	if size > 0 {
+		arg = fmt.Sprintf("%s:%d", name, size)
+	}
+	switch {
+	case sharded != nil:
+		if n, err := sharded.WarmScenario(arg, seed); err != nil {
+			log.Printf("cosynth: scenario pre-warm: %v", err)
+		} else if n > 0 {
+			fmt.Printf("pre-warmed %s on %d shard(s)\n", arg, n)
+		}
+	case verifier != nil:
+		client, ok := verifier.(*rest.Client)
+		if !ok {
+			return
+		}
+		resp, err := client.WarmScenario(arg, seed)
+		switch {
+		case err == nil:
+			fmt.Printf("pre-warmed %s: %d routers, %d configs parsed server-side\n",
+				resp.Scenario, resp.Routers, resp.WarmedConfigs)
+		case rest.IsScenarioUnsupported(err):
+			// Pre-registry server: nothing to warm.
+		default:
+			log.Printf("cosynth: scenario pre-warm: %v", err)
+		}
+	}
+}
 
 func main() {
 	mode := flag.String("mode", "translate", "use case: translate | notransit")
@@ -39,22 +132,43 @@ func main() {
 	suiteParallel := flag.Int("suite-parallel", 0, "per-iteration verifier-suite workers (<=1: sequential scan)")
 	noCache := flag.Bool("no-cache", false, "disable the incremental verification cache")
 	seed := flag.Int64("seed", 1, "simulated-LLM seed")
-	verifierURL := flag.String("verifier", "", "batfishd base URL (default: in-process suite)")
+	var restEndpoints restFlag
+	flag.Var(&restEndpoints, "rest",
+		"batfishd endpoint(s); repeatable and comma-separated — several endpoints form a consistent-hash shard ring")
+	shards := flag.Int("shards", 0,
+		"spawn N in-process shard servers and add them to the -rest ring (tests/benchmarks)")
+	verifierURL := flag.String("verifier", "", "deprecated alias for a single -rest endpoint")
 	inputPath := flag.String("config", "", "Cisco config to translate (default: bundled example)")
 	showConfigs := flag.Bool("print-configs", false, "print the final configuration(s)")
 	flag.Parse()
 
-	var verifier core.Verifier
 	if *verifierURL != "" {
-		client := rest.NewClient(*verifierURL)
-		if err := client.Health(); err != nil {
-			log.Fatalf("cosynth: verifier %s unreachable: %v", *verifierURL, err)
+		restEndpoints = append(restEndpoints, *verifierURL)
+	}
+	endpoints, err := rest.SplitEndpoints(restEndpoints)
+	if err != nil {
+		log.Fatalf("cosynth: -rest: %v", err)
+	}
+	for i := 0; i < *shards; i++ {
+		// Each in-process shard gets a shared parse cache (cross-request
+		// reuse) but no scenario warmer: warming would re-run the very
+		// synthesis this process is about to perform.
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			log.Fatalf("cosynth: -shards: %v", lerr)
 		}
-		verifier = client
+		srv := &http.Server{Handler: rest.NewHandlerOpts(rest.HandlerOptions{
+			Parses: batfish.NewParseCache()})}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		endpoints = append(endpoints, "http://"+ln.Addr().String())
+	}
+	verifier, sharded, err := buildVerifier(endpoints)
+	if err != nil {
+		log.Fatalf("cosynth: %v", err)
 	}
 
 	var res *repro.Result
-	var err error
 	switch *mode {
 	case "translate":
 		cfg := repro.ExampleCiscoConfig()
@@ -75,6 +189,7 @@ func main() {
 		if size == 0 {
 			size = *n
 		}
+		warmFamily(verifier, sharded, name, size, *seed)
 		var topo *topology.Topology
 		topo, _, err = repro.GenerateTopology(name, size)
 		if err != nil {
@@ -106,6 +221,12 @@ func main() {
 	fmt.Println(repro.Summary(*mode, res))
 	if res.CacheStats != nil {
 		fmt.Println(res.CacheStats)
+	}
+	if sharded != nil {
+		fmt.Println("=== Shards ===")
+		for _, st := range sharded.Stats() {
+			fmt.Println(" -", st)
+		}
 	}
 	if !res.Verified {
 		os.Exit(1)

@@ -106,12 +106,67 @@
 // Batch transport. When the verifier is remote (rest.Client against
 // batfishd), each iteration first enumerates every outstanding check
 // across all stages and ships the not-yet-cached ones as a single
-// /v1/batch round-trip (core.BatchVerifier / CachedVerifier.Prefetch);
-// the stage scan then reads pure cache hits. One round-trip per iteration
-// replaces one per check — benchmark E15 measures it on the fat-tree —
-// and the client falls back to per-check calls against servers that
-// predate the endpoint. The server evaluates a batch on its own worker
-// pool with a request-scoped parse cache.
+// /v1/batch round-trip (CachedVerifier.Prefetch through the backend
+// seam); the stage scan then reads pure cache hits. One round-trip per
+// iteration replaces one per check — benchmark E15 measures it on the
+// fat-tree — and the client falls back to per-check calls against servers
+// that predate the endpoint. The server evaluates a batch on its own
+// worker pool with a request-scoped parse cache (or a shared one, below).
+//
+// # Distributed verification
+//
+// All verification dispatches through one seam, suite.Backend: a batch of
+// independent checks in, positional results out, plus a capability probe
+// (does batching amortize transport cost). The in-process suite
+// (suite.CheckerBackend), a single REST endpoint (rest.Client), and a
+// shard fleet (rest.ShardedClient) are interchangeable behind it —
+// core.NewCachedVerifier resolves whichever the supplied verifier
+// supports, and the pipeline's per-iteration prefetch enumerates its
+// outstanding checks against the seam without knowing the transport.
+// Because every check is a pure function of its inputs, transcripts are
+// byte-identical whichever backend serves them
+// (TestShardedSynthesisByteIdentical pins this on every registry
+// scenario, for 1 shard, 3 shards, and 3 shards with one killed mid-run).
+//
+// The hash ring. rest.ShardedClient consistent-hashes every check over N
+// batfishd endpoints (64 virtual nodes per shard, 64-bit FNV-1a, so every
+// client agrees on the assignment). The distribution key
+// (suite.ShardKey) is the check's configuration text — all of one
+// revision's whole-config checks stick to one shard and share its parse —
+// except that a local-policy check appends its attachment identity, so
+// the obligations of a multi-homed router spread independently: the
+// attachment is the sharding unit, exactly as it is the unit of
+// incremental re-verification. Each iteration's prefetch becomes one
+// batched round-trip per shard, issued concurrently (benchmark E16
+// measures 1 vs 3 shards), with per-shard round-trip, latency, and
+// failure counters (ShardedClient.Stats).
+//
+// Failover. A transport-level failure — connection refused, connection
+// died mid-request — triggers a health probe of the shard: a dead
+// endpoint is failed over at once, a slow-but-alive one is kept until it
+// exhausts a small failure budget (one client-side timeout must not
+// cascade a loaded fleet into "all shards dead"). A failed-over shard's
+// checks re-hash onto the survivors; the ring walk skips dead shards, so
+// only the dead shard's keys move, and they land exactly where the ring
+// without that shard would have put them. Served errors propagate
+// instead: they would reproduce identically on any shard. Health
+// re-probes every shard and revives the ones that answer. Each shard
+// independently keeps the v1 per-check fallback, so a fleet may mix
+// batch-capable and pre-batch servers.
+//
+// Registry-aware servers. batfishd serves the version-gated /v1/scenario
+// endpoint: a client names a registered topology family ("fat-tree:4")
+// and the server — validating the name against its own scenario registry
+// — pre-warms its shared parse cache by synthesizing the family with the
+// deterministic simulated LLM and parsing the resulting configurations,
+// so a client then driving the same family hits warm parses on its
+// batched checks. Newer dialects are rejected with 400, which clients
+// treat like the missing endpoint of a pre-registry binary: the warm-up
+// is skipped, never required — the same backward-compatible-upgrade
+// discipline as the batch protocol's version gate. cosynth accepts a
+// repeatable, comma-separated -rest endpoint list (a fleet builds the
+// ring) and -shards N to spawn in-process shard servers for tests and
+// benchmarks.
 //
 // # Concurrent per-router synthesis
 //

@@ -1,6 +1,7 @@
 package rest
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -52,7 +53,7 @@ func TestBatchRoundTrip(t *testing.T) {
 	c := newTestClient(t)
 	checks := batchChecks(t)
 	before := c.Calls()
-	results, err := c.CheckSuite(checks)
+	results, err := c.CheckBatch(context.Background(), checks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestBatchRoundTrip(t *testing.T) {
 }
 
 // TestBatchFallbackOldServer points the client at a server without the
-// batch endpoint: CheckSuite must return identical results over per-check
+// batch endpoint: the batched path must return identical results over per-check
 // calls, and pay the 404 probe only once.
 func TestBatchFallbackOldServer(t *testing.T) {
 	full := NewHandler()
@@ -101,7 +102,7 @@ func TestBatchFallbackOldServer(t *testing.T) {
 	checks := batchChecks(t)
 
 	before := c.Calls()
-	results, err := c.CheckSuite(checks)
+	results, err := c.CheckBatch(context.Background(), checks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestBatchFallbackOldServer(t *testing.T) {
 	// The probe is remembered: the second batch goes straight to
 	// per-check calls.
 	before = c.Calls()
-	if _, err := c.CheckSuite(checks); err != nil {
+	if _, err := c.CheckBatch(context.Background(), checks); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Calls() - before; got != int64(len(checks)) {
@@ -126,7 +127,7 @@ func TestBatchFallbackOldServer(t *testing.T) {
 
 // TestBatchVersionRejected points the client at a server that refuses the
 // batch protocol version (as an old strict decoder or a version-gated
-// server would): CheckSuite must downgrade to per-check calls, remember
+// server would): the batched path must downgrade to per-check calls, remember
 // the rejection, and still return full results.
 func TestBatchVersionRejected(t *testing.T) {
 	full := NewHandler()
@@ -143,7 +144,7 @@ func TestBatchVersionRejected(t *testing.T) {
 	checks := batchChecks(t)
 
 	before := c.Calls()
-	results, err := c.CheckSuite(checks)
+	results, err := c.CheckBatch(context.Background(), checks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestBatchVersionRejected(t *testing.T) {
 		t.Error("version fallback lost the local-policy violation")
 	}
 	before = c.Calls()
-	if _, err := c.CheckSuite(checks); err != nil {
+	if _, err := c.CheckBatch(context.Background(), checks); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Calls() - before; got != int64(len(checks)) {

@@ -2,7 +2,9 @@ package rest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +20,33 @@ import (
 	"repro/internal/topology"
 )
 
+// TransportError marks a request that failed at the transport layer — the
+// connection could not be established, died mid-request, or the response
+// body was cut off — as opposed to a server that answered with an error.
+// The distinction drives shard failover: a transport failure means the
+// endpoint is down and its work should re-hash onto surviving shards,
+// while a served error (bad request, semantic rejection) would reproduce
+// identically on any shard and must propagate instead.
+type TransportError struct {
+	Path string
+	Err  error
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("calling %s: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying transport failure.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransportError reports whether err (or anything it wraps) is a
+// transport-layer failure rather than a served error response.
+func IsTransportError(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
 // ClientOptions tunes the REST client.
 type ClientOptions struct {
 	// Timeout bounds each request (default 30s). Batched requests carry a
@@ -30,9 +59,10 @@ type ClientOptions struct {
 }
 
 // Client calls the verification suite over HTTP. It implements
-// core.Verifier — and core.BatchVerifier via CheckSuite, which ships many
-// checks in one /v1/batch round-trip, falling back to per-check calls
-// against servers that predate the batch endpoint.
+// core.Verifier — and the engine's backend seam (suite.Backend) via
+// CheckBatch, which ships many checks in one /v1/batch round-trip,
+// falling back to per-check calls against servers that predate the batch
+// endpoint. ShardedClient fans the same seam out over several endpoints.
 type Client struct {
 	base string
 	http *http.Client
@@ -73,19 +103,31 @@ func (c *Client) Calls() int64 { return c.calls.Load() }
 // post sends a JSON request and decodes the JSON response into out; the
 // returned status is valid whenever err is nil or the status was not OK.
 func (c *Client) post(path string, in, out interface{}) (status int, err error) {
+	return c.postCtx(context.Background(), path, in, out)
+}
+
+// postCtx is post with a request-scoped context. Transport-layer failures
+// come back as *TransportError so callers (the sharded client) can tell a
+// dead endpoint from a served error.
+func (c *Client) postCtx(ctx context.Context, path string, in, out interface{}) (status int, err error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, fmt.Errorf("encoding %s request: %w", path, err)
 	}
-	c.calls.Add(1)
-	resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, fmt.Errorf("calling %s: %w", path, err)
+		return 0, fmt.Errorf("building %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.calls.Add(1)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, &TransportError{Path: path, Err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return resp.StatusCode, fmt.Errorf("reading %s response: %w", path, err)
+		return resp.StatusCode, &TransportError{Path: path, Err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e ErrorResponse
@@ -114,10 +156,38 @@ func (c *Client) Health() error {
 	return nil
 }
 
+// ctxChecker carries a request context into the per-check fallback: it
+// satisfies suite.Checker over a Client so suite.Eval's dispatch reuses
+// the ctx-aware endpoint calls instead of dropping the caller's context.
+type ctxChecker struct {
+	c   *Client
+	ctx context.Context
+}
+
+func (cc ctxChecker) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
+	return cc.c.checkSyntaxCtx(cc.ctx, config)
+}
+
+func (cc ctxChecker) DiffTranslation(original, translation string) ([]campion.Finding, error) {
+	return cc.c.diffTranslationCtx(cc.ctx, original, translation)
+}
+
+func (cc ctxChecker) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
+	return cc.c.verifyTopologyCtx(cc.ctx, spec, config)
+}
+
+func (cc ctxChecker) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	return cc.c.checkLocalPolicyCtx(cc.ctx, config, req)
+}
+
 // CheckSyntax implements core.Verifier.
 func (c *Client) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
+	return c.checkSyntaxCtx(context.Background(), config)
+}
+
+func (c *Client) checkSyntaxCtx(ctx context.Context, config string) ([]netcfg.ParseWarning, error) {
 	var resp SyntaxResponse
-	if _, err := c.post(PathSyntax, SyntaxRequest{Config: config}, &resp); err != nil {
+	if _, err := c.postCtx(ctx, PathSyntax, SyntaxRequest{Config: config}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Warnings, nil
@@ -125,8 +195,12 @@ func (c *Client) CheckSyntax(config string) ([]netcfg.ParseWarning, error) {
 
 // DiffTranslation implements core.Verifier.
 func (c *Client) DiffTranslation(original, translation string) ([]campion.Finding, error) {
+	return c.diffTranslationCtx(context.Background(), original, translation)
+}
+
+func (c *Client) diffTranslationCtx(ctx context.Context, original, translation string) ([]campion.Finding, error) {
 	var resp DiffResponse
-	if _, err := c.post(PathDiff, DiffRequest{Original: original, Translation: translation}, &resp); err != nil {
+	if _, err := c.postCtx(ctx, PathDiff, DiffRequest{Original: original, Translation: translation}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Findings, nil
@@ -134,8 +208,12 @@ func (c *Client) DiffTranslation(original, translation string) ([]campion.Findin
 
 // VerifyTopology implements core.Verifier.
 func (c *Client) VerifyTopology(spec topology.RouterSpec, config string) ([]topology.Finding, error) {
+	return c.verifyTopologyCtx(context.Background(), spec, config)
+}
+
+func (c *Client) verifyTopologyCtx(ctx context.Context, spec topology.RouterSpec, config string) ([]topology.Finding, error) {
 	var resp TopologyResponse
-	if _, err := c.post(PathTopology, TopologyRequest{Spec: spec, Config: config}, &resp); err != nil {
+	if _, err := c.postCtx(ctx, PathTopology, TopologyRequest{Spec: spec, Config: config}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Findings, nil
@@ -147,10 +225,14 @@ func (c *Client) VerifyTopology(spec topology.RouterSpec, config string) ([]topo
 // strictly and would reject the unknown field, and no server dispatches
 // on the identity. The batched endpoint (protocol v2) ships it intact.
 func (c *Client) CheckLocalPolicy(config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
+	return c.checkLocalPolicyCtx(context.Background(), config, req)
+}
+
+func (c *Client) checkLocalPolicyCtx(ctx context.Context, config string, req lightyear.Requirement) (lightyear.Violation, bool, error) {
 	wire := req
 	wire.Attachment = lightyear.AttachmentRef{}
 	var resp LocalResponse
-	if _, err := c.post(PathLocal, LocalRequest{Config: config, Requirement: wire}, &resp); err != nil {
+	if _, err := c.postCtx(ctx, PathLocal, LocalRequest{Config: config, Requirement: wire}, &resp); err != nil {
 		return lightyear.Violation{}, false, err
 	}
 	if !resp.Violated {
@@ -172,6 +254,52 @@ func (c *Client) GlobalNoTransit(t *topology.Topology, configs map[string]string
 	return resp.Result, nil
 }
 
+// scenarioUnsupportedError marks a server that cannot serve the registry
+// pre-warm dialect at all: no endpoint (404/405, a pre-registry binary) or
+// a version-gate rejection (400, a server older than this client's
+// dialect). The warm-up is an optimization, so callers skip it against
+// such servers instead of failing.
+type scenarioUnsupportedError struct {
+	err error
+}
+
+// Error implements error.
+func (e *scenarioUnsupportedError) Error() string {
+	return fmt.Sprintf("scenario pre-warm unsupported by server: %v", e.err)
+}
+
+// Unwrap exposes the server's answer.
+func (e *scenarioUnsupportedError) Unwrap() error { return e.err }
+
+// IsScenarioUnsupported reports whether a WarmScenario error means the
+// server simply does not speak the registry pre-warm dialect (old binary
+// or older protocol version), as opposed to an unknown family or a
+// warm-up failure.
+func IsScenarioUnsupported(err error) bool {
+	var se *scenarioUnsupportedError
+	return errors.As(err, &se)
+}
+
+// WarmScenario asks the server to pre-warm its verification state for one
+// registered topology family ("fat-tree:4"; size optional) at the given
+// simulated-LLM seed (zero: default). Servers that predate the endpoint
+// or its protocol version yield an error that satisfies
+// IsScenarioUnsupported, so callers degrade gracefully — the warm-up is
+// never required for correctness.
+func (c *Client) WarmScenario(scenario string, seed int64) (ScenarioResponse, error) {
+	var resp ScenarioResponse
+	status, err := c.post(PathScenario,
+		ScenarioRequest{Version: ScenarioProtocolVersion, Scenario: scenario, Seed: seed}, &resp)
+	if err != nil {
+		switch status {
+		case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusBadRequest:
+			return ScenarioResponse{}, &scenarioUnsupportedError{err: err}
+		}
+		return ScenarioResponse{}, err
+	}
+	return resp, nil
+}
+
 // Search asks a SearchRoutePolicies question about one config.
 func (c *Client) Search(config string, q batfish.SearchQuery) (batfish.SearchResult, error) {
 	var resp SearchResponse
@@ -181,11 +309,16 @@ func (c *Client) Search(config string, q batfish.SearchQuery) (batfish.SearchRes
 	return resp.Result, nil
 }
 
-// CheckSuite implements the engine's batched-verifier seam (core.BatchVerifier): all checks ship as one
-// /v1/batch round-trip. Against a server without the batch endpoint the
-// client falls back to one call per check — same results, old cost — and
-// remembers, so the probe is paid once per client.
-func (c *Client) CheckSuite(checks []suite.Check) ([]suite.Result, error) {
+// Capabilities implements suite.Backend: one batched endpoint.
+func (c *Client) Capabilities() suite.Capabilities {
+	return suite.Capabilities{Batched: true}
+}
+
+// CheckBatch implements the engine's backend seam (suite.Backend): all
+// checks ship as one /v1/batch round-trip. Against a server without the
+// batch endpoint the client falls back to one call per check — same
+// results, old cost — and remembers, so the probe is paid once per client.
+func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.Result, error) {
 	if len(checks) == 0 {
 		return nil, nil
 	}
@@ -202,7 +335,7 @@ func (c *Client) CheckSuite(checks []suite.Check) ([]suite.Result, error) {
 			}
 		}
 		var resp BatchResponse
-		status, err := c.post(PathBatch, req, &resp)
+		status, err := c.postCtx(ctx, PathBatch, req, &resp)
 		switch {
 		case err == nil:
 			if len(resp.Results) != len(checks) {
@@ -224,6 +357,11 @@ func (c *Client) CheckSuite(checks []suite.Check) ([]suite.Result, error) {
 				}
 			}
 			return out, nil
+		case IsTransportError(err):
+			// A transport failure can still carry a status (the body read
+			// died after the status line); it means the endpoint is down,
+			// not that the dialect was rejected — never latch on it.
+			return nil, err
 		case status == http.StatusNotFound || status == http.StatusMethodNotAllowed,
 			status == http.StatusBadRequest:
 			// 404/405: the server predates the batch endpoint entirely.
@@ -238,8 +376,12 @@ func (c *Client) CheckSuite(checks []suite.Check) ([]suite.Result, error) {
 	}
 	out := make([]suite.Result, len(checks))
 	for i, sc := range checks {
-		// suite.Eval dispatches onto this client's pre-batch endpoints.
-		res, err := suite.Eval(c, sc)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// suite.Eval dispatches onto this client's pre-batch endpoints,
+		// carrying the caller's context into every request.
+		res, err := suite.Eval(ctxChecker{c: c, ctx: ctx}, sc)
 		if err != nil {
 			return nil, err
 		}

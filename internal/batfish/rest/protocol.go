@@ -1,8 +1,10 @@
 // Package rest wraps the verification suite behind an HTTP API. Go has no
 // Batfish bindings, so — per the reproduction plan — the verifier is
 // callable as a service: cmd/batfishd serves it, Client implements the
-// engine's core.Verifier interface over it, and the in-process suite backs
-// the handlers. All payloads are JSON.
+// engine's core.Verifier interface (and its suite.Backend batch seam)
+// over one endpoint, and ShardedClient fans the same seam out over a
+// consistent-hash ring of endpoints with failover. The in-process suite
+// backs the handlers. All payloads are JSON.
 package rest
 
 import (
@@ -23,6 +25,7 @@ const (
 	PathSearch    = "/v1/search"
 	PathHealth    = "/v1/health"
 	PathBatch     = "/v1/batch"
+	PathScenario  = "/v1/scenario"
 )
 
 // SyntaxRequest asks for parse warnings on one configuration.
@@ -142,6 +145,43 @@ type BatchResult struct {
 // BatchResponse carries one result per requested check, in order.
 type BatchResponse struct {
 	Results []BatchResult `json:"results"`
+}
+
+// ScenarioProtocolVersion is the registry pre-warm protocol this tree
+// speaks. A server accepts any version up to its own and rejects newer
+// versions with HTTP 400; clients treat 400 like a missing endpoint
+// (404/405 from pre-registry servers) and skip the warm-up — the endpoint
+// is an optimization, so new dialects degrade gracefully against old
+// servers.
+const ScenarioProtocolVersion = 1
+
+// ScenarioRequest asks the server to pre-warm its verification state for
+// one registered topology family, named with the CLI's name[:size]
+// shorthand ("fat-tree:4"). The server validates the name against its own
+// scenario registry, so client and server must agree on the family — a
+// server that has never heard of the scenario answers 422.
+type ScenarioRequest struct {
+	// Version is the client's ScenarioProtocolVersion; zero marks a
+	// pre-versioning client and is always accepted.
+	Version  int    `json:"version,omitempty"`
+	Scenario string `json:"scenario"`
+	// Seed is the simulated-LLM seed the client will drive the family
+	// with, so the server's pre-warm synthesis parses the configurations
+	// that run will actually produce; zero means the default seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// ScenarioResponse reports what the pre-warm touched.
+type ScenarioResponse struct {
+	// Scenario echoes the resolved name:size (defaults applied).
+	Scenario string `json:"scenario"`
+	// Routers and Attachments describe the generated family instance.
+	Routers     int `json:"routers"`
+	Attachments int `json:"attachments"`
+	// WarmedConfigs is the number of configuration revisions the server
+	// parsed into its shared parse cache; zero when the server has no
+	// warmer or no shared cache configured.
+	WarmedConfigs int `json:"warmed_configs"`
 }
 
 // ErrorResponse reports a request failure.

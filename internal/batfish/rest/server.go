@@ -11,14 +11,37 @@ import (
 	"repro/internal/campion"
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
+	"repro/internal/netgen"
 	"repro/internal/topology"
 )
+
+// ScenarioWarmer pre-warms server state for one registered topology
+// family (see /v1/scenario): given the generated family instance, the
+// client's simulated-LLM seed (zero: default), and the handler's shared
+// parse cache, it returns how many configuration revisions it parsed into
+// the cache. cmd/batfishd wires a warmer that synthesizes the family with
+// the deterministic simulated LLM at that seed and parses the resulting
+// configurations, so the client run that follows hits warm parses. The
+// warmer is only invoked when the handler has a shared cache to warm.
+type ScenarioWarmer func(topo *topology.Topology, seed int64, parses *netcfg.ParseCache) (int, error)
 
 // HandlerOptions tunes the verification-suite handler.
 type HandlerOptions struct {
 	// BatchWorkers bounds the worker pool evaluating the checks of one
 	// /v1/batch request concurrently; <= 0 uses GOMAXPROCS.
 	BatchWorkers int
+	// Parses, when set, is a parse cache shared across requests: batched
+	// checks parse through it instead of a request-scoped cache, so
+	// /v1/scenario pre-warms pay off on later batches. It grows with every
+	// distinct configuration revision seen, so long-lived servers trade
+	// memory for parse time; leave nil to keep the request-scoped
+	// behaviour.
+	Parses *netcfg.ParseCache
+	// Warmer, when set with Parses, backs the /v1/scenario registry
+	// pre-warm endpoint. The endpoint itself is always served (it
+	// validates the family and reports its shape); without a warmer it
+	// simply warms nothing.
+	Warmer ScenarioWarmer
 }
 
 // NewHandler returns the HTTP handler serving the verification suite with
@@ -41,9 +64,24 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	mux.HandleFunc(PathNoTransit, handleNoTransit)
 	mux.HandleFunc(PathSearch, handleSearch)
 	mux.HandleFunc(PathBatch, func(w http.ResponseWriter, r *http.Request) {
-		handleBatch(w, r, opts.BatchWorkers)
+		handleBatch(w, r, opts.BatchWorkers, opts.Parses)
+	})
+	warms := &scenarioWarms{done: map[string]int{}}
+	mux.HandleFunc(PathScenario, func(w http.ResponseWriter, r *http.Request) {
+		handleScenario(w, r, opts.Parses, opts.Warmer, warms)
 	})
 	return mux
+}
+
+// scenarioWarms memoizes completed scenario warms per handler. A warm is a
+// pure function of (name, size, seed) and its parses persist in the shared
+// cache, so repeating it — every cosynth run broadcasts a warm, and an
+// unauthenticated POST could demand one — would re-pay a whole family
+// synthesis for nothing. The mutex doubles as singleflight: concurrent
+// warms of the same family serialize and the later one returns the memo.
+type scenarioWarms struct {
+	mu   sync.Mutex
+	done map[string]int
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -172,8 +210,10 @@ func evalBatchCheck(c BatchCheck, parses *netcfg.ParseCache) BatchResult {
 // handleBatch evaluates a whole batch of independent checks in one
 // round-trip, fanning them onto a bounded worker pool. Results are
 // positional; a malformed individual check yields a per-result error
-// without failing the batch.
-func handleBatch(w http.ResponseWriter, r *http.Request, workers int) {
+// without failing the batch. shared, when non-nil, replaces the
+// request-scoped parse cache so scenario pre-warms and earlier requests'
+// parses are reused.
+func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *netcfg.ParseCache) {
 	var req BatchRequest
 	if !decode(w, r, &req) {
 		return
@@ -189,7 +229,10 @@ func handleBatch(w http.ResponseWriter, r *http.Request, workers int) {
 			req.Version, BatchProtocolVersion)})
 		return
 	}
-	parses := batfish.NewParseCache()
+	parses := shared
+	if parses == nil {
+		parses = batfish.NewParseCache()
+	}
 	results := make([]BatchResult, len(req.Checks))
 	if workers > len(req.Checks) {
 		workers = len(req.Checks)
@@ -217,6 +260,71 @@ func handleBatch(w http.ResponseWriter, r *http.Request, workers int) {
 		wg.Wait()
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handleScenario serves the registry pre-warm endpoint: validate the
+// requested family against the server's own scenario registry, generate
+// the instance, and hand it to the warmer (if any) to pre-parse the
+// family's expected configurations into the shared cache. Version-gated
+// like the batch endpoint: a newer dialect is rejected with 400, which
+// clients treat like a missing endpoint and skip the warm-up.
+func handleScenario(w http.ResponseWriter, r *http.Request, parses *netcfg.ParseCache,
+	warmer ScenarioWarmer, warms *scenarioWarms) {
+	var req ScenarioRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Version > ScenarioProtocolVersion {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
+			"unsupported scenario protocol version %d (server speaks %d)",
+			req.Version, ScenarioProtocolVersion)})
+		return
+	}
+	name, size, err := netgen.ParseScenarioArg(req.Scenario)
+	if err != nil {
+		// 422, not 400: the dialect is fine, this server just cannot serve
+		// the family — clients must surface it rather than silently skip.
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if size <= 0 {
+		sc, _ := netgen.Lookup(name)
+		size = sc.DefaultSize
+	}
+	topo, err := netgen.Generate(name, size)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return
+	}
+	warmed := 0
+	// The warmer contract hands it the shared cache; with no cache there
+	// is nothing to warm into, so skip the synthesis instead of paying for
+	// parses that are thrown away (or passing the warmer a nil cache).
+	// Completed warms are memoized per (name, size, seed) — the synthesis
+	// is pure and its parses persist — so repeat warms are free.
+	if warmer != nil && parses != nil {
+		key := fmt.Sprintf("%s:%d|%d", name, size, req.Seed)
+		warms.mu.Lock()
+		memo, ok := warms.done[key]
+		if ok {
+			warmed = memo
+		} else {
+			if warmed, err = warmer(topo, req.Seed, parses); err != nil {
+				warms.mu.Unlock()
+				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: fmt.Sprintf(
+					"warming %s: %v", req.Scenario, err)})
+				return
+			}
+			warms.done[key] = warmed
+		}
+		warms.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, ScenarioResponse{
+		Scenario:      fmt.Sprintf("%s:%d", name, size),
+		Routers:       len(topo.Routers),
+		Attachments:   len(topo.ExternalAttachments()),
+		WarmedConfigs: warmed,
+	})
 }
 
 func handleSearch(w http.ResponseWriter, r *http.Request) {

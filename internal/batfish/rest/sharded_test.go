@@ -1,0 +1,477 @@
+package rest
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/netcfg"
+	"repro/internal/suite"
+	"repro/internal/topology"
+)
+
+// killableShard is an in-process shard server that can be "killed": after
+// Kill, every request aborts its connection without a response, exactly
+// the failure a crashed batfishd produces (the client sees a transport
+// error, not a served error).
+type killableShard struct {
+	srv    *httptest.Server
+	killed atomic.Bool
+	served atomic.Int64
+}
+
+func newKillableShard(t *testing.T, opts HandlerOptions) *killableShard {
+	t.Helper()
+	ks := &killableShard{}
+	inner := NewHandlerOpts(opts)
+	ks.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ks.killed.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		ks.served.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ks.srv.Close)
+	return ks
+}
+
+func (ks *killableShard) Kill() { ks.killed.Store(true) }
+
+// newShardFleet spins up n in-process shard servers and a sharded client
+// over them.
+func newShardFleet(t *testing.T, n int) ([]*killableShard, *ShardedClient) {
+	t.Helper()
+	shards := make([]*killableShard, n)
+	endpoints := make([]string, n)
+	for i := range shards {
+		shards[i] = newKillableShard(t, HandlerOptions{})
+		endpoints[i] = shards[i].srv.URL
+	}
+	sc, err := NewShardedClient(endpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards, sc
+}
+
+// TestShardedClientValidation pins the constructor's loud failures: no
+// endpoints, an empty element, and a duplicate are each rejected with a
+// descriptive error instead of silently building a smaller ring.
+func TestShardedClientValidation(t *testing.T) {
+	for _, tc := range []struct {
+		endpoints []string
+		want      string
+	}{
+		{nil, "no endpoints"},
+		{[]string{"http://a:1", ""}, "empty"},
+		{[]string{"http://a:1", "http://a:1"}, "duplicate"},
+	} {
+		if _, err := NewShardedClient(tc.endpoints); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("NewShardedClient(%v) error = %v, want mention of %q",
+				tc.endpoints, err, tc.want)
+		}
+	}
+}
+
+// TestSplitEndpoints pins the CLI flag normalization: repeatable values,
+// comma-separated elements, trimming, and the loud empty-element error.
+func TestSplitEndpoints(t *testing.T) {
+	got, err := SplitEndpoints([]string{"http://a:1, http://b:2", "http://c:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitEndpoints = %v, want %v", got, want)
+	}
+	for _, bad := range [][]string{{"http://a:1,"}, {",http://a:1"}, {""}, {"http://a:1,,http://b:2"}} {
+		if _, err := SplitEndpoints(bad); err == nil ||
+			!strings.Contains(err.Error(), "empty endpoint element") {
+			t.Errorf("SplitEndpoints(%v) error = %v, want empty-element error", bad, err)
+		}
+	}
+}
+
+// TestShardedBatchMatchesSingle requires a 3-shard batch to return exactly
+// the results a single endpoint returns, in order, while spreading the
+// round-trips across the shards. Extra distinct-config syntax checks pad
+// the key population: shard endpoints carry random test-server ports, so
+// the ring layout varies per run, and with 16 distinct keys the chance of
+// every key landing on one shard is negligible.
+func TestShardedBatchMatchesSingle(t *testing.T) {
+	single := newTestClient(t)
+	shards, sc := newShardFleet(t, 3)
+	checks := batchChecks(t)
+	for i := 0; i < 12; i++ {
+		checks = append(checks, suite.Check{Kind: suite.KindSyntax,
+			Config: fmt.Sprintf("hostname X%d\n", i)})
+	}
+
+	want, err := single.CheckBatch(context.Background(), checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sc.CheckBatch(context.Background(), checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sharded results diverge from single endpoint:\n got %+v\nwant %+v", got, want)
+	}
+	served := 0
+	for _, ks := range shards {
+		if ks.served.Load() > 0 {
+			served++
+		}
+	}
+	if served < 2 {
+		t.Errorf("batch of %d checks touched %d shards, want >= 2", len(checks), served)
+	}
+	if calls := sc.Calls(); calls != int64(served) {
+		t.Errorf("total calls = %d, want one per touched shard (%d)", calls, served)
+	}
+}
+
+// TestShardKeyRoutingIsSticky pins the ring's locality contract: all of a
+// config's whole-config checks land on one shard, and repeated lookups are
+// stable.
+func TestShardKeyRoutingIsSticky(t *testing.T) {
+	_, sc := newShardFleet(t, 3)
+	cfg := "hostname R1\n"
+	syntax := suite.Check{Kind: suite.KindSyntax, Config: cfg}
+	topoCheck := suite.Check{Kind: suite.KindTopology,
+		Spec: &topology.RouterSpec{Name: "R1"}, Config: cfg}
+	a := sc.shardFor(suite.ShardKey(syntax))
+	b := sc.shardFor(suite.ShardKey(topoCheck))
+	if a != b {
+		t.Errorf("syntax routed to shard %d, topology to %d; want same shard", a, b)
+	}
+	for i := 0; i < 100; i++ {
+		if got := sc.shardFor(suite.ShardKey(syntax)); got != a {
+			t.Fatalf("routing not stable: %d then %d", a, got)
+		}
+	}
+}
+
+// TestShardedFailover kills one of three shards mid-sequence: the next
+// batch re-hashes the dead shard's checks onto the survivors and still
+// returns full, correct results; the dead shard is failed over in the
+// stats; and a revived shard is taken back after a Health probe.
+func TestShardedFailover(t *testing.T) {
+	shards, sc := newShardFleet(t, 3)
+	checks := batchChecks(t)
+
+	want, err := sc.CheckBatch(context.Background(), checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a shard that actually served batch work and kill it.
+	victim := -1
+	for i, ks := range shards {
+		if ks.served.Load() > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no shard served the first batch")
+	}
+	shards[victim].Kill()
+
+	got, err := sc.CheckBatch(context.Background(), checks)
+	if err != nil {
+		t.Fatalf("batch after shard kill: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("failover changed the results")
+	}
+	stats := sc.Stats()
+	if !stats[victim].Dead || stats[victim].Failures == 0 {
+		t.Errorf("victim shard stats = %+v, want dead with failures", stats[victim])
+	}
+	for i, st := range stats {
+		if i != victim && st.Dead {
+			t.Errorf("survivor shard %d marked dead: %+v", i, st)
+		}
+	}
+
+	// All shards down is a loud error, not a hang.
+	for _, ks := range shards {
+		ks.Kill()
+	}
+	if _, err := sc.CheckBatch(context.Background(), checks); err == nil ||
+		!strings.Contains(err.Error(), "all 3 shards dead") {
+		t.Errorf("all-dead batch error = %v, want all-shards-dead", err)
+	}
+
+	// Revive everything: a Health probe must take the shards back.
+	for _, ks := range shards {
+		ks.killed.Store(false)
+	}
+	if err := sc.Health(); err != nil {
+		t.Fatalf("health after revival: %v", err)
+	}
+	if _, err := sc.CheckBatch(context.Background(), checks); err != nil {
+		t.Fatalf("batch after revival: %v", err)
+	}
+	for i, st := range sc.Stats() {
+		if st.Dead {
+			t.Errorf("shard %d still dead after revival", i)
+		}
+	}
+}
+
+// TestShardedPerCheckFailover routes a per-check Verifier call through a
+// ring whose responsible shard is dead: the call must fail over to a
+// survivor instead of erroring.
+func TestShardedPerCheckFailover(t *testing.T) {
+	shards, sc := newShardFleet(t, 3)
+	cfg := "configure terminal\nhostname R1\n"
+	want, err := sc.CheckSyntax(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := sc.shardFor(suite.ShardKey(suite.Check{Kind: suite.KindSyntax, Config: cfg}))
+	shards[owner].Kill()
+	got, err := sc.CheckSyntax(cfg)
+	if err != nil {
+		t.Fatalf("per-check call after owner kill: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("per-check failover changed the result")
+	}
+	if !sc.Stats()[owner].Dead {
+		t.Error("owner shard not failed over")
+	}
+}
+
+// TestShardedServedErrorsPropagate pins the failover discriminator: a
+// served error (here a malformed check the server answers per-result, then
+// the client surfaces) must propagate, not mark shards dead — it would
+// reproduce identically on every shard.
+func TestShardedServedErrorsPropagate(t *testing.T) {
+	_, sc := newShardFleet(t, 3)
+	// A topology check with no spec is served as a per-result error by the
+	// batch endpoint; the client turns it into a batch error.
+	_, err := sc.CheckBatch(context.Background(),
+		[]suite.Check{{Kind: suite.KindTopology, Config: "hostname R1\n"}})
+	if err == nil {
+		t.Fatal("malformed check did not error")
+	}
+	for i, st := range sc.Stats() {
+		if st.Dead {
+			t.Errorf("served error killed shard %d", i)
+		}
+	}
+}
+
+// TestShardedCancelledContextSparesShards pins the failover
+// discriminator's other half: a caller-cancelled context surfaces as
+// transport errors on every in-flight request, but that is the caller's
+// doing — the batch must return the context error without marking any
+// shard dead.
+func TestShardedCancelledContextSparesShards(t *testing.T) {
+	_, sc := newShardFleet(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sc.CheckBatch(ctx, batchChecks(t))
+	if err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("cancelled batch error = %v, want context cancellation", err)
+	}
+	for i, st := range sc.Stats() {
+		if st.Dead {
+			t.Errorf("cancelled context killed shard %d", i)
+		}
+	}
+	// The ring still serves once the caller supplies a live context.
+	if _, err := sc.CheckBatch(context.Background(), batchChecks(t)); err != nil {
+		t.Fatalf("batch after cancelled batch: %v", err)
+	}
+}
+
+// TestShardedCountersRace hammers one sharded client from many goroutines
+// — batches, per-check calls, stats reads, health probes, and a mid-run
+// shard kill — so `go test -race` patrols the per-shard counters and the
+// dead-flag transitions.
+func TestShardedCountersRace(t *testing.T) {
+	shards, sc := newShardFleet(t, 3)
+	checks := batchChecks(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if g%2 == 0 {
+					_, _ = sc.CheckBatch(context.Background(), checks)
+				} else {
+					_, _ = sc.CheckSyntax("hostname R1\n")
+				}
+				_ = sc.Stats()
+				_ = sc.Calls()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shards[1].Kill()
+		_ = sc.Health()
+	}()
+	wg.Wait()
+	var batches int64
+	for _, st := range sc.Stats() {
+		batches += st.Batches
+	}
+	if batches == 0 {
+		t.Error("no batched round-trips recorded")
+	}
+}
+
+// TestScenarioWarm drives the registry pre-warm endpoint end to end: a
+// handler with a shared parse cache and a warmer reports the family shape
+// and the warmed revisions, and the shared cache actually holds them.
+func TestScenarioWarm(t *testing.T) {
+	parses := netcfg.NewParseCache(func(text string) *netcfg.Parsed {
+		return &netcfg.Parsed{}
+	})
+	var seenSeed int64
+	warmerCalls := 0
+	warmer := func(topo *topology.Topology, seed int64, p *netcfg.ParseCache) (int, error) {
+		warmerCalls++
+		seenSeed = seed
+		for i := range topo.Routers {
+			p.Parse("hostname " + topo.Routers[i].Name + "\n")
+		}
+		return len(topo.Routers), nil
+	}
+	srv := httptest.NewServer(NewHandlerOpts(HandlerOptions{Parses: parses, Warmer: warmer}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+
+	resp, err := c.WarmScenario("star:5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scenario != "star:5" || resp.Routers != 5 || resp.WarmedConfigs != 5 {
+		t.Errorf("warm response = %+v, want star:5 with 5 routers warmed", resp)
+	}
+	if resp.Attachments == 0 {
+		t.Error("warm response reports no attachments")
+	}
+	if seenSeed != 7 {
+		t.Errorf("warmer saw seed %d, want the client's 7", seenSeed)
+	}
+	if parses.Len() != 5 {
+		t.Errorf("shared parse cache holds %d revisions, want 5", parses.Len())
+	}
+
+	// A repeated warm of the same (family, seed) is memoized — the
+	// synthesis is pure — while a different seed warms afresh.
+	if resp, err = c.WarmScenario("star:5", 7); err != nil || resp.WarmedConfigs != 5 {
+		t.Fatalf("repeat warm = %+v, %v; want memoized 5", resp, err)
+	}
+	if warmerCalls != 1 {
+		t.Errorf("warmer ran %d times for one (family, seed), want 1", warmerCalls)
+	}
+	if _, err = c.WarmScenario("star:5", 8); err != nil {
+		t.Fatal(err)
+	}
+	if warmerCalls != 2 {
+		t.Errorf("warmer ran %d times across two seeds, want 2", warmerCalls)
+	}
+
+	// Size defaulting mirrors the generators.
+	resp, err = c.WarmScenario("fat-tree", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scenario != "fat-tree:4" {
+		t.Errorf("defaulted scenario = %q, want fat-tree:4", resp.Scenario)
+	}
+
+	// Unknown families are surfaced, not silently skipped.
+	if _, err := c.WarmScenario("hypercube:8", 0); err == nil || IsScenarioUnsupported(err) {
+		t.Errorf("unknown family error = %v, want served (supported) error", err)
+	}
+
+	// A handler with a warmer but no shared cache has nothing to warm
+	// into: the endpoint still validates and reports zero warmed configs
+	// instead of invoking the warmer.
+	bare := httptest.NewServer(NewHandlerOpts(HandlerOptions{Warmer: warmer}))
+	t.Cleanup(bare.Close)
+	resp, err = NewClient(bare.URL).WarmScenario("star:5", 0)
+	if err != nil || resp.WarmedConfigs != 0 {
+		t.Errorf("cache-less warm = %+v, %v; want 0 warmed configs, nil", resp, err)
+	}
+}
+
+// TestScenarioVersionGateDegrades pins the backward-compatible rollout:
+// servers without the endpoint (404) and servers rejecting a newer dialect
+// (400) both classify as IsScenarioUnsupported, so clients skip the
+// warm-up instead of failing the run.
+func TestScenarioVersionGateDegrades(t *testing.T) {
+	old := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	t.Cleanup(old.Close)
+	if _, err := NewClient(old.URL).WarmScenario("star:5", 0); !IsScenarioUnsupported(err) {
+		t.Errorf("pre-registry server error = %v, want IsScenarioUnsupported", err)
+	}
+
+	gated := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: "unsupported scenario protocol version 99 (server speaks 1)"})
+	}))
+	t.Cleanup(gated.Close)
+	if _, err := NewClient(gated.URL).WarmScenario("star:5", 0); !IsScenarioUnsupported(err) {
+		t.Errorf("version-gated server error = %v, want IsScenarioUnsupported", err)
+	}
+
+	// The server half: a newer dialect is rejected with 400.
+	srv := httptest.NewServer(NewHandler())
+	t.Cleanup(srv.Close)
+	body := strings.NewReader(`{"version":99,"scenario":"star:5"}`)
+	resp, err := http.Post(srv.URL+PathScenario, "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("newer scenario dialect: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSharedParseCacheAcrossBatches pins the warm-up payoff path: with a
+// shared cache, a batch arriving after a warm re-uses the warmed parse
+// instead of parsing again.
+func TestSharedParseCacheAcrossBatches(t *testing.T) {
+	parses := netcfg.NewParseCache(func(text string) *netcfg.Parsed {
+		return &netcfg.Parsed{}
+	})
+	srv := httptest.NewServer(NewHandlerOpts(HandlerOptions{Parses: parses}))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+
+	cfg := "hostname R1\n"
+	if _, err := c.CheckBatch(context.Background(),
+		[]suite.Check{{Kind: suite.KindSyntax, Config: cfg}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckBatch(context.Background(),
+		[]suite.Check{{Kind: suite.KindSyntax, Config: cfg}}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := parses.Stats()
+	if misses != 1 || hits == 0 {
+		t.Errorf("shared cache stats = %d hits / %d misses, want 1 parse shared across batches",
+			hits, misses)
+	}
+}

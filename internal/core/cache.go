@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -33,14 +34,11 @@ const (
 	SuiteDiff     = suite.KindDiff
 )
 
-// BatchVerifier is the optional batched seam: a Verifier that can also
-// evaluate many independent suite checks in one call (one REST round-trip
-// for rest.Client). CachedVerifier.Prefetch uses it to warm the cache with
-// a whole iteration's outstanding checks at once.
-type BatchVerifier interface {
-	Verifier
-	CheckSuite(checks []SuiteCheck) ([]SuiteResult, error)
-}
+// Backend re-exports the transport seam verification dispatches through
+// (see internal/suite): one batch of independent checks in, positional
+// results out, plus a capability probe. The in-process suite, a single
+// REST endpoint, and a sharded REST fan-out are interchangeable Backends.
+type Backend = suite.Backend
 
 // CacheStats are a CachedVerifier's counters.
 type CacheStats struct {
@@ -69,9 +67,13 @@ func (s CacheStats) String() string {
 // pure functions of their inputs, so transcripts are byte-identical to the
 // uncached loop.
 //
-// When the wrapped verifier is also a BatchVerifier (rest.Client),
-// Prefetch ships all outstanding misses as one batched call, turning a
-// pipeline iteration's many verifier round-trips into one.
+// Every check dispatches through a suite.Backend — the in-process suite,
+// one REST endpoint, and the sharded REST fan-out are interchangeable
+// behind the seam. When the backend is batched (rest.Client,
+// rest.ShardedClient), Prefetch ships all outstanding misses as one
+// batched call per iteration — one round-trip per shard — turning a
+// pipeline iteration's many verifier round-trips into at most one per
+// shard, issued in parallel.
 //
 // The global BGP simulation is deliberately not memoized: it runs once per
 // converged run, on the whole network, and its inputs change whenever any
@@ -80,8 +82,8 @@ func (s CacheStats) String() string {
 // CachedVerifier is safe for concurrent use and may be shared by the
 // parallel per-router repair workers.
 type CachedVerifier struct {
-	v     Verifier
-	batch BatchVerifier // non-nil when v supports batched checks
+	v       Verifier
+	backend Backend // the dispatch seam; never nil
 
 	mu      sync.RWMutex
 	results map[[sha256.Size]byte]SuiteResult
@@ -96,6 +98,12 @@ type CachedVerifier struct {
 // zero LocalVerifier) become a LocalVerifier threaded with a shared parse
 // cache, so each configuration revision is parsed once per run instead of
 // once per stage per iteration.
+//
+// The backend seam is resolved by capability: a verifier that is itself a
+// suite.Backend (rest.Client, rest.ShardedClient) is used directly;
+// anything else — including the in-process suite — evaluates through
+// suite.CheckerBackend, which reports itself unbatched so the stage scan
+// keeps its lazy early exit.
 func NewCachedVerifier(v Verifier) *CachedVerifier {
 	if v == nil {
 		v = LocalVerifier{}
@@ -104,14 +112,18 @@ func NewCachedVerifier(v Verifier) *CachedVerifier {
 		v = LocalVerifier{Parses: batfish.NewParseCache()}
 	}
 	c := &CachedVerifier{v: v, results: map[[sha256.Size]byte]SuiteResult{}}
-	if b, ok := v.(BatchVerifier); ok {
-		c.batch = b
+	if b, ok := v.(Backend); ok {
+		c.backend = b
+	} else {
+		c.backend = suite.CheckerBackend{Checker: v}
 	}
 	return c
 }
 
-// Batched reports whether the wrapped verifier supports batched checks.
-func (c *CachedVerifier) Batched() bool { return c.batch != nil }
+// Batched reports whether the backend amortizes transport cost across the
+// checks of one CheckBatch call, i.e. whether eager per-iteration
+// prefetching pays for itself.
+func (c *CachedVerifier) Batched() bool { return c.backend.Capabilities().Batched }
 
 // Stats returns the cache counters.
 func (c *CachedVerifier) Stats() CacheStats {
@@ -172,27 +184,30 @@ func (c *CachedVerifier) store(key [sha256.Size]byte, res SuiteResult) {
 	c.mu.Unlock()
 }
 
-// check answers one suite check through the cache.
+// check answers one suite check through the cache, dispatching misses
+// onto the backend seam as a batch of one.
 func (c *CachedVerifier) check(sc SuiteCheck) (SuiteResult, error) {
 	key := c.key(sc)
 	if res, ok := c.lookup(key); ok {
 		return res, nil
 	}
-	res, err := suite.Eval(c.v, sc)
+	results, err := c.backend.CheckBatch(context.Background(), []SuiteCheck{sc})
 	if err != nil {
-		return res, err
+		return SuiteResult{}, err
 	}
-	c.store(key, res)
-	return res, nil
+	if len(results) != 1 {
+		return SuiteResult{}, fmt.Errorf("backend returned %d results for 1 check", len(results))
+	}
+	c.store(key, results[0])
+	return results[0], nil
 }
 
 // Prefetch warms the cache with every not-yet-cached check in one batched
-// call against the wrapped BatchVerifier. It is a no-op when the wrapped
-// verifier has no batch support (the in-process suite evaluates lazily, so
-// the stage scan's early exit keeps its savings) or when every check is
-// already cached.
+// call against the backend. It is a no-op when the backend reports itself
+// unbatched (the in-process suite evaluates lazily, so the stage scan's
+// early exit keeps its savings) or when every check is already cached.
 func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
-	if c.batch == nil || len(checks) == 0 {
+	if !c.Batched() || len(checks) == 0 {
 		return nil
 	}
 	var missing []SuiteCheck
@@ -215,12 +230,12 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 	if len(missing) == 0 {
 		return nil
 	}
-	results, err := c.batch.CheckSuite(missing)
+	results, err := c.backend.CheckBatch(context.Background(), missing)
 	if err != nil {
 		return err
 	}
 	if len(results) != len(missing) {
-		return fmt.Errorf("batched verifier returned %d results for %d checks",
+		return fmt.Errorf("batched backend returned %d results for %d checks",
 			len(results), len(missing))
 	}
 	c.prefetches.Add(1)

@@ -39,9 +39,11 @@ type PipelineStage interface {
 
 // suiteEnumerator is the optional stage seam for batched verification: a
 // stage that can list its independent checks against the current
-// configurations, in scan order, so the driver can prefetch them all in
-// one batched round-trip before the stage scan reads them back from the
-// cache.
+// configurations, in scan order, so the driver can prefetch them all
+// against the verification backend (suite.Backend) before the stage scan
+// reads them back from the cache. Against a single REST endpoint the
+// prefetch is one round-trip; against a sharded backend it is one
+// round-trip per shard, issued in parallel.
 type suiteEnumerator interface {
 	SuiteChecks(configs map[string]string) []SuiteCheck
 }
@@ -53,9 +55,10 @@ type Pipeline struct {
 	Human  HumanOracle
 	// Cache, when set, is the verification cache the stages check through.
 	// Each iteration the driver collects every enumerable stage's
-	// outstanding checks and prefetches them in one batched round-trip
-	// (a no-op for non-batched verifiers); the stage scan then reads the
-	// results from the cache instead of issuing one call per check.
+	// outstanding checks and prefetches them against the cache's backend
+	// seam — one batched round-trip per shard for REST backends, a no-op
+	// for unbatched ones; the stage scan then reads the results from the
+	// cache instead of issuing one call per check.
 	Cache *CachedVerifier
 	// MaxAttemptsPerFinding bounds automated prompts per distinct finding
 	// before punting to the human.
@@ -136,8 +139,9 @@ func RunPipeline(sess *session, configs map[string]string, p Pipeline) (verified
 }
 
 // prefetch warms the pipeline's verification cache with every enumerable
-// stage's outstanding checks — one batched round-trip per iteration when
-// the verifier supports batching, nothing otherwise.
+// stage's outstanding checks — dispatched through the backend seam as one
+// batched call per iteration (one round-trip per shard) when the backend
+// is batched, nothing otherwise.
 func (p *Pipeline) prefetch(configs map[string]string) error {
 	if p.Cache == nil || !p.Cache.Batched() {
 		return nil

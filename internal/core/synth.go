@@ -13,7 +13,11 @@ import (
 
 // SynthOptions configures the local-synthesis pipeline (§4).
 type SynthOptions struct {
-	Model    llm.Model
+	Model llm.Model
+	// Verifier is the verification suite; nil runs it in process. A
+	// verifier that also implements the suite.Backend seam (rest.Client,
+	// rest.ShardedClient) gets each iteration's outstanding checks
+	// prefetched in bulk — one batched round-trip per shard.
 	Verifier Verifier
 	Human    HumanOracle
 	// IIP is the initial instruction prompt database (§4.2); nil means

@@ -8,6 +8,7 @@
 package suite
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/campion"
@@ -67,16 +68,27 @@ type Checker interface {
 
 // Eval dispatches one Check onto a Checker. It is the single mapping from
 // check kinds to verifier calls, shared by the engine's cache and the REST
-// client's per-check fallback.
+// client's per-check fallback. Malformed checks — a topology check with no
+// spec, a local check with no requirement — return a descriptive error
+// instead of panicking: checks can arrive over the wire from peers the
+// process does not control (a sharded client re-hashing a dead shard's
+// work, an old or buggy remote), and one bad check must not take the
+// whole evaluator down.
 func Eval(v Checker, c Check) (Result, error) {
 	switch c.Kind {
 	case KindSyntax:
 		warns, err := v.CheckSyntax(c.Config)
 		return Result{Warnings: warns}, err
 	case KindTopology:
+		if c.Spec == nil {
+			return Result{}, fmt.Errorf("malformed %s check: no router spec", KindTopology)
+		}
 		finds, err := v.VerifyTopology(*c.Spec, c.Config)
 		return Result{Findings: finds}, err
 	case KindLocal:
+		if c.Req == nil {
+			return Result{}, fmt.Errorf("malformed %s check: no requirement", KindLocal)
+		}
 		viol, bad, err := v.CheckLocalPolicy(c.Config, *c.Req)
 		res := Result{Violated: bad}
 		if bad {
@@ -89,4 +101,73 @@ func Eval(v Checker, c Check) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("unknown suite check kind %q", c.Kind)
 	}
+}
+
+// ShardKey is the distribution key a sharded backend hashes a check by.
+// All of one configuration's whole-config checks (syntax, topology, diff)
+// share a key, so they land on one shard and share that shard's parse of
+// the revision; a local-policy check appends its attachment identity, so
+// the obligations of a multi-homed router spread across shards
+// independently — the attachment is the natural sharding unit, exactly as
+// it is the natural unit of incremental re-verification.
+func ShardKey(c Check) string {
+	if c.Kind == KindLocal && c.Req != nil {
+		return c.Config + "\x00" + c.Req.Attachment.String()
+	}
+	return c.Config
+}
+
+// Capabilities is a Backend's capability probe: what the transport behind
+// the seam can do, so the engine can decide whether eager batched
+// prefetching pays for itself.
+type Capabilities struct {
+	// Batched reports that CheckBatch amortizes transport cost across the
+	// checks of one call (one REST round-trip per shard, rather than one
+	// per check). The engine prefetches a whole iteration's outstanding
+	// checks against batched backends and evaluates lazily otherwise,
+	// preserving the stage scan's early exit where batching buys nothing.
+	Batched bool
+}
+
+// Backend is the transport seam the engine dispatches verification through:
+// one batch of independent checks in, one positional result slice out,
+// whatever the transport. The in-process suite (CheckerBackend), a single
+// REST endpoint (rest.Client), and a consistent-hash shard fan-out
+// (rest.ShardedClient) are interchangeable implementations.
+type Backend interface {
+	// CheckBatch evaluates the checks and returns one result per check, in
+	// order. An error means the batch as a whole failed; implementations
+	// must not return partial results.
+	CheckBatch(ctx context.Context, checks []Check) ([]Result, error)
+	// Capabilities reports what the transport can do.
+	Capabilities() Capabilities
+}
+
+// CheckerBackend adapts a per-check Checker into a Backend that evaluates
+// sequentially in process. It reports Batched: false — there is no
+// round-trip to amortize, so eager prefetching would only defeat the stage
+// scan's early exit.
+type CheckerBackend struct {
+	Checker Checker
+}
+
+// CheckBatch implements Backend.
+func (b CheckerBackend) CheckBatch(ctx context.Context, checks []Check) ([]Result, error) {
+	out := make([]Result, len(checks))
+	for i, c := range checks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := Eval(b.Checker, c)
+		if err != nil {
+			return nil, fmt.Errorf("check %d (%s): %w", i, c.Kind, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Capabilities implements Backend.
+func (b CheckerBackend) Capabilities() Capabilities {
+	return Capabilities{Batched: false}
 }

@@ -1,0 +1,114 @@
+package suite
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/campion"
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/topology"
+)
+
+// nopChecker answers every check cleanly; it exists so Eval's dispatch and
+// guards can be exercised without a real verifier.
+type nopChecker struct{}
+
+func (nopChecker) CheckSyntax(string) ([]netcfg.ParseWarning, error) { return nil, nil }
+func (nopChecker) DiffTranslation(string, string) ([]campion.Finding, error) {
+	return nil, nil
+}
+func (nopChecker) VerifyTopology(topology.RouterSpec, string) ([]topology.Finding, error) {
+	return nil, nil
+}
+func (nopChecker) CheckLocalPolicy(string, lightyear.Requirement) (lightyear.Violation, bool, error) {
+	return lightyear.Violation{}, false, nil
+}
+
+// TestEvalRejectsMalformedChecks pins the guard on checks whose required
+// pointer fields are missing: a topology check with no spec or a local
+// check with no requirement must fail with a descriptive error, not a nil
+// dereference — such checks can arrive over the wire from peers this
+// process does not control.
+func TestEvalRejectsMalformedChecks(t *testing.T) {
+	for _, tc := range []struct {
+		check Check
+		want  string
+	}{
+		{Check{Kind: KindTopology, Config: "hostname R1\n"}, "no router spec"},
+		{Check{Kind: KindLocal, Config: "hostname R1\n"}, "no requirement"},
+		{Check{Kind: "bogus"}, "unknown suite check kind"},
+	} {
+		_, err := Eval(nopChecker{}, tc.check)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Eval(%s) error = %v, want mention of %q", tc.check.Kind, err, tc.want)
+		}
+	}
+}
+
+// TestEvalWellFormedChecks confirms the guards do not reject checks whose
+// pointers are present.
+func TestEvalWellFormedChecks(t *testing.T) {
+	spec := &topology.RouterSpec{Name: "R1"}
+	req := &lightyear.Requirement{Router: "R1", Policy: "FILTER"}
+	for _, c := range []Check{
+		{Kind: KindSyntax, Config: "hostname R1\n"},
+		{Kind: KindTopology, Spec: spec, Config: "hostname R1\n"},
+		{Kind: KindLocal, Req: req, Config: "hostname R1\n"},
+		{Kind: KindDiff, Original: "hostname R1\n", Config: "system {}\n"},
+	} {
+		if _, err := Eval(nopChecker{}, c); err != nil {
+			t.Errorf("Eval(%s) = %v, want nil", c.Kind, err)
+		}
+	}
+}
+
+// TestCheckerBackend pins the in-process Backend adapter: positional
+// results, malformed-check errors that fail the batch, and a capability
+// probe that disables eager prefetching.
+func TestCheckerBackend(t *testing.T) {
+	b := CheckerBackend{Checker: nopChecker{}}
+	if caps := b.Capabilities(); caps.Batched {
+		t.Errorf("capabilities = %+v, want unbatched", caps)
+	}
+	results, err := b.CheckBatch(context.Background(), []Check{
+		{Kind: KindSyntax, Config: "hostname R1\n"},
+		{Kind: KindDiff, Original: "a", Config: "b"},
+	})
+	if err != nil || len(results) != 2 {
+		t.Fatalf("CheckBatch = %d results, %v; want 2, nil", len(results), err)
+	}
+	if _, err := b.CheckBatch(context.Background(),
+		[]Check{{Kind: KindTopology}}); err == nil {
+		t.Error("CheckBatch accepted a malformed topology check")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.CheckBatch(ctx, []Check{{Kind: KindSyntax}}); err == nil {
+		t.Error("CheckBatch ignored a cancelled context")
+	}
+}
+
+// TestShardKey pins the distribution key: whole-config checks of one
+// revision share a key while local checks spread per attachment.
+func TestShardKey(t *testing.T) {
+	cfg := "hostname R1\n"
+	syntax := Check{Kind: KindSyntax, Config: cfg}
+	topo := Check{Kind: KindTopology, Spec: &topology.RouterSpec{}, Config: cfg}
+	if ShardKey(syntax) != ShardKey(topo) {
+		t.Error("syntax and topology checks of one config should share a shard key")
+	}
+	reqA := lightyear.Requirement{Router: "R2", Attachment: lightyear.AttachmentRef{
+		Router: "R2", Peer: "ISP1", Direction: lightyear.DirIn}}
+	reqB := lightyear.Requirement{Router: "R2", Attachment: lightyear.AttachmentRef{
+		Router: "R2", Peer: "ISP2", Direction: lightyear.DirIn}}
+	keyA := ShardKey(Check{Kind: KindLocal, Req: &reqA, Config: cfg})
+	keyB := ShardKey(Check{Kind: KindLocal, Req: &reqB, Config: cfg})
+	if keyA == keyB {
+		t.Error("sibling attachments on one router should hash independently")
+	}
+	if got := ShardKey(Check{Kind: KindLocal, Config: cfg}); got != cfg {
+		t.Errorf("malformed local check key = %q, want bare config", got)
+	}
+}
