@@ -87,6 +87,13 @@ type SynthesizeOptions struct {
 	// restoring the paper's behaviour of re-verifying every router on
 	// every iteration.
 	DisableVerifierCache bool
+	// ErrorPlan replaces the simulated LLM's default error scenario with
+	// an attachment-keyed injection plan (see internal/fuzz): which error
+	// classes fire at which (router, external-neighbor, direction) site.
+	// Nil keeps the paper's default per-router scenario; a non-nil empty
+	// plan injects nothing. This is the seam cofuzz counterexamples
+	// replay through (`cosynth -errors plan.json`).
+	ErrorPlan []llm.SiteErrors
 }
 
 // Synthesize runs the VPP synthesis pipeline on an arbitrary topology —
@@ -98,6 +105,7 @@ func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
 	}
+	cfg.Plan = opts.ErrorPlan
 	return core.Synthesize(topo, core.SynthOptions{
 		Model:            llm.NewSynthesizer(cfg),
 		Verifier:         opts.Verifier,

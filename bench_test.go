@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
+	"repro/internal/fuzz"
 	"repro/internal/llm"
 	"repro/internal/netgen"
 )
@@ -537,6 +539,53 @@ func BenchmarkShardedRESTVerifier(b *testing.B) {
 				benchJSON(b, metrics)
 			})
 		}
+	}
+}
+
+// BenchmarkFuzzCampaignThroughput (E17, extension) measures the fuzz
+// campaign engine's case throughput: the same deterministic
+// (random × sizes × seeds) sweep — every case a full synthesis pipeline
+// run under a seeded error plan — on 1 worker vs 8. The sweep must pass
+// (the default alphabet is the repairable set), so the benchmark doubles
+// as a campaign regression gate; cases/s is the headline metric the
+// campaign budget trades against coverage.
+func BenchmarkFuzzCampaignThroughput(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var rep *fuzz.Report
+			for i := 0; i < b.N; i++ {
+				c := fuzz.Campaign{
+					Family:  "random",
+					Sizes:   []int{6, 8, 10, 12},
+					Seeds:   4,
+					Workers: workers,
+				}
+				var err error
+				rep, err = c.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Failures != 0 {
+					b.Fatalf("campaign failed %d cases: %+v", rep.Failures, rep.Counterexample)
+				}
+			}
+			wallMS := float64(b.Elapsed().Milliseconds()) / float64(b.N)
+			cps := 0.0
+			if wallMS > 0 {
+				cps = float64(rep.Cases) / (wallMS / 1000)
+			}
+			b.ReportMetric(cps, "cases-per-sec")
+			b.ReportMetric(float64(rep.Cases), "cases")
+			benchJSON(b, map[string]float64{
+				"workers":          float64(workers),
+				"cases":            float64(rep.Cases),
+				"planned-errors":   float64(rep.PlannedErrors),
+				"total-iterations": float64(rep.TotalIterations),
+				"wall-ms-per-run":  wallMS,
+				"cases-per-sec":    cps,
+			})
+		})
 	}
 }
 

@@ -10,6 +10,8 @@
 //	cosynth -mode translate -rest http://localhost:9876       # via batfishd
 //	cosynth -mode notransit -rest http://h1:9876,http://h2:9876 -rest http://h3:9876
 //	cosynth -mode notransit -topo fat-tree:4 -shards 3        # in-process shard fleet
+//	cosynth -mode notransit -topo random:12 -seed 5           # seeded graph variant
+//	cosynth -mode notransit -errors fuzz.json                 # replay a cofuzz counterexample
 //
 // The -topo argument names any registered scenario (star, ring,
 // full-mesh, fat-tree, dual-homed, multi-customer, random — see `netgen
@@ -18,6 +20,14 @@
 // the per-attachment specification: community tags and local obligations
 // are allocated per (router, ISP) attachment point, so routers may be
 // homed to several ISPs and customers may attach anywhere.
+//
+// An explicitly-set -seed also selects the random family's graph
+// variant (seed 0 and the default are the registry's legacy
+// seeded-by-size stream). The -errors flag replays an attachment-keyed
+// error plan — a cofuzz campaign report (its minimized counterexample is
+// extracted, topology coordinates included) or a hand-written plan JSON
+// — through the simulated LLM, reproducing a fuzz failure byte-
+// identically in this CLI.
 //
 // The -rest flag is repeatable and comma-separated: one endpoint uses the
 // plain REST client, several build a consistent-hash shard ring
@@ -42,6 +52,8 @@ import (
 	"repro/internal/batfish"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/llm"
 	"repro/internal/netgen"
 	"repro/internal/topology"
 )
@@ -131,7 +143,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-router repair workers for -mode notransit (<=1: sequential)")
 	suiteParallel := flag.Int("suite-parallel", 0, "per-iteration verifier-suite workers (<=1: sequential scan)")
 	noCache := flag.Bool("no-cache", false, "disable the incremental verification cache")
-	seed := flag.Int64("seed", 1, "simulated-LLM seed")
+	seed := flag.Int64("seed", 1,
+		"simulated-LLM seed; when set explicitly it also selects the random family's graph variant, so cofuzz cases replay")
+	errorsPath := flag.String("errors", "",
+		"replay an attachment-keyed error plan (a cofuzz report or plan JSON) in -mode notransit; "+
+			"topology coordinates in the file override -topo/-seed")
 	var restEndpoints restFlag
 	flag.Var(&restEndpoints, "rest",
 		"batfishd endpoint(s); repeatable and comma-separated — several endpoints form a consistent-hash shard ring")
@@ -141,6 +157,12 @@ func main() {
 	inputPath := flag.String("config", "", "Cisco config to translate (default: bundled example)")
 	showConfigs := flag.Bool("print-configs", false, "print the final configuration(s)")
 	flag.Parse()
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	if *verifierURL != "" {
 		restEndpoints = append(restEndpoints, *verifierURL)
@@ -189,15 +211,47 @@ func main() {
 		if size == 0 {
 			size = *n
 		}
-		warmFamily(verifier, sharded, name, size, *seed)
+		// A fuzz replay file carries the full case: the topology
+		// coordinates (family, size, seed, edge cap) and the error plan.
+		// Missing coordinates fall back to the -topo/-seed flags, so a
+		// bare hand-written plan file still works.
+		var plan []llm.SiteErrors
+		replay := fuzz.Case{Family: name, Size: size, Seed: 0, ExtraEdges: -1}
+		if seedSet {
+			replay.Seed = *seed
+		}
+		if *errorsPath != "" {
+			cs, lerr := fuzz.LoadReplayCase(*errorsPath)
+			if lerr != nil {
+				log.Fatalf("cosynth: -errors: %v", lerr)
+			}
+			if cs.Family != "" {
+				replay.Family = cs.Family
+			}
+			if cs.Size != 0 {
+				replay.Size = cs.Size
+			}
+			if cs.Seed != 0 || cs.Family != "" {
+				replay.Seed = cs.Seed
+			}
+			replay.ExtraEdges = cs.ExtraEdges
+			replay.Plan = cs.Plan
+			plan, lerr = cs.Plan.SiteErrors()
+			if lerr != nil {
+				log.Fatalf("cosynth: -errors: %v", lerr)
+			}
+			fmt.Printf("replaying fuzz case %s\n", replay)
+		}
+		warmFamily(verifier, sharded, replay.Family, replay.Size, *seed)
 		var topo *topology.Topology
-		topo, _, err = repro.GenerateTopology(name, size)
+		topo, err = replay.Topology()
 		if err != nil {
 			log.Fatalf("cosynth: %v", err)
 		}
 		res, err = repro.Synthesize(topo, repro.SynthesizeOptions{
 			Seed: *seed, Verifier: verifier, Parallelism: *parallel,
-			SuiteParallelism: *suiteParallel, DisableVerifierCache: *noCache})
+			SuiteParallelism: *suiteParallel, DisableVerifierCache: *noCache,
+			ErrorPlan: plan})
 	default:
 		log.Fatalf("cosynth: unknown mode %q", *mode)
 	}

@@ -182,6 +182,39 @@
 // wall-clock win comes from avoiding the sequential loop's whole-network
 // re-verification scans plus core parallelism where available.
 //
+// # Fuzzing the LLM error space
+//
+// The paper's claim is about erroneous LLM output, so the erroneous
+// output itself is a first-class input space here (internal/fuzz). An
+// ErrorPlan keys injected error classes by attachment — which class
+// fires at which (router, external-neighbor, direction) site — behind a
+// compatible seam in the simulated LLM (llm.SynthConfig.Plan supersedes
+// the per-router-name Errors map; attachment-scoped classes corrupt only
+// the addressed site's ingress tag or egress filter, so a dual-homed
+// router can carry one broken and one clean filter). A seeded Campaign
+// sweeps (family × size × seed × derived plan) cases over the scenario
+// registry on a bounded worker pool — the random family varies its graph
+// per (size, seed) via netgen.RandomWith — against any verification
+// backend, in-process or sharded REST. An oracle asserts the end-to-end
+// properties on every case: spec coverage (CoverageComplete), verified
+// synthesis under the injected plan, local-specs-imply-global on the
+// final configurations (optionally falsified for non-vacuousness), and
+// iterations bounded in the injected-error count (Result.Iterations).
+//
+// A failing case shrinks deterministically along two axes — topology
+// (size, then the random family's extra edges, re-homing orphaned plan
+// sites onto the smaller graph) and plan cardinality (whole sites, then
+// single classes) — every candidate gated on reproducing the original
+// failure, down to a minimal counterexample in the JSON report. Replay
+// is exact and double-ended: cofuzz -replay re-runs the recorded oracle,
+// and cosynth -mode notransit -errors fuzz.json regenerates the same
+// topology and plan through the main CLI byte-identically. The
+// llm.SErrEgressDenyAll class (no rectification formula, no operator
+// recipe — the paper's give-up regime) deliberately seeds oracle
+// violations for testing the engine itself; the default campaign
+// alphabet excludes it, so cofuzz doubles as a pipeline regression gate
+// (the CI smoke job runs one budgeted sweep per push).
+//
 // # The stack
 //
 // Everything is implemented from scratch on the standard library:
@@ -202,7 +235,10 @@
 //   - a simulated GPT-4 (internal/llm) whose error model is calibrated to
 //     the paper's Tables 1–3; and
 //   - the COSYNTH engine (internal/core): the Stage/RunPipeline driver,
-//     the two use-case compositions, and leverage accounting.
+//     the two use-case compositions, and leverage accounting; and
+//   - the fuzz campaign engine (internal/fuzz, cmd/cofuzz): attachment-
+//     keyed error plans, the end-to-end oracle, and the two-axis
+//     shrinker.
 //
 // This package is the stable facade: the use-case entry points
 // (Translate, Synthesize, SynthesizeNoTransit), the topology registry

@@ -85,6 +85,12 @@ type Result struct {
 	// PuntedFindings lists findings the automated loop gave up on
 	// (each consumed a human prompt).
 	PuntedFindings []string
+	// Iterations counts the verify/correct cycles the run consumed —
+	// every pass of RunPipeline's loop, including the final clean scan
+	// that declares a pipeline verified. Parallel per-router repair sums
+	// the workers' private loops. The fuzz campaign's oracle asserts this
+	// stays bounded in the injected-error count.
+	Iterations int
 	// CacheStats reports the incremental verification cache's counters for
 	// the run; nil when the cache was disabled.
 	CacheStats *CacheStats
@@ -133,6 +139,9 @@ type session struct {
 	// lastResponse tracks the model's previous output per target key, to
 	// detect whether a correction changed anything.
 	lastResponse map[string]string
+	// iterations counts RunPipeline cycles driven over this session (the
+	// Result.Iterations stat).
+	iterations int
 }
 
 func newSession(model llm.Model, iip []llm.IIP) *session {

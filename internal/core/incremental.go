@@ -75,6 +75,7 @@ func AddPolicyIncremental(topo *topology.Topology, configs map[string]string,
 
 	verified := false
 	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		sess.iterations++
 		prompt, done, err := nextIncrementalFinding(opts.Verifier, topo, reqs, current)
 		if err != nil {
 			return nil, err
@@ -89,7 +90,8 @@ func AddPolicyIncremental(topo *topology.Topology, configs map[string]string,
 		}
 		current["R1"] = resp
 	}
-	return &Result{Verified: verified, Transcript: sess.transcript, Configs: current}, nil
+	return &Result{Verified: verified, Transcript: sess.transcript, Configs: current,
+		Iterations: sess.iterations}, nil
 }
 
 // nextIncrementalFinding checks syntax on R1, every local requirement,

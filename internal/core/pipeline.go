@@ -87,6 +87,7 @@ type Pipeline struct {
 func RunPipeline(sess *session, configs map[string]string, p Pipeline) (verified bool, err error) {
 	attempts := map[string]int{}
 	for iter := 0; iter < p.MaxIterations; iter++ {
+		sess.iterations++
 		if err := p.prefetch(configs); err != nil {
 			return false, err
 		}

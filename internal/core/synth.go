@@ -180,6 +180,7 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 		Transcript:     sess.transcript,
 		Configs:        configs,
 		PuntedFindings: sess.punted,
+		Iterations:     sess.iterations,
 	}
 	if cache != nil {
 		stats := cache.Stats()
@@ -211,6 +212,7 @@ type routerOutcome struct {
 	config     string
 	transcript Transcript
 	punted     []string
+	iterations int
 	verified   bool
 	err        error
 }
@@ -257,6 +259,7 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 		configs[task.Router] = out.config
 		sess.transcript = append(sess.transcript, out.transcript...)
 		sess.punted = append(sess.punted, out.punted...)
+		sess.iterations += out.iterations
 		if !out.verified {
 			verified = false
 		}
@@ -283,6 +286,7 @@ func repairRouter(model llm.Model, topo *topology.Topology,
 		config:     configs[task.Router],
 		transcript: wsess.transcript,
 		punted:     wsess.punted,
+		iterations: wsess.iterations,
 		verified:   verified,
 	}
 }

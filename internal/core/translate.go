@@ -98,6 +98,7 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 		Transcript:     sess.transcript,
 		Configs:        configs,
 		PuntedFindings: sess.punted,
+		Iterations:     sess.iterations,
 	}
 	if cache != nil {
 		stats := cache.Stats()

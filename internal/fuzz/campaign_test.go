@@ -1,0 +1,168 @@
+package fuzz
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/llm"
+)
+
+// TestCampaignDefaultAlphabetPasses is the engine's own regression gate:
+// a sweep over the random family drawing plans from the repairable
+// alphabet must satisfy every oracle property on every case — any
+// failure here is a real pipeline bug, exactly what a production
+// campaign run would flag.
+func TestCampaignDefaultAlphabetPasses(t *testing.T) {
+	c := Campaign{
+		Family:  "random",
+		Sizes:   []int{4, 6, 8},
+		Seeds:   3,
+		Workers: 4,
+		Falsify: true,
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases != 9 || rep.Skipped != 0 {
+		t.Fatalf("ran %d cases (%d skipped), want 9", rep.Cases, rep.Skipped)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("campaign failed %d cases; counterexample: %+v",
+			rep.Failures, rep.Counterexample)
+	}
+	if rep.PlannedErrors == 0 {
+		t.Fatal("no errors were planned: the sweep was vacuous")
+	}
+	if rep.TotalIterations < rep.Cases {
+		t.Fatalf("iterations stat missing: %d over %d cases",
+			rep.TotalIterations, rep.Cases)
+	}
+}
+
+// seededViolation is the deliberately failing campaign the acceptance
+// criterion describes: the alphabet includes llm.SErrEgressDenyAll,
+// which no rectification formula and no operator prompt repairs, so
+// any case whose plan carries it on a live egress filter can never
+// verify.
+func seededViolation() Campaign {
+	return Campaign{
+		Family:   "random",
+		Sizes:    []int{6, 8},
+		Seeds:    4,
+		Alphabet: append(DefaultAlphabet(), llm.SErrEgressDenyAll),
+	}
+}
+
+func TestCampaignSeededViolationFindsShrinksAndReplays(t *testing.T) {
+	c := seededViolation()
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures == 0 || rep.Counterexample == nil {
+		t.Fatalf("seeded violation not found: %d failures, cx=%v",
+			rep.Failures, rep.Counterexample)
+	}
+	cx := rep.Counterexample
+	if cx.Failure.Property != PropVerified {
+		t.Fatalf("failure property = %q, want %q", cx.Failure.Property, PropVerified)
+	}
+
+	// The minimal case is genuinely minimal: a single planned class on
+	// the family's smallest failing graph, with every removable extra
+	// edge gone.
+	if got := cx.Case.Plan.Cardinality(); got != 1 {
+		t.Errorf("minimal plan cardinality = %d, want 1 (%v)", got, cx.Case.Plan)
+	}
+	if cx.Case.Size > cx.Original.Size {
+		t.Errorf("shrinker grew the topology: %d > %d", cx.Case.Size, cx.Original.Size)
+	}
+	if cx.Case.Size != 4 {
+		t.Errorf("minimal size = %d, want the family minimum 4", cx.Case.Size)
+	}
+	if cx.Case.ExtraEdges != 0 {
+		t.Errorf("minimal extra edges = %d, want 0", cx.Case.ExtraEdges)
+	}
+	if classes := cx.Case.Plan.Sites[0].Classes; len(classes) != 1 ||
+		classes[0] != llm.SErrEgressDenyAll.String() {
+		t.Errorf("minimal class = %v, want [%s]", classes, llm.SErrEgressDenyAll)
+	}
+
+	// The report replays to the same failure through the recorded
+	// oracle (the cofuzz -replay path) — including after a JSON
+	// round-trip through disk.
+	path := filepath.Join(t.TempDir(), "fuzz.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, reproduced, err := loaded.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reproduced {
+		t.Fatalf("replay did not reproduce %q: %+v", cx.Failure.Property, res.Failure)
+	}
+
+	// The same file serves the cosynth -errors path: the replay case
+	// lifts straight out of the report.
+	cs, err := LoadReplayCase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cs, cx.Case) {
+		t.Fatalf("LoadReplayCase = %+v, want %+v", cs, cx.Case)
+	}
+}
+
+// TestCampaignBudgetSkipsNotFails pins the budget semantics: an
+// already-expired budget skips every case rather than failing any.
+func TestCampaignBudgetSkipsNotFails(t *testing.T) {
+	c := Campaign{Family: "random", Sizes: []int{6}, Seeds: 3, Budget: 1}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("budget expiry produced failures: %+v", rep)
+	}
+	if rep.Cases+rep.Skipped != 3 {
+		t.Fatalf("cases+skipped = %d+%d, want 3", rep.Cases, rep.Skipped)
+	}
+	if rep.Skipped == 0 {
+		t.Fatal("a 1ns budget skipped nothing")
+	}
+}
+
+// TestCampaignAgainstBackendSeam runs a sweep through a CachedVerifier-
+// compatible REST-style verifier to pin that the Verifier knob reaches
+// the pipeline (the suite.Backend seam itself is exercised by the
+// root-package byte-identical tests).
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	run := func(workers int) *Report {
+		t.Helper()
+		c := Campaign{Family: "random", Sizes: []int{6}, Seeds: 2, Workers: workers}
+		rep, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	seq, par := run(1), run(4)
+	if seq.Failures != par.Failures || seq.Cases != par.Cases {
+		t.Fatalf("worker count changed outcomes: %+v vs %+v", seq, par)
+	}
+	for i := range seq.Results {
+		a, b := seq.Results[i], par.Results[i]
+		if !reflect.DeepEqual(a.Case, b.Case) || a.Iterations != b.Iterations ||
+			a.Automated != b.Automated || a.Human != b.Human {
+			t.Fatalf("case %d diverged across worker counts:\n%+v\n%+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package fuzz treats erroneous LLM output as a first-class, generatable
+// input space. The paper's central claim is that a verify-and-rectify
+// loop repairs the error classes real LLMs inject into router configs;
+// the repo's registry scenarios only ever exercised one fixed error plan
+// per topology. This package explores the space property-based: a seeded
+// Campaign sweeps (scenario family × size × seed × error plan) cases on
+// a bounded worker pool against any verification backend, an oracle
+// asserts the pipeline's end-to-end properties on every case —
+//
+//   - coverage-complete: the derived local spec satisfies the modular
+//     proof obligation (lightyear.CoverageComplete);
+//   - verified-synthesis: the repair loop converges to a verified result
+//     under the case's injected error plan;
+//   - local-specs-imply-global: the final configurations independently
+//     pass the whole-network no-transit simulation (and, with Falsify,
+//     breaking one attachment's egress filter breaks it — the composed
+//     check is not vacuous);
+//   - iteration-budget: the loop's verify/correct cycles stay bounded in
+//     the injected-error count (core.Result.Iterations);
+//
+// and a deterministic shrinker minimizes any failing case along two axes
+// — topology size/extra edges and error-plan cardinality — down to a
+// replayable minimal counterexample emitted in a JSON report. Replay is
+// exact: cofuzz -replay re-runs the minimized case through the oracle,
+// and cosynth -errors replays it byte-identically through the main CLI
+// (the topology regenerates from (family, size, seed, extraEdges), the
+// plan rides in the report).
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/llm"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// Case is one point of the fuzzed input space: a topology variant plus
+// the error plan the simulated LLM injects into it. A case is fully
+// replayable from its JSON form — the topology regenerates from
+// (Family, Size, Seed, ExtraEdges) and the plan is carried verbatim.
+type Case struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	// Seed selects the graph variant (random family) and derives the
+	// generated error plan; campaigns vary it per size.
+	Seed int64 `json:"seed"`
+	// ExtraEdges caps the random family's non-tree edges; -1 keeps the
+	// family default of Size/2. Other families ignore it.
+	ExtraEdges int       `json:"extraEdges"`
+	Plan       ErrorPlan `json:"plan"`
+}
+
+// UnmarshalJSON defaults ExtraEdges to -1 (the family default) when the
+// field is absent, so hand-written plan files need not know the knob.
+func (c *Case) UnmarshalJSON(b []byte) error {
+	type alias Case
+	a := alias{ExtraEdges: -1}
+	if err := json.Unmarshal(b, &a); err != nil {
+		return err
+	}
+	*c = Case(a)
+	return nil
+}
+
+// String renders the case's coordinates for logs and failures.
+func (c Case) String() string {
+	s := fmt.Sprintf("%s:%d seed=%d", c.Family, c.Size, c.Seed)
+	if c.ExtraEdges >= 0 {
+		s += fmt.Sprintf(" extra-edges=%d", c.ExtraEdges)
+	}
+	return fmt.Sprintf("%s plan=%s", s, c.Plan)
+}
+
+// Topology regenerates the case's graph. The random family resolves
+// through netgen.RandomWith so seed and edge-cap variants reproduce; all
+// other families are deterministic in size alone. Size <= 0 falls back
+// to the family's registry default, so hand-written replay files can
+// omit it.
+func (c Case) Topology() (*topology.Topology, error) {
+	size := c.Size
+	if size <= 0 {
+		if sc, ok := netgen.Lookup(c.Family); ok {
+			size = sc.DefaultSize
+		}
+	}
+	if c.Family == "random" {
+		return netgen.RandomWith(size, netgen.RandomOpts{Seed: c.Seed, ExtraEdges: c.ExtraEdges})
+	}
+	return netgen.GenerateSeeded(c.Family, size, c.Seed)
+}
+
+// DefaultAlphabet lists the synthesis error classes the default pipeline
+// (automated rectification formulas plus the PaperHuman oracle) always
+// repairs — the safe plan alphabet: a campaign drawing from it should
+// report zero failures, so any failure is a real pipeline regression.
+// llm.SErrEgressDenyAll is deliberately excluded: no formula and no
+// operator prompt repairs it, which makes it the knob for seeding a
+// deliberate oracle violation (see the campaign tests and cofuzz
+// -classes).
+func DefaultAlphabet() []llm.SynthError {
+	return []llm.SynthError{
+		llm.SErrCLIKeywords,
+		llm.SErrMatchCommunityLiteral,
+		llm.SErrMissingAdditive,
+		llm.SErrCommunityListRegex,
+		llm.SErrTopoWrongIP,
+		llm.SErrTopoMissingNetwork,
+		llm.SErrNeighborOutsideBGP,
+		llm.SErrAndOr,
+	}
+}

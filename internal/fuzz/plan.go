@@ -1,0 +1,306 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/lightyear"
+	"repro/internal/llm"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// ErrorPlan is an attachment-keyed injection plan: which synthesis error
+// classes fire at which (router, external-neighbor, direction) site. It
+// is the JSON form of the llm.SynthConfig.Plan seam — classes travel as
+// their stable String names, so plans and reports survive enum
+// renumbering — and the unit the shrinker minimizes cardinality over.
+type ErrorPlan struct {
+	Sites []PlanSite `json:"sites,omitempty"`
+}
+
+// PlanSite assigns error classes to one site; Peer empty addresses the
+// whole router (router-scoped classes only).
+type PlanSite struct {
+	Router    string   `json:"router"`
+	Peer      string   `json:"peer,omitempty"`
+	Direction string   `json:"direction,omitempty"`
+	Classes   []string `json:"classes"`
+}
+
+// String renders the plan compactly for logs.
+func (p ErrorPlan) String() string {
+	if len(p.Sites) == 0 {
+		return "{}"
+	}
+	var parts []string
+	for _, s := range p.Sites {
+		site := s.Router
+		if s.Peer != "" {
+			arrow := "<-"
+			if s.Direction == "out" {
+				arrow = "->"
+			}
+			site += arrow + s.Peer
+		}
+		parts = append(parts, site+":"+strings.Join(s.Classes, "+"))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Cardinality counts the planned class instances — the shrinker's
+// second minimization axis.
+func (p ErrorPlan) Cardinality() int {
+	n := 0
+	for _, s := range p.Sites {
+		n += len(s.Classes)
+	}
+	return n
+}
+
+// SiteErrors resolves the plan into the llm seam's form, validating
+// every class name. The result is non-nil even for an empty plan, so
+// handing it to llm.SynthConfig.Plan always selects plan mode (an empty
+// plan injects nothing, unlike a nil one which selects the paper's
+// default scenario).
+func (p ErrorPlan) SiteErrors() ([]llm.SiteErrors, error) {
+	out := make([]llm.SiteErrors, 0, len(p.Sites))
+	for _, s := range p.Sites {
+		se := llm.SiteErrors{Site: llm.ErrorSite{
+			Router: s.Router, Peer: s.Peer, Direction: s.Direction,
+		}}
+		for _, name := range s.Classes {
+			e, err := llm.ParseSynthError(name)
+			if err != nil {
+				return nil, fmt.Errorf("plan site %s%s: %w", s.Router, s.Peer, err)
+			}
+			se.Classes = append(se.Classes, e)
+		}
+		out = append(out, se)
+	}
+	return out, nil
+}
+
+// Normalize returns the canonical form of a plan: sites merged per
+// (router, peer, direction) and sorted in natural order, classes
+// deduplicated and sorted by class, empty sites dropped. Generated and
+// shrunk plans are always normalized, which is what makes shrinking —
+// and the minimal-counterexample comparison in tests — deterministic.
+func (p ErrorPlan) Normalize() ErrorPlan {
+	type key struct{ router, peer, dir string }
+	merged := map[key]map[string]bool{}
+	var order []key
+	for _, s := range p.Sites {
+		k := key{s.Router, s.Peer, s.Direction}
+		if merged[k] == nil {
+			merged[k] = map[string]bool{}
+			order = append(order, k)
+		}
+		for _, c := range s.Classes {
+			merged[k][c] = true
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.router != b.router {
+			return natLess(a.router, b.router)
+		}
+		if a.peer != b.peer {
+			return natLess(a.peer, b.peer)
+		}
+		return a.dir < b.dir
+	})
+	var out ErrorPlan
+	for _, k := range order {
+		classes := classNames(merged[k])
+		if len(classes) == 0 {
+			continue
+		}
+		out.Sites = append(out.Sites, PlanSite{
+			Router: k.router, Peer: k.peer, Direction: k.dir, Classes: classes,
+		})
+	}
+	return out
+}
+
+// classNames sorts a class-name set by class value (falling back to
+// name order for unknown classes, so normalization never errors).
+func classNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, aerr := llm.ParseSynthError(names[i])
+		b, berr := llm.ParseSynthError(names[j])
+		if aerr != nil || berr != nil {
+			return names[i] < names[j]
+		}
+		return a < b
+	})
+	return names
+}
+
+// natLess compares names like R2 < R10 numerically where a plain string
+// compare would not, keeping normalized plans readable.
+func natLess(a, b string) bool {
+	pa, na := splitNum(a)
+	pb, nb := splitNum(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitNum(s string) (string, int) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	n := 0
+	for _, r := range s[i:] {
+		n = n*10 + int(r-'0')
+	}
+	return s[:i], n
+}
+
+// PolicySite is one site a plan can corrupt: an enforcement point of the
+// derived no-transit specification. On the paper's hub-centric star the
+// enforcing router is the hub and the peer the internal spoke; on every
+// other graph the sites are the ISP attachment points themselves —
+// mirroring exactly how lightyear.SpecFor keys the requirements.
+type PolicySite struct {
+	Router string
+	Peer   string
+}
+
+// PolicySites enumerates a topology's enforcement sites in topology
+// order.
+func PolicySites(t *topology.Topology) []PolicySite {
+	var out []PolicySite
+	if netgen.IsStar(t) {
+		for i := range t.Routers {
+			if t.Routers[i].Name != "R1" {
+				out = append(out, PolicySite{Router: "R1", Peer: t.Routers[i].Name})
+			}
+		}
+		return out
+	}
+	for _, a := range lightyear.ISPAttachments(t) {
+		out = append(out, PolicySite{Router: a.Router, Peer: a.Peer.PeerName})
+	}
+	return out
+}
+
+// PlanFor derives a case's injection plan from its seed: roughly half
+// the topology's enforcement sites get an egress-side class, a third an
+// ingress-side class, and a quarter of the routers a router-scoped
+// class, all drawn from the alphabet. The same (topology, seed,
+// alphabet) always yields the same plan.
+func PlanFor(t *topology.Topology, seed int64, alphabet []llm.SynthError) ErrorPlan {
+	var inPool, outPool, routerPool []string
+	for _, e := range alphabet {
+		switch e.ScopeDirection() {
+		case "in":
+			inPool = append(inPool, e.String())
+		case "out":
+			outPool = append(outPool, e.String())
+		default:
+			routerPool = append(routerPool, e.String())
+		}
+	}
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(len(t.Routers))*7907))
+	var plan ErrorPlan
+	for _, site := range PolicySites(t) {
+		if len(outPool) > 0 && rng.Intn(2) == 0 {
+			plan.Sites = append(plan.Sites, PlanSite{
+				Router: site.Router, Peer: site.Peer, Direction: "out",
+				Classes: []string{outPool[rng.Intn(len(outPool))]},
+			})
+		}
+		if len(inPool) > 0 && rng.Intn(3) == 0 {
+			plan.Sites = append(plan.Sites, PlanSite{
+				Router: site.Router, Peer: site.Peer, Direction: "in",
+				Classes: []string{inPool[rng.Intn(len(inPool))]},
+			})
+		}
+	}
+	for i := range t.Routers {
+		if len(routerPool) > 0 && rng.Intn(4) == 0 {
+			plan.Sites = append(plan.Sites, PlanSite{
+				Router:  t.Routers[i].Name,
+				Classes: []string{routerPool[rng.Intn(len(routerPool))]},
+			})
+		}
+	}
+	return plan.Normalize()
+}
+
+// remapToTopology keeps a plan meaningful on a smaller graph by
+// re-homing sites whose coordinates vanished: surviving sites stay put,
+// dropped attachment sites move onto the smaller topology's enforcement
+// sites in deterministic round-robin order, and dropped router sites
+// move to the first router. The shrinker's oracle gate decides whether
+// the re-homed plan still fails.
+func remapToTopology(p ErrorPlan, t *topology.Topology) ErrorPlan {
+	routers := map[string]bool{}
+	for i := range t.Routers {
+		routers[t.Routers[i].Name] = true
+	}
+	targets := PolicySites(t)
+	valid := map[PolicySite]bool{}
+	for _, s := range targets {
+		valid[s] = true
+	}
+	next := 0
+	var out ErrorPlan
+	for _, s := range p.Sites {
+		switch {
+		case s.Peer == "" && routers[s.Router]:
+			out.Sites = append(out.Sites, s)
+		case s.Peer == "" && len(t.Routers) > 0:
+			out.Sites = append(out.Sites, PlanSite{
+				Router: t.Routers[0].Name, Classes: s.Classes,
+			})
+		case valid[PolicySite{Router: s.Router, Peer: s.Peer}]:
+			out.Sites = append(out.Sites, s)
+		case len(targets) > 0:
+			target := targets[next%len(targets)]
+			next++
+			out.Sites = append(out.Sites, PlanSite{
+				Router: target.Router, Peer: target.Peer,
+				Direction: s.Direction, Classes: s.Classes,
+			})
+		}
+	}
+	return out.Normalize()
+}
+
+// pruneForTopology drops plan sites that address routers or enforcement
+// sites absent from a topology — the adjustment a size-shrunk candidate
+// needs so its plan stays meaningful on the smaller graph.
+func pruneForTopology(p ErrorPlan, t *topology.Topology) ErrorPlan {
+	routers := map[string]bool{}
+	for i := range t.Routers {
+		routers[t.Routers[i].Name] = true
+	}
+	sites := map[PolicySite]bool{}
+	for _, s := range PolicySites(t) {
+		sites[s] = true
+	}
+	var out ErrorPlan
+	for _, s := range p.Sites {
+		if s.Peer == "" {
+			if routers[s.Router] {
+				out.Sites = append(out.Sites, s)
+			}
+			continue
+		}
+		if sites[PolicySite{Router: s.Router, Peer: s.Peer}] {
+			out.Sites = append(out.Sites, s)
+		}
+	}
+	return out
+}

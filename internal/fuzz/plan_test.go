@@ -1,0 +1,135 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+func TestNormalizeMergesSortsAndDedupes(t *testing.T) {
+	p := ErrorPlan{Sites: []PlanSite{
+		{Router: "R10", Peer: "ISP3", Direction: "out", Classes: []string{"and-or-semantics"}},
+		{Router: "R2", Peer: "ISP1", Direction: "out", Classes: []string{"egress-deny-all"}},
+		{Router: "R2", Peer: "ISP1", Direction: "out", Classes: []string{"and-or-semantics", "and-or-semantics"}},
+		{Router: "R2", Classes: []string{"cli-keywords"}},
+		{Router: "R7", Peer: "ISP2", Direction: "in", Classes: nil}, // empty: dropped
+	}}
+	got := p.Normalize()
+	want := ErrorPlan{Sites: []PlanSite{
+		{Router: "R2", Classes: []string{"cli-keywords"}},
+		{Router: "R2", Peer: "ISP1", Direction: "out",
+			Classes: []string{"and-or-semantics", "egress-deny-all"}},
+		{Router: "R10", Peer: "ISP3", Direction: "out", Classes: []string{"and-or-semantics"}},
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("normalize = %+v, want %+v", got, want)
+	}
+	// Normalization is idempotent.
+	if again := got.Normalize(); !reflect.DeepEqual(again, got) {
+		t.Fatalf("normalize not idempotent: %+v", again)
+	}
+}
+
+func TestSiteErrorsRejectsUnknownClass(t *testing.T) {
+	p := ErrorPlan{Sites: []PlanSite{{Router: "R2", Classes: []string{"no-such-class"}}}}
+	if _, err := p.SiteErrors(); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	// Every real class round-trips through its name.
+	for _, e := range llm.AllSynthErrors() {
+		got, err := llm.ParseSynthError(e.String())
+		if err != nil || got != e {
+			t.Fatalf("class %v does not round-trip: %v, %v", e, got, err)
+		}
+	}
+}
+
+func TestPlanForDeterministicAndSeedSensitive(t *testing.T) {
+	topo, err := netgen.Generate("random", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := PlanFor(topo, 3, DefaultAlphabet())
+	b := PlanFor(topo, 3, DefaultAlphabet())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	// Across a handful of seeds, at least two distinct plans appear.
+	distinct := map[string]bool{}
+	for s := int64(1); s <= 6; s++ {
+		data, _ := json.Marshal(PlanFor(topo, s, DefaultAlphabet()))
+		distinct[string(data)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("6 seeds produced %d distinct plans", len(distinct))
+	}
+}
+
+func TestPolicySitesStarTargetsHub(t *testing.T) {
+	star, err := netgen.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range PolicySites(star) {
+		if s.Router != "R1" {
+			t.Fatalf("star site %+v not on the hub", s)
+		}
+	}
+	dual, err := netgen.Generate("dual-homed", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := PolicySites(dual)
+	if len(sites) != 2*(4-1) {
+		t.Fatalf("dual-homed-4 has %d sites, want 6", len(sites))
+	}
+}
+
+func TestRandomWithSeedVariesGraphAndSeedZeroIsLegacy(t *testing.T) {
+	legacy, err := netgen.Random(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := netgen.RandomWith(12, netgen.RandomOpts{Seed: 0, ExtraEdges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, zero) {
+		t.Fatal("seed 0 is not byte-identical to the legacy stream")
+	}
+	seeded, err := netgen.RandomWith(12, netgen.RandomOpts{Seed: 5, ExtraEdges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(legacy, seeded) {
+		t.Fatal("seed 5 did not vary the graph")
+	}
+	// Shrinking the edge cap only drops edges: ISP placement is stable.
+	sparse, err := netgen.RandomWith(12, netgen.RandomOpts{Seed: 5, ExtraEdges: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext, sparseExt := len(seeded.ExternalAttachments()), len(sparse.ExternalAttachments()); ext != sparseExt {
+		t.Fatalf("edge cap changed ISP placement: %d vs %d attachments", ext, sparseExt)
+	}
+	if internalEdges(seeded) <= internalEdges(sparse) {
+		t.Fatalf("edge cap did not drop edges: %d vs %d", internalEdges(seeded), internalEdges(sparse))
+	}
+}
+
+// internalEdges counts internal adjacencies (each undirected edge twice).
+func internalEdges(t *topology.Topology) int {
+	n := 0
+	for i := range t.Routers {
+		for _, nb := range t.Routers[i].Neighbors {
+			if !nb.External {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/llm"
+)
+
+// Report is a campaign's machine-readable outcome. It is self-contained:
+// it records the knobs the oracle ran under (family, alphabet, iteration
+// cap, falsification), so Replay re-runs the minimized counterexample
+// through the identical oracle, and cosynth -errors can lift the case
+// straight out of the report file.
+type Report struct {
+	Family        string   `json:"family"`
+	Sizes         []int    `json:"sizes"`
+	Seeds         int      `json:"seeds"`
+	Alphabet      []string `json:"alphabet"`
+	MaxIterations int      `json:"maxIterations,omitempty"`
+	Falsify       bool     `json:"falsify,omitempty"`
+	BudgetMS      int64    `json:"budgetMs,omitempty"`
+
+	Cases           int     `json:"cases"`
+	Skipped         int     `json:"skipped,omitempty"`
+	Failures        int     `json:"failures"`
+	PlannedErrors   int     `json:"plannedErrors"`
+	TotalIterations int     `json:"totalIterations"`
+	ElapsedMS       int64   `json:"elapsedMs"`
+	CasesPerSecond  float64 `json:"casesPerSecond"`
+
+	Results        []CaseResult    `json:"results"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+}
+
+// Counterexample is the shrunk, replayable form of a campaign failure.
+type Counterexample struct {
+	// Case is the minimal failing case.
+	Case Case `json:"case"`
+	// Original is the campaign case the shrinker started from.
+	Original Case `json:"original"`
+	// Failure is the violated oracle property (re-asserted on the
+	// minimal case).
+	Failure     Failure `json:"failure"`
+	ShrinkSteps int     `json:"shrinkSteps"`
+	OracleRuns  int     `json:"oracleRuns"`
+	// Replay documents how to reproduce the failure outside the engine.
+	Replay string `json:"replay"`
+}
+
+// newReport seeds a report with the campaign's (filled) configuration.
+func (c *Campaign) newReport() *Report {
+	var alphabet []string
+	for _, e := range c.Alphabet {
+		alphabet = append(alphabet, e.String())
+	}
+	return &Report{
+		Family:        c.Family,
+		Sizes:         c.Sizes,
+		Seeds:         c.Seeds,
+		Alphabet:      alphabet,
+		MaxIterations: c.MaxIterations,
+		Falsify:       c.Falsify,
+		BudgetMS:      c.Budget.Milliseconds(),
+	}
+}
+
+// CampaignFor rebuilds the campaign configuration a report was produced
+// under, so a replay runs the counterexample through the same oracle.
+func (r *Report) CampaignFor() (*Campaign, error) {
+	var alphabet []llm.SynthError
+	for _, name := range r.Alphabet {
+		e, err := llm.ParseSynthError(name)
+		if err != nil {
+			return nil, fmt.Errorf("report alphabet: %w", err)
+		}
+		alphabet = append(alphabet, e)
+	}
+	return &Campaign{
+		Family:        r.Family,
+		Sizes:         r.Sizes,
+		Seeds:         r.Seeds,
+		Alphabet:      alphabet,
+		MaxIterations: r.MaxIterations,
+		Falsify:       r.Falsify,
+	}, nil
+}
+
+// Replay re-runs the report's minimized counterexample through the
+// oracle it was found under and reports whether the recorded failure
+// property reproduces.
+func (r *Report) Replay() (CaseResult, bool, error) {
+	if r.Counterexample == nil {
+		return CaseResult{}, false, fmt.Errorf("report has no counterexample to replay")
+	}
+	c, err := r.CampaignFor()
+	if err != nil {
+		return CaseResult{}, false, err
+	}
+	res := c.RunCase(r.Counterexample.Case)
+	reproduced := res.Failure != nil && res.Failure.Property == r.Counterexample.Failure.Property
+	return res, reproduced, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a report written by WriteFile.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// LoadReplayCase reads a replayable case from a file holding either a
+// campaign report (the minimized counterexample is extracted) or a bare
+// Case / plan JSON — the one loader behind cosynth -errors. A bare plan
+// file may omit the topology coordinates; the caller then supplies them
+// (cosynth falls back to its -topo/-seed flags).
+func LoadReplayCase(path string) (Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Case{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err == nil {
+		if rep.Counterexample != nil {
+			return rep.Counterexample.Case, nil
+		}
+		// Report-only fields distinguish a passing campaign's report from
+		// a bare case file; falling through would misread the report's
+		// "family" as a case and silently replay an empty plan.
+		if rep.Alphabet != nil || rep.Results != nil || rep.Cases > 0 {
+			return Case{}, fmt.Errorf("%s: the campaign passed — no counterexample to replay", path)
+		}
+	}
+	var cs Case
+	if err := json.Unmarshal(data, &cs); err != nil {
+		return Case{}, fmt.Errorf("%s: neither a campaign report nor a case file: %w", path, err)
+	}
+	if cs.Family == "" && cs.Size == 0 && len(cs.Plan.Sites) == 0 {
+		return Case{}, fmt.Errorf("%s: no counterexample case or plan found", path)
+	}
+	return cs, nil
+}

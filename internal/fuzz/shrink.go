@@ -1,0 +1,162 @@
+package fuzz
+
+import "reflect"
+
+// Shrink deterministically minimizes a failing case along two axes —
+// topology (size, then the random family's extra edges) and error-plan
+// cardinality (whole sites, then single classes) — accepting a candidate
+// only when it reproduces the original failure's property through the
+// full oracle. The axes interleave to a fixed point: dropping a plan
+// site can unlock a further size reduction and vice versa. Because every
+// candidate is re-run through the same deterministic oracle, the result
+// is reproducible, idempotent (shrinking a minimal case is a no-op), and
+// every accepted step is itself a failing case.
+//
+// It returns the minimal case, the accepted intermediate steps in order
+// (ending with the minimal case when any progress was made), and the
+// number of oracle runs spent. The campaign's ShrinkBudget caps the
+// runs; hitting the cap simply stops early with the best case so far.
+func (c *Campaign) Shrink(cs Case, orig Failure) (Case, []Case, int) {
+	if err := c.fill(); err != nil {
+		return cs, nil, 0
+	}
+	cur := cs
+	cur.Plan = cur.Plan.Normalize()
+	runs := 0
+	reproduces := func(cand Case) bool {
+		if runs >= c.ShrinkBudget {
+			return false
+		}
+		runs++
+		res := c.RunCase(cand)
+		return res.Failure != nil && res.Failure.Property == orig.Property
+	}
+	var steps []Case
+	accept := func(cand Case) {
+		cur = cand
+		steps = append(steps, cand)
+	}
+
+	for progress := true; progress && runs < c.ShrinkBudget; {
+		progress = false
+
+		// Axis 1a: topology size. The candidate's plan is first pruned to
+		// the sites that still exist on the smaller graph; when pruning
+		// loses sites (seeded graph variants renumber their attachments
+		// as the size changes), a second candidate re-homes the dropped
+		// sites deterministically onto the smaller graph's enforcement
+		// sites — either way the candidate only survives if the original
+		// failure reproduces.
+		for cur.Size > 2 {
+			cand := cur
+			cand.Size = cur.Size - 1
+			topo, err := cand.Topology()
+			if err != nil {
+				break // below the family's minimum size
+			}
+			pruned := cand
+			pruned.Plan = pruneForTopology(cur.Plan, topo).Normalize()
+			if reproduces(pruned) {
+				accept(pruned)
+				progress = true
+				continue
+			}
+			remapped := cand
+			remapped.Plan = remapToTopology(cur.Plan, topo)
+			if reflect.DeepEqual(remapped.Plan, pruned.Plan) || !reproduces(remapped) {
+				break
+			}
+			accept(remapped)
+			progress = true
+		}
+
+		// Axis 1b: the random family's extra edges, capped down toward a
+		// bare spanning tree. The generator keeps its rng stream fixed,
+		// so each candidate differs from its parent only in the dropped
+		// edges.
+		if cur.Family == "random" {
+			extra := cur.ExtraEdges
+			if extra < 0 {
+				extra = cur.Size / 2
+			}
+			for extra > 0 {
+				cand := cur
+				cand.ExtraEdges = extra - 1
+				if !reproduces(cand) {
+					break
+				}
+				accept(cand)
+				extra--
+				progress = true
+			}
+		}
+
+		// Axis 2a: drop whole plan sites.
+		for i := 0; i < len(cur.Plan.Sites); {
+			cand := cur
+			cand.Plan = dropSite(cur.Plan, i)
+			if reproduces(cand) {
+				accept(cand)
+				progress = true
+				continue // the next site now sits at index i
+			}
+			i++
+		}
+
+		// Axis 2b: drop single classes within a site. Accepting a drop
+		// that empties a site removes the site, shifting the indices; the
+		// bounds re-checks keep the scan in range (the fixed-point outer
+		// loop revisits anything skipped by the shift).
+		for i := 0; i < len(cur.Plan.Sites); i++ {
+			for j := 0; i < len(cur.Plan.Sites) && j < len(cur.Plan.Sites[i].Classes); {
+				cand := cur
+				cand.Plan = dropClass(cur.Plan, i, j)
+				if reproduces(cand) {
+					accept(cand)
+					progress = true
+					continue
+				}
+				j++
+			}
+			if i >= len(cur.Plan.Sites) {
+				break
+			}
+		}
+	}
+	return cur, steps, runs
+}
+
+// dropSite returns a copy of the plan without site i (normalized, so
+// shrunk plans stay canonical).
+func dropSite(p ErrorPlan, i int) ErrorPlan {
+	var out ErrorPlan
+	for k, s := range p.Sites {
+		if k != i {
+			out.Sites = append(out.Sites, s)
+		}
+	}
+	return out.Normalize()
+}
+
+// dropClass returns a copy of the plan without class j of site i.
+func dropClass(p ErrorPlan, i, j int) ErrorPlan {
+	var out ErrorPlan
+	for k, s := range p.Sites {
+		if k != i {
+			out.Sites = append(out.Sites, s)
+			continue
+		}
+		var classes []string
+		for l, cl := range s.Classes {
+			if l != j {
+				classes = append(classes, cl)
+			}
+		}
+		if len(classes) > 0 {
+			out.Sites = append(out.Sites, PlanSite{
+				Router: s.Router, Peer: s.Peer, Direction: s.Direction, Classes: classes,
+			})
+		}
+	}
+	return out.Normalize()
+}

@@ -1,0 +1,95 @@
+package fuzz
+
+import (
+	"reflect"
+	"testing"
+)
+
+// failingCase returns a deliberately failing case for the seeded-
+// violation campaign: the plan carries the unrepairable egress-deny-all
+// class, derived like a campaign case so the shrinker has real work on
+// both axes.
+func failingCase(t *testing.T, c *Campaign) (Case, Failure) {
+	t.Helper()
+	cases, err := c.Cases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range cases {
+		res := c.RunCase(cs)
+		if res.Failure != nil {
+			return cs, *res.Failure
+		}
+	}
+	t.Fatal("no failing case in the seeded-violation sweep")
+	return Case{}, Failure{}
+}
+
+func TestShrinkDeterministicAcrossRuns(t *testing.T) {
+	c := seededViolation()
+	cs, f := failingCase(t, &c)
+	min1, steps1, runs1 := c.Shrink(cs, f)
+	min2, steps2, runs2 := c.Shrink(cs, f)
+	if !reflect.DeepEqual(min1, min2) || !reflect.DeepEqual(steps1, steps2) || runs1 != runs2 {
+		t.Fatalf("shrinking diverged across runs:\n%+v (%d steps, %d runs)\n%+v (%d steps, %d runs)",
+			min1, len(steps1), runs1, min2, len(steps2), runs2)
+	}
+	if len(steps1) == 0 {
+		t.Fatal("the campaign case was already minimal: the shrinker had no work")
+	}
+	if !reflect.DeepEqual(steps1[len(steps1)-1], min1) {
+		t.Fatal("the last accepted step is not the minimal case")
+	}
+}
+
+func TestShrinkIdempotent(t *testing.T) {
+	c := seededViolation()
+	cs, f := failingCase(t, &c)
+	min, _, _ := c.Shrink(cs, f)
+	again, steps, _ := c.Shrink(min, f)
+	if !reflect.DeepEqual(again, min) {
+		t.Fatalf("shrinking a minimal case changed it: %+v -> %+v", min, again)
+	}
+	if len(steps) != 0 {
+		t.Fatalf("shrinking a minimal case accepted %d steps", len(steps))
+	}
+}
+
+func TestShrinkEveryStepPreservesTheFailure(t *testing.T) {
+	c := seededViolation()
+	cs, f := failingCase(t, &c)
+	_, steps, _ := c.Shrink(cs, f)
+	for i, step := range steps {
+		res := c.RunCase(step)
+		if res.Failure == nil || res.Failure.Property != f.Property {
+			t.Fatalf("shrink step %d/%d lost the failure %q: %+v",
+				i+1, len(steps), f.Property, res.Failure)
+		}
+		// Each step is genuinely smaller or equal on both axes, and
+		// strictly smaller on at least one.
+		prev := cs
+		if i > 0 {
+			prev = steps[i-1]
+		}
+		if step.Size > prev.Size || step.Plan.Cardinality() > prev.Plan.Cardinality() {
+			t.Fatalf("shrink step %d grew the case: %+v -> %+v", i+1, prev, step)
+		}
+	}
+}
+
+func TestShrinkBudgetStopsEarly(t *testing.T) {
+	c := seededViolation()
+	cs, f := failingCase(t, &c)
+	c.ShrinkBudget = 2
+	_, _, runs := c.Shrink(cs, f)
+	if runs > 2 {
+		t.Fatalf("shrinker spent %d oracle runs over a budget of 2", runs)
+	}
+	// An unrelated failure property shrinks to nothing: no candidate
+	// reproduces it, so the case comes back unchanged.
+	c2 := seededViolation()
+	min, steps, _ := c2.Shrink(cs, Failure{Property: PropCoverage})
+	if len(steps) != 0 || !reflect.DeepEqual(min.Plan, cs.Plan.Normalize()) {
+		t.Fatalf("unreproducible failure still shrank: %+v (%d steps)", min, len(steps))
+	}
+}

@@ -1,0 +1,81 @@
+package llm
+
+import "fmt"
+
+// ErrorSite identifies where a planned synthesis error fires: an
+// attachment — the (router, external peer, direction) triple the spec
+// model keys requirements on (lightyear.AttachmentRef uses the same
+// shape) — or, with Peer empty, a whole router. On the paper's
+// hub-centric star the peer is the internal spoke standing in for its
+// ISP, exactly as in the spec derivation; everywhere else it is the
+// external ISP itself.
+type ErrorSite struct {
+	Router string `json:"router"`
+	Peer   string `json:"peer,omitempty"`
+	// Direction documents which flow the site's classes corrupt ("in" or
+	// "out"). It is part of the site's identity for plans and reports;
+	// application resolves each class to its own scope (ScopeDirection),
+	// so a mislabelled direction cannot silently retarget an injection.
+	Direction string `json:"direction,omitempty"`
+}
+
+// String renders the site for keys and diagnostics.
+func (s ErrorSite) String() string {
+	if s.Peer == "" {
+		return s.Router
+	}
+	arrow := "<-"
+	if s.Direction == "out" {
+		arrow = "->"
+	}
+	return s.Router + arrow + s.Peer
+}
+
+// SiteErrors assigns injected error classes to one site. A slice of
+// SiteErrors is the attachment-keyed successor of SynthConfig's
+// per-router-name Errors map: the fuzz campaign engine generates,
+// shrinks, and replays plans in this form.
+type SiteErrors struct {
+	Site    ErrorSite
+	Classes []SynthError
+}
+
+// AttachmentScoped reports whether a class can fire at a single
+// attachment's policies (one ingress tag or one egress filter) rather
+// than the whole router. Router-scoped classes — CLI keywords, a wrong
+// interface address, a misplaced neighbor command — corrupt the
+// configuration file as a whole and ignore a site's Peer.
+func (e SynthError) AttachmentScoped() bool { return e.ScopeDirection() != "" }
+
+// ScopeDirection returns the flow direction an attachment-scoped class
+// corrupts: "in" for ingress-tagging policies, "out" for egress
+// filters, "" for router-scoped classes.
+func (e SynthError) ScopeDirection() string {
+	switch e {
+	case SErrMissingAdditive:
+		return "in"
+	case SErrAndOr, SErrMatchCommunityLiteral, SErrEgressDenyAll:
+		return "out"
+	}
+	return ""
+}
+
+// AllSynthErrors lists every synthesis error class in enumeration order.
+func AllSynthErrors() []SynthError {
+	out := make([]SynthError, 0, int(numSynthErrors))
+	for e := SynthError(0); e < numSynthErrors; e++ {
+		out = append(out, e)
+	}
+	return out
+}
+
+// ParseSynthError resolves a class's String form back to the class, so
+// plans and reports can carry stable names instead of enum ordinals.
+func ParseSynthError(name string) (SynthError, error) {
+	for e := SynthError(0); e < numSynthErrors; e++ {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown synthesis error class %q", name)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -40,6 +41,14 @@ const (
 	// deny stanza (AND semantics) instead of one stanza per community (OR)
 	// — the paper's second human-intervention case.
 	SErrAndOr
+	// SErrEgressDenyAll: the egress filter's final catch-all clause denies
+	// instead of permits, so clean customer routes are dropped. Neither
+	// the rectification formulas nor the paper's operator prompts
+	// (PaperHuman) have a recipe for it — it models the give-up regime
+	// §4.2 reports, where the loop exhausts its attempts and the human
+	// declines. The fuzz campaign uses it to seed deliberate oracle
+	// violations: a plan carrying it can never verify.
+	SErrEgressDenyAll
 
 	numSynthErrors
 )
@@ -63,6 +72,8 @@ func (e SynthError) String() string {
 		return "neighbor-outside-bgp"
 	case SErrAndOr:
 		return "and-or-semantics"
+	case SErrEgressDenyAll:
+		return "egress-deny-all"
 	default:
 		return fmt.Sprintf("synth-error(%d)", int(e))
 	}
@@ -76,6 +87,15 @@ type SynthConfig struct {
 	// interface address on R4, and a community-list regex on R6 (clamped
 	// to the routers that exist).
 	Errors map[string][]SynthError
+	// Plan assigns injected error classes per attachment site instead of
+	// per router name — the seam the fuzz campaign engine drives. A
+	// non-nil plan (even an empty one) replaces both Errors and the
+	// default scenario: attachment-scoped classes corrupt only the
+	// addressed site's ingress tag or egress filter, router-scoped
+	// classes fire once per addressed router. Sites whose policies the
+	// prompt never asked for are inert, so one plan replays against any
+	// topology that contains its sites.
+	Plan []SiteErrors
 	// RespectIIP: when true (default behaviour of DefaultSynthConfig),
 	// the IIP-suppressed classes are only injected if the corresponding
 	// IIP entry is absent from the conversation.
@@ -122,9 +142,61 @@ type routerState struct {
 	// egress maps policy name -> communities to filter (for AND/OR fix).
 	egress map[string][]netcfg.Community
 	active map[SynthError]bool
+	// scoped tracks attachment-scoped error instances injected by a
+	// SynthConfig.Plan: class -> the peers whose policies it fires on.
+	// Router-wide activation (active) and scoped instances compose; a
+	// correction that names a policy clears only that peer's instance.
+	scoped map[SynthError]map[string]bool
+	// ingressPols / egressPols map an attachment's peer name to the
+	// route-map the prompt assigned it, parsed from the formulaic policy
+	// names (ADD_COMM_<peer>, FILTER_COMM_OUT_<peer>).
+	ingressPols map[string]string
+	egressPols  map[string]string
 	// interfere: an incremental change accidentally dropped an existing
 	// neighbor attachment (the §6 non-interference hazard).
 	interfere bool
+}
+
+// clearError reacts to a correction for an error class: when the prompt
+// names a policy belonging to one scoped instance, only that peer's
+// instance is fixed; otherwise the model fixes every occurrence on the
+// router — the scoped instances and any router-wide activation alike
+// (a generic "use separate stanzas" prompt plausibly repairs all the
+// router's filters at once).
+func (st *routerState) clearError(e SynthError, content string) {
+	pols := st.ingressPols
+	if e.ScopeDirection() == "out" {
+		pols = st.egressPols
+	}
+	// The longest matching policy name wins: FILTER_COMM_OUT_R2 is a
+	// prefix of FILTER_COMM_OUT_R20, so a substring hit alone could
+	// misattribute the correction on large topologies.
+	best := ""
+	for _, peer := range st.scopedPeers(e) {
+		if strings.Contains(content, pols[peer]) && len(pols[peer]) > len(pols[best]) {
+			best = peer
+		}
+	}
+	if best != "" {
+		delete(st.scoped[e], best)
+		return
+	}
+	delete(st.active, e)
+	delete(st.scoped, e)
+}
+
+// scopedPeers returns the peers a class fires on, sorted for
+// deterministic rendering.
+func (st *routerState) scopedPeers(e SynthError) []string {
+	if len(st.scoped[e]) == 0 {
+		return nil
+	}
+	peers := make([]string, 0, len(st.scoped[e]))
+	for p := range st.scoped[e] {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	return peers
 }
 
 // Synthesizer is the simulated GPT-4 for the no-transit use case. It
@@ -151,7 +223,10 @@ func NewSynthesizer(cfg SynthConfig) *Synthesizer {
 	}
 }
 
-// ActiveErrors lists the live error classes for a router.
+// ActiveErrors lists the live error classes for a router — router-wide
+// activations and attachment-scoped instances alike — in class order.
+// The enumeration is deterministic (sorted by class), which the fuzz
+// shrinker's replay comparisons depend on.
 func (s *Synthesizer) ActiveErrors(router string) []SynthError {
 	st := s.routers[router]
 	if st == nil {
@@ -159,7 +234,7 @@ func (s *Synthesizer) ActiveErrors(router string) []SynthError {
 	}
 	var out []SynthError
 	for e := SynthError(0); e < numSynthErrors; e++ {
-		if st.active[e] {
+		if st.active[e] || len(st.scoped[e]) > 0 {
 			out = append(out, e)
 		}
 	}
@@ -207,9 +282,12 @@ func (s *Synthesizer) Complete(messages []Message) (string, error) {
 // injects the configured errors.
 func (s *Synthesizer) generate(messages []Message, content, router string) (string, error) {
 	st := &routerState{
-		name:   router,
-		active: map[SynthError]bool{},
-		egress: map[string][]netcfg.Community{},
+		name:        router,
+		active:      map[SynthError]bool{},
+		scoped:      map[SynthError]map[string]bool{},
+		egress:      map[string][]netcfg.Community{},
+		ingressPols: map[string]string{},
+		egressPols:  map[string]string{},
 	}
 	dev := netcfg.NewDevice(router, netcfg.VendorCisco)
 
@@ -268,6 +346,7 @@ func (s *Synthesizer) generate(messages []Message, content, router string) (stri
 		dev.RoutePolicies[pol.Name] = pol
 		dev.BGP.EnsureNeighbor(ip).ImportPolicy = pol.Name
 		s.policyOwner[pol.Name] = router
+		st.ingressPols[strings.TrimPrefix(pol.Name, "ADD_COMM_")] = pol.Name
 	}
 	for _, m := range reEgress.FindAllStringSubmatch(content, -1) {
 		ip, _ := netcfg.ParseIP(m[1])
@@ -283,13 +362,19 @@ func (s *Synthesizer) generate(messages []Message, content, router string) (stri
 		buildEgressPolicy(dev, m[2], comms, false)
 		dev.BGP.EnsureNeighbor(ip).ExportPolicy = m[2]
 		s.policyOwner[m[2]] = router
+		st.egressPols[strings.TrimPrefix(m[2], "FILTER_COMM_OUT_")] = m[2]
 	}
 
 	st.golden = dev
 	s.routers[router] = st
 	s.last = router
 
-	// Choose errors.
+	// Choose errors: the attachment-keyed plan when one is configured,
+	// the per-router-name map (or the paper's default scenario) otherwise.
+	if s.cfg.Plan != nil {
+		s.applyPlan(st, messages)
+		return s.render(st), nil
+	}
 	classes := s.cfg.Errors[router]
 	if s.cfg.Errors == nil {
 		classes = defaultErrors(router)
@@ -305,6 +390,44 @@ func (s *Synthesizer) generate(messages []Message, content, router string) (stri
 		st.active[e] = true
 	}
 	return s.render(st), nil
+}
+
+// applyPlan resolves the configured attachment-keyed plan against a
+// freshly generated router: attachment-scoped classes latch onto the
+// addressed peer's ingress tag or egress filter (inert when the prompt
+// asked for no such policy), router-scoped classes fire router-wide
+// whether the site names a peer or not. IIP suppression applies exactly
+// as it does to the per-router map, so the ablation semantics carry over.
+func (s *Synthesizer) applyPlan(st *routerState, messages []Message) {
+	iipDB := DefaultIIPDatabase()
+	for _, se := range s.cfg.Plan {
+		if se.Site.Router != st.name {
+			continue
+		}
+		for _, e := range se.Classes {
+			if s.cfg.RespectIIP && suppressedByIIP(e, messages, iipDB) {
+				continue
+			}
+			if e.AttachmentScoped() && se.Site.Peer != "" {
+				pols := st.ingressPols
+				if e.ScopeDirection() == "out" {
+					pols = st.egressPols
+				}
+				if pols[se.Site.Peer] == "" {
+					continue // the prompt asked for no such policy
+				}
+				if st.scoped[e] == nil {
+					st.scoped[e] = map[string]bool{}
+				}
+				st.scoped[e][se.Site.Peer] = true
+				continue
+			}
+			if (e == SErrAndOr || e == SErrEgressDenyAll) && len(st.egress) == 0 {
+				continue // nothing to get wrong
+			}
+			st.active[e] = true
+		}
+	}
 }
 
 // suppressedByIIP reports whether an error class is prevented by an IIP
@@ -342,7 +465,7 @@ func (s *Synthesizer) correct(content string) (string, error) {
 	case strings.Contains(c, "separate") && strings.Contains(c, "stanza"):
 		// The paper's human prompt: "declare each match statement in a
 		// separate route-map stanza" (§4.2).
-		delete(st.active, SErrAndOr)
+		st.clearError(SErrAndOr, content)
 	case strings.Contains(c, "inside the \"router bgp\"") ||
 		strings.Contains(c, "inside the router bgp block"):
 		delete(st.active, SErrNeighborOutsideBGP)
@@ -350,11 +473,11 @@ func (s *Synthesizer) correct(content string) (string, error) {
 		// Batfish catches the misplaced neighbor command but the warning
 		// is not actionable for the model (§4.2): no change.
 	case strings.Contains(c, "additive") || strings.Contains(c, "replaces the communities"):
-		delete(st.active, SErrMissingAdditive)
+		st.clearError(SErrMissingAdditive, content)
 	case strings.Contains(c, "cli") || strings.Contains(c, "session keyword"):
 		delete(st.active, SErrCLIKeywords)
 	case strings.Contains(c, "must reference a community-list"):
-		delete(st.active, SErrMatchCommunityLiteral)
+		st.clearError(SErrMatchCommunityLiteral, content)
 	case strings.Contains(c, "interferes with the existing") ||
 		strings.Contains(c, "restore the existing"):
 		st.interfere = false
@@ -396,17 +519,30 @@ func (s *Synthesizer) addPolicy(policy, community, neighborIP string) (string, e
 	return s.render(st), nil
 }
 
-// target resolves which router a correction prompt refers to.
+// target resolves which router a correction prompt refers to. Policy
+// mentions resolve to the longest matching policy name with a
+// lexicographic tie-break: FILTER_COMM_OUT_ISP1 is a substring of
+// FILTER_COMM_OUT_ISP10, so a first-match scan over the map would route
+// the correction to whichever owner the map iteration happened to visit
+// — a nondeterminism the fuzz campaigns surfaced on topologies with ten
+// or more attachments.
 func (s *Synthesizer) target(content string) *routerState {
 	if m := reRouterIn.FindStringSubmatch(content); m != nil {
 		if st := s.routers[m[1]]; st != nil {
 			return st
 		}
 	}
+	best, owner := "", ""
 	for pol, router := range s.policyOwner {
-		if strings.Contains(content, pol) {
-			return s.routers[router]
+		if !strings.Contains(content, pol) {
+			continue
 		}
+		if len(pol) > len(best) || (len(pol) == len(best) && pol < best) {
+			best, owner = pol, router
+		}
+	}
+	if best != "" {
+		return s.routers[owner]
 	}
 	if st := s.routers[s.last]; st != nil {
 		return st
@@ -427,23 +563,40 @@ func (s *Synthesizer) render(st *routerState) string {
 	}
 	if st.active[SErrMissingAdditive] {
 		for _, name := range dev.PolicyNames() {
-			for _, cl := range dev.RoutePolicies[name].Clauses {
-				for i, set := range cl.Sets {
-					if sc, ok := set.(netcfg.SetCommunity); ok {
-						sc.Additive = false
-						cl.Sets[i] = sc
-					}
-				}
-			}
+			stripAdditive(dev.RoutePolicies[name])
+		}
+	} else {
+		for _, peer := range st.scopedPeers(SErrMissingAdditive) {
+			stripAdditive(dev.RoutePolicies[st.ingressPols[peer]])
 		}
 	}
 	if st.active[SErrAndOr] {
 		for pol, comms := range st.egress {
 			buildEgressPolicy(dev, pol, comms, true)
 		}
+	} else {
+		for _, peer := range st.scopedPeers(SErrAndOr) {
+			pol := st.egressPols[peer]
+			buildEgressPolicy(dev, pol, st.egress[pol], true)
+		}
+	}
+	if st.active[SErrEgressDenyAll] {
+		for pol := range st.egress {
+			denyAllEgress(dev.RoutePolicies[pol])
+		}
+	} else {
+		for _, peer := range st.scopedPeers(SErrEgressDenyAll) {
+			denyAllEgress(dev.RoutePolicies[st.egressPols[peer]])
+		}
 	}
 	if st.active[SErrMatchCommunityLiteral] {
 		useLiteralCommunityMatches(dev)
+	} else if peers := st.scopedPeers(SErrMatchCommunityLiteral); len(peers) > 0 {
+		var pols []string
+		for _, peer := range peers {
+			pols = append(pols, st.egressPols[peer])
+		}
+		useLiteralCommunityMatchesIn(dev, pols)
 	}
 	if st.interfere && dev.BGP != nil {
 		// The careless incremental edit: the first egress attachment to a
@@ -515,21 +668,82 @@ func buildEgressPolicy(dev *netcfg.Device, name string, comms []netcfg.Community
 	dev.RoutePolicies[name] = pol
 }
 
+// stripAdditive removes the 'additive' keyword from every set-community
+// action of one policy (the "Adding Communities" pitfall of §4.2).
+func stripAdditive(pol *netcfg.RoutePolicy) {
+	if pol == nil {
+		return
+	}
+	for _, cl := range pol.Clauses {
+		for i, set := range cl.Sets {
+			if sc, ok := set.(netcfg.SetCommunity); ok {
+				sc.Additive = false
+				cl.Sets[i] = sc
+			}
+		}
+	}
+}
+
+// denyAllEgress flips an egress filter's final catch-all permit into a
+// deny, dropping clean customer routes (SErrEgressDenyAll).
+func denyAllEgress(pol *netcfg.RoutePolicy) {
+	if pol == nil || len(pol.Clauses) == 0 {
+		return
+	}
+	last := pol.Clauses[len(pol.Clauses)-1]
+	if last.Action == netcfg.Permit && len(last.Matches) == 0 {
+		last.Action = netcfg.Deny
+	}
+}
+
 // useLiteralCommunityMatches rewrites community-list matches into literal
 // community matches (invalid Cisco syntax) and drops the list definitions.
 func useLiteralCommunityMatches(dev *netcfg.Device) {
 	for _, name := range dev.PolicyNames() {
+		rewriteLiteralMatches(dev, dev.RoutePolicies[name])
+	}
+	dev.CommunityLists = map[string]*netcfg.CommunityList{}
+}
+
+// useLiteralCommunityMatchesIn applies the literal-match rewrite to the
+// named policies only (the attachment-scoped form), then drops the
+// community lists no policy references any more.
+func useLiteralCommunityMatchesIn(dev *netcfg.Device, pols []string) {
+	for _, name := range pols {
+		rewriteLiteralMatches(dev, dev.RoutePolicies[name])
+	}
+	referenced := map[string]bool{}
+	for _, name := range dev.PolicyNames() {
 		for _, cl := range dev.RoutePolicies[name].Clauses {
-			for i, m := range cl.Matches {
+			for _, m := range cl.Matches {
 				if mcl, ok := m.(netcfg.MatchCommunityList); ok {
-					if list := dev.CommunityLists[mcl.List]; list != nil && len(list.Entries) > 0 {
-						cl.Matches[i] = netcfg.MatchCommunityLiteral{Community: list.Entries[0].Community}
-					}
+					referenced[mcl.List] = true
 				}
 			}
 		}
 	}
-	dev.CommunityLists = map[string]*netcfg.CommunityList{}
+	for ln := range dev.CommunityLists {
+		if !referenced[ln] {
+			delete(dev.CommunityLists, ln)
+		}
+	}
+}
+
+// rewriteLiteralMatches swaps one policy's community-list matches for
+// literal community matches.
+func rewriteLiteralMatches(dev *netcfg.Device, pol *netcfg.RoutePolicy) {
+	if pol == nil {
+		return
+	}
+	for _, cl := range pol.Clauses {
+		for i, m := range cl.Matches {
+			if mcl, ok := m.(netcfg.MatchCommunityList); ok {
+				if list := dev.CommunityLists[mcl.List]; list != nil && len(list.Entries) > 0 {
+					cl.Matches[i] = netcfg.MatchCommunityLiteral{Community: list.Entries[0].Community}
+				}
+			}
+		}
+	}
 }
 
 func splitCIDR(s string) (uint32, int, error) {

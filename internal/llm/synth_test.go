@@ -1,10 +1,12 @@
 package llm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/cisco"
+	"repro/internal/lightyear"
 	"repro/internal/modularizer"
 	"repro/internal/netcfg"
 	"repro/internal/netgen"
@@ -241,4 +243,166 @@ func keys(m map[string]string) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// planTopo generates a registry topology for the plan-seam tests.
+func planTopo(t *testing.T, name string, n int) *topology.Topology {
+	t.Helper()
+	topo, err := netgen.Generate(name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestSynthesizerPlanScopesErrorToOneAttachment(t *testing.T) {
+	topo := planTopo(t, "dual-homed", 4)
+	atts := lightyear.ISPAttachments(topo)
+	if len(atts) < 2 || atts[0].Router != atts[1].Router {
+		t.Fatalf("dual-homed-4 should open with two attachments on one router: %+v", atts[:2])
+	}
+	victim, sibling := atts[0], atts[1]
+	s := NewSynthesizer(SynthConfig{Seed: 1, RespectIIP: true, Plan: []SiteErrors{{
+		Site:    ErrorSite{Router: victim.Router, Peer: victim.Peer.PeerName, Direction: "out"},
+		Classes: []SynthError{SErrAndOr},
+	}}})
+	configs := generateAll(t, s, topo, true)
+	dev, warns := cisco.Parse(configs[victim.Router])
+	if len(warns) != 0 {
+		t.Fatalf("%s warnings: %v", victim.Router, warns)
+	}
+	// The addressed attachment's egress filter collapsed to the single
+	// AND stanza; the sibling attachment on the same router is intact.
+	bad := dev.RoutePolicies[victim.EgressPolicy()]
+	if bad == nil || len(bad.Clauses) != 2 || len(bad.Clauses[0].Matches) != len(atts)-1 {
+		t.Fatalf("scoped AND error shape wrong: %+v", bad)
+	}
+	good := dev.RoutePolicies[sibling.EgressPolicy()]
+	if good == nil || len(good.Clauses) != len(atts) {
+		t.Fatalf("sibling egress filter was corrupted: %+v", good)
+	}
+	if got := s.ActiveErrors(victim.Router); len(got) != 1 || got[0] != SErrAndOr {
+		t.Fatalf("ActiveErrors = %v", got)
+	}
+}
+
+func TestSynthesizerScopedCorrectionClearsOnlyNamedPolicy(t *testing.T) {
+	topo := planTopo(t, "dual-homed", 4)
+	atts := lightyear.ISPAttachments(topo)
+	victim, sibling := atts[0], atts[1]
+	site := func(a lightyear.Attachment) ErrorSite {
+		return ErrorSite{Router: a.Router, Peer: a.Peer.PeerName, Direction: "in"}
+	}
+	s := NewSynthesizer(SynthConfig{Seed: 1, RespectIIP: true, Plan: []SiteErrors{
+		{Site: site(victim), Classes: []SynthError{SErrMissingAdditive}},
+		{Site: site(sibling), Classes: []SynthError{SErrMissingAdditive}},
+	}})
+	// Without the IIP database the suppressed class fires at both sites.
+	generateAll(t, s, topo, false)
+	if got := s.ActiveErrors(victim.Router); len(got) != 1 || got[0] != SErrMissingAdditive {
+		t.Fatalf("ActiveErrors = %v", got)
+	}
+	// A correction naming one policy fixes only that attachment.
+	out, err := s.Complete([]Message{{Role: RoleAutomated, Content: fmt.Sprintf(
+		"The route-map %s replaces the communities already present on the route instead of "+
+			"adding them. Use the 'additive' keyword.", victim.IngressPolicy())}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveErrors(victim.Router); len(got) != 1 || got[0] != SErrMissingAdditive {
+		t.Fatalf("sibling instance should survive: ActiveErrors = %v", got)
+	}
+	dev, _ := cisco.Parse(out)
+	fixedSet := dev.RoutePolicies[victim.IngressPolicy()].Clauses[0].Sets[0].(netcfg.SetCommunity)
+	if !fixedSet.Additive {
+		t.Fatal("named policy not fixed")
+	}
+	brokenSet := dev.RoutePolicies[sibling.IngressPolicy()].Clauses[0].Sets[0].(netcfg.SetCommunity)
+	if brokenSet.Additive {
+		t.Fatal("unnamed sibling policy was fixed too")
+	}
+	// A correction naming no policy clears the remaining instances.
+	if _, err := s.Complete([]Message{{Role: RoleAutomated, Content: fmt.Sprintf(
+		"For router %s: use the 'additive' keyword in every set community.", victim.Router)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveErrors(victim.Router); len(got) != 0 {
+		t.Fatalf("generic correction left %v live", got)
+	}
+}
+
+func TestSynthesizerEgressDenyAllResistsEveryCorrection(t *testing.T) {
+	topo := star(t, 4)
+	s := NewSynthesizer(SynthConfig{Seed: 1, RespectIIP: true, Plan: []SiteErrors{{
+		Site:    ErrorSite{Router: "R1", Peer: "R2", Direction: "out"},
+		Classes: []SynthError{SErrEgressDenyAll},
+	}}})
+	configs := generateAll(t, s, topo, true)
+	dev, _ := cisco.Parse(configs["R1"])
+	pol := dev.RoutePolicies["FILTER_COMM_OUT_R2"]
+	last := pol.Clauses[len(pol.Clauses)-1]
+	if last.Action != netcfg.Deny || len(last.Matches) != 0 {
+		t.Fatalf("deny-all shape wrong: %+v", last)
+	}
+	// Neither the semantic formula nor the paper-human phrasings move it.
+	for _, prompt := range []string{
+		"The route-map FILTER_COMM_OUT_R2 denies routes that carry no ISP community " +
+			"(for example 150.0.0.0/16). However, customer routes should be permitted.",
+		"For router R1: Declare each match statement in a separate route-map stanza.",
+	} {
+		out, err := s.Complete([]Message{{Role: RoleAutomated, Content: prompt}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, _ := cisco.Parse(out)
+		cl := again.RoutePolicies["FILTER_COMM_OUT_R2"].Clauses
+		if cl[len(cl)-1].Action != netcfg.Deny {
+			t.Fatalf("prompt %q repaired egress-deny-all", prompt)
+		}
+	}
+	if got := s.ActiveErrors("R1"); len(got) != 1 || got[0] != SErrEgressDenyAll {
+		t.Fatalf("ActiveErrors = %v", got)
+	}
+}
+
+func TestSynthesizerActiveErrorsSortedByClass(t *testing.T) {
+	topo := star(t, 7)
+	// Classes declared in descending order across several sites must
+	// come back ascending.
+	s := NewSynthesizer(SynthConfig{Seed: 1, RespectIIP: true, Plan: []SiteErrors{
+		{Site: ErrorSite{Router: "R1", Peer: "R3", Direction: "out"},
+			Classes: []SynthError{SErrEgressDenyAll, SErrAndOr}},
+		{Site: ErrorSite{Router: "R1"}, Classes: []SynthError{SErrTopoWrongIP}},
+		{Site: ErrorSite{Router: "R1", Peer: "R2", Direction: "in"},
+			Classes: []SynthError{SErrMissingAdditive}},
+	}})
+	generateAll(t, s, topo, false)
+	got := s.ActiveErrors("R1")
+	want := []SynthError{SErrMissingAdditive, SErrTopoWrongIP, SErrAndOr, SErrEgressDenyAll}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveErrors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ActiveErrors = %v, want sorted %v", got, want)
+		}
+	}
+}
+
+func TestSynthesizerPlanInertOnMissingSite(t *testing.T) {
+	topo := star(t, 4)
+	s := NewSynthesizer(SynthConfig{Seed: 1, RespectIIP: true, Plan: []SiteErrors{
+		{Site: ErrorSite{Router: "R1", Peer: "R99", Direction: "out"},
+			Classes: []SynthError{SErrAndOr}},
+		{Site: ErrorSite{Router: "R42"}, Classes: []SynthError{SErrCLIKeywords}},
+	}})
+	configs := generateAll(t, s, topo, true)
+	for name, text := range configs {
+		if warns := cisco.Check(text); len(warns) != 0 {
+			t.Errorf("%s has warnings despite an inert plan: %v", name, warns)
+		}
+		if got := s.ActiveErrors(name); len(got) != 0 {
+			t.Errorf("%s ActiveErrors = %v, want none", name, got)
+		}
+	}
 }

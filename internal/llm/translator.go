@@ -133,16 +133,16 @@ func NewTranslator(cfg TranslateConfig) *Translator {
 }
 
 // ActiveErrors lists the currently live error classes (tests and the
-// Table 2 bench introspect this).
+// Table 2 bench introspect this). The enumeration is deterministic —
+// sorted by class — including the multi-stage prefix-length error,
+// which is live whenever its state machine has not reached geNone; the
+// fuzz shrinker's replay comparisons depend on the stable order.
 func (t *Translator) ActiveErrors() []TranslateError {
 	var out []TranslateError
 	for _, e := range AllTranslateErrors() {
-		if t.active[e] {
+		if t.active[e] || (e == ErrPrefixLenMatch && t.ge != geNone) {
 			out = append(out, e)
 		}
-	}
-	if t.ge != geNone && !t.active[ErrPrefixLenMatch] {
-		out = append(out, ErrPrefixLenMatch)
 	}
 	return out
 }

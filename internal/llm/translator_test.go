@@ -207,3 +207,29 @@ func TestScriptedModel(t *testing.T) {
 		t.Errorf("calls = %d", len(m.Calls))
 	}
 }
+
+// TestTranslatorActiveErrorsSortedByClass pins the deterministic
+// enumeration order: the multi-stage prefix-length error used to be
+// appended after whatever the map iteration produced; the fuzz
+// shrinker's replay comparisons need it slotted into class order.
+func TestTranslatorActiveErrorsSortedByClass(t *testing.T) {
+	tr := NewTranslator(DefaultTranslateConfig())
+	tr.active[ErrRedistribution] = true
+	tr.active[ErrMissingLocalAS] = true
+	tr.ge = geInvalid // prefix-length error live via its state machine
+	got := tr.ActiveErrors()
+	want := []TranslateError{ErrMissingLocalAS, ErrPrefixLenMatch, ErrRedistribution}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveErrors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ActiveErrors = %v, want sorted %v", got, want)
+		}
+	}
+	// With the class both active and in a ge stage it appears once.
+	tr.active[ErrPrefixLenMatch] = true
+	if again := tr.ActiveErrors(); len(again) != len(want) {
+		t.Fatalf("duplicate enumeration: %v", again)
+	}
+}

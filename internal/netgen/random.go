@@ -15,8 +15,33 @@ import (
 // graph — `random` scenarios are reproducible test cases, not one-shot
 // noise — while different sizes vary both the degree distribution and the
 // single-/dual-homing mix. At least two ISP attachments are guaranteed so
-// the no-transit policy is never vacuous.
+// the no-transit policy is never vacuous. RandomWith varies the graph
+// per (size, seed) pair and bounds the extra edges — the axes the fuzz
+// campaign sweeps and shrinks along.
 func Random(n int) (*topology.Topology, error) {
+	return RandomWith(n, RandomOpts{ExtraEdges: -1})
+}
+
+// RandomOpts parameterizes the random family beyond the registry's
+// seeded-by-size default — the knobs the fuzz campaign sweeps and its
+// shrinker minimizes along.
+type RandomOpts struct {
+	// Seed selects a graph variant at a given size. Seed 0 is the
+	// registry's legacy stream (byte-identical to the pre-fuzz Random),
+	// so existing scenarios and transcripts are unchanged.
+	Seed int64
+	// ExtraEdges caps the non-tree edges sprinkled over the spanning
+	// tree; -1 keeps the family default of n/2. The generator always
+	// draws the default's full candidate sequence from the rng and only
+	// keeps the first ExtraEdges of them, so shrinking the cap never
+	// perturbs the ISP placement drawn afterwards — a smaller-edges
+	// variant differs from its parent only in the dropped edges.
+	ExtraEdges int
+}
+
+// RandomWith generates the seeded pseudo-random graph variant described
+// by opts; see Random for the family's shape.
+func RandomWith(n int, opts RandomOpts) (*topology.Topology, error) {
 	if n < 4 {
 		return nil, errTooSmall("random", n, 4)
 	}
@@ -24,7 +49,11 @@ func Random(n int) (*topology.Topology, error) {
 		// Let the builder report the shared addressing bound.
 		return buildGraphExt(randomName(n), n, nil, nil)
 	}
-	rng := rand.New(rand.NewSource(int64(n)*7919 + 17))
+	src := int64(n)*7919 + 17
+	if opts.Seed != 0 {
+		src += opts.Seed * 1_000_003
+	}
+	rng := rand.New(rand.NewSource(src))
 
 	// Connected skeleton: attach router i to a uniformly chosen earlier
 	// router, then sprinkle extra edges (duplicates are deduplicated by
@@ -33,10 +62,14 @@ func Random(n int) (*topology.Topology, error) {
 	for i := 2; i <= n; i++ {
 		edges = append(edges, [2]int{1 + rng.Intn(i-1), i})
 	}
+	keep := n / 2
+	if opts.ExtraEdges >= 0 && opts.ExtraEdges < keep {
+		keep = opts.ExtraEdges
+	}
 	for k := 0; k < n/2; k++ {
 		i := 1 + rng.Intn(n)
 		j := 1 + rng.Intn(n)
-		if i != j {
+		if i != j && k < keep {
 			edges = append(edges, [2]int{i, j})
 		}
 	}

@@ -116,6 +116,26 @@ func Generate(name string, size int) (*topology.Topology, error) {
 	return s.Generate(size)
 }
 
+// GenerateSeeded builds a scenario variant at a seed: the random family
+// re-keys its rng stream (seed 0 reproduces the registry default), every
+// other family is deterministic in its size alone and ignores the seed.
+// The fuzz campaign engine and cosynth's -seed replay path both resolve
+// topologies through this one function, so a minimized counterexample
+// regenerates the exact graph the campaign failed on.
+func GenerateSeeded(name string, size int, seed int64) (*topology.Topology, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown topology scenario %q (have %v)", name, ScenarioNames())
+	}
+	if size <= 0 {
+		size = s.DefaultSize
+	}
+	if name == "random" {
+		return RandomWith(size, RandomOpts{Seed: seed, ExtraEdges: -1})
+	}
+	return s.Generate(size)
+}
+
 // ScenarioNames lists the registered scenario names in stable order.
 func ScenarioNames() []string {
 	names := make([]string, len(scenarios))

@@ -1,81 +1,62 @@
 package repro
 
 import (
+	"context"
+	"reflect"
 	"testing"
+	"time"
 
-	"repro/internal/batfish"
-	"repro/internal/lightyear"
-	"repro/internal/netcfg"
+	"repro/internal/fuzz"
+	"repro/internal/netgen"
 )
 
-// TestRandomGraphSpecsImplyGlobal is the seeded random-graph fuzz test
-// for the per-attachment spec model: across random scenarios of varying
-// size (and therefore varying degree distribution and single-/dual-homed
-// ISP mix — the generator is seeded by the size, so every case is
-// reproducible), the derived local specification must (1) satisfy the
-// modular proof obligation, (2) drive the VPP loop to a verified result,
-// and (3) actually compose into the global no-transit check: the final
-// configurations pass lightyear's whole-network BGP simulation, and
-// breaking one attachment's egress filter breaks it.
+// TestRandomGraphSpecsImplyGlobal drives the fuzz campaign engine over
+// the random family — the migrated form of the old fixed-seed loop.
+// Where the seed test pinned one graph per size, the campaign varies
+// seeds per size (each (size, seed) pair is a distinct graph variant
+// with its own derived error plan) and asserts the full oracle on every
+// case: the per-attachment spec satisfies the modular proof obligation,
+// the VPP loop converges to a verified result under the injected
+// errors, the final configurations independently pass the composed
+// global no-transit check, breaking one attachment's egress filter
+// breaks it (Falsify — the composition is not vacuous), and the loop's
+// iterations stay bounded. Runtime stays bounded via the campaign
+// budget: cases that miss the budget are skipped, never failed.
 func TestRandomGraphSpecsImplyGlobal(t *testing.T) {
-	for _, n := range []int{6, 10, 14, 19} {
-		topo := mustTopo(t, "random", n)
+	c := fuzz.Campaign{
+		Family:  "random",
+		Sizes:   []int{6, 10, 14, 19},
+		Seeds:   3,
+		Workers: 4,
+		Budget:  2 * time.Minute,
+		Falsify: true,
+	}
+	rep, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases == 0 {
+		t.Fatal("the budget expired before any case ran")
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("campaign failed %d/%d cases; counterexample: %+v",
+			rep.Failures, rep.Cases, rep.Counterexample)
+	}
+	if rep.PlannedErrors == 0 {
+		t.Fatal("no errors were planned: the sweep exercised nothing")
+	}
 
-		// The modular proof obligation: for every ordered pair of
-		// attachments, a tag at one and a drop at the other.
-		reqs := lightyear.SpecFor(topo)
-		if err := lightyear.CoverageComplete(topo, reqs); err != nil {
-			t.Fatalf("random-%d: per-attachment spec incomplete: %v", n, err)
-		}
-		for _, r := range reqs {
-			if r.Attachment == (lightyear.AttachmentRef{}) {
-				t.Fatalf("random-%d: requirement %q lacks an attachment identity", n, r.Description)
-			}
-		}
-
-		// End to end: local specs verified per attachment, composed by the
-		// global BGP simulation inside Synthesize.
-		res, err := Synthesize(mustTopo(t, "random", n), SynthesizeOptions{})
-		if err != nil {
-			t.Fatalf("random-%d: %v", n, err)
-		}
-		if !res.Verified {
-			t.Fatalf("random-%d did not verify:\n%s", n, res.Transcript)
-		}
-
-		// Re-run the global check explicitly on the final configurations,
-		// then falsify it: detaching one attachment's egress filter must
-		// surface a transit violation, proving the composed check is not
-		// vacuous on this graph.
-		devs := map[string]*netcfg.Device{}
-		for name, text := range res.Configs {
-			dev, _ := batfish.ParseConfig(text)
-			devs[name] = dev
-		}
-		global, err := lightyear.CheckGlobalNoTransit(topo, devs)
-		if err != nil {
-			t.Fatalf("random-%d: %v", n, err)
-		}
-		if !global.OK() {
-			t.Fatalf("random-%d: composed configs fail the global check: %+v", n, global)
-		}
-		atts := lightyear.ISPAttachments(topo)
-		if len(atts) < 2 {
-			t.Fatalf("random-%d: %d attachments, want >= 2", n, len(atts))
-		}
-		victim := atts[0]
-		for _, nb := range devs[victim.Router].BGP.Neighbors {
-			if nb.ExportPolicy == victim.EgressPolicy() {
-				nb.ExportPolicy = ""
-			}
-		}
-		broken, err := lightyear.CheckGlobalNoTransit(topo, devs)
-		if err != nil {
-			t.Fatalf("random-%d: %v", n, err)
-		}
-		if broken.OK() || len(broken.Violations) == 0 {
-			t.Errorf("random-%d: removing %s's egress filter was not caught: %+v",
-				n, victim.Router, broken)
-		}
+	// Seeds genuinely vary the graph per size: two seeds at one size are
+	// different topologies, unlike the old seeded-by-size generator.
+	a, err := netgen.RandomWith(14, netgen.RandomOpts{Seed: 1, ExtraEdges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := netgen.RandomWith(14, netgen.RandomOpts{Seed: 2, ExtraEdges: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("seeds 1 and 2 generated the same random-14 graph")
 	}
 }
