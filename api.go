@@ -94,6 +94,16 @@ type SynthesizeOptions struct {
 	// plan injects nothing. This is the seam cofuzz counterexamples
 	// replay through (`cosynth -errors plan.json`).
 	ErrorPlan []llm.SiteErrors
+	// CompositionalGlobalCheck replaces the final whole-network BGP
+	// simulation with the verified-local-specs fast path plus seeded
+	// sampled falsification (the scale configuration; see
+	// core.GlobalCheckCompositional). The default keeps the paper's full
+	// simulation. Falls back to the simulation automatically on topologies
+	// whose local spec coverage is incomplete.
+	CompositionalGlobalCheck bool
+	// FalsificationSeed keys the compositional check's falsification
+	// sampling (0 = seed 1). Ignored without CompositionalGlobalCheck.
+	FalsificationSeed int64
 }
 
 // Synthesize runs the VPP synthesis pipeline on an arbitrary topology —
@@ -106,6 +116,10 @@ func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error
 		cfg.Seed = opts.Seed
 	}
 	cfg.Plan = opts.ErrorPlan
+	mode := core.GlobalCheckSimulated
+	if opts.CompositionalGlobalCheck {
+		mode = core.GlobalCheckCompositional
+	}
 	return core.Synthesize(topo, core.SynthOptions{
 		Model:            llm.NewSynthesizer(cfg),
 		Verifier:         opts.Verifier,
@@ -113,6 +127,8 @@ func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error
 		Parallelism:      opts.Parallelism,
 		SuiteParallelism: opts.SuiteParallelism,
 		DisableCache:     opts.DisableVerifierCache,
+		GlobalCheck:      mode,
+		GlobalCheckSeed:  opts.FalsificationSeed,
 	})
 }
 

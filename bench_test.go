@@ -589,6 +589,83 @@ func BenchmarkFuzzCampaignThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleWall (E18, extension) sweeps the scale wall: synthesis
+// wall-clock across (routers × parallelism × global-check mode). The
+// paper-faithful configuration — sequential repair plus the full
+// whole-network BGP simulation — is the baseline; the scale configuration
+// runs the forked per-router workers with the compositional global check.
+// On the dense 16-router full mesh the full simulation IS the wall (the
+// CPU profile puts batfish.(*Sim).step at ~60% of the run), so the
+// mixed cells isolate how much each lever contributes; the random-200
+// rows take the same sweep two hundred routers up, where the sequential
+// simulated baseline is no longer worth benchmarking per iteration.
+// Every compositional cell asserts the fast path actually ran (no silent
+// fallback), and verdict agreement with the simulation is pinned
+// scenario-by-scenario in TestCompositionalAgreesWithSimulation.
+func BenchmarkScaleWall(b *testing.B) {
+	cells := []struct {
+		scenario      string
+		size          int
+		parallelism   int
+		compositional bool
+		label         string
+	}{
+		// The headline pair: the paper-faithful loop vs the scale
+		// configuration on the dense mesh.
+		{"full-mesh", 16, 1, false, "sequential"},
+		{"full-mesh", 16, 8, true, "parallel-8"},
+		// Mixed cells: one lever at a time.
+		{"full-mesh", 16, 1, true, "sequential-compositional"},
+		{"full-mesh", 16, 8, false, "parallel-8-simulated"},
+		// 100× the paper's scale (the paper's star has 7 routers; these
+		// graphs have hundreds of routers and attachments).
+		{"fat-tree", 8, 8, true, "parallel-8"},
+		{"random", 200, 8, false, "parallel-8-simulated"},
+		{"random", 200, 8, true, "parallel-8"},
+	}
+	for _, c := range cells {
+		c := c
+		b.Run(fmt.Sprintf("%s-%d/%s", c.scenario, c.size, c.label), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				topo, err := netgen.Generate(c.scenario, c.size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = Synthesize(topo, SynthesizeOptions{
+					Parallelism:              c.parallelism,
+					CompositionalGlobalCheck: c.compositional,
+					FalsificationSeed:        1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !res.Verified {
+				b.Fatalf("%s-%d did not verify", c.scenario, c.size)
+			}
+			wantMethod := "simulated"
+			if c.compositional {
+				wantMethod = "compositional"
+			}
+			if res.Global == nil || res.Global.Method != wantMethod {
+				b.Fatalf("global method = %+v, want %s", res.Global, wantMethod)
+			}
+			wallMS := float64(b.Elapsed().Milliseconds()) / float64(b.N)
+			b.ReportMetric(wallMS, "wall-ms-per-run")
+			a, h := res.Transcript.Counts()
+			benchJSON(b, map[string]float64{
+				"routers":           float64(len(res.Configs)),
+				"parallelism":       float64(c.parallelism),
+				"compositional":     boolMetric(c.compositional),
+				"wall-ms-per-run":   wallMS,
+				"automated-prompts": float64(a),
+				"human-prompts":     float64(h),
+			})
+		})
+	}
+}
+
 // BenchmarkIncrementalPolicyAddition (E11, extension) runs the paper's §6
 // open question: add a policy to an already-verified network and catch
 // the interference the careless edit introduces.

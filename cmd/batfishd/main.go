@@ -35,8 +35,13 @@ import (
 // warmScenario is the daemon's ScenarioWarmer: synthesize the family with
 // the deterministic simulated LLM at the client's seed (zero: default —
 // the same run a default cosynth client performs) and parse the final
-// configurations into the shared cache.
-func warmScenario(topo *topology.Topology, seed int64, parses *netcfg.ParseCache) (int, error) {
+// configurations into the shared cache. Under a ring-scoped warm (a shard
+// fleet's broadcast), owned admits only the configurations the fleet's
+// consistent-hash ring routes to this instance; the synthesis still runs
+// whole — configurations depend on each other's prompts — but the cache
+// only grows by this shard's share.
+func warmScenario(topo *topology.Topology, seed int64, parses *netcfg.ParseCache,
+	owned func(config string) bool) (int, error) {
 	cfg := llm.DefaultSynthConfig()
 	if seed != 0 {
 		cfg.Seed = seed
@@ -49,11 +54,14 @@ func warmScenario(topo *topology.Topology, seed int64, parses *netcfg.ParseCache
 	}
 	warmed := 0
 	for _, cfg := range res.Configs {
+		if !owned(cfg) {
+			continue
+		}
 		parses.Parse(cfg)
 		warmed++
 	}
-	log.Printf("batfishd: warmed %s: %d routers, %d configs parsed",
-		topo.Name, len(topo.Routers), warmed)
+	log.Printf("batfishd: warmed %s: %d routers, %d of %d configs parsed (ring share)",
+		topo.Name, len(topo.Routers), warmed, len(res.Configs))
 	return warmed, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/llm"
+	"repro/internal/prof"
 )
 
 // parseSizes reads the -sizes syntax: "lo..hi" (inclusive range) or a
@@ -122,9 +123,17 @@ func main() {
 	falsify := flag.Bool("falsify", false, "additionally falsify the composed global check per case")
 	reportPath := flag.String("report", "", "write the campaign report JSON here")
 	replayPath := flag.String("replay", "", "replay the minimized counterexample of an existing report instead of running a campaign")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	var restEndpoints string
 	flag.StringVar(&restEndpoints, "rest", "", "batfishd endpoint(s), comma-separated; several form a consistent-hash shard ring")
 	flag.Parse()
+
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatalf("cofuzz: %v", err)
+	}
+	defer stopProfiles()
 
 	if *replayPath != "" {
 		replay(*replayPath)
@@ -151,7 +160,7 @@ func main() {
 		log.Fatalf("cofuzz: %v", err)
 	}
 
-	c := fuzz.Campaign{
+	campaign := fuzz.Campaign{
 		Family:        *family,
 		Sizes:         sizes,
 		Seeds:         *seeds,
@@ -162,7 +171,8 @@ func main() {
 		MaxIterations: *maxIterations,
 		Falsify:       *falsify,
 	}
-	rep, err := c.Run(context.Background())
+	rep, err := campaign.Run(context.Background())
+	stopProfiles()
 	if err != nil {
 		log.Fatalf("cofuzz: %v", err)
 	}

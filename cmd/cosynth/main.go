@@ -55,6 +55,7 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/llm"
 	"repro/internal/netgen"
+	"repro/internal/prof"
 	"repro/internal/topology"
 )
 
@@ -143,6 +144,12 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-router repair workers for -mode notransit (<=1: sequential)")
 	suiteParallel := flag.Int("suite-parallel", 0, "per-iteration verifier-suite workers (<=1: sequential scan)")
 	noCache := flag.Bool("no-cache", false, "disable the incremental verification cache")
+	globalMode := flag.String("global", "simulated",
+		"global no-transit check for -mode notransit: simulated (full BGP simulation, the paper's default) | "+
+			"compositional (verified-local-specs fast path with seeded sampled falsification; "+
+			"falls back to the simulation when local spec coverage is incomplete)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	seed := flag.Int64("seed", 1,
 		"simulated-LLM seed; when set explicitly it also selects the random family's graph variant, so cofuzz cases replay")
 	errorsPath := flag.String("errors", "",
@@ -163,6 +170,19 @@ func main() {
 			seedSet = true
 		}
 	})
+
+	compositional := false
+	switch *globalMode {
+	case "simulated":
+	case "compositional":
+		compositional = true
+	default:
+		log.Fatalf("cosynth: -global must be simulated or compositional, got %q", *globalMode)
+	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatalf("cosynth: %v", err)
+	}
 
 	if *verifierURL != "" {
 		restEndpoints = append(restEndpoints, *verifierURL)
@@ -251,10 +271,12 @@ func main() {
 		res, err = repro.Synthesize(topo, repro.SynthesizeOptions{
 			Seed: *seed, Verifier: verifier, Parallelism: *parallel,
 			SuiteParallelism: *suiteParallel, DisableVerifierCache: *noCache,
-			ErrorPlan: plan})
+			ErrorPlan: plan, CompositionalGlobalCheck: compositional,
+			FalsificationSeed: *seed})
 	default:
 		log.Fatalf("cosynth: unknown mode %q", *mode)
 	}
+	stopProfiles()
 	if err != nil {
 		log.Fatalf("cosynth: %v", err)
 	}
@@ -273,6 +295,13 @@ func main() {
 		}
 	}
 	fmt.Println(repro.Summary(*mode, res))
+	if res.Global != nil && res.Global.Method != "" {
+		fmt.Printf("global check: %s", res.Global.Method)
+		if n := len(res.Global.FalsificationProbes); n > 0 {
+			fmt.Printf(" (%d falsification probes)", n)
+		}
+		fmt.Println()
+	}
 	if res.CacheStats != nil {
 		fmt.Println(res.CacheStats)
 	}

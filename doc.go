@@ -160,27 +160,90 @@
 // — pre-warms its shared parse cache by synthesizing the family with the
 // deterministic simulated LLM and parsing the resulting configurations,
 // so a client then driving the same family hits warm parses on its
-// batched checks. Newer dialects are rejected with 400, which clients
-// treat like the missing endpoint of a pre-registry binary: the warm-up
-// is skipped, never required — the same backward-compatible-upgrade
-// discipline as the batch protocol's version gate. cosynth accepts a
-// repeatable, comma-separated -rest endpoint list (a fleet builds the
-// ring) and -shards N to spawn in-process shard servers for tests and
-// benchmarks.
+// batched checks. A shard fleet's warm broadcast is ring-scoped
+// (scenario protocol v2): each request carries the fleet's endpoint list
+// plus the addressed shard, the server rebuilds the same FNV-1a ring the
+// sharded client hashes with, and parses only the configurations the
+// ring routes to it — the other shards' share would never be asked of
+// it. A warm also registers the family's spec and requirement bodies
+// content-addressed by rest.RefDigest; batched checks then ship digests
+// instead of bodies (batch protocol v3) and the server substitutes its
+// registry copies, with an unresolvable digest failing the batch rather
+// than mis-answering — the client latches back to full bodies after one
+// rejected round-trip. Newer dialects are rejected with 400, which
+// clients treat like the missing endpoint of a pre-registry binary:
+// requests are stamped with the dialect their payload actually uses, so
+// a mixed fleet keeps every shard at the newest dialect it speaks — the
+// same backward-compatible-upgrade discipline as the batch protocol's
+// version gate. cosynth accepts a repeatable, comma-separated -rest
+// endpoint list (a fleet builds the ring) and -shards N to spawn
+// in-process shard servers for tests and benchmarks.
 //
 // # Concurrent per-router synthesis
 //
 // Each router's repair loop is independent — per-router prompts,
 // per-router verifiers — so Synthesize accepts a Parallelism option that
-// repairs routers on a bounded worker pool, each worker driving its own
-// conversation against a mutex-guarded shared model (all workers share
-// one CachedVerifier). Per-router transcripts merge deterministically in
-// topology order: on runs that converge, leverage accounting, punted
-// findings, and final configurations are identical to the sequential
-// loop (on aborted runs the budgets differ — iteration caps and human
-// give-ups are per-router in parallel, per-run sequentially). The
-// wall-clock win comes from avoiding the sequential loop's whole-network
-// re-verification scans plus core parallelism where available.
+// repairs routers on a bounded worker pool. Models that can fork
+// (llm.Forker — the simulated synthesizer is one, its sessions being
+// pure functions of their seed) give every worker a private session, so
+// no lock serializes the hot prompt path; models that cannot fork fall
+// back to a mutex-guarded shared session. All workers share one
+// CachedVerifier, whose state is striped across 64 shards so concurrent
+// lookups do not contend on one lock (the parse cache beneath it is
+// striped the same way). Per-router transcripts merge deterministically
+// in topology order: on runs that converge, leverage accounting, punted
+// findings, and final configurations are identical whichever model
+// sharing mode served them (TestForkedParallelSynthesisByteIdentical
+// pins forked against locked on every registry scenario; on aborted runs
+// the budgets differ — iteration caps and human give-ups are per-router
+// in parallel, per-run sequentially). The wall-clock win comes from
+// avoiding the sequential loop's whole-network re-verification scans
+// plus core parallelism where available.
+//
+// # Scaling past the paper
+//
+// The paper stops at a five-router star; the scale wall this library
+// pushes on is two orders of magnitude further out, and three changes
+// carry it there (benchmark E18, BenchmarkScaleWall, measures the
+// composite):
+//
+// Compositional global check. The full BGP simulation re-derives what
+// the verified local specs already guarantee: CoverageComplete is the
+// proof obligation that local obligations compose into the global
+// no-transit property. lightyear.CheckCompositionalNoTransit exploits
+// it — when coverage is complete and every local obligation verifies,
+// it checks the structural preconditions (BGP sessions on every
+// topology edge, networks announced, ingress liveness) instead of
+// simulating route propagation, and spends the saved time on seeded
+// sampled falsification: a handful of (router, egress-policy) sites get
+// a permit-all clause spliced into a shallow copy, and the local
+// checker must catch each one — a vacuous check cannot pass. The
+// simulation stays the default (cosynth -global simulated); -global
+// compositional selects the fast path, which falls back to the full
+// simulation whenever coverage is incomplete, and both record which
+// checker ran (GlobalResult.Method) plus the falsification probes.
+// TestCompositionalAgreesWithSimulation pins verdict agreement across
+// every registry scenario; transcripts are byte-identical by
+// construction, since the global check runs after the repair loop
+// finishes.
+//
+// Wide addressing. Generated graphs address links as 10.<lo>.<hi>.0/24
+// and attachments as 20.<ord>.0.0 — schemes that exhaust an octet at
+// ~250 routers. Past that bound (netgen), the whole graph switches to
+// the wide scheme: links numbered by sorted edge index split across two
+// octets, attachment subnets likewise, ISP stub ASes rebased high. The
+// switch is all-or-nothing per graph — mixing schemes would collide
+// subnets — and graphs within the legacy bound stay byte-identical, so
+// existing transcripts and seeds are untouched while random:500
+// synthesizes end to end.
+//
+// Profile-guided fixes. cosynth and cofuzz take -cpuprofile/-memprofile
+// (internal/prof); profiling the fuzz campaign showed every worker
+// regenerating its case's topology and re-simulating the global check
+// mid-pipeline, so campaigns memoize generated topologies across cases
+// and run the compositional check in-pipeline — the oracle still
+// re-proves local-implies-global with the full simulation independently
+// per case.
 //
 // # Fuzzing the LLM error space
 //

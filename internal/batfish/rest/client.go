@@ -73,6 +73,22 @@ type Client struct {
 	// (batch dialect rejected, e.g. a protocol-version mismatch) from
 	// /v1/batch so an old server costs the probe exactly once.
 	batchUnsupported atomic.Bool
+	// prewarm records the scenario a WarmScenario call registered
+	// resolvable spec bodies for (ScenarioResponse.SpecsRegistered > 0):
+	// while set, batched checks ship SpecRef/ReqRef digests instead of the
+	// spec and requirement bodies (batch protocol v3).
+	prewarm atomic.Pointer[prewarmState]
+	// refsUnsupported latches after a 400 on a ref-carrying batch — an
+	// older server, or a registry that no longer resolves this client's
+	// digests — so the run pays exactly one extra round-trip before
+	// settling back on full-bodied payloads.
+	refsUnsupported atomic.Bool
+}
+
+// prewarmState names the scenario whose bodies a server holds resolvable.
+type prewarmState struct {
+	scenario string
+	seed     int64
 }
 
 // NewClient returns a client for a batfishd base URL (e.g.
@@ -282,20 +298,43 @@ func IsScenarioUnsupported(err error) bool {
 
 // WarmScenario asks the server to pre-warm its verification state for one
 // registered topology family ("fat-tree:4"; size optional) at the given
-// simulated-LLM seed (zero: default). Servers that predate the endpoint
-// or its protocol version yield an error that satisfies
-// IsScenarioUnsupported, so callers degrade gracefully — the warm-up is
-// never required for correctness.
+// simulated-LLM seed (zero: default). The request stays v1-shaped — the
+// oldest dialect any registry-aware server accepts — so old servers warm
+// exactly as before; servers that predate the endpoint or its protocol
+// version yield an error that satisfies IsScenarioUnsupported, so callers
+// degrade gracefully — the warm-up is never required for correctness. A
+// server that reports registered spec bodies arms the client's v3 batch
+// references: later batches ship content digests instead of the bodies.
 func (c *Client) WarmScenario(scenario string, seed int64) (ScenarioResponse, error) {
+	return c.warmScenario(ScenarioRequest{Version: 1, Scenario: scenario, Seed: seed})
+}
+
+// WarmScenarioRing is WarmScenario scoped to this server's share of a
+// shard fleet (scenario protocol v2): endpoints is the full list the
+// client's consistent-hash ring is built from, self the endpoint this
+// client addresses. Servers speaking only the v1 dialect reject the shape
+// with an IsScenarioUnsupported error; callers retry with the plain
+// WarmScenario.
+func (c *Client) WarmScenarioRing(scenario string, seed int64, endpoints []string, self string) (ScenarioResponse, error) {
+	return c.warmScenario(ScenarioRequest{Version: ScenarioProtocolVersion,
+		Scenario: scenario, Seed: seed, ShardEndpoints: endpoints, Self: self})
+}
+
+func (c *Client) warmScenario(req ScenarioRequest) (ScenarioResponse, error) {
 	var resp ScenarioResponse
-	status, err := c.post(PathScenario,
-		ScenarioRequest{Version: ScenarioProtocolVersion, Scenario: scenario, Seed: seed}, &resp)
+	status, err := c.post(PathScenario, req, &resp)
 	if err != nil {
 		switch status {
 		case http.StatusNotFound, http.StatusMethodNotAllowed, http.StatusBadRequest:
 			return ScenarioResponse{}, &scenarioUnsupportedError{err: err}
 		}
 		return ScenarioResponse{}, err
+	}
+	if resp.SpecsRegistered > 0 {
+		// The server holds this family's bodies content-addressed; switch
+		// the batch path to references. The server echoes the resolved
+		// name:size, which is what its registry is keyed by.
+		c.prewarm.Store(&prewarmState{scenario: resp.Scenario, seed: req.Seed})
 	}
 	return resp, nil
 }
@@ -315,24 +354,47 @@ func (c *Client) Capabilities() suite.Capabilities {
 }
 
 // CheckBatch implements the engine's backend seam (suite.Backend): all
-// checks ship as one /v1/batch round-trip. Against a server without the
-// batch endpoint the client falls back to one call per check — same
-// results, old cost — and remembers, so the probe is paid once per client.
+// checks ship as one /v1/batch round-trip. After a registry pre-warm
+// against a server that registered resolvable bodies (see WarmScenario),
+// spec and requirement bodies leave the wire: checks carry their
+// RefDigest instead, and the request is stamped v3 with the scenario the
+// server resolves them against. Against a server without the batch
+// endpoint the client falls back to one call per check — same results,
+// old cost — and remembers, so the probe is paid once per client;
+// likewise a rejected reference dialect is retried with full bodies once
+// and remembered.
 func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.Result, error) {
 	if len(checks) == 0 {
 		return nil, nil
 	}
-	if !c.batchUnsupported.Load() {
-		req := BatchRequest{Version: BatchProtocolVersion,
-			Checks: make([]BatchCheck, len(checks))}
+	for !c.batchUnsupported.Load() {
+		prewarmed := c.prewarm.Load()
+		useRefs := prewarmed != nil && !c.refsUnsupported.Load()
+		// Stamp the request with the dialect its payload actually uses: a
+		// full-bodied batch is a v2 payload even from this client, so only
+		// ref-carrying requests are ever version-rejected by older servers.
+		req := BatchRequest{Version: 2, Checks: make([]BatchCheck, len(checks))}
+		refs := false
 		for i, sc := range checks {
-			req.Checks[i] = BatchCheck{
-				Kind:        string(sc.Kind),
-				Config:      sc.Config,
-				Original:    sc.Original,
-				Spec:        sc.Spec,
-				Requirement: sc.Req,
+			bc := BatchCheck{Kind: string(sc.Kind), Config: sc.Config, Original: sc.Original}
+			if useRefs && sc.Spec != nil {
+				bc.SpecRef = RefDigest(sc.Spec)
+				refs = true
+			} else {
+				bc.Spec = sc.Spec
 			}
+			if useRefs && sc.Req != nil {
+				bc.ReqRef = RefDigest(sc.Req)
+				refs = true
+			} else {
+				bc.Requirement = sc.Req
+			}
+			req.Checks[i] = bc
+		}
+		if refs {
+			req.Version = BatchProtocolVersion
+			req.Scenario = prewarmed.scenario
+			req.Seed = prewarmed.seed
 		}
 		var resp BatchResponse
 		status, err := c.postCtx(ctx, PathBatch, req, &resp)
@@ -362,13 +424,20 @@ func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.
 			// died after the status line); it means the endpoint is down,
 			// not that the dialect was rejected — never latch on it.
 			return nil, err
+		case refs && status == http.StatusBadRequest:
+			// The reference dialect was rejected: an older server, or a
+			// registry that does not resolve this client's digests. Pay
+			// one retry with full bodies and remember.
+			c.refsUnsupported.Store(true)
+			continue
 		case status == http.StatusNotFound || status == http.StatusMethodNotAllowed,
 			status == http.StatusBadRequest:
 			// 404/405: the server predates the batch endpoint entirely.
 			// 400: the server rejected the batch dialect — either an old
 			// server's strict decoder choking on the version field, or a
 			// versioned server refusing a newer protocol. Both downgrade
-			// to per-check calls, whose payloads stay v1-shaped.
+			// to per-check calls, whose payloads stay v1-shaped. The latch
+			// flips the loop condition, landing on the fallback below.
 			c.batchUnsupported.Store(true)
 		default:
 			return nil, err

@@ -8,6 +8,10 @@
 package rest
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
 	"repro/internal/batfish"
 	"repro/internal/campion"
 	"repro/internal/lightyear"
@@ -104,30 +108,64 @@ const (
 
 // BatchProtocolVersion is the batched-check protocol this tree speaks.
 // Version 2 added the per-attachment requirement identity
-// (lightyear.Requirement.Attachment) to local checks. A server accepts
-// any version up to its own — the identity is advisory for old payloads —
-// and rejects newer versions with HTTP 400, which the client treats like
-// a missing endpoint: it falls back to per-check calls, whose payloads
-// old servers parse by ignoring the unknown field.
-const BatchProtocolVersion = 2
+// (lightyear.Requirement.Attachment) to local checks. Version 3 added
+// pre-warmed body references: a check may carry SpecRef/ReqRef — the
+// RefDigest of the spec or requirement body it omits — which the server
+// resolves against the registry built by a /v1/scenario warm, so a run
+// against pre-warmed shards stops re-shipping the same spec bodies on
+// every iteration. A server accepts any version up to its own and rejects
+// newer versions with HTTP 400.
+//
+// Clients stamp each request with the version of the highest feature the
+// payload actually uses — a full-bodied batch is a v2 payload and is sent
+// as one — so only ref-carrying requests are ever rejected by older
+// servers. A 400 on a ref-carrying request (old server, or a registry
+// that does not resolve the digests) makes the client latch refs off and
+// re-send full bodies; a 400 on a full-bodied request downgrades to
+// per-check calls, whose payloads old servers parse by ignoring the
+// unknown field.
+const BatchProtocolVersion = 3
+
+// RefDigest content-addresses a wire body for the v3 reference scheme:
+// hex SHA-256 of the body's JSON encoding. Specs and requirements are
+// map-free structs, so the encoding — and therefore the digest — is
+// deterministic across processes; a client and server that derive the
+// same body from the same scenario agree on the digest, and any drift
+// (different code generations deriving different bodies) surfaces as an
+// unresolvable ref instead of a silently wrong resolution.
+func RefDigest(v interface{}) string {
+	data, _ := json.Marshal(v)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
 
 // BatchCheck is one independent check inside a batched request; which
 // fields are required depends on Kind. Config is the configuration under
-// test (the translation for diff checks).
+// test (the translation for diff checks). SpecRef and ReqRef (protocol
+// v3) replace the Spec and Requirement bodies with their RefDigest when
+// the server pre-warmed the run's scenario: the server substitutes its
+// own registry copy after verifying the digest matches.
 type BatchCheck struct {
 	Kind        string                 `json:"kind"`
 	Config      string                 `json:"config"`
 	Original    string                 `json:"original,omitempty"`
 	Spec        *topology.RouterSpec   `json:"spec,omitempty"`
 	Requirement *lightyear.Requirement `json:"requirement,omitempty"`
+	SpecRef     string                 `json:"spec_ref,omitempty"`
+	ReqRef      string                 `json:"req_ref,omitempty"`
 }
 
 // BatchRequest ships all of a pipeline iteration's outstanding checks in
-// one round-trip. Version is the client's BatchProtocolVersion; zero
-// marks a pre-versioning client and is always accepted.
+// one round-trip. Version is the dialect the payload is shaped in (see
+// BatchProtocolVersion); zero marks a pre-versioning client and is always
+// accepted. Scenario and Seed (v3) name the pre-warmed family whose
+// registry resolves the checks' SpecRef/ReqRef references; they are only
+// sent on ref-carrying requests.
 type BatchRequest struct {
-	Version int          `json:"version,omitempty"`
-	Checks  []BatchCheck `json:"checks"`
+	Version  int          `json:"version,omitempty"`
+	Scenario string       `json:"scenario,omitempty"`
+	Seed     int64        `json:"seed,omitempty"`
+	Checks   []BatchCheck `json:"checks"`
 }
 
 // BatchResult is the outcome of one BatchCheck, positionally matched to
@@ -148,12 +186,18 @@ type BatchResponse struct {
 }
 
 // ScenarioProtocolVersion is the registry pre-warm protocol this tree
-// speaks. A server accepts any version up to its own and rejects newer
-// versions with HTTP 400; clients treat 400 like a missing endpoint
-// (404/405 from pre-registry servers) and skip the warm-up — the endpoint
-// is an optimization, so new dialects degrade gracefully against old
-// servers.
-const ScenarioProtocolVersion = 1
+// speaks. Version 2 added ring-scoped warming: the request may carry the
+// client's shard-fleet endpoint list plus which endpoint the addressed
+// server is, so each shard warms only the configurations the fleet's
+// consistent-hash ring routes to it instead of all of them. A server
+// accepts any version up to its own and rejects newer versions with HTTP
+// 400. Like the batch protocol, clients stamp each request with the
+// version its payload is shaped in — a plain warm stays a v1 payload —
+// and treat 400 like a missing endpoint (404/405 from pre-registry
+// servers): the sharded client retries a rejected ring warm as a plain
+// v1 warm, and a plain warm that is rejected is skipped, the endpoint
+// being an optimization.
+const ScenarioProtocolVersion = 2
 
 // ScenarioRequest asks the server to pre-warm its verification state for
 // one registered topology family, named with the CLI's name[:size]
@@ -161,14 +205,24 @@ const ScenarioProtocolVersion = 1
 // scenario registry, so client and server must agree on the family — a
 // server that has never heard of the scenario answers 422.
 type ScenarioRequest struct {
-	// Version is the client's ScenarioProtocolVersion; zero marks a
-	// pre-versioning client and is always accepted.
+	// Version is the dialect the payload is shaped in (see
+	// ScenarioProtocolVersion); zero marks a pre-versioning client and is
+	// always accepted.
 	Version  int    `json:"version,omitempty"`
 	Scenario string `json:"scenario"`
 	// Seed is the simulated-LLM seed the client will drive the family
 	// with, so the server's pre-warm synthesis parses the configurations
 	// that run will actually produce; zero means the default seed.
 	Seed int64 `json:"seed,omitempty"`
+	// ShardEndpoints and Self (v2) scope the warm to the addressed shard's
+	// share of the fleet: ShardEndpoints is the full endpoint list the
+	// client's consistent-hash ring is built from and Self is the endpoint
+	// this request is addressed to. The server rebuilds the same ring and
+	// parses only the configurations it owns — batched checks for the
+	// others will never be routed here. Empty means warm everything (a
+	// single-endpoint client, or a fleet of one).
+	ShardEndpoints []string `json:"shard_endpoints,omitempty"`
+	Self           string   `json:"self,omitempty"`
 }
 
 // ScenarioResponse reports what the pre-warm touched.
@@ -180,8 +234,14 @@ type ScenarioResponse struct {
 	Attachments int `json:"attachments"`
 	// WarmedConfigs is the number of configuration revisions the server
 	// parsed into its shared parse cache; zero when the server has no
-	// warmer or no shared cache configured.
+	// warmer or no shared cache configured. Under a ring-scoped warm it
+	// counts only the revisions this shard owns.
 	WarmedConfigs int `json:"warmed_configs"`
+	// SpecsRegistered is the number of spec and requirement bodies the
+	// server registered for v3 batch-reference resolution; a client seeing
+	// a non-zero count starts shipping SpecRef/ReqRef digests instead of
+	// the bodies. Zero from servers predating the reference scheme.
+	SpecsRegistered int `json:"specs_registered,omitempty"`
 }
 
 // ErrorResponse reports a request failure.

@@ -1,0 +1,307 @@
+package rest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lightyear"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+	"repro/internal/suite"
+	"repro/internal/topology"
+)
+
+// scenarioChecks builds checks whose spec and requirement bodies derive
+// from the registered star:3 family — the bodies a scenario warm makes
+// resolvable by reference.
+func scenarioChecks(t *testing.T) []suite.Check {
+	t.Helper()
+	topo, err := netgen.Generate("star", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := lightyear.SpecFor(topo)
+	if len(reqs) == 0 {
+		t.Fatal("star:3 derives no requirements")
+	}
+	return []suite.Check{
+		{Kind: suite.KindSyntax, Config: "configure terminal\nhostname R1\n"},
+		{Kind: suite.KindTopology, Spec: topo.Router("R2"), Config: "hostname R2\n"},
+		{Kind: suite.KindLocal, Req: &reqs[0], Config: "hostname " + reqs[0].Router + "\n"},
+	}
+}
+
+// recordBatches wraps a handler, capturing the raw body of the last
+// /v1/batch request so tests can assert what was actually on the wire.
+func recordBatches(inner http.Handler, last *[]byte, mu *sync.Mutex) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PathBatch {
+			body, _ := io.ReadAll(r.Body)
+			mu.Lock()
+			*last = append([]byte(nil), body...)
+			mu.Unlock()
+			r.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestBatchRefsRoundTrip pins the v3 reference scheme end to end: after a
+// scenario warm registers the family's bodies, batched checks ship
+// content digests instead of spec and requirement bodies, and the results
+// are identical to the full-bodied wire form.
+func TestBatchRefsRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var last []byte
+	srv := httptest.NewServer(recordBatches(NewHandler(), &last, &mu))
+	t.Cleanup(srv.Close)
+	checks := scenarioChecks(t)
+
+	baselineClient := NewClient(srv.URL)
+	baseline, err := baselineClient.CheckBatch(context.Background(), checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	wire := string(last)
+	mu.Unlock()
+	if strings.Contains(wire, "spec_ref") || strings.Contains(wire, "req_ref") {
+		t.Fatal("un-warmed client shipped body references")
+	}
+
+	c := NewClient(srv.URL)
+	resp, err := c.WarmScenario("star:3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SpecsRegistered == 0 {
+		t.Fatal("warm registered no spec bodies")
+	}
+	before := c.Calls()
+	got, err := c.CheckBatch(context.Background(), checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Calls() - before; n != 1 {
+		t.Errorf("ref-carrying batch cost %d round-trips, want 1", n)
+	}
+	if !reflect.DeepEqual(got, baseline) {
+		t.Errorf("ref-resolved results differ from full-bodied results:\n%+v\nvs\n%+v", got, baseline)
+	}
+	mu.Lock()
+	wire = string(last)
+	mu.Unlock()
+	for _, want := range []string{`"spec_ref"`, `"req_ref"`, `"scenario":"star:3"`, `"version":3`} {
+		if !strings.Contains(wire, want) {
+			t.Errorf("ref-carrying wire form lacks %s", want)
+		}
+	}
+	for _, dropped := range []string{`"spec":`, `"requirement":`} {
+		if strings.Contains(wire, dropped) {
+			t.Errorf("ref-carrying wire form still ships %s bodies", dropped)
+		}
+	}
+}
+
+// TestBatchRefsFallbackOnUnresolvable pins the digest guard: a check
+// whose body the server's registry cannot resolve — here a hand-built
+// requirement that is not part of the warmed family — fails the ref-
+// carrying batch with 400, and the client transparently retries with full
+// bodies, latches, and never pays the rejected round-trip again.
+func TestBatchRefsFallbackOnUnresolvable(t *testing.T) {
+	srv := httptest.NewServer(NewHandler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+	if _, err := c.WarmScenario("star:3", 0); err != nil {
+		t.Fatal(err)
+	}
+	foreign := lightyearRequirement() // not derived from any scenario
+	checks := []suite.Check{
+		{Kind: suite.KindLocal, Req: &foreign, Config: "hostname R1\n" +
+			"ip community-list 1 permit 100:1\n" +
+			"route-map FILTER permit 10\n"},
+	}
+	before := c.Calls()
+	results, err := c.CheckBatch(context.Background(), checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Calls() - before; n != 2 {
+		t.Errorf("first batch cost %d round-trips, want 2 (rejected refs + full retry)", n)
+	}
+	if !results[0].Violated {
+		t.Error("fallback lost the local-policy violation")
+	}
+	before = c.Calls()
+	if _, err := c.CheckBatch(context.Background(), checks); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Calls() - before; n != 1 {
+		t.Errorf("post-latch batch cost %d round-trips, want 1 (full bodies straight away)", n)
+	}
+}
+
+// ringWarmServer is one fleet member for the ring-scoped warm tests: a
+// full handler whose warmer records which configurations it was allowed
+// to parse.
+func ringWarmServer(t *testing.T, warmedConfigs *[]string, mu *sync.Mutex) *httptest.Server {
+	t.Helper()
+	parses := netcfg.NewParseCache(func(text string) *netcfg.Parsed { return &netcfg.Parsed{} })
+	warmer := func(topo *topology.Topology, seed int64, p *netcfg.ParseCache,
+		owned func(config string) bool) (int, error) {
+		warmed := 0
+		for i := range topo.Routers {
+			cfg := "hostname " + topo.Routers[i].Name + "\n"
+			if !owned(cfg) {
+				continue
+			}
+			p.Parse(cfg)
+			mu.Lock()
+			*warmedConfigs = append(*warmedConfigs, cfg)
+			mu.Unlock()
+			warmed++
+		}
+		return warmed, nil
+	}
+	srv := httptest.NewServer(NewHandlerOpts(HandlerOptions{Parses: parses, Warmer: warmer}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRingScopedWarmPartitions drives a two-shard fleet's warm broadcast:
+// each shard parses only the configurations the consistent-hash ring
+// routes to it, and the shares partition the family — disjoint, with
+// nothing lost.
+func TestRingScopedWarmPartitions(t *testing.T) {
+	var mu sync.Mutex
+	var warmedA, warmedB []string
+	srvA := ringWarmServer(t, &warmedA, &mu)
+	srvB := ringWarmServer(t, &warmedB, &mu)
+
+	sc, err := NewShardedClient([]string{srvA.URL, srvB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := sc.WarmScenario("star:8", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 2 {
+		t.Errorf("shards warmed = %d, want 2", shards)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[string]int{}
+	for _, cfg := range warmedA {
+		seen[cfg]++
+	}
+	for _, cfg := range warmedB {
+		seen[cfg]++
+	}
+	if len(seen) != 8 {
+		t.Errorf("union of ring-scoped warms holds %d configs, want all 8", len(seen))
+	}
+	for cfg, n := range seen {
+		if n != 1 {
+			t.Errorf("config %q warmed on %d shards, want exactly 1 (disjoint shares)", cfg, n)
+		}
+	}
+	// The server-side ring must agree with the client's placement: each
+	// shard warmed exactly the configurations the sharded client would
+	// route to it.
+	ring := newEndpointRing([]string{srvA.URL, srvB.URL})
+	for _, cfg := range warmedA {
+		if owner := ring.owner(cfg); owner != normalizeEndpoint(srvA.URL) {
+			t.Errorf("shard A warmed %q, but the ring routes it to %s", cfg, owner)
+		}
+	}
+	for _, cfg := range warmedB {
+		if owner := ring.owner(cfg); owner != normalizeEndpoint(srvB.URL) {
+			t.Errorf("shard B warmed %q, but the ring routes it to %s", cfg, owner)
+		}
+	}
+}
+
+// TestRingWarmDegradesToV1 pins the mixed-fleet rollout: a shard whose
+// scenario decoder predates the ring fields (strict v1) rejects the
+// ring-scoped shape, and the sharded broadcast retries it with a plain
+// whole-family warm instead of losing the shard's warm entirely.
+func TestRingWarmDegradesToV1(t *testing.T) {
+	var mu sync.Mutex
+	var warmedNew []string
+	newSrv := ringWarmServer(t, &warmedNew, &mu)
+
+	type v1ScenarioRequest struct {
+		Version  int    `json:"version,omitempty"`
+		Scenario string `json:"scenario"`
+		Seed     int64  `json:"seed,omitempty"`
+	}
+	plainWarms := 0
+	oldSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case PathHealth:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		case PathScenario:
+			dec := json.NewDecoder(r.Body)
+			dec.DisallowUnknownFields()
+			var req v1ScenarioRequest
+			if err := dec.Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+				return
+			}
+			mu.Lock()
+			plainWarms++
+			mu.Unlock()
+			writeJSON(w, http.StatusOK, ScenarioResponse{
+				Scenario: "star:8", Routers: 8, Attachments: 7, WarmedConfigs: 8})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(oldSrv.Close)
+
+	sc, err := NewShardedClient([]string{newSrv.URL, oldSrv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := sc.WarmScenario("star:8", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 2 {
+		t.Errorf("shards warmed = %d, want 2 (ring-scoped + v1 fallback)", shards)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if plainWarms != 1 {
+		t.Errorf("old shard served %d plain warms, want exactly 1 (the fallback)", plainWarms)
+	}
+	// The new shard's warm stayed ring-scoped: it parsed exactly its own
+	// ring share (which may legitimately be small — the fleet's ports are
+	// random — but never another shard's configuration).
+	ring := newEndpointRing([]string{newSrv.URL, oldSrv.URL})
+	self := normalizeEndpoint(newSrv.URL)
+	want := map[string]bool{}
+	for i := 1; i <= 8; i++ {
+		cfg := "hostname R" + string(rune('0'+i)) + "\n"
+		if ring.owner(cfg) == self {
+			want[cfg] = true
+		}
+	}
+	if len(warmedNew) != len(want) {
+		t.Errorf("new shard warmed %d configs, ring routes it %d", len(warmedNew), len(want))
+	}
+	for _, cfg := range warmedNew {
+		if !want[cfg] {
+			t.Errorf("new shard warmed %q, which the ring routes elsewhere", cfg)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/batfish"
@@ -17,13 +18,19 @@ import (
 
 // ScenarioWarmer pre-warms server state for one registered topology
 // family (see /v1/scenario): given the generated family instance, the
-// client's simulated-LLM seed (zero: default), and the handler's shared
-// parse cache, it returns how many configuration revisions it parsed into
-// the cache. cmd/batfishd wires a warmer that synthesizes the family with
-// the deterministic simulated LLM at that seed and parses the resulting
-// configurations, so the client run that follows hits warm parses. The
-// warmer is only invoked when the handler has a shared cache to warm.
-type ScenarioWarmer func(topo *topology.Topology, seed int64, parses *netcfg.ParseCache) (int, error)
+// client's simulated-LLM seed (zero: default), the handler's shared
+// parse cache, and the warm's ownership predicate, it returns how many
+// configuration revisions it parsed into the cache. cmd/batfishd wires a
+// warmer that synthesizes the family with the deterministic simulated LLM
+// at that seed and parses the resulting configurations, so the client run
+// that follows hits warm parses. owned reports whether a configuration is
+// this server's to warm: under a ring-scoped warm (scenario protocol v2)
+// it is the fleet's consistent-hash placement — configurations owned by
+// other shards are never routed here, so parsing them would only burn
+// memory — and under a plain warm it admits everything. The warmer is
+// only invoked when the handler has a shared cache to warm.
+type ScenarioWarmer func(topo *topology.Topology, seed int64, parses *netcfg.ParseCache,
+	owned func(config string) bool) (int, error)
 
 // HandlerOptions tunes the verification-suite handler.
 type HandlerOptions struct {
@@ -63,10 +70,10 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	mux.HandleFunc(PathLocal, handleLocal)
 	mux.HandleFunc(PathNoTransit, handleNoTransit)
 	mux.HandleFunc(PathSearch, handleSearch)
+	warms := &scenarioWarms{done: map[string]int{}, regs: map[string]*scenarioRegistry{}}
 	mux.HandleFunc(PathBatch, func(w http.ResponseWriter, r *http.Request) {
-		handleBatch(w, r, opts.BatchWorkers, opts.Parses)
+		handleBatch(w, r, opts.BatchWorkers, opts.Parses, warms)
 	})
-	warms := &scenarioWarms{done: map[string]int{}}
 	mux.HandleFunc(PathScenario, func(w http.ResponseWriter, r *http.Request) {
 		handleScenario(w, r, opts.Parses, opts.Warmer, warms)
 	})
@@ -74,15 +81,62 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 }
 
 // scenarioWarms memoizes completed scenario warms per handler. A warm is a
-// pure function of (name, size, seed) and its parses persist in the shared
-// cache, so repeating it — every cosynth run broadcasts a warm, and an
-// unauthenticated POST could demand one — would re-pay a whole family
-// synthesis for nothing. The mutex doubles as singleflight: concurrent
-// warms of the same family serialize and the later one returns the memo.
+// pure function of (name, size, seed, ring scope) and its parses persist
+// in the shared cache, so repeating it — every cosynth run broadcasts a
+// warm, and an unauthenticated POST could demand one — would re-pay a
+// whole family synthesis for nothing. The mutex doubles as singleflight:
+// concurrent warms of the same family serialize and the later one returns
+// the memo. It also holds the per-family spec registries that resolve v3
+// batch references.
 type scenarioWarms struct {
 	mu   sync.Mutex
 	done map[string]int
+	// regs maps the resolved "name:size" to the family's registered spec
+	// and requirement bodies. Registries are seed- and ring-independent:
+	// the bodies derive from the generated topology alone.
+	regs map[string]*scenarioRegistry
 }
+
+// registry returns the warmed family's registry, or nil.
+func (s *scenarioWarms) registry(scenario string) *scenarioRegistry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regs[scenario]
+}
+
+// scenarioRegistry holds one warmed family's spec and requirement bodies,
+// content-addressed by RefDigest, so ref-carrying batched checks (batch
+// protocol v3) resolve server-side instead of re-shipping the bodies on
+// every iteration. A digest the registry cannot resolve means client and
+// server derived different bodies for the same scenario (a code-
+// generation drift) and fails the batch rather than answering against the
+// wrong spec.
+type scenarioRegistry struct {
+	specs map[string]*topology.RouterSpec
+	reqs  map[string]*lightyear.Requirement
+}
+
+// buildScenarioRegistry registers the family's router specs and local
+// no-transit requirements under their content digests.
+func buildScenarioRegistry(topo *topology.Topology) *scenarioRegistry {
+	reg := &scenarioRegistry{
+		specs: make(map[string]*topology.RouterSpec, len(topo.Routers)),
+		reqs:  map[string]*lightyear.Requirement{},
+	}
+	for i := range topo.Routers {
+		spec := &topo.Routers[i]
+		reg.specs[RefDigest(spec)] = spec
+	}
+	for _, req := range lightyear.SpecFor(topo) {
+		req := req
+		reg.reqs[RefDigest(&req)] = &req
+	}
+	return reg
+}
+
+// size returns the number of registered bodies, reported to clients as
+// SpecsRegistered.
+func (r *scenarioRegistry) size() int { return len(r.specs) + len(r.reqs) }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -207,13 +261,64 @@ func evalBatchCheck(c BatchCheck, parses *netcfg.ParseCache) BatchResult {
 	}
 }
 
+// resolveBatchRefs substitutes the registry bodies for the request's
+// SpecRef/ReqRef references (batch protocol v3). An unresolvable ref —
+// no scenario named, no registry for it, or a digest the registry does
+// not hold — is a dialect-level failure of the whole batch: answering
+// the other checks while silently mis-resolving one would hand back
+// untrustworthy results, and the client's reaction to the 400 (latch
+// refs off, re-send full bodies) repairs the run in one round-trip.
+func resolveBatchRefs(req *BatchRequest, warms *scenarioWarms) error {
+	refs := false
+	for i := range req.Checks {
+		if req.Checks[i].SpecRef != "" || req.Checks[i].ReqRef != "" {
+			refs = true
+			break
+		}
+	}
+	if !refs {
+		return nil
+	}
+	if req.Scenario == "" {
+		return fmt.Errorf("batch carries body references but names no scenario")
+	}
+	name, size, err := netgen.ParseScenarioArg(req.Scenario)
+	if err != nil {
+		return err
+	}
+	if size <= 0 {
+		sc, _ := netgen.Lookup(name)
+		size = sc.DefaultSize
+	}
+	resolved := fmt.Sprintf("%s:%d", name, size)
+	reg := warms.registry(resolved)
+	if reg == nil {
+		return fmt.Errorf("scenario %s is not pre-warmed on this server", resolved)
+	}
+	for i := range req.Checks {
+		c := &req.Checks[i]
+		if c.SpecRef != "" {
+			if c.Spec = reg.specs[c.SpecRef]; c.Spec == nil {
+				return fmt.Errorf("unresolvable spec ref %s for %s", c.SpecRef, resolved)
+			}
+		}
+		if c.ReqRef != "" {
+			if c.Requirement = reg.reqs[c.ReqRef]; c.Requirement == nil {
+				return fmt.Errorf("unresolvable requirement ref %s for %s", c.ReqRef, resolved)
+			}
+		}
+	}
+	return nil
+}
+
 // handleBatch evaluates a whole batch of independent checks in one
 // round-trip, fanning them onto a bounded worker pool. Results are
 // positional; a malformed individual check yields a per-result error
 // without failing the batch. shared, when non-nil, replaces the
 // request-scoped parse cache so scenario pre-warms and earlier requests'
 // parses are reused.
-func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *netcfg.ParseCache) {
+func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *netcfg.ParseCache,
+	warms *scenarioWarms) {
 	var req BatchRequest
 	if !decode(w, r, &req) {
 		return
@@ -227,6 +332,12 @@ func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *ne
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
 			"unsupported batch protocol version %d (server speaks %d)",
 			req.Version, BatchProtocolVersion)})
+		return
+	}
+	if err := resolveBatchRefs(&req, warms); err != nil {
+		// 400, like a version-gate rejection: the client latches the
+		// reference dialect off and retries with full bodies.
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
 	parses := shared
@@ -296,20 +407,45 @@ func handleScenario(w http.ResponseWriter, r *http.Request, parses *netcfg.Parse
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
 		return
 	}
+	resolved := fmt.Sprintf("%s:%d", name, size)
+	// Register the family's spec and requirement bodies for v3 batch
+	// references. Registration is independent of the config warm — it
+	// needs no synthesis, only the topology just generated — so even a
+	// validation-only server resolves references.
+	warms.mu.Lock()
+	reg, ok := warms.regs[resolved]
+	if !ok {
+		reg = buildScenarioRegistry(topo)
+		warms.regs[resolved] = reg
+	}
+	warms.mu.Unlock()
+	// Ring scope (v2): warm only the configurations the fleet's
+	// consistent-hash ring routes to this server. An unusable scope — an
+	// endpoint list that does not contain Self — degrades to warming
+	// everything rather than failing: the warm is an optimization.
+	owned := func(string) bool { return true }
+	if len(req.ShardEndpoints) > 1 && req.Self != "" {
+		if ring := newEndpointRing(req.ShardEndpoints); ring.contains(req.Self) {
+			self := normalizeEndpoint(req.Self)
+			owned = func(config string) bool { return ring.owner(config) == self }
+		}
+	}
 	warmed := 0
 	// The warmer contract hands it the shared cache; with no cache there
 	// is nothing to warm into, so skip the synthesis instead of paying for
 	// parses that are thrown away (or passing the warmer a nil cache).
-	// Completed warms are memoized per (name, size, seed) — the synthesis
-	// is pure and its parses persist — so repeat warms are free.
+	// Completed warms are memoized per (name, size, seed, ring scope) —
+	// the synthesis is pure and its parses persist — so repeat warms are
+	// free.
 	if warmer != nil && parses != nil {
-		key := fmt.Sprintf("%s:%d|%d", name, size, req.Seed)
+		key := fmt.Sprintf("%s|%d|%s|%s", resolved, req.Seed,
+			strings.Join(req.ShardEndpoints, ","), req.Self)
 		warms.mu.Lock()
 		memo, ok := warms.done[key]
 		if ok {
 			warmed = memo
 		} else {
-			if warmed, err = warmer(topo, req.Seed, parses); err != nil {
+			if warmed, err = warmer(topo, req.Seed, parses, owned); err != nil {
 				warms.mu.Unlock()
 				writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: fmt.Sprintf(
 					"warming %s: %v", req.Scenario, err)})
@@ -320,10 +456,11 @@ func handleScenario(w http.ResponseWriter, r *http.Request, parses *netcfg.Parse
 		warms.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, ScenarioResponse{
-		Scenario:      fmt.Sprintf("%s:%d", name, size),
-		Routers:       len(topo.Routers),
-		Attachments:   len(topo.ExternalAttachments()),
-		WarmedConfigs: warmed,
+		Scenario:        resolved,
+		Routers:         len(topo.Routers),
+		Attachments:     len(topo.ExternalAttachments()),
+		WarmedConfigs:   warmed,
+		SpecsRegistered: reg.size(),
 	})
 }
 

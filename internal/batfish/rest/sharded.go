@@ -179,6 +179,67 @@ func hashKey(key string) uint64 {
 	return h.Sum64()
 }
 
+// normalizeEndpoint brings an endpoint to the ring's canonical form — the
+// same trimming NewShardedClientOpts applies — so a server rebuilding the
+// client's ring from a wire-shipped endpoint list lands every virtual
+// node on the same positions.
+func normalizeEndpoint(ep string) string {
+	return strings.TrimRight(strings.TrimSpace(ep), "/")
+}
+
+// endpointRing is the consistent-hash ring over a fleet's endpoint list
+// alone — the placement function of ShardedClient without its liveness
+// and failover state. Servers handed the fleet list by a ring-scoped
+// scenario warm (protocol v2) rebuild the ring with it and warm only the
+// keys they own; because hashKey and the virtual-node layout are shared
+// with buildRing, the server's notion of ownership is byte-for-byte the
+// client's.
+type endpointRing struct {
+	points    []ringPoint
+	endpoints []string
+}
+
+// newEndpointRing builds the ring for a normalized endpoint list.
+func newEndpointRing(endpoints []string) *endpointRing {
+	r := &endpointRing{}
+	for _, ep := range endpoints {
+		r.endpoints = append(r.endpoints, normalizeEndpoint(ep))
+	}
+	for i, ep := range r.endpoints {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(fmt.Sprintf("%s|%d", ep, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// contains reports whether the endpoint is part of the ring.
+func (r *endpointRing) contains(ep string) bool {
+	ep = normalizeEndpoint(ep)
+	for _, have := range r.endpoints {
+		if have == ep {
+			return true
+		}
+	}
+	return false
+}
+
+// owner returns the endpoint the ring routes key to.
+func (r *endpointRing) owner(key string) string {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	return r.endpoints[r.points[i%len(r.points)].shard]
+}
+
 // shardFor walks the ring clockwise from the key's position to the first
 // live shard. Skipping dead shards (rather than rebuilding the ring) makes
 // failover minimal: only the dead shard's keys move, and they land exactly
@@ -466,11 +527,23 @@ func (s *ShardedClient) Search(config string, q batfish.SearchQuery) (batfish.Se
 // concurrently (see Client.WarmScenario — each warm triggers a full
 // server-side family synthesis, so the fan-out costs one synthesis of
 // wall-clock rather than one per shard) and returns how many shards
-// warmed. Shards running servers that predate the endpoint degrade
+// warmed. Each shard is asked for a ring-scoped warm (scenario protocol
+// v2) carrying the fleet's full endpoint list and the shard's own
+// endpoint, so it parses only the configurations the ring routes to it;
+// shards speaking only the v1 dialect are retried with a plain whole-
+// family warm, and shards predating the endpoint entirely degrade
 // gracefully: their IsScenarioUnsupported answers are ignored, so a mixed
 // fleet warms wherever it can. Transport failures fail the shard over,
 // consistent with the batched path.
 func (s *ShardedClient) WarmScenario(scenario string, seed int64) (shardsWarmed int, err error) {
+	// The ring the servers rebuild must be the ring the batches hash on:
+	// the full fleet, dead shards included — deadness is transient and
+	// client-local, and a revived shard's ownership must not depend on
+	// when the warm happened to run.
+	endpoints := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		endpoints[i] = sh.endpoint
+	}
 	errs := make([]error, len(s.shards))
 	var warmed atomic.Int64
 	var wg sync.WaitGroup
@@ -482,13 +555,22 @@ func (s *ShardedClient) WarmScenario(scenario string, seed int64) (shardsWarmed 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, werr := sh.client.WarmScenario(scenario, seed)
+			resp, werr := sh.client.WarmScenarioRing(scenario, seed, endpoints, sh.endpoint)
+			if IsScenarioUnsupported(werr) {
+				// The server may predate the ring dialect yet still warm
+				// the v1 way (whole family); only a second rejection
+				// classifies it as warm-less.
+				resp, werr = sh.client.WarmScenario(scenario, seed)
+			}
 			switch {
 			case werr == nil:
 				// A server with no warmer configured answers 200 with zero
 				// warmed configs; that shard validated the family but
-				// warmed nothing, so it does not count.
-				if resp.WarmedConfigs > 0 {
+				// warmed nothing, so it does not count — unless it
+				// registered resolvable spec bodies, which future batches
+				// profit from just the same. A ring-scoped shard owning
+				// zero configs of a small family also counts this way.
+				if resp.WarmedConfigs > 0 || resp.SpecsRegistered > 0 {
 					warmed.Add(1)
 				}
 			case IsTransportError(werr):

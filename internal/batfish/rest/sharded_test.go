@@ -346,13 +346,19 @@ func TestScenarioWarm(t *testing.T) {
 	})
 	var seenSeed int64
 	warmerCalls := 0
-	warmer := func(topo *topology.Topology, seed int64, p *netcfg.ParseCache) (int, error) {
+	warmer := func(topo *topology.Topology, seed int64, p *netcfg.ParseCache,
+		owned func(config string) bool) (int, error) {
 		warmerCalls++
 		seenSeed = seed
+		warmed := 0
 		for i := range topo.Routers {
-			p.Parse("hostname " + topo.Routers[i].Name + "\n")
+			cfg := "hostname " + topo.Routers[i].Name + "\n"
+			if owned(cfg) {
+				p.Parse(cfg)
+				warmed++
+			}
 		}
-		return len(topo.Routers), nil
+		return warmed, nil
 	}
 	srv := httptest.NewServer(NewHandlerOpts(HandlerOptions{Parses: parses, Warmer: warmer}))
 	t.Cleanup(srv.Close)

@@ -80,18 +80,36 @@ func (s CacheStats) String() string {
 // router changes.
 //
 // CachedVerifier is safe for concurrent use and may be shared by the
-// parallel per-router repair workers.
+// parallel per-router repair workers: the result map is striped into
+// cacheShards independently-locked shards selected by the first key byte
+// (the key is a SHA-256, so the stripe assignment is uniform), which keeps
+// 8+ workers from serializing on one RWMutex.
 type CachedVerifier struct {
 	v       Verifier
 	backend Backend // the dispatch seam; never nil
 
-	mu      sync.RWMutex
-	results map[[sha256.Size]byte]SuiteResult
+	shards [cacheShards]cacheShard
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	prefetches    atomic.Uint64
 	batchedChecks atomic.Uint64
+}
+
+// cacheShards is the stripe count of the memoized-result map. 64 shards
+// keep the per-shard collision probability negligible for any realistic
+// worker count while costing one fixed 64-entry array per verifier.
+const cacheShards = 64
+
+// cacheShard is one independently-locked stripe of the result map.
+type cacheShard struct {
+	mu      sync.RWMutex
+	results map[[sha256.Size]byte]SuiteResult
+}
+
+// shard selects a key's stripe by its first hash byte.
+func (c *CachedVerifier) shard(key [sha256.Size]byte) *cacheShard {
+	return &c.shards[key[0]%cacheShards]
 }
 
 // NewCachedVerifier wraps a verifier with result memoization. nil (and the
@@ -111,7 +129,10 @@ func NewCachedVerifier(v Verifier) *CachedVerifier {
 	if lv, ok := v.(LocalVerifier); ok && lv.Parses == nil {
 		v = LocalVerifier{Parses: batfish.NewParseCache()}
 	}
-	c := &CachedVerifier{v: v, results: map[[sha256.Size]byte]SuiteResult{}}
+	c := &CachedVerifier{v: v}
+	for i := range c.shards {
+		c.shards[i].results = map[[sha256.Size]byte]SuiteResult{}
+	}
 	if b, ok := v.(Backend); ok {
 		c.backend = b
 	} else {
@@ -167,9 +188,10 @@ func (c *CachedVerifier) key(check SuiteCheck) [sha256.Size]byte {
 
 // lookup returns the memoized result for a check, if present.
 func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, bool) {
-	c.mu.RLock()
-	res, ok := c.results[key]
-	c.mu.RUnlock()
+	s := c.shard(key)
+	s.mu.RLock()
+	res, ok := s.results[key]
+	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	}
@@ -179,9 +201,10 @@ func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, bool) {
 // store memoizes one result.
 func (c *CachedVerifier) store(key [sha256.Size]byte, res SuiteResult) {
 	c.misses.Add(1)
-	c.mu.Lock()
-	c.results[key] = res
-	c.mu.Unlock()
+	s := c.shard(key)
+	s.mu.Lock()
+	s.results[key] = res
+	s.mu.Unlock()
 }
 
 // check answers one suite check through the cache, dispatching misses
@@ -219,9 +242,10 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 			continue
 		}
 		seen[key] = true
-		c.mu.RLock()
-		_, ok := c.results[key]
-		c.mu.RUnlock()
+		s := c.shard(key)
+		s.mu.RLock()
+		_, ok := s.results[key]
+		s.mu.RUnlock()
 		if !ok {
 			missing = append(missing, sc)
 			keys = append(keys, key)
@@ -240,11 +264,12 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 	}
 	c.prefetches.Add(1)
 	c.batchedChecks.Add(uint64(len(missing)))
-	c.mu.Lock()
 	for i, res := range results {
-		c.results[keys[i]] = res
+		s := c.shard(keys[i])
+		s.mu.Lock()
+		s.results[keys[i]] = res
+		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return nil
 }
 

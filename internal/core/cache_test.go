@@ -160,3 +160,50 @@ func TestCachedVerifierConcurrentInProcess(t *testing.T) {
 func TestCachedVerifierConcurrentREST(t *testing.T) {
 	driveConcurrently(t, NewCachedVerifier(newRESTVerifier(t)))
 }
+
+// TestCachedVerifierStripedHammer drives the sharded result map from 16
+// goroutines at once — the scale configuration's worker count doubled —
+// over enough distinct checks (SHA-keyed, so uniformly spread across all
+// 64 stripes) that a regression to one shared mutex surfaces under -race
+// and as serialization. Results must stay correct and the counters must
+// balance: every lookup is either a hit or a miss.
+func TestCachedVerifierStripedHammer(t *testing.T) {
+	v := &countingVerifier{}
+	c := NewCachedVerifier(v)
+	const workers, configs, rounds = 16, 256, 200
+	req := testRequirement()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				n := (i*workers + w*11) % configs
+				cfg := fmt.Sprintf("hostname R%d\n", n)
+				if _, err := c.CheckSyntax(cfg); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := c.CheckLocalPolicy(cfg, req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats := c.Stats()
+	want := uint64(workers * rounds * 2)
+	if stats.Hits+stats.Misses != want {
+		t.Errorf("hits+misses = %d, want %d", stats.Hits+stats.Misses, want)
+	}
+	// Concurrent first sights of one key may each miss and re-evaluate
+	// (both store the same pure result), but misses can never fall below
+	// the number of distinct (kind, config) keys.
+	if stats.Misses < configs*2 {
+		t.Errorf("misses = %d, want >= %d", stats.Misses, configs*2)
+	}
+	if calls := v.syntax.Load() + v.local.Load(); uint64(calls) != stats.Misses {
+		t.Errorf("underlying calls = %d, want %d (one per miss)", calls, stats.Misses)
+	}
+}

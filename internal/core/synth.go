@@ -1,13 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/batfish"
 	"repro/internal/humanizer"
 	"repro/internal/lightyear"
 	"repro/internal/llm"
 	"repro/internal/modularizer"
+	"repro/internal/netcfg"
 	"repro/internal/topology"
 )
 
@@ -61,7 +64,34 @@ type SynthOptions struct {
 	// the paper's behaviour of re-verifying every router's configuration
 	// on every iteration (the E14 baseline).
 	DisableCache bool
+	// GlobalCheck selects the final whole-network check (see
+	// GlobalCheckMode). The zero value runs the paper-faithful full BGP
+	// simulation; GlobalCheckCompositional runs the verified-local-specs
+	// fast path with seeded sampled falsification, falling back to the
+	// simulation on topologies whose local spec coverage is incomplete.
+	// The repair loop's transcript is finished before either check runs,
+	// so the mode never changes a byte of the transcript — only how the
+	// final verdict is computed.
+	GlobalCheck GlobalCheckMode
+	// GlobalCheckSeed keys the compositional check's falsification
+	// sampling (0 = seed 1). Ignored under GlobalCheckSimulated.
+	GlobalCheckSeed int64
 }
+
+// GlobalCheckMode selects Synthesize's final whole-network check.
+type GlobalCheckMode int
+
+const (
+	// GlobalCheckSimulated is the paper's global check: simulate the whole
+	// network's BGP and test reachability pairwise. The default.
+	GlobalCheckSimulated GlobalCheckMode = iota
+	// GlobalCheckCompositional replaces the simulation with the
+	// verified-local-specs fast path (lightyear.CheckCompositionalNoTransit)
+	// when every attachment's local spec verified — the scale configuration
+	// for networks whose simulation cost is the bottleneck. Falls back to
+	// the simulation when coverage is incomplete.
+	GlobalCheckCompositional
+)
 
 func (o *SynthOptions) fill() {
 	if o.Verifier == nil {
@@ -168,8 +198,9 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 		return nil, err
 	}
 
+	var global *lightyear.GlobalResult
 	if verified && !opts.SkipGlobalCheck {
-		global, err := opts.Verifier.GlobalNoTransit(topo, configs)
+		global, err = globalCheck(topo, configs, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -181,12 +212,66 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 		Configs:        configs,
 		PuntedFindings: sess.punted,
 		Iterations:     sess.iterations,
+		Global:         global,
 	}
 	if cache != nil {
 		stats := cache.Stats()
 		res.CacheStats = &stats
 	}
 	return res, nil
+}
+
+// globalCheck runs the whole-network check SynthOptions.GlobalCheck
+// selects. The compositional mode reuses the run's parse cache (every
+// final configuration was just verified, so its device is already parsed)
+// and falls back to the full simulation on topologies whose local spec
+// coverage is incomplete — the simulation stays the authority wherever
+// the compositional argument does not apply.
+func globalCheck(topo *topology.Topology, configs map[string]string,
+	opts SynthOptions) (*lightyear.GlobalResult, error) {
+	if opts.GlobalCheck == GlobalCheckCompositional {
+		devs, err := parseDevices(opts.Verifier, topo, configs)
+		if err != nil {
+			return nil, err
+		}
+		global, err := lightyear.CheckCompositionalNoTransit(topo, devs,
+			lightyear.CompositionalOptions{Seed: opts.GlobalCheckSeed})
+		if err == nil {
+			return global, nil
+		}
+		if !errors.Is(err, lightyear.ErrCoverageIncomplete) {
+			return nil, err
+		}
+	}
+	return opts.Verifier.GlobalNoTransit(topo, configs)
+}
+
+// parseDevices parses the final configurations into devices for the
+// compositional check, going through the run's parse cache when the
+// verifier carries one (cache hits for every revision the repair loop
+// already verified). Remote verifiers parse locally: the compositional
+// check is a client-side fast path, not a suite round-trip.
+func parseDevices(v Verifier, topo *topology.Topology,
+	configs map[string]string) (map[string]*netcfg.Device, error) {
+	parse := batfish.ParseAndCheck
+	switch t := v.(type) {
+	case *CachedVerifier:
+		if lv, ok := t.v.(LocalVerifier); ok {
+			parse = lv.parsed
+		}
+	case LocalVerifier:
+		parse = t.parsed
+	}
+	devs := make(map[string]*netcfg.Device, len(configs))
+	for i := range topo.Routers {
+		name := topo.Routers[i].Name
+		text, ok := configs[name]
+		if !ok {
+			return nil, fmt.Errorf("router %s has no configuration", name)
+		}
+		devs[name] = parse(text).Device
+	}
+	return devs, nil
 }
 
 // synthesizeSequential is the paper's loop: modularizer prompts for every
@@ -218,15 +303,23 @@ type routerOutcome struct {
 }
 
 // synthesizeParallel repairs each router concurrently: every worker runs
-// the same per-router pipeline against its own conversation session, all
-// sharing one mutex-guarded model. The per-router transcripts are merged
+// the same per-router pipeline against its own conversation session. A
+// model that can fork (llm.Forker — the simulated LLM's state is per
+// router) gives every router an independent session, so workers never
+// contend on a model lock; a stateful model that cannot fork (a scripted
+// replay, whose responses are ordered across conversations) falls back to
+// one mutex-guarded shared model. The per-router transcripts are merged
 // into the main session in topology order, so the merged transcript — and
 // therefore the leverage accounting — is deterministic regardless of how
 // the workers interleave. Unlike the sequential loop, MaxIterations and a
 // human-oracle give-up are scoped per router here (see SynthOptions).
 func synthesizeParallel(sess *session, topo *topology.Topology,
 	tasks []modularizer.Task, opts SynthOptions) (map[string]string, bool, error) {
-	shared := &lockedModel{model: sess.model}
+	forker, _ := sess.model.(llm.Forker)
+	var shared llm.Model
+	if forker == nil {
+		shared = &lockedModel{model: sess.model}
+	}
 	outcomes := make([]routerOutcome, len(tasks))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -239,7 +332,11 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outcomes[i] = repairRouter(shared, topo, tasks[i], opts)
+				model := shared
+				if forker != nil {
+					model = forker.Fork()
+				}
+				outcomes[i] = repairRouter(model, topo, tasks[i], opts)
 			}
 		}()
 	}

@@ -94,6 +94,36 @@ type Campaign struct {
 	// the defaults applied before they were spawned instead of rewriting
 	// them.
 	filled bool
+
+	// topos memoizes generated topologies by case coordinates: Cases()
+	// already generates every swept topology to derive its error plan, so
+	// RunCase reuses that graph instead of regenerating it. Topologies
+	// are read-only throughout the pipeline, so sharing one across
+	// concurrent workers is safe. Shrunk variants miss and regenerate.
+	topos sync.Map
+}
+
+// topoKey is the memoization key of one case's topology coordinates.
+type topoKey struct {
+	family     string
+	size       int
+	seed       int64
+	extraEdges int
+}
+
+// cachedTopology returns the case's (read-only) topology, generating and
+// memoizing it on first sight of the coordinates.
+func (c *Campaign) cachedTopology(cs Case) (*topology.Topology, error) {
+	key := topoKey{family: cs.Family, size: cs.Size, seed: cs.Seed, extraEdges: cs.ExtraEdges}
+	if t, ok := c.topos.Load(key); ok {
+		return t.(*topology.Topology), nil
+	}
+	topo, err := cs.Topology()
+	if err != nil {
+		return nil, err
+	}
+	c.topos.Store(key, topo)
+	return topo, nil
 }
 
 // fill applies defaults, returning an error for an unknown family.
@@ -138,7 +168,7 @@ func (c *Campaign) Cases() ([]Case, error) {
 	for _, size := range c.Sizes {
 		for s := 1; s <= c.Seeds; s++ {
 			cs := Case{Family: c.Family, Size: size, Seed: int64(s), ExtraEdges: -1}
-			topo, err := cs.Topology()
+			topo, err := c.cachedTopology(cs)
 			if err != nil {
 				return nil, fmt.Errorf("fuzz: %s:%d: %w", c.Family, size, err)
 			}
@@ -255,7 +285,7 @@ func (c *Campaign) RunCase(cs Case) CaseResult {
 		return out
 	}
 
-	topo, err := cs.Topology()
+	topo, err := c.cachedTopology(cs)
 	if err != nil {
 		return fail(PropError, err.Error())
 	}
@@ -274,10 +304,17 @@ func (c *Campaign) RunCase(cs Case) CaseResult {
 	if err != nil {
 		return fail(PropError, err.Error())
 	}
+	// The pipeline-internal global check runs compositionally: the
+	// oracle's independent full simulation below re-proves
+	// local-implies-global on every case anyway, so the in-pipeline
+	// simulation was pure duplication — on profile it was half of every
+	// passing case's simulation time.
 	res, err := core.Synthesize(topo, core.SynthOptions{
-		Model:         llm.NewSynthesizer(llm.SynthConfig{Seed: 1, RespectIIP: true, Plan: sites}),
-		Verifier:      c.Verifier,
-		MaxIterations: c.MaxIterations,
+		Model:           llm.NewSynthesizer(llm.SynthConfig{Seed: 1, RespectIIP: true, Plan: sites}),
+		Verifier:        c.Verifier,
+		MaxIterations:   c.MaxIterations,
+		GlobalCheck:     core.GlobalCheckCompositional,
+		GlobalCheckSeed: cs.Seed,
 	})
 	if err != nil {
 		return fail(PropError, err.Error())

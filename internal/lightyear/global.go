@@ -9,16 +9,38 @@ import (
 	"repro/internal/topology"
 )
 
-// GlobalResult reports the end-to-end BGP simulation check of the global
-// no-transit policy.
+// Global check methods, recorded on GlobalResult.Method.
+const (
+	// MethodSimulated is the paper-faithful whole-network BGP simulation.
+	MethodSimulated = "simulated"
+	// MethodCompositional is the verified-local-specs fast path plus
+	// seeded sampled falsification (CheckCompositionalNoTransit).
+	MethodCompositional = "compositional"
+)
+
+// GlobalResult reports the whole-network check of the global no-transit
+// policy — produced either by the full BGP simulation
+// (CheckGlobalNoTransit) or by the compositional fast path
+// (CheckCompositionalNoTransit); Method records which.
 type GlobalResult struct {
 	// Violations lists transit paths that must not exist (ISP i reaches
-	// ISP j's prefix through the customer network).
+	// ISP j's prefix through the customer network). The compositional
+	// checker reports unmet local obligations and failed falsification
+	// probes here instead of simulated transit paths.
 	Violations []string
 	// MissingReachability lists required connectivity that is absent
 	// (an ISP cannot reach the customer, or vice versa).
 	MissingReachability []string
 	Converged           bool
+	// Method is the checker that produced this result (MethodSimulated or
+	// MethodCompositional); empty on results from servers predating the
+	// compositional check.
+	Method string
+	// FalsificationProbes lists the egress filters the compositional
+	// checker's seeded sampling neutralized to prove the local obligations
+	// non-vacuous, as "router:policy" in topology order. Empty for
+	// simulated results.
+	FalsificationProbes []string
 }
 
 // OK reports whether the global policy holds.
@@ -86,7 +108,7 @@ func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) 
 	}
 	res := sim.Run()
 
-	out := &GlobalResult{Converged: res.Converged}
+	out := &GlobalResult{Converged: res.Converged, Method: MethodSimulated}
 	for _, isp := range isps {
 		// Positive requirements: every ISP and every customer reach each
 		// other.

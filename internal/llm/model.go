@@ -40,6 +40,18 @@ type Model interface {
 	Complete(messages []Message) (string, error)
 }
 
+// Forker is implemented by models whose sessions are independent given
+// independent conversations: Fork returns a fresh model with the same
+// configuration and no accumulated state, so concurrent per-router repair
+// workers can each drive a private session instead of serializing through
+// one mutex-guarded shared model. A model whose responses depend on
+// cross-conversation order (ScriptedModel) must not implement Forker.
+type Forker interface {
+	Model
+	// Fork returns an independent session of the same model.
+	Fork() Model
+}
+
 // ScriptedModel replays canned responses in order; it backs unit tests of
 // the engine that need full control of the "LLM".
 type ScriptedModel struct {

@@ -223,6 +223,16 @@ func NewSynthesizer(cfg SynthConfig) *Synthesizer {
 	}
 }
 
+// Fork implements Forker: the synthesizer's state — generated routers,
+// policy ownership, the last-addressed router — is keyed per router, and
+// its error model is a pure function of the configuration and the
+// addressed site, so a fresh session with the same configuration behaves
+// byte-identically on any single router's conversation. The parallel
+// repair loop forks one session per router, which removes the shared-model
+// mutex and makes the per-worker "most recently addressed router" state
+// trivially private.
+func (s *Synthesizer) Fork() Model { return NewSynthesizer(s.cfg) }
+
 // ActiveErrors lists the live error classes for a router — router-wide
 // activations and attachment-scoped instances alike — in class order.
 // The enumeration is deterministic (sorted by class), which the fuzz

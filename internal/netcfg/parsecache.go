@@ -22,48 +22,65 @@ type Parsed struct {
 // ParseFunc parses one configuration revision into its Parsed product.
 type ParseFunc func(text string) *Parsed
 
+// parseShards is the stripe count of the revision map. The key is a
+// SHA-256 of the configuration text, so stripe selection by the first key
+// byte is uniform; 64 independently-locked shards keep concurrent repair
+// workers (and a shard server's batch pool) from serializing on one lock.
+const parseShards = 64
+
+// parseShard is one independently-locked stripe of the revision map.
+type parseShard struct {
+	mu      sync.RWMutex
+	entries map[[sha256.Size]byte]*Parsed
+}
+
 // ParseCache memoizes a ParseFunc keyed by the SHA-256 of the
 // configuration text, so each revision of a config is parsed exactly once
 // no matter how many verifier stages and repair iterations inspect it. It
-// is safe for concurrent use; concurrent misses on the same revision may
-// parse twice, but both results are identical and one wins.
+// is safe for concurrent use — the map is striped into independently
+// locked shards — and concurrent misses on the same revision may parse
+// twice, but both results are identical and one wins.
 type ParseCache struct {
 	parse ParseFunc
 
-	mu      sync.RWMutex
-	entries map[[sha256.Size]byte]*Parsed
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	shards [parseShards]parseShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewParseCache returns an empty cache over the given parser.
 func NewParseCache(parse ParseFunc) *ParseCache {
-	return &ParseCache{parse: parse, entries: map[[sha256.Size]byte]*Parsed{}}
+	c := &ParseCache{parse: parse}
+	for i := range c.shards {
+		c.shards[i].entries = map[[sha256.Size]byte]*Parsed{}
+	}
+	return c
 }
 
 // Parse returns the memoized parse product for the text, parsing on first
 // sight of the revision.
 func (c *ParseCache) Parse(text string) *Parsed {
 	key := sha256.Sum256([]byte(text))
-	c.mu.RLock()
-	p := c.entries[key]
-	c.mu.RUnlock()
+	s := &c.shards[key[0]%parseShards]
+	s.mu.RLock()
+	p := s.entries[key]
+	s.mu.RUnlock()
 	if p != nil {
 		c.hits.Add(1)
 		return p
 	}
 	p = c.parse(text)
-	c.mu.Lock()
-	if prev, ok := c.entries[key]; ok {
+	s.mu.Lock()
+	if prev, ok := s.entries[key]; ok {
 		// A concurrent miss beat us to it; keep the first result so every
 		// caller shares one device.
 		p = prev
 		c.hits.Add(1)
 	} else {
-		c.entries[key] = p
+		s.entries[key] = p
 		c.misses.Add(1)
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return p
 }
 
@@ -75,7 +92,12 @@ func (c *ParseCache) Stats() (hits, misses uint64) {
 
 // Len returns the number of cached revisions.
 func (c *ParseCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
 }

@@ -68,3 +68,39 @@ func TestParseCacheConcurrent(t *testing.T) {
 		t.Errorf("hits+misses = %d, want %d", hits+misses, workers*200)
 	}
 }
+
+// TestParseCacheStripedHammer drives every stripe of the sharded revision
+// map from 16 goroutines at once — enough concurrent writers that a
+// single-mutex regression shows up under -race and as contention, and
+// enough distinct revisions (512, SHA-keyed) that all 64 shards see
+// traffic. Every caller must observe the one shared product per revision.
+func TestParseCacheStripedHammer(t *testing.T) {
+	var calls atomic.Int64
+	c := NewParseCache(countingParser(&calls))
+	const workers, revisions, rounds = 16, 512, 300
+	products := make([]atomic.Pointer[Parsed], revisions)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				n := (i*workers + w*7) % revisions
+				p := c.Parse(fmt.Sprintf("rev-%d", n))
+				if prev := products[n].Swap(p); prev != nil && prev != p {
+					t.Errorf("revision %d returned two distinct products", n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != revisions {
+		t.Errorf("len = %d, want %d", c.Len(), revisions)
+	}
+	// First-writer-wins dedup may parse a colliding revision twice, but
+	// the cache must never under-parse.
+	if got := calls.Load(); got < revisions {
+		t.Errorf("parse calls = %d, want >= %d", got, revisions)
+	}
+}

@@ -5,18 +5,52 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/netcfg"
 	"repro/internal/topology"
 )
 
-// maxGraphRouters bounds the shared addressing scheme: internal link
+// maxGraphRouters bounds the legacy addressing scheme: internal link
 // subnets are 10.<i>.<j>.0/24 and ISP subnets 20.<i>.0.0/24, so router
-// indices must fit in one octet.
+// indices must fit in one octet. Larger graphs switch — whole-graph, so
+// the two schemes never mix subnets — to the wide scheme below.
 const maxGraphRouters = 250
 
 // maxGraphAttachments bounds the attachment-ordinal addressing scheme for
 // the same reason: ISP subnets are 20.<o>.0.0/24 and stub prefixes
 // 150.<o>.0.0/16, so ordinals must fit in one octet too.
 const maxGraphAttachments = 250
+
+// Wide addressing scheme: graphs that exceed either legacy bound key
+// internal links by edge index k (sorted (lo,hi) order) as
+// 10.<k/256>.<k%256>.0/24, ISP attachments by ordinal o as
+// 20.<o/256>.<o%256>.0/24 originating 150.<o/256>.<o%256>.0/24, and wide
+// customers as 1.<o/256>.<o%256>.0/24 (the legacy customer keeps
+// 1.0.0.0/24, which no wide ordinal produces). The switch is per graph,
+// never per attachment: re-keying only ordinals past 250 would collide
+// with the legacy subnets of ordinals below it. Everything downstream is
+// spec-driven — community tags key on the ordinal, external stubs
+// originate the prefixes the spec declares — so only this builder knows
+// which scheme a graph uses.
+const (
+	// maxWideRouters bounds the wide scheme: router ASNs are the router
+	// index, which must stay below every external AS base.
+	maxWideRouters = 2000
+	// maxWideAttachments bounds wide attachment ordinals: community tags
+	// are uint16-keyed (98+o) and ordinals must fit two subnet octets.
+	maxWideAttachments = 2000
+	// maxWideEdges bounds the wide edge index to its two subnet octets.
+	maxWideEdges = 65536
+	// WideISPBaseAS is the wide scheme's ISP AS base. The legacy base of
+	// 1000 sits below the wide router-index range, so wide graphs move the
+	// ISPs above both the router ASNs and the customer AS block.
+	WideISPBaseAS = 100000
+)
+
+// WideAttachmentPrefix returns the external prefix the ISP at attachment
+// ordinal o originates under the wide addressing scheme.
+func WideAttachmentPrefix(o int) netcfg.Prefix {
+	return netcfg.MustPrefix(fmt.Sprintf("150.%d.%d.0/24", o/256, o%256))
+}
 
 // IsCustomerPeer reports whether an external peer name denotes a customer
 // network (the generators' convention: customers are named CUSTOMER or
@@ -130,9 +164,19 @@ func buildGraphExt(name string, n int, edges [][2]int, attaches []extAttachment)
 	if n < 2 {
 		return nil, fmt.Errorf("%s: needs at least 2 routers, got %d", name, n)
 	}
-	if n > maxGraphRouters {
+	// The addressing scheme is a whole-graph choice: legacy within the
+	// one-octet bounds (byte-identical to every pre-wide artifact), wide
+	// beyond them.
+	maxOrd := 0
+	for _, a := range attaches {
+		if !a.customer && a.ordinal > maxOrd {
+			maxOrd = a.ordinal
+		}
+	}
+	wide := n > maxGraphRouters || maxOrd > maxGraphAttachments
+	if n > maxWideRouters {
 		return nil, fmt.Errorf("%s: at most %d routers supported by the addressing scheme, got %d",
-			name, maxGraphRouters, n)
+			name, maxWideRouters, n)
 	}
 	// Normalize and validate the adjacency.
 	adj := make([][]int, n+1)
@@ -152,6 +196,55 @@ func buildGraphExt(name string, n int, edges [][2]int, attaches []extAttachment)
 		adj[i] = append(adj[i], j)
 		adj[j] = append(adj[j], i)
 	}
+	// The wide scheme keys link subnets by edge index in sorted edge
+	// order, so a graph's link addressing is a function of its edge set
+	// alone (stable across generator drawing order).
+	edgeIdx := map[[2]int]int{}
+	if wide {
+		if len(seen) > maxWideEdges {
+			return nil, fmt.Errorf("%s: at most %d links supported by the addressing scheme, got %d",
+				name, maxWideEdges, len(seen))
+		}
+		all := make([][2]int, 0, len(seen))
+		for e := range seen {
+			all = append(all, e)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a][0] != all[b][0] {
+				return all[a][0] < all[b][0]
+			}
+			return all[a][1] < all[b][1]
+		})
+		for k, e := range all {
+			edgeIdx[e] = k
+		}
+	}
+	// linkNet returns the /24 base (first three octets) of the internal
+	// link between Rlo and Rhi.
+	linkNet := func(lo, hi int) string {
+		if wide {
+			k := edgeIdx[[2]int{lo, hi}]
+			return fmt.Sprintf("10.%d.%d", k/256, k%256)
+		}
+		return fmt.Sprintf("10.%d.%d", lo, hi)
+	}
+	// ispNet returns the /24 base of an ISP attachment subnet; key is the
+	// ordinal, or the router index for legacy-keyed ISPs.
+	ispNet := func(key int) string {
+		if wide {
+			return fmt.Sprintf("20.%d.%d", key/256, key%256)
+		}
+		return fmt.Sprintf("20.%d.0", key)
+	}
+	// custNet returns the /24 base of a customer attachment subnet (the
+	// legacy ordinal-0 customer keeps 1.0.0.0/24 under both schemes, and
+	// no wide ordinal maps onto it).
+	custNet := func(o int) string {
+		if wide {
+			return fmt.Sprintf("1.%d.%d", o/256, o%256)
+		}
+		return fmt.Sprintf("1.%d.0", o)
+	}
 	// Validate the attachment list: routers in range, ordinals distinct
 	// per kind and in range, the legacy scheme's one-ISP-per-router and
 	// customer-on-R1 invariants, and no mixing of the two ISP keying
@@ -164,9 +257,16 @@ func buildGraphExt(name string, n int, edges [][2]int, attaches []extAttachment)
 		if a.router < 1 || a.router > n {
 			return nil, fmt.Errorf("%s: attachment on nonexistent router R%d", name, a.router)
 		}
-		if a.ordinal < 0 || a.ordinal > maxGraphAttachments {
+		// Customer ordinals stay within the legacy bound under both
+		// schemes: their originated prefixes (99.<o>.0.0/16) key on one
+		// octet regardless of the graph's link addressing.
+		ordBound := maxGraphAttachments
+		if wide && !a.customer {
+			ordBound = maxWideAttachments
+		}
+		if a.ordinal < 0 || a.ordinal > ordBound {
 			return nil, fmt.Errorf("%s: attachment ordinal %d out of range [0,%d]",
-				name, a.ordinal, maxGraphAttachments)
+				name, a.ordinal, ordBound)
 		}
 		if a.ordinal > 0 {
 			k := [2]int{0, a.ordinal}
@@ -226,15 +326,16 @@ func buildGraphExt(name string, n int, edges [][2]int, attaches []extAttachment)
 				r.Networks = append(r.Networks, "1.0.0.0/24")
 				continue
 			}
-			addIfc(fmt.Sprintf("1.%d.0.1", a.ordinal))
+			net := custNet(a.ordinal)
+			addIfc(net + ".1")
 			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
 				PeerName: fmt.Sprintf("CUSTOMER%d", a.ordinal),
-				PeerIP:   fmt.Sprintf("1.%d.0.2", a.ordinal),
+				PeerIP:   net + ".2",
 				PeerAS:   uint32(CustomerAS + a.ordinal),
 				External: true,
 				Prefixes: []string{CustomerPrefixAt(a.ordinal).String()},
 			})
-			r.Networks = append(r.Networks, fmt.Sprintf("1.%d.0.0/24", a.ordinal))
+			r.Networks = append(r.Networks, net+".0/24")
 		}
 		for _, j := range adj[i] {
 			lo, hi := i, j
@@ -245,31 +346,45 @@ func buildGraphExt(name string, n int, edges [][2]int, attaches []extAttachment)
 			if i == hi {
 				self, peer = 2, 1
 			}
-			addIfc(fmt.Sprintf("10.%d.%d.%d", lo, hi, self))
+			net := linkNet(lo, hi)
+			addIfc(fmt.Sprintf("%s.%d", net, self))
 			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
 				PeerName: fmt.Sprintf("R%d", j),
-				PeerIP:   fmt.Sprintf("10.%d.%d.%d", lo, hi, peer),
+				PeerIP:   fmt.Sprintf("%s.%d", net, peer),
 				PeerAS:   uint32(j),
 			})
-			r.Networks = append(r.Networks, fmt.Sprintf("10.%d.%d.0/24", lo, hi))
+			r.Networks = append(r.Networks, net+".0/24")
 		}
 		for _, a := range isps[i] {
 			key := a.ordinal
-			prefix := AttachmentPrefix(a.ordinal)
-			if key == 0 {
-				key = i // legacy: the router index keys the ISP
+			var prefix netcfg.Prefix
+			switch {
+			case key == 0 && wide:
+				key = i // legacy keying: the router index keys the ISP
+				prefix = WideAttachmentPrefix(key)
+			case key == 0:
+				key = i
 				prefix = ISPPrefix(i)
+			case wide:
+				prefix = WideAttachmentPrefix(key)
+			default:
+				prefix = AttachmentPrefix(key)
 			}
-			addIfc(fmt.Sprintf("20.%d.0.1", key))
+			base := ISPBaseAS
+			if wide {
+				base = WideISPBaseAS
+			}
+			net := ispNet(key)
+			addIfc(net + ".1")
 			r.Neighbors = append(r.Neighbors, topology.NeighborSpec{
 				PeerName:   fmt.Sprintf("ISP%d", key),
-				PeerIP:     fmt.Sprintf("20.%d.0.2", key),
-				PeerAS:     uint32(ISPBaseAS + key),
+				PeerIP:     net + ".2",
+				PeerAS:     uint32(base + key),
 				External:   true,
 				Prefixes:   []string{prefix.String()},
 				Attachment: a.ordinal,
 			})
-			r.Networks = append(r.Networks, fmt.Sprintf("20.%d.0.0/24", key))
+			r.Networks = append(r.Networks, net+".0/24")
 		}
 		if len(r.Interfaces) == 0 {
 			return nil, fmt.Errorf("%s: router R%d is isolated", name, i)

@@ -45,10 +45,6 @@ func RandomWith(n int, opts RandomOpts) (*topology.Topology, error) {
 	if n < 4 {
 		return nil, errTooSmall("random", n, 4)
 	}
-	if n > maxGraphRouters {
-		// Let the builder report the shared addressing bound.
-		return buildGraphExt(randomName(n), n, nil, nil)
-	}
 	src := int64(n)*7919 + 17
 	if opts.Seed != 0 {
 		src += opts.Seed * 1_000_003
@@ -75,9 +71,16 @@ func RandomWith(n int, opts RandomOpts) (*topology.Topology, error) {
 	}
 
 	attaches := []extAttachment{{router: 1, customer: true}}
+	// Graphs past the legacy router bound use the wide addressing scheme,
+	// whose ordinal space is wider too; graphs within it keep the legacy
+	// cap so their artifacts stay byte-identical.
+	ordCap := maxGraphAttachments
+	if n > maxGraphRouters {
+		ordCap = maxWideAttachments
+	}
 	ord := 0
 	addISP := func(router int) {
-		if ord >= maxGraphAttachments {
+		if ord >= ordCap {
 			return // keep ordinals inside the addressing scheme
 		}
 		ord++

@@ -1,0 +1,54 @@
+// Package prof wires the runtime/pprof profilers behind the
+// -cpuprofile/-memprofile flags shared by the cosynth and cofuzz CLIs, so
+// a scale run can be profiled in place (`go tool pprof cosynth cpu.out`)
+// without rebuilding anything as a benchmark.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles the two paths enable (an empty path disables
+// that profile) and returns an idempotent stop function that flushes
+// them: the CPU profile stops, and the heap profile is written after a
+// final GC so it reflects live allocations at stop time.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
