@@ -8,10 +8,10 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"repro/internal/batfish/rest"
+	"repro/internal/faultinject"
 )
 
 // shardFleet spins up n in-process shard servers and returns a sharded
@@ -23,16 +23,9 @@ func shardFleet(t *testing.T, n int, dieAfter int64) *rest.ShardedClient {
 	t.Helper()
 	endpoints := make([]string, n)
 	for i := 0; i < n; i++ {
-		handler := rest.NewHandler()
-		if i == 0 && dieAfter > 0 {
-			inner := handler
-			var served atomic.Int64
-			handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-				if served.Add(1) > dieAfter {
-					panic(http.ErrAbortHandler)
-				}
-				inner.ServeHTTP(w, r)
-			})
+		handler := http.Handler(rest.NewHandler())
+		if i == 0 {
+			handler = faultinject.AbortAfter(handler, dieAfter)
 		}
 		srv := httptest.NewServer(handler)
 		t.Cleanup(srv.Close)

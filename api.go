@@ -1,9 +1,13 @@
 package repro
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/exampledata"
 	"repro/internal/llm"
 	"repro/internal/netgen"
@@ -30,6 +34,20 @@ type TranslateOptions struct {
 	// restoring the seed behaviour of re-parsing and re-verifying the
 	// translation on every iteration.
 	DisableVerifierCache bool
+	// CacheDir mounts a durable disk tier under the verification cache:
+	// results persist across process restarts, shared by every run —
+	// translation or synthesis — pointed at the same directory. An
+	// unusable directory is an error; ignored under DisableVerifierCache.
+	CacheDir string
+	// CheckpointPath turns on crash checkpoints: the repair loop snapshots
+	// its progress to this file (atomically) every iteration. With Resume,
+	// a run killed mid-loop restarts from the snapshot and produces a
+	// byte-identical final transcript.
+	CheckpointPath string
+	// Resume continues the run CheckpointPath describes; a missing file
+	// starts fresh, a checkpoint from different run coordinates (seed,
+	// error classes, input) is an error.
+	Resume bool
 }
 
 // Translate runs the paper's first use case (§3): translate a Cisco
@@ -46,11 +64,35 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 			cfg.Inject[e] = true
 		}
 	}
-	return core.Translate(ciscoConfig, core.TranslateOptions{
+	copts := core.TranslateOptions{
 		Model:        llm.NewTranslator(cfg),
 		Verifier:     opts.Verifier,
 		DisableCache: opts.DisableVerifierCache,
-	})
+	}
+	if opts.CacheDir != "" && !opts.DisableVerifierCache {
+		d, err := durable.Open(opts.CacheDir, durable.Options{})
+		if err != nil {
+			return nil, err
+		}
+		copts.DurableCache = d
+	}
+	if opts.CheckpointPath != "" {
+		copts.Checkpoint = &core.CheckpointOptions{
+			Path:   opts.CheckpointPath,
+			Resume: opts.Resume,
+			RunKey: runKey("translate", cfg.Seed, opts.ErrorClasses, ciscoConfig),
+		}
+	}
+	return core.Translate(ciscoConfig, copts)
+}
+
+// runKey derives a stable identity for a run's coordinates, recorded in
+// its checkpoint so a resume into different coordinates is refused instead
+// of silently forking the run.
+func runKey(parts ...interface{}) string {
+	data, _ := json.Marshal(parts)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // ExampleCiscoConfig returns the bundled Cisco configuration used by the
@@ -104,6 +146,21 @@ type SynthesizeOptions struct {
 	// FalsificationSeed keys the compositional check's falsification
 	// sampling (0 = seed 1). Ignored without CompositionalGlobalCheck.
 	FalsificationSeed int64
+	// CacheDir mounts a durable disk tier under the verification cache:
+	// results persist across process restarts, shared by every run pointed
+	// at the same directory (including concurrent cosynth/cofuzz processes
+	// and batfishd shards mounting it with -cache-dir). An unusable
+	// directory is an error; ignored under DisableVerifierCache.
+	CacheDir string
+	// CheckpointPath turns on crash checkpoints: sequential runs snapshot
+	// the repair loop every iteration, parallel runs snapshot after every
+	// completed router. With Resume, a run killed mid-loop restarts from
+	// the snapshot and produces a byte-identical final transcript.
+	CheckpointPath string
+	// Resume continues the run CheckpointPath describes; a missing file
+	// starts fresh, a checkpoint from different run coordinates (topology,
+	// seed, error plan, parallelism) is an error.
+	Resume bool
 }
 
 // Synthesize runs the VPP synthesis pipeline on an arbitrary topology —
@@ -120,7 +177,7 @@ func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error
 	if opts.CompositionalGlobalCheck {
 		mode = core.GlobalCheckCompositional
 	}
-	return core.Synthesize(topo, core.SynthOptions{
+	copts := core.SynthOptions{
 		Model:            llm.NewSynthesizer(cfg),
 		Verifier:         opts.Verifier,
 		NoIIP:            opts.DisableIIP,
@@ -129,7 +186,23 @@ func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error
 		DisableCache:     opts.DisableVerifierCache,
 		GlobalCheck:      mode,
 		GlobalCheckSeed:  opts.FalsificationSeed,
-	})
+	}
+	if opts.CacheDir != "" && !opts.DisableVerifierCache {
+		d, err := durable.Open(opts.CacheDir, durable.Options{})
+		if err != nil {
+			return nil, err
+		}
+		copts.DurableCache = d
+	}
+	if opts.CheckpointPath != "" {
+		copts.Checkpoint = &core.CheckpointOptions{
+			Path:   opts.CheckpointPath,
+			Resume: opts.Resume,
+			RunKey: runKey("synthesize", topo.Name, len(topo.Routers), cfg.Seed, cfg.Plan,
+				opts.DisableIIP, opts.Parallelism > 1),
+		}
+	}
+	return core.Synthesize(topo, copts)
 }
 
 // SynthesizeNoTransit runs the paper's second use case (§4): synthesize

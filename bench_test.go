@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
@@ -664,6 +665,56 @@ func BenchmarkScaleWall(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkWarmRestart (E19, extension) measures what the durable cache
+// buys a restarted process: the same no-transit synthesis runs twice
+// against one cache directory — once cold (empty disk tier) and once
+// warm (a fresh in-memory cache, as after a crash or redeploy, but a
+// populated disk tier). The warm run must answer part of its
+// verification load from disk and spend fewer backend verifier calls
+// (Misses) while producing the identical transcript; the cold/warm
+// wall-clock pair is the headline. Note: E18 is BenchmarkScaleWall, so
+// the durability experiment takes E19.
+func BenchmarkWarmRestart(b *testing.B) {
+	var cold, warm *Result
+	var coldMS, warmMS float64
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		start := time.Now()
+		var err error
+		cold, err = SynthesizeNoTransit(SynthesizeOptions{CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldMS = float64(time.Since(start).Microseconds()) / 1000
+		start = time.Now()
+		warm, err = SynthesizeNoTransit(SynthesizeOptions{CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmMS = float64(time.Since(start).Microseconds()) / 1000
+	}
+	if cold.CacheStats.DiskWrites == 0 || warm.CacheStats.DiskHits == 0 {
+		b.Fatalf("durable tier idle: cold %+v, warm %+v", cold.CacheStats, warm.CacheStats)
+	}
+	if warm.CacheStats.Misses >= cold.CacheStats.Misses {
+		b.Fatalf("warm restart not cheaper: %d backend calls vs %d cold",
+			warm.CacheStats.Misses, cold.CacheStats.Misses)
+	}
+	if cold.Transcript.String() != warm.Transcript.String() {
+		b.Fatal("warm restart changed the transcript")
+	}
+	b.ReportMetric(coldMS, "cold-wall-ms")
+	b.ReportMetric(warmMS, "warm-wall-ms")
+	benchJSON(b, map[string]float64{
+		"cold-wall-ms":       coldMS,
+		"warm-wall-ms":       warmMS,
+		"cold-backend-calls": float64(cold.CacheStats.Misses),
+		"warm-backend-calls": float64(warm.CacheStats.Misses),
+		"warm-disk-hits":     float64(warm.CacheStats.DiskHits),
+		"cold-disk-writes":   float64(cold.CacheStats.DiskWrites),
+	})
 }
 
 // BenchmarkIncrementalPolicyAddition (E11, extension) runs the paper's §6

@@ -27,6 +27,7 @@ import (
 	"repro/internal/batfish"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/llm"
 	"repro/internal/netcfg"
 	"repro/internal/topology"
@@ -71,12 +72,28 @@ func main() {
 		"worker pool size for /v1/batch check evaluation (0 = GOMAXPROCS)")
 	noWarm := flag.Bool("no-warm", false,
 		"serve /v1/scenario validation-only: no shared parse cache, no pre-warm synthesis")
+	cacheDir := flag.String("cache-dir", "",
+		"mount a durable verification-result cache at this directory: batched checks are "+
+			"answered from disk when content-addressed entries exist and persisted when they "+
+			"don't, so restarts (and fleets sharing the directory) stay warm")
 	flag.Parse()
 
 	opts := rest.HandlerOptions{BatchWorkers: *batchWorkers}
 	if !*noWarm {
 		opts.Parses = batfish.NewParseCache()
 		opts.Warmer = warmScenario
+	}
+	if *cacheDir != "" {
+		d, err := durable.Open(*cacheDir, durable.Options{})
+		if err != nil {
+			// An unusable cache directory (a newer on-disk format, a
+			// permission problem) degrades the daemon to uncached serving:
+			// the cache is an optimization, not a correctness dependency.
+			log.Printf("batfishd: durable cache disabled: %v", err)
+		} else {
+			opts.Durable = d
+			log.Printf("batfishd: durable result cache mounted at %s", d.Dir())
+		}
 	}
 	srv := &http.Server{
 		Addr:              *addr,

@@ -6,6 +6,10 @@
 //	cofuzz -classes default,egress-deny-all -sizes 6..10   # seed a violation
 //	cofuzz -replay fuzz.json                               # re-run the minimized case
 //	cofuzz -family random -rest http://h1:9876,http://h2:9876
+//	cofuzz -family random -checkpoint camp.json            # kill-safe campaign
+//	cofuzz -family random -checkpoint camp.json -resume    # pick up after a kill
+//	cofuzz -family random -cache-dir /var/cache/cosynth    # durable verification cache
+//	cofuzz -family random -shards 3 -kill-shard 40         # chaos: sever shard 0 mid-run
 //
 // A campaign sweeps (family × size × seed × derived error plan) cases on
 // a bounded worker pool, asserts the pipeline's end-to-end properties on
@@ -23,12 +27,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/batfish"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/faultinject"
 	"repro/internal/fuzz"
 	"repro/internal/llm"
 	"repro/internal/prof"
@@ -125,6 +134,16 @@ func main() {
 	replayPath := flag.String("replay", "", "replay the minimized counterexample of an existing report instead of running a campaign")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	checkpointPath := flag.String("checkpoint", "",
+		"snapshot completed case results to this file (atomically, after every case) so a killed campaign can resume")
+	resume := flag.Bool("resume", false,
+		"resume the campaign recorded at -checkpoint, reusing its completed case results and running only the remainder")
+	cacheDir := flag.String("cache-dir", "",
+		"durable verification-cache directory shared across campaign restarts and with cosynth/batfishd runs")
+	shards := flag.Int("shards", 0, "spawn N in-process shard servers and fan each case's checks over them")
+	killShard := flag.Int64("kill-shard", 0,
+		"with -shards: sever the first in-process shard after it serves N requests — the mid-run shard-kill "+
+			"chaos harness; the ring re-hashes its work onto the survivors and results must not change")
 	var restEndpoints string
 	flag.StringVar(&restEndpoints, "rest", "", "batfishd endpoint(s), comma-separated; several form a consistent-hash shard ring")
 	flag.Parse()
@@ -155,6 +174,33 @@ func main() {
 			log.Fatalf("cofuzz: -rest: %v", err)
 		}
 	}
+	var dcache *durable.Cache
+	if *cacheDir != "" {
+		dcache, err = durable.Open(*cacheDir, durable.Options{})
+		if err != nil {
+			log.Fatalf("cofuzz: -cache-dir: %v", err)
+		}
+	}
+	for i := 0; i < *shards; i++ {
+		// In-process shards mirror cosynth's: shared parse cache, the
+		// durable tier when -cache-dir is set, no scenario warmer. The
+		// first shard optionally carries the kill switch — after serving
+		// -kill-shard requests it severs every connection mid-flight,
+		// exercising retry, failover, and re-hash under a live campaign.
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			log.Fatalf("cofuzz: -shards: %v", lerr)
+		}
+		handler := http.Handler(rest.NewHandlerOpts(rest.HandlerOptions{
+			Parses: batfish.NewParseCache(), Durable: dcache}))
+		if i == 0 && *killShard > 0 {
+			handler = faultinject.AbortAfter(handler, *killShard)
+		}
+		srv := &http.Server{Handler: handler}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		endpoints = append(endpoints, "http://"+ln.Addr().String())
+	}
 	verifier, err := buildVerifier(endpoints)
 	if err != nil {
 		log.Fatalf("cofuzz: %v", err)
@@ -170,6 +216,9 @@ func main() {
 		Alphabet:      alphabet,
 		MaxIterations: *maxIterations,
 		Falsify:       *falsify,
+		Checkpoint:    *checkpointPath,
+		Resume:        *resume,
+		DurableCache:  dcache,
 	}
 	rep, err := campaign.Run(context.Background())
 	stopProfiles()

@@ -12,6 +12,9 @@
 //	cosynth -mode notransit -topo fat-tree:4 -shards 3        # in-process shard fleet
 //	cosynth -mode notransit -topo random:12 -seed 5           # seeded graph variant
 //	cosynth -mode notransit -errors fuzz.json                 # replay a cofuzz counterexample
+//	cosynth -mode notransit -cache-dir .cache                 # durable verification cache
+//	cosynth -mode notransit -topo random:40 -checkpoint ck.json -transcript run.txt
+//	cosynth -mode notransit -topo random:40 -checkpoint ck.json -resume   # after a kill
 //
 // The -topo argument names any registered scenario (star, ring,
 // full-mesh, fat-tree, dual-homed, multi-customer, random — see `netgen
@@ -52,6 +55,7 @@ import (
 	"repro/internal/batfish"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/fuzz"
 	"repro/internal/llm"
 	"repro/internal/netgen"
@@ -163,6 +167,17 @@ func main() {
 	verifierURL := flag.String("verifier", "", "deprecated alias for a single -rest endpoint")
 	inputPath := flag.String("config", "", "Cisco config to translate (default: bundled example)")
 	showConfigs := flag.Bool("print-configs", false, "print the final configuration(s)")
+	cacheDir := flag.String("cache-dir", "",
+		"durable verification-cache directory: results persist across runs and are shared with "+
+			"concurrent cosynth/cofuzz processes (also mounted into -shards servers)")
+	checkpointPath := flag.String("checkpoint", "",
+		"crash-checkpoint file: the repair loop snapshots progress here every iteration "+
+			"(parallel runs: after every completed router)")
+	resume := flag.Bool("resume", false,
+		"resume the run recorded at -checkpoint; the final transcript is byte-identical to an uninterrupted run")
+	transcriptPath := flag.String("transcript", "",
+		"also write the transcript, punted findings, and summary to this file — the deterministic "+
+			"run record, for diffing a resumed run against an uninterrupted one")
 	flag.Parse()
 	seedSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -191,16 +206,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("cosynth: -rest: %v", err)
 	}
+	var shardCache *durable.Cache
+	if *cacheDir != "" && *shards > 0 {
+		shardCache, err = durable.Open(*cacheDir, durable.Options{})
+		if err != nil {
+			log.Fatalf("cosynth: -cache-dir: %v", err)
+		}
+	}
 	for i := 0; i < *shards; i++ {
 		// Each in-process shard gets a shared parse cache (cross-request
 		// reuse) but no scenario warmer: warming would re-run the very
-		// synthesis this process is about to perform.
+		// synthesis this process is about to perform. With -cache-dir the
+		// shards also mount the durable tier, sharing it with the engine.
 		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
 		if lerr != nil {
 			log.Fatalf("cosynth: -shards: %v", lerr)
 		}
 		srv := &http.Server{Handler: rest.NewHandlerOpts(rest.HandlerOptions{
-			Parses: batfish.NewParseCache()})}
+			Parses: batfish.NewParseCache(), Durable: shardCache})}
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()
 		endpoints = append(endpoints, "http://"+ln.Addr().String())
@@ -222,7 +245,8 @@ func main() {
 			cfg = string(data)
 		}
 		res, err = repro.Translate(cfg, repro.TranslateOptions{
-			Seed: *seed, Verifier: verifier, DisableVerifierCache: *noCache})
+			Seed: *seed, Verifier: verifier, DisableVerifierCache: *noCache,
+			CacheDir: *cacheDir, CheckpointPath: *checkpointPath, Resume: *resume})
 	case "notransit":
 		name, size, perr := netgen.ParseScenarioArg(*topoName)
 		if perr != nil {
@@ -272,7 +296,8 @@ func main() {
 			Seed: *seed, Verifier: verifier, Parallelism: *parallel,
 			SuiteParallelism: *suiteParallel, DisableVerifierCache: *noCache,
 			ErrorPlan: plan, CompositionalGlobalCheck: compositional,
-			FalsificationSeed: *seed})
+			FalsificationSeed: *seed, CacheDir: *cacheDir,
+			CheckpointPath: *checkpointPath, Resume: *resume})
 	default:
 		log.Fatalf("cosynth: unknown mode %q", *mode)
 	}
@@ -309,6 +334,23 @@ func main() {
 		fmt.Println("=== Shards ===")
 		for _, st := range sharded.Stats() {
 			fmt.Println(" -", st)
+		}
+	}
+	if *transcriptPath != "" {
+		// The file holds only the run's deterministic record — transcript,
+		// punted findings, summary — never cache or timing stats, so a
+		// resumed run's file diffs clean against an uninterrupted run's.
+		var b strings.Builder
+		b.WriteString(res.Transcript.String())
+		if len(res.PuntedFindings) > 0 {
+			b.WriteString("=== Punted to human ===\n")
+			for _, p := range res.PuntedFindings {
+				b.WriteString(" - " + p + "\n")
+			}
+		}
+		b.WriteString(repro.Summary(*mode, res) + "\n")
+		if werr := os.WriteFile(*transcriptPath, []byte(b.String()), 0o644); werr != nil {
+			log.Fatalf("cosynth: -transcript: %v", werr)
 		}
 	}
 	if !res.Verified {

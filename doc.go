@@ -278,6 +278,60 @@
 // alphabet excludes it, so cofuzz doubles as a pipeline regression gate
 // (the CI smoke job runs one budgeted sweep per push).
 //
+// # Durability and crash recovery
+//
+// Every run so far assumed the process survives it; this layer removes
+// that assumption. The contract throughout: a crash — SIGKILL, OOM, a
+// severed verifier — costs wall-clock time, never results. Three
+// mechanisms carry it (benchmark E19, BenchmarkWarmRestart, measures
+// the first; the CI kill-resume-smoke job proves the second on a real
+// SIGKILL):
+//
+// Durable verification cache. internal/durable is a disk tier mounted
+// under the striped in-memory verification cache: content-addressed by
+// the same suite.Key (sha256 over the check's wire form) the memory
+// stripes and the batched protocol already use, written atomically
+// (temp file, fsync, rename), corruption quarantined rather than
+// trusted, and evicted oldest-first past a size bound. One directory
+// serves every process that touches verification — the engine
+// (Translate/Synthesize options CacheDir, cosynth/cofuzz -cache-dir),
+// batfishd -cache-dir, and the CLIs' in-process shards — so a restarted
+// run answers from disk what its predecessor already proved
+// (CacheStats.DiskHits/DiskWrites). The tier changes cost, never
+// results: the warm-restart tests re-prove byte-identical transcripts.
+//
+// Checkpoint and resume. With CheckpointPath set (cosynth -checkpoint),
+// the pipeline snapshots progress atomically after every save point:
+// per pipeline iteration in the sequential repair loop, per completed
+// router in the parallel pool, keyed by a RunKey hashed over the run's
+// coordinates so a checkpoint never resumes into a different run.
+// Restore is replay-based — the deterministic simulated LLM re-derives
+// its state from the recorded conversation, with an RNG-cursor check
+// guarding drift — so -resume picks up mid-run and finishes with a
+// transcript byte-identical to an uninterrupted one, proven across
+// every registry scenario, under repeated kills, and in parallel mode.
+// fuzz campaigns checkpoint the same way (cofuzz -checkpoint/-resume):
+// completed case results are reused verbatim and free — they bypass
+// even the wall-clock budget — and a knob hash refuses checkpoints from
+// campaigns that would have produced different outcomes. Crash seams
+// (core.CheckpointOptions.AbortAfterSaves, fuzz.Campaign.
+// AbortAfterCases) inject the kill deterministically in tests, and the
+// checkpoint writer itself is kill-tested at every syscall boundary.
+//
+// Transient-fault tolerance. The REST client classifies failures:
+// transport errors (connection refused, severed mid-body, timeouts)
+// retry up to MaxAttempts with capped full-jitter exponential backoff;
+// served errors and caller context cancellation do not — cancellation
+// propagates immediately as the bare context error without consuming
+// retry or failover budget. Above the client, the shard ring's failover
+// budget counts consecutive failures, reset on any served request, so a
+// long campaign against a slightly-flaky fleet does not accumulate
+// isolated timeouts into a spurious failover; cumulative counts remain
+// visible in ShardStat. internal/faultinject supplies the chaos side —
+// handler wrappers that sever connections after, before, or every N
+// requests — wired into cofuzz -kill-shard for mid-campaign shard
+// murder and into the failover and retry tests.
+//
 // # The stack
 //
 // Everything is implemented from scratch on the standard library:
@@ -301,7 +355,11 @@
 //     the two use-case compositions, and leverage accounting; and
 //   - the fuzz campaign engine (internal/fuzz, cmd/cofuzz): attachment-
 //     keyed error plans, the end-to-end oracle, and the two-axis
-//     shrinker.
+//     shrinker; and
+//   - the durability layer: the content-addressed disk cache tier
+//     (internal/durable), pipeline and campaign checkpoint/resume, REST
+//     retry with jittered backoff, and the connection-severing chaos
+//     wrappers (internal/faultinject).
 //
 // This package is the stable facade: the use-case entry points
 // (Translate, Synthesize, SynthesizeNoTransit), the topology registry

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -49,13 +50,27 @@ func IsTransportError(err error) bool {
 
 // ClientOptions tunes the REST client.
 type ClientOptions struct {
-	// Timeout bounds each request (default 30s). Batched requests carry a
-	// whole iteration's checks, so set it with the batch size in mind.
+	// Timeout bounds each request attempt (default 30s) — the per-attempt
+	// deadline of the retry loop. Batched requests carry a whole
+	// iteration's checks, so set it with the batch size in mind.
 	Timeout time.Duration
 	// MaxIdleConnsPerHost sizes the connection pool (default 16, against
 	// net/http's default of 2): concurrent suite checks and back-to-back
 	// batches reuse warm connections instead of opening one per check.
 	MaxIdleConnsPerHost int
+	// MaxAttempts bounds transport-layer attempts per request (default 3,
+	// 1 disables retries). Every check is a pure function of its inputs,
+	// so a request that died at the transport layer — connection refused,
+	// connection reset, attempt timeout — is safe to re-send; the client
+	// retries it with capped exponential backoff and jitter before the
+	// failure propagates to the failover layer. Served errors and caller
+	// context cancellation are never retried.
+	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry (default
+	// 50ms); each further retry doubles it.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff growth (default 2s).
+	RetryMaxDelay time.Duration
 }
 
 // Client calls the verification suite over HTTP. It implements
@@ -66,9 +81,17 @@ type ClientOptions struct {
 type Client struct {
 	base string
 	http *http.Client
+	// maxAttempts / retryBase / retryMax are the transport retry policy
+	// (see ClientOptions).
+	maxAttempts int
+	retryBase   time.Duration
+	retryMax    time.Duration
 	// calls counts HTTP round-trips issued, for round-trip accounting in
 	// benchmarks and tests.
 	calls atomic.Int64
+	// retries counts transport-layer attempts beyond each request's first
+	// — how much transient-fault riding the retry loop did.
+	retries atomic.Int64
 	// batchUnsupported latches after a 404/405 (no batch endpoint) or 400
 	// (batch dialect rejected, e.g. a protocol-version mismatch) from
 	// /v1/batch so an old server costs the probe exactly once.
@@ -105,16 +128,32 @@ func NewClientOpts(base string, opts ClientOptions) *Client {
 	if opts.MaxIdleConnsPerHost == 0 {
 		opts.MaxIdleConnsPerHost = 16
 	}
+	if opts.MaxAttempts == 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.RetryBaseDelay == 0 {
+		opts.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if opts.RetryMaxDelay == 0 {
+		opts.RetryMaxDelay = 2 * time.Second
+	}
 	transport := http.DefaultTransport.(*http.Transport).Clone()
 	transport.MaxIdleConnsPerHost = opts.MaxIdleConnsPerHost
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: opts.Timeout, Transport: transport},
+		base:        strings.TrimRight(base, "/"),
+		http:        &http.Client{Timeout: opts.Timeout, Transport: transport},
+		maxAttempts: opts.MaxAttempts,
+		retryBase:   opts.RetryBaseDelay,
+		retryMax:    opts.RetryMaxDelay,
 	}
 }
 
 // Calls returns the number of HTTP round-trips issued so far.
 func (c *Client) Calls() int64 { return c.calls.Load() }
+
+// Retries returns the number of transport-layer retry attempts issued —
+// round-trips beyond each request's first.
+func (c *Client) Retries() int64 { return c.retries.Load() }
 
 // post sends a JSON request and decodes the JSON response into out; the
 // returned status is valid whenever err is nil or the status was not OK.
@@ -123,9 +162,51 @@ func (c *Client) post(path string, in, out interface{}) (status int, err error) 
 }
 
 // postCtx is post with a request-scoped context. Transport-layer failures
-// come back as *TransportError so callers (the sharded client) can tell a
-// dead endpoint from a served error.
+// are retried with capped exponential backoff and jitter (the per-attempt
+// deadline is the client's Timeout) up to the MaxAttempts budget; a
+// failure that survives the budget comes back as *TransportError so
+// callers (the sharded client) can tell a dead endpoint from a served
+// error. Caller cancellation is different in kind: the ctx going away is
+// the caller's decision, not the endpoint's health, so it propagates
+// immediately as the bare context error — no retry, no backoff sleep,
+// and no *TransportError wrapper for the failover layer to misread as a
+// dead shard.
 func (c *Client) postCtx(ctx context.Context, path string, in, out interface{}) (status int, err error) {
+	delay := c.retryBase
+	for attempt := 1; ; attempt++ {
+		status, err = c.post1(ctx, path, in, out)
+		if err == nil || !IsTransportError(err) {
+			return status, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return status, cerr
+		}
+		if attempt >= c.maxAttempts {
+			return status, err
+		}
+		c.retries.Add(1)
+		// Full jitter over the capped exponential window: concurrent
+		// retries against one recovering endpoint spread out instead of
+		// stampeding it in lockstep.
+		if delay > c.retryMax {
+			delay = c.retryMax
+		}
+		sleep := time.Duration(rand.Int64N(int64(delay))) + delay/2
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return status, ctx.Err()
+		case <-t.C:
+		}
+		delay *= 2
+	}
+}
+
+// post1 issues one attempt of a JSON POST. Transport-layer failures come
+// back as *TransportError; caller cancellation comes back as the bare
+// context error.
+func (c *Client) post1(ctx context.Context, path string, in, out interface{}) (status int, err error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, fmt.Errorf("encoding %s request: %w", path, err)
@@ -138,11 +219,17 @@ func (c *Client) postCtx(ctx context.Context, path string, in, out interface{}) 
 	c.calls.Add(1)
 	resp, err := c.http.Do(req)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
 		return 0, &TransportError{Path: path, Err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return resp.StatusCode, cerr
+		}
 		return resp.StatusCode, &TransportError{Path: path, Err: err}
 	}
 	if resp.StatusCode != http.StatusOK {

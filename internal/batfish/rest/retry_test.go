@@ -1,0 +1,137 @@
+package rest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/suite"
+)
+
+// retryTestOpts keeps the backoff sleeps out of the test's wall clock.
+func retryTestOpts() ClientOptions {
+	return ClientOptions{
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  4 * time.Millisecond,
+	}
+}
+
+// TestRetryRidesOutTransientFault starts a server whose first two
+// requests die at the transport layer — a backend mid-restart — and
+// expects the client to ride the fault out within its default attempt
+// budget, with the retries accounted.
+func TestRetryRidesOutTransientFault(t *testing.T) {
+	srv := httptest.NewServer(faultinject.AbortFirst(NewHandler(), 2))
+	defer srv.Close()
+	c := NewClientOpts(srv.URL, retryTestOpts())
+	if _, err := c.CheckSyntax("hostname R1\n"); err != nil {
+		t.Fatalf("transient fault not ridden out: %v", err)
+	}
+	if got := c.Retries(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := c.Calls(); got != 3 {
+		t.Errorf("calls = %d, want 3 (two aborted + one served)", got)
+	}
+}
+
+// TestRetryBudgetExhausted points the client at a server that kills
+// every request: the failure must propagate as a *TransportError after
+// exactly MaxAttempts round-trips, so the failover layer above sees one
+// classified failure, not an unbounded stall.
+func TestRetryBudgetExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer srv.Close()
+	opts := retryTestOpts()
+	opts.MaxAttempts = 3
+	c := NewClientOpts(srv.URL, opts)
+	_, err := c.CheckSyntax("hostname R1\n")
+	if !IsTransportError(err) {
+		t.Fatalf("exhausted retries did not yield a transport error: %v", err)
+	}
+	if got := c.Calls(); got != 3 {
+		t.Errorf("calls = %d, want 3 attempts", got)
+	}
+}
+
+// TestCallerCancellationPropagatesImmediately cancels the caller's
+// context while the server sits on the request. The cancellation must
+// come back as the bare context error — not a *TransportError, which the
+// sharded client would misread as a dead shard — and must not consume
+// retry attempts: one round-trip, no retries.
+func TestCallerCancellationPropagatesImmediately(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+	c := NewClientOpts(srv.URL, retryTestOpts())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.CheckBatch(ctx, []suite.Check{{Kind: suite.KindSyntax, Config: "hostname R1\n"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if IsTransportError(err) {
+		t.Error("caller cancellation came back wrapped as a transport error")
+	}
+	if got := c.Calls(); got != 1 {
+		t.Errorf("calls = %d, want 1 — a cancelled request must not be retried", got)
+	}
+}
+
+// TestFlakyShardSurvivesWithBudgetReset runs a fleet whose first shard
+// drops every second batch request but always recovers. Each drop is
+// followed by a success, so with the consecutive-failure budget the
+// shard must never be failed over — cumulative isolated faults are not
+// shard death. Client-side retries are disabled to expose every fault to
+// the failover layer.
+func TestFlakyShardSurvivesWithBudgetReset(t *testing.T) {
+	inner := NewHandler()
+	var batches atomic.Int64
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Only batch traffic is flaky: the health endpoint stays reliable,
+		// so the failover decision rests on the failure budget alone.
+		if r.URL.Path == PathBatch && batches.Add(1)%2 == 0 {
+			panic(http.ErrAbortHandler)
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv0 := httptest.NewServer(flaky)
+	defer srv0.Close()
+	srv1 := httptest.NewServer(NewHandler())
+	defer srv1.Close()
+	opts := retryTestOpts()
+	opts.MaxAttempts = 1
+	sc, err := NewShardedClientOpts([]string{srv0.URL, srv1.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		checks := []suite.Check{{Kind: suite.KindSyntax,
+			Config: fmt.Sprintf("hostname R%d\n", i)}}
+		if _, err := sc.CheckBatch(context.Background(), checks); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	for _, st := range sc.Stats() {
+		if st.Dead {
+			t.Errorf("flaky-but-recovering shard was failed over: %s", st)
+		}
+	}
+}

@@ -10,9 +10,11 @@ import (
 
 	"repro/internal/batfish"
 	"repro/internal/campion"
+	"repro/internal/durable"
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
 	"repro/internal/netgen"
+	"repro/internal/suite"
 	"repro/internal/topology"
 )
 
@@ -49,6 +51,13 @@ type HandlerOptions struct {
 	// validates the family and reports its shape); without a warmer it
 	// simply warms nothing.
 	Warmer ScenarioWarmer
+	// Durable, when set, answers batched checks from a disk cache keyed by
+	// suite.Key and persists computed results into it — the same
+	// content-addressed store the engine's CachedVerifier mounts, so a
+	// restarted shard (or a whole fleet sharing a directory) comes back
+	// warm instead of re-verifying every revision it had already seen.
+	// Per-check errors are never cached.
+	Durable *durable.Cache
 }
 
 // NewHandler returns the HTTP handler serving the verification suite with
@@ -72,7 +81,7 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	mux.HandleFunc(PathSearch, handleSearch)
 	warms := &scenarioWarms{done: map[string]int{}, regs: map[string]*scenarioRegistry{}}
 	mux.HandleFunc(PathBatch, func(w http.ResponseWriter, r *http.Request) {
-		handleBatch(w, r, opts.BatchWorkers, opts.Parses, warms)
+		handleBatch(w, r, opts.BatchWorkers, opts.Parses, warms, opts.Durable)
 	})
 	mux.HandleFunc(PathScenario, func(w http.ResponseWriter, r *http.Request) {
 		handleScenario(w, r, opts.Parses, opts.Warmer, warms)
@@ -261,6 +270,38 @@ func evalBatchCheck(c BatchCheck, parses *netcfg.ParseCache) BatchResult {
 	}
 }
 
+// evalBatchCheckDurable answers one batched check through the server's
+// mounted disk cache: a hit (decoded from the content-addressed entry)
+// skips the evaluation entirely, a miss computes and — unless the check
+// itself was malformed — persists. The cache key is suite.Key over the
+// check's resolved form, the same identity the engine's client-side cache
+// uses, so a cosynth run and the shard it talks to can share one
+// directory without double-keying. Decode failures fall through to
+// recomputation; disk write failures are swallowed (a full disk degrades
+// the shard to uncached, it does not fail the batch).
+func evalBatchCheckDurable(c BatchCheck, parses *netcfg.ParseCache, d *durable.Cache) BatchResult {
+	key := suite.Key(suite.Check{
+		Kind:     suite.Kind(c.Kind),
+		Config:   c.Config,
+		Original: c.Original,
+		Spec:     c.Spec,
+		Req:      c.Requirement,
+	})
+	if payload, ok := d.Get(key); ok {
+		var res BatchResult
+		if err := json.Unmarshal(payload, &res); err == nil && res.Error == "" {
+			return res
+		}
+	}
+	res := evalBatchCheck(c, parses)
+	if res.Error == "" {
+		if payload, err := json.Marshal(res); err == nil {
+			_ = d.Put(key, payload)
+		}
+	}
+	return res
+}
+
 // resolveBatchRefs substitutes the registry bodies for the request's
 // SpecRef/ReqRef references (batch protocol v3). An unresolvable ref —
 // no scenario named, no registry for it, or a digest the registry does
@@ -318,7 +359,7 @@ func resolveBatchRefs(req *BatchRequest, warms *scenarioWarms) error {
 // request-scoped parse cache so scenario pre-warms and earlier requests'
 // parses are reused.
 func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *netcfg.ParseCache,
-	warms *scenarioWarms) {
+	warms *scenarioWarms, disk *durable.Cache) {
 	var req BatchRequest
 	if !decode(w, r, &req) {
 		return
@@ -344,13 +385,19 @@ func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *ne
 	if parses == nil {
 		parses = batfish.NewParseCache()
 	}
+	eval := func(c BatchCheck) BatchResult {
+		if disk != nil {
+			return evalBatchCheckDurable(c, parses, disk)
+		}
+		return evalBatchCheck(c, parses)
+	}
 	results := make([]BatchResult, len(req.Checks))
 	if workers > len(req.Checks) {
 		workers = len(req.Checks)
 	}
 	if workers <= 1 {
 		for i, c := range req.Checks {
-			results[i] = evalBatchCheck(c, parses)
+			results[i] = eval(c)
 		}
 	} else {
 		jobs := make(chan int)
@@ -360,7 +407,7 @@ func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *ne
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i] = evalBatchCheck(req.Checks[i], parses)
+					results[i] = eval(req.Checks[i])
 				}
 			}()
 		}

@@ -32,9 +32,18 @@ type shard struct {
 
 	dead     atomic.Bool
 	batches  atomic.Int64 // batched round-trips attempted against this shard
-	failures atomic.Int64 // transport failures observed
+	failures atomic.Int64 // transport failures observed (cumulative)
+	streak   atomic.Int64 // consecutive transport failures; a success resets it
 	batchNS  atomic.Int64 // cumulative latency of batched round-trips
 }
+
+// noteSuccess records a served request: the shard is demonstrably alive,
+// so its consecutive-failure budget starts over. Without the reset a
+// long run against a slightly flaky fleet would accumulate isolated
+// timeouts until every shard crossed the budget and was failed over —
+// the budget is meant to catch a shard that is failing now, not one that
+// ever failed.
+func (s *shard) noteSuccess() { s.streak.Store(0) }
 
 // ShardStat is one shard's counters, for benchmarks and diagnostics.
 type ShardStat struct {
@@ -45,8 +54,12 @@ type ShardStat struct {
 	Calls int64
 	// Batches is the number of batched round-trips attempted.
 	Batches int64
-	// Failures is the number of transport failures observed.
+	// Failures is the number of transport failures observed (cumulative;
+	// the failover budget tracks the consecutive streak separately).
 	Failures int64
+	// Retries is the number of transport-layer retry attempts the shard's
+	// client issued riding out transient faults.
+	Retries int64
 	// Latency is the cumulative wall-clock of the batched round-trips.
 	Latency time.Duration
 	// Dead reports the shard is currently failed over.
@@ -59,8 +72,8 @@ func (s ShardStat) String() string {
 	if s.Dead {
 		state = "DEAD"
 	}
-	return fmt.Sprintf("%s: %d calls, %d batches (%v), %d failures, %s",
-		s.Endpoint, s.Calls, s.Batches, s.Latency, s.Failures, state)
+	return fmt.Sprintf("%s: %d calls, %d batches (%v), %d failures, %d retries, %s",
+		s.Endpoint, s.Calls, s.Batches, s.Latency, s.Failures, s.Retries, state)
 }
 
 // ringPoint is one virtual node: a position on the hash ring owned by a
@@ -281,6 +294,7 @@ func (s *ShardedClient) Stats() []ShardStat {
 			Calls:    sh.client.Calls(),
 			Batches:  sh.batches.Load(),
 			Failures: sh.failures.Load(),
+			Retries:  sh.client.Retries(),
 			Latency:  time.Duration(sh.batchNS.Load()),
 			Dead:     sh.dead.Load(),
 		}
@@ -311,20 +325,22 @@ func (s *ShardedClient) Health() error {
 	return nil
 }
 
-// maxTransportFailures is the per-shard failure budget: a shard that
-// keeps failing at the transport layer is failed over even when its
-// health endpoint still answers, so a wedged shard cannot stall a run
-// with endless retries.
+// maxTransportFailures is the per-shard consecutive-failure budget: a
+// shard that keeps failing at the transport layer is failed over even
+// when its health endpoint still answers, so a wedged shard cannot stall
+// a run with endless retries. A served request resets the streak (see
+// noteSuccess) — only failures with no success in between count.
 const maxTransportFailures = 3
 
 // noteTransportFailure records a transport failure and decides whether to
 // fail the shard over. A quick health probe distinguishes a dead endpoint
 // (probe fails → failed over immediately) from a slow-but-alive one — a
 // client-side timeout on a big batch must not cascade a loaded fleet into
-// "all shards dead" — but an alive shard that exhausts its failure budget
-// is failed over anyway.
+// "all shards dead" — but an alive shard that exhausts its consecutive
+// failure budget is failed over anyway.
 func (s *shard) noteTransportFailure() {
-	if s.failures.Add(1) >= maxTransportFailures || s.client.Health() != nil {
+	s.failures.Add(1)
+	if s.streak.Add(1) >= maxTransportFailures || s.client.Health() != nil {
 		s.dead.Store(true)
 	}
 }
@@ -401,6 +417,7 @@ func (s *ShardedClient) CheckBatch(ctx context.Context, checks []suite.Check) ([
 		for _, oc := range outcomes {
 			switch {
 			case oc.err == nil:
+				s.shards[oc.shard].noteSuccess()
 			case IsTransportError(oc.err):
 				// The shard is down: fail it over and re-hash its checks
 				// onto the survivors next round.
@@ -427,6 +444,7 @@ func (s *ShardedClient) withFailover(key string, fn func(c *Client) error) error
 		}
 		err := fn(s.shards[si].client)
 		if err == nil {
+			s.shards[si].noteSuccess()
 			return nil
 		}
 		if !IsTransportError(err) {
@@ -564,6 +582,7 @@ func (s *ShardedClient) WarmScenario(scenario string, seed int64) (shardsWarmed 
 			}
 			switch {
 			case werr == nil:
+				sh.noteSuccess()
 				// A server with no warmer configured answers 200 with zero
 				// warmed configs; that shard validated the family but
 				// warmed nothing, so it does not count — unless it

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/batfish"
 	"repro/internal/campion"
+	"repro/internal/durable"
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
 	"repro/internal/suite"
@@ -51,12 +52,22 @@ type CacheStats struct {
 	// the individual checks they carried.
 	Prefetches    uint64
 	BatchedChecks uint64
+	// DiskHits counts checks the durable disk tier answered after the
+	// memory stripes missed (each still counts toward Hits — the backend
+	// was spared), and DiskWrites the results persisted to it. Both stay
+	// zero without a mounted durable cache.
+	DiskHits   uint64
+	DiskWrites uint64
 }
 
 // String renders the counters.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cache: %d hits / %d misses, %d prefetch round-trips (%d checks)",
+	base := fmt.Sprintf("cache: %d hits / %d misses, %d prefetch round-trips (%d checks)",
 		s.Hits, s.Misses, s.Prefetches, s.BatchedChecks)
+	if s.DiskHits > 0 || s.DiskWrites > 0 {
+		base += fmt.Sprintf(", disk tier: %d hits / %d writes", s.DiskHits, s.DiskWrites)
+	}
+	return base
 }
 
 // CachedVerifier memoizes the per-config checks of a Verifier — syntax,
@@ -90,10 +101,17 @@ type CachedVerifier struct {
 
 	shards [cacheShards]cacheShard
 
+	// disk is the optional durable tier underneath the memory stripes
+	// (see SetDurable): an in-memory miss consults it before dispatching
+	// to the backend, and every backend result is persisted to it.
+	disk *durable.Cache
+
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	prefetches    atomic.Uint64
 	batchedChecks atomic.Uint64
+	diskHits      atomic.Uint64
+	diskWrites    atomic.Uint64
 }
 
 // cacheShards is the stripe count of the memoized-result map. 64 shards
@@ -146,6 +164,16 @@ func NewCachedVerifier(v Verifier) *CachedVerifier {
 // prefetching pays for itself.
 func (c *CachedVerifier) Batched() bool { return c.backend.Capabilities().Batched }
 
+// SetDurable mounts a disk-backed tier under the memory stripes: an
+// in-memory miss consults it (a hit is decoded, promoted into memory, and
+// served without touching the backend), and every result the backend
+// computes is persisted into it, so later runs — and concurrent processes
+// sharing the directory — restart warm. nil unmounts. The disk tier never
+// changes a result: entries are content-addressed by suite.Key and results
+// are pure functions of the keyed inputs, so transcripts stay
+// byte-identical whether a result came from memory, disk, or the backend.
+func (c *CachedVerifier) SetDurable(d *durable.Cache) { c.disk = d }
+
 // Stats returns the cache counters.
 func (c *CachedVerifier) Stats() CacheStats {
 	return CacheStats{
@@ -153,40 +181,17 @@ func (c *CachedVerifier) Stats() CacheStats {
 		Misses:        c.misses.Load(),
 		Prefetches:    c.prefetches.Load(),
 		BatchedChecks: c.batchedChecks.Load(),
+		DiskHits:      c.diskHits.Load(),
+		DiskWrites:    c.diskWrites.Load(),
 	}
 }
 
-// key derives the memoization key for a check: a hash over the kind and
-// every input that determines the result. Local-policy keys hash the full
-// requirement JSON, which since the attachment refactor includes the
-// per-attachment identity (lightyear.Requirement.Attachment) — so two
-// obligations that differ only in which attachment of a dual-homed router
-// they constrain memoize independently, and each attachment is its own
-// unit of incremental re-verification.
-func (c *CachedVerifier) key(check SuiteCheck) [sha256.Size]byte {
-	h := sha256.New()
-	h.Write([]byte(check.Kind))
-	h.Write([]byte{0})
-	h.Write([]byte(check.Config))
-	h.Write([]byte{0})
-	h.Write([]byte(check.Original))
-	if check.Spec != nil {
-		// The JSON encoding is a stable serialization of the spec.
-		b, _ := json.Marshal(check.Spec)
-		h.Write([]byte{0})
-		h.Write(b)
-	}
-	if check.Req != nil {
-		b, _ := json.Marshal(check.Req)
-		h.Write([]byte{1})
-		h.Write(b)
-	}
-	var key [sha256.Size]byte
-	h.Sum(key[:0])
-	return key
-}
-
-// lookup returns the memoized result for a check, if present.
+// lookup returns the memoized result for a check, if present: first the
+// memory stripe, then — on a mounted durable tier — the disk, promoting a
+// disk hit into memory so it is paid for once per process. A disk entry
+// that fails to decode is treated as a miss (the durable layer already
+// quarantined anything failing its checksum; a decode failure here means a
+// format drift and must fall through to recomputation, not crash).
 func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
@@ -194,23 +199,55 @@ func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, bool) {
 	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		return res, true
 	}
-	return res, ok
+	if c.disk != nil {
+		if payload, ok := c.disk.Get(key); ok {
+			var dres SuiteResult
+			if err := json.Unmarshal(payload, &dres); err == nil {
+				c.hits.Add(1)
+				c.diskHits.Add(1)
+				s.mu.Lock()
+				s.results[key] = dres
+				s.mu.Unlock()
+				return dres, true
+			}
+		}
+	}
+	return SuiteResult{}, false
 }
 
-// store memoizes one result.
+// store memoizes one backend-computed result, persisting it through the
+// durable tier when one is mounted. Disk failures are deliberately
+// swallowed: a full or read-only disk downgrades the run to memory-only
+// caching, it does not fail verification.
 func (c *CachedVerifier) store(key [sha256.Size]byte, res SuiteResult) {
 	c.misses.Add(1)
 	s := c.shard(key)
 	s.mu.Lock()
 	s.results[key] = res
 	s.mu.Unlock()
+	c.persist(key, res)
+}
+
+// persist writes one result to the durable tier, if mounted.
+func (c *CachedVerifier) persist(key [sha256.Size]byte, res SuiteResult) {
+	if c.disk == nil {
+		return
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	if c.disk.Put(key, payload) == nil {
+		c.diskWrites.Add(1)
+	}
 }
 
 // check answers one suite check through the cache, dispatching misses
 // onto the backend seam as a batch of one.
 func (c *CachedVerifier) check(sc SuiteCheck) (SuiteResult, error) {
-	key := c.key(sc)
+	key := suite.Key(sc)
 	if res, ok := c.lookup(key); ok {
 		return res, nil
 	}
@@ -237,16 +274,12 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 	var keys [][sha256.Size]byte
 	seen := map[[sha256.Size]byte]bool{}
 	for _, sc := range checks {
-		key := c.key(sc)
+		key := suite.Key(sc)
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		s := c.shard(key)
-		s.mu.RLock()
-		_, ok := s.results[key]
-		s.mu.RUnlock()
-		if !ok {
+		if !c.cached(key) {
 			missing = append(missing, sc)
 			keys = append(keys, key)
 		}
@@ -269,8 +302,36 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 		s.mu.Lock()
 		s.results[keys[i]] = res
 		s.mu.Unlock()
+		c.persist(keys[i], res)
 	}
 	return nil
+}
+
+// cached reports whether a key is answerable without the backend,
+// promoting a disk-tier entry into memory on the way — the prefetch probe,
+// which must not ship disk-warm checks to the backend but also must not
+// count a memory hit the eventual lookup will count itself.
+func (c *CachedVerifier) cached(key [sha256.Size]byte) bool {
+	s := c.shard(key)
+	s.mu.RLock()
+	_, ok := s.results[key]
+	s.mu.RUnlock()
+	if ok || c.disk == nil {
+		return ok
+	}
+	payload, ok := c.disk.Get(key)
+	if !ok {
+		return false
+	}
+	var res SuiteResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return false
+	}
+	c.diskHits.Add(1)
+	s.mu.Lock()
+	s.results[key] = res
+	s.mu.Unlock()
+	return true
 }
 
 // CheckSyntax implements Verifier.

@@ -75,6 +75,18 @@ type Pipeline struct {
 	// WrapManual adapts a manual correction before it is sent (synthesis
 	// prefixes "For router X:"); nil sends it verbatim.
 	WrapManual func(f *Finding, manual string) string
+	// saver, when set, snapshots the loop's progress at the top of every
+	// iteration — before the iteration counter ticks — so a crash anywhere
+	// inside the iteration resumes by redoing that whole iteration (the
+	// verify/prompt cycle is deterministic, so the redo reproduces the
+	// killed run byte for byte). An error from the saver aborts the loop;
+	// the crash-injection seam (CheckpointOptions.AbortAfterSaves) uses
+	// exactly that path to simulate a kill.
+	saver func(iter int, attempts map[string]int) error
+	// resume re-enters the loop mid-run: the iteration to continue from
+	// and the attempt budgets consumed before the snapshot. The session
+	// must have been restored to the matching snapshot separately.
+	resume *pipelineState
 }
 
 // RunPipeline drives the generic verify → humanize → reprompt repair loop
@@ -86,7 +98,19 @@ type Pipeline struct {
 // Both Translate and Synthesize compose their loops from this driver.
 func RunPipeline(sess *session, configs map[string]string, p Pipeline) (verified bool, err error) {
 	attempts := map[string]int{}
-	for iter := 0; iter < p.MaxIterations; iter++ {
+	start := 0
+	if p.resume != nil {
+		start = p.resume.Iteration
+		if p.resume.Attempts != nil {
+			attempts = p.resume.Attempts
+		}
+	}
+	for iter := start; iter < p.MaxIterations; iter++ {
+		if p.saver != nil {
+			if err := p.saver(iter, attempts); err != nil {
+				return false, err
+			}
+		}
 		sess.iterations++
 		if err := p.prefetch(configs); err != nil {
 			return false, err

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/batfish"
+	"repro/internal/durable"
 	"repro/internal/humanizer"
 	"repro/internal/lightyear"
 	"repro/internal/llm"
@@ -64,6 +65,15 @@ type SynthOptions struct {
 	// the paper's behaviour of re-verifying every router's configuration
 	// on every iteration (the E14 baseline).
 	DisableCache bool
+	// DurableCache mounts a disk-backed tier under the verification cache
+	// (see CachedVerifier.SetDurable): results persist across process
+	// restarts and are shared with any concurrent run or resumed run
+	// pointed at the same directory. Ignored under DisableCache.
+	DurableCache *durable.Cache
+	// Checkpoint periodically snapshots repair-loop progress to an
+	// atomically-written file so a killed run can resume (see
+	// CheckpointOptions). Nil disables checkpointing.
+	Checkpoint *CheckpointOptions
 	// GlobalCheck selects the final whole-network check (see
 	// GlobalCheckMode). The zero value runs the paper-faithful full BGP
 	// simulation; GlobalCheckCompositional runs the verified-local-specs
@@ -164,6 +174,14 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("synthesize: options require a model")
 	}
+	ck, err := newCheckpointer(opts.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	resumed, err := ck.load()
+	if err != nil {
+		return nil, err
+	}
 	// One incremental-verification cache for the whole run: it is shared
 	// by the parallel per-router workers and by the final global check, so
 	// a configuration revision is verified (and parsed) once no matter how
@@ -171,28 +189,54 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	var cache *CachedVerifier
 	if !opts.DisableCache {
 		cache = NewCachedVerifier(opts.Verifier)
+		cache.SetDurable(opts.DurableCache)
 		opts.Verifier = cache
 	}
 	sess := newSession(opts.Model, opts.IIP)
 
-	// The paper "begin[s] by specifying the task to GPT in an initial
-	// prompt using a couple of sentences" (§4.1) — a human prompt.
-	kickoff := "We are going to configure a network of routers. The goal is a no-transit " +
-		"policy: no two ISPs should be able to reach each other through this network, but " +
-		"all ISPs and the CUSTOMER should be able to reach each other. I will describe " +
-		"each router in turn; generate its Cisco IOS configuration file."
-	if _, _, err := sess.send(Human, StageTask, "kickoff", kickoff); err != nil {
-		return nil, err
-	}
-
 	tasks := modularizer.Tasks(topo)
 	var configs map[string]string
-	var verified bool
-	var err error
-	if opts.Parallelism > 1 {
-		configs, verified, err = synthesizeParallel(sess, topo, tasks, opts)
+	var ps *pipelineState
+	if opts.Parallelism <= 1 && resumed != nil {
+		// Sequential resume: the checkpointed conversation — kickoff,
+		// modularizer prompts, every repair exchange up to the snapshot —
+		// is restored verbatim and replayed through the model, so the loop
+		// re-enters exactly where the killed process stood.
+		sessState, pstate, cfgs, cursor, rerr := resumeSequential(resumed, phaseSynthSequential)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if err := restoreSession(sess, sessState); err != nil {
+			return nil, err
+		}
+		if err := checkCursor(sess.model, cursor); err != nil {
+			return nil, err
+		}
+		configs = cfgs
+		ps = pstate
 	} else {
-		configs, verified, err = synthesizeSequential(sess, topo, tasks, opts)
+		// The paper "begin[s] by specifying the task to GPT in an initial
+		// prompt using a couple of sentences" (§4.1) — a human prompt. A
+		// parallel resume re-sends it: the main session is rebuilt fresh
+		// (worker sessions are private), and the kickoff is deterministic.
+		kickoff := "We are going to configure a network of routers. The goal is a no-transit " +
+			"policy: no two ISPs should be able to reach each other through this network, but " +
+			"all ISPs and the CUSTOMER should be able to reach each other. I will describe " +
+			"each router in turn; generate its Cisco IOS configuration file."
+		if _, _, err := sess.send(Human, StageTask, "kickoff", kickoff); err != nil {
+			return nil, err
+		}
+	}
+
+	var verified bool
+	if opts.Parallelism > 1 {
+		if resumed != nil && resumed.Phase != phaseSynthParallel {
+			return nil, fmt.Errorf("resume: checkpoint is a %s snapshot, this run is %s",
+				resumed.Phase, phaseSynthParallel)
+		}
+		configs, verified, err = synthesizeParallel(sess, topo, tasks, opts, ck, resumed)
+	} else {
+		configs, verified, err = synthesizeSequential(sess, topo, tasks, opts, ck, configs, ps)
 	}
 	if err != nil {
 		return nil, err
@@ -276,18 +320,28 @@ func parseDevices(v Verifier, topo *topology.Topology,
 
 // synthesizeSequential is the paper's loop: modularizer prompts for every
 // router first, then one repair pipeline scanning all routers per stage.
+// A resume arrives with the checkpointed configurations (resumedConfigs)
+// and loop position (ps) already unpacked — the modularizer prompts are
+// part of the restored conversation and are not re-sent.
 func synthesizeSequential(sess *session, topo *topology.Topology,
-	tasks []modularizer.Task, opts SynthOptions) (map[string]string, bool, error) {
-	// Modularizer prompts: one automated prompt per router (§2).
-	configs := map[string]string{}
-	for _, task := range tasks {
-		resp, _, err := sess.send(Automated, StageTask, task.Router, task.Prompt)
-		if err != nil {
-			return nil, false, err
+	tasks []modularizer.Task, opts SynthOptions, ck *checkpointer,
+	resumedConfigs map[string]string, ps *pipelineState) (map[string]string, bool, error) {
+	configs := resumedConfigs
+	if configs == nil {
+		// Modularizer prompts: one automated prompt per router (§2).
+		configs = map[string]string{}
+		for _, task := range tasks {
+			resp, _, err := sess.send(Automated, StageTask, task.Router, task.Prompt)
+			if err != nil {
+				return nil, false, err
+			}
+			configs[task.Router] = resp
 		}
-		configs[task.Router] = resp
 	}
-	verified, err := RunPipeline(sess, configs, synthPipeline(opts.Verifier, topo, tasks, opts))
+	p := synthPipeline(opts.Verifier, topo, tasks, opts)
+	p.saver = ck.sequentialSaver(phaseSynthSequential, sess, configs)
+	p.resume = ps
+	verified, err := RunPipeline(sess, configs, p)
 	return configs, verified, err
 }
 
@@ -314,11 +368,56 @@ type routerOutcome struct {
 // the workers interleave. Unlike the sequential loop, MaxIterations and a
 // human-oracle give-up are scoped per router here (see SynthOptions).
 func synthesizeParallel(sess *session, topo *topology.Topology,
-	tasks []modularizer.Task, opts SynthOptions) (map[string]string, bool, error) {
+	tasks []modularizer.Task, opts SynthOptions, ck *checkpointer,
+	resumed *checkpointFile) (map[string]string, bool, error) {
 	forker, _ := sess.model.(llm.Forker)
 	var shared llm.Model
 	if forker == nil {
+		if ck != nil {
+			// A shared stateful model's responses depend on cross-router
+			// order; skipping checkpointed routers would silently shift the
+			// remaining conversations. Refuse rather than checkpoint
+			// something that cannot be resumed faithfully.
+			return nil, false, fmt.Errorf("checkpoint: parallel synthesis requires a forkable model")
+		}
 		shared = &lockedModel{model: sess.model}
+	}
+	// Routers already completed by the killed run: their outcomes are
+	// reused verbatim, only the remainder is repaired. Each worker session
+	// is private to its router, so per-router granularity is the natural
+	// checkpoint unit here.
+	done := map[string]routerSnapshot{}
+	if resumed != nil && resumed.Routers != nil {
+		done = resumed.Routers
+	}
+	completed := struct {
+		sync.Mutex
+		m map[string]routerSnapshot
+	}{m: map[string]routerSnapshot{}}
+	for k, v := range done {
+		completed.m[k] = v
+	}
+	// record snapshots the accumulated outcomes after one more router
+	// completed. The copy under the lock keeps the serialized map stable
+	// while other workers keep finishing.
+	record := func(router string, out routerOutcome) error {
+		if ck == nil || out.err != nil {
+			return nil
+		}
+		completed.Lock()
+		completed.m[router] = routerSnapshot{
+			Config:     out.config,
+			Transcript: out.transcript,
+			Punted:     out.punted,
+			Iterations: out.iterations,
+			Verified:   out.verified,
+		}
+		snap := make(map[string]routerSnapshot, len(completed.m))
+		for k, v := range completed.m {
+			snap[k] = v
+		}
+		completed.Unlock()
+		return ck.save(&checkpointFile{Phase: phaseSynthParallel, Routers: snap, RNGCursor: -1})
 	}
 	outcomes := make([]routerOutcome, len(tasks))
 	jobs := make(chan int)
@@ -332,11 +431,25 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if snap, ok := done[tasks[i].Router]; ok {
+					outcomes[i] = routerOutcome{
+						config:     snap.Config,
+						transcript: snap.Transcript,
+						punted:     snap.Punted,
+						iterations: snap.Iterations,
+						verified:   snap.Verified,
+					}
+					continue
+				}
 				model := shared
 				if forker != nil {
 					model = forker.Fork()
 				}
-				outcomes[i] = repairRouter(model, topo, tasks[i], opts)
+				out := repairRouter(model, topo, tasks[i], opts)
+				if err := record(tasks[i].Router, out); err != nil {
+					out.err = err
+				}
+				outcomes[i] = out
 			}
 		}()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/campion"
+	"repro/internal/durable"
 	"repro/internal/humanizer"
 	"repro/internal/llm"
 )
@@ -30,6 +31,13 @@ type TranslateOptions struct {
 	// the seed behaviour of re-parsing and re-verifying the translation on
 	// every iteration.
 	DisableCache bool
+	// DurableCache mounts a disk-backed tier under the verification cache
+	// (see CachedVerifier.SetDurable). Ignored under DisableCache.
+	DurableCache *durable.Cache
+	// Checkpoint periodically snapshots repair-loop progress to an
+	// atomically-written file so a killed run can resume (see
+	// CheckpointOptions). Nil disables checkpointing.
+	Checkpoint *CheckpointOptions
 }
 
 func (o *TranslateOptions) fill() {
@@ -63,22 +71,47 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("translate: options require a model")
 	}
+	ck, err := newCheckpointer(opts.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	resumed, err := ck.load()
+	if err != nil {
+		return nil, err
+	}
 	var cache *CachedVerifier
 	if !opts.DisableCache {
 		cache = NewCachedVerifier(opts.Verifier)
+		cache.SetDurable(opts.DurableCache)
 		opts.Verifier = cache
 	}
 	sess := newSession(opts.Model, opts.IIP)
 
-	taskPrompt := "Translate the following Cisco configuration into an equivalent " +
-		"Juniper configuration.\n\n" + ciscoConfig
-	current, _, err := sess.send(Human, StageTask, translationTarget, taskPrompt)
-	if err != nil {
-		return nil, err
+	var configs map[string]string
+	var ps *pipelineState
+	if resumed != nil {
+		sessState, pstate, cfgs, cursor, rerr := resumeSequential(resumed, phaseTranslate)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if err := restoreSession(sess, sessState); err != nil {
+			return nil, err
+		}
+		if err := checkCursor(sess.model, cursor); err != nil {
+			return nil, err
+		}
+		configs = cfgs
+		ps = pstate
+	} else {
+		taskPrompt := "Translate the following Cisco configuration into an equivalent " +
+			"Juniper configuration.\n\n" + ciscoConfig
+		current, _, serr := sess.send(Human, StageTask, translationTarget, taskPrompt)
+		if serr != nil {
+			return nil, serr
+		}
+		configs = map[string]string{translationTarget: current}
 	}
-
-	configs := map[string]string{translationTarget: current}
-	verified, err := RunPipeline(sess, configs, Pipeline{
+	p := Pipeline{
 		Stages: []PipelineStage{
 			translationSyntaxStage{v: opts.Verifier},
 			translationDiffStage{v: opts.Verifier, original: ciscoConfig},
@@ -89,7 +122,10 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 		RawFeedback:           opts.RawFeedback,
 		PrintAfterFix:         true,
 		Cache:                 cache,
-	})
+	}
+	p.saver = ck.sequentialSaver(phaseTranslate, sess, configs)
+	p.resume = ps
+	verified, err := RunPipeline(sess, configs, p)
 	if err != nil {
 		return nil, err
 	}

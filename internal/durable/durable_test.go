@@ -1,0 +1,349 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testKey(s string) [sha256.Size]byte { return sha256.Sum256([]byte(s)) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("k1")
+	payload := []byte(`{"verified":true,"findings":null}`)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("expected miss on empty cache")
+	}
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("expected hit after Put")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload mismatch: got %q want %q", got, payload)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Corrupt != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestRejectsNonJSONPayload(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey("k"), []byte("not json")); err == nil {
+		t.Fatal("expected error for non-JSON payload")
+	}
+}
+
+// A second Cache over the same directory — a different process, as far as
+// the on-disk format is concerned — must see entries the first one wrote.
+func TestSharedAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("shared")
+	if err := c1.Put(key, []byte(`"result"`)); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok || string(got) != `"result"` {
+		t.Fatalf("second open missed entry written by first: ok=%v got=%q", ok, got)
+	}
+}
+
+// Corruption in any form — truncation, bit flips, a wrong-key envelope —
+// must read as a miss, quarantine the damaged file, and leave the cache
+// serving.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bit-flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip a byte inside the payload region (past the envelope
+			// prefix) so the JSON still parses but the checksum fails.
+			data[len(data)-10] ^= 0x20
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong-key", func(t *testing.T, path string) {
+			var e entry
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatal(err)
+			}
+			e.Key = fmt.Sprintf("%x", testKey("someone else"))
+			out, _ := json.Marshal(e)
+			if err := os.WriteFile(path, out, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey("victim")
+			if err := c.Put(key, []byte(`{"v":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, c.entryPath(key))
+			if _, ok := c.Get(key); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			if st := c.Stats(); st.Corrupt != 1 {
+				t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			if _, err := os.Stat(c.entryPath(key)); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry still in the live tree")
+			}
+			q, err := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+			if err != nil || len(q) != 1 {
+				t.Fatalf("expected 1 quarantined file, got %v (err=%v)", q, err)
+			}
+			// The cache keeps working: a re-Put re-serves.
+			if err := c.Put(key, []byte(`{"v":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get(key); !ok {
+				t.Fatal("re-Put after quarantine did not serve")
+			}
+		})
+	}
+}
+
+func TestNewerFormatVersionRefused(t *testing.T) {
+	dir := t.TempDir()
+	idx, _ := json.Marshal(index{Version: FormatVersion + 1})
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), idx, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("expected Open to refuse a newer format version")
+	}
+}
+
+func TestCorruptIndexQuarantinedAndRewritten(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open should survive a corrupt index: %v", err)
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if len(q) != 1 {
+		t.Fatalf("expected corrupt index quarantined, got %v", q)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx index
+	if err := json.Unmarshal(data, &idx); err != nil || idx.Version != FormatVersion {
+		t.Fatalf("index not rewritten: %s (err=%v)", data, err)
+	}
+	_ = c
+}
+
+func TestEvictionSweep(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten ~300-byte entries with strictly increasing mtimes.
+	base := time.Now().Add(-time.Hour)
+	var keys [][sha256.Size]byte
+	for i := 0; i < 10; i++ {
+		key := testKey(fmt.Sprintf("entry-%d", i))
+		keys = append(keys, key)
+		payload, _ := json.Marshal(map[string]string{"filler": fmt.Sprintf("%0256d", i)})
+		if err := c.Put(key, payload); err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(c.entryPath(key), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	filepath.Walk(filepath.Join(dir, "objects"), func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	// Bound the cache to roughly half its current size: the sweep must
+	// evict the oldest entries first and keep the newest.
+	c.maxBytes = total / 2
+	evicted, err := c.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted == 0 || evicted >= 10 {
+		t.Fatalf("evicted %d entries, want some but not all", evicted)
+	}
+	if _, ok := c.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived the sweep")
+	}
+	if _, ok := c.Get(keys[9]); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	if st := c.Stats(); st.Evicted != uint64(evicted) {
+		t.Fatalf("evicted counter = %d, want %d", st.Evicted, evicted)
+	}
+}
+
+func TestStaleTempsSweptAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	litter := filepath.Join(dir, "objects", ".durable-tmp-12345")
+	if err := os.WriteFile(litter, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(litter); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived Open")
+	}
+}
+
+// errKilled simulates the writer dying at a syscall boundary.
+var errKilled = errors.New("killed at boundary")
+
+// TestWriteAtomicKilledAtEveryBoundary is the checkpoint-atomicity
+// satellite: the writer is killed before each syscall in turn, and the
+// reader must see either the previous contents or the new contents —
+// never a torn file, never a missing file when one existed before.
+func TestWriteAtomicKilledAtEveryBoundary(t *testing.T) {
+	prev := []byte(`{"checkpoint":"previous","iteration":3}`)
+	next := []byte(`{"checkpoint":"next","iteration":4,"extra":"longer than before"}`)
+	for stage := StageCreate; stage <= StageRename; stage++ {
+		t.Run(stage.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "checkpoint.json")
+			if err := WriteFileAtomic(path, prev, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			killAt := stage
+			err := WriteFileAtomicHook(path, next, 0o644, func(s WriteStage) error {
+				if s == killAt {
+					return errKilled
+				}
+				return nil
+			})
+			if !errors.Is(err, errKilled) {
+				t.Fatalf("expected kill error, got %v", err)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("checkpoint vanished after kill at %v: %v", stage, rerr)
+			}
+			if string(got) != string(prev) {
+				t.Fatalf("kill at %v left torn/partial contents: %q", stage, got)
+			}
+			// After the crash, a sweep clears the litter and a retry
+			// completes the write.
+			RemoveStaleTemps(dir)
+			if err := WriteFileAtomic(path, next, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = os.ReadFile(path)
+			if string(got) != string(next) {
+				t.Fatalf("retry after kill did not land: %q", got)
+			}
+		})
+	}
+	// Killing after the rename (StageDone) means the new file is already
+	// in place — the reader sees the new contents.
+	t.Run("done", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "checkpoint.json")
+		if err := WriteFileAtomic(path, prev, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := WriteFileAtomicHook(path, next, 0o644, func(s WriteStage) error {
+			if s == StageDone {
+				return errKilled
+			}
+			return nil
+		})
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("expected kill error, got %v", err)
+		}
+		got, _ := os.ReadFile(path)
+		if string(got) != string(next) {
+			t.Fatalf("kill after rename should leave new contents, got %q", got)
+		}
+	})
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				key := testKey(fmt.Sprintf("c-%d", i%10))
+				payload, _ := json.Marshal(map[string]int{"i": i % 10})
+				if err := c.Put(key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Get(key)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

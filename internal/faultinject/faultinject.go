@@ -1,0 +1,69 @@
+// Package faultinject provides deterministic transport-layer fault
+// injection for HTTP handlers: wrappers that sever connections at
+// counted request boundaries, so tests and chaos harnesses (the
+// mid-run-shard-kill experiments in the accel tests and `cofuzz
+// -kill-shard`) can script exactly when a backend dies.
+//
+// Every wrapper kills the request with http.ErrAbortHandler, which
+// net/http turns into a severed connection: the client sees a
+// transport-layer failure — the same observable a crashed or unplugged
+// server produces — never an HTTP error response, so the failure takes
+// the client's failover and retry paths, not its served-error path.
+package faultinject
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// AbortAfter serves the first n requests normally and severs every
+// request after them: a backend that works until it dies mid-run and
+// never comes back. n <= 0 returns h unwrapped — the injection point
+// stays in place, disarmed.
+func AbortAfter(h http.Handler, n int64) http.Handler {
+	if n <= 0 {
+		return h
+	}
+	var served atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > n {
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// AbortFirst severs the first n requests and serves everything after
+// them: a transient fault — a backend that is briefly unreachable while
+// it starts, restarts, or fails over — that a retrying client should
+// ride out. n <= 0 returns h unwrapped.
+func AbortFirst(h http.Handler, n int64) http.Handler {
+	if n <= 0 {
+		return h
+	}
+	var served atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) <= n {
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// AbortEvery severs every nth request (the nth, 2nth, ...) and serves
+// the rest: a flaky-but-alive backend that keeps recovering, the shape
+// that must consume retry budget without being failed over for good.
+// n <= 1 returns h unwrapped — severing every request is AbortAfter(h, 0)
+// territory, not flakiness.
+func AbortEvery(h http.Handler, n int64) http.Handler {
+	if n <= 1 {
+		return h
+	}
+	var served atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1)%n == 0 {
+			panic(http.ErrAbortHandler)
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/batfish"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/lightyear"
 	"repro/internal/llm"
 	"repro/internal/netcfg"
@@ -89,6 +90,29 @@ type Campaign struct {
 	// ShrinkBudget caps the oracle runs the shrinker may spend
 	// (default 500).
 	ShrinkBudget int
+	// Checkpoint names a file the sweep snapshots into: after every
+	// completed case the accumulated results are atomically rewritten, so
+	// a campaign killed mid-sweep loses at most its in-flight cases. The
+	// shrink phase is not checkpointed — it is deterministic in the first
+	// failure, which the checkpointed sweep pins.
+	Checkpoint string
+	// Resume loads Checkpoint and reuses its recorded case results: only
+	// the remainder of the sweep runs, and reused cases cost nothing
+	// (their recorded stats, ElapsedMS included, enter the report
+	// verbatim). A missing file starts fresh; a checkpoint from different
+	// campaign knobs is an error.
+	Resume bool
+	// AbortAfterCases, when > 0, aborts Run with ErrCampaignAborted after
+	// that many fresh case results were checkpointed — the in-process
+	// crash-injection seam, mirroring core.CheckpointOptions.
+	AbortAfterCases int
+	// DurableCache mounts a disk-backed verification-cache tier into every
+	// case's pipeline run (see core.SynthOptions.DurableCache): verifier
+	// results persist across campaign restarts and are shared with any
+	// concurrent run pointed at the same directory. Results are pure
+	// functions of their inputs, so the tier changes cost, never outcomes
+	// — it stays out of the campaign key.
+	DurableCache *durable.Cache
 
 	// filled latches fill so the concurrent workers' RunCase calls read
 	// the defaults applied before they were spawned instead of rewriting
@@ -200,6 +224,19 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
+	var saver *campaignSaver
+	done := map[string]CaseResult{}
+	if c.Checkpoint != "" {
+		key := c.campaignKey()
+		if c.Resume {
+			done, err = loadCampaignCheckpoint(c.Checkpoint, key)
+			if err != nil {
+				return nil, err
+			}
+		}
+		saver = newCampaignSaver(c.Checkpoint, key, c.AbortAfterCases, done)
+	}
+
 	results := make([]*CaseResult, len(cases))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -212,11 +249,24 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if expired() {
-					continue // skipped: budget ran out before this case started
+				// A resumed case costs nothing: its recorded result enters
+				// the report verbatim, budget or no budget.
+				if prev, ok := done[caseKey(cases[i])]; ok {
+					res := prev
+					results[i] = &res
+					continue
+				}
+				if expired() || saver.isAborted() {
+					continue // skipped: budget ran out (or the crash seam fired)
 				}
 				res := c.RunCase(cases[i])
 				results[i] = &res
+				if saver != nil {
+					// The abort (crash seam) is observed via isAborted by
+					// every worker; in-flight cases still land in the
+					// checkpoint first, like work a real kill raced with.
+					_ = saver.record(res)
+				}
 			}
 		}()
 	}
@@ -225,6 +275,9 @@ func (c *Campaign) Run(ctx context.Context) (*Report, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if saver.isAborted() {
+		return nil, ErrCampaignAborted
+	}
 
 	rep := c.newReport()
 	var firstFailure *CaseResult
@@ -313,6 +366,7 @@ func (c *Campaign) RunCase(cs Case) CaseResult {
 		Model:           llm.NewSynthesizer(llm.SynthConfig{Seed: 1, RespectIIP: true, Plan: sites}),
 		Verifier:        c.Verifier,
 		MaxIterations:   c.MaxIterations,
+		DurableCache:    c.DurableCache,
 		GlobalCheck:     core.GlobalCheckCompositional,
 		GlobalCheckSeed: cs.Seed,
 	})

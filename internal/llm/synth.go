@@ -211,6 +211,11 @@ type Synthesizer struct {
 	// so correction prompts that only mention a policy can be routed.
 	policyOwner map[string]string
 	last        string // most recently (re)generated router
+	// draws counts rng draws (see RNGCursor). The synthesizer's current
+	// error model is fully deterministic — the plan decides everything —
+	// so the cursor stays 0; it exists so checkpoint/resume can verify
+	// replayed stochastic state the day a probabilistic knob is added.
+	draws int64
 }
 
 // NewSynthesizer returns a fresh simulated model.
@@ -232,6 +237,13 @@ func NewSynthesizer(cfg SynthConfig) *Synthesizer {
 // mutex and makes the per-worker "most recently addressed router" state
 // trivially private.
 func (s *Synthesizer) Fork() Model { return NewSynthesizer(s.cfg) }
+
+// RNGCursor reports how many random draws the model has made — the
+// stochastic position a checkpoint records and a resume's replay must land
+// back on. The engine compares cursors after reconstructing a model from a
+// checkpointed conversation; a mismatch means the replayed model made
+// different stochastic choices than the run being resumed.
+func (s *Synthesizer) RNGCursor() int64 { return s.draws }
 
 // ActiveErrors lists the live error classes for a router — router-wide
 // activations and attachment-scoped instances alike — in class order.

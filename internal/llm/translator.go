@@ -121,6 +121,9 @@ type Translator struct {
 	ge           geStage
 	passiveFixed bool
 	current      string
+	// draws counts rng draws (see RNGCursor): one per error class decided
+	// under a fractional InjectProb.
+	draws int64
 }
 
 // NewTranslator returns a fresh simulated model.
@@ -131,6 +134,13 @@ func NewTranslator(cfg TranslateConfig) *Translator {
 		active: map[TranslateError]bool{},
 	}
 }
+
+// RNGCursor reports how many random draws the model has made — the
+// stochastic position a checkpoint records and a resume's replay must land
+// back on. The translator draws once per error class decided under a
+// fractional InjectProb (in start), nowhere else, so a faithfully replayed
+// conversation reproduces the cursor exactly.
+func (t *Translator) RNGCursor() int64 { return t.draws }
 
 // ActiveErrors lists the currently live error classes (tests and the
 // Table 2 bench introspect this). The enumeration is deterministic —
@@ -186,6 +196,7 @@ func (t *Translator) start(content string) error {
 	for _, e := range AllTranslateErrors() {
 		enabled := inject == nil || inject[e]
 		if enabled && t.cfg.InjectProb > 0 && t.cfg.InjectProb < 1 {
+			t.draws++
 			enabled = t.rng.Float64() < t.cfg.InjectProb
 		}
 		if !enabled {

@@ -9,6 +9,8 @@ package suite
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/campion"
@@ -101,6 +103,40 @@ func Eval(v Checker, c Check) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("unknown suite check kind %q", c.Kind)
 	}
+}
+
+// Key derives a Check's content address: a SHA-256 over the kind and every
+// input that determines the result. Results are pure functions of their
+// inputs, so the key identifies the result across processes and across
+// runs — it is the memoization key of the engine's in-memory cache, the
+// entry name of the shared disk cache, and the identity batfishd shards
+// cache under, and it must stay in lockstep for all three. Local-policy
+// keys hash the full requirement JSON, which includes the per-attachment
+// identity (lightyear.Requirement.Attachment) — two obligations that
+// differ only in which attachment of a dual-homed router they constrain
+// memoize independently, and each attachment is its own unit of
+// incremental re-verification.
+func Key(c Check) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(c.Kind))
+	h.Write([]byte{0})
+	h.Write([]byte(c.Config))
+	h.Write([]byte{0})
+	h.Write([]byte(c.Original))
+	if c.Spec != nil {
+		// The JSON encoding is a stable serialization of the spec.
+		b, _ := json.Marshal(c.Spec)
+		h.Write([]byte{0})
+		h.Write(b)
+	}
+	if c.Req != nil {
+		b, _ := json.Marshal(c.Req)
+		h.Write([]byte{1})
+		h.Write(b)
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
 }
 
 // ShardKey is the distribution key a sharded backend hashes a check by.

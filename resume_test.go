@@ -1,0 +1,222 @@
+package repro
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+)
+
+// The checkpoint/resume acceptance gate: a run killed mid-loop and
+// restarted with Resume must produce a byte-identical final transcript —
+// same prompts, same configurations, same leverage — as a run that was
+// never interrupted. The kill is injected through the deterministic
+// in-process crash seam (CheckpointOptions.AbortAfterSaves), which leaves
+// exactly the on-disk state a SIGKILL immediately after a completed
+// snapshot would; the CI smoke job repeats the experiment with a real
+// SIGKILL on a separate process.
+
+// synthCheckpointed runs core.Synthesize with the default simulated LLM —
+// the same model repro.Synthesize builds — plus a checkpoint config.
+func synthCheckpointed(t *testing.T, name string, size int, path string,
+	abortAfter int, resume bool, parallelism int) (*Result, error) {
+	t.Helper()
+	return core.Synthesize(mustTopo(t, name, size), core.SynthOptions{
+		Model:       llm.NewSynthesizer(llm.DefaultSynthConfig()),
+		Parallelism: parallelism,
+		Checkpoint: &core.CheckpointOptions{
+			Path:            path,
+			Resume:          resume,
+			RunKey:          "resume-test:" + name,
+			AbortAfterSaves: abortAfter,
+		},
+	})
+}
+
+// TestSequentialResumeByteIdenticalOnScenarios kills a sequential
+// synthesis run at the second checkpoint write — mid-repair, after the
+// first iteration's exchanges — then resumes it, on every registry
+// scenario. The resumed run's transcript must match an uninterrupted
+// baseline byte for byte.
+func TestSequentialResumeByteIdenticalOnScenarios(t *testing.T) {
+	for _, info := range Topologies() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			baseline, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
+				SynthesizeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ckPath := filepath.Join(t.TempDir(), "checkpoint.json")
+			_, err = synthCheckpointed(t, info.Name, info.DefaultSize, ckPath, 2, false, 0)
+			if !errors.Is(err, core.ErrCheckpointAborted) {
+				t.Fatalf("crash seam did not fire: err = %v", err)
+			}
+			resumed, err := synthCheckpointed(t, info.Name, info.DefaultSize, ckPath, 0, true, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameRun(t, info.Name+" resumed", baseline, resumed)
+		})
+	}
+}
+
+// TestRepeatedCrashResumeConverges kills the same star-7 run over and
+// over — every restart dies two snapshots after the previous one — until
+// it finally completes. However many times the coordinator crashes, the
+// final transcript must be the uninterrupted run's.
+func TestRepeatedCrashResumeConverges(t *testing.T) {
+	baseline, err := SynthesizeNoTransit(SynthesizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "checkpoint.json")
+	var final *Result
+	crashes := 0
+	for attempt := 0; attempt < 200; attempt++ {
+		res, err := synthCheckpointed(t, "star", 7, ckPath, 2, attempt > 0, 0)
+		if err == nil {
+			final = res
+			break
+		}
+		if !errors.Is(err, core.ErrCheckpointAborted) {
+			t.Fatal(err)
+		}
+		crashes++
+	}
+	if final == nil {
+		t.Fatal("run never completed despite 200 resume attempts")
+	}
+	if crashes == 0 {
+		t.Fatal("crash seam never fired")
+	}
+	t.Logf("converged after %d crashes", crashes)
+	requireSameRun(t, "repeatedly crashed star-7", baseline, final)
+}
+
+// TestParallelResumeByteIdentical kills a parallel synthesis run after
+// two routers' snapshots landed, then resumes it: the completed routers'
+// outcomes are reused verbatim, the rest are repaired fresh, and the
+// topology-order merge must reproduce the uninterrupted parallel
+// transcript exactly.
+func TestParallelResumeByteIdentical(t *testing.T) {
+	baseline, err := core.Synthesize(mustTopo(t, "ring", 6), core.SynthOptions{
+		Model:       llm.NewSynthesizer(llm.DefaultSynthConfig()),
+		Parallelism: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "checkpoint.json")
+	_, err = synthCheckpointed(t, "ring", 6, ckPath, 2, false, 3)
+	if !errors.Is(err, core.ErrCheckpointAborted) {
+		t.Fatalf("crash seam did not fire: err = %v", err)
+	}
+	resumed, err := synthCheckpointed(t, "ring", 6, ckPath, 0, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRun(t, "parallel ring-6 resumed", baseline, resumed)
+}
+
+// TestTranslateResumeByteIdentical is the same experiment on the
+// translation pipeline: kill the repair loop mid-run, resume, compare
+// against an uninterrupted baseline.
+func TestTranslateResumeByteIdentical(t *testing.T) {
+	cisco := ExampleCiscoConfig()
+	baseline, err := Translate(cisco, TranslateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "checkpoint.json")
+	run := func(abortAfter int, resume bool) (*Result, error) {
+		return core.Translate(cisco, core.TranslateOptions{
+			Model: llm.NewTranslator(llm.DefaultTranslateConfig()),
+			Checkpoint: &core.CheckpointOptions{
+				Path:            ckPath,
+				Resume:          resume,
+				RunKey:          "resume-test:translate",
+				AbortAfterSaves: 2,
+			},
+		})
+	}
+	if _, err := run(2, false); !errors.Is(err, core.ErrCheckpointAborted) {
+		t.Fatalf("crash seam did not fire: err = %v", err)
+	}
+	resumed, err := core.Translate(cisco, core.TranslateOptions{
+		Model: llm.NewTranslator(llm.DefaultTranslateConfig()),
+		Checkpoint: &core.CheckpointOptions{
+			Path:   ckPath,
+			Resume: true,
+			RunKey: "resume-test:translate",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRun(t, "translate resumed", baseline, resumed)
+}
+
+// TestResumeRefusesDifferentRun starts a checkpointed run under one set
+// of coordinates and tries to resume it under another (different seed):
+// the run-key check must refuse rather than silently fork the run.
+func TestResumeRefusesDifferentRun(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "checkpoint.json")
+	if _, err := Translate(ExampleCiscoConfig(), TranslateOptions{
+		CheckpointPath: ckPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Translate(ExampleCiscoConfig(), TranslateOptions{
+		Seed:           2,
+		CheckpointPath: ckPath,
+		Resume:         true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "different run") {
+		t.Fatalf("resume into different coordinates not refused: err = %v", err)
+	}
+}
+
+// TestResumeCompletedRunReplays resumes a checkpoint left behind by a run
+// that finished: the restored loop immediately re-verifies clean and the
+// result matches the original — a stale checkpoint file is harmless.
+func TestResumeCompletedRunReplays(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "checkpoint.json")
+	topo := mustTopo(t, "dual-homed", 0)
+	first, err := Synthesize(topo, SynthesizeOptions{CheckpointPath: ckPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Synthesize(mustTopo(t, "dual-homed", 0),
+		SynthesizeOptions{CheckpointPath: ckPath, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRun(t, "stale-checkpoint resume", first, again)
+}
+
+// TestDurableCacheWarmRestart points two fresh processes' worth of runs
+// at one cache directory: the second run must answer part of its
+// verification load from disk (DiskHits > 0) while producing the same
+// transcript — the durable tier changes cost, never results.
+func TestDurableCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := SynthesizeNoTransit(SynthesizeOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheStats == nil || cold.CacheStats.DiskWrites == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", cold.CacheStats)
+	}
+	warm, err := SynthesizeNoTransit(SynthesizeOptions{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheStats == nil || warm.CacheStats.DiskHits == 0 {
+		t.Fatalf("warm run never hit the disk tier: %+v", warm.CacheStats)
+	}
+	requireSameRun(t, "warm restart", cold, warm)
+}
