@@ -14,13 +14,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
+	"repro/internal/batfish"
 	"repro/internal/batfish/rest"
 	"repro/internal/core"
 	"repro/internal/fuzz"
+	"repro/internal/lightyear"
 	"repro/internal/llm"
+	"repro/internal/modularizer"
+	"repro/internal/netcfg"
 	"repro/internal/netgen"
 )
 
@@ -714,6 +719,148 @@ func BenchmarkWarmRestart(b *testing.B) {
 		"warm-backend-calls": float64(warm.CacheStats.Misses),
 		"warm-disk-hits":     float64(warm.CacheStats.DiskHits),
 		"cold-disk-writes":   float64(cold.CacheStats.DiskWrites),
+	})
+}
+
+// BenchmarkIncrementalGlobal (E20, extension) measures what the
+// persistent simulator session buys a repair loop's per-iteration global
+// check: one attachment router's egress filters are spliced to permit-all
+// and reverted — the shape of a repair iteration — and each network state
+// is verified both cold (CheckGlobalNoTransit, a fresh whole-network
+// simulation) and incrementally (GlobalSession.Check with the changed
+// router named, re-simulating only the flooding frontier). Verdicts are
+// pinned equal every iteration; the headline metric is the speedup.
+func BenchmarkIncrementalGlobal(b *testing.B) {
+	for _, c := range []struct {
+		scenario string
+		size     int
+	}{{"fat-tree", 0}, {"random", 200}} {
+		c := c
+		name := c.scenario
+		if c.size > 0 {
+			name = fmt.Sprintf("%s-%d", c.scenario, c.size)
+		}
+		b.Run(name, func(b *testing.B) {
+			topo, err := netgen.Generate(c.scenario, c.size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Synthesize(topo, core.SynthOptions{
+				Model: llm.NewSynthesizer(llm.SynthConfig{Seed: 1,
+					Errors: map[string][]llm.SynthError{}}),
+				SkipGlobalCheck: true,
+				Parallelism:     8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			parse := func() map[string]*netcfg.Device {
+				devs := make(map[string]*netcfg.Device, len(res.Configs))
+				for rn, text := range res.Configs {
+					dev, _ := batfish.ParseConfig(text)
+					devs[rn] = dev
+				}
+				return devs
+			}
+			golden := parse()
+			atts := lightyear.ISPAttachments(topo)
+			if len(atts) == 0 {
+				b.Fatalf("%s has no ISP attachments to mutate", name)
+			}
+			target := atts[0].Router
+			mutant := parse()
+			for _, a := range atts {
+				if a.Router != target {
+					continue
+				}
+				mutant[target].RoutePolicies[a.EgressPolicy()] = &netcfg.RoutePolicy{
+					Name:    a.EgressPolicy(),
+					Clauses: []*netcfg.PolicyClause{{Seq: 10, Action: netcfg.Permit}},
+				}
+			}
+
+			sess := lightyear.NewGlobalSession(topo)
+			if _, err := sess.Check(golden, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var coldNS, incNS int64
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				coldMut, err := lightyear.CheckGlobalNoTransit(topo, mutant)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coldRev, err := lightyear.CheckGlobalNoTransit(topo, golden)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coldNS += time.Since(start).Nanoseconds()
+
+				start = time.Now()
+				incMut, err := sess.Check(mutant, []string{target})
+				if err != nil {
+					b.Fatal(err)
+				}
+				incRev, err := sess.Check(golden, []string{target})
+				if err != nil {
+					b.Fatal(err)
+				}
+				incNS += time.Since(start).Nanoseconds()
+
+				if !reflect.DeepEqual(coldMut, incMut) || !reflect.DeepEqual(coldRev, incRev) {
+					b.Fatal("incremental verdicts diverge from cold")
+				}
+			}
+			b.StopTimer()
+			checks := float64(2 * b.N)
+			coldMS := float64(coldNS) / 1e6 / checks
+			incMS := float64(incNS) / 1e6 / checks
+			speedup := 0.0
+			if incNS > 0 {
+				speedup = float64(coldNS) / float64(incNS)
+			}
+			b.ReportMetric(coldMS, "cold-ms-per-check")
+			b.ReportMetric(incMS, "incremental-ms-per-check")
+			b.ReportMetric(speedup, "speedup")
+			benchJSON(b, map[string]float64{
+				"routers":                  float64(len(res.Configs)),
+				"cold-ms-per-check":        coldMS,
+				"incremental-ms-per-check": incMS,
+				"speedup":                  speedup,
+			})
+		})
+	}
+}
+
+// BenchmarkPromptRender (E20's prompt-render series) measures the
+// modularizer's per-router prompt derivation on the 200-router random
+// graph: the spec is bucketed by router and every community tag is
+// formatted once, so rendering is linear in V+E instead of the seed's
+// O(V·(V+E)) rescans. Prompts are byte-identical to the seed's (pinned by
+// the modularizer tests); the wall-clock per derivation is the metric.
+func BenchmarkPromptRender(b *testing.B) {
+	topo, err := netgen.Generate("random", 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tasks []modularizer.Task
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tasks = modularizer.Tasks(topo)
+	}
+	b.StopTimer()
+	bytes := 0
+	for _, t := range tasks {
+		bytes += len(t.Prompt)
+	}
+	wallMS := float64(b.Elapsed().Milliseconds()) / float64(b.N)
+	b.ReportMetric(float64(len(tasks)), "tasks")
+	b.ReportMetric(float64(bytes), "prompt-bytes")
+	benchJSON(b, map[string]float64{
+		"tasks":           float64(len(tasks)),
+		"prompt-bytes":    float64(bytes),
+		"wall-ms-per-run": wallMS,
 	})
 }
 

@@ -245,6 +245,45 @@
 // re-proves local-implies-global with the full simulation independently
 // per case.
 //
+// # Incremental verification
+//
+// The simulated global check was the demonstrated scale wall for runs
+// that keep -global simulated: every repair iteration re-simulates the
+// whole network from scratch even though a prompt changes exactly one
+// router. batfish.Sim is now a persistent session — Update(router, dev)
+// swaps one device in, RunIncremental() replays the flood from the
+// changed router's frontier outward, using the converged run's per-round
+// RIB history to prove which routers the change cannot reach. Any
+// condition the replay cannot prove equivalent — no history, prior
+// non-convergence, an interface address change, an unknown router —
+// falls back to a cold run inside the same session, so the answer is
+// the cold answer by construction, merely cheaper when cheapness is
+// provable (the equivalence suite pins byte-identical results across
+// every registry scenario, every injected LLM-error class, and
+// mutate/revert sequences).
+//
+// lightyear.GlobalSession carries the session across the no-transit
+// check: Check(devs, changed) with a nil change set rebuilds cold, an
+// explicit change list replays incrementally, and a change list naming
+// a missing device reports exactly the cold check's error. The repair
+// loops thread hints through suite.GlobalHint — the engine's
+// globalTracker diffs configuration text between iterations itself
+// (never trusting a caller's claim) and hands the changed-router set
+// plus the prior digest to any verifier advertising the
+// suite.IncrementalGlobal capability. core.CachedVerifier keeps an
+// in-process GlobalSession when the underlying verifier is local;
+// rest.Client speaks the v2 session dialect (prior digest in, server-
+// side sessions keyed by configuration digest, server-side diffing,
+// FIFO eviction), degrades a stale digest to a cold run, and latches
+// back to the stateless v1 check after one 400 from a pre-session
+// server — the same backward-compatible-upgrade discipline as every
+// other protocol bump. Transcripts are byte-identical with the session
+// on or off; benchmark E20 (BenchmarkIncrementalGlobal) measures the
+// per-iteration win, and the prompt-render series measures the
+// modularizer's one-pass preamble rendering (satellite of the same
+// wall: prompts were re-deriving the O(V+E) topology description per
+// router, O(V·(V+E)) per run).
+//
 // # Fuzzing the LLM error space
 //
 // The paper's claim is about erroneous LLM output, so the erroneous

@@ -106,6 +106,12 @@ type Client struct {
 	// digests — so the run pays exactly one extra round-trip before
 	// settling back on full-bodied payloads.
 	refsUnsupported atomic.Bool
+	// noTransitIncUnsupported latches after a 400 on a v2 (session-
+	// carrying) no-transit request — an old server's strict decoder
+	// rejecting the unknown fields, or a versioned server refusing the
+	// dialect — so the run pays exactly one extra round-trip before
+	// settling back on stateless v1 checks.
+	noTransitIncUnsupported atomic.Bool
 }
 
 // prewarmState names the scenario whose bodies a server holds resolvable.
@@ -352,6 +358,39 @@ func (c *Client) checkLocalPolicyCtx(ctx context.Context, config string, req lig
 func (c *Client) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
 	var resp NoTransitResponse
 	if _, err := c.post(PathNoTransit, NoTransitRequest{Topology: t, Configs: configs}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// GlobalNoTransitIncremental implements the engine's incremental-global
+// capability (suite.IncrementalGlobal): the check ships v2-shaped (see
+// NoTransitProtocolVersion), carrying the run's prior-configuration
+// digest so the server continues its simulator session and re-simulates
+// only the changed routers' flooding frontier. Results are byte-identical
+// to GlobalNoTransit — the hint changes cost, never verdicts. Against a
+// server that rejects the dialect (old strict decoder or version gate)
+// the client falls back to the stateless v1 check and remembers, so the
+// probe is paid once per client.
+func (c *Client) GlobalNoTransitIncremental(t *topology.Topology, configs map[string]string,
+	hint *suite.GlobalHint) (*lightyear.GlobalResult, error) {
+	if hint == nil || c.noTransitIncUnsupported.Load() {
+		return c.GlobalNoTransit(t, configs)
+	}
+	req := NoTransitRequest{
+		Topology:    t,
+		Configs:     configs,
+		Version:     NoTransitProtocolVersion,
+		PriorDigest: hint.PriorDigest,
+		Changed:     hint.Changed,
+	}
+	var resp NoTransitResponse
+	status, err := c.post(PathNoTransit, req, &resp)
+	if err != nil {
+		if !IsTransportError(err) && status == http.StatusBadRequest {
+			c.noTransitIncUnsupported.Store(true)
+			return c.GlobalNoTransit(t, configs)
+		}
 		return nil, err
 	}
 	return resp.Result, nil

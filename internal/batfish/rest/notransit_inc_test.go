@@ -1,0 +1,221 @@
+package rest
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/batfish"
+	"repro/internal/core"
+	"repro/internal/lightyear"
+	"repro/internal/llm"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+	"repro/internal/suite"
+	"repro/internal/topology"
+)
+
+// starConfigs synthesizes deterministic star configurations for the
+// incremental no-transit round-trip tests.
+func starConfigs(t *testing.T, n int) (*topology.Topology, map[string]string) {
+	t.Helper()
+	topo, err := netgen.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(topo, core.SynthOptions{
+		Model:           llm.NewSynthesizer(llm.SynthConfig{Seed: 1, Errors: map[string][]llm.SynthError{}}),
+		SkipGlobalCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, res.Configs
+}
+
+// requireSameNoTransit pins an incremental response against a stateless one.
+func requireSameNoTransit(t *testing.T, label string, plain, inc *lightyear.GlobalResult) {
+	t.Helper()
+	if !reflect.DeepEqual(plain, inc) {
+		t.Errorf("%s: incremental response diverges from stateless check\nplain: %+v\nincremental: %+v",
+			label, plain, inc)
+	}
+}
+
+// TestNoTransitIncrementalMatchesStateless drives the v2 session protocol
+// through golden -> broken -> golden against a live handler and pins every
+// response against the stateless v1 check of the same configurations —
+// including a stale prior digest, which must degrade to a cold run, not an
+// error.
+func TestNoTransitIncrementalMatchesStateless(t *testing.T) {
+	topo, golden := starConfigs(t, 5)
+	c := newTestClient(t)
+
+	broken := make(map[string]string, len(golden))
+	for k, v := range golden {
+		broken[k] = v
+	}
+	broken["R1"] = "hostname R1\n"
+
+	plainGolden, err := c.GlobalNoTransit(topo, golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBroken, err := c.GlobalNoTransit(topo, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainBroken.OK() {
+		t.Fatal("a BGP-less hub cannot satisfy the no-transit policy")
+	}
+
+	// First v2 call: no prior digest, runs cold, seeds the session.
+	inc, err := c.GlobalNoTransitIncremental(topo, golden, &suite.GlobalHint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "seed", plainGolden, inc)
+
+	// Continue the session into the broken set and back.
+	inc, err = c.GlobalNoTransitIncremental(topo, broken, &suite.GlobalHint{
+		PriorDigest: suite.ConfigDigest(golden), Changed: []string{"R1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "broken", plainBroken, inc)
+
+	inc, err = c.GlobalNoTransitIncremental(topo, golden, &suite.GlobalHint{
+		PriorDigest: suite.ConfigDigest(broken), Changed: []string{"R1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "reverted", plainGolden, inc)
+
+	// A prior digest the server does not hold (evicted, restarted, or
+	// plain wrong): cold run, same verdict.
+	inc, err = c.GlobalNoTransitIncremental(topo, broken, &suite.GlobalHint{
+		PriorDigest: "no-such-session", Changed: []string{"R1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "stale digest", plainBroken, inc)
+
+	// A nil hint is the plain stateless check.
+	inc, err = c.GlobalNoTransitIncremental(topo, golden, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "nil hint", plainGolden, inc)
+}
+
+// oldNoTransitHandler mimics a server that predates the v2 session
+// protocol: it decodes the original request shape strictly — unknown
+// fields are an error, exactly how old decode() behaves — and serves the
+// stateless check.
+func oldNoTransitHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathNoTransit, func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Topology *topology.Topology `json:"topology"`
+			Configs  map[string]string  `json:"configs"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		devs := make(map[string]*netcfg.Device, len(req.Configs))
+		for name, text := range req.Configs {
+			dev, _ := batfish.ParseConfig(text)
+			devs[name] = dev
+		}
+		res, err := lightyear.CheckGlobalNoTransit(req.Topology, devs)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, NoTransitResponse{Result: res})
+	})
+	return mux
+}
+
+// TestNoTransitIncrementalOldServerFallback sends the v2 dialect to a
+// server whose strict decoder rejects it: the client must fall back to
+// the stateless v1 check, return its result, and latch — the second
+// incremental call costs exactly one round-trip.
+func TestNoTransitIncrementalOldServerFallback(t *testing.T) {
+	topo, golden := starConfigs(t, 3)
+	srv := httptest.NewServer(oldNoTransitHandler())
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+
+	plain, err := c.GlobalNoTransit(topo, golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hint := &suite.GlobalHint{PriorDigest: suite.ConfigDigest(golden), Changed: []string{"R1"}}
+	before := c.Calls()
+	inc, err := c.GlobalNoTransitIncremental(topo, golden, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "fallback", plain, inc)
+	if got := c.Calls() - before; got != 2 {
+		t.Errorf("first incremental call against an old server cost %d round-trips, want 2 (probe + fallback)", got)
+	}
+
+	before = c.Calls()
+	inc, err = c.GlobalNoTransitIncremental(topo, golden, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "latched", plain, inc)
+	if got := c.Calls() - before; got != 1 {
+		t.Errorf("latched incremental call cost %d round-trips, want 1", got)
+	}
+}
+
+// TestShardedNoTransitIncremental routes the incremental check through the
+// sharded client: same responses as the stateless check, shard failover
+// semantics untouched.
+func TestShardedNoTransitIncremental(t *testing.T) {
+	topo, golden := starConfigs(t, 4)
+	srv1 := httptest.NewServer(NewHandler())
+	srv2 := httptest.NewServer(NewHandler())
+	t.Cleanup(srv1.Close)
+	t.Cleanup(srv2.Close)
+	sc, err := NewShardedClient([]string{srv1.URL, srv2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := sc.GlobalNoTransit(topo, golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sc.GlobalNoTransitIncremental(topo, golden, &suite.GlobalHint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "sharded seed", plain, inc)
+
+	broken := make(map[string]string, len(golden))
+	for k, v := range golden {
+		broken[k] = v
+	}
+	broken["R1"] = "hostname R1\n"
+	plainBroken, err := sc.GlobalNoTransit(topo, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err = sc.GlobalNoTransitIncremental(topo, broken, &suite.GlobalHint{
+		PriorDigest: suite.ConfigDigest(golden), Changed: []string{"R1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameNoTransit(t, "sharded broken", plainBroken, inc)
+}

@@ -76,10 +76,36 @@ type LocalResponse struct {
 	Violation *lightyear.Violation `json:"violation,omitempty"`
 }
 
-// NoTransitRequest asks for the global BGP-simulation check.
+// NoTransitProtocolVersion is the global-check protocol this tree speaks.
+// Version 2 added session continuity: a request may carry PriorDigest —
+// the suite.ConfigDigest of the configuration set the same run's previous
+// check verified — and the server keeps the converged simulator state of
+// recent checks keyed by that digest, so the re-check re-simulates only
+// the routers whose configuration text changed since
+// (batfish.Sim.RunIncremental) instead of the whole network. Results are
+// byte-identical either way; the session is purely a cost optimization.
+// A server accepts any version up to its own and rejects newer versions
+// with HTTP 400; like the batch protocol, clients treat a 400 on a
+// version-stamped request as "dialect unsupported", latch the capability
+// off, and re-send the v1 shape — old servers' strict decoders reject the
+// unknown fields the same way, so the latch covers both vintages at the
+// cost of one extra round-trip per client.
+const NoTransitProtocolVersion = 2
+
+// NoTransitRequest asks for the global BGP-simulation check. Version,
+// PriorDigest, and Changed are the v2 session fields: Version stamps the
+// dialect (zero marks a pre-versioning client and is always accepted);
+// PriorDigest keys the server-side simulator session this check continues
+// (empty: no prior check, run cold but start a session); Changed is the
+// client's advisory list of routers it believes changed — the server
+// re-derives the changed set by diffing the shipped configs against the
+// session's stored ones, so a hint can never understate a change.
 type NoTransitRequest struct {
-	Topology *topology.Topology `json:"topology"`
-	Configs  map[string]string  `json:"configs"`
+	Topology    *topology.Topology `json:"topology"`
+	Configs     map[string]string  `json:"configs"`
+	Version     int                `json:"version,omitempty"`
+	PriorDigest string             `json:"prior_digest,omitempty"`
+	Changed     []string           `json:"changed,omitempty"`
 }
 
 // NoTransitResponse carries the global result.

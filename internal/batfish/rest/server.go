@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -77,7 +78,10 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	mux.HandleFunc(PathDiff, handleDiff)
 	mux.HandleFunc(PathTopology, handleTopology)
 	mux.HandleFunc(PathLocal, handleLocal)
-	mux.HandleFunc(PathNoTransit, handleNoTransit)
+	sessions := &globalSessions{entries: map[string]*globalSessEntry{}}
+	mux.HandleFunc(PathNoTransit, func(w http.ResponseWriter, r *http.Request) {
+		handleNoTransit(w, r, sessions)
+	})
 	mux.HandleFunc(PathSearch, handleSearch)
 	warms := &scenarioWarms{done: map[string]int{}, regs: map[string]*scenarioRegistry{}}
 	mux.HandleFunc(PathBatch, func(w http.ResponseWriter, r *http.Request) {
@@ -215,9 +219,110 @@ func handleLocal(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func handleNoTransit(w http.ResponseWriter, r *http.Request) {
+// maxGlobalSessions bounds the handler's simulator-session store: each
+// entry holds a whole network's converged RIB history, so an unbounded
+// store would let every distinct run (or an unauthenticated POST) pin
+// memory forever. Eviction is oldest-first; an evicted run's next check
+// simply runs cold and starts a fresh session.
+const maxGlobalSessions = 8
+
+// globalSessions holds the handler's live simulator sessions for the v2
+// no-transit protocol, keyed by the suite.ConfigDigest of the last
+// configuration set each session verified. A request continuing a session
+// claims the entry (removing it from the store) for the duration of the
+// check — GlobalSession is not concurrency-safe, and claiming makes a
+// concurrent request with the same prior digest miss and run cold rather
+// than race — then re-stores it under the new digest.
+type globalSessions struct {
+	mu      sync.Mutex
+	entries map[string]*globalSessEntry
+	order   []string // insertion order, for oldest-first eviction
+}
+
+// globalSessEntry is one stored session: the simulator plus what it last
+// verified, for server-side change derivation and topology validation.
+type globalSessEntry struct {
+	topoDigest string
+	configs    map[string]string
+	sess       *lightyear.GlobalSession
+}
+
+// claim removes and returns the session keyed by digest, if any.
+func (g *globalSessions) claim(digest string) (*globalSessEntry, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.entries[digest]
+	if !ok {
+		return nil, false
+	}
+	delete(g.entries, digest)
+	for i, k := range g.order {
+		if k == digest {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return e, true
+}
+
+// put stores a session under digest, evicting oldest entries past the
+// bound.
+func (g *globalSessions) put(digest string, e *globalSessEntry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.entries[digest]; ok {
+		for i, k := range g.order {
+			if k == digest {
+				g.order = append(g.order[:i], g.order[i+1:]...)
+				break
+			}
+		}
+	}
+	g.entries[digest] = e
+	g.order = append(g.order, digest)
+	for len(g.order) > maxGlobalSessions {
+		delete(g.entries, g.order[0])
+		g.order = g.order[1:]
+	}
+}
+
+// diffConfigs derives the changed-router set server-side: routers whose
+// text differs, appeared, or vanished between the session's stored set
+// and the incoming one. Always non-nil — an empty diff still means
+// "known: nothing changed", which the session serves without any
+// re-simulation.
+func diffConfigs(prev, next map[string]string) []string {
+	changed := []string{}
+	for name, text := range next {
+		if old, ok := prev[name]; !ok || old != text {
+			changed = append(changed, name)
+		}
+	}
+	for name := range prev {
+		if _, ok := next[name]; !ok {
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	return changed
+}
+
+// handleNoTransit serves the global BGP-simulation check. A v2 request
+// (see NoTransitProtocolVersion) continues or starts a simulator session:
+// when PriorDigest claims a stored session for the same topology, only
+// the routers whose configuration text changed are re-simulated; any
+// mismatch — no session, evicted, different topology — degrades to a cold
+// run that seeds a fresh session. v1 requests are served statelessly,
+// exactly as before.
+func handleNoTransit(w http.ResponseWriter, r *http.Request, sessions *globalSessions) {
 	var req NoTransitRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if req.Version > NoTransitProtocolVersion {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
+			"unsupported no-transit protocol version %d (server speaks %d)",
+			req.Version, NoTransitProtocolVersion)})
 		return
 	}
 	if req.Topology == nil {
@@ -229,11 +334,42 @@ func handleNoTransit(w http.ResponseWriter, r *http.Request) {
 		dev, _ := batfish.ParseConfig(text)
 		devs[name] = dev
 	}
-	result, err := lightyear.CheckGlobalNoTransit(req.Topology, devs)
+	if req.Version < 2 {
+		result, err := lightyear.CheckGlobalNoTransit(req.Topology, devs)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, NoTransitResponse{Result: result})
+		return
+	}
+	topoDig := suite.TopologyDigest(req.Topology)
+	var sess *lightyear.GlobalSession
+	var changed []string // nil: cold run
+	if req.PriorDigest != "" {
+		if e, ok := sessions.claim(req.PriorDigest); ok && e.topoDigest == topoDig {
+			sess = e.sess
+			// The client's Changed list is advisory only: the session's
+			// stored configs let the server derive the true change set, so
+			// a hint can never understate a change.
+			changed = diffConfigs(e.configs, req.Configs)
+		}
+	}
+	if sess == nil {
+		sess = lightyear.NewGlobalSession(req.Topology)
+	}
+	result, err := sess.Check(devs, changed)
 	if err != nil {
+		// The session may hold half-updated state; drop it rather than
+		// re-store. The run's next check misses and runs cold.
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
 		return
 	}
+	sessions.put(suite.ConfigDigest(req.Configs), &globalSessEntry{
+		topoDigest: topoDig,
+		configs:    req.Configs,
+		sess:       sess,
+	})
 	writeJSON(w, http.StatusOK, NoTransitResponse{Result: result})
 }
 

@@ -526,6 +526,27 @@ func (s *ShardedClient) GlobalNoTransit(t *topology.Topology, configs map[string
 	return res, nil
 }
 
+// GlobalNoTransitIncremental implements the engine's incremental-global
+// capability (suite.IncrementalGlobal) over the ring: the check routes to
+// the topology's stable owner shard (globalKey), whose server keeps the
+// run's simulator session warm across iterations. A failover lands the
+// check on a shard without the session, which simply runs cold and starts
+// its own — results are identical, only the first check there pays full
+// price.
+func (s *ShardedClient) GlobalNoTransitIncremental(t *topology.Topology, configs map[string]string,
+	hint *suite.GlobalHint) (*lightyear.GlobalResult, error) {
+	var res *lightyear.GlobalResult
+	err := s.withFailover(globalKey(t), func(client *Client) error {
+		var callErr error
+		res, callErr = client.GlobalNoTransitIncremental(t, configs, hint)
+		return callErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // Search asks a SearchRoutePolicies question, routed like the config's
 // other whole-config checks.
 func (s *ShardedClient) Search(config string, q batfish.SearchQuery) (batfish.SearchResult, error) {

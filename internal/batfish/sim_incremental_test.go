@@ -1,0 +1,126 @@
+package batfish
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netcfg"
+)
+
+// coldResult runs a fresh one-shot simulation of the two-node pair with
+// the given policies — the authority the incremental session must match
+// byte for byte.
+func coldResult(t *testing.T, exportMap, importMap string,
+	mutate func(a, b *netcfg.Device)) *Result {
+	t.Helper()
+	a, b := twoNodeConfigs(t, exportMap, importMap)
+	if mutate != nil {
+		mutate(a, b)
+	}
+	sim := NewSim()
+	if err := sim.AddDevice("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddDevice("B", b); err != nil {
+		t.Fatal(err)
+	}
+	return sim.Run()
+}
+
+// requireSameResult asserts the incremental result is indistinguishable
+// from the cold one: RIB contents, convergence, and iteration count.
+func requireSameResult(t *testing.T, label string, cold, inc *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(cold, inc) {
+		t.Errorf("%s: incremental result diverges from cold\ncold: %+v\nincremental: %+v",
+			label, cold, inc)
+	}
+}
+
+// TestRunIncrementalMatchesCold drives one persistent session through a
+// mutate/revert sequence and pins every step against a fresh cold run:
+// the session must be a pure cost optimization.
+func TestRunIncrementalMatchesCold(t *testing.T) {
+	a, b := twoNodeConfigs(t, "", "")
+	sim := NewSim()
+	if err := sim.AddDevice("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddDevice("B", b); err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "baseline", coldResult(t, "", "", nil), sim.RunIncremental())
+
+	// No updates: the recorded result is served again, unchanged.
+	requireSameResult(t, "no-change", coldResult(t, "", "", nil), sim.RunIncremental())
+
+	// Break A's export with a deny-all, replay, then revert.
+	deny := func(dev *netcfg.Device) {
+		dev.RoutePolicies["BLOCK"] = &netcfg.RoutePolicy{Name: "BLOCK",
+			Clauses: []*netcfg.PolicyClause{{Seq: 10, Action: netcfg.Deny}}}
+	}
+	a2, _ := twoNodeConfigs(t, "BLOCK", "")
+	deny(a2)
+	if err := sim.Update("A", a2); err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "deny-all export",
+		coldResult(t, "BLOCK", "", func(a, _ *netcfg.Device) { deny(a) }),
+		sim.RunIncremental())
+
+	a3, _ := twoNodeConfigs(t, "", "")
+	if err := sim.Update("A", a3); err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "revert", coldResult(t, "", "", nil), sim.RunIncremental())
+
+	// An import-policy change on the receiver.
+	setPref := func(dev *netcfg.Device) {
+		dev.RoutePolicies["PREF"] = &netcfg.RoutePolicy{Name: "PREF",
+			Clauses: []*netcfg.PolicyClause{{Seq: 10, Action: netcfg.Permit,
+				Sets: []netcfg.SetAction{netcfg.SetLocalPref{Pref: 200}}}}}
+	}
+	_, b2 := twoNodeConfigs(t, "", "PREF")
+	setPref(b2)
+	if err := sim.Update("B", b2); err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "import set-pref",
+		coldResult(t, "", "PREF", func(_, b *netcfg.Device) { setPref(b) }),
+		sim.RunIncremental())
+
+	// An interface-address change forces the cold fallback (the session
+	// graph may re-route through byAddr); results must still match.
+	a4, _ := twoNodeConfigs(t, "", "")
+	a4.Interfaces[0].Address.Addr = mustIP(t, "192.168.0.9")
+	if err := sim.Update("A", a4); err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "address change",
+		coldResult(t, "", "", func(a, _ *netcfg.Device) {
+			a.Interfaces[0].Address.Addr = mustIP(t, "192.168.0.9")
+		}),
+		sim.RunIncremental())
+}
+
+// TestUpdateRejectsUnknownAndExternal pins Update's contract: only
+// configured routers the session already knows can be updated in place.
+func TestUpdateRejectsUnknownAndExternal(t *testing.T) {
+	a, b := twoNodeConfigs(t, "", "")
+	sim := NewSim()
+	_ = sim.AddDevice("A", a)
+	_ = sim.AddDevice("B", b)
+	if err := sim.AddExternal("ISP", mustIP(t, "192.168.1.2"), 99,
+		[]netcfg.Prefix{netcfg.MustPrefix("20.0.0.0/8")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Update("C", a); err == nil {
+		t.Error("updating an unknown router should error")
+	}
+	if err := sim.Update("ISP", a); err == nil {
+		t.Error("updating an external stub should error")
+	}
+	if err := sim.Update("A", nil); err == nil {
+		t.Error("updating with a nil device should error")
+	}
+}

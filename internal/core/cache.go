@@ -112,6 +112,13 @@ type CachedVerifier struct {
 	batchedChecks atomic.Uint64
 	diskHits      atomic.Uint64
 	diskWrites    atomic.Uint64
+
+	// globalMu guards the in-process incremental global session (see
+	// GlobalNoTransitIncremental): simulator sessions are stateful and
+	// single-threaded, so concurrent global checks serialize here.
+	globalMu   sync.Mutex
+	globalSess *lightyear.GlobalSession
+	globalTopo *topology.Topology
 }
 
 // cacheShards is the stripe count of the memoized-result map. 64 shards
@@ -371,4 +378,35 @@ func (c *CachedVerifier) CheckLocalPolicy(config string, req lightyear.Requireme
 // type comment).
 func (c *CachedVerifier) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
 	return c.v.GlobalNoTransit(t, configs)
+}
+
+// GlobalNoTransitIncremental implements IncrementalGlobalVerifier. An
+// underlying verifier with the capability (rest.Client, ShardedClient)
+// receives the hint verbatim; over a LocalVerifier the cache keeps an
+// in-process lightyear.GlobalSession per topology, so a repair loop's
+// per-iteration global check re-simulates only the flooding frontier of
+// the router the hint names. Any other underlying verifier — including
+// test fakes that count or stub the global check — falls back to its own
+// plain GlobalNoTransit: the hint must never change whose simulation
+// answers, only its cost.
+func (c *CachedVerifier) GlobalNoTransitIncremental(t *topology.Topology,
+	configs map[string]string, hint *GlobalHint) (*lightyear.GlobalResult, error) {
+	if ig, ok := c.v.(IncrementalGlobalVerifier); ok {
+		return ig.GlobalNoTransitIncremental(t, configs, hint)
+	}
+	lv, ok := c.v.(LocalVerifier)
+	if !ok || hint == nil {
+		return c.v.GlobalNoTransit(t, configs)
+	}
+	c.globalMu.Lock()
+	defer c.globalMu.Unlock()
+	if c.globalSess == nil || c.globalTopo != t {
+		c.globalSess = lightyear.NewGlobalSession(t)
+		c.globalTopo = t
+	}
+	devs := make(map[string]*netcfg.Device, len(configs))
+	for name, text := range configs {
+		devs[name] = lv.parsed(text).Device
+	}
+	return c.globalSess.Check(devs, hint.Changed)
 }

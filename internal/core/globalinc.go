@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/lightyear"
+	"repro/internal/suite"
+	"repro/internal/topology"
+)
+
+// GlobalHint re-exports the change-locality hint for global checks (see
+// internal/suite): which routers changed since the run's previous global
+// check, plus the prior config set's digest.
+type GlobalHint = suite.GlobalHint
+
+// IncrementalGlobalVerifier re-exports the optional capability a Verifier
+// implements to accept GlobalHints. CachedVerifier, rest.Client, and
+// rest.ShardedClient implement it; hints change cost, never verdicts.
+type IncrementalGlobalVerifier = suite.IncrementalGlobal
+
+// globalNoTransit dispatches one global check through the incremental
+// capability when the verifier has it and a hint is available, falling
+// back to the plain interface method otherwise. Either path returns the
+// same result bytes.
+func globalNoTransit(v Verifier, t *topology.Topology, configs map[string]string,
+	hint *GlobalHint) (*lightyear.GlobalResult, error) {
+	if hint != nil {
+		if ig, ok := v.(IncrementalGlobalVerifier); ok {
+			return ig.GlobalNoTransitIncremental(t, configs, hint)
+		}
+	}
+	return v.GlobalNoTransit(t, configs)
+}
+
+// globalTracker derives per-call GlobalHints for a repair loop by diffing
+// each call's configuration texts against the previous call's: the
+// changed-router set is computed, not trusted from the caller, so a hint
+// can never understate a change. The zero value is ready to use; the
+// first call yields an unknown (cold) hint.
+type globalTracker struct {
+	prev   map[string]string
+	digest string
+}
+
+// hint returns the hint for a call about to verify configs, and advances
+// the tracker to treat configs as the new baseline.
+func (g *globalTracker) hint(configs map[string]string) *GlobalHint {
+	h := &GlobalHint{}
+	if g.prev == nil {
+		h.Changed = nil // unknown: first call runs cold
+	} else {
+		h.PriorDigest = g.digest
+		changed := []string{}
+		for name, text := range configs {
+			if old, ok := g.prev[name]; !ok || old != text {
+				changed = append(changed, name)
+			}
+		}
+		for name := range g.prev {
+			if _, ok := configs[name]; !ok {
+				changed = append(changed, name)
+			}
+		}
+		sort.Strings(changed)
+		h.Changed = changed
+	}
+	g.prev = make(map[string]string, len(configs))
+	for name, text := range configs {
+		g.prev[name] = text
+	}
+	g.digest = suite.ConfigDigest(configs)
+	return h
+}

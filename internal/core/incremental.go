@@ -74,9 +74,13 @@ func AddPolicyIncremental(topo *topology.Topology, configs map[string]string,
 	})
 
 	verified := false
+	// Each attempt changes only R1's configuration; the tracker turns that
+	// into a change-locality hint so an incremental verifier re-simulates
+	// only R1's flooding frontier on the non-interference global re-check.
+	var tracker globalTracker
 	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
 		sess.iterations++
-		prompt, done, err := nextIncrementalFinding(opts.Verifier, topo, reqs, current)
+		prompt, done, err := nextIncrementalFinding(opts.Verifier, topo, reqs, current, &tracker)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +101,8 @@ func AddPolicyIncremental(topo *topology.Topology, configs map[string]string,
 // nextIncrementalFinding checks syntax on R1, every local requirement,
 // and finally the global simulation — the non-interference re-check.
 func nextIncrementalFinding(v Verifier, topo *topology.Topology,
-	reqs []lightyear.Requirement, configs map[string]string) (string, bool, error) {
+	reqs []lightyear.Requirement, configs map[string]string,
+	tracker *globalTracker) (string, bool, error) {
 	warns, err := v.CheckSyntax(configs["R1"])
 	if err != nil {
 		return "", false, err
@@ -117,7 +122,7 @@ func nextIncrementalFinding(v Verifier, topo *topology.Topology,
 				"corrected configuration.", false, nil
 		}
 	}
-	global, err := v.GlobalNoTransit(topo, configs)
+	global, err := globalNoTransit(v, topo, configs, tracker.hint(configs))
 	if err != nil {
 		return "", false, err
 	}

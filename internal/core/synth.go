@@ -229,14 +229,15 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	}
 
 	var verified bool
+	var recent []string
 	if opts.Parallelism > 1 {
 		if resumed != nil && resumed.Phase != phaseSynthParallel {
 			return nil, fmt.Errorf("resume: checkpoint is a %s snapshot, this run is %s",
 				resumed.Phase, phaseSynthParallel)
 		}
-		configs, verified, err = synthesizeParallel(sess, topo, tasks, opts, ck, resumed)
+		configs, recent, verified, err = synthesizeParallel(sess, topo, tasks, opts, ck, resumed)
 	} else {
-		configs, verified, err = synthesizeSequential(sess, topo, tasks, opts, ck, configs, ps)
+		configs, recent, verified, err = synthesizeSequential(sess, topo, tasks, opts, ck, configs, ps)
 	}
 	if err != nil {
 		return nil, err
@@ -244,7 +245,7 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 
 	var global *lightyear.GlobalResult
 	if verified && !opts.SkipGlobalCheck {
-		global, err = globalCheck(topo, configs, opts)
+		global, err = globalCheck(topo, configs, opts, recent)
 		if err != nil {
 			return nil, err
 		}
@@ -270,16 +271,18 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 // final configuration was just verified, so its device is already parsed)
 // and falls back to the full simulation on topologies whose local spec
 // coverage is incomplete — the simulation stays the authority wherever
-// the compositional argument does not apply.
+// the compositional argument does not apply. recent names the routers the
+// repair loop actually rewrote, steering the compositional check's
+// falsification budget toward the filters likeliest to have regressed.
 func globalCheck(topo *topology.Topology, configs map[string]string,
-	opts SynthOptions) (*lightyear.GlobalResult, error) {
+	opts SynthOptions, recent []string) (*lightyear.GlobalResult, error) {
 	if opts.GlobalCheck == GlobalCheckCompositional {
 		devs, err := parseDevices(opts.Verifier, topo, configs)
 		if err != nil {
 			return nil, err
 		}
 		global, err := lightyear.CheckCompositionalNoTransit(topo, devs,
-			lightyear.CompositionalOptions{Seed: opts.GlobalCheckSeed})
+			lightyear.CompositionalOptions{Seed: opts.GlobalCheckSeed, RecentRouters: recent})
 		if err == nil {
 			return global, nil
 		}
@@ -322,27 +325,43 @@ func parseDevices(v Verifier, topo *topology.Topology,
 // router first, then one repair pipeline scanning all routers per stage.
 // A resume arrives with the checkpointed configurations (resumedConfigs)
 // and loop position (ps) already unpacked — the modularizer prompts are
-// part of the restored conversation and are not re-sent.
+// part of the restored conversation and are not re-sent. The second
+// return value names the routers whose configuration the repair loop
+// rewrote after its first draft (unknowable — and nil — on a resume,
+// whose pre-crash drafts are gone).
 func synthesizeSequential(sess *session, topo *topology.Topology,
 	tasks []modularizer.Task, opts SynthOptions, ck *checkpointer,
-	resumedConfigs map[string]string, ps *pipelineState) (map[string]string, bool, error) {
+	resumedConfigs map[string]string, ps *pipelineState) (map[string]string, []string, bool, error) {
 	configs := resumedConfigs
+	var initial map[string]string
 	if configs == nil {
 		// Modularizer prompts: one automated prompt per router (§2).
 		configs = map[string]string{}
 		for _, task := range tasks {
 			resp, _, err := sess.send(Automated, StageTask, task.Router, task.Prompt)
 			if err != nil {
-				return nil, false, err
+				return nil, nil, false, err
 			}
 			configs[task.Router] = resp
+		}
+		initial = make(map[string]string, len(configs))
+		for k, v := range configs {
+			initial[k] = v
 		}
 	}
 	p := synthPipeline(opts.Verifier, topo, tasks, opts)
 	p.saver = ck.sequentialSaver(phaseSynthSequential, sess, configs)
 	p.resume = ps
 	verified, err := RunPipeline(sess, configs, p)
-	return configs, verified, err
+	var recent []string
+	if initial != nil {
+		for _, task := range tasks {
+			if configs[task.Router] != initial[task.Router] {
+				recent = append(recent, task.Router)
+			}
+		}
+	}
+	return configs, recent, verified, err
 }
 
 // routerOutcome is one worker's result: the router's final configuration
@@ -353,7 +372,11 @@ type routerOutcome struct {
 	punted     []string
 	iterations int
 	verified   bool
-	err        error
+	// repaired reports the final configuration differs from the model's
+	// first draft — the router was actually rewritten by the repair loop,
+	// which steers the compositional check's falsification bias.
+	repaired bool
+	err      error
 }
 
 // synthesizeParallel repairs each router concurrently: every worker runs
@@ -369,7 +392,7 @@ type routerOutcome struct {
 // human-oracle give-up are scoped per router here (see SynthOptions).
 func synthesizeParallel(sess *session, topo *topology.Topology,
 	tasks []modularizer.Task, opts SynthOptions, ck *checkpointer,
-	resumed *checkpointFile) (map[string]string, bool, error) {
+	resumed *checkpointFile) (map[string]string, []string, bool, error) {
 	forker, _ := sess.model.(llm.Forker)
 	var shared llm.Model
 	if forker == nil {
@@ -378,7 +401,7 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 			// order; skipping checkpointed routers would silently shift the
 			// remaining conversations. Refuse rather than checkpoint
 			// something that cannot be resumed faithfully.
-			return nil, false, fmt.Errorf("checkpoint: parallel synthesis requires a forkable model")
+			return nil, nil, false, fmt.Errorf("checkpoint: parallel synthesis requires a forkable model")
 		}
 		shared = &lockedModel{model: sess.model}
 	}
@@ -411,6 +434,7 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 			Punted:     out.punted,
 			Iterations: out.iterations,
 			Verified:   out.verified,
+			Repaired:   out.repaired,
 		}
 		snap := make(map[string]routerSnapshot, len(completed.m))
 		for k, v := range completed.m {
@@ -438,6 +462,7 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 						punted:     snap.Punted,
 						iterations: snap.Iterations,
 						verified:   snap.Verified,
+						repaired:   snap.Repaired,
 					}
 					continue
 				}
@@ -460,13 +485,17 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 	wg.Wait()
 
 	configs := map[string]string{}
+	var recent []string
 	verified := true
 	for i, task := range tasks {
 		out := outcomes[i]
 		if out.err != nil {
-			return nil, false, fmt.Errorf("router %s: %w", task.Router, out.err)
+			return nil, nil, false, fmt.Errorf("router %s: %w", task.Router, out.err)
 		}
 		configs[task.Router] = out.config
+		if out.repaired {
+			recent = append(recent, task.Router)
+		}
 		sess.transcript = append(sess.transcript, out.transcript...)
 		sess.punted = append(sess.punted, out.punted...)
 		sess.iterations += out.iterations
@@ -474,7 +503,7 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 			verified = false
 		}
 	}
-	return configs, verified, nil
+	return configs, recent, verified, nil
 }
 
 // repairRouter runs one router's private loop: the modularizer prompt,
@@ -498,6 +527,7 @@ func repairRouter(model llm.Model, topo *topology.Topology,
 		punted:     wsess.punted,
 		iterations: wsess.iterations,
 		verified:   verified,
+		repaired:   configs[task.Router] != resp,
 	}
 }
 

@@ -25,6 +25,14 @@ type CompositionalOptions struct {
 	// Seed keys the deterministic filter sampling; 0 means seed 1. The
 	// same seed always selects the same filters on the same topology.
 	Seed int64
+	// RecentRouters biases the sample toward egress policies on the named
+	// routers — typically the ones a repair loop just touched, where a
+	// filter is likeliest to have regressed. Targets on recent routers
+	// fill the sample budget first (seeded, like the rest); any remaining
+	// budget falls on the other targets. Empty samples unbiased, exactly
+	// as without the field; the bias never changes the sample size or the
+	// determinism, only which filters the budget lands on.
+	RecentRouters []string
 }
 
 // CheckCompositionalNoTransit is the verified-local-specs fast path for
@@ -186,7 +194,37 @@ func sampleFalsificationTargets(reqs []Requirement, opts CompositionalOptions) [
 		seed = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	picks := rng.Perm(len(targets))[:n]
+	var picks []int
+	if len(opts.RecentRouters) > 0 {
+		// Coverage-guided: spend the budget on recently-repaired routers'
+		// filters first, then on the rest. Both halves sample through the
+		// same seeded generator, so a given (seed, recency) pair always
+		// yields the same filters.
+		recent := make(map[string]bool, len(opts.RecentRouters))
+		for _, r := range opts.RecentRouters {
+			recent[r] = true
+		}
+		var hot, cold []int
+		for i := range targets {
+			if recent[targets[i].router] {
+				hot = append(hot, i)
+			} else {
+				cold = append(cold, i)
+			}
+		}
+		if len(hot) >= n {
+			for _, j := range rng.Perm(len(hot))[:n] {
+				picks = append(picks, hot[j])
+			}
+		} else {
+			picks = append(picks, hot...)
+			for _, j := range rng.Perm(len(cold))[:n-len(hot)] {
+				picks = append(picks, cold[j])
+			}
+		}
+	} else {
+		picks = rng.Perm(len(targets))[:n]
+	}
 	sort.Ints(picks)
 	out := make([]falsificationTarget, 0, n)
 	for _, i := range picks {

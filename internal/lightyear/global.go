@@ -67,16 +67,28 @@ type externalStub struct {
 // (CUSTOMER originates CustomerPrefix, ISP behind Ri originates
 // ISPPrefix(i)) when the field is absent.
 func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) (*GlobalResult, error) {
+	sim, isps, customers, err := buildNoTransitSim(t, devs)
+	if err != nil {
+		return nil, err
+	}
+	return evalNoTransit(sim.Run(), isps, customers), nil
+}
+
+// buildNoTransitSim assembles the simulator for a topology: every
+// configured router plus the external stubs its dictionary declares,
+// partitioned into ISPs and customers for the verdict evaluation.
+func buildNoTransitSim(t *topology.Topology, devs map[string]*netcfg.Device) (
+	*batfish.Sim, []externalStub, []externalStub, error) {
 	sim := batfish.NewSim()
 	var stubs []externalStub
 	for i := range t.Routers {
 		spec := &t.Routers[i]
 		dev := devs[spec.Name]
 		if dev == nil {
-			return nil, fmt.Errorf("router %s has no configuration", spec.Name)
+			return nil, nil, nil, fmt.Errorf("router %s has no configuration", spec.Name)
 		}
 		if err := sim.AddDevice(spec.Name, dev); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		ispPeers := 0
 		for _, nb := range spec.Neighbors {
@@ -90,7 +102,7 @@ func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) 
 			}
 			stub, err := stubFor(spec, nb, ispPeers)
 			if err != nil {
-				return nil, err
+				return nil, nil, nil, err
 			}
 			stubs = append(stubs, stub)
 		}
@@ -98,7 +110,7 @@ func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) 
 	var isps, customers []externalStub
 	for _, s := range stubs {
 		if err := sim.AddExternal(s.name, s.addr, s.asn, s.prefixes); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if s.customer {
 			customers = append(customers, s)
@@ -106,8 +118,11 @@ func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) 
 			isps = append(isps, s)
 		}
 	}
-	res := sim.Run()
+	return sim, isps, customers, nil
+}
 
+// evalNoTransit derives the global verdict from a converged simulation.
+func evalNoTransit(res *batfish.Result, isps, customers []externalStub) *GlobalResult {
 	out := &GlobalResult{Converged: res.Converged, Method: MethodSimulated}
 	for _, isp := range isps {
 		// Positive requirements: every ISP and every customer reach each
@@ -140,7 +155,73 @@ func CheckGlobalNoTransit(t *topology.Topology, devs map[string]*netcfg.Device) 
 			}
 		}
 	}
-	return out, nil
+	return out
+}
+
+// GlobalSession is the incremental counterpart of CheckGlobalNoTransit:
+// it keeps the BGP simulator's converged state alive between checks of
+// the same topology, so a repair iteration that changed one router's
+// configuration re-simulates only the flooding frontier instead of the
+// whole network (batfish.Sim.RunIncremental). Results are byte-identical
+// to the cold check — the simulator's equivalence gate guarantees the
+// RIBs, and the verdict evaluation is shared code.
+//
+// A GlobalSession is not safe for concurrent use; callers serialize.
+type GlobalSession struct {
+	topo            *topology.Topology
+	sim             *batfish.Sim
+	isps, customers []externalStub
+}
+
+// NewGlobalSession returns a session for one topology. The first Check
+// pays a full cold simulation; later Checks replay incrementally.
+func NewGlobalSession(t *topology.Topology) *GlobalSession {
+	return &GlobalSession{topo: t}
+}
+
+// Check verifies the global no-transit policy against the given devices.
+// changed names the routers whose device differs from the previous Check
+// of this session; nil means unknown (or first call), which rebuilds the
+// simulator and runs cold. A changed router the session cannot update in
+// place (a topology drift) also falls back to a cold rebuild, so the
+// session never returns a result the cold path would not.
+func (gs *GlobalSession) Check(devs map[string]*netcfg.Device, changed []string) (*GlobalResult, error) {
+	if gs.sim == nil || changed == nil {
+		if err := gs.rebuild(devs); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, r := range changed {
+			dev := devs[r]
+			if dev == nil {
+				// A router vanished from the config set: rebuild, so the
+				// session errors (or not) exactly as the cold check would.
+				if rerr := gs.rebuild(devs); rerr != nil {
+					return nil, rerr
+				}
+				break
+			}
+			if err := gs.sim.Update(r, dev); err != nil {
+				// Unknown router: the topology drifted under the session.
+				if rerr := gs.rebuild(devs); rerr != nil {
+					return nil, rerr
+				}
+				break
+			}
+		}
+	}
+	return evalNoTransit(gs.sim.RunIncremental(), gs.isps, gs.customers), nil
+}
+
+// rebuild constructs a fresh simulator for the session's topology; the
+// next RunIncremental runs cold and records a new baseline.
+func (gs *GlobalSession) rebuild(devs map[string]*netcfg.Device) error {
+	sim, isps, customers, err := buildNoTransitSim(gs.topo, devs)
+	if err != nil {
+		return err
+	}
+	gs.sim, gs.isps, gs.customers = sim, isps, customers
+	return nil
 }
 
 // stubFor derives the external speaker behind one external neighbor.

@@ -1,0 +1,227 @@
+package lightyear_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/batfish"
+	"repro/internal/core"
+	"repro/internal/lightyear"
+	"repro/internal/llm"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+	"repro/internal/topology"
+)
+
+// scenarioConfigs synthesizes one scenario's configurations with an
+// error-free model; the equivalence tests only need deterministic,
+// realistic configs, not a verified run.
+func scenarioConfigs(t *testing.T, topo *topology.Topology) map[string]string {
+	t.Helper()
+	res, err := core.Synthesize(topo, core.SynthOptions{
+		Model:           llm.NewSynthesizer(llm.SynthConfig{Seed: 1, Errors: map[string][]llm.SynthError{}}),
+		SkipGlobalCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Configs
+}
+
+// parseDevs parses configuration texts into fresh devices. Each call
+// returns an independent device set, so tests can mutate one step's
+// devices without corrupting another's.
+func parseDevs(t *testing.T, configs map[string]string) map[string]*netcfg.Device {
+	t.Helper()
+	devs := make(map[string]*netcfg.Device, len(configs))
+	for name, text := range configs {
+		dev, _ := batfish.ParseConfig(text)
+		devs[name] = dev
+	}
+	return devs
+}
+
+// requireSameGlobal pins an incremental verdict against the cold one.
+func requireSameGlobal(t *testing.T, label string, cold, inc *lightyear.GlobalResult) {
+	t.Helper()
+	if !reflect.DeepEqual(cold, inc) {
+		t.Errorf("%s: session verdict diverges from cold check\ncold: %+v\nsession: %+v",
+			label, cold, inc)
+	}
+}
+
+// TestGlobalSessionMatchesColdAcrossScenarios drives one GlobalSession per
+// registry scenario through a mutate/revert sequence — export stripped
+// (transit leak), deny-all (reachability loss) — and pins every verdict
+// against a cold CheckGlobalNoTransit of the same devices.
+func TestGlobalSessionMatchesColdAcrossScenarios(t *testing.T) {
+	for _, s := range netgen.Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			topo, err := s.Generate(s.DefaultSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			configs := scenarioConfigs(t, topo)
+
+			// Mutate a router that carries policy: an ISP attachment point
+			// when the scenario has one, the hub otherwise.
+			mut := "R1"
+			if atts := lightyear.ISPAttachments(topo); len(atts) > 0 {
+				mut = atts[0].Router
+			}
+
+			cold0, err := lightyear.CheckGlobalNoTransit(topo, parseDevs(t, configs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess := lightyear.NewGlobalSession(topo)
+			inc0, err := sess.Check(parseDevs(t, configs), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameGlobal(t, "baseline", cold0, inc0)
+
+			// An explicitly empty change set re-serves the converged state.
+			incSame, err := sess.Check(parseDevs(t, configs), []string{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameGlobal(t, "no-change", cold0, incSame)
+
+			step := func(label string, mutate func(dev *netcfg.Device)) {
+				devs := parseDevs(t, configs)
+				if mutate != nil {
+					mutate(devs[mut])
+				}
+				cold, err := lightyear.CheckGlobalNoTransit(topo, devs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, err := sess.Check(devs, []string{mut})
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameGlobal(t, label, cold, inc)
+			}
+
+			step("export stripped", func(dev *netcfg.Device) {
+				if dev.BGP == nil {
+					return
+				}
+				for _, nb := range dev.BGP.Neighbors {
+					nb.ExportPolicy = ""
+				}
+			})
+			step("revert after leak", nil)
+			step("deny-all export", func(dev *netcfg.Device) {
+				dev.RoutePolicies["DENY_ALL"] = &netcfg.RoutePolicy{Name: "DENY_ALL",
+					Clauses: []*netcfg.PolicyClause{{Seq: 10, Action: netcfg.Deny}}}
+				if dev.BGP == nil {
+					return
+				}
+				for _, nb := range dev.BGP.Neighbors {
+					nb.ExportPolicy = "DENY_ALL"
+				}
+			})
+			step("revert after deny-all", nil)
+		})
+	}
+}
+
+// TestGlobalSessionMatchesColdOnSynthErrorClasses replays every
+// erroneous-LLM-output class the fuzz campaign injects through one
+// persistent session: golden -> mutant -> golden per class, with the
+// change set derived by diffing configuration text — exactly how the
+// repair loop's tracker computes it.
+func TestGlobalSessionMatchesColdOnSynthErrorClasses(t *testing.T) {
+	classes := []llm.SynthError{
+		llm.SErrCLIKeywords, llm.SErrMatchCommunityLiteral, llm.SErrMissingAdditive,
+		llm.SErrCommunityListRegex, llm.SErrTopoWrongIP, llm.SErrTopoMissingNetwork,
+		llm.SErrNeighborOutsideBGP, llm.SErrAndOr, llm.SErrEgressDenyAll,
+	}
+	topo, err := netgen.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := scenarioConfigs(t, topo)
+
+	sess := lightyear.NewGlobalSession(topo)
+	coldGolden, err := lightyear.CheckGlobalNoTransit(topo, parseDevs(t, golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sess.Check(parseDevs(t, golden), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGlobal(t, "golden baseline", coldGolden, inc)
+
+	for _, class := range classes {
+		res, err := core.Synthesize(topo, core.SynthOptions{
+			Model: llm.NewSynthesizer(llm.SynthConfig{Seed: 1,
+				Errors: map[string][]llm.SynthError{"R1": {class}}}),
+			SkipGlobalCheck:       true,
+			MaxAttemptsPerFinding: 1,
+			Human:                 core.NoHuman{},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		changed := []string{}
+		for name, text := range golden {
+			if res.Configs[name] != text {
+				changed = append(changed, name)
+			}
+		}
+
+		cold, err := lightyear.CheckGlobalNoTransit(topo, parseDevs(t, res.Configs))
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		inc, err := sess.Check(parseDevs(t, res.Configs), changed)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		requireSameGlobal(t, class.String()+" mutant", cold, inc)
+
+		inc, err = sess.Check(parseDevs(t, golden), changed)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		requireSameGlobal(t, class.String()+" reverted", coldGolden, inc)
+	}
+}
+
+// TestGlobalSessionSurvivesTopologyDrift updates a router the session has
+// never seen (a drifted device map): the session must fall back to a cold
+// rebuild and report exactly what the cold check would — including the
+// cold check's error when a configuration is missing.
+func TestGlobalSessionSurvivesTopologyDrift(t *testing.T) {
+	topo, _ := netgen.Star(3)
+	configs := scenarioConfigs(t, topo)
+
+	sess := lightyear.NewGlobalSession(topo)
+	if _, err := sess.Check(parseDevs(t, configs), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A router named in changed but absent from the device map: cold
+	// errors, so the session must too.
+	devs := parseDevs(t, configs)
+	delete(devs, "R2")
+	if _, err := sess.Check(devs, []string{"R2"}); err == nil {
+		t.Fatal("missing device should error like the cold check")
+	}
+
+	// The session recovers on the next complete device set.
+	cold, err := lightyear.CheckGlobalNoTransit(topo, parseDevs(t, configs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sess.Check(parseDevs(t, configs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGlobal(t, "recovery", cold, inc)
+}

@@ -35,26 +35,36 @@ type Task struct {
 // star topologies and at every ISP attachment point on other graphs.
 func Tasks(t *topology.Topology) []Task {
 	reqs := lightyear.SpecFor(t)
+	// Bucket the spec by router in one pass. The spec grows with the
+	// network's attachment count, so rescanning it once per router made
+	// prompt rendering quadratic in network size; the buckets preserve
+	// spec order, so each router's LocalSpec is unchanged.
+	byRouter := make(map[string][]lightyear.Requirement, len(t.Routers))
+	for _, r := range reqs {
+		byRouter[r.Router] = append(byRouter[r.Router], r)
+	}
 	// Derive the policy-role inputs once; routerPrompt runs per router and
 	// the scans are O(V+E).
 	star := netgen.IsStar(t)
 	var attaches []lightyear.Attachment
+	var comms []string
 	if !star {
 		attaches = lightyear.ISPAttachments(t)
+		// Every attachment's community tag renders in every other
+		// attachment's egress sentence; format each once up front instead
+		// of once per sentence it appears in.
+		comms = make([]string, len(attaches))
+		for i := range attaches {
+			comms[i] = attaches[i].Community().String()
+		}
 	}
 	var out []Task
 	for i := range t.Routers {
 		spec := &t.Routers[i]
-		var local []lightyear.Requirement
-		for _, r := range reqs {
-			if r.Router == spec.Name {
-				local = append(local, r)
-			}
-		}
 		out = append(out, Task{
 			Router:    spec.Name,
-			Prompt:    routerPrompt(t, spec, star, attaches),
-			LocalSpec: local,
+			Prompt:    routerPrompt(t, spec, star, attaches, comms),
+			LocalSpec: byRouter[spec.Name],
 		})
 	}
 	return out
@@ -64,7 +74,7 @@ func Tasks(t *topology.Topology) []Task {
 // machine-generated (the paper notes hand-written topology prose is
 // error-prone, §4.1) and deliberately regular.
 func routerPrompt(t *topology.Topology, spec *topology.RouterSpec,
-	star bool, attaches []lightyear.Attachment) string {
+	star bool, attaches []lightyear.Attachment, comms []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Generate the Cisco IOS configuration file for router %s.\n", spec.Name)
 	fmt.Fprintf(&b, "Router %s has AS number %d and router ID %s.\n", spec.Name, spec.ASN, spec.RouterID)
@@ -88,7 +98,7 @@ func routerPrompt(t *topology.Topology, spec *topology.RouterSpec,
 			b.WriteString(policyInstructions(t))
 		}
 	} else {
-		b.WriteString(attachmentPolicyInstructions(spec, attaches))
+		b.WriteString(attachmentPolicyInstructions(spec, attaches, comms))
 	}
 	return b.String()
 }
@@ -96,12 +106,14 @@ func routerPrompt(t *topology.Topology, spec *topology.RouterSpec,
 // attachmentPolicyInstructions renders the local no-transit role of an ISP
 // attachment point on a non-star topology: tag at the ISP ingress, filter
 // every other attachment's tag at the ISP egress. Routers without an ISP
-// attachment have no policy role.
-func attachmentPolicyInstructions(spec *topology.RouterSpec, attaches []lightyear.Attachment) string {
-	var mine []lightyear.Attachment
-	for _, a := range attaches {
-		if a.Router == spec.Name {
-			mine = append(mine, a)
+// attachment have no policy role. comms is the pre-formatted community
+// string of each attachment, positionally matched to attaches.
+func attachmentPolicyInstructions(spec *topology.RouterSpec,
+	attaches []lightyear.Attachment, comms []string) string {
+	var mine []int
+	for i := range attaches {
+		if attaches[i].Router == spec.Name {
+			mine = append(mine, i)
 		}
 	}
 	if len(mine) == 0 {
@@ -109,18 +121,21 @@ func attachmentPolicyInstructions(spec *topology.RouterSpec, attaches []lightyea
 	}
 	var b strings.Builder
 	b.WriteString("Policy instructions:\n")
-	for _, a := range mine {
+	for _, mi := range mine {
+		a := attaches[mi]
 		fmt.Fprintf(&b, "At the ingress from %s (neighbor %s), apply route-map %s "+
 			"that adds the community %s to every incoming route.\n",
-			a.Peer.PeerName, a.Peer.PeerIP, a.IngressPolicy(), a.Community())
+			a.Peer.PeerName, a.Peer.PeerIP, a.IngressPolicy(), comms[mi])
 	}
-	for _, a := range mine {
-		var others []string
-		for _, o := range attaches {
+	for _, mi := range mine {
+		a := attaches[mi]
+		others := make([]string, 0, len(attaches)-1)
+		for j := range attaches {
+			o := &attaches[j]
 			if o.Router == a.Router && o.Peer.PeerName == a.Peer.PeerName {
 				continue
 			}
-			others = append(others, o.Community().String())
+			others = append(others, comms[j])
 		}
 		if len(others) == 0 {
 			continue
@@ -144,19 +159,24 @@ func policyInstructions(t *topology.Topology) string {
 		fmt.Sscanf(t.Routers[i].Name, "R%d", &n)
 		spokes = append(spokes, n)
 	}
+	// Each spoke's community tag appears in every other spoke's egress
+	// sentence; format the tags once instead of once per appearance.
+	tags := make([]string, len(spokes))
+	for k, i := range spokes {
+		tags[k] = netgen.ISPCommunity(i).String()
+	}
 	var b strings.Builder
 	b.WriteString("Policy instructions:\n")
-	for _, i := range spokes {
-		tag := netgen.ISPCommunity(i)
+	for k, i := range spokes {
 		fmt.Fprintf(&b, "At the ingress from R%d (neighbor %d.0.0.2), apply route-map %s "+
 			"that adds the community %s to every incoming route.\n",
-			i, i, lightyear.IngressPolicyName(i), tag)
+			i, i, lightyear.IngressPolicyName(i), tags[k])
 	}
 	for _, i := range spokes {
-		var others []string
-		for _, j := range spokes {
-			if j != i {
-				others = append(others, netgen.ISPCommunity(j).String())
+		others := make([]string, 0, len(spokes)-1)
+		for j, n := range spokes {
+			if n != i {
+				others = append(others, tags[j])
 			}
 		}
 		fmt.Fprintf(&b, "At the egress to R%d (neighbor %d.0.0.2), apply route-map %s "+

@@ -1,0 +1,59 @@
+package suite
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/lightyear"
+	"repro/internal/topology"
+)
+
+// GlobalHint carries the change-locality information for one global
+// no-transit check inside a run: which routers' configurations changed
+// since the run's previous global check, and the digest of that previous
+// config set. It is the seam the repair pipeline hands its
+// one-router-changed-per-iteration knowledge through, so an incremental
+// verifier (in-process or a batfishd keeping a per-run simulation
+// session) can re-simulate only the flooding frontier instead of the
+// whole network.
+type GlobalHint struct {
+	// Changed lists the routers whose configuration differs from the
+	// previous GlobalNoTransit call of the same run, in sorted order. nil
+	// means unknown (or a run's first call), which forces a cold check; an
+	// empty non-nil slice asserts nothing changed.
+	Changed []string `json:"changed,omitempty"`
+	// PriorDigest is ConfigDigest of the previous call's config set — the
+	// content address an incremental server resumes its simulation session
+	// from. Empty on a run's first call.
+	PriorDigest string `json:"prior_digest,omitempty"`
+}
+
+// IncrementalGlobal is the optional capability a Verifier implements to
+// accept change-locality hints on the global check. Results must be
+// byte-identical to the verifier's plain GlobalNoTransit — the hint
+// changes cost, never verdicts.
+type IncrementalGlobal interface {
+	GlobalNoTransitIncremental(t *topology.Topology, configs map[string]string,
+		hint *GlobalHint) (*lightyear.GlobalResult, error)
+}
+
+// ConfigDigest content-addresses a configuration set: the hex SHA-256 of
+// its canonical JSON form (Go marshals map keys sorted, so every client
+// and server derives the same digest from the same set). The incremental
+// global protocol keys simulation sessions by it.
+func ConfigDigest(configs map[string]string) string {
+	data, _ := json.Marshal(configs)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// TopologyDigest content-addresses a topology dictionary the same way;
+// incremental servers compare it before resuming a session, so two runs
+// whose config sets collide on different topologies can never share
+// simulator state.
+func TopologyDigest(t *topology.Topology) string {
+	data, _ := json.Marshal(t)
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
