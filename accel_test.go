@@ -18,12 +18,14 @@ import (
 // client over them. dieAfter > 0 arranges for the first shard to crash
 // mid-run: after serving that many requests it aborts every connection
 // without a response — the failure mode of a killed batfishd — so the
-// ring must fail its work over onto the survivors.
-func shardFleet(t *testing.T, n int, dieAfter int64) *rest.ShardedClient {
+// ring must fail its work over onto the survivors. maxProto > 0 caps the
+// fleet's batch dialect (rest.HandlerOptions.MaxBatchProtocol), modeling
+// an old-binary fleet the client must degrade against.
+func shardFleet(t *testing.T, n int, dieAfter int64, maxProto int) *rest.ShardedClient {
 	t.Helper()
 	endpoints := make([]string, n)
 	for i := 0; i < n; i++ {
-		handler := http.Handler(rest.NewHandler())
+		handler := http.Handler(rest.NewHandlerOpts(rest.HandlerOptions{MaxBatchProtocol: maxProto}))
 		if i == 0 {
 			handler = faultinject.AbortAfter(handler, dieAfter)
 		}
@@ -95,7 +97,7 @@ func TestShardedSynthesisByteIdentical(t *testing.T) {
 				// its checks without changing the transcript.
 				{"3-shard-one-killed", 3, 1},
 			} {
-				client := shardFleet(t, mode.shards, mode.dieAfter)
+				client := shardFleet(t, mode.shards, mode.dieAfter, 0)
 				res, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
 					SynthesizeOptions{Verifier: client})
 				if err != nil {
@@ -131,16 +133,22 @@ func TestShardedSynthesisByteIdentical(t *testing.T) {
 
 // TestConfiguredBackendByteIdentical is the CI matrix hook: the workflow
 // runs the suite once per backend, setting COSYNTH_TEST_BACKEND to
-// "in-process" or "sharded-N", and this test re-runs the byte-identical
-// gate through that backend on every registry scenario. Unset, it skips —
-// the dedicated tests above already cover both backends.
+// "in-process", "sharded-N", or "sharded-N-v3" (a fleet capped at batch
+// protocol 3, so the client's delta dialect is rejected and must degrade),
+// and this test re-runs the byte-identical gate through that backend on
+// every registry scenario. Unset, it skips — the dedicated tests above
+// already cover the backends.
 func TestConfiguredBackendByteIdentical(t *testing.T) {
 	backend := os.Getenv("COSYNTH_TEST_BACKEND")
 	if backend == "" {
 		t.Skip("COSYNTH_TEST_BACKEND not set (CI matrix hook)")
 	}
-	shards := 0
+	shards, maxProto := 0, 0
 	if s, ok := strings.CutPrefix(backend, "sharded-"); ok {
+		if v3, ok := strings.CutSuffix(s, "-v3"); ok {
+			s = v3
+			maxProto = 3
+		}
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 1 {
 			t.Fatalf("bad COSYNTH_TEST_BACKEND %q", backend)
@@ -153,13 +161,13 @@ func TestConfiguredBackendByteIdentical(t *testing.T) {
 		info := info
 		t.Run(fmt.Sprintf("%s/%s", info.Name, backend), func(t *testing.T) {
 			baseline, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
-				SynthesizeOptions{DisableVerifierCache: true})
+				SynthesizeOptions{DisableVerifierCache: true, FullConfigPipeline: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			opts := SynthesizeOptions{}
 			if shards > 0 {
-				opts.Verifier = shardFleet(t, shards, 0)
+				opts.Verifier = shardFleet(t, shards, 0, maxProto)
 			}
 			res, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize), opts)
 			if err != nil {
@@ -172,15 +180,17 @@ func TestConfiguredBackendByteIdentical(t *testing.T) {
 
 // TestAcceleratedSynthesisByteIdentical is the acceptance gate for the
 // verification acceleration layer: on every registry scenario, the
-// incremental cache plus the concurrent suite scan must produce a
-// transcript (and configs, and leverage) byte-identical to the pre-cache
-// sequential loop's.
+// incremental cache plus the concurrent suite scan plus the stanza-level
+// incremental config pipeline must produce a transcript (and configs, and
+// leverage) byte-identical to the pre-cache sequential loop rendering and
+// parsing whole configurations from scratch (FullConfigPipeline).
 func TestAcceleratedSynthesisByteIdentical(t *testing.T) {
 	for _, info := range Topologies() {
 		info := info
 		t.Run(info.Name, func(t *testing.T) {
 			topo := mustTopo(t, info.Name, info.DefaultSize)
-			baseline, err := Synthesize(topo, SynthesizeOptions{DisableVerifierCache: true})
+			baseline, err := Synthesize(topo,
+				SynthesizeOptions{DisableVerifierCache: true, FullConfigPipeline: true})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -27,6 +29,7 @@ import (
 	"repro/internal/modularizer"
 	"repro/internal/netcfg"
 	"repro/internal/netgen"
+	"repro/internal/suite"
 )
 
 // benchJSON emits one machine-readable result line per benchmark so CI
@@ -862,6 +865,228 @@ func BenchmarkPromptRender(b *testing.B) {
 		"prompt-bytes":    float64(bytes),
 		"wall-ms-per-run": wallMS,
 	})
+}
+
+// BenchmarkIncrementalConfig (E21, extension) measures the stanza-level
+// incremental config pipeline per repair iteration, cold vs incremental,
+// on the 200-router random graph and the fat-tree. One repair iteration
+// re-emits one router's configuration and re-verifies the new revision;
+// the benchmark isolates the three costs the pipeline attacks:
+//
+//	render — the model re-prints a router after a one-section fix. The
+//	FullRender baseline re-prints every section; the incremental renderer
+//	re-renders the changed section and joins the cached rest.
+//	parse — the verifier parses the new revision (fresh text every
+//	iteration, as in the real loop). The whole-text cache re-parses the
+//	full device; the stanza sub-cache re-parses only the changed stanza
+//	and reassembles the device from cached fragments.
+//	bytes-on-wire — the REST client ships the revision to a shard holding
+//	the prior revision. Protocol v4 sends a stanza delta; a v3-capped
+//	fleet (after the client's one-time latch) receives full bodies.
+//
+// Results are pinned byte-identical elsewhere (render tests, stanza
+// round-trip tests, TestAcceleratedSynthesisByteIdentical); here delta
+// and full-body wire results are compared directly. The acceptance shape
+// on random-200: ≥3× combined render+parse reduction and ≥5× bytes-on-
+// wire reduction per iteration.
+func BenchmarkIncrementalConfig(b *testing.B) {
+	for _, c := range []struct {
+		scenario string
+		size     int
+	}{{"random", 200}, {"fat-tree", 0}} {
+		c := c
+		name := c.scenario
+		if c.size > 0 {
+			name = fmt.Sprintf("%s-%d", c.scenario, c.size)
+		}
+		b.Run(name, func(b *testing.B) {
+			topo, err := netgen.Generate(c.scenario, c.size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tasks := modularizer.Tasks(topo)
+			errs := map[string][]llm.SynthError{}
+			for _, task := range tasks {
+				errs[task.Router] = []llm.SynthError{llm.SErrTopoWrongIP}
+			}
+			res, err := core.Synthesize(topo, core.SynthOptions{
+				Model: llm.NewSynthesizer(llm.SynthConfig{Seed: 1,
+					Errors: map[string][]llm.SynthError{}}),
+				SkipGlobalCheck: true,
+				Parallelism:     8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The iteration target is the largest configuration — the shape
+			// of a hub repair, where incrementality matters most and the
+			// seed's whole-config costs are worst.
+			text := ""
+			for _, t := range res.Configs {
+				if len(t) > len(text) {
+					text = t
+				}
+			}
+			if !strings.HasSuffix(text, "\n") {
+				text += "\n"
+			}
+			// revision(i) is the target config with exactly one stanza
+			// changed: fresh text each iteration, so every cache tier sees a
+			// genuinely new revision, differing from its predecessor in one
+			// stanza — a repair iteration's output.
+			revision := func(i int) string {
+				return fmt.Sprintf("%s!\nip community-list 90 permit 900:%d\n",
+					text, i%60000+1)
+			}
+
+			const itersPerRun = 8
+			var renderFullNS, renderIncNS, parseFullNS, parseIncNS int64
+			var bytesFull, bytesDelta int64
+			var renderIters, parseIters, wireIters int
+			ctx := context.Background()
+
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				// Render: generate every router (untimed), then time one
+				// fix + re-print round per router on each model.
+				for _, full := range []bool{true, false} {
+					model := llm.NewSynthesizer(llm.SynthConfig{
+						Seed: 1, Errors: errs, FullRender: full})
+					for _, task := range tasks {
+						if _, err := model.Complete([]llm.Message{
+							{Role: llm.RoleAutomated, Content: task.Prompt}}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					runtime.GC()
+					start := time.Now()
+					for _, task := range tasks {
+						fix := "The interface ip address does not match the topology on router " +
+							task.Router + "."
+						if _, err := model.Complete([]llm.Message{
+							{Role: llm.RoleAutomated, Content: fix}}); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := model.Complete([]llm.Message{
+							{Role: llm.RoleAutomated, Content: llm.PrintRequest}}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					ns := time.Since(start).Nanoseconds()
+					if full {
+						renderFullNS += ns
+					} else {
+						renderIncNS += ns
+					}
+				}
+				runtime.GC() // keep collector noise out of the sub-ms parse windows
+				renderIters += 2 * len(tasks)
+
+				// Parse: both caches warmed with the golden family, then each
+				// revision parsed cold (new text) through each cache.
+				incCache := batfish.NewParseCache()
+				fullCache := batfish.NewWholeParseCache()
+				for _, t := range res.Configs {
+					incCache.Parse(t)
+					fullCache.Parse(t)
+				}
+				base := n * (itersPerRun + 2)
+				for i := 0; i < itersPerRun; i++ {
+					rev := revision(base + 2 + i)
+					runtime.GC()
+					start := time.Now()
+					fullCache.Parse(rev)
+					parseFullNS += time.Since(start).Nanoseconds()
+					runtime.GC()
+					start = time.Now()
+					incCache.Parse(rev)
+					parseIncNS += time.Since(start).Nanoseconds()
+				}
+				parseIters += itersPerRun
+
+				// Wire: the same revision stream checked against a v4 shard
+				// (deltas) and a v3-capped shard (full bodies). Two warm
+				// calls seed the prior revision on one side and burn the
+				// delta-reject latch on the other; the measured window then
+				// compares steady-state bytes per iteration.
+				srvV4 := httptest.NewServer(rest.NewHandler())
+				srvV3 := httptest.NewServer(rest.NewHandlerOpts(
+					rest.HandlerOptions{MaxBatchProtocol: 3}))
+				cl4 := rest.NewClient(srvV4.URL)
+				cl3 := rest.NewClient(srvV3.URL)
+				for i := 0; i < 2; i++ {
+					checks := []suite.Check{{Kind: suite.KindSyntax, Config: revision(base + i)}}
+					if _, err := cl4.CheckBatch(ctx, checks); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := cl3.CheckBatch(ctx, checks); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b4, b3 := cl4.BytesSent(), cl3.BytesSent()
+				for i := 0; i < itersPerRun; i++ {
+					checks := []suite.Check{{Kind: suite.KindSyntax, Config: revision(base + 2 + i)}}
+					r4, err := cl4.CheckBatch(ctx, checks)
+					if err != nil {
+						b.Fatal(err)
+					}
+					r3, err := cl3.CheckBatch(ctx, checks)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !reflect.DeepEqual(r4, r3) {
+						b.Fatal("delta-carried results diverge from full-body results")
+					}
+				}
+				bytesDelta += cl4.BytesSent() - b4
+				bytesFull += cl3.BytesSent() - b3
+				wireIters += itersPerRun
+				srvV4.Close()
+				srvV3.Close()
+			}
+			b.StopTimer()
+
+			renderFullMS := float64(renderFullNS) / 1e6 / float64(renderIters)
+			renderIncMS := float64(renderIncNS) / 1e6 / float64(renderIters)
+			parseFullMS := float64(parseFullNS) / 1e6 / float64(parseIters)
+			parseIncMS := float64(parseIncNS) / 1e6 / float64(parseIters)
+			renderParseSpeedup := 0.0
+			if renderIncMS+parseIncMS > 0 {
+				renderParseSpeedup = (renderFullMS + parseFullMS) / (renderIncMS + parseIncMS)
+			}
+			bytesFullPer := float64(bytesFull) / float64(wireIters)
+			bytesDeltaPer := float64(bytesDelta) / float64(wireIters)
+			wireReduction := 0.0
+			if bytesDeltaPer > 0 {
+				wireReduction = bytesFullPer / bytesDeltaPer
+			}
+			if c.scenario == "random" {
+				if renderParseSpeedup < 3 {
+					b.Fatalf("shape violated: render+parse speedup %.1fx < 3x "+
+						"(full %.3f+%.3f ms, incremental %.3f+%.3f ms)",
+						renderParseSpeedup, renderFullMS, parseFullMS, renderIncMS, parseIncMS)
+				}
+				if wireReduction < 5 {
+					b.Fatalf("shape violated: bytes-on-wire reduction %.1fx < 5x "+
+						"(full %.0f B/iter, delta %.0f B/iter)",
+						wireReduction, bytesFullPer, bytesDeltaPer)
+				}
+			}
+			b.ReportMetric(renderParseSpeedup, "render+parse-speedup")
+			b.ReportMetric(wireReduction, "wire-reduction")
+			benchJSON(b, map[string]float64{
+				"routers":               float64(len(res.Configs)),
+				"render-full-ms":        renderFullMS,
+				"render-incremental-ms": renderIncMS,
+				"parse-full-ms":         parseFullMS,
+				"parse-incremental-ms":  parseIncMS,
+				"render-parse-speedup":  renderParseSpeedup,
+				"bytes-full-per-iter":   bytesFullPer,
+				"bytes-delta-per-iter":  bytesDeltaPer,
+				"wire-reduction":        wireReduction,
+			})
+		})
+	}
 }
 
 // BenchmarkIncrementalPolicyAddition (E11, extension) runs the paper's §6

@@ -284,6 +284,43 @@
 // wall: prompts were re-deriving the O(V+E) topology description per
 // router, O(V·(V+E)) per run).
 //
+// # Incremental configuration pipeline
+//
+// The same once-per-iteration waste existed below the verifiers: a
+// repair iteration edits one stanza of one router's configuration, yet
+// the engine re-rendered every section of the prompt product, re-parsed
+// the whole revision, and re-shipped the full config text to every
+// shard. The configuration pipeline is now stanza-incremental end to
+// end, behind the same contract as every other accelerator — byte-
+// identical outputs, with a FullRender/WholeParseCache off-switch the
+// equivalence gates compare against.
+//
+// Segmentation (netcfg.Stanza, cisco.SplitStanzas, juniper.SplitStanzas)
+// is lossless by construction: JoinStanzas reproduces the text exactly,
+// property-tested across every registry scenario and every injected
+// LLM-error class. Each stanza carries a kind, a name, and a SHA-256
+// digest — the address the rest of the pipeline keys on.
+//
+// Rendering (internal/llm) memoizes per-section render products by a
+// section signature, so a fix that touches one router's BGP stanza
+// re-renders that stanza and reuses the rest. Parsing
+// (batfish.NewParseCache) answers a whole-config miss by splitting the
+// revision, looking up each stanza's fragment parse in a digest-keyed
+// sub-cache (with a durable disk tier via SetFragmentStore), and
+// reassembling; a split memo of recent revisions lets the splitter
+// resume from the longest common prefix of a prior split, so a one-line
+// edit re-splits and re-hashes only the changed tail. Any assembly the
+// dialect cannot prove safe — Junos entirely, or a merge the assembler
+// rejects — falls back to the whole parse, identical by construction.
+//
+// On the wire, batch protocol v4 ships config deltas: the client sends
+// stanza digests plus only the stanza bodies the server has not
+// acknowledged, and the server reassembles against its fragment store.
+// A v3 fleet rejects the dialect at handshake and the client degrades
+// to full-config batches (the sharded-3-v3 CI leg pins this interop).
+// Benchmark E21 (BenchmarkIncrementalConfig) measures the per-iteration
+// render+parse cost and bytes-on-wire, incremental against full.
+//
 // # Fuzzing the LLM error space
 //
 // The paper's claim is about erroneous LLM output, so the erroneous

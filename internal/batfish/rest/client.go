@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -112,7 +113,32 @@ type Client struct {
 	// dialect — so the run pays exactly one extra round-trip before
 	// settling back on stateless v1 checks.
 	noTransitIncUnsupported atomic.Bool
+	// deltasUnsupported latches after a 400 on a delta-carrying batch
+	// (batch protocol v4) — an older server's version gate or strict
+	// decoder — so the run pays exactly one extra round-trip before
+	// settling back on full config bodies. A 409 (stale revision) never
+	// latches: it is repaired per call by re-sending full bodies.
+	deltasUnsupported atomic.Bool
+	// bytesOut sums the request-body bytes this client put on the wire —
+	// the quantity the delta protocol exists to shrink, compared directly
+	// by the benchmarks.
+	bytesOut atomic.Int64
+	// revMu guards the delta bookkeeping: which configuration revisions
+	// the server is believed to hold (revs, FIFO-bounded via revOrder) and
+	// which revision was last sent for each device (lastRev, keyed by
+	// deltaKey). digests memoizes revision hashing across it all.
+	revMu    sync.Mutex
+	revs     map[string][]string
+	revOrder []string
+	lastRev  map[string]string
+	digests  *suite.Digests
 }
+
+// maxClientRevisions bounds the client's stored revision splits: a run
+// touches one config set's worth of devices, so 64 covers every registry
+// scenario with room while keeping a long multi-scenario process from
+// accumulating splits forever.
+const maxClientRevisions = 64
 
 // prewarmState names the scenario whose bodies a server holds resolvable.
 type prewarmState struct {
@@ -151,11 +177,17 @@ func NewClientOpts(base string, opts ClientOptions) *Client {
 		maxAttempts: opts.MaxAttempts,
 		retryBase:   opts.RetryBaseDelay,
 		retryMax:    opts.RetryMaxDelay,
+		revs:        map[string][]string{},
+		lastRev:     map[string]string{},
+		digests:     suite.NewDigests(),
 	}
 }
 
 // Calls returns the number of HTTP round-trips issued so far.
 func (c *Client) Calls() int64 { return c.calls.Load() }
+
+// BytesSent returns the request-body bytes put on the wire so far.
+func (c *Client) BytesSent() int64 { return c.bytesOut.Load() }
 
 // Retries returns the number of transport-layer retry attempts issued —
 // round-trips beyond each request's first.
@@ -223,6 +255,7 @@ func (c *Client) post1(ctx context.Context, path string, in, out interface{}) (s
 	}
 	req.Header.Set("Content-Type", "application/json")
 	c.calls.Add(1)
+	c.bytesOut.Add(int64(len(body)))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -479,30 +512,117 @@ func (c *Client) Capabilities() suite.Capabilities {
 	return suite.Capabilities{Batched: true}
 }
 
+// configDelta builds the v4 delta for one configuration, or nil when no
+// usable prior revision is known (first sight of the device, identical
+// revision, or a delta that would not pay).
+func (c *Client) configDelta(text string) *ConfigDelta {
+	key := deltaKey(text)
+	if key == "" {
+		return nil
+	}
+	dg := c.digests.Of(text)
+	c.revMu.Lock()
+	last, ok := c.lastRev[key]
+	var prior []string
+	if ok && last != dg {
+		prior = c.revs[last] // stored splits are never mutated, safe outside the lock
+	}
+	c.revMu.Unlock()
+	if prior == nil {
+		return nil
+	}
+	return buildDelta(last, prior, text, c.digests)
+}
+
+// recordRevision remembers that the server now holds this revision (it
+// just served a batch carrying or reassembling it), splitting the text
+// once so later deltas can be built against it.
+func (c *Client) recordRevision(text string) {
+	key := deltaKey(text)
+	if key == "" {
+		return
+	}
+	dg := c.digests.Of(text)
+	c.revMu.Lock()
+	_, stored := c.revs[dg]
+	c.revMu.Unlock()
+	var split []string
+	if !stored {
+		split = stanzaTexts(text)
+	}
+	c.revMu.Lock()
+	defer c.revMu.Unlock()
+	if _, ok := c.revs[dg]; !ok && split != nil {
+		c.revs[dg] = split
+		c.revOrder = append(c.revOrder, dg)
+		for len(c.revOrder) > maxClientRevisions {
+			delete(c.revs, c.revOrder[0])
+			c.revOrder = c.revOrder[1:]
+		}
+	}
+	c.lastRev[key] = dg
+}
+
+// clearRevisions forgets every revision the server was believed to hold —
+// the reaction to a 409, which proves the belief stale (restart,
+// eviction, or a fleet re-shuffle landing the device elsewhere).
+func (c *Client) clearRevisions() {
+	c.revMu.Lock()
+	defer c.revMu.Unlock()
+	c.revs = map[string][]string{}
+	c.revOrder = nil
+	c.lastRev = map[string]string{}
+}
+
 // CheckBatch implements the engine's backend seam (suite.Backend): all
 // checks ship as one /v1/batch round-trip. After a registry pre-warm
 // against a server that registered resolvable bodies (see WarmScenario),
 // spec and requirement bodies leave the wire: checks carry their
 // RefDigest instead, and the request is stamped v3 with the scenario the
-// server resolves them against. Against a server without the batch
-// endpoint the client falls back to one call per check — same results,
-// old cost — and remembers, so the probe is paid once per client;
-// likewise a rejected reference dialect is retried with full bodies once
-// and remembered.
+// server resolves them against. Configurations the server already holds a
+// prior revision of leave the wire too: their checks carry a stanza-level
+// ConfigDelta instead of the body, and the request is stamped v4 (see
+// BatchProtocolVersion). Against a server without the batch endpoint the
+// client falls back to one call per check — same results, old cost — and
+// remembers, so the probe is paid once per client; likewise a rejected
+// reference or delta dialect is retried without it once and remembered,
+// and a stale-revision 409 is repaired per call by re-sending full
+// bodies, which re-seed the server's revision store.
 func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.Result, error) {
 	if len(checks) == 0 {
 		return nil, nil
 	}
+	// skipDeltas suppresses deltas for this call only: after a 409 the
+	// resend must carry full bodies, but the capability itself is intact.
+	skipDeltas := false
 	for !c.batchUnsupported.Load() {
 		prewarmed := c.prewarm.Load()
 		useRefs := prewarmed != nil && !c.refsUnsupported.Load()
+		useDeltas := !skipDeltas && !c.deltasUnsupported.Load()
 		// Stamp the request with the dialect its payload actually uses: a
 		// full-bodied batch is a v2 payload even from this client, so only
-		// ref-carrying requests are ever version-rejected by older servers.
+		// ref- or delta-carrying requests are ever version-rejected by
+		// older servers.
 		req := BatchRequest{Version: 2, Checks: make([]BatchCheck, len(checks))}
-		refs := false
+		refs, deltas := false, false
+		// One delta per distinct revision: a batch carries the same
+		// configuration for its syntax, topology, and local checks, and
+		// they all diff against the same prior.
+		deltaFor := map[string]*ConfigDelta{}
 		for i, sc := range checks {
 			bc := BatchCheck{Kind: string(sc.Kind), Config: sc.Config, Original: sc.Original}
+			if useDeltas && sc.Config != "" {
+				cd, ok := deltaFor[sc.Config]
+				if !ok {
+					cd = c.configDelta(sc.Config)
+					deltaFor[sc.Config] = cd
+				}
+				if cd != nil {
+					bc.ConfigDelta = cd
+					bc.Config = ""
+					deltas = true
+				}
+			}
 			if useRefs && sc.Spec != nil {
 				bc.SpecRef = RefDigest(sc.Spec)
 				refs = true
@@ -518,9 +638,12 @@ func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.
 			req.Checks[i] = bc
 		}
 		if refs {
-			req.Version = BatchProtocolVersion
+			req.Version = 3
 			req.Scenario = prewarmed.scenario
 			req.Seed = prewarmed.seed
+		}
+		if deltas {
+			req.Version = BatchProtocolVersion
 		}
 		var resp BatchResponse
 		status, err := c.postCtx(ctx, PathBatch, req, &resp)
@@ -529,6 +652,18 @@ func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.
 			if len(resp.Results) != len(checks) {
 				return nil, fmt.Errorf("%s: %d results for %d checks",
 					PathBatch, len(resp.Results), len(checks))
+			}
+			// The server now holds every revision this batch carried (as a
+			// body or a reassembled delta); remember them so the next batch
+			// can ship deltas against them.
+			if !c.deltasUnsupported.Load() {
+				recorded := map[string]bool{}
+				for _, sc := range checks {
+					if sc.Config != "" && !recorded[sc.Config] {
+						recorded[sc.Config] = true
+						c.recordRevision(sc.Config)
+					}
+				}
 			}
 			out := make([]suite.Result, len(checks))
 			for i, r := range resp.Results {
@@ -550,6 +685,20 @@ func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.
 			// died after the status line); it means the endpoint is down,
 			// not that the dialect was rejected — never latch on it.
 			return nil, err
+		case deltas && status == http.StatusConflict:
+			// The server no longer holds (or could not reproduce) a prior
+			// revision — a restart, an eviction, or a fleet re-shuffle.
+			// Re-send this batch with full bodies, which re-seed its store,
+			// without giving up deltas for the run.
+			c.clearRevisions()
+			skipDeltas = true
+			continue
+		case deltas && status == http.StatusBadRequest:
+			// The delta dialect was rejected: an older server's version
+			// gate, or its strict decoder choking on the unknown field. Pay
+			// one retry with full bodies and remember.
+			c.deltasUnsupported.Store(true)
+			continue
 		case refs && status == http.StatusBadRequest:
 			// The reference dialect was rejected: an older server, or a
 			// registry that does not resolve this client's digests. Pay

@@ -1,0 +1,135 @@
+package rest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/batfish"
+	"repro/internal/suite"
+)
+
+// stanzaTexts splits a configuration into its stanza byte segments — the
+// unit the v4 delta ops count in. The splitters are lossless, so
+// concatenating the result in order reproduces the text exactly; that is
+// what lets a delta be applied by splicing stored segments.
+func stanzaTexts(text string) []string {
+	stanzas := batfish.SplitStanzas(text)
+	out := make([]string, len(stanzas))
+	for i, s := range stanzas {
+		out[i] = s.Text
+	}
+	return out
+}
+
+// deltaWorthRatio bounds when a delta pays: when the spliced replacement
+// text reaches this fraction of the full body, the delta saves too little
+// wire to justify the server-side reassembly — ship the body instead.
+const deltaWorthRatio = 0.75
+
+// buildDelta computes the stanza-level edit from a prior revision's
+// stanza sequence to text: the common stanza prefix and suffix are kept
+// from the prior revision, the differing middle is skipped from it and
+// spliced in from the new text verbatim. A repair-loop iteration edits
+// one stanza of one router, so the middle is typically a single stanza
+// and the delta a few hundred bytes. Returns nil when the delta would not
+// pay (no shared stanzas, or the replacement approaches the full body).
+func buildDelta(priorDigest string, prior []string, text string, d *suite.Digests) *ConfigDelta {
+	next := stanzaTexts(text)
+	if len(prior) == 0 || len(next) == 0 {
+		return nil
+	}
+	limit := len(prior)
+	if len(next) < limit {
+		limit = len(next)
+	}
+	p := 0
+	for p < limit && prior[p] == next[p] {
+		p++
+	}
+	s := 0
+	for s < limit-p && prior[len(prior)-1-s] == next[len(next)-1-s] {
+		s++
+	}
+	if p+s == 0 {
+		return nil
+	}
+	var middle strings.Builder
+	for _, t := range next[p : len(next)-s] {
+		middle.WriteString(t)
+	}
+	if float64(middle.Len()) >= deltaWorthRatio*float64(len(text)) {
+		return nil
+	}
+	delta := &ConfigDelta{PriorDigest: priorDigest, Digest: d.Of(text)}
+	if p > 0 {
+		delta.Ops = append(delta.Ops, DeltaOp{Keep: p})
+	}
+	if skip := len(prior) - p - s; skip > 0 {
+		delta.Ops = append(delta.Ops, DeltaOp{Skip: skip})
+	}
+	if middle.Len() > 0 {
+		delta.Ops = append(delta.Ops, DeltaOp{Text: middle.String()})
+	}
+	if s > 0 {
+		delta.Ops = append(delta.Ops, DeltaOp{Keep: s})
+	}
+	return delta
+}
+
+// applyDelta reassembles a configuration from a prior revision's stanza
+// sequence and a delta, verifying the result hashes to the delta's
+// claimed digest. The ops must consume the prior sequence exactly — a
+// delta that leaves stanzas unaccounted for is malformed, not silently
+// truncated.
+func applyDelta(prior []string, delta *ConfigDelta) (string, error) {
+	var b strings.Builder
+	pos := 0
+	for _, op := range delta.Ops {
+		switch {
+		case op.Keep > 0:
+			if pos+op.Keep > len(prior) {
+				return "", fmt.Errorf("delta keeps %d stanzas past the prior revision's %d", op.Keep, len(prior))
+			}
+			for _, s := range prior[pos : pos+op.Keep] {
+				b.WriteString(s)
+			}
+			pos += op.Keep
+		case op.Skip > 0:
+			if pos+op.Skip > len(prior) {
+				return "", fmt.Errorf("delta skips %d stanzas past the prior revision's %d", op.Skip, len(prior))
+			}
+			pos += op.Skip
+		case op.Text != "":
+			b.WriteString(op.Text)
+		}
+	}
+	if pos != len(prior) {
+		return "", fmt.Errorf("delta consumed %d of the prior revision's %d stanzas", pos, len(prior))
+	}
+	text := b.String()
+	if suite.TextDigest(text) != delta.Digest {
+		return "", fmt.Errorf("reassembled revision does not hash to the claimed digest")
+	}
+	return text, nil
+}
+
+// deltaKey identifies which device a configuration text is a revision of,
+// so the client can pair each revision with its predecessor when building
+// deltas: successive revisions of one router share a hostname while
+// differing in body. Scans the leading lines for the Cisco or Junos
+// hostname statement; an empty key means "unknown device" and disables
+// deltas for that text. A wrong pairing can never corrupt results — the
+// delta is built from the actual stored stanzas and digest-verified — it
+// only compresses worse.
+func deltaKey(text string) string {
+	for _, line := range strings.SplitN(text, "\n", 64) {
+		t := strings.TrimSpace(line)
+		if h, ok := strings.CutPrefix(t, "hostname "); ok {
+			return "h:" + strings.TrimSpace(h)
+		}
+		if h, ok := strings.CutPrefix(t, "host-name "); ok {
+			return "j:" + strings.TrimSpace(strings.TrimSuffix(h, ";"))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,363 @@
+package rest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/suite"
+)
+
+// deltaCfg builds a small multi-stanza Cisco configuration whose OSPF
+// network statement carries the given marker, so successive "revisions"
+// differ in exactly one stanza.
+func deltaCfg(host, addr string) string {
+	return "hostname " + host + "\n!\n" +
+		"interface eth0\n ip address " + addr + " 255.255.255.0\n!\n" +
+		"router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n!\n" +
+		"route-map FILTER_OUT permit 10\n match community 100:1\n!\n"
+}
+
+func TestBuildApplyDeltaRoundTrip(t *testing.T) {
+	d := suite.NewDigests()
+	prior := deltaCfg("R1", "10.0.0.1")
+	cases := map[string]string{
+		"one stanza edited":  deltaCfg("R1", "10.0.0.2"),
+		"stanza appended":    prior + "ip community-list 1 permit 100:1\n",
+		"stanza removed":     strings.Replace(prior, "router ospf 1\n network 10.0.0.0 0.0.0.255 area 0\n!\n", "", 1),
+		"identical revision": prior,
+	}
+	priorSplit := stanzaTexts(prior)
+	for name, next := range cases {
+		delta := buildDelta(suite.TextDigest(prior), priorSplit, next, d)
+		if delta == nil {
+			t.Errorf("%s: buildDelta declined", name)
+			continue
+		}
+		got, err := applyDelta(priorSplit, delta)
+		if err != nil {
+			t.Errorf("%s: applyDelta: %v", name, err)
+			continue
+		}
+		if got != next {
+			t.Errorf("%s: reassembly differs from the revision\n got: %q\nwant: %q", name, got, next)
+		}
+		// The delta's spliced text must be smaller than the revision it
+		// encodes — that is its whole reason to exist.
+		spliced := 0
+		for _, op := range delta.Ops {
+			spliced += len(op.Text)
+		}
+		if spliced >= len(next) {
+			t.Errorf("%s: delta splices %d bytes of a %d-byte revision", name, spliced, len(next))
+		}
+	}
+}
+
+func TestBuildDeltaDeclines(t *testing.T) {
+	d := suite.NewDigests()
+	prior := stanzaTexts(deltaCfg("R1", "10.0.0.1"))
+	// Nothing shared: a delta would be the body plus overhead.
+	if delta := buildDelta("p", prior, "set system host-name X;\n", d); delta != nil {
+		t.Errorf("buildDelta produced a delta with no shared stanzas: %+v", delta)
+	}
+}
+
+func TestApplyDeltaRejectsMalformed(t *testing.T) {
+	prior := stanzaTexts(deltaCfg("R1", "10.0.0.1"))
+	if _, err := applyDelta(prior, &ConfigDelta{Ops: []DeltaOp{{Keep: len(prior) + 1}}}); err == nil {
+		t.Error("keep past the prior revision's end was accepted")
+	}
+	if _, err := applyDelta(prior, &ConfigDelta{Ops: []DeltaOp{{Keep: 1}}}); err == nil {
+		t.Error("delta leaving prior stanzas unconsumed was accepted")
+	}
+	full := deltaCfg("R1", "10.0.0.1")
+	wrong := &ConfigDelta{Digest: suite.TextDigest("something else"),
+		Ops: []DeltaOp{{Keep: len(prior)}}}
+	if _, err := applyDelta(prior, wrong); err == nil {
+		t.Error("reassembly not matching the claimed digest was accepted")
+	}
+	ok := &ConfigDelta{Digest: suite.TextDigest(full), Ops: []DeltaOp{{Keep: len(prior)}}}
+	if text, err := applyDelta(prior, ok); err != nil || text != full {
+		t.Errorf("identity delta: text match %v, err %v", text == full, err)
+	}
+}
+
+// swappableServer serves a replaceable inner handler and captures every
+// request body, so tests can restart "the server" in place (same URL,
+// fresh state) and inspect what the client actually put on the wire.
+type swappableServer struct {
+	mu     sync.Mutex
+	inner  http.Handler
+	bodies []string
+	srv    *httptest.Server
+}
+
+func newSwappableServer(t *testing.T, h http.Handler) *swappableServer {
+	t.Helper()
+	s := &swappableServer{inner: h}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		s.mu.Lock()
+		s.bodies = append(s.bodies, string(body))
+		inner := s.inner
+		s.mu.Unlock()
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *swappableServer) swap(h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner = h
+}
+
+func (s *swappableServer) requestCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.bodies)
+}
+
+func (s *swappableServer) lastBody() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bodies[len(s.bodies)-1]
+}
+
+// suiteChecks builds the whole-config check set one iteration sends for a
+// revision.
+func suiteChecks(cfg string) []suite.Check {
+	return []suite.Check{
+		{Kind: suite.KindSyntax, Config: cfg},
+		{Kind: suite.KindDiff, Original: cfg, Config: cfg},
+	}
+}
+
+// TestBatchDeltaProtocol drives the v4 happy path: the first batch ships
+// the full body and seeds both revision stores, the second ships a
+// stanza-level delta the server reassembles — with byte-identical results
+// to a cold full-body client.
+func TestBatchDeltaProtocol(t *testing.T) {
+	s := newSwappableServer(t, NewHandler())
+	c := NewClient(s.srv.URL)
+	ctx := context.Background()
+
+	cfgV1 := deltaCfg("R1", "10.0.0.1")
+	cfgV2 := deltaCfg("R1", "10.0.0.2")
+
+	if _, err := c.CheckBatch(ctx, suiteChecks(cfgV1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.CheckBatch(ctx, suiteChecks(cfgV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wire BatchRequest
+	if err := json.Unmarshal([]byte(s.lastBody()), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Version != BatchProtocolVersion {
+		t.Errorf("delta batch stamped version %d, want %d", wire.Version, BatchProtocolVersion)
+	}
+	for i, ch := range wire.Checks {
+		if ch.Config != "" {
+			t.Errorf("check %d still ships a full config body alongside deltas", i)
+		}
+		if ch.ConfigDelta == nil {
+			t.Errorf("check %d carries no delta", i)
+			continue
+		}
+		if ch.ConfigDelta.PriorDigest != suite.TextDigest(cfgV1) {
+			t.Errorf("check %d deltas against %s, want the prior revision", i, ch.ConfigDelta.PriorDigest)
+		}
+		spliced := 0
+		for _, op := range ch.ConfigDelta.Ops {
+			spliced += len(op.Text)
+		}
+		if spliced >= len(cfgV2)/2 {
+			t.Errorf("check %d splices %d bytes of a %d-byte revision — not a one-stanza delta",
+				i, spliced, len(cfgV2))
+		}
+	}
+	// Note the diff check's Original still ships in full; only Config is
+	// delta-eligible.
+	cold := NewClient(s.srv.URL)
+	want, err := cold.CheckBatch(ctx, suiteChecks(cfgV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("delta results differ from full-body results:\n got %+v\nwant %+v", res, want)
+	}
+}
+
+// TestBatchDeltaStaleRevision409 pins the degrade path: a restarted
+// server (empty revision store) answers a delta batch with 409, the
+// client re-sends full bodies without latching deltas off, and the next
+// iteration deltas again.
+func TestBatchDeltaStaleRevision409(t *testing.T) {
+	s := newSwappableServer(t, NewHandler())
+	c := NewClient(s.srv.URL)
+	ctx := context.Background()
+
+	cfg := []string{deltaCfg("R1", "10.0.0.1"), deltaCfg("R1", "10.0.0.2"),
+		deltaCfg("R1", "10.0.0.3"), deltaCfg("R1", "10.0.0.4")}
+	for _, v := range cfg[:2] {
+		if _, err := c.CheckBatch(ctx, suiteChecks(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Restart" the server: same URL, fresh handler, empty revision store.
+	s.swap(NewHandler())
+	before := s.requestCount()
+	res, err := c.CheckBatch(ctx, suiteChecks(cfg[2]))
+	if err != nil {
+		t.Fatalf("batch against restarted server: %v", err)
+	}
+	if got := s.requestCount() - before; got != 2 {
+		t.Errorf("stale-revision batch cost %d round-trips, want 2 (409 then full-body resend)", got)
+	}
+	if strings.Contains(s.lastBody(), `"config_delta"`) {
+		t.Error("the 409 resend still carried deltas")
+	}
+	cold := NewClient(s.srv.URL)
+	want, err := cold.CheckBatch(ctx, suiteChecks(cfg[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("post-409 results differ from full-body results")
+	}
+	// The capability is intact: the next revision deltas again, in one
+	// round-trip, against the store the resend re-seeded.
+	before = s.requestCount()
+	if _, err := c.CheckBatch(ctx, suiteChecks(cfg[3])); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.requestCount() - before; got != 1 {
+		t.Errorf("post-recovery batch cost %d round-trips, want 1", got)
+	}
+	if !strings.Contains(s.lastBody(), `"config_delta"`) {
+		t.Error("deltas were latched off by the 409; they should resume after re-seeding")
+	}
+}
+
+// TestBatchDeltaAgainstV3Server pins the interop path: a server capped at
+// batch protocol 3 rejects the first delta-carrying batch with 400, the
+// client pays exactly one extra round-trip, latches deltas off, and every
+// later batch ships full bodies — with identical results throughout.
+func TestBatchDeltaAgainstV3Server(t *testing.T) {
+	s := newSwappableServer(t, NewHandlerOpts(HandlerOptions{MaxBatchProtocol: 3}))
+	c := NewClient(s.srv.URL)
+	ctx := context.Background()
+
+	cfgV1 := deltaCfg("R1", "10.0.0.1")
+	cfgV2 := deltaCfg("R1", "10.0.0.2")
+	cfgV3 := deltaCfg("R1", "10.0.0.3")
+
+	if _, err := c.CheckBatch(ctx, suiteChecks(cfgV1)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.requestCount()
+	res, err := c.CheckBatch(ctx, suiteChecks(cfgV2))
+	if err != nil {
+		t.Fatalf("delta batch against v3 server: %v", err)
+	}
+	if got := s.requestCount() - before; got != 2 {
+		t.Errorf("first delta batch cost %d round-trips, want 2 (400 then full-body resend)", got)
+	}
+	cold := NewClient(s.srv.URL)
+	want, err := cold.CheckBatch(ctx, suiteChecks(cfgV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("results against v3 server differ from full-body results")
+	}
+	// Latched: the next batch goes straight to full bodies, one trip.
+	before = s.requestCount()
+	if _, err := c.CheckBatch(ctx, suiteChecks(cfgV3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.requestCount() - before; got != 1 {
+		t.Errorf("post-latch batch cost %d round-trips, want 1", got)
+	}
+	if strings.Contains(s.lastBody(), `"config_delta"`) {
+		t.Error("post-latch batch still carried deltas")
+	}
+	var wire BatchRequest
+	if err := json.Unmarshal([]byte(s.lastBody()), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Version > 3 {
+		t.Errorf("post-latch batch stamped version %d against a v3 server", wire.Version)
+	}
+}
+
+// TestBatchDeltaStrictV3Decoder proves the degrade also works against a
+// genuinely old binary whose strict decoder has never heard of the delta
+// field — not just against the capped handler.
+func TestBatchDeltaStrictV3Decoder(t *testing.T) {
+	type v3BatchCheck struct {
+		Kind        string          `json:"kind"`
+		Config      string          `json:"config"`
+		Original    string          `json:"original,omitempty"`
+		Spec        json.RawMessage `json:"spec,omitempty"`
+		Requirement json.RawMessage `json:"requirement,omitempty"`
+		SpecRef     string          `json:"spec_ref,omitempty"`
+		ReqRef      string          `json:"req_ref,omitempty"`
+	}
+	type v3BatchRequest struct {
+		Version  int            `json:"version,omitempty"`
+		Scenario string         `json:"scenario,omitempty"`
+		Seed     int64          `json:"seed,omitempty"`
+		Checks   []v3BatchCheck `json:"checks"`
+	}
+	rejected := 0
+	old := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != PathBatch {
+			http.NotFound(w, r)
+			return
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var req v3BatchRequest
+		if err := dec.Decode(&req); err != nil || req.Version > 3 {
+			rejected++
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request"})
+			return
+		}
+		results := make([]BatchResult, len(req.Checks))
+		writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	}))
+	t.Cleanup(old.Close)
+
+	c := NewClient(old.URL)
+	ctx := context.Background()
+	if _, err := c.CheckBatch(ctx, suiteChecks(deltaCfg("R1", "10.0.0.1"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CheckBatch(ctx, suiteChecks(deltaCfg("R1", "10.0.0.2"))); err != nil {
+		t.Fatalf("delta batch against strict old decoder: %v", err)
+	}
+	if rejected != 1 {
+		t.Errorf("old server rejected %d requests, want exactly 1 (the latch probe)", rejected)
+	}
+	if !c.deltasUnsupported.Load() {
+		t.Error("client did not latch deltas off after the strict decoder's 400")
+	}
+	if c.batchUnsupported.Load() {
+		t.Error("client gave up batching entirely instead of just dropping deltas")
+	}
+}

@@ -139,18 +139,53 @@ const (
 // RefDigest of the spec or requirement body it omits — which the server
 // resolves against the registry built by a /v1/scenario warm, so a run
 // against pre-warmed shards stops re-shipping the same spec bodies on
-// every iteration. A server accepts any version up to its own and rejects
-// newer versions with HTTP 400.
+// every iteration. Version 4 added configuration deltas: a check against
+// a server believed to hold the prior revision may replace its Config
+// body with a ConfigDelta — the stanza-level line edits from the prior
+// revision (keyed by PriorDigest) to the current one — so an iteration
+// that touched one route map ships a few hundred bytes instead of the
+// whole configuration. The server reassembles the body from its revision
+// store and verifies the result digest; a prior revision it no longer
+// holds (restart, eviction) or a reassembly that does not reproduce the
+// claimed digest answers HTTP 409 Conflict, telling the client to re-send
+// that batch with full bodies (which re-seed the store) without giving up
+// on deltas for the run. A server accepts any version up to its own and
+// rejects newer versions with HTTP 400.
 //
 // Clients stamp each request with the version of the highest feature the
 // payload actually uses — a full-bodied batch is a v2 payload and is sent
-// as one — so only ref-carrying requests are ever rejected by older
-// servers. A 400 on a ref-carrying request (old server, or a registry
-// that does not resolve the digests) makes the client latch refs off and
-// re-send full bodies; a 400 on a full-bodied request downgrades to
-// per-check calls, whose payloads old servers parse by ignoring the
-// unknown field.
-const BatchProtocolVersion = 3
+// as one — so only ref- or delta-carrying requests are ever rejected by
+// older servers. A 400 on a delta-carrying request (an older server's
+// version gate, or its strict decoder choking on the unknown field)
+// latches deltas off for the client; a 400 on a ref-carrying request
+// latches refs off the same way; a 400 on a full-bodied request
+// downgrades to per-check calls, whose payloads old servers parse by
+// ignoring the unknown field.
+const BatchProtocolVersion = 4
+
+// DeltaOp is one instruction of a configuration delta, interpreted
+// against the prior revision's stanza sequence: Keep copies the next n
+// stanzas of the prior revision, Skip drops the next n, and Text splices
+// in replacement bytes verbatim. Exactly one field is meaningful per op.
+// The compact keys keep the wire cost of a delta proportional to the
+// edit, not to the op count.
+type DeltaOp struct {
+	Keep int    `json:"k,omitempty"`
+	Skip int    `json:"s,omitempty"`
+	Text string `json:"t,omitempty"`
+}
+
+// ConfigDelta ships one configuration as edits against a prior revision
+// the server already holds (batch protocol v4). PriorDigest is the
+// suite.TextDigest of the prior revision's full text — the revision-store
+// key — and Digest is the TextDigest the reassembled text must hash to;
+// any mismatch fails the batch with 409 rather than evaluating checks
+// against a body the client did not send.
+type ConfigDelta struct {
+	PriorDigest string    `json:"prior_digest"`
+	Digest      string    `json:"digest"`
+	Ops         []DeltaOp `json:"ops"`
+}
 
 // RefDigest content-addresses a wire body for the v3 reference scheme:
 // hex SHA-256 of the body's JSON encoding. Specs and requirements are
@@ -170,7 +205,11 @@ func RefDigest(v interface{}) string {
 // test (the translation for diff checks). SpecRef and ReqRef (protocol
 // v3) replace the Spec and Requirement bodies with their RefDigest when
 // the server pre-warmed the run's scenario: the server substitutes its
-// own registry copy after verifying the digest matches.
+// own registry copy after verifying the digest matches. ConfigDelta
+// (protocol v4) replaces the Config body with stanza-level edits against
+// a prior revision the server's store holds; Config is empty when it is
+// set, and the server reassembles and digest-verifies the body before
+// evaluating anything.
 type BatchCheck struct {
 	Kind        string                 `json:"kind"`
 	Config      string                 `json:"config"`
@@ -179,6 +218,7 @@ type BatchCheck struct {
 	Requirement *lightyear.Requirement `json:"requirement,omitempty"`
 	SpecRef     string                 `json:"spec_ref,omitempty"`
 	ReqRef      string                 `json:"req_ref,omitempty"`
+	ConfigDelta *ConfigDelta           `json:"config_delta,omitempty"`
 }
 
 // BatchRequest ships all of a pipeline iteration's outstanding checks in

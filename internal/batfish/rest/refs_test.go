@@ -216,15 +216,16 @@ func TestRingScopedWarmPartitions(t *testing.T) {
 	}
 	// The server-side ring must agree with the client's placement: each
 	// shard warmed exactly the configurations the sharded client would
-	// route to it.
+	// route to it. The routing key is the revision's digest
+	// (suite.ShardKeyD), not its body.
 	ring := newEndpointRing([]string{srvA.URL, srvB.URL})
 	for _, cfg := range warmedA {
-		if owner := ring.owner(cfg); owner != normalizeEndpoint(srvA.URL) {
+		if owner := ring.owner(suite.TextDigest(cfg)); owner != normalizeEndpoint(srvA.URL) {
 			t.Errorf("shard A warmed %q, but the ring routes it to %s", cfg, owner)
 		}
 	}
 	for _, cfg := range warmedB {
-		if owner := ring.owner(cfg); owner != normalizeEndpoint(srvB.URL) {
+		if owner := ring.owner(suite.TextDigest(cfg)); owner != normalizeEndpoint(srvB.URL) {
 			t.Errorf("shard B warmed %q, but the ring routes it to %s", cfg, owner)
 		}
 	}
@@ -292,7 +293,7 @@ func TestRingWarmDegradesToV1(t *testing.T) {
 	want := map[string]bool{}
 	for i := 1; i <= 8; i++ {
 		cfg := "hostname R" + string(rune('0'+i)) + "\n"
-		if ring.owner(cfg) == self {
+		if ring.owner(suite.TextDigest(cfg)) == self {
 			want[cfg] = true
 		}
 	}

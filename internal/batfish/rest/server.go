@@ -57,8 +57,18 @@ type HandlerOptions struct {
 	// content-addressed store the engine's CachedVerifier mounts, so a
 	// restarted shard (or a whole fleet sharing a directory) comes back
 	// warm instead of re-verifying every revision it had already seen.
-	// Per-check errors are never cached.
+	// Per-check errors are never cached. When Parses is also set, the
+	// store doubles as the stanza sub-cache's durable fragment tier, so a
+	// restarted shard re-parses only the stanzas it has never seen.
 	Durable *durable.Cache
+	// MaxBatchProtocol, when positive, caps the batch dialect this handler
+	// accepts below its native BatchProtocolVersion: requests stamped
+	// higher — and checks carrying newer-dialect fields (a v3 body
+	// reference, a v4 ConfigDelta) — are rejected with 400 exactly as a
+	// genuinely older server would reject them. Interop tests and
+	// mixed-vintage fleets use it to prove clients degrade cleanly. Zero
+	// means native.
+	MaxBatchProtocol int
 }
 
 // NewHandler returns the HTTP handler serving the verification suite with
@@ -72,6 +82,15 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	if opts.BatchWorkers <= 0 {
 		opts.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Durable != nil && opts.Parses != nil {
+		// The disk cache doubles as the stanza sub-cache's durable
+		// fragment tier: restarted shards re-parse only unseen stanzas.
+		opts.Parses.SetFragmentStore(opts.Durable)
+	}
+	maxProto := BatchProtocolVersion
+	if opts.MaxBatchProtocol > 0 && opts.MaxBatchProtocol < maxProto {
+		maxProto = opts.MaxBatchProtocol
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHealth, handleHealth)
 	mux.HandleFunc(PathSyntax, handleSyntax)
@@ -84,13 +103,33 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	})
 	mux.HandleFunc(PathSearch, handleSearch)
 	warms := &scenarioWarms{done: map[string]int{}, regs: map[string]*scenarioRegistry{}}
+	env := &batchEnv{
+		workers:  opts.BatchWorkers,
+		parses:   opts.Parses,
+		warms:    warms,
+		disk:     opts.Durable,
+		revs:     &revisionStore{entries: map[string][]string{}},
+		digests:  suite.NewDigests(),
+		maxProto: maxProto,
+	}
 	mux.HandleFunc(PathBatch, func(w http.ResponseWriter, r *http.Request) {
-		handleBatch(w, r, opts.BatchWorkers, opts.Parses, warms, opts.Durable)
+		handleBatch(w, r, env)
 	})
 	mux.HandleFunc(PathScenario, func(w http.ResponseWriter, r *http.Request) {
 		handleScenario(w, r, opts.Parses, opts.Warmer, warms)
 	})
 	return mux
+}
+
+// batchEnv is the handler state every /v1/batch request is served with.
+type batchEnv struct {
+	workers  int
+	parses   *netcfg.ParseCache
+	warms    *scenarioWarms
+	disk     *durable.Cache
+	revs     *revisionStore
+	digests  *suite.Digests
+	maxProto int
 }
 
 // scenarioWarms memoizes completed scenario warms per handler. A warm is a
@@ -415,14 +454,15 @@ func evalBatchCheck(c BatchCheck, parses *netcfg.ParseCache) BatchResult {
 // directory without double-keying. Decode failures fall through to
 // recomputation; disk write failures are swallowed (a full disk degrades
 // the shard to uncached, it does not fail the batch).
-func evalBatchCheckDurable(c BatchCheck, parses *netcfg.ParseCache, d *durable.Cache) BatchResult {
-	key := suite.Key(suite.Check{
+func evalBatchCheckDurable(c BatchCheck, parses *netcfg.ParseCache, d *durable.Cache,
+	digests *suite.Digests) BatchResult {
+	key := suite.KeyD(suite.Check{
 		Kind:     suite.Kind(c.Kind),
 		Config:   c.Config,
 		Original: c.Original,
 		Spec:     c.Spec,
 		Req:      c.Requirement,
-	})
+	}, digests)
 	if payload, ok := d.Get(key); ok {
 		var res BatchResult
 		if err := json.Unmarshal(payload, &res); err == nil && res.Error == "" {
@@ -488,46 +528,161 @@ func resolveBatchRefs(req *BatchRequest, warms *scenarioWarms) error {
 	return nil
 }
 
+// maxRevisions bounds the handler's revision store for v4 deltas: each
+// entry holds one revision's stanza split, so the store costs about one
+// config set's worth of memory per recent run. Eviction is oldest-first;
+// a delta against an evicted revision answers 409 and the client re-seeds
+// the store with full bodies.
+const maxRevisions = 256
+
+// revisionStore holds the stanza splits of recently seen configuration
+// revisions, keyed by suite.TextDigest of the full text — the server half
+// of the v4 delta protocol. Splits are recorded once per distinct
+// revision and never mutated, so readers share them without copying.
+type revisionStore struct {
+	mu      sync.Mutex
+	entries map[string][]string
+	order   []string // insertion order, for oldest-first eviction
+}
+
+// get returns the stored split of the revision, if any.
+func (s *revisionStore) get(digest string) ([]string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[digest]
+	return e, ok
+}
+
+// record splits and stores one revision; already-stored revisions are not
+// re-split.
+func (s *revisionStore) record(text string, d *suite.Digests) {
+	digest := d.Of(text)
+	s.mu.Lock()
+	_, ok := s.entries[digest]
+	s.mu.Unlock()
+	if ok {
+		return
+	}
+	split := stanzaTexts(text)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[digest]; ok {
+		return
+	}
+	s.entries[digest] = split
+	s.order = append(s.order, digest)
+	for len(s.order) > maxRevisions {
+		delete(s.entries, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// resolveBatchDeltas reassembles the full Config body of every
+// delta-carrying check (batch protocol v4) from the revision store. Any
+// failure — a prior revision the store no longer holds, ops that do not
+// consume it exactly, a reassembly that does not hash to the claimed
+// digest — fails the whole batch: evaluating the other checks while one
+// body is unreconstructible would interleave two protocol states. The
+// caller answers 409 Conflict, and the client re-sends the batch with
+// full bodies, re-seeding the store.
+func resolveBatchDeltas(req *BatchRequest, revs *revisionStore) error {
+	for i := range req.Checks {
+		c := &req.Checks[i]
+		if c.ConfigDelta == nil {
+			continue
+		}
+		prior, ok := revs.get(c.ConfigDelta.PriorDigest)
+		if !ok {
+			return fmt.Errorf("check %d: unknown prior revision %s", i, c.ConfigDelta.PriorDigest)
+		}
+		text, err := applyDelta(prior, c.ConfigDelta)
+		if err != nil {
+			return fmt.Errorf("check %d: %v", i, err)
+		}
+		c.Config = text
+		c.ConfigDelta = nil
+	}
+	return nil
+}
+
 // handleBatch evaluates a whole batch of independent checks in one
 // round-trip, fanning them onto a bounded worker pool. Results are
 // positional; a malformed individual check yields a per-result error
-// without failing the batch. shared, when non-nil, replaces the
+// without failing the batch. env.parses, when non-nil, replaces the
 // request-scoped parse cache so scenario pre-warms and earlier requests'
 // parses are reused.
-func handleBatch(w http.ResponseWriter, r *http.Request, workers int, shared *netcfg.ParseCache,
-	warms *scenarioWarms, disk *durable.Cache) {
+func handleBatch(w http.ResponseWriter, r *http.Request, env *batchEnv) {
 	var req BatchRequest
 	if !decode(w, r, &req) {
 		return
 	}
-	// Version gate: accept anything up to our own dialect (older payloads
+	// Version gate: accept anything up to our dialect (older payloads
 	// simply lack the newer advisory fields), reject newer ones so a
 	// future client downgrades to the per-check endpoints instead of
 	// having half-understood checks evaluated. Pre-versioning clients send
-	// no version at all (0).
-	if req.Version > BatchProtocolVersion {
+	// no version at all (0). A capped handler (MaxBatchProtocol) also
+	// rejects newer-dialect fields on unstamped payloads, exactly as an
+	// old server's strict decoder would.
+	if req.Version > env.maxProto {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
 			"unsupported batch protocol version %d (server speaks %d)",
-			req.Version, BatchProtocolVersion)})
+			req.Version, env.maxProto)})
 		return
 	}
-	if err := resolveBatchRefs(&req, warms); err != nil {
+	if env.maxProto < BatchProtocolVersion {
+		for i := range req.Checks {
+			c := &req.Checks[i]
+			if c.ConfigDelta != nil {
+				writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
+					"check %d carries a config delta (batch protocol 4; server speaks %d)",
+					i, env.maxProto)})
+				return
+			}
+			if env.maxProto < 3 && (c.SpecRef != "" || c.ReqRef != "") {
+				writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf(
+					"check %d carries body references (batch protocol 3; server speaks %d)",
+					i, env.maxProto)})
+				return
+			}
+		}
+	}
+	if err := resolveBatchDeltas(&req, env.revs); err != nil {
+		// 409, not 400: the dialect is fine, this server just lost the
+		// prior revisions. The client re-sends full bodies without
+		// latching deltas off.
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if env.maxProto >= BatchProtocolVersion {
+		// Every revision this batch carried (as a body or a reassembled
+		// delta) is now resolvable; record it so the client's next batch
+		// can delta against it.
+		recorded := map[string]bool{}
+		for i := range req.Checks {
+			if cfg := req.Checks[i].Config; cfg != "" && !recorded[cfg] {
+				recorded[cfg] = true
+				env.revs.record(cfg, env.digests)
+			}
+		}
+	}
+	if err := resolveBatchRefs(&req, env.warms); err != nil {
 		// 400, like a version-gate rejection: the client latches the
 		// reference dialect off and retries with full bodies.
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	parses := shared
+	parses := env.parses
 	if parses == nil {
 		parses = batfish.NewParseCache()
 	}
 	eval := func(c BatchCheck) BatchResult {
-		if disk != nil {
-			return evalBatchCheckDurable(c, parses, disk)
+		if env.disk != nil {
+			return evalBatchCheckDurable(c, parses, env.disk, env.digests)
 		}
 		return evalBatchCheck(c, parses)
 	}
 	results := make([]BatchResult, len(req.Checks))
+	workers := env.workers
 	if workers > len(req.Checks) {
 		workers = len(req.Checks)
 	}
@@ -610,7 +765,10 @@ func handleScenario(w http.ResponseWriter, r *http.Request, parses *netcfg.Parse
 	if len(req.ShardEndpoints) > 1 && req.Self != "" {
 		if ring := newEndpointRing(req.ShardEndpoints); ring.contains(req.Self) {
 			self := normalizeEndpoint(req.Self)
-			owned = func(config string) bool { return ring.owner(config) == self }
+			// The ring hashes the client's routing key — the revision's
+			// digest (suite.ShardKeyD), not its body — so ownership here
+			// must digest before walking the ring to agree with it.
+			owned = func(config string) bool { return ring.owner(suite.TextDigest(config)) == self }
 		}
 	}
 	warmed := 0

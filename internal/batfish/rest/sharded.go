@@ -110,6 +110,10 @@ type ringPoint struct {
 type ShardedClient struct {
 	shards []*shard
 	ring   []ringPoint
+	// digests memoizes per-revision hashing for the ring's routing keys
+	// (suite.ShardKeyD): a configuration is hashed once per revision no
+	// matter how many checks route by it.
+	digests *suite.Digests
 }
 
 // NewShardedClient returns a client fanning out over the given batfishd
@@ -127,7 +131,7 @@ func NewShardedClientOpts(endpoints []string, opts ClientOptions) (*ShardedClien
 		return nil, fmt.Errorf("sharded client: no endpoints")
 	}
 	seen := map[string]bool{}
-	s := &ShardedClient{}
+	s := &ShardedClient{digests: suite.NewDigests()}
 	for i, ep := range endpoints {
 		ep = strings.TrimSpace(ep)
 		if ep == "" {
@@ -285,6 +289,16 @@ func (s *ShardedClient) Calls() int64 {
 	return total
 }
 
+// BytesSent returns the request-body bytes put on the wire across all
+// shards.
+func (s *ShardedClient) BytesSent() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.client.BytesSent()
+	}
+	return total
+}
+
 // Stats returns a snapshot of every shard's counters, in endpoint order.
 func (s *ShardedClient) Stats() []ShardStat {
 	out := make([]ShardStat, len(s.shards))
@@ -364,7 +378,7 @@ func (s *ShardedClient) CheckBatch(ctx context.Context, checks []suite.Check) ([
 	for len(pending) > 0 {
 		groups := map[int][]int{}
 		for _, idx := range pending {
-			si := s.shardFor(suite.ShardKey(checks[idx]))
+			si := s.shardFor(suite.ShardKeyD(checks[idx], s.digests))
 			if si < 0 {
 				return nil, fmt.Errorf("sharded client: all %d shards dead", len(s.shards))
 			}
@@ -458,7 +472,7 @@ func (s *ShardedClient) withFailover(key string, fn func(c *Client) error) error
 // same failover the batched path uses.
 func (s *ShardedClient) doCheck(c suite.Check) (suite.Result, error) {
 	var res suite.Result
-	err := s.withFailover(suite.ShardKey(c), func(client *Client) error {
+	err := s.withFailover(suite.ShardKeyD(c, s.digests), func(client *Client) error {
 		// suite.Eval dispatches onto the shard's per-check client methods,
 		// which keep the v1 wire compatibility (attachment stripping).
 		var evalErr error
@@ -548,10 +562,11 @@ func (s *ShardedClient) GlobalNoTransitIncremental(t *topology.Topology, configs
 }
 
 // Search asks a SearchRoutePolicies question, routed like the config's
-// other whole-config checks.
+// other whole-config checks (by the revision's digest), so it lands on
+// the shard that already parsed the revision.
 func (s *ShardedClient) Search(config string, q batfish.SearchQuery) (batfish.SearchResult, error) {
 	var res batfish.SearchResult
-	err := s.withFailover(config, func(client *Client) error {
+	err := s.withFailover(s.digests.Of(config), func(client *Client) error {
 		var callErr error
 		res, callErr = client.Search(config, q)
 		return callErr

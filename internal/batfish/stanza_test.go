@@ -1,0 +1,306 @@
+package batfish_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/batfish"
+	"repro/internal/cisco"
+	"repro/internal/durable"
+	"repro/internal/juniper"
+	"repro/internal/llm"
+	"repro/internal/modularizer"
+	"repro/internal/netcfg"
+	"repro/internal/netgen"
+)
+
+// stanzaCorpus generates the property corpus: for every registry scenario
+// and every fuzz error class (plus the clean case), the per-router config
+// the simulated LLM emits with that class injected on every router.
+func stanzaCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	corpus := map[string]string{}
+	for _, sc := range netgen.Scenarios() {
+		topo, err := netgen.Generate(sc.Name, sc.DefaultSize)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		tasks := modularizer.Tasks(topo)
+		for class := llm.SErrCLIKeywords; class <= llm.SErrEgressDenyAll+1; class++ {
+			errs := map[string][]llm.SynthError{}
+			if class <= llm.SErrEgressDenyAll {
+				for _, task := range tasks {
+					errs[task.Router] = []llm.SynthError{class}
+				}
+			}
+			s := llm.NewSynthesizer(llm.SynthConfig{Seed: 1, Errors: errs})
+			var msgs []llm.Message
+			for _, task := range tasks {
+				msgs = append(msgs, llm.Message{Role: llm.RoleAutomated, Content: task.Prompt})
+				resp, err := s.Complete(msgs)
+				if err != nil {
+					t.Fatalf("%s/%v/%s: %v", sc.Name, class, task.Router, err)
+				}
+				msgs = append(msgs, llm.Message{Role: llm.RoleModel, Content: resp})
+				corpus[sc.Name+"/"+class.String()+"/"+task.Router] = resp
+			}
+		}
+	}
+	return corpus
+}
+
+// TestStanzaSplitRoundTrip is the splitter's core property: split→join is
+// byte-identical for every config emitted across all registry scenarios
+// and all fuzz error classes, in both dialects.
+func TestStanzaSplitRoundTrip(t *testing.T) {
+	corpus := stanzaCorpus(t)
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for name, text := range corpus {
+		stanzas := cisco.SplitStanzas(text)
+		if got := netcfg.JoinStanzas(stanzas); got != text {
+			t.Fatalf("%s: cisco split/join not byte-identical\nsplit kinds: %v", name, stanzaKinds(stanzas))
+		}
+		if len(stanzas) < 2 {
+			t.Errorf("%s: config split into %d stanzas, expected addressable segments", name, len(stanzas))
+		}
+		// The same device printed as Junos must round-trip through the
+		// juniper splitter.
+		dev, _ := cisco.Parse(text)
+		jtext := juniper.Print(dev)
+		jstanzas := juniper.SplitStanzas(jtext)
+		if got := netcfg.JoinStanzas(jstanzas); got != jtext {
+			t.Fatalf("%s: juniper split/join not byte-identical", name)
+		}
+	}
+}
+
+func stanzaKinds(stanzas []netcfg.Stanza) []string {
+	out := make([]string, len(stanzas))
+	for i, s := range stanzas {
+		out[i] = s.Kind + ":" + s.Name
+	}
+	return out
+}
+
+// TestIncrementalParseMatchesWholeParse pins the stanza-assembled parse
+// against the whole parse for the full corpus: identical devices (modulo
+// the provenance field only the incremental path records) and identical
+// warning feeds.
+func TestIncrementalParseMatchesWholeParse(t *testing.T) {
+	corpus := stanzaCorpus(t)
+	inc := batfish.NewParseCache()
+	whole := batfish.NewWholeParseCache()
+	assembled := 0
+	for name, text := range corpus {
+		got := inc.Parse(text)
+		want := whole.Parse(text)
+		if len(got.Device.Stanzas) > 0 {
+			assembled++
+		}
+		gd := *got.Device
+		gd.Stanzas = nil
+		if !reflect.DeepEqual(&gd, want.Device) {
+			t.Fatalf("%s: assembled device differs from whole parse", name)
+		}
+		if !reflect.DeepEqual(got.ParseWarnings, want.ParseWarnings) {
+			t.Fatalf("%s: parse warnings differ\nincremental: %v\nwhole: %v",
+				name, got.ParseWarnings, want.ParseWarnings)
+		}
+		if !reflect.DeepEqual(got.CheckWarnings, want.CheckWarnings) {
+			t.Fatalf("%s: check warnings differ\nincremental: %v\nwhole: %v",
+				name, got.CheckWarnings, want.CheckWarnings)
+		}
+	}
+	if assembled == 0 {
+		t.Error("no config took the stanza-assembly path; incremental parse is not exercised")
+	}
+	if hits, misses, _ := inc.FragmentStats(); hits == 0 || misses == 0 {
+		t.Errorf("fragment sub-cache unexercised: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestStanzaSubCacheConcurrent hammers one stanza-enabled cache from
+// parallel workers over a shared corpus — the -race CI leg proves the
+// fragment sub-cache is data-race free, and every worker must observe
+// identical parse products.
+func TestStanzaSubCacheConcurrent(t *testing.T) {
+	topo, err := netgen.Generate("random", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	tasks := modularizer.Tasks(topo)
+	s := llm.NewSynthesizer(llm.DefaultSynthConfig())
+	var msgs []llm.Message
+	for _, task := range tasks {
+		msgs = append(msgs, llm.Message{Role: llm.RoleAutomated, Content: task.Prompt})
+		resp, err := s.Complete(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, llm.Message{Role: llm.RoleModel, Content: resp})
+		texts = append(texts, resp)
+	}
+	cache := batfish.NewParseCache()
+	const workers = 8
+	results := make([][]*netcfg.Parsed, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]*netcfg.Parsed, len(texts))
+			for i, text := range texts {
+				out[i] = cache.Parse(text)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range texts {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d saw a different parse product for config %d", w, i)
+			}
+		}
+	}
+}
+
+// TestStanzaFragmentsDurable proves the durable tier serves fragment
+// parses across cache instances: a second cache mounted on the same store
+// answers stanzas from disk without re-parsing, with identical results.
+func TestStanzaFragmentsDurable(t *testing.T) {
+	topo, err := netgen.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	s := llm.NewSynthesizer(llm.DefaultSynthConfig())
+	var msgs []llm.Message
+	for _, task := range modularizer.Tasks(topo) {
+		msgs = append(msgs, llm.Message{Role: llm.RoleAutomated, Content: task.Prompt})
+		resp, err := s.Complete(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, llm.Message{Role: llm.RoleModel, Content: resp})
+		texts = append(texts, resp)
+	}
+	dir := t.TempDir()
+	store, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCache := batfish.NewParseCache()
+	warmCache.SetFragmentStore(store)
+	want := make([]*netcfg.Parsed, len(texts))
+	for i, text := range texts {
+		want[i] = warmCache.Parse(text)
+	}
+
+	store2, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCache := batfish.NewParseCache()
+	coldCache.SetFragmentStore(store2)
+	for i, text := range texts {
+		got := coldCache.Parse(text)
+		if !reflect.DeepEqual(got.Device, want[i].Device) {
+			t.Fatalf("config %d: durable-fragment device differs from fresh parse", i)
+		}
+		if !reflect.DeepEqual(got.CheckWarnings, want[i].CheckWarnings) {
+			t.Fatalf("config %d: durable-fragment warnings differ", i)
+		}
+	}
+	if _, _, diskHits := coldCache.FragmentStats(); diskHits == 0 {
+		t.Error("second cache answered no fragments from the durable tier")
+	}
+	_ = topo
+}
+
+// TestSplitMemoResumeMatchesWholeParse drives a chain of single-point
+// edits — appended tail, middle rewrite, head rewrite, stanza insertion
+// and deletion — through one stanza-enabled cache, so every revision after
+// the first can resume from the memoized split of its predecessor. Each
+// revision must parse identically to a fresh whole parse; stanza
+// granularity at the resume seam is allowed to differ (the assembler
+// rejects any seam that would change the device), so only the device and
+// warning feeds are pinned.
+func TestSplitMemoResumeMatchesWholeParse(t *testing.T) {
+	topo, err := netgen.Generate("random", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := modularizer.Tasks(topo)
+	s := llm.NewSynthesizer(llm.SynthConfig{Seed: 1})
+	var msgs []llm.Message
+	base := ""
+	for _, task := range tasks {
+		msgs = append(msgs, llm.Message{Role: llm.RoleAutomated, Content: task.Prompt})
+		resp, err := s.Complete(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, llm.Message{Role: llm.RoleModel, Content: resp})
+		if len(resp) > len(base) {
+			base = resp
+		}
+	}
+	if base == "" {
+		t.Fatal("no base config")
+	}
+
+	// Locate a middle stanza boundary to splice at.
+	stanzas := cisco.SplitStanzas(base)
+	if len(stanzas) < 4 {
+		t.Fatalf("base config split into %d stanzas, need at least 4", len(stanzas))
+	}
+	mid := 0
+	for i := 1; i < len(stanzas)-1; i++ {
+		mid += len(stanzas[i-1].Text)
+		if mid > len(base)/2 {
+			break
+		}
+	}
+
+	revisions := []string{
+		base,
+		// Tail append: the whole prior split is reusable.
+		base + "!\nip community-list 77 permit 65000:77\n",
+		base + "!\nip community-list 77 permit 65000:77\n!\nip community-list 78 permit 65000:78\n",
+		// Middle insertion: the prefix up to mid is reusable.
+		base[:mid] + "!\nip route 192.0.2.0 255.255.255.0 Null0\n" + base[mid:],
+		// Middle deletion: back to base (already memoized — whole-split hit).
+		base,
+		// Head rewrite: nothing reusable, full re-split.
+		"! edited head\n" + base,
+		// Tail append again on the edited-head revision.
+		"! edited head\n" + base + "!\nip community-list 79 permit 65000:79\n",
+	}
+
+	inc := batfish.NewParseCache()
+	for i, text := range revisions {
+		got := inc.Parse(text)
+		want := batfish.ParseAndCheck(text)
+		gd := *got.Device
+		gd.Stanzas = nil
+		if !reflect.DeepEqual(&gd, want.Device) {
+			t.Fatalf("revision %d: memo-resumed device differs from whole parse", i)
+		}
+		if !reflect.DeepEqual(got.ParseWarnings, want.ParseWarnings) {
+			t.Fatalf("revision %d: parse warnings differ\nincremental: %v\nwhole: %v",
+				i, got.ParseWarnings, want.ParseWarnings)
+		}
+		if !reflect.DeepEqual(got.CheckWarnings, want.CheckWarnings) {
+			t.Fatalf("revision %d: check warnings differ\nincremental: %v\nwhole: %v",
+				i, got.CheckWarnings, want.CheckWarnings)
+		}
+		if got2 := inc.Parse(text); got2 != got {
+			t.Fatalf("revision %d: repeat parse returned a different product", i)
+		}
+	}
+}

@@ -44,6 +44,78 @@ func Print(d *netcfg.Device) string {
 	return b.String()
 }
 
+// The exported stanza printers below render exactly one section in the
+// same form Print emits it — the building blocks of the incremental
+// renderer, which re-prints only the sections whose inputs changed and
+// concatenates cached text for the rest. Keeping them as thin wrappers
+// over the private printers Print calls guarantees byte-identity between
+// the incremental and whole-config paths.
+
+// PrintHostname renders the hostname stanza ("" when the device has none).
+func PrintHostname(hostname string) string {
+	if hostname == "" {
+		return ""
+	}
+	return fmt.Sprintf("hostname %s\n!\n", hostname)
+}
+
+// PrintInterfaceStanza renders one interface block.
+func PrintInterfaceStanza(ifc *netcfg.Interface) string {
+	var b strings.Builder
+	printInterface(&b, ifc)
+	return b.String()
+}
+
+// PrintOSPFStanza renders the OSPF block.
+func PrintOSPFStanza(o *netcfg.OSPF) string {
+	var b strings.Builder
+	printOSPF(&b, o)
+	return b.String()
+}
+
+// PrintBGPStanza renders the BGP block.
+func PrintBGPStanza(bgp *netcfg.BGP) string {
+	var b strings.Builder
+	printBGP(&b, bgp)
+	return b.String()
+}
+
+// PrintPrefixListStanza renders one prefix list.
+func PrintPrefixListStanza(pl *netcfg.PrefixList) string {
+	var b strings.Builder
+	printPrefixList(&b, pl)
+	return b.String()
+}
+
+// PrintCommunityListStanza renders one community list.
+func PrintCommunityListStanza(cl *netcfg.CommunityList) string {
+	var b strings.Builder
+	printCommunityList(&b, cl)
+	return b.String()
+}
+
+// PrintStaticRoutes renders the static-route stanza (all routes plus the
+// closing "!"), or "" when there are none.
+func PrintStaticRoutes(routes []netcfg.StaticRoute) string {
+	if len(routes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, sr := range routes {
+		fmt.Fprintf(&b, "ip route %s %s %s\n", netcfg.FormatIP(sr.Prefix.Addr),
+			sr.Prefix.MaskString(), netcfg.FormatIP(sr.NextHop))
+	}
+	b.WriteString("!\n")
+	return b.String()
+}
+
+// PrintRouteMapStanza renders one route map (all clauses).
+func PrintRouteMapStanza(rp *netcfg.RoutePolicy) string {
+	var b strings.Builder
+	printRouteMap(&b, rp)
+	return b.String()
+}
+
 func printInterface(b *strings.Builder, ifc *netcfg.Interface) {
 	fmt.Fprintf(b, "interface %s\n", ifc.Name)
 	if ifc.Description != "" {

@@ -1,0 +1,409 @@
+package cisco
+
+import (
+	"strings"
+
+	"repro/internal/netcfg"
+)
+
+// This file segments a Cisco configuration into stanzas whose isolated
+// parses compose back into the whole-file parse. The invariant that makes
+// it sound is fragment replay: every stanza starts either at a point where
+// the parser is provably at top level (file start, after a literal "!"
+// line, after a valid two-field hostname line) or at a block header
+// (interface / router / route-map), which sets the parser mode
+// unconditionally — so parsing a stanza in isolation walks exactly the
+// state transitions the same lines would walk in context. Cross-stanza
+// coupling that replay cannot reproduce (duplicate blocks whose sequence
+// defaults or field merges depend on earlier stanzas) is detected at
+// assembly time and answered with a whole-parse fallback, never a wrong
+// device.
+
+// Stanza kinds emitted by SplitStanzas.
+const (
+	stInterface = "interface"
+	stBGP       = "router-bgp"
+	stOSPF      = "router-ospf"
+	stRouter    = "router"
+	stRouteMap  = "route-map"
+	stHostname  = "hostname"
+	stPrefix    = "prefix-list"
+	stCommunity = "community-list"
+	stStatic    = "static"
+	stExtra     = "extra"
+)
+
+// SplitStanzas segments the configuration text. The split is lossless:
+// netcfg.JoinStanzas over the result reproduces text byte for byte.
+// Stanzas cover contiguous byte ranges of the input, so each Text is a
+// substring of text (no per-line copying — the split is O(n) and
+// allocation-light, which the incremental parse path depends on: it
+// splits every revision).
+func SplitStanzas(text string) []netcfg.Stanza {
+	stanzas, _ := splitFrom(text, true, 1)
+	return stanzas
+}
+
+// SplitStanzasResume splits text as the continuation of a larger
+// configuration: the parser is assumed to enter it with the given
+// top-level state, and the first line is numbered startLine. Alongside the
+// split it reports each stanza's entry state, which is what lets a later
+// call resume from any stanza boundary. SplitStanzasResume(text, true, 1)
+// is exactly SplitStanzas.
+func SplitStanzasResume(text string, atTop bool, startLine int) ([]netcfg.Stanza, []bool, bool) {
+	stanzas, atTops := splitFrom(text, atTop, startLine)
+	return stanzas, atTops, true
+}
+
+func splitFrom(text string, atTop bool, startLine int) ([]netcfg.Stanza, []bool) {
+	if text == "" {
+		return nil, nil
+	}
+
+	// In rendered configs almost every stanza ends with a "!" separator
+	// line, so counting them sizes both slices in one vectorized scan and
+	// spares the append-growth copies.
+	est := strings.Count(text, "\n!") + 2
+	out := make([]netcfg.Stanza, 0, est)
+	atTops := make([]bool, 0, est)
+	starts := make([]int, 0, est)
+	cur := -1 // index in out of the open stanza, -1 before the first
+	off := 0  // byte offset of the current line
+	// atTop: parser provably in top-level mode before the next line
+
+	open := func(kind, name string, lineNo int) {
+		out = append(out, netcfg.Stanza{Kind: kind, Name: name, Line: lineNo})
+		atTops = append(atTops, atTop)
+		starts = append(starts, off)
+		cur = len(out) - 1
+	}
+	// glue attaches the line to the open stanza — a no-op on the offsets,
+	// except that a line before any boundary opens the implicit stExtra
+	// stanza the old accumulating splitter created.
+	glue := func(lineNo int) {
+		if cur < 0 {
+			open(stExtra, "", lineNo)
+		}
+	}
+
+	// Lines are walked in place (no intermediate line slice): off is the
+	// current line's start, end the start of the next.
+	lineNo := startLine - 1
+	for off < len(text) {
+		end := len(text)
+		if j := strings.IndexByte(text[off:], '\n'); j >= 0 {
+			end = off + j + 1
+		}
+		raw := text[off:end]
+		lineNo++
+		trimmed := strings.TrimSpace(raw)
+
+		// Inert lines attach to the current stanza; a literal "!" also
+		// resets the parser to top level, making the next significant line
+		// a safe stanza boundary.
+		if trimmed == "" || strings.HasPrefix(trimmed, "!") {
+			glue(lineNo)
+			if trimmed == "!" {
+				atTop = true
+			}
+			off = end
+			continue
+		}
+
+		// Body lines inside a block only need to be recognized as
+		// non-boundaries: every kind that can open or extend a stanza at
+		// depth starts with 'i' (interface, ip …), 'r' (router,
+		// route-map), or 'h' (hostname), so any other first letter glues
+		// without paying for tokenization.
+		if !atTop {
+			switch trimmed[0] | 0x20 {
+			case 'i':
+				// "ip …" is never a boundary — it only matters as a
+				// continuation of an open list run, so inside any other
+				// block (the common case: interface bodies are full of
+				// "ip address …") it glues without tokenization.
+				if len(trimmed) > 2 && trimmed[1]|0x20 == 'p' &&
+					(trimmed[2] == ' ' || trimmed[2] == '\t') {
+					switch out[cur].Kind {
+					case stPrefix, stCommunity, stStatic:
+					default:
+						glue(lineNo)
+						off = end
+						continue
+					}
+				}
+			case 'r', 'h':
+			default:
+				glue(lineNo)
+				off = end
+				continue
+			}
+		}
+		kind, name := classifyLine(trimmed)
+		switch {
+		case kind == stRouteMap && name != "" && cur >= 0 &&
+			out[cur].Kind == stRouteMap && out[cur].Name == name:
+			// Consecutive clauses of one route map (each clause line is a
+			// fresh "route-map NAME ..." header) stay in one stanza, so
+			// sequence-number defaults replay against the full clause list.
+			glue(lineNo)
+			atTop = false
+		case kind == stPrefix && name != "" && cur >= 0 &&
+			out[cur].Kind == stPrefix && out[cur].Name == name:
+			// One prefix list's entry lines group together for the same
+			// reason: the default sequence is 5×(entry count so far).
+			glue(lineNo)
+		case kind == stCommunity && name != "" && cur >= 0 &&
+			out[cur].Kind == stCommunity && out[cur].Name == name:
+			glue(lineNo)
+		case kind == stStatic && cur >= 0 && out[cur].Kind == stStatic:
+			glue(lineNo)
+		case kind == stInterface || kind == stRouter || kind == stBGP ||
+			kind == stOSPF || kind == stRouteMap:
+			// Block headers set the parser mode unconditionally (error
+			// paths included), so they are always safe boundaries.
+			open(kind, name, lineNo)
+			atTop = false
+		case kind == stHostname:
+			// Only a valid two-field hostname resets the mode; the
+			// malformed form leaves the mode unchanged and is glued below.
+			open(kind, name, lineNo)
+			atTop = true
+		case atTop:
+			// Mode-independent or top-level-only lines: start a stanza of
+			// their own kind. Top-level lines leave the parser at top, so
+			// atTop stays true.
+			if cur >= 0 && out[cur].Kind == kind && (kind == stExtra || name == out[cur].Name) {
+				glue(lineNo)
+			} else {
+				open(kind, name, lineNo)
+			}
+		default:
+			// Inside a block: the line belongs to the block's stanza, and
+			// fragment replay parses it under the same mode.
+			glue(lineNo)
+		}
+		off = end
+	}
+	for i := range out {
+		end := len(text)
+		if i+1 < len(out) {
+			end = starts[i+1]
+		}
+		out[i].Text = text[starts[i]:end]
+	}
+	return out, atTops
+}
+
+// headFields scans up to len(dst) space- or tab-separated tokens of a
+// trimmed line into dst without allocating (the splitter classifies every
+// line of every revision, so a strings.Fields slice per line is measurable
+// at scale). Returns the token count, or len(dst)+1 when more tokens
+// remain — enough to distinguish "exactly n" from "more than n".
+func headFields(s string, dst []string) int {
+	n := 0
+	for i := 0; i < len(s); {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		start := i
+		for i < len(s) && s[i] != ' ' && s[i] != '\t' {
+			i++
+		}
+		if n == len(dst) {
+			return n + 1
+		}
+		dst[n] = s[start:i]
+		n++
+	}
+	return n
+}
+
+// classifyLine maps one significant (non-blank, non-comment) trimmed line
+// to the stanza kind and identity it opens — or would open, were it at a
+// boundary. Mirrors the head dispatch of parseLine.
+func classifyLine(trimmed string) (kind, name string) {
+	var f [4]string
+	n := headFields(trimmed, f[:])
+	if n == 0 {
+		return stExtra, ""
+	}
+	head := strings.ToLower(f[0])
+	switch head {
+	case "interface":
+		if n == 2 {
+			return stInterface, f[1]
+		}
+		return stInterface, ""
+	case "router":
+		if n >= 2 {
+			switch strings.ToLower(f[1]) {
+			case "ospf":
+				return stOSPF, ""
+			case "bgp":
+				return stBGP, ""
+			}
+		}
+		return stRouter, ""
+	case "route-map":
+		if n >= 2 {
+			return stRouteMap, f[1]
+		}
+		return stRouteMap, ""
+	case "hostname":
+		if n == 2 {
+			return stHostname, f[1]
+		}
+		return stExtra, "" // malformed: parsed in place, not a boundary
+	case "ip":
+		if n >= 2 {
+			switch strings.ToLower(f[1]) {
+			case "prefix-list":
+				if n >= 3 {
+					return stPrefix, f[2]
+				}
+				return stPrefix, ""
+			case "community-list":
+				return stCommunity, communityListName(f[:], n)
+			case "route":
+				return stStatic, ""
+			case "routing":
+				return stExtra, ""
+			}
+		}
+	}
+	return stExtra, ""
+}
+
+// communityListName extracts the list name the parser would use: the first
+// token after "ip community-list", with an optional "standard" keyword
+// stripped ("expanded" lines are rejected by the parser and stay unnamed).
+// fields holds the first captured tokens of the line, n the headFields
+// count (which may exceed len(fields) when the line has more tokens).
+func communityListName(fields []string, n int) string {
+	if n > len(fields) {
+		n = len(fields)
+	}
+	rest := fields[2:n]
+	if len(rest) > 0 {
+		switch strings.ToLower(rest[0]) {
+		case "standard":
+			rest = rest[1:]
+		case "expanded":
+			return ""
+		}
+	}
+	if len(rest) > 0 {
+		return rest[0]
+	}
+	return ""
+}
+
+// ParseFragment parses one stanza in isolation: the parser's own warnings
+// only, stanza-relative line numbers. Cross-stanza lint runs on the
+// assembled device.
+func ParseFragment(st netcfg.Stanza) *netcfg.Parsed {
+	dev, warns := Parse(st.Text)
+	return &netcfg.Parsed{Device: dev, ParseWarnings: warns}
+}
+
+// AssembleFragments merges the fragment parses of a split back into one
+// device, re-derives the lint feed, and records stanza provenance. It
+// returns ok=false — demanding a whole-parse fallback — whenever two
+// fragments claim the same identity (interface name, BGP/OSPF process,
+// route map, or prefix list): in context the parser would merge such
+// blocks with sequence defaults and field precedence that fragment
+// isolation cannot reproduce. Community lists and static routes
+// append-merge exactly as the whole parse does, so they never force a
+// fallback.
+func AssembleFragments(stanzas []netcfg.Stanza, refs []netcfg.StanzaRef, frags []*netcfg.Parsed) (*netcfg.Parsed, bool) {
+	// Size the merge maps exactly from the ref kinds: assembly is on the
+	// hot incremental-parse path, where both incremental map growth and
+	// oversized table allocation are measurable.
+	var nIfc, nPfx, nRM, nCL int
+	for _, r := range refs {
+		switch r.Kind {
+		case stInterface:
+			nIfc++
+		case stPrefix:
+			nPfx++
+		case stRouteMap:
+			nRM++
+		case stCommunity:
+			nCL++
+		}
+	}
+	dev := netcfg.NewDevice("", netcfg.VendorCisco)
+	dev.PrefixLists = make(map[string]*netcfg.PrefixList, nPfx)
+	dev.CommunityLists = make(map[string]*netcfg.CommunityList, nCL)
+	dev.RoutePolicies = make(map[string]*netcfg.RoutePolicy, nRM)
+	dev.Interfaces = make([]*netcfg.Interface, 0, nIfc)
+	ifcNames := make(map[string]bool, nIfc)
+	var parseWarns []netcfg.ParseWarning
+	for i, st := range stanzas {
+		f := frags[i]
+		if f == nil || f.Device == nil {
+			return nil, false
+		}
+		fd := f.Device
+		if fd.Hostname != "" {
+			dev.Hostname = fd.Hostname // later wins, as in a sequential parse
+		}
+		for _, ifc := range fd.Interfaces {
+			if ifcNames[ifc.Name] {
+				return nil, false
+			}
+			ifcNames[ifc.Name] = true
+			dev.Interfaces = append(dev.Interfaces, ifc)
+		}
+		if fd.BGP != nil {
+			if dev.BGP != nil {
+				return nil, false
+			}
+			dev.BGP = fd.BGP
+		}
+		if fd.OSPF != nil {
+			if dev.OSPF != nil {
+				return nil, false
+			}
+			dev.OSPF = fd.OSPF
+		}
+		for name, pl := range fd.PrefixLists {
+			if _, dup := dev.PrefixLists[name]; dup {
+				return nil, false
+			}
+			dev.PrefixLists[name] = pl
+		}
+		for name, rp := range fd.RoutePolicies {
+			if _, dup := dev.RoutePolicies[name]; dup {
+				return nil, false
+			}
+			dev.RoutePolicies[name] = rp
+		}
+		for name, cl := range fd.CommunityLists {
+			if have, ok := dev.CommunityLists[name]; ok {
+				// Copy-on-merge: the fragment devices are shared cache
+				// entries and must stay untouched.
+				merged := &netcfg.CommunityList{Name: have.Name}
+				merged.Entries = append(append([]netcfg.CommunityListEntry(nil),
+					have.Entries...), cl.Entries...)
+				dev.CommunityLists[name] = merged
+			} else {
+				dev.CommunityLists[name] = cl
+			}
+		}
+		dev.StaticRoutes = append(dev.StaticRoutes, fd.StaticRoutes...)
+		for _, w := range f.ParseWarnings {
+			w.Line += st.Line - 1
+			parseWarns = append(parseWarns, w)
+		}
+	}
+	dev.Stanzas = refs
+	lint := Lint(dev)
+	checkWarns := make([]netcfg.ParseWarning, 0, len(parseWarns)+len(lint))
+	checkWarns = append(append(checkWarns, parseWarns...), lint...)
+	return &netcfg.Parsed{Device: dev, ParseWarnings: parseWarns, CheckWarnings: checkWarns}, true
+}

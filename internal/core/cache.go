@@ -106,6 +106,11 @@ type CachedVerifier struct {
 	// to the backend, and every backend result is persisted to it.
 	disk *durable.Cache
 
+	// digests memoizes each configuration revision's TextDigest, so the
+	// thousands of check keys a run derives against the same few revisions
+	// hash each revision body once (suite.KeyD).
+	digests *suite.Digests
+
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	prefetches    atomic.Uint64
@@ -154,7 +159,7 @@ func NewCachedVerifier(v Verifier) *CachedVerifier {
 	if lv, ok := v.(LocalVerifier); ok && lv.Parses == nil {
 		v = LocalVerifier{Parses: batfish.NewParseCache()}
 	}
-	c := &CachedVerifier{v: v}
+	c := &CachedVerifier{v: v, digests: suite.NewDigests()}
 	for i := range c.shards {
 		c.shards[i].results = map[[sha256.Size]byte]SuiteResult{}
 	}
@@ -179,7 +184,17 @@ func (c *CachedVerifier) Batched() bool { return c.backend.Capabilities().Batche
 // changes a result: entries are content-addressed by suite.Key and results
 // are pure functions of the keyed inputs, so transcripts stay
 // byte-identical whether a result came from memory, disk, or the backend.
-func (c *CachedVerifier) SetDurable(d *durable.Cache) { c.disk = d }
+func (c *CachedVerifier) SetDurable(d *durable.Cache) {
+	c.disk = d
+	// The same directory also backs the stanza sub-cache: fragment parses
+	// are content-addressed under a distinct key prefix, so one durable
+	// store serves check results and stanza parses side by side.
+	if d != nil {
+		if lv, ok := c.v.(LocalVerifier); ok && lv.Parses != nil {
+			lv.Parses.SetFragmentStore(d)
+		}
+	}
+}
 
 // Stats returns the cache counters.
 func (c *CachedVerifier) Stats() CacheStats {
@@ -254,7 +269,7 @@ func (c *CachedVerifier) persist(key [sha256.Size]byte, res SuiteResult) {
 // check answers one suite check through the cache, dispatching misses
 // onto the backend seam as a batch of one.
 func (c *CachedVerifier) check(sc SuiteCheck) (SuiteResult, error) {
-	key := suite.Key(sc)
+	key := suite.KeyD(sc, c.digests)
 	if res, ok := c.lookup(key); ok {
 		return res, nil
 	}
@@ -281,7 +296,7 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 	var keys [][sha256.Size]byte
 	seen := map[[sha256.Size]byte]bool{}
 	for _, sc := range checks {
-		key := suite.Key(sc)
+		key := suite.KeyD(sc, c.digests)
 		if seen[key] {
 			continue
 		}

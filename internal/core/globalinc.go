@@ -33,41 +33,48 @@ func globalNoTransit(v Verifier, t *topology.Topology, configs map[string]string
 }
 
 // globalTracker derives per-call GlobalHints for a repair loop by diffing
-// each call's configuration texts against the previous call's: the
+// each call's configuration digests against the previous call's: the
 // changed-router set is computed, not trusted from the caller, so a hint
-// can never understate a change. The zero value is ready to use; the
-// first call yields an unknown (cold) hint.
+// can never understate a change. Each revision body is hashed once (the
+// digest memo), so a call over a barely-changed config set costs O(changed)
+// in config bytes rather than re-comparing every full text. The zero value
+// is ready to use; the first call yields an unknown (cold) hint.
 type globalTracker struct {
-	prev   map[string]string
-	digest string
+	prev    map[string]string // router -> TextDigest of its last-seen revision
+	digest  string
+	digests *suite.Digests
 }
 
 // hint returns the hint for a call about to verify configs, and advances
 // the tracker to treat configs as the new baseline.
 func (g *globalTracker) hint(configs map[string]string) *GlobalHint {
+	if g.digests == nil {
+		g.digests = suite.NewDigests()
+	}
+	cur := make(map[string]string, len(configs))
+	for name, text := range configs {
+		cur[name] = g.digests.Of(text)
+	}
 	h := &GlobalHint{}
 	if g.prev == nil {
 		h.Changed = nil // unknown: first call runs cold
 	} else {
 		h.PriorDigest = g.digest
 		changed := []string{}
-		for name, text := range configs {
-			if old, ok := g.prev[name]; !ok || old != text {
+		for name, dg := range cur {
+			if old, ok := g.prev[name]; !ok || old != dg {
 				changed = append(changed, name)
 			}
 		}
 		for name := range g.prev {
-			if _, ok := configs[name]; !ok {
+			if _, ok := cur[name]; !ok {
 				changed = append(changed, name)
 			}
 		}
 		sort.Strings(changed)
 		h.Changed = changed
 	}
-	g.prev = make(map[string]string, len(configs))
-	for name, text := range configs {
-		g.prev[name] = text
-	}
-	g.digest = suite.ConfigDigest(configs)
+	g.prev = cur
+	g.digest = suite.ConfigDigestD(configs, g.digests)
 	return h
 }

@@ -1,0 +1,106 @@
+package juniper
+
+import (
+	"strings"
+
+	"repro/internal/netcfg"
+)
+
+// SplitStanzas segments a Junos configuration into top-level brace blocks
+// (system, interfaces, routing-options, protocols), with policy-options
+// split one level deeper so each policy-statement / prefix-list /
+// community definition is its own addressable stanza. The split is purely
+// textual and lossless — netcfg.JoinStanzas over the result reproduces the
+// input byte for byte — which is what the delta wire protocol and the
+// round-trip tests need. Unlike the Cisco splitter there is no fragment
+// assembly: Junos parsing resolves cross-block references (policy "then
+// community" names against community definitions) in a second pass, so
+// incremental parse falls back to the whole parse and stanzas serve
+// deltas and provenance only.
+func SplitStanzas(text string) []netcfg.Stanza {
+	if text == "" {
+		return nil
+	}
+	lines := strings.SplitAfter(text, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+
+	// Stanzas cover contiguous byte ranges of the input, so the split only
+	// records each stanza's start offset and slices text at the end — no
+	// per-line string accumulation.
+	var out []netcfg.Stanza
+	var starts []int
+	cur := -1 // index in out of the open stanza, -1 before the first
+	off := 0  // byte offset of the next line
+	open := func(kind, name string, lineNo int) {
+		out = append(out, netcfg.Stanza{Kind: kind, Name: name, Line: lineNo})
+		starts = append(starts, off)
+		cur = len(out) - 1
+	}
+	glue := func(lineNo int) {
+		if cur < 0 {
+			open("extra", "", lineNo)
+		}
+	}
+
+	depth := 0
+	inPolicyOptions := false
+	for i, raw := range lines {
+		lineNo := i + 1
+		trimmed := strings.TrimSpace(raw)
+		opens := strings.Count(raw, "{")
+		closes := strings.Count(raw, "}")
+
+		switch {
+		case depth == 0:
+			if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+				glue(lineNo)
+			} else {
+				kind, name := classifyJunosHeader(trimmed)
+				open(kind, name, lineNo)
+				inPolicyOptions = kind == "policy-options" && opens > closes
+			}
+		case inPolicyOptions && depth == 1:
+			switch {
+			case trimmed == "}":
+				open("policy-options-close", "", lineNo)
+				inPolicyOptions = false
+			case trimmed == "" || strings.HasPrefix(trimmed, "#"):
+				glue(lineNo)
+			default:
+				kind, name := classifyJunosHeader(trimmed)
+				open(kind, name, lineNo)
+			}
+		default:
+			glue(lineNo)
+		}
+		depth += opens - closes
+		if depth < 0 {
+			depth = 0 // malformed text: stay lossless, labels may be off
+		}
+		off += len(raw)
+	}
+	for i := range out {
+		end := len(text)
+		if i+1 < len(out) {
+			end = starts[i+1]
+		}
+		out[i].Text = text[starts[i]:end]
+	}
+	return out
+}
+
+// classifyJunosHeader labels a block or statement header line by its first
+// token, with the second token as the identity when it is not punctuation.
+func classifyJunosHeader(trimmed string) (kind, name string) {
+	fields := strings.Fields(trimmed)
+	if len(fields) == 0 {
+		return "extra", ""
+	}
+	kind = strings.TrimSuffix(fields[0], ";")
+	if len(fields) > 1 && fields[1] != "{" {
+		name = strings.TrimSuffix(fields[1], ";")
+	}
+	return kind, name
+}

@@ -1,0 +1,267 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cisco"
+	"repro/internal/netcfg"
+)
+
+// This file is the synthesizer's stanza-level incremental renderer: the
+// default implementation behind render(). renderFull clones the whole
+// golden device, replays every live error class against the clone, and
+// prints the result from scratch — O(device) per response even when a
+// correction cleared one error on one route map. renderIncremental
+// instead renders each printed section (hostname, interfaces, OSPF, BGP,
+// prefix lists, community lists, static routes, each route map) from a
+// per-section signature that captures exactly the error state the section
+// depends on, and caches the rendered text per (section, signature) on
+// the routerState. A correction that clears one class re-prints only the
+// sections whose signature changed; everything else is concatenated from
+// cache. The transforms below mirror renderFull's mutation order —
+// strip-additive, then the AND/OR rebuild, then deny-all, then the
+// literal-match rewrite — and the section order mirrors cisco.Print, so
+// the two paths are byte-identical (pinned by TestRenderIncrementalMatchesFull
+// and the end-to-end transcript equivalence suites).
+
+// renderIncremental prints the router's config with its live errors
+// applied, re-rendering only the sections whose inputs changed.
+func (s *Synthesizer) renderIncremental(st *routerState) string {
+	if st.sections == nil {
+		st.sections = map[string]string{}
+		st.sectionRefs = map[string][]string{}
+	}
+	g := st.golden
+	var b strings.Builder
+
+	b.WriteString(st.section("hostname", "", func() string {
+		return cisco.PrintHostname(g.Hostname)
+	}))
+
+	wrongIP := st.active[SErrTopoWrongIP] && len(g.Interfaces) > 0
+	b.WriteString(st.section("interfaces", sigBool(wrongIP), func() string {
+		var sb strings.Builder
+		for i, ifc := range g.Interfaces {
+			if i == 0 && wrongIP {
+				dup := *ifc
+				dup.Address.Addr++ // off-by-one address
+				sb.WriteString(cisco.PrintInterfaceStanza(&dup))
+				continue
+			}
+			sb.WriteString(cisco.PrintInterfaceStanza(ifc))
+		}
+		return sb.String()
+	}))
+
+	if g.OSPF != nil {
+		b.WriteString(st.section("ospf", "", func() string {
+			return cisco.PrintOSPFStanza(g.OSPF)
+		}))
+	}
+
+	if g.BGP != nil {
+		missingNet := st.active[SErrTopoMissingNetwork] && len(g.BGP.Networks) > 0
+		b.WriteString(st.section("bgp", sigBool(missingNet)+sigBool(st.interfere), func() string {
+			bgp := cloneBGP(g.BGP)
+			if missingNet {
+				bgp.Networks = bgp.Networks[:len(bgp.Networks)-1]
+			}
+			if st.interfere {
+				for _, nb := range bgp.Neighbors {
+					if nb.ExportPolicy != "" {
+						nb.ExportPolicy = ""
+						break
+					}
+				}
+			}
+			return cisco.PrintBGPStanza(bgp)
+		}))
+	}
+
+	b.WriteString(st.section("prefix-lists", "", func() string {
+		var sb strings.Builder
+		for _, name := range g.PrefixListNames() {
+			sb.WriteString(cisco.PrintPrefixListStanza(g.PrefixLists[name]))
+		}
+		return sb.String()
+	}))
+
+	// Route maps render before the community-list section is assembled:
+	// the literal-match rewrite decides which lists survive, so the list
+	// section's input is the set of lists the rendered policies still
+	// reference. The rendered text is buffered and emitted after the
+	// lists and static routes, in cisco.Print's order.
+	literalActive := st.active[SErrMatchCommunityLiteral]
+	literalPols := map[string]bool{}
+	if !literalActive {
+		for _, peer := range st.scopedPeers(SErrMatchCommunityLiteral) {
+			literalPols[st.egressPols[peer]] = true
+		}
+	}
+	additivePols := map[string]bool{}
+	for _, peer := range st.scopedPeers(SErrMissingAdditive) {
+		additivePols[st.ingressPols[peer]] = true
+	}
+	andorPols := map[string]bool{}
+	for _, peer := range st.scopedPeers(SErrAndOr) {
+		andorPols[st.egressPols[peer]] = true
+	}
+	denyPols := map[string]bool{}
+	for _, peer := range st.scopedPeers(SErrEgressDenyAll) {
+		denyPols[st.egressPols[peer]] = true
+	}
+
+	var maps strings.Builder
+	referenced := map[string]bool{}
+	for _, name := range g.PolicyNames() {
+		_, isEgress := st.egress[name]
+		additive := st.active[SErrMissingAdditive] || additivePols[name]
+		andor := (st.active[SErrAndOr] && isEgress) || andorPols[name]
+		deny := (st.active[SErrEgressDenyAll] && isEgress) || denyPols[name]
+		literal := literalActive || literalPols[name]
+		sig := sigBool(additive) + sigBool(andor) + sigBool(deny) + sigBool(literal)
+		text, refs := st.sectionWithRefs("route-map:"+name, sig, func() (string, []string) {
+			var pol *netcfg.RoutePolicy
+			if andor {
+				pol = egressPolicyClauses(name, st.egress[name], true)
+			} else {
+				pol = g.RoutePolicies[name].Clone()
+				if additive {
+					stripAdditive(pol)
+				}
+			}
+			if deny {
+				denyAllEgress(pol)
+			}
+			if literal {
+				// The rewrite resolves list contents against the golden
+				// device: at this point of renderFull's sequence the
+				// clone's lists are still exactly the golden ones.
+				rewriteLiteralMatches(g, pol)
+			}
+			return cisco.PrintRouteMapStanza(pol), referencedLists(pol)
+		})
+		maps.WriteString(text)
+		for _, r := range refs {
+			referenced[r] = true
+		}
+	}
+
+	b.WriteString(st.section("community-lists", communityListsSig(literalActive, literalPols, referenced), func() string {
+		if literalActive {
+			return "" // every list definition is dropped with the rewrite
+		}
+		var sb strings.Builder
+		for _, name := range g.CommunityListNames() {
+			if len(literalPols) > 0 && !referenced[name] {
+				continue // no surviving policy references it any more
+			}
+			sb.WriteString(cisco.PrintCommunityListStanza(g.CommunityLists[name]))
+		}
+		return sb.String()
+	}))
+
+	b.WriteString(st.section("statics", "", func() string {
+		return cisco.PrintStaticRoutes(g.StaticRoutes)
+	}))
+
+	b.WriteString(maps.String())
+
+	text := b.String()
+	if st.active[SErrCommunityListRegex] {
+		text += fmt.Sprintf("ip community-list standard COMM_LIST_%s_OUT permit .+\n", st.name)
+	}
+	if st.active[SErrNeighborOutsideBGP] && g.BGP != nil && len(g.BGP.Neighbors) > 0 {
+		// The transforms never touch import policies, so the golden
+		// neighbor carries the same attachment the full render re-emits.
+		nb := g.BGP.Neighbors[0]
+		if nb.ImportPolicy != "" {
+			text += fmt.Sprintf("neighbor %s route-map %s in\n",
+				netcfg.FormatIP(nb.Addr), nb.ImportPolicy)
+		}
+	}
+	if st.active[SErrCLIKeywords] {
+		text = "configure terminal\n" + text + "exit\nwrite\nend\n"
+	}
+	return text
+}
+
+// section returns the cached text for a section under the given
+// signature, rendering and caching it on first use.
+func (st *routerState) section(name, sig string, render func() string) string {
+	key := name + "\x00" + sig
+	if text, ok := st.sections[key]; ok {
+		return text
+	}
+	text := render()
+	st.sections[key] = text
+	return text
+}
+
+// sectionWithRefs is section for route maps, which additionally record
+// the community lists their rendered form still references.
+func (st *routerState) sectionWithRefs(name, sig string, render func() (string, []string)) (string, []string) {
+	key := name + "\x00" + sig
+	if text, ok := st.sections[key]; ok {
+		return text, st.sectionRefs[key]
+	}
+	text, refs := render()
+	st.sections[key] = text
+	st.sectionRefs[key] = refs
+	return text, refs
+}
+
+// communityListsSig is the community-list section's signature: "A" when
+// the router-wide literal rewrite drops every list, the sorted surviving
+// set when scoped rewrites drop some, "" when no rewrite is live.
+func communityListsSig(literalActive bool, literalPols map[string]bool, referenced map[string]bool) string {
+	if literalActive {
+		return "A"
+	}
+	if len(literalPols) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(referenced))
+	for n := range referenced {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return "S:" + strings.Join(names, ",")
+}
+
+// referencedLists returns the community lists a rendered policy still
+// matches by name — the literal rewrite's survivors computation.
+func referencedLists(pol *netcfg.RoutePolicy) []string {
+	var out []string
+	for _, cl := range pol.Clauses {
+		for _, m := range cl.Matches {
+			if mcl, ok := m.(netcfg.MatchCommunityList); ok {
+				out = append(out, mcl.List)
+			}
+		}
+	}
+	return out
+}
+
+func sigBool(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// cloneBGP deep-copies one BGP process — the only piece of the golden
+// device the BGP section's transforms mutate.
+func cloneBGP(in *netcfg.BGP) *netcfg.BGP {
+	out := *in
+	out.Networks = append([]netcfg.Prefix(nil), in.Networks...)
+	out.Redistribute = append([]netcfg.Redistribution(nil), in.Redistribute...)
+	out.Neighbors = nil
+	for _, n := range in.Neighbors {
+		dup := *n
+		out.Neighbors = append(out.Neighbors, &dup)
+	}
+	return &out
+}

@@ -1,0 +1,129 @@
+package llm
+
+import (
+	"testing"
+
+	"repro/internal/modularizer"
+	"repro/internal/netgen"
+)
+
+// twinSynthesizers drives two synthesizers — incremental renderer vs
+// FullRender baseline — through the same conversation and fails on the
+// first byte divergence.
+type twinSynthesizers struct {
+	t    *testing.T
+	inc  *Synthesizer
+	full *Synthesizer
+	msgs []Message
+}
+
+func newTwins(t *testing.T, cfg SynthConfig) *twinSynthesizers {
+	t.Helper()
+	incCfg := cfg
+	incCfg.FullRender = false
+	fullCfg := cfg
+	fullCfg.FullRender = true
+	return &twinSynthesizers{t: t, inc: NewSynthesizer(incCfg), full: NewSynthesizer(fullCfg)}
+}
+
+// send forwards one prompt to both models and returns the (identical)
+// response after appending it to the shared conversation.
+func (tw *twinSynthesizers) send(label, prompt string) string {
+	tw.t.Helper()
+	tw.msgs = append(tw.msgs, Message{Role: RoleAutomated, Content: prompt})
+	got, errInc := tw.inc.Complete(tw.msgs)
+	want, errFull := tw.full.Complete(tw.msgs)
+	if (errInc == nil) != (errFull == nil) {
+		tw.t.Fatalf("%s: error divergence: incremental=%v full=%v", label, errInc, errFull)
+	}
+	if errInc != nil {
+		tw.t.Fatalf("%s: %v", label, errInc)
+	}
+	if got != want {
+		tw.t.Fatalf("%s: incremental render diverges from full render\nincremental:\n%s\nfull:\n%s",
+			label, got, want)
+	}
+	tw.msgs = append(tw.msgs, Message{Role: RoleModel, Content: got})
+	return got
+}
+
+// TestRenderIncrementalMatchesFull pins the incremental renderer against
+// the whole-config print for every registry scenario and every error
+// class injected on every router, through the full correction sequence
+// the repair loop would issue (each class's fixing prompt, one at a
+// time), plus the print requests the loop re-renders with.
+func TestRenderIncrementalMatchesFull(t *testing.T) {
+	corrections := map[SynthError]string{
+		SErrCLIKeywords:           "Remove the CLI session keyword lines from the configuration of router %s.",
+		SErrMatchCommunityLiteral: "The match community statement must reference a community-list on router %s.",
+		SErrMissingAdditive:       "The set community statement replaces the communities on router %s; use the additive keyword.",
+		SErrCommunityListRegex:    "The community-list on router %s uses wrong syntax (.+ is not a community).",
+		SErrTopoWrongIP:           "The interface ip address does not match the topology on router %s.",
+		SErrTopoMissingNetwork:    "A required network is not declared on router %s.",
+		SErrNeighborOutsideBGP:    "Place the neighbor command inside the \"router bgp\" block on router %s.",
+		SErrAndOr:                 "Declare each match statement in a separate route-map stanza on router %s.",
+		SErrEgressDenyAll:         "The egress filter permits routes that have the community on router %s.",
+	}
+	for _, sc := range netgen.Scenarios() {
+		topo, err := netgen.Generate(sc.Name, sc.DefaultSize)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		tasks := modularizer.Tasks(topo)
+		for class := SErrCLIKeywords; class <= SErrEgressDenyAll; class++ {
+			errs := map[string][]SynthError{}
+			for _, task := range tasks {
+				errs[task.Router] = []SynthError{class}
+			}
+			tw := newTwins(t, SynthConfig{Seed: 1, Errors: errs})
+			for _, task := range tasks {
+				tw.send(sc.Name+"/"+class.String()+"/"+task.Router, task.Prompt)
+			}
+			// One correction round per router: clear the class, forcing the
+			// incremental path to re-render exactly the changed sections.
+			fix, ok := corrections[class]
+			if !ok {
+				t.Fatalf("no correction prompt for %v", class)
+			}
+			for _, task := range tasks {
+				tw.send(sc.Name+"/"+class.String()+"/fix/"+task.Router,
+					sprintfRouter(fix, task.Router))
+				tw.send(sc.Name+"/"+class.String()+"/print/"+task.Router, PrintRequest)
+			}
+		}
+	}
+}
+
+// TestRenderIncrementalDefaultScenario walks the paper's default error
+// scenario plus the §6 incremental-change task (addPolicy mutates the
+// golden device, which must invalidate the section cache) on the star.
+func TestRenderIncrementalDefaultScenario(t *testing.T) {
+	topo, err := netgen.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := newTwins(t, DefaultSynthConfig())
+	for _, task := range modularizer.Tasks(topo) {
+		tw.send("gen/"+task.Router, task.Prompt)
+	}
+	tw.send("fix/andor", "Declare each match statement in a separate route-map stanza of FILTER_COMM_OUT_R2.")
+	tw.send("fix/regex", "The community-list on router R6 uses wrong syntax: .+ is not a valid community.")
+	tw.send("fix/ip", "The interface ip address does not match the topology on router R4.")
+	tw.send("addpolicy", "Add to router R1 a new route-map NEW_POLICY that adds the community 200:1 "+
+		"additively to every route received from the CUSTOMER neighbor 1.0.0.2, and apply it at "+
+		"that ingress. Keep every existing route-map and neighbor attachment unchanged.")
+	tw.send("fix/interfere", "The new route-map interferes with the existing egress policy on router R1; restore the existing attachment.")
+}
+
+func sprintfRouter(format, router string) string {
+	out := ""
+	for i := 0; i < len(format); i++ {
+		if format[i] == '%' && i+1 < len(format) && format[i+1] == 's' {
+			out += router
+			i++
+			continue
+		}
+		out += string(format[i])
+	}
+	return out
+}

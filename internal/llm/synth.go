@@ -100,6 +100,11 @@ type SynthConfig struct {
 	// the IIP-suppressed classes are only injected if the corresponding
 	// IIP entry is absent from the conversation.
 	RespectIIP bool
+	// FullRender disables the stanza-level incremental renderer: every
+	// response re-prints the whole configuration from the transformed
+	// device. The two paths are byte-identical (pinned by tests); the flag
+	// exists as the baseline for the equivalence suite and benchmarks.
+	FullRender bool
 }
 
 // DefaultSynthConfig is the paper's deterministic no-transit scenario.
@@ -155,6 +160,13 @@ type routerState struct {
 	// interfere: an incremental change accidentally dropped an existing
 	// neighbor attachment (the §6 non-interference hazard).
 	interfere bool
+	// sections / sectionRefs back the incremental renderer: rendered text
+	// per section keyed by "section\x00signature", plus the community
+	// lists each rendered route map still references (the input to the
+	// community-list section). Both are derived purely from golden + the
+	// error state; any golden mutation must reset them (see addPolicy).
+	sections    map[string]string
+	sectionRefs map[string][]string
 }
 
 // clearError reacts to a correction for an error class: when the prompt
@@ -538,6 +550,10 @@ func (s *Synthesizer) addPolicy(policy, community, neighborIP string) (string, e
 	st.golden.BGP.EnsureNeighbor(ip).ImportPolicy = policy
 	s.policyOwner[policy] = "R1"
 	st.interfere = true
+	// The golden device changed: every cached section rendered from it is
+	// stale (the new route map, and the BGP block if the neighbor is new).
+	st.sections = nil
+	st.sectionRefs = nil
 	return s.render(st), nil
 }
 
@@ -572,8 +588,21 @@ func (s *Synthesizer) target(content string) *routerState {
 	return nil
 }
 
-// render prints the router's config with its live errors applied.
+// render prints the router's config with its live errors applied. The
+// default path is the stanza-level incremental renderer (render.go),
+// which re-prints only the sections whose error state changed since the
+// previous render of this router; SynthConfig.FullRender selects the
+// whole-config print. The outputs are byte-identical.
 func (s *Synthesizer) render(st *routerState) string {
+	if s.cfg.FullRender {
+		return s.renderFull(st)
+	}
+	return s.renderIncremental(st)
+}
+
+// renderFull prints the whole config from a transformed clone of the
+// golden device — the baseline the incremental renderer is pinned against.
+func (s *Synthesizer) renderFull(st *routerState) string {
 	dev := st.golden.Clone()
 	if st.active[SErrTopoWrongIP] {
 		if len(dev.Interfaces) > 0 {
@@ -655,24 +684,32 @@ func (s *Synthesizer) render(st *routerState) string {
 // (andSemantics=true): a single deny stanza carrying every match — which
 // only filters routes carrying *all* the communities (§4.2).
 func buildEgressPolicy(dev *netcfg.Device, name string, comms []netcfg.Community, andSemantics bool) {
-	pol := &netcfg.RoutePolicy{Name: name}
-	listName := func(c netcfg.Community) string {
-		// Community list index per the paper: list k holds (99+k):1, i.e.
-		// R2's tag 100:1 lives in list 1.
-		return strconv.Itoa(int(uint32(c)>>16) - 99)
-	}
 	for _, c := range comms {
-		ln := listName(c)
+		ln := egressListName(c)
 		if dev.CommunityLists[ln] == nil {
 			dev.CommunityLists[ln] = &netcfg.CommunityList{Name: ln, Entries: []netcfg.CommunityListEntry{
 				{Action: netcfg.Permit, Community: c},
 			}}
 		}
 	}
+	dev.RoutePolicies[name] = egressPolicyClauses(name, comms, andSemantics)
+}
+
+// egressListName is the community-list index per the paper: list k holds
+// (99+k):1, i.e. R2's tag 100:1 lives in list 1.
+func egressListName(c netcfg.Community) string {
+	return strconv.Itoa(int(uint32(c)>>16) - 99)
+}
+
+// egressPolicyClauses builds just the route-map half of buildEgressPolicy
+// — the piece the incremental renderer can rebuild per policy, since the
+// community lists it references already exist on the golden device.
+func egressPolicyClauses(name string, comms []netcfg.Community, andSemantics bool) *netcfg.RoutePolicy {
+	pol := &netcfg.RoutePolicy{Name: name}
 	if andSemantics {
 		cl := &netcfg.PolicyClause{Seq: 10, Action: netcfg.Deny}
 		for _, c := range comms {
-			cl.Matches = append(cl.Matches, netcfg.MatchCommunityList{List: listName(c)})
+			cl.Matches = append(cl.Matches, netcfg.MatchCommunityList{List: egressListName(c)})
 		}
 		pol.Clauses = append(pol.Clauses, cl,
 			&netcfg.PolicyClause{Seq: 20, Action: netcfg.Permit})
@@ -681,13 +718,13 @@ func buildEgressPolicy(dev *netcfg.Device, name string, comms []netcfg.Community
 		for _, c := range comms {
 			pol.Clauses = append(pol.Clauses, &netcfg.PolicyClause{
 				Seq: seq, Action: netcfg.Deny,
-				Matches: []netcfg.Match{netcfg.MatchCommunityList{List: listName(c)}},
+				Matches: []netcfg.Match{netcfg.MatchCommunityList{List: egressListName(c)}},
 			})
 			seq += 10
 		}
 		pol.Clauses = append(pol.Clauses, &netcfg.PolicyClause{Seq: seq, Action: netcfg.Permit})
 	}
-	dev.RoutePolicies[name] = pol
+	return pol
 }
 
 // stripAdditive removes the 'additive' keyword from every set-community

@@ -1,0 +1,198 @@
+package netcfg
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file gives the stanza sub-cache a durable on-disk form: one
+// fragment parse serialized as JSON. Everything in Device marshals
+// structurally except PolicyClause, whose Matches and Sets are interface
+// values — those get a tagged-union codec so a decoded clause round-trips
+// to the same concrete types the parser produced.
+
+// fragmentEntry is the durable payload of one stanza's fragment parse.
+// CheckWarnings are deliberately absent: fragments carry parser warnings
+// only; cross-stanza lint always runs on the assembled device.
+type fragmentEntry struct {
+	Device   *Device        `json:"device"`
+	Warnings []ParseWarning `json:"warnings,omitempty"`
+}
+
+// encodeFragment serializes a fragment parse for the durable tier.
+func encodeFragment(p *Parsed) ([]byte, error) {
+	return json.Marshal(fragmentEntry{Device: p.Device, Warnings: p.ParseWarnings})
+}
+
+// decodeFragment deserializes a durable fragment entry. A payload that
+// fails to decode is treated by the caller as a miss, never an error.
+func decodeFragment(payload []byte) (*Parsed, error) {
+	var e fragmentEntry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return nil, err
+	}
+	if e.Device == nil {
+		return nil, fmt.Errorf("netcfg: fragment entry has no device")
+	}
+	// Assembly copies map entries into a fresh NewDevice, but a decoded
+	// single-fragment device may be consulted directly — normalize nil maps.
+	if e.Device.PrefixLists == nil {
+		e.Device.PrefixLists = map[string]*PrefixList{}
+	}
+	if e.Device.CommunityLists == nil {
+		e.Device.CommunityLists = map[string]*CommunityList{}
+	}
+	if e.Device.RoutePolicies == nil {
+		e.Device.RoutePolicies = map[string]*RoutePolicy{}
+	}
+	return &Parsed{Device: e.Device, ParseWarnings: e.Warnings}, nil
+}
+
+// taggedValue is the wire form of one Match or SetAction: a type tag
+// naming the concrete struct, and its fields.
+type taggedValue struct {
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// policyClauseJSON is the wire form of PolicyClause.
+type policyClauseJSON struct {
+	Seq     int           `json:"seq"`
+	Action  Action        `json:"action"`
+	Matches []taggedValue `json:"matches,omitempty"`
+	Sets    []taggedValue `json:"sets,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with a tagged union for the
+// interface-typed Matches and Sets.
+func (c *PolicyClause) MarshalJSON() ([]byte, error) {
+	out := policyClauseJSON{Seq: c.Seq, Action: c.Action}
+	for _, m := range c.Matches {
+		tv, err := encodeMatch(m)
+		if err != nil {
+			return nil, err
+		}
+		out.Matches = append(out.Matches, tv)
+	}
+	for _, s := range c.Sets {
+		tv, err := encodeSet(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Sets = append(out.Sets, tv)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *PolicyClause) UnmarshalJSON(data []byte) error {
+	var in policyClauseJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	c.Seq = in.Seq
+	c.Action = in.Action
+	c.Matches = nil
+	c.Sets = nil
+	for _, tv := range in.Matches {
+		m, err := decodeMatch(tv)
+		if err != nil {
+			return err
+		}
+		c.Matches = append(c.Matches, m)
+	}
+	for _, tv := range in.Sets {
+		s, err := decodeSet(tv)
+		if err != nil {
+			return err
+		}
+		c.Sets = append(c.Sets, s)
+	}
+	return nil
+}
+
+func encodeTagged(tag string, v any) (taggedValue, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return taggedValue{}, err
+	}
+	return taggedValue{Type: tag, Data: data}, nil
+}
+
+func encodeMatch(m Match) (taggedValue, error) {
+	switch mm := m.(type) {
+	case MatchPrefixList:
+		return encodeTagged("prefix-list", mm)
+	case MatchCommunityList:
+		return encodeTagged("community-list", mm)
+	case MatchCommunityLiteral:
+		return encodeTagged("community-literal", mm)
+	case MatchProtocol:
+		return encodeTagged("protocol", mm)
+	case MatchASPathRegex:
+		return encodeTagged("as-path", mm)
+	case MatchRouteFilter:
+		return encodeTagged("route-filter", mm)
+	default:
+		return taggedValue{}, fmt.Errorf("netcfg: unencodable match %T", m)
+	}
+}
+
+func decodeMatch(tv taggedValue) (Match, error) {
+	switch tv.Type {
+	case "prefix-list":
+		var m MatchPrefixList
+		return m, json.Unmarshal(tv.Data, &m)
+	case "community-list":
+		var m MatchCommunityList
+		return m, json.Unmarshal(tv.Data, &m)
+	case "community-literal":
+		var m MatchCommunityLiteral
+		return m, json.Unmarshal(tv.Data, &m)
+	case "protocol":
+		var m MatchProtocol
+		return m, json.Unmarshal(tv.Data, &m)
+	case "as-path":
+		var m MatchASPathRegex
+		return m, json.Unmarshal(tv.Data, &m)
+	case "route-filter":
+		var m MatchRouteFilter
+		return m, json.Unmarshal(tv.Data, &m)
+	default:
+		return nil, fmt.Errorf("netcfg: unknown match tag %q", tv.Type)
+	}
+}
+
+func encodeSet(s SetAction) (taggedValue, error) {
+	switch ss := s.(type) {
+	case SetMED:
+		return encodeTagged("med", ss)
+	case SetLocalPref:
+		return encodeTagged("local-preference", ss)
+	case SetCommunity:
+		return encodeTagged("community", ss)
+	case SetNextHop:
+		return encodeTagged("next-hop", ss)
+	default:
+		return taggedValue{}, fmt.Errorf("netcfg: unencodable set action %T", s)
+	}
+}
+
+func decodeSet(tv taggedValue) (SetAction, error) {
+	switch tv.Type {
+	case "med":
+		var s SetMED
+		return s, json.Unmarshal(tv.Data, &s)
+	case "local-preference":
+		var s SetLocalPref
+		return s, json.Unmarshal(tv.Data, &s)
+	case "community":
+		var s SetCommunity
+		return s, json.Unmarshal(tv.Data, &s)
+	case "next-hop":
+		var s SetNextHop
+		return s, json.Unmarshal(tv.Data, &s)
+	default:
+		return nil, fmt.Errorf("netcfg: unknown set tag %q", tv.Type)
+	}
+}

@@ -46,6 +46,12 @@ type ParseCache struct {
 	shards [parseShards]parseShard
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// Stanza-level sub-cache (see stanza.go): when a dialect mounts
+	// StanzaSupport, a whole-config miss is answered by splitting the text
+	// into stanzas and reassembling cached fragment parses, so an edit to
+	// one policy re-parses one stanza instead of the whole device.
+	stanzaFields
 }
 
 // NewParseCache returns an empty cache over the given parser.
@@ -60,7 +66,8 @@ func NewParseCache(parse ParseFunc) *ParseCache {
 // Parse returns the memoized parse product for the text, parsing on first
 // sight of the revision.
 func (c *ParseCache) Parse(text string) *Parsed {
-	key := sha256.Sum256([]byte(text))
+	b := []byte(text)
+	key := sha256.Sum256(b)
 	s := &c.shards[key[0]%parseShards]
 	s.mu.RLock()
 	p := s.entries[key]
@@ -69,7 +76,12 @@ func (c *ParseCache) Parse(text string) *Parsed {
 		c.hits.Add(1)
 		return p
 	}
-	p = c.parse(text)
+	if c.stanza != nil {
+		p = c.stanzaParse(text, b)
+	}
+	if p == nil {
+		p = c.parse(text)
+	}
 	s.mu.Lock()
 	if prev, ok := s.entries[key]; ok {
 		// A concurrent miss beat us to it; keep the first result so every

@@ -1,0 +1,403 @@
+package netcfg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stanza is one addressable segment of a configuration text: an interface
+// block, a routing-process block, one route map or policy statement, a run
+// of prefix-list or static-route lines, and so on. Splitting is purely
+// textual and lossless — Text keeps every byte of the segment (newlines
+// included), so concatenating a split in order reproduces the original
+// configuration exactly. Stanzas are the unit of the incremental pipeline:
+// the parse cache reuses unchanged stanzas by digest, and the batch
+// protocol ships only the stanzas that changed between revisions.
+type Stanza struct {
+	Kind string // dialect-specific block class ("interface", "route-map", ...)
+	Name string // block identity within the kind, "" when anonymous
+	Line int    // 1-based line number of the stanza's first line
+	Text string // raw bytes of the segment, newline-inclusive
+}
+
+// Digest returns the hex SHA-256 of the stanza text — the stable identity
+// used by the stanza sub-cache and the delta wire protocol.
+func (s Stanza) Digest() string {
+	sum := sha256.Sum256([]byte(s.Text))
+	return hex.EncodeToString(sum[:])
+}
+
+// JoinStanzas reassembles the original configuration text from a split.
+func JoinStanzas(stanzas []Stanza) string {
+	var b strings.Builder
+	for _, s := range stanzas {
+		b.WriteString(s.Text)
+	}
+	return b.String()
+}
+
+// StanzaRef records the provenance of one stanza on a parsed Device: which
+// block classes the text contained, where each began, and the raw content
+// digest its fragment parse is cached under (hex-encode for display — the
+// raw form keeps the hot incremental-parse path free of per-stanza string
+// allocation).
+type StanzaRef struct {
+	Kind   string
+	Name   string
+	Digest [sha256.Size]byte
+	Line   int
+}
+
+// StanzaRefs summarizes a split for Device provenance.
+func StanzaRefs(stanzas []Stanza) []StanzaRef {
+	refs := make([]StanzaRef, len(stanzas))
+	for i, s := range stanzas {
+		refs[i] = StanzaRef{Kind: s.Kind, Name: s.Name,
+			Digest: sha256.Sum256([]byte(s.Text)), Line: s.Line}
+	}
+	return refs
+}
+
+// splitRefs derives the provenance refs of a lossless split from the
+// already-converted text bytes: because JoinStanzas over the split
+// reproduces text exactly, each stanza's bytes are a contiguous window of
+// b, so hashing all stanzas costs no per-stanza copies. Falls back to the
+// per-stanza path if the split turns out not to cover the text (a splitter
+// bug — the result is still correct, just slower).
+func splitRefs(b []byte, stanzas []Stanza) []StanzaRef {
+	total := 0
+	for _, s := range stanzas {
+		total += len(s.Text)
+	}
+	if total != len(b) {
+		return StanzaRefs(stanzas)
+	}
+	refs := make([]StanzaRef, len(stanzas))
+	off := 0
+	for i, s := range stanzas {
+		refs[i] = StanzaRef{Kind: s.Kind, Name: s.Name,
+			Digest: sha256.Sum256(b[off : off+len(s.Text)]), Line: s.Line}
+		off += len(s.Text)
+	}
+	return refs
+}
+
+// BlobStore is the durable tier seam of the stanza sub-cache: a
+// content-addressed key/value store with JSON payloads. durable.Cache
+// satisfies it; the interface lives here so netcfg does not import the
+// durable package.
+type BlobStore interface {
+	Get(key [sha256.Size]byte) ([]byte, bool)
+	Put(key [sha256.Size]byte, payload []byte) error
+}
+
+// StanzaSupport wires a dialect's splitter into a ParseCache. All three
+// hooks may decline: Split returns ok=false when the dialect cannot be
+// segmented safely (the cache falls back to a whole parse), ParseFragment
+// returns the parse product of one isolated stanza (parser warnings only —
+// cross-stanza lint runs after assembly), and Assemble merges the fragment
+// products back into one device, returning ok=false whenever isolation
+// would change the result (the cache again falls back to a whole parse).
+// Assemble receives the refs the cache already derived (each stanza's
+// digest is computed exactly once per parse, shared between the fragment
+// lookup and device provenance).
+type StanzaSupport struct {
+	Split         func(text string) ([]Stanza, bool)
+	ParseFragment func(st Stanza) *Parsed
+	Assemble      func(stanzas []Stanza, refs []StanzaRef, frags []*Parsed) (*Parsed, bool)
+
+	// SplitResume, when non-nil, is a resumable splitter: it splits text
+	// assuming the dialect parser enters it in the given state (atTop,
+	// first line numbered startLine) and reports each stanza's entry state
+	// alongside the split. It powers the split memo: a revision that
+	// shares a byte prefix with a recently split text reuses the prefix's
+	// stanzas and refs outright and re-splits only the changed tail, from
+	// the recorded state. The resumed split may group the seam differently
+	// than a fresh whole split would (a continuation line can open its own
+	// stanza instead of gluing); that never changes the assembled result —
+	// merge-sensitive kinds collide at assembly and fall back to a whole
+	// parse, append-merge kinds assemble identically — it only costs the
+	// fallback.
+	SplitResume func(text string, atTop bool, startLine int) (stanzas []Stanza, atTops []bool, ok bool)
+}
+
+// fragmentKey is the durable-tier content address of one stanza's fragment
+// parse. It is derived from the stanza's raw digest (already computed once
+// per parse for the StanzaRefs provenance) rather than re-hashing the
+// stanza text; the prefix keeps stanza entries disjoint from the suite.Key
+// result entries that share the same durable directory.
+func fragmentKey(digest [sha256.Size]byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte("cfg-stanza\x00"))
+	h.Write(digest[:])
+	var key [sha256.Size]byte
+	copy(key[:], h.Sum(nil))
+	return key
+}
+
+// EnableStanzas mounts dialect stanza support on the cache. Must be called
+// before the cache is shared between goroutines (it is wired at
+// construction by batfish.NewParseCache).
+func (c *ParseCache) EnableStanzas(s StanzaSupport) {
+	if s.Split == nil || s.ParseFragment == nil || s.Assemble == nil {
+		return
+	}
+	c.stanza = &s
+	for i := range c.fragShards {
+		c.fragShards[i].entries = map[[sha256.Size]byte]*Parsed{}
+	}
+}
+
+// SetFragmentStore mounts a durable tier under the stanza sub-cache:
+// fragment parses missing in memory are looked up on disk before parsing,
+// and fresh fragment parses are persisted. Safe to call while the cache is
+// in use.
+func (c *ParseCache) SetFragmentStore(store BlobStore) {
+	if store == nil {
+		return
+	}
+	c.fragStore.Store(&store)
+}
+
+// FragmentStats returns the stanza sub-cache counters: in-memory hits,
+// misses (distinct stanzas parsed), and durable-tier promotions.
+func (c *ParseCache) FragmentStats() (hits, misses, diskHits uint64) {
+	return c.fragHits.Load(), c.fragMisses.Load(), c.fragDiskHits.Load()
+}
+
+// stanzaParse attempts the incremental path for one whole-config miss:
+// split, reuse or parse each stanza fragment by digest, reassemble. A nil
+// return means "take the whole-parse path". b is the caller's byte
+// conversion of text, shared so the digest passes don't re-copy it.
+func (c *ParseCache) stanzaParse(text string, b []byte) *Parsed {
+	stanzas, refs := c.splitWithMemo(text, b)
+	if len(stanzas) == 0 {
+		return nil
+	}
+	frags := make([]*Parsed, len(stanzas))
+	for i, st := range stanzas {
+		frags[i] = c.fragment(st, refs[i].Digest)
+		if frags[i] == nil {
+			return nil
+		}
+	}
+	p, ok := c.stanza.Assemble(stanzas, refs, frags)
+	if !ok {
+		return nil
+	}
+	return p
+}
+
+// splitMemoSize bounds the ring of recent splits kept for prefix reuse. A
+// repair loop's working set is the handful of configs currently being
+// revised; eight entries cover a parallel worker pool without making the
+// candidate scan noticeable.
+const splitMemoSize = 8
+
+// splitMemo is one remembered split: the text it describes and the
+// artifacts a prefix-sharing revision can reuse. Entries are immutable
+// once published.
+type splitMemo struct {
+	text    string
+	stanzas []Stanza
+	atTops  []bool
+	starts  []int // byte offset of each stanza, derived once from the lens
+	refs    []StanzaRef
+}
+
+// splitWithMemo splits text and derives its refs, reusing the longest
+// usable prefix of a recently split text when the dialect supports
+// resumable splits. Returns empty stanzas when the dialect declines.
+func (c *ParseCache) splitWithMemo(text string, b []byte) ([]Stanza, []StanzaRef) {
+	sr := c.stanza.SplitResume
+	if sr == nil {
+		stanzas, ok := c.stanza.Split(text)
+		if !ok {
+			return nil, nil
+		}
+		return stanzas, splitRefs(b, stanzas)
+	}
+
+	// Pick the remembered split sharing the longest byte prefix. The first
+	// bytes discriminate cheaply (configs open with their hostname), so
+	// most entries drop out before the full comparison.
+	var best *splitMemo
+	bestLCP := 0
+	c.memoMu.Lock()
+	ring := c.memoRing
+	c.memoMu.Unlock()
+	for _, e := range ring {
+		if e == nil || !quickPrefixMatch(text, e.text) {
+			continue
+		}
+		if l := commonPrefixLen(text, e.text); l > bestLCP {
+			best, bestLCP = e, l
+		}
+	}
+
+	var stanzas []Stanza
+	var atTops []bool
+	var refs []StanzaRef
+	// j = number of leading stanzas of best that lie entirely within the
+	// common prefix; those split (and hashed) identically for text, so
+	// they are reused verbatim and only text[starts[j]:] is re-split from
+	// the recorded entry state.
+	j := 0
+	if best != nil {
+		j = sort.Search(len(best.starts), func(i int) bool {
+			return best.starts[i] > bestLCP
+		}) - 1
+	}
+	if j >= 1 {
+		off := best.starts[j]
+		tail, tailTops, ok := sr(text[off:], best.atTops[j], best.stanzas[j].Line)
+		if !ok {
+			return nil, nil
+		}
+		stanzas = append(best.stanzas[:j:j], tail...)
+		atTops = append(best.atTops[:j:j], tailTops...)
+		refs = append(best.refs[:j:j], splitRefs(b[off:], tail)...)
+	} else {
+		var ok bool
+		stanzas, atTops, ok = sr(text, true, 1)
+		if !ok {
+			return nil, nil
+		}
+		refs = splitRefs(b, stanzas)
+	}
+	if len(stanzas) == 0 {
+		return nil, nil
+	}
+
+	starts := make([]int, len(stanzas))
+	off := 0
+	for i, st := range stanzas {
+		starts[i] = off
+		off += len(st.Text)
+	}
+	entry := &splitMemo{text: text, stanzas: stanzas, atTops: atTops,
+		starts: starts, refs: refs}
+	c.memoMu.Lock()
+	c.memoRing[c.memoNext%splitMemoSize] = entry
+	c.memoNext++
+	c.memoMu.Unlock()
+	return stanzas, refs
+}
+
+// quickPrefixMatch screens memo candidates by their first bytes.
+func quickPrefixMatch(a, b string) bool {
+	n := 64
+	if len(a) < n || len(b) < n {
+		n = min(len(a), len(b))
+	}
+	return a[:n] == b[:n]
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a and
+// b, probing in doubling windows so the cost is proportional to the prefix
+// actually shared (vectorized string compares, no per-byte loop).
+func commonPrefixLen(a, b string) int {
+	n := min(len(a), len(b))
+	lo := 0
+	step := 64
+	for lo < n {
+		hi := min(lo+step, n)
+		if a[lo:hi] == b[lo:hi] {
+			lo = hi
+			step *= 2
+			continue
+		}
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if a[lo:mid] == b[lo:mid] {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	return n
+}
+
+// fragment returns the memoized fragment parse for one stanza, consulting
+// memory, then the durable tier, then the dialect parser. The in-memory
+// sub-cache is keyed on the stanza's raw content digest directly — the
+// domain-separated fragmentKey is derived only when the durable tier is
+// actually consulted, which keeps the hot hit path to one hash per stanza.
+func (c *ParseCache) fragment(st Stanza, digest [sha256.Size]byte) *Parsed {
+	s := &c.fragShards[digest[0]%parseShards]
+	s.mu.RLock()
+	p := s.entries[digest]
+	s.mu.RUnlock()
+	if p != nil {
+		c.fragHits.Add(1)
+		return p
+	}
+	fromDisk := false
+	if box := c.fragStore.Load(); box != nil {
+		if payload, ok := (*box).Get(fragmentKey(digest)); ok {
+			if dp, err := decodeFragment(payload); err == nil {
+				p = dp
+				fromDisk = true
+			}
+		}
+	}
+	if p == nil {
+		p = c.stanza.ParseFragment(st)
+		if p == nil || p.Device == nil {
+			return nil
+		}
+	}
+	s.mu.Lock()
+	if prev, ok := s.entries[digest]; ok {
+		p = prev
+		c.fragHits.Add(1)
+	} else {
+		s.entries[digest] = p
+		if fromDisk {
+			c.fragDiskHits.Add(1)
+		} else {
+			c.fragMisses.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	if !fromDisk {
+		if box := c.fragStore.Load(); box != nil {
+			if payload, err := encodeFragment(p); err == nil {
+				// best-effort: a failed write is a future miss
+				_ = (*box).Put(fragmentKey(digest), payload)
+			}
+		}
+	}
+	return p
+}
+
+// fragShard mirrors parseShard for the stanza sub-cache (a distinct type
+// keeps the two maps' lock ordering trivially independent).
+type fragShard struct {
+	mu      sync.RWMutex
+	entries map[[sha256.Size]byte]*Parsed
+}
+
+// stanzaFields groups the incremental-parse state added to ParseCache so
+// the core cache stays readable.
+type stanzaFields struct {
+	stanza     *StanzaSupport
+	fragShards [parseShards]fragShard
+	fragStore  atomic.Pointer[BlobStore]
+
+	// Split memo (see splitWithMemo): a small ring of recent splits that
+	// prefix-sharing revisions resume from.
+	memoMu   sync.Mutex
+	memoRing [splitMemoSize]*splitMemo
+	memoNext int
+
+	fragHits     atomic.Uint64
+	fragMisses   atomic.Uint64
+	fragDiskHits atomic.Uint64
+}

@@ -43,7 +43,20 @@ type IncrementalGlobal interface {
 // and server derives the same digest from the same set). The incremental
 // global protocol keys simulation sessions by it.
 func ConfigDigest(configs map[string]string) string {
-	data, _ := json.Marshal(configs)
+	return ConfigDigestD(configs, nil)
+}
+
+// ConfigDigestD is ConfigDigest with a digest memo: the set digest is the
+// SHA-256 of the canonical JSON of the per-router TextDigests rather than
+// of the bodies, so re-digesting a barely-changed config set hashes only
+// the revisions the memo has not seen. Every client and server computes
+// the set digest the same way, so session keys still agree.
+func ConfigDigestD(configs map[string]string, d *Digests) string {
+	m := make(map[string]string, len(configs))
+	for k, v := range configs {
+		m[k] = d.Of(v)
+	}
+	data, _ := json.Marshal(m)
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
 }

@@ -116,13 +116,21 @@ func Eval(v Checker, c Check) (Result, error) {
 // differ only in which attachment of a dual-homed router they constrain
 // memoize independently, and each attachment is its own unit of
 // incremental re-verification.
-func Key(c Check) [sha256.Size]byte {
+func Key(c Check) [sha256.Size]byte { return KeyD(c, nil) }
+
+// KeyD is Key with a digest memo: the configuration bodies enter the hash
+// through their per-revision TextDigest instead of their full text, so a
+// run that derives thousands of check keys against the same few revisions
+// hashes each revision once. The key layout is shared by every client and
+// server in lockstep (they are the same binary); only warm cache entries
+// keyed under an older layout go cold.
+func KeyD(c Check, d *Digests) [sha256.Size]byte {
 	h := sha256.New()
 	h.Write([]byte(c.Kind))
 	h.Write([]byte{0})
-	h.Write([]byte(c.Config))
+	h.Write([]byte(d.Of(c.Config)))
 	h.Write([]byte{0})
-	h.Write([]byte(c.Original))
+	h.Write([]byte(d.Of(c.Original)))
 	if c.Spec != nil {
 		// The JSON encoding is a stable serialization of the spec.
 		b, _ := json.Marshal(c.Spec)
@@ -146,11 +154,18 @@ func Key(c Check) [sha256.Size]byte {
 // the obligations of a multi-homed router spread across shards
 // independently — the attachment is the natural sharding unit, exactly as
 // it is the natural unit of incremental re-verification.
-func ShardKey(c Check) string {
+func ShardKey(c Check) string { return ShardKeyD(c, nil) }
+
+// ShardKeyD is ShardKey with a digest memo: the routing key carries the
+// configuration's per-revision digest rather than its body, so hashing a
+// check onto the ring costs O(1) in the config size once the revision has
+// been digested. Client and server derive shard ownership from the same
+// function, so the routing stays consistent.
+func ShardKeyD(c Check, d *Digests) string {
 	if c.Kind == KindLocal && c.Req != nil {
-		return c.Config + "\x00" + c.Req.Attachment.String()
+		return d.Of(c.Config) + "\x00" + c.Req.Attachment.String()
 	}
-	return c.Config
+	return d.Of(c.Config)
 }
 
 // Capabilities is a Backend's capability probe: what the transport behind

@@ -108,7 +108,17 @@ func TestShardKey(t *testing.T) {
 	if keyA == keyB {
 		t.Error("sibling attachments on one router should hash independently")
 	}
-	if got := ShardKey(Check{Kind: KindLocal, Config: cfg}); got != cfg {
-		t.Errorf("malformed local check key = %q, want bare config", got)
+	if got := ShardKey(Check{Kind: KindLocal, Config: cfg}); got != ShardKey(syntax) {
+		t.Errorf("malformed local check key = %q, want the whole-config routing key", got)
+	}
+	if ShardKey(syntax) != TextDigest(cfg) {
+		t.Error("whole-config routing key should be the revision's TextDigest")
+	}
+	d := NewDigests()
+	if ShardKeyD(syntax, d) != ShardKey(syntax) || ShardKeyD(Check{Kind: KindLocal, Req: &reqA, Config: cfg}, d) != keyA {
+		t.Error("memoized shard keys must equal the memo-less ones")
+	}
+	if d.Len() != 1 {
+		t.Errorf("digest memo holds %d entries, want 1 (one revision)", d.Len())
 	}
 }
