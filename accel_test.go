@@ -1,10 +1,13 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
@@ -12,6 +15,7 @@ import (
 
 	"repro/internal/batfish/rest"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 // shardFleet spins up n in-process shard servers and returns a sharded
@@ -202,6 +206,74 @@ func TestAcceleratedSynthesisByteIdentical(t *testing.T) {
 			requireSameRun(t, "accelerated", baseline, accelerated)
 			if accelerated.CacheStats == nil || accelerated.CacheStats.Hits == 0 {
 				t.Errorf("cache saw no hits: %v", accelerated.CacheStats)
+			}
+
+			// Telemetry leg: the same accelerated run with the full
+			// observability surface armed — a metrics registry scraped in a
+			// loop by a live /metrics client and a JSONL trace sink — must
+			// still be byte-identical. Telemetry reports a run; it must
+			// never steer one.
+			reg := obs.NewRegistry()
+			tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+			tracer, err := obs.OpenTrace(tracePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msrv := httptest.NewServer(obs.Handler(reg))
+			t.Cleanup(msrv.Close)
+			stopScrape := make(chan struct{})
+			scraped := make(chan error, 1)
+			go func() {
+				var last []byte
+				for {
+					resp, gerr := http.Get(msrv.URL + obs.MetricsPath)
+					if gerr != nil {
+						scraped <- gerr
+						return
+					}
+					body, gerr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if gerr != nil {
+						scraped <- gerr
+						return
+					}
+					last = body
+					select {
+					case <-stopScrape:
+						if len(last) > 0 {
+							scraped <- obs.ValidateExposition(bytes.NewReader(last))
+						} else {
+							scraped <- fmt.Errorf("scraper never saw a non-empty exposition")
+						}
+						return
+					default:
+					}
+				}
+			}()
+			traced, err := Synthesize(mustTopo(t, info.Name, info.DefaultSize),
+				SynthesizeOptions{SuiteParallelism: 8, Metrics: reg, Trace: tracer})
+			close(stopScrape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serr := <-scraped; serr != nil {
+				t.Errorf("live mid-run scrape: %v", serr)
+			}
+			if cerr := tracer.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+			requireSameRun(t, "traced+scraped", baseline, traced)
+			tf, err := os.Open(tracePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			summary, err := obs.Summarize(tf)
+			tf.Close()
+			if err != nil {
+				t.Fatalf("trace file does not summarize: %v", err)
+			}
+			if summary.Runs != 1 {
+				t.Errorf("trace records %d run spans, want 1", summary.Runs)
 			}
 		})
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/exampledata"
 	"repro/internal/llm"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -49,6 +50,15 @@ type TranslateOptions struct {
 	// starts fresh, a checkpoint from different run coordinates (seed,
 	// error classes, input) is an error.
 	Resume bool
+	// Metrics, when set, is the registry the run's instruments — cache
+	// hit/miss counters, transport counters, dispatch histograms — register
+	// into, for scraping via obs.Handler/obs.Serve. Observability only:
+	// transcripts and results are byte-identical with or without it.
+	Metrics *obs.Registry
+	// Trace, when set, receives the run's structured trace events as JSONL
+	// spans (see internal/obs: llm_call, local_check, global_check,
+	// batch_rpc, cache and checkpoint events). Observability only.
+	Trace *obs.Tracer
 }
 
 // Translate runs the paper's first use case (§3): translate a Cisco
@@ -69,6 +79,8 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 		Model:        llm.NewTranslator(cfg),
 		Verifier:     opts.Verifier,
 		DisableCache: opts.DisableVerifierCache,
+		Metrics:      opts.Metrics,
+		Trace:        opts.Trace,
 	}
 	if opts.CacheDir != "" && !opts.DisableVerifierCache {
 		d, err := durable.Open(opts.CacheDir, durable.Options{})
@@ -172,6 +184,15 @@ type SynthesizeOptions struct {
 	// starts fresh, a checkpoint from different run coordinates (topology,
 	// seed, error plan, parallelism) is an error.
 	Resume bool
+	// Metrics, when set, is the registry the run's instruments — cache
+	// hit/miss counters, transport counters, dispatch histograms — register
+	// into, for scraping via obs.Handler/obs.Serve. Observability only:
+	// transcripts and results are byte-identical with or without it.
+	Metrics *obs.Registry
+	// Trace, when set, receives the run's structured trace events as JSONL
+	// spans (see internal/obs: llm_call, local_check, global_check,
+	// batch_rpc, cache and checkpoint events). Observability only.
+	Trace *obs.Tracer
 }
 
 // Synthesize runs the VPP synthesis pipeline on an arbitrary topology —
@@ -202,6 +223,8 @@ func Synthesize(topo *topology.Topology, opts SynthesizeOptions) (*Result, error
 		DisableCache:     opts.DisableVerifierCache,
 		GlobalCheck:      mode,
 		GlobalCheckSeed:  opts.FalsificationSeed,
+		Metrics:          opts.Metrics,
+		Trace:            opts.Trace,
 	}
 	if opts.CacheDir != "" && !opts.DisableVerifierCache {
 		d, err := durable.Open(opts.CacheDir, durable.Options{})

@@ -13,7 +13,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/modularizer"
 	"repro/internal/netcfg"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/suite"
 )
 
@@ -1116,4 +1119,102 @@ func BenchmarkIncrementalPolicyAddition(b *testing.B) {
 	}
 	b.ReportMetric(float64(automated), "automated-prompts")
 	b.ReportMetric(float64(human), "human-prompts")
+}
+
+// BenchmarkTelemetryOverhead (E22, extension) prices the observability
+// layer on a scale synthesis (random:200): the same run with telemetry
+// off, with a metrics registry and a JSONL trace sink armed, and with a
+// live /metrics scraper reading the registry mid-run on top. The BENCH
+// line reports the three wall-clocks and the on-vs-off overhead
+// percentages; the transcripts are asserted byte-identical across the
+// legs, so the numbers price the telemetry alone.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	topo, err := netgen.Generate("random", 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(o SynthesizeOptions) (*Result, time.Duration) {
+		t, err := netgen.Generate("random", 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := Synthesize(t, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(start)
+	}
+	_ = topo
+	var offNS, onNS, scrapedNS int64
+	for i := 0; i < b.N; i++ {
+		base, offD := run(SynthesizeOptions{SuiteParallelism: 8})
+		offNS += int64(offD)
+
+		reg := obs.NewRegistry()
+		tracer, err := obs.OpenTrace(filepath.Join(b.TempDir(), "trace.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		traced, onD := run(SynthesizeOptions{SuiteParallelism: 8, Metrics: reg, Trace: tracer})
+		if err := tracer.Close(); err != nil {
+			b.Fatal(err)
+		}
+		onNS += int64(onD)
+		if !reflect.DeepEqual(base.Transcript, traced.Transcript) {
+			b.Fatal("telemetry changed the transcript")
+		}
+
+		reg2 := obs.NewRegistry()
+		tracer2, err := obs.OpenTrace(filepath.Join(b.TempDir(), "trace2.jsonl"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		msrv := httptest.NewServer(obs.Handler(reg2))
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// A deliberately aggressive scrape cadence — every 10ms, three
+			// orders of magnitude hotter than a production Prometheus —
+			// so the leg prices scrape contention, not idle time.
+			tick := time.NewTicker(10 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					resp, gerr := http.Get(msrv.URL + obs.MetricsPath)
+					if gerr == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+		scraped, scD := run(SynthesizeOptions{SuiteParallelism: 8, Metrics: reg2, Trace: tracer2})
+		close(stop)
+		<-done
+		msrv.Close()
+		if err := tracer2.Close(); err != nil {
+			b.Fatal(err)
+		}
+		scrapedNS += int64(scD)
+		if !reflect.DeepEqual(base.Transcript, scraped.Transcript) {
+			b.Fatal("a live scraper changed the transcript")
+		}
+	}
+	overheadOn := 100 * (float64(onNS) - float64(offNS)) / float64(offNS)
+	overheadScraped := 100 * (float64(scrapedNS) - float64(offNS)) / float64(offNS)
+	b.ReportMetric(float64(offNS)/float64(b.N)/1e6, "off-ms")
+	b.ReportMetric(float64(onNS)/float64(b.N)/1e6, "on-ms")
+	b.ReportMetric(float64(scrapedNS)/float64(b.N)/1e6, "scraped-ms")
+	b.ReportMetric(overheadOn, "overhead-pct")
+	benchJSON(b, map[string]float64{
+		"off_ms":               float64(offNS) / float64(b.N) / 1e6,
+		"on_ms":                float64(onNS) / float64(b.N) / 1e6,
+		"scraped_ms":           float64(scrapedNS) / float64(b.N) / 1e6,
+		"overhead_on_pct":      overheadOn,
+		"overhead_scraped_pct": overheadScraped,
+	})
 }

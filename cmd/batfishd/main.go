@@ -15,6 +15,11 @@
 // configurations — so a client that then drives the same family hits warm
 // parses on its batched checks. Disable with -no-warm to serve the
 // endpoint validation-only.
+//
+// Observability: the daemon serves GET /metrics (Prometheus text
+// exposition of its request, batch, parse, and durable-cache counters)
+// and GET /debug/vars (the same registry as a JSON snapshot) on the main
+// listen address.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/llm"
 	"repro/internal/netcfg"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -78,10 +84,12 @@ func main() {
 			"don't, so restarts (and fleets sharing the directory) stay warm")
 	flag.Parse()
 
-	opts := rest.HandlerOptions{BatchWorkers: *batchWorkers}
+	reg := obs.NewRegistry()
+	opts := rest.HandlerOptions{BatchWorkers: *batchWorkers, Metrics: reg}
 	if !*noWarm {
 		opts.Parses = batfish.NewParseCache()
 		opts.Warmer = warmScenario
+		opts.Parses.SetObs(reg, nil)
 	}
 	if *cacheDir != "" {
 		d, err := durable.Open(*cacheDir, durable.Options{})
@@ -92,6 +100,7 @@ func main() {
 			log.Printf("batfishd: durable cache disabled: %v", err)
 		} else {
 			opts.Durable = d
+			d.SetMetrics(reg)
 			log.Printf("batfishd: durable result cache mounted at %s", d.Dir())
 		}
 	}
@@ -106,6 +115,7 @@ func main() {
 	}
 	log.Printf("batfishd: serving verification suite on http://%s (batch workers: %d, registry warm: %v)",
 		*addr, workers, !*noWarm)
+	log.Printf("batfishd: metrics on http://%s%s and http://%s%s", *addr, obs.MetricsPath, *addr, obs.VarsPath)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("batfishd: %v", err)
 	}

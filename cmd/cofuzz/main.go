@@ -40,6 +40,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fuzz"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/prof"
 )
 
@@ -134,6 +135,13 @@ func main() {
 	replayPath := flag.String("replay", "", "replay the minimized counterexample of an existing report instead of running a campaign")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the campaign's metrics registry over HTTP at this address (GET /metrics, GET /debug/vars)")
+	tracePath := flag.String("trace", "",
+		"stream structured JSONL trace events — per-case pipeline spans plus one fuzz_case verdict "+
+			"event per case — to this file (fold with cosynth -trace-summary)")
 	checkpointPath := flag.String("checkpoint", "",
 		"snapshot completed case results to this file (atomically, after every case) so a killed campaign can resume")
 	resume := flag.Bool("resume", false,
@@ -148,11 +156,38 @@ func main() {
 	flag.StringVar(&restEndpoints, "rest", "", "batfishd endpoint(s), comma-separated; several form a consistent-hash shard ring")
 	flag.Parse()
 
-	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	stopProfiles, err := prof.StartOpts(prof.Options{
+		CPUPath: *cpuProfile, MemPath: *memProfile,
+		BlockPath: *blockProfile, MutexPath: *mutexProfile,
+	})
 	if err != nil {
 		log.Fatalf("cofuzz: %v", err)
 	}
 	defer stopProfiles()
+	var reg *obs.Registry
+	if *metricsAddr != "" || *tracePath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		bound, stopMetrics, merr := obs.Serve(*metricsAddr, reg)
+		if merr != nil {
+			log.Fatalf("cofuzz: -metrics-addr: %v", merr)
+		}
+		defer stopMetrics()
+		fmt.Printf("metrics on http://%s%s\n", bound, obs.MetricsPath)
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer, err = obs.OpenTrace(*tracePath)
+		if err != nil {
+			log.Fatalf("cofuzz: -trace: %v", err)
+		}
+		defer func() {
+			if cerr := tracer.Close(); cerr != nil {
+				log.Printf("cofuzz: -trace: %v", cerr)
+			}
+		}()
+	}
 
 	if *replayPath != "" {
 		replay(*replayPath)
@@ -219,6 +254,8 @@ func main() {
 		Checkpoint:    *checkpointPath,
 		Resume:        *resume,
 		DurableCache:  dcache,
+		Metrics:       reg,
+		Tracer:        tracer,
 	}
 	rep, err := campaign.Run(context.Background())
 	stopProfiles()

@@ -15,6 +15,8 @@
 //	cosynth -mode notransit -cache-dir .cache                 # durable verification cache
 //	cosynth -mode notransit -topo random:40 -checkpoint ck.json -transcript run.txt
 //	cosynth -mode notransit -topo random:40 -checkpoint ck.json -resume   # after a kill
+//	cosynth -mode notransit -topo random:40 -trace trace.jsonl -metrics-addr :9090
+//	cosynth -trace-summary trace.jsonl                        # attribute a traced run's time
 //
 // The -topo argument names any registered scenario (star, ring,
 // full-mesh, fat-tree, dual-homed, multi-customer, random — see `netgen
@@ -36,7 +38,16 @@
 // plain REST client, several build a consistent-hash shard ring
 // (rest.ShardedClient) that fans each iteration's batched checks across
 // the fleet concurrently and fails a dead shard's work over onto the
-// survivors. -shards N spawns N in-process shard servers (for tests and
+// survivors.
+//
+// Observability: -metrics-addr serves the run's metrics registry over
+// HTTP (GET /metrics Prometheus text, GET /debug/vars JSON) for the
+// run's duration; -trace streams structured JSONL trace events (one
+// span per LLM call, render, parse, check, batch RPC, cache and
+// checkpoint event — see internal/obs) to a file; -trace-summary folds
+// such a file into a per-stage/per-shard attribution table and exits.
+// Telemetry never changes results: transcripts are byte-identical with
+// it on, off, or scraped mid-run. -shards N spawns N in-process shard servers (for tests and
 // benchmarks) and adds them to the ring. Against registry-aware servers
 // the chosen -topo family is pre-warmed via /v1/scenario; older servers
 // skip the warm-up gracefully.
@@ -59,6 +70,7 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/llm"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/topology"
 )
@@ -154,6 +166,15 @@ func main() {
 			"falls back to the simulation when local spec coverage is incomplete)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the run's metrics registry over HTTP at this address (GET /metrics, GET /debug/vars); "+
+			`":0" picks a port and prints it`)
+	tracePath := flag.String("trace", "",
+		"stream structured JSONL trace events to this file (one span per pipeline stage; see -trace-summary)")
+	traceSummary := flag.String("trace-summary", "",
+		"fold a -trace file into a per-stage and per-shard attribution table, print it, and exit")
 	seed := flag.Int64("seed", 1,
 		"simulated-LLM seed; when set explicitly it also selects the random family's graph variant, so cofuzz cases replay")
 	errorsPath := flag.String("errors", "",
@@ -194,9 +215,49 @@ func main() {
 	default:
 		log.Fatalf("cosynth: -global must be simulated or compositional, got %q", *globalMode)
 	}
-	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if *traceSummary != "" {
+		f, serr := os.Open(*traceSummary)
+		if serr != nil {
+			log.Fatalf("cosynth: -trace-summary: %v", serr)
+		}
+		summary, serr := obs.Summarize(f)
+		f.Close()
+		if serr != nil {
+			log.Fatalf("cosynth: -trace-summary: %v", serr)
+		}
+		fmt.Print(summary)
+		return
+	}
+	stopProfiles, err := prof.StartOpts(prof.Options{
+		CPUPath: *cpuProfile, MemPath: *memProfile,
+		BlockPath: *blockProfile, MutexPath: *mutexProfile,
+	})
 	if err != nil {
 		log.Fatalf("cosynth: %v", err)
+	}
+	var reg *obs.Registry
+	if *metricsAddr != "" || *tracePath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		bound, stopMetrics, merr := obs.Serve(*metricsAddr, reg)
+		if merr != nil {
+			log.Fatalf("cosynth: -metrics-addr: %v", merr)
+		}
+		defer stopMetrics()
+		fmt.Printf("metrics on http://%s%s\n", bound, obs.MetricsPath)
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer, err = obs.OpenTrace(*tracePath)
+		if err != nil {
+			log.Fatalf("cosynth: -trace: %v", err)
+		}
+		defer func() {
+			if cerr := tracer.Close(); cerr != nil {
+				log.Printf("cosynth: -trace: %v", cerr)
+			}
+		}()
 	}
 
 	if *verifierURL != "" {
@@ -223,7 +284,7 @@ func main() {
 			log.Fatalf("cosynth: -shards: %v", lerr)
 		}
 		srv := &http.Server{Handler: rest.NewHandlerOpts(rest.HandlerOptions{
-			Parses: batfish.NewParseCache(), Durable: shardCache})}
+			Parses: batfish.NewParseCache(), Durable: shardCache, Metrics: reg})}
 		go func() { _ = srv.Serve(ln) }()
 		defer srv.Close()
 		endpoints = append(endpoints, "http://"+ln.Addr().String())
@@ -246,7 +307,8 @@ func main() {
 		}
 		res, err = repro.Translate(cfg, repro.TranslateOptions{
 			Seed: *seed, Verifier: verifier, DisableVerifierCache: *noCache,
-			CacheDir: *cacheDir, CheckpointPath: *checkpointPath, Resume: *resume})
+			CacheDir: *cacheDir, CheckpointPath: *checkpointPath, Resume: *resume,
+			Metrics: reg, Trace: tracer})
 	case "notransit":
 		name, size, perr := netgen.ParseScenarioArg(*topoName)
 		if perr != nil {
@@ -297,7 +359,8 @@ func main() {
 			SuiteParallelism: *suiteParallel, DisableVerifierCache: *noCache,
 			ErrorPlan: plan, CompositionalGlobalCheck: compositional,
 			FalsificationSeed: *seed, CacheDir: *cacheDir,
-			CheckpointPath: *checkpointPath, Resume: *resume})
+			CheckpointPath: *checkpointPath, Resume: *resume,
+			Metrics: reg, Trace: tracer})
 	default:
 		log.Fatalf("cosynth: unknown mode %q", *mode)
 	}

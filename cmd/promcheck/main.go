@@ -1,0 +1,43 @@
+// Command promcheck validates a Prometheus text-format (0.0.4) metrics
+// exposition — the output of a batfishd or cosynth /metrics scrape —
+// without any external dependency, using the same parser the registry's
+// tests gate on (internal/obs.ValidateExposition).
+//
+//	curl -s http://localhost:9876/metrics | promcheck
+//	promcheck scrape.txt
+//
+// Exit status: 0 when the exposition parses (the sample count is
+// printed), 1 otherwise with the first violation on stderr. CI uses it
+// to prove a mid-test scrape of a live shard is well-formed.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatalf("promcheck: %v", err)
+		}
+		defer f.Close()
+		r, name = f, os.Args[1]
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		log.Fatalf("promcheck: %s: %v", name, err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(data)); err != nil {
+		log.Fatalf("promcheck: %s: %v", name, err)
+	}
+	fmt.Printf("promcheck: %s: valid exposition (%d bytes)\n", name, len(data))
+}

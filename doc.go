@@ -408,6 +408,46 @@
 // requests — wired into cofuzz -kill-shard for mid-campaign shard
 // murder and into the failover and retry tests.
 //
+// # Observability
+//
+// One zero-dependency telemetry layer (internal/obs) watches the whole
+// pipeline; it reports runs and never steers them — transcripts,
+// configurations, and verdicts are byte-identical with telemetry off,
+// on, or scraped mid-run (the accelerated byte-identity gate runs a
+// live scraper against the registry to prove it).
+//
+// Metrics: a registry of named counters, gauges, and fixed-bucket
+// histograms with atomic hot paths. Components own their instruments
+// from birth (a zero-value obs.Counter is a standalone atomic) and a
+// registry adopts them on request — RegisterCounter exposes the very
+// instrument that has been counting all along, so stats structs
+// (CacheStats, ShardStat, durable.Stats) become views over the same
+// numbers a scrape sees. Naming scheme: `<system>_<subsystem>_<what>_
+// <unit>` with the `_total` suffix on counters — cosynth_verify_cache_
+// hits_total, cosynth_parse_fragment_disk_hits_total, cosynth_rest_
+// calls_total{endpoint="..."}, cosynth_durable_writes_total,
+// batfishd_batch_checks_total — and `_seconds` histograms for
+// latencies (cosynth_verify_dispatch_seconds, cosynth_rest_batch_
+// seconds, batfishd_batch_seconds).
+//
+// Endpoints: batfishd serves GET /metrics (Prometheus text format
+// 0.0.4) and GET /debug/vars (the same registry as JSON) on its main
+// listener; cosynth and cofuzz serve both via -metrics-addr for the
+// run's duration. cmd/promcheck validates an exposition offline with
+// the same dependency-free parser CI uses (obs.ValidateExposition).
+//
+// Traces: -trace streams one JSONL obs.Event per pipeline action —
+// llm_call, render, parse, local_check (outcome hit/check/prefetch),
+// global_check (simulated/incremental/cold/compositional), cache_hit
+// and cache_miss (tier memory/disk), batch_rpc (per shard, with
+// protocol version and bytes), retry, failover, checkpoint_save,
+// checkpoint_restore, fuzz_case, and one closing run span — keyed by
+// run label, iteration, router, and attachment. `cosynth
+// -trace-summary trace.jsonl` folds a trace into the per-stage and
+// per-shard attribution tables: top-level stages (marked *) partition
+// a sequential run's wall time; nested detail events are tallied but
+// excluded from attribution so nothing is double counted.
+//
 // # The stack
 //
 // Everything is implemented from scratch on the standard library:

@@ -18,6 +18,7 @@ import (
 	"repro/internal/campion"
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
+	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/topology"
 )
@@ -88,11 +89,12 @@ type Client struct {
 	retryBase   time.Duration
 	retryMax    time.Duration
 	// calls counts HTTP round-trips issued, for round-trip accounting in
-	// benchmarks and tests.
-	calls atomic.Int64
+	// benchmarks and tests. It is an obs instrument from birth so SetObs
+	// can adopt it into a metrics registry without losing counts.
+	calls *obs.Counter
 	// retries counts transport-layer attempts beyond each request's first
 	// — how much transient-fault riding the retry loop did.
-	retries atomic.Int64
+	retries *obs.Counter
 	// batchUnsupported latches after a 404/405 (no batch endpoint) or 400
 	// (batch dialect rejected, e.g. a protocol-version mismatch) from
 	// /v1/batch so an old server costs the probe exactly once.
@@ -122,7 +124,13 @@ type Client struct {
 	// bytesOut sums the request-body bytes this client put on the wire —
 	// the quantity the delta protocol exists to shrink, compared directly
 	// by the benchmarks.
-	bytesOut atomic.Int64
+	bytesOut *obs.Counter
+	// tracer is the optional trace sink (nil = off): one batch_rpc span
+	// per /v1/batch round-trip and one retry event per backoff attempt.
+	// batchSeconds is the optional RPC-duration histogram a bound
+	// registry provides.
+	tracer       *obs.Tracer
+	batchSeconds *obs.Histogram
 	// revMu guards the delta bookkeeping: which configuration revisions
 	// the server is believed to hold (revs, FIFO-bounded via revOrder) and
 	// which revision was last sent for each device (lastRev, keyed by
@@ -180,18 +188,36 @@ func NewClientOpts(base string, opts ClientOptions) *Client {
 		revs:        map[string][]string{},
 		lastRev:     map[string]string{},
 		digests:     suite.NewDigests(),
+		calls:       &obs.Counter{},
+		retries:     &obs.Counter{},
+		bytesOut:    &obs.Counter{},
 	}
 }
 
 // Calls returns the number of HTTP round-trips issued so far.
-func (c *Client) Calls() int64 { return c.calls.Load() }
+func (c *Client) Calls() int64 { return int64(c.calls.Value()) }
 
 // BytesSent returns the request-body bytes put on the wire so far.
-func (c *Client) BytesSent() int64 { return c.bytesOut.Load() }
+func (c *Client) BytesSent() int64 { return int64(c.bytesOut.Value()) }
 
 // Retries returns the number of transport-layer retry attempts issued —
 // round-trips beyond each request's first.
-func (c *Client) Retries() int64 { return c.retries.Load() }
+func (c *Client) Retries() int64 { return int64(c.retries.Value()) }
+
+// SetObs adopts the client's transport counters into a metrics registry
+// (labeled by endpoint) and binds an optional trace sink; either may be
+// nil. Telemetry never changes what the client sends or accepts.
+func (c *Client) SetObs(reg *obs.Registry, tr *obs.Tracer) {
+	c.tracer = tr
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("cosynth_rest_calls_total", c.calls, "endpoint", c.base)
+	reg.RegisterCounter("cosynth_rest_retries_total", c.retries, "endpoint", c.base)
+	reg.RegisterCounter("cosynth_rest_bytes_out_total", c.bytesOut, "endpoint", c.base)
+	c.batchSeconds = reg.Histogram("cosynth_rest_batch_seconds", obs.DefSecondsBuckets,
+		"endpoint", c.base)
+}
 
 // post sends a JSON request and decodes the JSON response into out; the
 // returned status is valid whenever err is nil or the status was not OK.
@@ -222,7 +248,11 @@ func (c *Client) postCtx(ctx context.Context, path string, in, out interface{}) 
 		if attempt >= c.maxAttempts {
 			return status, err
 		}
-		c.retries.Add(1)
+		c.retries.Inc()
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{Stage: obs.StageRetry, Shard: c.base,
+				Detail: path, Outcome: fmt.Sprintf("attempt %d", attempt)})
+		}
 		// Full jitter over the capped exponential window: concurrent
 		// retries against one recovering endpoint spread out instead of
 		// stampeding it in lockstep.
@@ -254,8 +284,8 @@ func (c *Client) post1(ctx context.Context, path string, in, out interface{}) (s
 		return 0, fmt.Errorf("building %s request: %w", path, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	c.calls.Add(1)
-	c.bytesOut.Add(int64(len(body)))
+	c.calls.Inc()
+	c.bytesOut.Add(uint64(len(body)))
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -286,7 +316,7 @@ func (c *Client) post1(ctx context.Context, path string, in, out interface{}) (s
 
 // Health checks the service.
 func (c *Client) Health() error {
-	c.calls.Add(1)
+	c.calls.Inc()
 	resp, err := c.http.Get(c.base + PathHealth)
 	if err != nil {
 		return err
@@ -646,7 +676,26 @@ func (c *Client) CheckBatch(ctx context.Context, checks []suite.Check) ([]suite.
 			req.Version = BatchProtocolVersion
 		}
 		var resp BatchResponse
+		var rpcStart time.Time
+		if c.tracer != nil || c.batchSeconds != nil {
+			rpcStart = time.Now()
+		}
+		sentBefore := c.bytesOut.Value()
 		status, err := c.postCtx(ctx, PathBatch, req, &resp)
+		if !rpcStart.IsZero() {
+			if c.batchSeconds != nil {
+				c.batchSeconds.Observe(time.Since(rpcStart).Seconds())
+			}
+			if c.tracer != nil {
+				outcome := "ok"
+				if err != nil {
+					outcome = fmt.Sprintf("http %d", status)
+				}
+				c.tracer.Span(rpcStart, obs.Event{Stage: obs.StageBatchRPC,
+					Shard: c.base, Proto: req.Version, Checks: len(checks),
+					Bytes: int64(c.bytesOut.Value() - sentBefore), Outcome: outcome})
+			}
+		}
 		switch {
 		case err == nil:
 			if len(resp.Results) != len(checks) {

@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/batfish"
 	"repro/internal/campion"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/topology"
 )
@@ -61,6 +64,13 @@ type HandlerOptions struct {
 	// store doubles as the stanza sub-cache's durable fragment tier, so a
 	// restarted shard re-parses only the stanzas it has never seen.
 	Durable *durable.Cache
+	// Metrics, when set, is the registry behind the handler's
+	// observability surface: GET /metrics (Prometheus text exposition) and
+	// GET /debug/vars (JSON snapshot) are mounted on the handler's mux,
+	// and the handler's own request/batch counters register into it. Nil
+	// gets the handler a private registry, so the endpoints are always
+	// live — an in-process shard scrapes the same way a remote one does.
+	Metrics *obs.Registry
 	// MaxBatchProtocol, when positive, caps the batch dialect this handler
 	// accepts below its native BatchProtocolVersion: requests stamped
 	// higher — and checks carrying newer-dialect fields (a v3 body
@@ -91,7 +101,13 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	if opts.MaxBatchProtocol > 0 && opts.MaxBatchProtocol < maxProto {
 		maxProto = opts.MaxBatchProtocol
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
 	mux := http.NewServeMux()
+	obsHandler := obs.Handler(opts.Metrics)
+	mux.Handle(obs.MetricsPath, obsHandler)
+	mux.Handle(obs.VarsPath, obsHandler)
 	mux.HandleFunc(PathHealth, handleHealth)
 	mux.HandleFunc(PathSyntax, handleSyntax)
 	mux.HandleFunc(PathDiff, handleDiff)
@@ -111,6 +127,7 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 		revs:     &revisionStore{entries: map[string][]string{}},
 		digests:  suite.NewDigests(),
 		maxProto: maxProto,
+		reg:      opts.Metrics,
 	}
 	mux.HandleFunc(PathBatch, func(w http.ResponseWriter, r *http.Request) {
 		handleBatch(w, r, env)
@@ -118,7 +135,16 @@ func NewHandlerOpts(opts HandlerOptions) http.Handler {
 	mux.HandleFunc(PathScenario, func(w http.ResponseWriter, r *http.Request) {
 		handleScenario(w, r, opts.Parses, opts.Warmer, warms)
 	})
-	return mux
+	// Per-path request accounting wraps the whole mux; the observability
+	// endpoints themselves are excluded so a scrape loop does not inflate
+	// the very numbers it reads.
+	reg := opts.Metrics
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != obs.MetricsPath && r.URL.Path != obs.VarsPath {
+			reg.Counter("batfishd_requests_total", "path", r.URL.Path).Inc()
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // batchEnv is the handler state every /v1/batch request is served with.
@@ -130,6 +156,7 @@ type batchEnv struct {
 	revs     *revisionStore
 	digests  *suite.Digests
 	maxProto int
+	reg      *obs.Registry
 }
 
 // scenarioWarms memoizes completed scenario warms per handler. A warm is a
@@ -616,6 +643,12 @@ func handleBatch(w http.ResponseWriter, r *http.Request, env *batchEnv) {
 	if !decode(w, r, &req) {
 		return
 	}
+	start := time.Now()
+	env.reg.Counter("batfishd_batch_requests_total", "proto", strconv.Itoa(req.Version)).Inc()
+	env.reg.Counter("batfishd_batch_checks_total").Add(uint64(len(req.Checks)))
+	defer func() {
+		env.reg.Histogram("batfishd_batch_seconds", obs.DefSecondsBuckets).Observe(time.Since(start).Seconds())
+	}()
 	// Version gate: accept anything up to our dialect (older payloads
 	// simply lack the newer advisory fields), reject newer ones so a
 	// future client downgrades to the per-check endpoints instead of

@@ -14,6 +14,7 @@ import (
 	"repro/internal/campion"
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
+	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/topology"
 )
@@ -35,6 +36,8 @@ type shard struct {
 	failures atomic.Int64 // transport failures observed (cumulative)
 	streak   atomic.Int64 // consecutive transport failures; a success resets it
 	batchNS  atomic.Int64 // cumulative latency of batched round-trips
+
+	tracer *obs.Tracer // nil until SetObs; failover events only
 }
 
 // noteSuccess records a served request: the shard is demonstrably alive,
@@ -289,6 +292,27 @@ func (s *ShardedClient) Calls() int64 {
 	return total
 }
 
+// Retries returns the transport-layer retry attempts summed across all
+// shards — the fleet-wide counterpart of Client.Retries, so stats
+// roll-ups see one number whichever backend is in play.
+func (s *ShardedClient) Retries() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.client.Retries()
+	}
+	return total
+}
+
+// SetObs fans the registry and tracer out to every shard's client (each
+// registers its counters under its own endpoint label) and arms the
+// per-shard failover trace events.
+func (s *ShardedClient) SetObs(reg *obs.Registry, tr *obs.Tracer) {
+	for _, sh := range s.shards {
+		sh.client.SetObs(reg, tr)
+		sh.tracer = tr
+	}
+}
+
 // BytesSent returns the request-body bytes put on the wire across all
 // shards.
 func (s *ShardedClient) BytesSent() int64 {
@@ -355,7 +379,9 @@ const maxTransportFailures = 3
 func (s *shard) noteTransportFailure() {
 	s.failures.Add(1)
 	if s.streak.Add(1) >= maxTransportFailures || s.client.Health() != nil {
-		s.dead.Store(true)
+		if !s.dead.Swap(true) && s.tracer != nil {
+			s.tracer.Emit(obs.Event{Stage: obs.StageFailover, Shard: s.endpoint, Outcome: "dead"})
+		}
 	}
 }
 

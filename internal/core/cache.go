@@ -6,13 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/batfish"
 	"repro/internal/campion"
 	"repro/internal/durable"
 	"repro/internal/lightyear"
 	"repro/internal/netcfg"
+	"repro/internal/obs"
 	"repro/internal/suite"
 	"repro/internal/topology"
 )
@@ -58,6 +59,17 @@ type CacheStats struct {
 	// zero without a mounted durable cache.
 	DiskHits   uint64
 	DiskWrites uint64
+	// RestRetries counts transport retries across every REST shard the
+	// run's backend dispatched to (zero for in-process backends) — the
+	// roll-up the per-shard ShardStat lines previously kept to
+	// themselves. Populated by MergedStats.
+	RestRetries uint64
+	// FragmentHits/FragmentMisses/FragmentDiskHits are the stanza
+	// fragment sub-cache's tallies (zero when the parse cache has no
+	// stanza support mounted). Populated by MergedStats.
+	FragmentHits     uint64
+	FragmentMisses   uint64
+	FragmentDiskHits uint64
 }
 
 // String renders the counters.
@@ -66,6 +78,13 @@ func (s CacheStats) String() string {
 		s.Hits, s.Misses, s.Prefetches, s.BatchedChecks)
 	if s.DiskHits > 0 || s.DiskWrites > 0 {
 		base += fmt.Sprintf(", disk tier: %d hits / %d writes", s.DiskHits, s.DiskWrites)
+	}
+	if s.FragmentHits > 0 || s.FragmentMisses > 0 {
+		base += fmt.Sprintf(", fragments: %d hits / %d misses (%d disk)",
+			s.FragmentHits, s.FragmentMisses, s.FragmentDiskHits)
+	}
+	if s.RestRetries > 0 {
+		base += fmt.Sprintf(", transport: %d retries", s.RestRetries)
 	}
 	return base
 }
@@ -111,12 +130,22 @@ type CachedVerifier struct {
 	// hash each revision body once (suite.KeyD).
 	digests *suite.Digests
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	prefetches    atomic.Uint64
-	batchedChecks atomic.Uint64
-	diskHits      atomic.Uint64
-	diskWrites    atomic.Uint64
+	// The counters are obs instruments from birth (standalone atomics);
+	// SetObs adopts them into a registry without losing counts. Stats()
+	// reads them back, so the struct stays a view over the instruments.
+	hits          *obs.Counter
+	misses        *obs.Counter
+	prefetches    *obs.Counter
+	batchedChecks *obs.Counter
+	diskHits      *obs.Counter
+	diskWrites    *obs.Counter
+
+	// tracer is the optional JSONL trace sink (nil = off) and runLabel
+	// the run name its events carry; verifySeconds the optional dispatch
+	// histogram a bound registry provides.
+	tracer        *obs.Tracer
+	runLabel      string
+	verifySeconds *obs.Histogram
 
 	// globalMu guards the in-process incremental global session (see
 	// GlobalNoTransitIncremental): simulator sessions are stateful and
@@ -159,7 +188,12 @@ func NewCachedVerifier(v Verifier) *CachedVerifier {
 	if lv, ok := v.(LocalVerifier); ok && lv.Parses == nil {
 		v = LocalVerifier{Parses: batfish.NewParseCache()}
 	}
-	c := &CachedVerifier{v: v, digests: suite.NewDigests()}
+	c := &CachedVerifier{
+		v: v, digests: suite.NewDigests(),
+		hits: &obs.Counter{}, misses: &obs.Counter{},
+		prefetches: &obs.Counter{}, batchedChecks: &obs.Counter{},
+		diskHits: &obs.Counter{}, diskWrites: &obs.Counter{},
+	}
 	for i := range c.shards {
 		c.shards[i].results = map[[sha256.Size]byte]SuiteResult{}
 	}
@@ -196,47 +230,119 @@ func (c *CachedVerifier) SetDurable(d *durable.Cache) {
 	}
 }
 
-// Stats returns the cache counters.
-func (c *CachedVerifier) Stats() CacheStats {
-	return CacheStats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		Prefetches:    c.prefetches.Load(),
-		BatchedChecks: c.batchedChecks.Load(),
-		DiskHits:      c.diskHits.Load(),
-		DiskWrites:    c.diskWrites.Load(),
+// SetObs binds the verifier's instruments to a metrics registry and/or a
+// trace sink; either may be nil. The existing counters are adopted into
+// the registry (counts preserved), and the binding propagates to every
+// layer the verifier owns: the parse cache (with its fragment sub-cache),
+// the durable disk tier, and a REST backend that itself carries a SetObs
+// method. runLabel names this run's trace events. Call it before the run
+// starts dispatching; telemetry never changes a result.
+func (c *CachedVerifier) SetObs(reg *obs.Registry, tr *obs.Tracer, runLabel string) {
+	c.tracer = tr
+	c.runLabel = runLabel
+	if reg != nil {
+		reg.RegisterCounter("cosynth_verify_cache_hits_total", c.hits)
+		reg.RegisterCounter("cosynth_verify_cache_misses_total", c.misses)
+		reg.RegisterCounter("cosynth_verify_prefetch_calls_total", c.prefetches)
+		reg.RegisterCounter("cosynth_verify_batched_checks_total", c.batchedChecks)
+		reg.RegisterCounter("cosynth_verify_cache_disk_hits_total", c.diskHits)
+		reg.RegisterCounter("cosynth_verify_cache_disk_writes_total", c.diskWrites)
+		c.verifySeconds = reg.Histogram("cosynth_verify_dispatch_seconds", obs.DefSecondsBuckets)
+	}
+	if lv, ok := c.v.(LocalVerifier); ok && lv.Parses != nil {
+		lv.Parses.SetObs(reg, tr)
+	}
+	if c.disk != nil {
+		c.disk.SetMetrics(reg)
+	}
+	if bo, ok := c.backend.(interface {
+		SetObs(*obs.Registry, *obs.Tracer)
+	}); ok {
+		bo.SetObs(reg, tr)
 	}
 }
 
-// lookup returns the memoized result for a check, if present: first the
-// memory stripe, then — on a mounted durable tier — the disk, promoting a
-// disk hit into memory so it is paid for once per process. A disk entry
-// that fails to decode is treated as a miss (the durable layer already
-// quarantined anything failing its checksum; a decode failure here means a
-// format drift and must fall through to recomputation, not crash).
-func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, bool) {
+// Stats returns the cache counters.
+func (c *CachedVerifier) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Prefetches:    c.prefetches.Value(),
+		BatchedChecks: c.batchedChecks.Value(),
+		DiskHits:      c.diskHits.Value(),
+		DiskWrites:    c.diskWrites.Value(),
+	}
+}
+
+// MergedStats returns Stats plus the counters no earlier surface rolled
+// up into the top-level result: REST transport retries (summed across
+// shards) and the stanza fragment sub-cache's memory/disk tallies.
+func (c *CachedVerifier) MergedStats() CacheStats {
+	s := c.Stats()
+	if r, ok := c.backend.(interface{ Retries() int64 }); ok {
+		if n := r.Retries(); n > 0 {
+			s.RestRetries = uint64(n)
+		}
+	}
+	if lv, ok := c.v.(LocalVerifier); ok && lv.Parses != nil {
+		s.FragmentHits, s.FragmentMisses, s.FragmentDiskHits = lv.Parses.FragmentStats()
+	}
+	return s
+}
+
+// traceCache emits one cache point event, if tracing.
+func (c *CachedVerifier) traceCache(stage, tier string, sc SuiteCheck) {
+	if c.tracer == nil {
+		return
+	}
+	ev := obs.Event{Stage: stage, Outcome: tier, Run: c.runLabel, Detail: string(sc.Kind)}
+	fillCheckIdentity(&ev, sc)
+	c.tracer.Emit(ev)
+}
+
+// fillCheckIdentity keys a trace event to the check's pipeline position.
+func fillCheckIdentity(ev *obs.Event, sc SuiteCheck) {
+	switch {
+	case sc.Req != nil:
+		ev.Router = sc.Req.Router
+		if sc.Req.Attachment.Router != "" {
+			ev.Attachment = sc.Req.Attachment.String()
+		}
+	case sc.Spec != nil:
+		ev.Router = sc.Spec.Name
+	}
+}
+
+// lookup returns the memoized result for a check, if present, along with
+// the tier that answered ("memory" or "disk"): first the memory stripe,
+// then — on a mounted durable tier — the disk, promoting a disk hit into
+// memory so it is paid for once per process. A disk entry that fails to
+// decode is treated as a miss (the durable layer already quarantined
+// anything failing its checksum; a decode failure here means a format
+// drift and must fall through to recomputation, not crash).
+func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, string, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
 	res, ok := s.results[key]
 	s.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
-		return res, true
+		c.hits.Inc()
+		return res, "memory", true
 	}
 	if c.disk != nil {
 		if payload, ok := c.disk.Get(key); ok {
 			var dres SuiteResult
 			if err := json.Unmarshal(payload, &dres); err == nil {
-				c.hits.Add(1)
-				c.diskHits.Add(1)
+				c.hits.Inc()
+				c.diskHits.Inc()
 				s.mu.Lock()
 				s.results[key] = dres
 				s.mu.Unlock()
-				return dres, true
+				return dres, "disk", true
 			}
 		}
 	}
-	return SuiteResult{}, false
+	return SuiteResult{}, "", false
 }
 
 // store memoizes one backend-computed result, persisting it through the
@@ -244,7 +350,7 @@ func (c *CachedVerifier) lookup(key [sha256.Size]byte) (SuiteResult, bool) {
 // swallowed: a full or read-only disk downgrades the run to memory-only
 // caching, it does not fail verification.
 func (c *CachedVerifier) store(key [sha256.Size]byte, res SuiteResult) {
-	c.misses.Add(1)
+	c.misses.Inc()
 	s := c.shard(key)
 	s.mu.Lock()
 	s.results[key] = res
@@ -262,18 +368,44 @@ func (c *CachedVerifier) persist(key [sha256.Size]byte, res SuiteResult) {
 		return
 	}
 	if c.disk.Put(key, payload) == nil {
-		c.diskWrites.Add(1)
+		c.diskWrites.Inc()
 	}
 }
 
 // check answers one suite check through the cache, dispatching misses
-// onto the backend seam as a batch of one.
+// onto the backend seam as a batch of one. The local_check span covers
+// the whole dispatch — key hashing, cache lookup, and (on a miss) the
+// backend call — so a traced run's verification time is attributed even
+// when the cache answers most of it; Outcome distinguishes "hit" from a
+// backend "check".
 func (c *CachedVerifier) check(sc SuiteCheck) (SuiteResult, error) {
+	var start time.Time
+	if c.tracer != nil || c.verifySeconds != nil {
+		start = time.Now()
+	}
+	span := func(outcome string) {
+		if start.IsZero() {
+			return
+		}
+		if c.verifySeconds != nil {
+			c.verifySeconds.Observe(time.Since(start).Seconds())
+		}
+		if c.tracer != nil {
+			ev := obs.Event{Stage: obs.StageLocalCheck, Outcome: outcome, Checks: 1,
+				Run: c.runLabel, Detail: string(sc.Kind)}
+			fillCheckIdentity(&ev, sc)
+			c.tracer.Span(start, ev)
+		}
+	}
 	key := suite.KeyD(sc, c.digests)
-	if res, ok := c.lookup(key); ok {
+	if res, tier, ok := c.lookup(key); ok {
+		c.traceCache(obs.StageCacheHit, tier, sc)
+		span("hit")
 		return res, nil
 	}
+	c.traceCache(obs.StageCacheMiss, "", sc)
 	results, err := c.backend.CheckBatch(context.Background(), []SuiteCheck{sc})
+	span("check")
 	if err != nil {
 		return SuiteResult{}, err
 	}
@@ -292,6 +424,24 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 	if !c.Batched() || len(checks) == 0 {
 		return nil
 	}
+	// The prefetch span covers the key-hashing probe as well as the
+	// batched backend call: on a warm iteration the probe IS the cost.
+	var start time.Time
+	if c.tracer != nil || c.verifySeconds != nil {
+		start = time.Now()
+	}
+	span := func(n int) {
+		if start.IsZero() {
+			return
+		}
+		if c.verifySeconds != nil {
+			c.verifySeconds.Observe(time.Since(start).Seconds())
+		}
+		if c.tracer != nil {
+			c.tracer.Span(start, obs.Event{Stage: obs.StageLocalCheck, Outcome: "prefetch",
+				Checks: n, Run: c.runLabel})
+		}
+	}
 	var missing []SuiteCheck
 	var keys [][sha256.Size]byte
 	seen := map[[sha256.Size]byte]bool{}
@@ -307,9 +457,11 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 		}
 	}
 	if len(missing) == 0 {
+		span(0)
 		return nil
 	}
 	results, err := c.backend.CheckBatch(context.Background(), missing)
+	span(len(missing))
 	if err != nil {
 		return err
 	}
@@ -317,7 +469,7 @@ func (c *CachedVerifier) Prefetch(checks []SuiteCheck) error {
 		return fmt.Errorf("batched backend returned %d results for %d checks",
 			len(results), len(missing))
 	}
-	c.prefetches.Add(1)
+	c.prefetches.Inc()
 	c.batchedChecks.Add(uint64(len(missing)))
 	for i, res := range results {
 		s := c.shard(keys[i])
@@ -349,7 +501,7 @@ func (c *CachedVerifier) cached(key [sha256.Size]byte) bool {
 	if err := json.Unmarshal(payload, &res); err != nil {
 		return false
 	}
-	c.diskHits.Add(1)
+	c.diskHits.Inc()
 	s.mu.Lock()
 	s.results[key] = res
 	s.mu.Unlock()
@@ -392,7 +544,14 @@ func (c *CachedVerifier) CheckLocalPolicy(config string, req lightyear.Requireme
 // GlobalNoTransit implements Verifier; it passes through uncached (see the
 // type comment).
 func (c *CachedVerifier) GlobalNoTransit(t *topology.Topology, configs map[string]string) (*lightyear.GlobalResult, error) {
-	return c.v.GlobalNoTransit(t, configs)
+	if c.tracer == nil {
+		return c.v.GlobalNoTransit(t, configs)
+	}
+	start := time.Now()
+	res, err := c.v.GlobalNoTransit(t, configs)
+	c.tracer.Span(start, obs.Event{Stage: obs.StageGlobalCheck, Outcome: "simulated",
+		Run: c.runLabel, Checks: len(configs)})
+	return res, err
 }
 
 // GlobalNoTransitIncremental implements IncrementalGlobalVerifier. An
@@ -406,12 +565,35 @@ func (c *CachedVerifier) GlobalNoTransit(t *topology.Topology, configs map[strin
 // answers, only its cost.
 func (c *CachedVerifier) GlobalNoTransitIncremental(t *topology.Topology,
 	configs map[string]string, hint *GlobalHint) (*lightyear.GlobalResult, error) {
+	var start time.Time
+	if c.tracer != nil {
+		start = time.Now()
+	}
+	res, outcome, err := c.globalNoTransitIncremental(t, configs, hint)
+	if c.tracer != nil {
+		ev := obs.Event{Stage: obs.StageGlobalCheck, Outcome: outcome,
+			Run: c.runLabel, Checks: len(configs)}
+		if hint != nil && len(hint.Changed) == 1 {
+			ev.Router = hint.Changed[0]
+		}
+		c.tracer.Span(start, ev)
+	}
+	return res, err
+}
+
+// globalNoTransitIncremental is GlobalNoTransitIncremental minus the
+// tracing; the outcome string records which path answered — the
+// incremental-vs-cold distinction the trace surfaces.
+func (c *CachedVerifier) globalNoTransitIncremental(t *topology.Topology,
+	configs map[string]string, hint *GlobalHint) (*lightyear.GlobalResult, string, error) {
 	if ig, ok := c.v.(IncrementalGlobalVerifier); ok {
-		return ig.GlobalNoTransitIncremental(t, configs, hint)
+		res, err := ig.GlobalNoTransitIncremental(t, configs, hint)
+		return res, "incremental", err
 	}
 	lv, ok := c.v.(LocalVerifier)
 	if !ok || hint == nil {
-		return c.v.GlobalNoTransit(t, configs)
+		res, err := c.v.GlobalNoTransit(t, configs)
+		return res, "cold", err
 	}
 	c.globalMu.Lock()
 	defer c.globalMu.Unlock()
@@ -423,5 +605,10 @@ func (c *CachedVerifier) GlobalNoTransitIncremental(t *topology.Topology,
 	for name, text := range configs {
 		devs[name] = lv.parsed(text).Device
 	}
-	return c.globalSess.Check(devs, hint.Changed)
+	outcome := "incremental"
+	if hint.Changed == nil {
+		outcome = "cold"
+	}
+	res, err := c.globalSess.Check(devs, hint.Changed)
+	return res, outcome, err
 }

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // CheckpointVersion is the checkpoint file's format version. A file
@@ -176,6 +178,11 @@ func modelCursor(m llm.Model) int64 {
 type checkpointer struct {
 	opts CheckpointOptions
 
+	// tracer is the optional trace sink: one checkpoint_save span per
+	// snapshot write, one checkpoint_restore span per resumed load.
+	tracer   *obs.Tracer
+	runLabel string
+
 	mu    sync.Mutex
 	saves int
 }
@@ -206,6 +213,10 @@ func (c *checkpointer) load() (*checkpointFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("resume: %w", err)
 	}
+	var start time.Time
+	if c.tracer != nil {
+		start = time.Now()
+	}
 	var ck checkpointFile
 	if err := json.Unmarshal(data, &ck); err != nil {
 		return nil, fmt.Errorf("resume: checkpoint %s is unreadable: %w", c.opts.Path, err)
@@ -217,6 +228,10 @@ func (c *checkpointer) load() (*checkpointFile, error) {
 	if ck.RunKey != "" && c.opts.RunKey != "" && ck.RunKey != c.opts.RunKey {
 		return nil, fmt.Errorf("resume: checkpoint %s belongs to a different run (key %s, want %s)",
 			c.opts.Path, ck.RunKey, c.opts.RunKey)
+	}
+	if c.tracer != nil {
+		c.tracer.Span(start, obs.Event{Stage: obs.StageCheckpointRestore,
+			Run: c.runLabel, Bytes: int64(len(data)), Outcome: ck.Phase})
 	}
 	return &ck, nil
 }
@@ -235,8 +250,16 @@ func (c *checkpointer) save(ck *checkpointFile) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var start time.Time
+	if c.tracer != nil {
+		start = time.Now()
+	}
 	if err := durable.WriteFileAtomic(c.opts.Path, data, 0o644); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if c.tracer != nil {
+		c.tracer.Span(start, obs.Event{Stage: obs.StageCheckpointSave,
+			Run: c.runLabel, Bytes: int64(len(data)), Outcome: ck.Phase})
 	}
 	c.saves++
 	if c.opts.AbortAfterSaves > 0 && c.saves >= c.opts.AbortAfterSaves {

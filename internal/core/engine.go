@@ -8,9 +8,11 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/lightyear"
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // PromptKind distinguishes the two loops of Figure 2: the fast automated
@@ -148,6 +150,10 @@ type session struct {
 	// iterations counts RunPipeline cycles driven over this session (the
 	// Result.Iterations stat).
 	iterations int
+	// tracer is the optional trace sink (nil = off): every send() emits
+	// one llm_call span. runLabel names the run in its events.
+	tracer   *obs.Tracer
+	runLabel string
 }
 
 func newSession(model llm.Model, iip []llm.IIP) *session {
@@ -164,7 +170,16 @@ func (s *session) send(kind PromptKind, stage Stage, target, prompt string) (str
 		role = llm.RoleHuman
 	}
 	s.messages = append(s.messages, llm.Message{Role: role, Content: prompt})
+	var start time.Time
+	if s.tracer != nil {
+		start = time.Now()
+	}
 	resp, err := s.model.Complete(s.messages)
+	if s.tracer != nil {
+		s.tracer.Span(start, obs.Event{Stage: obs.StageLLMCall, Run: s.runLabel,
+			Iter: s.iterations, Router: target, Detail: string(stage),
+			Bytes: int64(len(resp))})
+	}
 	if err != nil {
 		return "", false, fmt.Errorf("model error on %s prompt: %w", stage, err)
 	}

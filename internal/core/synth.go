@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/batfish"
 	"repro/internal/durable"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/modularizer"
 	"repro/internal/netcfg"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -86,6 +88,20 @@ type SynthOptions struct {
 	// GlobalCheckSeed keys the compositional check's falsification
 	// sampling (0 = seed 1). Ignored under GlobalCheckSimulated.
 	GlobalCheckSeed int64
+	// Metrics is an optional observability registry: the run's cache,
+	// parse, durable-tier, and transport instruments register themselves
+	// into it so a live /metrics endpoint (or /debug/vars) can watch the
+	// run. Nil keeps the instruments private. Telemetry never changes a
+	// result — transcripts are byte-identical with it on, off, or
+	// scraped mid-run.
+	Metrics *obs.Registry
+	// Trace is an optional JSONL trace sink (see internal/obs): every
+	// pipeline stage emits spans keyed by run/iteration/router so a
+	// trace file reconstructs where the run's time and round-trips went.
+	// Nil disables tracing.
+	Trace *obs.Tracer
+	// RunLabel names this run's trace spans; "synth" when empty.
+	RunLabel string
 }
 
 // GlobalCheckMode selects Synthesize's final whole-network check.
@@ -174,9 +190,16 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("synthesize: options require a model")
 	}
+	if opts.RunLabel == "" {
+		opts.RunLabel = "synth"
+	}
+	runStart := time.Now()
 	ck, err := newCheckpointer(opts.Checkpoint)
 	if err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		ck.tracer, ck.runLabel = opts.Trace, opts.RunLabel
 	}
 	resumed, err := ck.load()
 	if err != nil {
@@ -190,9 +213,23 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 	if !opts.DisableCache {
 		cache = NewCachedVerifier(opts.Verifier)
 		cache.SetDurable(opts.DurableCache)
+		cache.SetObs(opts.Metrics, opts.Trace, opts.RunLabel)
 		opts.Verifier = cache
+	} else if opts.Metrics != nil && opts.DurableCache != nil {
+		opts.DurableCache.SetMetrics(opts.Metrics)
 	}
 	sess := newSession(opts.Model, opts.IIP)
+	sess.tracer, sess.runLabel = opts.Trace, opts.RunLabel
+	if opts.Trace != nil {
+		// A model that can report where its render time went (the simulated
+		// synthesizer's stanza-incremental vs full re-prints) adopts the
+		// run's sink; outputs are byte-identical either way.
+		if m, ok := opts.Model.(interface {
+			SetObs(*obs.Registry, *obs.Tracer)
+		}); ok {
+			m.SetObs(opts.Metrics, opts.Trace)
+		}
+	}
 
 	tasks := modularizer.Tasks(topo)
 	var configs map[string]string
@@ -260,9 +297,11 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 		Global:         global,
 	}
 	if cache != nil {
-		stats := cache.Stats()
+		stats := cache.MergedStats()
 		res.CacheStats = &stats
 	}
+	opts.Trace.Span(runStart, obs.Event{Stage: obs.StageRun, Run: opts.RunLabel,
+		Iter: res.Iterations, Checks: len(res.Configs)})
 	return res, nil
 }
 
@@ -277,6 +316,10 @@ func Synthesize(topo *topology.Topology, opts SynthOptions) (*Result, error) {
 func globalCheck(topo *topology.Topology, configs map[string]string,
 	opts SynthOptions, recent []string) (*lightyear.GlobalResult, error) {
 	if opts.GlobalCheck == GlobalCheckCompositional {
+		var start time.Time
+		if opts.Trace != nil {
+			start = time.Now()
+		}
 		devs, err := parseDevices(opts.Verifier, topo, configs)
 		if err != nil {
 			return nil, err
@@ -284,11 +327,15 @@ func globalCheck(topo *topology.Topology, configs map[string]string,
 		global, err := lightyear.CheckCompositionalNoTransit(topo, devs,
 			lightyear.CompositionalOptions{Seed: opts.GlobalCheckSeed, RecentRouters: recent})
 		if err == nil {
+			opts.Trace.Span(start, obs.Event{Stage: obs.StageGlobalCheck,
+				Outcome: "compositional", Run: opts.RunLabel, Checks: len(configs)})
 			return global, nil
 		}
 		if !errors.Is(err, lightyear.ErrCoverageIncomplete) {
 			return nil, err
 		}
+		// Coverage fell through to the simulation; the verifier's own
+		// global_check span records that run.
 	}
 	return opts.Verifier.GlobalNoTransit(topo, configs)
 }
@@ -511,6 +558,7 @@ func synthesizeParallel(sess *session, topo *topology.Topology,
 func repairRouter(model llm.Model, topo *topology.Topology,
 	task modularizer.Task, opts SynthOptions) routerOutcome {
 	wsess := newSession(model, opts.IIP)
+	wsess.tracer, wsess.runLabel = opts.Trace, opts.RunLabel
 	resp, _, err := wsess.send(Automated, StageTask, task.Router, task.Prompt)
 	if err != nil {
 		return routerOutcome{err: err}

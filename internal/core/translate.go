@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/campion"
 	"repro/internal/durable"
 	"repro/internal/humanizer"
 	"repro/internal/llm"
+	"repro/internal/obs"
 )
 
 // TranslateOptions configures the translation pipeline (§3).
@@ -38,6 +40,13 @@ type TranslateOptions struct {
 	// atomically-written file so a killed run can resume (see
 	// CheckpointOptions). Nil disables checkpointing.
 	Checkpoint *CheckpointOptions
+	// Metrics and Trace mirror SynthOptions: an optional registry the
+	// run's instruments register into and an optional JSONL trace sink.
+	// Telemetry never changes a result.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
+	// RunLabel names this run's trace spans; "translate" when empty.
+	RunLabel string
 }
 
 func (o *TranslateOptions) fill() {
@@ -71,9 +80,16 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("translate: options require a model")
 	}
+	if opts.RunLabel == "" {
+		opts.RunLabel = "translate"
+	}
+	runStart := time.Now()
 	ck, err := newCheckpointer(opts.Checkpoint)
 	if err != nil {
 		return nil, err
+	}
+	if ck != nil {
+		ck.tracer, ck.runLabel = opts.Trace, opts.RunLabel
 	}
 	resumed, err := ck.load()
 	if err != nil {
@@ -83,9 +99,13 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 	if !opts.DisableCache {
 		cache = NewCachedVerifier(opts.Verifier)
 		cache.SetDurable(opts.DurableCache)
+		cache.SetObs(opts.Metrics, opts.Trace, opts.RunLabel)
 		opts.Verifier = cache
+	} else if opts.Metrics != nil && opts.DurableCache != nil {
+		opts.DurableCache.SetMetrics(opts.Metrics)
 	}
 	sess := newSession(opts.Model, opts.IIP)
+	sess.tracer, sess.runLabel = opts.Trace, opts.RunLabel
 
 	var configs map[string]string
 	var ps *pipelineState
@@ -137,9 +157,11 @@ func Translate(ciscoConfig string, opts TranslateOptions) (*Result, error) {
 		Iterations:     sess.iterations,
 	}
 	if cache != nil {
-		stats := cache.Stats()
+		stats := cache.MergedStats()
 		res.CacheStats = &stats
 	}
+	opts.Trace.Span(runStart, obs.Event{Stage: obs.StageRun, Run: opts.RunLabel,
+		Iter: res.Iterations})
 	return res, nil
 }
 

@@ -29,8 +29,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FormatVersion is the on-disk layout version. Bump it when the entry or
@@ -189,11 +190,14 @@ type Cache struct {
 	dir      string
 	maxBytes int64
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	writes  atomic.Uint64
-	corrupt atomic.Uint64
-	evicted atomic.Uint64
+	// Counters are obs instruments from birth; SetMetrics adopts them
+	// into a registry without losing counts (Open's initial sweep may
+	// already have evicted entries by the time a registry is bound).
+	hits    *obs.Counter
+	misses  *obs.Counter
+	writes  *obs.Counter
+	corrupt *obs.Counter
+	evicted *obs.Counter
 
 	// sweepMu serializes eviction sweeps; Get/Put never take it.
 	sweepMu sync.Mutex
@@ -228,7 +232,11 @@ func Open(dir string, opts Options) (*Cache, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
-	c := &Cache{dir: dir, maxBytes: opts.MaxBytes}
+	c := &Cache{
+		dir: dir, maxBytes: opts.MaxBytes,
+		hits: &obs.Counter{}, misses: &obs.Counter{}, writes: &obs.Counter{},
+		corrupt: &obs.Counter{}, evicted: &obs.Counter{},
+	}
 	if c.maxBytes == 0 {
 		c.maxBytes = DefaultMaxBytes
 	}
@@ -270,14 +278,28 @@ func Open(dir string, opts Options) (*Cache, error) {
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
 
+// SetMetrics adopts the cache's counters into a metrics registry (nil is
+// a no-op), preserving counts already accumulated. The disk tier's
+// telemetry never changes what it serves.
+func (c *Cache) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("cosynth_durable_hits_total", c.hits)
+	reg.RegisterCounter("cosynth_durable_misses_total", c.misses)
+	reg.RegisterCounter("cosynth_durable_writes_total", c.writes)
+	reg.RegisterCounter("cosynth_durable_corrupt_total", c.corrupt)
+	reg.RegisterCounter("cosynth_durable_evicted_total", c.evicted)
+}
+
 // Stats returns the counters since Open.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Writes:  c.writes.Load(),
-		Corrupt: c.corrupt.Load(),
-		Evicted: c.evicted.Load(),
+		Hits:    c.hits.Value(),
+		Misses:  c.misses.Value(),
+		Writes:  c.writes.Value(),
+		Corrupt: c.corrupt.Value(),
+		Evicted: c.evicted.Value(),
 	}
 }
 
@@ -312,19 +334,19 @@ func (c *Cache) Get(key [sha256.Size]byte) ([]byte, bool) {
 	path := c.entryPath(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, false
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Version != FormatVersion ||
 		e.Key != hex.EncodeToString(key[:]) ||
 		e.Sum != fmt.Sprintf("%x", sha256.Sum256(e.Payload)) {
-		c.corrupt.Add(1)
-		c.misses.Add(1)
+		c.corrupt.Inc()
+		c.misses.Inc()
 		c.quarantine(path)
 		return nil, false
 	}
-	c.hits.Add(1)
+	c.hits.Inc()
 	// Freshen the entry so the eviction sweep's LRU order tracks use, not
 	// just creation. Best-effort: an unsupported Chtimes loses recency,
 	// nothing else.
@@ -359,7 +381,7 @@ func (c *Cache) Put(key [sha256.Size]byte, payload []byte) error {
 	if err := WriteFileAtomic(path, data, 0o644); err != nil {
 		return err
 	}
-	c.writes.Add(1)
+	c.writes.Inc()
 	return nil
 }
 

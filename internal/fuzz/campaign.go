@@ -14,6 +14,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/netcfg"
 	"repro/internal/netgen"
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -113,6 +114,16 @@ type Campaign struct {
 	// functions of their inputs, so the tier changes cost, never outcomes
 	// — it stays out of the campaign key.
 	DurableCache *durable.Cache
+	// Metrics, when set, is the registry every case's pipeline run
+	// registers its instruments into — one shared surface for the whole
+	// sweep. Like DurableCache it shapes observability, never outcomes,
+	// and stays out of the campaign key.
+	Metrics *obs.Registry
+	// Tracer, when set, receives every case's pipeline trace events plus
+	// one fuzz_case verdict event per completed case (stage "fuzz_case",
+	// run label "fuzz:<case>", outcome "ok" or the failed property).
+	// Observability only; out of the campaign key.
+	Tracer *obs.Tracer
 
 	// filled latches fill so the concurrent workers' RunCase calls read
 	// the defaults applied before they were spawned instead of rewriting
@@ -332,10 +343,25 @@ func (c *Campaign) RunCase(cs Case) CaseResult {
 	}
 	start := time.Now()
 	out := CaseResult{Case: cs}
+	verdict := func(r CaseResult) CaseResult {
+		if c.Tracer != nil {
+			outcome := "ok"
+			if r.Failure != nil {
+				outcome = r.Failure.Property
+			}
+			c.Tracer.Span(start, obs.Event{
+				Stage:   obs.StageFuzzCase,
+				Run:     "fuzz:" + cs.String(),
+				Iter:    r.Iterations,
+				Outcome: outcome,
+			})
+		}
+		return r
+	}
 	fail := func(prop, detail string) CaseResult {
 		out.Failure = &Failure{Property: prop, Detail: detail}
 		out.ElapsedMS = time.Since(start).Milliseconds()
-		return out
+		return verdict(out)
 	}
 
 	topo, err := c.cachedTopology(cs)
@@ -369,6 +395,9 @@ func (c *Campaign) RunCase(cs Case) CaseResult {
 		DurableCache:    c.DurableCache,
 		GlobalCheck:     core.GlobalCheckCompositional,
 		GlobalCheckSeed: cs.Seed,
+		Metrics:         c.Metrics,
+		Trace:           c.Tracer,
+		RunLabel:        "fuzz:" + cs.String(),
 	})
 	if err != nil {
 		return fail(PropError, err.Error())
@@ -413,7 +442,7 @@ func (c *Campaign) RunCase(cs Case) CaseResult {
 		}
 	}
 	out.ElapsedMS = time.Since(start).Milliseconds()
-	return out
+	return verdict(out)
 }
 
 // falsify proves the composed global check non-vacuous on this graph:

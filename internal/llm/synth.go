@@ -7,9 +7,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cisco"
 	"repro/internal/netcfg"
+	"repro/internal/obs"
 )
 
 // SynthError enumerates the synthesis error classes of §4.
@@ -228,7 +230,17 @@ type Synthesizer struct {
 	// so the cursor stays 0; it exists so checkpoint/resume can verify
 	// replayed stochastic state the day a probabilistic knob is added.
 	draws int64
+	// tracer is the optional trace sink (nil = off), adopted through
+	// SetObs — the engine forwards its own sink when the run is traced.
+	// Rendering is deterministic; the tracer only reports where its time
+	// went (stanza-incremental vs full re-prints).
+	tracer *obs.Tracer
 }
+
+// SetObs adopts the run's trace sink, arming per-render spans. The
+// engine calls it through an interface assertion when SynthOptions.Trace
+// is set; outputs are byte-identical with or without it.
+func (s *Synthesizer) SetObs(reg *obs.Registry, tr *obs.Tracer) { s.tracer = tr }
 
 // NewSynthesizer returns a fresh simulated model.
 func NewSynthesizer(cfg SynthConfig) *Synthesizer {
@@ -594,10 +606,23 @@ func (s *Synthesizer) target(content string) *routerState {
 // previous render of this router; SynthConfig.FullRender selects the
 // whole-config print. The outputs are byte-identical.
 func (s *Synthesizer) render(st *routerState) string {
-	if s.cfg.FullRender {
-		return s.renderFull(st)
+	var start time.Time
+	if s.tracer != nil {
+		start = time.Now()
 	}
-	return s.renderIncremental(st)
+	var text string
+	outcome := "incremental"
+	if s.cfg.FullRender {
+		text = s.renderFull(st)
+		outcome = "full"
+	} else {
+		text = s.renderIncremental(st)
+	}
+	if s.tracer != nil {
+		s.tracer.Span(start, obs.Event{Stage: obs.StageRender, Router: st.name,
+			Bytes: int64(len(text)), Outcome: outcome})
+	}
+	return text
 }
 
 // renderFull prints the whole config from a transformed clone of the

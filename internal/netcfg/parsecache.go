@@ -3,7 +3,9 @@ package netcfg
 import (
 	"crypto/sha256"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Parsed is one configuration revision's complete parse product: the IR
@@ -44,8 +46,12 @@ type ParseCache struct {
 	parse ParseFunc
 
 	shards [parseShards]parseShard
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	// Counters are obs instruments from birth; SetObs adopts them into a
+	// registry (counts preserved) and optionally binds a trace sink that
+	// sees one parse span per cache-missing revision.
+	hits   *obs.Counter
+	misses *obs.Counter
+	tracer *obs.Tracer
 
 	// Stanza-level sub-cache (see stanza.go): when a dialect mounts
 	// StanzaSupport, a whole-config miss is answered by splitting the text
@@ -56,7 +62,8 @@ type ParseCache struct {
 
 // NewParseCache returns an empty cache over the given parser.
 func NewParseCache(parse ParseFunc) *ParseCache {
-	c := &ParseCache{parse: parse}
+	c := &ParseCache{parse: parse, hits: &obs.Counter{}, misses: &obs.Counter{}}
+	c.fragHits, c.fragMisses, c.fragDiskHits = &obs.Counter{}, &obs.Counter{}, &obs.Counter{}
 	for i := range c.shards {
 		c.shards[i].entries = map[[sha256.Size]byte]*Parsed{}
 	}
@@ -73,8 +80,12 @@ func (c *ParseCache) Parse(text string) *Parsed {
 	p := s.entries[key]
 	s.mu.RUnlock()
 	if p != nil {
-		c.hits.Add(1)
+		c.hits.Inc()
 		return p
+	}
+	var start time.Time
+	if c.tracer != nil {
+		start = time.Now()
 	}
 	if c.stanza != nil {
 		p = c.stanzaParse(text, b)
@@ -82,15 +93,18 @@ func (c *ParseCache) Parse(text string) *Parsed {
 	if p == nil {
 		p = c.parse(text)
 	}
+	if c.tracer != nil {
+		c.tracer.Span(start, obs.Event{Stage: obs.StageParse, Bytes: int64(len(b))})
+	}
 	s.mu.Lock()
 	if prev, ok := s.entries[key]; ok {
 		// A concurrent miss beat us to it; keep the first result so every
 		// caller shares one device.
 		p = prev
-		c.hits.Add(1)
+		c.hits.Inc()
 	} else {
 		s.entries[key] = p
-		c.misses.Add(1)
+		c.misses.Inc()
 	}
 	s.mu.Unlock()
 	return p
@@ -99,7 +113,22 @@ func (c *ParseCache) Parse(text string) *Parsed {
 // Stats returns the hit/miss counters. Misses equal the number of distinct
 // revisions parsed.
 func (c *ParseCache) Stats() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.Value(), c.misses.Value()
+}
+
+// SetObs adopts the cache's counters — whole-config and fragment — into
+// a metrics registry and binds an optional trace sink; either may be
+// nil. Telemetry never changes a parse product.
+func (c *ParseCache) SetObs(reg *obs.Registry, tr *obs.Tracer) {
+	c.tracer = tr
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("cosynth_parse_cache_hits_total", c.hits)
+	reg.RegisterCounter("cosynth_parse_cache_misses_total", c.misses)
+	reg.RegisterCounter("cosynth_parse_fragment_hits_total", c.fragHits)
+	reg.RegisterCounter("cosynth_parse_fragment_misses_total", c.fragMisses)
+	reg.RegisterCounter("cosynth_parse_fragment_disk_hits_total", c.fragDiskHits)
 }
 
 // Len returns the number of cached revisions.

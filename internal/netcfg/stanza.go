@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Stanza is one addressable segment of a configuration text: an interface
@@ -166,7 +168,7 @@ func (c *ParseCache) SetFragmentStore(store BlobStore) {
 // FragmentStats returns the stanza sub-cache counters: in-memory hits,
 // misses (distinct stanzas parsed), and durable-tier promotions.
 func (c *ParseCache) FragmentStats() (hits, misses, diskHits uint64) {
-	return c.fragHits.Load(), c.fragMisses.Load(), c.fragDiskHits.Load()
+	return c.fragHits.Value(), c.fragMisses.Value(), c.fragDiskHits.Value()
 }
 
 // stanzaParse attempts the incremental path for one whole-config miss:
@@ -335,7 +337,7 @@ func (c *ParseCache) fragment(st Stanza, digest [sha256.Size]byte) *Parsed {
 	p := s.entries[digest]
 	s.mu.RUnlock()
 	if p != nil {
-		c.fragHits.Add(1)
+		c.fragHits.Inc()
 		return p
 	}
 	fromDisk := false
@@ -356,13 +358,13 @@ func (c *ParseCache) fragment(st Stanza, digest [sha256.Size]byte) *Parsed {
 	s.mu.Lock()
 	if prev, ok := s.entries[digest]; ok {
 		p = prev
-		c.fragHits.Add(1)
+		c.fragHits.Inc()
 	} else {
 		s.entries[digest] = p
 		if fromDisk {
-			c.fragDiskHits.Add(1)
+			c.fragDiskHits.Inc()
 		} else {
-			c.fragMisses.Add(1)
+			c.fragMisses.Inc()
 		}
 	}
 	s.mu.Unlock()
@@ -397,7 +399,7 @@ type stanzaFields struct {
 	memoRing [splitMemoSize]*splitMemo
 	memoNext int
 
-	fragHits     atomic.Uint64
-	fragMisses   atomic.Uint64
-	fragDiskHits atomic.Uint64
+	fragHits     *obs.Counter
+	fragMisses   *obs.Counter
+	fragDiskHits *obs.Counter
 }

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every series in the registry in the Prometheus
+// text exposition format (version 0.0.4): one `# TYPE` line per metric
+// family, then its samples sorted by label set. Histograms expand into
+// cumulative `_bucket{le=...}` samples plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range r.sorted() {
+		if s.name != lastFamily {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.name, s.kind)
+			lastFamily = s.name
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", s.name, s.labels, s.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", s.name, s.labels, s.g.Value())
+		case kindHistogram:
+			buckets, count, sum := s.h.snapshot()
+			cum := uint64(0)
+			for i, b := range s.h.bounds {
+				cum += buckets[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", formatBound(b)), cum)
+			}
+			cum += buckets[len(buckets)-1]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", s.name, withLabel(s.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", s.name, s.labels, strconv.FormatFloat(sum, 'g', -1, 64))
+			fmt.Fprintf(bw, "%s_count%s %d\n", s.name, s.labels, count)
+		}
+	}
+	return bw.Flush()
+}
+
+// withLabel splices one extra label pair into an already-rendered label
+// block (histogram `le` handling).
+func withLabel(labels, k, v string) string {
+	extra := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ValidateExposition checks that r is a well-formed Prometheus text
+// exposition: every sample line parses (name, optional label block,
+// float value), label blocks are well-quoted, every sample's family has
+// a preceding # TYPE line whose kind admits the sample's suffix, no
+// series appears twice, and every histogram family carries its +Inf
+// bucket, _sum, and _count. It is the no-external-dep parser CI uses to
+// gate the /metrics surface. Returns nil for a valid exposition.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}
+	seen := map[string]bool{}
+	hist := map[string]*histCheck{}
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line: %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !metricNameRe.MatchString(name) {
+					return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				if prev, ok := types[name]; ok && prev != kind {
+					return fmt.Errorf("line %d: family %s re-typed %s -> %s", lineNo, name, prev, kind)
+				}
+				types[name] = kind
+				if kind == "histogram" && hist[name] == nil {
+					hist[name] = &histCheck{}
+				}
+			}
+			continue // HELP and other comments pass through
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		family, suffix := familyOf(name, types)
+		if family == "" {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE line", lineNo, name)
+		}
+		if types[family] == "histogram" {
+			hc := hist[family]
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %q without le label", lineNo, name)
+				}
+				if le == "+Inf" {
+					hc.inf = true
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le bound %q", lineNo, le)
+				}
+			case "_sum":
+				hc.sum = true
+			case "_count":
+				hc.count = true
+			default:
+				return fmt.Errorf("line %d: sample %q does not belong to histogram family %s", lineNo, name, family)
+			}
+		}
+		var kv []string
+		for k, v := range labels {
+			kv = append(kv, k, v)
+		}
+		key := name + renderLabels(kv)
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %q", lineNo, key)
+		}
+		seen[key] = true
+		_ = value
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	for name, hc := range hist {
+		if !hc.inf || !hc.sum || !hc.count {
+			return fmt.Errorf("histogram family %s missing +Inf bucket, _sum, or _count", name)
+		}
+	}
+	return nil
+}
+
+type histCheck struct{ inf, sum, count bool }
+
+// familyOf resolves a sample name to its declared family, honoring the
+// histogram suffixes.
+func familyOf(name string, types map[string]string) (family, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if _, ok := types[base]; ok {
+				return base, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// parseSample parses one `name{labels} value [timestamp]` sample line.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		if err := parseLabels(rest[brace+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q has %d value fields, want 1 or 2", line, len(fields))
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses the inside of a label block: k="v" pairs,
+// comma-separated, values escaped with \\, \", \n.
+func parseLabels(s string, out map[string]string) error {
+	i := 0
+	for i < len(s) {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair without '=' in %q", s)
+		}
+		key := strings.TrimSpace(s[i : i+eq])
+		if !labelNameRe.MatchString(key) {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return fmt.Errorf("label value for %q is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return fmt.Errorf("dangling escape in label value for %q", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label value for %q", s[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		out[key] = val.String()
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// MetricsPath and VarsPath are the two endpoints every metrics surface in
+// the system mounts: Prometheus text exposition and an expvar-style JSON
+// snapshot of the same registry.
+const (
+	MetricsPath = "/metrics"
+	VarsPath    = "/debug/vars"
+)
+
+// Handler returns an http.Handler serving MetricsPath and VarsPath over
+// the registry. Mount it on any mux (batfishd does; cosynth/cofuzz serve
+// it standalone via Serve).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(MetricsPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc(VarsPath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr (host:port; an
+// empty or ":0" port picks one). It returns the bound address and a stop
+// function; errors after startup are dropped — telemetry must never take
+// the run down.
+func Serve(addr string, reg *Registry) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,317 @@
+// Package obs is the engine's zero-dependency observability layer: a
+// metrics registry (counters, gauges, fixed-bucket histograms with atomic
+// hot paths) with Prometheus text-format exposition, and a structured
+// JSONL trace-event sink that reconstructs where a run's time and
+// round-trips went.
+//
+// The registry is per-instance, never a process global: a run (or a
+// daemon) creates one, hands it to the components it wants observed, and
+// scrapes it. Metric instruments are usable standalone — new(Counter)
+// works without any registry — so components own their counters from
+// birth and *adopt* them into a registry when one is bound
+// (RegisterCounter and friends). Adoption preserves accumulated counts,
+// which is what keeps the pre-existing stats structs (CacheStats,
+// ShardStat, durable.Stats) byte-identical as views over the same
+// instruments.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; it is safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; it is safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Buckets are cumulative-at-exposition upper bounds (Prometheus `le`
+// semantics); an implicit +Inf bucket catches the tail. Construct with
+// NewHistogram; the zero value is not usable.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefSecondsBuckets is the default bucket layout for duration histograms,
+// in seconds: sub-millisecond parse hits through multi-second global
+// checks.
+var DefSecondsBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 2.5, 5, 10, 30}
+
+// NewHistogram returns a histogram over the given upper bounds. Bounds
+// are sorted and deduplicated; an empty list yields a single +Inf bucket.
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	out := bs[:0]
+	for _, b := range bs {
+		if math.IsInf(b, +1) || math.IsNaN(b) {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == b {
+			continue
+		}
+		out = append(out, b)
+	}
+	return &Histogram{bounds: out, counts: make([]atomic.Uint64, len(out)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v: the `le` bucket
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// snapshot returns (per-bucket counts, total count, sum). The reads are
+// individually atomic but not mutually consistent; exposition tolerates
+// that, as Prometheus clients do.
+func (h *Histogram) snapshot() (buckets []uint64, count uint64, sum float64) {
+	buckets = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+	}
+	return buckets, h.count.Load(), math.Float64frombits(h.sum.Load())
+}
+
+// kind discriminates the series union in the registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (name, label-set) instrument in the registry.
+type series struct {
+	name   string
+	labels string // rendered `{k="v",...}` or ""
+	kind   metricKind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry is a named collection of metric series. All methods are safe
+// for concurrent use, including concurrent registration and scraping.
+// Metric names must match Prometheus conventions
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); labels are passed as alternating key/value
+// pairs and are sorted by key, so the argument order never creates a
+// distinct series.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: map[string]*series{}}
+}
+
+// renderLabels folds alternating key/value pairs into the canonical
+// `{k="v",...}` form (keys sorted). Values are escaped per the Prometheus
+// text format. An odd trailing key is paired with "".
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		v := ""
+		if i+1 < len(kv) {
+			v = kv[i+1]
+		}
+		pairs = append(pairs, pair{kv[i], v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get returns the series for (name, labels), creating it with mk when
+// absent. A type clash (same name+labels, different kind) replaces the
+// prior series — last registration wins, so rebinding a fresh run over a
+// long-lived registry is well-defined.
+func (r *Registry) get(name string, labels []string, k metricKind, mk func() *series) *series {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s != nil && s.kind == k {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.series[key]; s != nil && s.kind == k {
+		return s
+	}
+	s = mk()
+	s.name, s.labels, s.kind = name, ls, k
+	r.series[key] = s
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. labels are alternating key/value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.get(name, labels, kindCounter, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.get(name, labels, kindGauge, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given buckets on first use (later calls ignore buckets).
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	return r.get(name, labels, kindHistogram, func() *series { return &series{h: NewHistogram(buckets...)} }).h
+}
+
+// RegisterCounter adopts an existing counter as the series for
+// (name, labels), preserving its accumulated count. If the series already
+// exists it is replaced — the components rebinding onto a registry own
+// the truth, the registry is the view.
+func (r *Registry) RegisterCounter(name string, c *Counter, labels ...string) {
+	r.put(&series{name: name, labels: renderLabels(labels), kind: kindCounter, c: c})
+}
+
+// RegisterGauge adopts an existing gauge (see RegisterCounter).
+func (r *Registry) RegisterGauge(name string, g *Gauge, labels ...string) {
+	r.put(&series{name: name, labels: renderLabels(labels), kind: kindGauge, g: g})
+}
+
+// RegisterHistogram adopts an existing histogram (see RegisterCounter).
+func (r *Registry) RegisterHistogram(name string, h *Histogram, labels ...string) {
+	r.put(&series{name: name, labels: renderLabels(labels), kind: kindHistogram, h: h})
+}
+
+func (r *Registry) put(s *series) {
+	r.mu.Lock()
+	r.series[s.name+s.labels] = s
+	r.mu.Unlock()
+}
+
+// sorted returns the series sorted by (name, labels) — the deterministic
+// exposition order.
+func (r *Registry) sorted() []*series {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// Snapshot returns every series as a flat name{labels} -> value map:
+// counters and gauges as numbers, histograms as {count, sum, buckets}.
+// This is the /debug/vars payload and the merged-stats read surface.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, s := range r.sorted() {
+		key := s.name + s.labels
+		switch s.kind {
+		case kindCounter:
+			out[key] = s.c.Value()
+		case kindGauge:
+			out[key] = s.g.Value()
+		case kindHistogram:
+			buckets, count, sum := s.h.snapshot()
+			bm := map[string]uint64{}
+			cum := uint64(0)
+			for i, b := range s.h.bounds {
+				cum += buckets[i]
+				bm[formatBound(b)] = cum
+			}
+			cum += buckets[len(buckets)-1]
+			bm["+Inf"] = cum
+			out[key] = map[string]any{"count": count, "sum": sum, "buckets": bm}
+		}
+	}
+	return out
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives counters, gauges, and histograms
+// from N goroutines while a scraper renders the exposition in a loop —
+// the shape a live /metrics endpoint sees mid-run. Run under -race this
+// is the registry's thread-safety gate; the count assertions prove no
+// increment is lost.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		workers = 16
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrape loop: exposition and snapshot must stay valid while every
+	// series is being written and new series are still appearing.
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			if buf.Len() > 0 {
+				if err := ValidateExposition(&buf); err != nil {
+					t.Errorf("mid-hammer exposition invalid: %v", err)
+					return
+				}
+			}
+			_ = reg.Snapshot()
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := []string{"shard", string(rune('a' + w%4))}
+			for i := 0; i < rounds; i++ {
+				reg.Counter("hammer_ops_total", shard...).Inc()
+				reg.Counter("hammer_bytes_total").Add(3)
+				reg.Gauge("hammer_inflight").Add(1)
+				reg.Histogram("hammer_seconds", DefSecondsBuckets, shard...).Observe(float64(i%100) / 1000)
+				reg.Gauge("hammer_inflight").Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	var total uint64
+	for _, lbl := range []string{"a", "b", "c", "d"} {
+		total += reg.Counter("hammer_ops_total", "shard", lbl).Value()
+	}
+	if want := uint64(workers * rounds); total != want {
+		t.Fatalf("lost increments: ops_total = %d, want %d", total, want)
+	}
+	if got, want := reg.Counter("hammer_bytes_total").Value(), uint64(3*workers*rounds); got != want {
+		t.Fatalf("bytes_total = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("hammer_inflight").Value(); got != 0 {
+		t.Fatalf("inflight gauge = %d after all workers exited, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	buckets, count, sum := h.snapshot()
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+	// le semantics: 0.005 and 0.01 land in the 0.01 bucket.
+	if got := []uint64{buckets[0], buckets[1], buckets[2], buckets[3]}; got[0] != 2 || got[1] != 1 || got[2] != 1 || got[3] != 2 {
+		t.Fatalf("bucket counts = %v, want [2 1 1 2]", got)
+	}
+	if want := 0.005 + 0.01 + 0.05 + 0.5 + 2 + 100; sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "shard", `weird"name\with`+"\n"+`stuff`).Add(7)
+	reg.Gauge("y_current").Set(-4)
+	reg.Histogram("z_seconds", []float64{0.5, 1}).Observe(0.7)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE x_total counter",
+		"# TYPE y_current gauge",
+		"y_current -4",
+		"# TYPE z_seconds histogram",
+		`z_seconds_bucket{le="0.5"} 0`,
+		`z_seconds_bucket{le="1"} 1`,
+		`z_seconds_bucket{le="+Inf"} 1`,
+		"z_seconds_sum 0.7",
+		"z_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("own exposition fails validation: %v\n%s", err, text)
+	}
+}
+
+func TestRegisterAdoptsExistingCounts(t *testing.T) {
+	// The rebind contract: a component's counter accumulates before any
+	// registry exists, then adoption exposes the same instrument — no
+	// counts lost, and later increments are visible to the scrape.
+	c := &Counter{}
+	c.Add(41)
+	reg := NewRegistry()
+	reg.RegisterCounter("adopted_total", c, "tier", "memory")
+	c.Inc()
+	if got := reg.Counter("adopted_total", "tier", "memory").Value(); got != 42 {
+		t.Fatalf("adopted counter = %d, want 42", got)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no type":          "no_type_metric 1\n",
+		"bad value":        "# TYPE m counter\nm one\n",
+		"duplicate":        "# TYPE m counter\nm 1\nm 2\n",
+		"unbalanced brace": "# TYPE m counter\nm{a=\"b\" 1\n",
+		"bad label":        "# TYPE m counter\nm{9bad=\"b\"} 1\n",
+		"histogram no inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"empty":            "\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected validation error for %q", name, text)
+		}
+	}
+}

@@ -1,7 +1,8 @@
 // Package prof wires the runtime/pprof profilers behind the
-// -cpuprofile/-memprofile flags shared by the cosynth and cofuzz CLIs, so
-// a scale run can be profiled in place (`go tool pprof cosynth cpu.out`)
-// without rebuilding anything as a benchmark.
+// -cpuprofile/-memprofile/-blockprofile/-mutexprofile flags shared by the
+// cosynth and cofuzz CLIs, so a scale run can be profiled in place
+// (`go tool pprof cosynth cpu.out`) without rebuilding anything as a
+// benchmark.
 package prof
 
 import (
@@ -11,14 +12,43 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins the profiles the two paths enable (an empty path disables
-// that profile) and returns an idempotent stop function that flushes
-// them: the CPU profile stops, and the heap profile is written after a
-// final GC so it reflects live allocations at stop time.
+// Options names every profile the CLIs can enable; an empty path
+// disables that profile.
+type Options struct {
+	// CPUPath receives the CPU profile (-cpuprofile).
+	CPUPath string
+	// MemPath receives the heap profile, written after a final GC at stop
+	// time (-memprofile).
+	MemPath string
+	// BlockPath receives the goroutine blocking profile (-blockprofile):
+	// where goroutines waited on channels, locks, and condition variables.
+	// Enabling it sets runtime.SetBlockProfileRate(1) for the run — full
+	// sampling, the useful setting for a one-shot CLI profile — and
+	// restores rate 0 at stop.
+	BlockPath string
+	// MutexPath receives the mutex contention profile (-mutexprofile):
+	// which locks goroutines contended on and for how long. Enabling it
+	// sets runtime.SetMutexProfileFraction(1) and restores the previous
+	// fraction at stop.
+	MutexPath string
+}
+
+// Start begins the profiles the two classic paths enable and returns an
+// idempotent stop function that flushes them. Retained for the original
+// two-profile call sites; StartOpts is the full surface.
 func Start(cpuPath, memPath string) (func(), error) {
+	return StartOpts(Options{CPUPath: cpuPath, MemPath: memPath})
+}
+
+// StartOpts begins every profile opts enables and returns an idempotent
+// stop function that flushes them: the CPU profile stops, the heap
+// profile is written after a final GC so it reflects live allocations at
+// stop time, and the block/mutex profiles are snapshotted and their
+// runtime sampling switched back off.
+func StartOpts(opts Options) (func(), error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+	if opts.CPUPath != "" {
+		f, err := os.Create(opts.CPUPath)
 		if err != nil {
 			return nil, fmt.Errorf("-cpuprofile: %w", err)
 		}
@@ -27,6 +57,13 @@ func Start(cpuPath, memPath string) (func(), error) {
 			return nil, fmt.Errorf("-cpuprofile: %w", err)
 		}
 		cpuFile = f
+	}
+	prevMutexFraction := 0
+	if opts.BlockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if opts.MutexPath != "" {
+		prevMutexFraction = runtime.SetMutexProfileFraction(1)
 	}
 	stopped := false
 	return func() {
@@ -38,8 +75,16 @@ func Start(cpuPath, memPath string) (func(), error) {
 			pprof.StopCPUProfile()
 			cpuFile.Close()
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if opts.BlockPath != "" {
+			writeLookup("block", opts.BlockPath, "-blockprofile")
+			runtime.SetBlockProfileRate(0)
+		}
+		if opts.MutexPath != "" {
+			writeLookup("mutex", opts.MutexPath, "-mutexprofile")
+			runtime.SetMutexProfileFraction(prevMutexFraction)
+		}
+		if opts.MemPath != "" {
+			f, err := os.Create(opts.MemPath)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
 				return
@@ -51,4 +96,18 @@ func Start(cpuPath, memPath string) (func(), error) {
 			}
 		}
 	}, nil
+}
+
+// writeLookup snapshots one named pprof profile to path; failures warn
+// rather than fail — a profile is diagnostics, never the run's outcome.
+func writeLookup(name, path, flag string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag, err)
+	}
 }
